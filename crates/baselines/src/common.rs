@@ -1,0 +1,151 @@
+//! Bookkeeping shared by all grid-level baseline planners: committed
+//! routes, their reservations, and retirement of finished routes.
+
+use carp_spacetime::ReservationTable;
+use carp_warehouse::memory;
+use carp_warehouse::request::RequestId;
+use carp_warehouse::route::Route;
+use carp_warehouse::types::Time;
+use std::collections::{BTreeSet, HashMap};
+
+/// Committed-route registry backed by a reservation table.
+#[derive(Debug, Default, Clone)]
+pub struct Commitments {
+    /// Active routes by request id.
+    routes: HashMap<RequestId, Route>,
+    /// Space-time reservations of all active routes.
+    pub reservations: ReservationTable,
+    retire_queue: BTreeSet<(Time, RequestId)>,
+}
+
+impl Commitments {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Commit a route: store it and reserve its occupancy.
+    pub fn commit(&mut self, id: RequestId, route: Route) {
+        self.reservations.reserve(&route, id);
+        self.retire_queue.insert((route.end_time(), id));
+        self.routes.insert(id, route);
+    }
+
+    /// Remove a route (e.g. before replanning it). Returns the route.
+    pub fn withdraw(&mut self, id: RequestId) -> Option<Route> {
+        let route = self.routes.remove(&id)?;
+        self.reservations.release(&route, id);
+        self.retire_queue.remove(&(route.end_time(), id));
+        Some(route)
+    }
+
+    /// Retire every route that finished strictly before `now`.
+    pub fn retire_before(&mut self, now: Time) {
+        while let Some(&(end, id)) = self.retire_queue.iter().next() {
+            if end >= now {
+                break;
+            }
+            self.retire_queue.remove(&(end, id));
+            if let Some(route) = self.routes.remove(&id) {
+                self.reservations.release(&route, id);
+            }
+        }
+    }
+
+    /// The active route for `id`, if any.
+    pub fn route(&self, id: RequestId) -> Option<&Route> {
+        self.routes.get(&id)
+    }
+
+    /// Iterate active `(id, route)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&RequestId, &Route)> {
+        self.routes.iter()
+    }
+
+    /// Ids of active routes that conflict with `candidate`.
+    pub fn conflicting_ids(&self, candidate: &Route) -> Vec<RequestId> {
+        let mut ids: Vec<RequestId> = self
+            .routes
+            .iter()
+            .filter(|(_, r)| carp_warehouse::collision::first_conflict(candidate, r).is_some())
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Number of active routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether no routes are active.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Estimated heap bytes: stored grid sequences + reservations — the
+    /// grid-level cost SRP's segment representation avoids (§VIII-B).
+    pub fn memory_bytes(&self) -> usize {
+        let routes: usize = self.routes.values().map(|r| r.memory_bytes()).sum();
+        routes
+            + memory::hashmap_bytes(&self.routes)
+            + self.reservations.memory_bytes()
+            + memory::btreeset_bytes(&self.retire_queue)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carp_warehouse::types::Cell;
+
+    fn route(start: Time, cols: core::ops::Range<u16>) -> Route {
+        Route::new(start, cols.map(|c| Cell::new(0, c)).collect())
+    }
+
+    #[test]
+    fn commit_withdraw_roundtrip() {
+        let mut c = Commitments::new();
+        c.commit(1, route(0, 0..5));
+        assert_eq!(c.len(), 1);
+        assert!(!c.reservations.vertex_free(Cell::new(0, 2), 2));
+        let r = c.withdraw(1).expect("present");
+        assert_eq!(r.duration(), 4);
+        assert!(c.is_empty());
+        assert!(c.reservations.is_empty());
+    }
+
+    #[test]
+    fn retire_respects_end_times() {
+        let mut c = Commitments::new();
+        c.commit(1, route(0, 0..3)); // ends at t=2
+        c.commit(2, route(0, 5..10)); // ends at t=4
+        c.retire_before(3);
+        assert_eq!(c.len(), 1);
+        assert!(c.route(1).is_none());
+        assert!(c.route(2).is_some());
+        c.retire_before(5);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn conflicting_ids_finds_offenders() {
+        let mut c = Commitments::new();
+        c.commit(7, route(0, 0..5));
+        c.commit(9, Route::new(0, vec![Cell::new(3, 3)]));
+        // Head-on along row 0.
+        let candidate = Route::new(0, (0..5).rev().map(|x| Cell::new(0, x)).collect());
+        assert_eq!(c.conflicting_ids(&candidate), vec![7]);
+    }
+
+    #[test]
+    fn memory_scales_with_routes() {
+        let mut c = Commitments::new();
+        let empty = c.memory_bytes();
+        for i in 0..20 {
+            c.commit(i, route(i as Time, 0..30));
+        }
+        assert!(c.memory_bytes() > empty + 20 * 30 * 4);
+    }
+}

@@ -1,0 +1,33 @@
+//! Baseline online CARP planners from the literature, re-implemented for
+//! the paper's evaluation (§VIII-A):
+//!
+//! * [`sap::SapPlanner`] — **SAP**, prioritized space-time A\* over the
+//!   full 3-D search space;
+//! * [`rp::RpPlanner`] — **RP** (Švancara et al. \[3\]), optimistic shortest
+//!   paths with joint CBS replanning of conflicting groups;
+//! * [`twp::TwpPlanner`] — **TWP** (Li et al. \[5\]), sliding-time-window
+//!   collision resolution with periodic route repair;
+//! * [`acp::AcpPlanner`] — **ACP** (Shi et al. \[6\]), cached spatial
+//!   shortest paths walked greedily with waits;
+//! * [`sipp::SippPlanner`] — **SIPP** (Phillips & Likhachev), an extension
+//!   baseline beyond the paper: safe-interval accelerated prioritized
+//!   planning, the strongest classical grid-level comparator.
+//!
+//! All of them implement [`carp_warehouse::Planner`] and are audited by the
+//! same ground-truth collision validator as SRP.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acp;
+pub mod common;
+pub mod rp;
+pub mod sipp;
+pub mod sap;
+pub mod twp;
+
+pub use acp::{AcpConfig, AcpPlanner, AcpStats};
+pub use rp::{RpConfig, RpPlanner, RpStats};
+pub use sipp::{SippConfig, SippPlanner, SippStats};
+pub use sap::SapPlanner;
+pub use twp::{TwpConfig, TwpPlanner, TwpStats};

@@ -1,0 +1,290 @@
+//! TWP — Time-Windowed Planning (Li et al. \[5\], §VIII-A).
+//!
+//! Instead of resolving collisions over a route's entire lifetime, TWP
+//! resolves them only within a sliding time window of `w` steps (the RHCR
+//! scheme): routes are planned with reservations enforced for `t <
+//! window_end` and optimistically (traffic-free) beyond. Every `h = w/2`
+//! steps the window slides and all active routes are *repaired*: their
+//! travelled prefixes are kept, and their remaining tails are replanned
+//! under the new window. The repairs are reported as route revisions from
+//! [`Planner::advance`].
+//!
+//! This is the paper's state-of-the-art efficiency baseline for fewer than
+//! 1,000 robots.
+
+use crate::common::Commitments;
+use carp_spacetime::{AStarConfig, SpaceTimeAStar};
+use carp_warehouse::matrix::WarehouseMatrix;
+use carp_warehouse::planner::{PlanOutcome, Planner};
+use carp_warehouse::request::{Request, RequestId};
+use carp_warehouse::route::Route;
+use carp_warehouse::types::{Cell, Time};
+
+/// TWP configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TwpConfig {
+    /// Collision-resolution window length `w` in time steps.
+    pub window: Time,
+    /// Replan period `h` (the window slides every `h` steps); `h ≤ w`.
+    pub period: Time,
+    /// Underlying search limits.
+    pub astar: AStarConfig,
+}
+
+impl Default for TwpConfig {
+    fn default() -> Self {
+        TwpConfig { window: 24, period: 12, astar: AStarConfig::default() }
+    }
+}
+
+/// Counters for the TWP planner.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TwpStats {
+    /// Window-slide repair rounds executed.
+    pub repair_rounds: usize,
+    /// Individual route repairs performed.
+    pub repairs: usize,
+    /// Repairs that failed (route kept, robot waits in place).
+    pub failed_repairs: usize,
+}
+
+/// The TWP planner.
+#[derive(Debug)]
+pub struct TwpPlanner {
+    matrix: WarehouseMatrix,
+    astar: SpaceTimeAStar,
+    commitments: Commitments,
+    config: TwpConfig,
+    /// Absolute time of the next scheduled repair round.
+    next_repair: Time,
+    /// Counters.
+    pub stats: TwpStats,
+    /// High-water mark of search runtime memory.
+    pub search_peak_bytes: usize,
+}
+
+impl TwpPlanner {
+    /// Create a TWP planner.
+    pub fn new(matrix: WarehouseMatrix, config: TwpConfig) -> Self {
+        assert!(config.period > 0 && config.period <= config.window);
+        TwpPlanner {
+            matrix,
+            astar: SpaceTimeAStar::new(config.astar),
+            commitments: Commitments::new(),
+            config,
+            next_repair: 0,
+            stats: TwpStats::default(),
+            search_peak_bytes: 0,
+        }
+    }
+
+    /// Number of active committed routes.
+    pub fn active_routes(&self) -> usize {
+        self.commitments.len()
+    }
+
+    fn windowed_plan(&mut self, start: Cell, goal: Cell, depart: Time, now: Time) -> Option<Route> {
+        self.astar.config.collision_horizon = Some(now + self.config.window);
+        let r = self.astar.plan(
+            &self.matrix,
+            &self.commitments.reservations,
+            None,
+            start,
+            goal,
+            depart,
+        );
+        self.search_peak_bytes = self.search_peak_bytes.max(self.astar.stats.peak_bytes);
+        r
+    }
+
+    /// Slide the window: repair every active route whose tail may now hold
+    /// unresolved conflicts. Returns the revisions.
+    fn repair_round(&mut self, now: Time) -> Vec<(RequestId, Route)> {
+        self.stats.repair_rounds += 1;
+        let mut ids: Vec<RequestId> = self.commitments.iter().map(|(&id, _)| id).collect();
+        ids.sort_unstable();
+        let mut revisions = Vec::new();
+        for id in ids {
+            let Some(old) = self.commitments.withdraw(id) else { continue };
+            if old.end_time() <= now {
+                // Already finished (or finishing now): keep as is.
+                self.commitments.commit(id, old);
+                continue;
+            }
+            self.stats.repairs += 1;
+            let (prefix, start, depart) = if old.start >= now {
+                (None, old.origin(), old.start)
+            } else {
+                let done = (now - old.start) as usize;
+                (
+                    Some(Route::new(old.start, old.grids[..=done].to_vec())),
+                    old.grids[done],
+                    now,
+                )
+            };
+            let goal = old.destination();
+            // Repairs must anchor at the robot's physical position: no
+            // departure postponement.
+            let saved_delay = self.astar.config.max_depart_delay;
+            self.astar.config.max_depart_delay = 0;
+            let tail = self.windowed_plan(start, goal, depart, now);
+            self.astar.config.max_depart_delay = saved_delay;
+            match tail {
+                Some(tail) => {
+                    let full = match prefix {
+                        Some(mut p) => {
+                            p.chain(&tail);
+                            p
+                        }
+                        None => tail,
+                    };
+                    let changed = full != old;
+                    self.commitments.commit(id, full.clone());
+                    if changed {
+                        revisions.push((id, full));
+                    }
+                }
+                None => {
+                    // Could not repair: keep the old (window-valid) route;
+                    // its conflicts, if any, sit beyond the window and will
+                    // be retried next round.
+                    self.stats.failed_repairs += 1;
+                    self.commitments.commit(id, old);
+                }
+            }
+        }
+        revisions
+    }
+}
+
+impl Planner for TwpPlanner {
+    fn name(&self) -> &'static str {
+        "TWP"
+    }
+
+    fn plan(&mut self, req: &Request) -> PlanOutcome {
+        match self.windowed_plan(req.origin, req.destination, req.t, req.t) {
+            Some(route) => {
+                self.commitments.commit(req.id, route.clone());
+                PlanOutcome::Planned(route)
+            }
+            None => PlanOutcome::Infeasible,
+        }
+    }
+
+    fn advance(&mut self, now: Time) -> Vec<(RequestId, Route)> {
+        self.commitments.retire_before(now);
+        if now >= self.next_repair {
+            self.next_repair = now + self.config.period;
+            self.repair_round(now)
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn cancel(&mut self, id: RequestId) -> bool {
+        self.commitments.withdraw(id).is_some()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // The paper's MC includes "runtime space consumption during
+        // execution": the search high-water is part of the footprint.
+        self.commitments.memory_bytes() + self.search_peak_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carp_warehouse::collision::{first_conflict, validate_routes};
+    use carp_warehouse::layout::LayoutConfig;
+    use carp_warehouse::tasks::generate_requests;
+    use carp_warehouse::QueryKind;
+    use std::collections::HashMap;
+
+    /// Drive a request stream through the simulator protocol: advance to
+    /// each arrival time (applying revisions), then plan.
+    fn run_stream(twp: &mut TwpPlanner, requests: &[Request], horizon: Time) -> Vec<Route> {
+        let mut routes: HashMap<RequestId, Route> = HashMap::new();
+        let mut next = 0usize;
+        for now in 0..=horizon {
+            for (id, revised) in twp.advance(now) {
+                routes.insert(id, revised);
+            }
+            while next < requests.len() && requests[next].t <= now {
+                if let PlanOutcome::Planned(r) = twp.plan(&requests[next]) {
+                    routes.insert(requests[next].id, r);
+                }
+                next += 1;
+            }
+        }
+        routes.into_values().collect()
+    }
+
+    #[test]
+    fn window_defers_far_conflicts() {
+        let m = WarehouseMatrix::empty(2, 40);
+        let mut twp = TwpPlanner::new(m, TwpConfig { window: 8, period: 4, ..Default::default() });
+        // Two head-on robots far apart: the conflict is ~20 steps away,
+        // beyond the window, so both initially get straight routes.
+        let r1 = twp
+            .plan(&Request::new(0, 0, Cell::new(0, 0), Cell::new(0, 39), QueryKind::Pickup))
+            .route()
+            .cloned()
+            .expect("r1");
+        let r2 = twp
+            .plan(&Request::new(1, 0, Cell::new(0, 39), Cell::new(0, 0), QueryKind::Pickup))
+            .route()
+            .cloned()
+            .expect("r2");
+        assert_eq!(r1.duration(), 39);
+        assert_eq!(r2.duration(), 39);
+        assert!(first_conflict(&r1, &r2).is_some(), "unresolved beyond window");
+    }
+
+    #[test]
+    fn repairs_resolve_deferred_conflicts_in_time() {
+        let m = WarehouseMatrix::empty(3, 30);
+        let mut twp = TwpPlanner::new(m, TwpConfig { window: 10, period: 5, ..Default::default() });
+        let reqs = [
+            Request::new(0, 0, Cell::new(1, 0), Cell::new(1, 29), QueryKind::Pickup),
+            Request::new(1, 0, Cell::new(1, 29), Cell::new(1, 0), QueryKind::Pickup),
+        ];
+        let routes = run_stream(&mut twp, &reqs, 120);
+        assert_eq!(routes.len(), 2);
+        assert_eq!(validate_routes(&routes), None, "window repairs failed");
+        assert!(twp.stats.repair_rounds > 0);
+    }
+
+    #[test]
+    fn dense_stream_final_routes_are_collision_free() {
+        let layout = LayoutConfig::small().generate();
+        let mut twp = TwpPlanner::new(layout.matrix.clone(), TwpConfig::default());
+        let requests = generate_requests(&layout, 60, 2.0, 31);
+        let horizon = requests.last().unwrap().t + 200;
+        let routes = run_stream(&mut twp, &requests, horizon);
+        assert!(routes.len() >= 58);
+        assert_eq!(validate_routes(&routes), None);
+    }
+
+    #[test]
+    fn repair_preserves_travelled_prefix() {
+        let m = WarehouseMatrix::empty(3, 30);
+        let mut twp = TwpPlanner::new(m, TwpConfig { window: 10, period: 5, ..Default::default() });
+        let r0 = twp
+            .plan(&Request::new(0, 0, Cell::new(1, 0), Cell::new(1, 29), QueryKind::Pickup))
+            .route()
+            .cloned()
+            .expect("r0");
+        twp.plan(&Request::new(1, 0, Cell::new(1, 29), Cell::new(1, 0), QueryKind::Pickup));
+        // Slide the window at t=5 and capture the revision for robot 0.
+        let revisions = twp.advance(5);
+        for (id, revised) in revisions {
+            if id == 0 {
+                for t in 0..=5 {
+                    assert_eq!(revised.position_at(t), r0.position_at(t), "prefix changed at {t}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! `cargo bench` entry point that regenerates every table and figure of the
+//! paper at a reduced, rate-preserving scale, printing the same rows/series
+//! the paper reports. This is a plain `harness = false` main, not a
+//! statistical benchmark — the full-resolution version is the `repro`
+//! binary (`cargo run --release -p carp-bench --bin repro -- all`).
+//!
+//! Scale/days are chosen so the whole run finishes in a few minutes; pass
+//! `REPRO_SCALE` / `REPRO_DAYS` env vars to override.
+
+use std::process::Command;
+
+fn main() {
+    // `cargo bench` passes harness flags (e.g. `--bench`); ignore them.
+    let scale = std::env::var("REPRO_SCALE").unwrap_or_else(|_| "0.004".into());
+    let days = std::env::var("REPRO_DAYS").unwrap_or_else(|_| "2".into());
+    println!("repro_paper: regenerating all tables/figures (scale {scale}, days {days})");
+    println!("(override with REPRO_SCALE / REPRO_DAYS env vars)\n");
+
+    // Re-exec the repro binary so both paths share one implementation.
+    let exe = std::env::current_exe().expect("bench exe path");
+    // target/release/deps/repro_paper-... → target/release/repro
+    let mut repro = exe.clone();
+    repro.pop(); // deps/
+    repro.pop(); // release/
+    repro.push("repro");
+    let status = if repro.exists() {
+        Command::new(&repro)
+            .args(["all", "--scale", &scale, "--days", &days])
+            .status()
+    } else {
+        // Fall back to cargo when the binary has not been built yet.
+        Command::new("cargo")
+            .args([
+                "run", "--release", "-p", "carp-bench", "--bin", "repro", "--", "all", "--scale",
+                &scale, "--days", &days,
+            ])
+            .status()
+    };
+    match status {
+        Ok(s) if s.success() => {}
+        Ok(s) => {
+            eprintln!("repro exited with {s}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("failed to launch repro: {e}");
+            std::process::exit(1);
+        }
+    }
+}

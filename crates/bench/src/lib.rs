@@ -1,0 +1,241 @@
+//! Shared harness for the paper-reproduction benchmarks: scenario scaling,
+//! planner construction, day execution and table formatting.
+//!
+//! Every table and figure of the paper's evaluation (§VIII) has a
+//! corresponding entry point in the `repro` binary; the pieces here are the
+//! common machinery. Scenarios are **rate-preserving** down-scales of the
+//! paper's five-day workloads: scaling a day by `s` keeps the *arrival
+//! rate* (tasks per second) and therefore the congestion level, while
+//! shrinking wall-clock cost by `s`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod svg;
+
+use carp_baselines::{
+    AcpConfig, AcpPlanner, RpConfig, RpPlanner, SapPlanner, SippConfig, SippPlanner, TwpConfig,
+    TwpPlanner,
+};
+use carp_geometry::NaiveStore;
+use carp_simenv::{DayReport, SimConfig, Simulation};
+use carp_spacetime::AStarConfig;
+use carp_srp::{SrpConfig, SrpPlanner};
+use carp_warehouse::layout::{Layout, WarehousePreset};
+use carp_warehouse::planner::Planner;
+use carp_warehouse::tasks::{generate_tasks, DayProfile, Task};
+use carp_warehouse::types::Time;
+
+/// Seconds in the paper's full-day horizon.
+pub const FULL_DAY: f64 = 86_400.0;
+
+/// The planners of the evaluation, plus the naive-store SRP ablation of
+/// Fig. 22(b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannerKind {
+    /// Strip-based Route Planning with the slope index (the full method).
+    Srp,
+    /// SRP with the naive ordered-set store (§V-B) — the Fig. 22 ablation.
+    SrpNaive,
+    /// Simple A\*-based planning.
+    Sap,
+    /// Replanning with CBS.
+    Rp,
+    /// Time-windowed planning.
+    Twp,
+    /// Adaptive cached planning.
+    Acp,
+    /// Safe Interval Path Planning — the extension baseline (not part of
+    /// the paper's evaluation; used by the X3 experiment).
+    Sipp,
+}
+
+impl PlannerKind {
+    /// The five planners compared in Figs. 16–21 and Table III.
+    pub const EVALUATED: [PlannerKind; 5] = [
+        PlannerKind::Sap,
+        PlannerKind::Rp,
+        PlannerKind::Twp,
+        PlannerKind::Acp,
+        PlannerKind::Srp,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlannerKind::Srp => "SRP",
+            PlannerKind::SrpNaive => "SRP-naive",
+            PlannerKind::Sap => "SAP",
+            PlannerKind::Rp => "RP",
+            PlannerKind::Twp => "TWP",
+            PlannerKind::Acp => "ACP",
+            PlannerKind::Sipp => "SIPP",
+        }
+    }
+
+    /// Build the planner for a warehouse.
+    pub fn build(self, layout: &Layout) -> Box<dyn Planner> {
+        let m = layout.matrix.clone();
+        match self {
+            PlannerKind::Srp => Box::new(SrpPlanner::new(m, SrpConfig::default())),
+            PlannerKind::SrpNaive => Box::new(SrpPlanner::<NaiveStore>::with_store(m, SrpConfig::default())),
+            PlannerKind::Sap => Box::new(SapPlanner::new(m, AStarConfig::default())),
+            PlannerKind::Rp => Box::new(RpPlanner::new(m, RpConfig::default())),
+            PlannerKind::Twp => Box::new(TwpPlanner::new(m, TwpConfig::default())),
+            PlannerKind::Acp => Box::new(AcpPlanner::new(m, AcpConfig::default())),
+            PlannerKind::Sipp => Box::new(SippPlanner::new(m, SippConfig::default())),
+        }
+    }
+}
+
+/// A rate-preserving scaled day of one preset warehouse.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Which warehouse.
+    pub preset: WarehousePreset,
+    /// Day index 0..5 (Table II's Day1–Day5 volumes).
+    pub day: usize,
+    /// Scale factor `s`: the day spans `86400·s` seconds and carries
+    /// `round(paper_tasks·s)` tasks — same arrival rate as the paper.
+    pub scale: f64,
+}
+
+impl Scenario {
+    /// Simulated horizon of the scaled day.
+    pub fn horizon(&self) -> Time {
+        (FULL_DAY * self.scale).round() as Time
+    }
+
+    /// Number of tasks in the scaled day.
+    pub fn num_tasks(&self) -> u32 {
+        let paper = self.preset.daily_tasks_thousands()[self.day] * 1000.0;
+        (paper * self.scale).round().max(1.0) as u32
+    }
+
+    /// Deterministic seed for the scenario's task stream.
+    pub fn seed(&self) -> u64 {
+        0x5172_0000 + self.day as u64 * 131 + self.preset as u64 * 7 + (self.scale * 1e6) as u64
+    }
+
+    /// Generate the task stream.
+    pub fn tasks(&self, layout: &Layout) -> Vec<Task> {
+        generate_tasks(layout, &DayProfile::new(self.horizon(), self.num_tasks()), self.seed())
+    }
+}
+
+/// Run one scenario with one planner and return its report.
+pub fn run_scenario(layout: &Layout, tasks: &[Task], kind: PlannerKind) -> DayReport {
+    let planner = kind.build(layout);
+    let (mut report, _) = Simulation::new(layout, tasks, planner, SimConfig::default()).run();
+    // `Box<dyn Planner>` forwards name() to the inner planner, but keep the
+    // ablation distinguishable in reports.
+    if kind == PlannerKind::SrpNaive {
+        report.planner = "SRP-naive";
+    }
+    report
+}
+
+/// Render a progress-series table: one row per progress tick, one column
+/// per report (Figs. 16–21 shape). `pick` selects the plotted value.
+pub fn format_series(
+    title: &str,
+    reports: &[DayReport],
+    pick: impl Fn(&carp_simenv::Snapshot) -> f64,
+    unit: &str,
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title} [{unit}]");
+    let _ = write!(out, "{:>9}", "progress");
+    for r in reports {
+        let _ = write!(out, " {:>12}", r.planner);
+    }
+    let _ = writeln!(out);
+    // Union of progress ticks (reports share the tick grid).
+    let ticks: Vec<f64> = reports
+        .iter()
+        .map(|r| r.snapshots.iter().map(|s| s.progress))
+        .max_by_key(|i| i.len())
+        .map(|i| i.collect())
+        .unwrap_or_default();
+    for (row, &tick) in ticks.iter().enumerate() {
+        let _ = write!(out, "{:>8.0}%", tick * 100.0);
+        for r in reports {
+            match r.snapshots.get(row) {
+                Some(s) => {
+                    let _ = write!(out, " {:>12.4}", pick(s));
+                }
+                None => {
+                    let _ = write!(out, " {:>12}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// One-line summary of a report (used throughout the harness output).
+pub fn summary_line(r: &DayReport) -> String {
+    format!(
+        "{:<10} OG={:>7}  TC={:>9.3}s  MC={:>9.1}KiB  done={}/{} audit={}",
+        r.planner,
+        r.makespan,
+        r.planning_secs,
+        r.peak_memory_bytes as f64 / 1024.0,
+        r.completed,
+        r.tasks,
+        r.audit_conflicts
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_scaling_preserves_rate() {
+        let a = Scenario { preset: WarehousePreset::W1, day: 0, scale: 0.01 };
+        let b = Scenario { preset: WarehousePreset::W1, day: 0, scale: 0.02 };
+        let rate_a = a.num_tasks() as f64 / a.horizon() as f64;
+        let rate_b = b.num_tasks() as f64 / b.horizon() as f64;
+        assert!((rate_a - rate_b).abs() / rate_a < 0.02, "{rate_a} vs {rate_b}");
+        // Paper rate: 45.0k tasks / 86400 s.
+        assert!((rate_a - 45_000.0 / 86_400.0).abs() / rate_a < 0.02);
+    }
+
+    #[test]
+    fn all_planner_kinds_build() {
+        let layout = carp_warehouse::layout::LayoutConfig::small().generate();
+        for kind in PlannerKind::EVALUATED.into_iter().chain([PlannerKind::SrpNaive]) {
+            let p = kind.build(&layout);
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn tiny_scenario_runs_end_to_end() {
+        let layout = carp_warehouse::layout::LayoutConfig::small().generate();
+        let sc = Scenario { preset: WarehousePreset::W1, day: 2, scale: 0.0005 };
+        let tasks = sc.tasks(&layout);
+        assert!(!tasks.is_empty());
+        let report = run_scenario(&layout, &tasks, PlannerKind::Srp);
+        assert_eq!(report.audit_conflicts, 0);
+        assert!(report.completed > 0);
+    }
+
+    #[test]
+    fn series_formatting_contains_all_planners() {
+        let layout = carp_warehouse::layout::LayoutConfig::small().generate();
+        let sc = Scenario { preset: WarehousePreset::W1, day: 0, scale: 0.0005 };
+        let tasks = sc.tasks(&layout);
+        let reports = vec![
+            run_scenario(&layout, &tasks, PlannerKind::Srp),
+            run_scenario(&layout, &tasks, PlannerKind::Acp),
+        ];
+        let table = format_series("TC", &reports, |s| s.planning_secs, "s");
+        assert!(table.contains("SRP"));
+        assert!(table.contains("ACP"));
+        assert!(table.contains("progress"));
+    }
+}

@@ -1,0 +1,303 @@
+//! Minimal dependency-free SVG line charts, used by the `repro` harness to
+//! emit actual figure files (Figs. 16–21) next to the textual series.
+//!
+//! Not a general plotting library — exactly the chart the paper's figures
+//! use: progress on the x-axis, TC or MC on the y-axis (linear or log₁₀),
+//! one polyline per planner, with axis ticks and a legend.
+
+use std::fmt::Write;
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points, x ascending.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart configuration.
+#[derive(Debug, Clone)]
+pub struct ChartConfig {
+    /// Figure title.
+    pub title: String,
+    /// X axis label.
+    pub x_label: String,
+    /// Y axis label.
+    pub y_label: String,
+    /// Use log₁₀ on the y axis (the TC/MC figures span orders of
+    /// magnitude).
+    pub log_y: bool,
+    /// Canvas width in px.
+    pub width: u32,
+    /// Canvas height in px.
+    pub height: u32,
+}
+
+impl Default for ChartConfig {
+    fn default() -> Self {
+        ChartConfig {
+            title: String::new(),
+            x_label: "progress".into(),
+            y_label: String::new(),
+            log_y: true,
+            width: 640,
+            height: 420,
+        }
+    }
+}
+
+/// Color palette (distinct, print-friendly).
+const COLORS: [&str; 6] = ["#d62728", "#1f77b4", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b"];
+
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 120.0;
+const MARGIN_T: f64 = 36.0;
+const MARGIN_B: f64 = 48.0;
+
+/// Render a line chart to an SVG string.
+///
+/// Returns a self-contained `<svg>` document; empty series are skipped,
+/// and with no drawable data a chart with axes only is produced.
+pub fn line_chart(config: &ChartConfig, series: &[Series]) -> String {
+    let w = config.width as f64;
+    let h = config.height as f64;
+    let plot_w = w - MARGIN_L - MARGIN_R;
+    let plot_h = h - MARGIN_T - MARGIN_B;
+
+    let ys = series.iter().flat_map(|s| s.points.iter().map(|p| p.1));
+    let xs = series.iter().flat_map(|s| s.points.iter().map(|p| p.0));
+    let (x_min, x_max) = bounds(xs, 0.0, 1.0);
+    let (mut y_min, mut y_max) = bounds(ys, 0.0, 1.0);
+    if config.log_y {
+        y_min = y_min.max(1e-9);
+        y_max = y_max.max(y_min * 10.0);
+    } else if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0;
+    }
+    let ty = |y: f64| -> f64 {
+        let v = if config.log_y {
+            (y.max(y_min).log10() - y_min.log10()) / (y_max.log10() - y_min.log10())
+        } else {
+            (y - y_min) / (y_max - y_min)
+        };
+        MARGIN_T + plot_h * (1.0 - v.clamp(0.0, 1.0))
+    };
+    let tx = |x: f64| -> f64 { MARGIN_L + plot_w * ((x - x_min) / (x_max - x_min)).clamp(0.0, 1.0) };
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="11">"#
+    );
+    let _ = writeln!(svg, r#"<rect width="{w}" height="{h}" fill="white"/>"#);
+    // Title and axis labels.
+    let _ = writeln!(
+        svg,
+        r#"<text x="{}" y="20" text-anchor="middle" font-size="14" font-weight="bold">{}</text>"#,
+        w / 2.0,
+        escape(&config.title)
+    );
+    let _ = writeln!(
+        svg,
+        r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        h - 10.0,
+        escape(&config.x_label)
+    );
+    let _ = writeln!(
+        svg,
+        r#"<text x="14" y="{}" text-anchor="middle" transform="rotate(-90 14 {})">{}</text>"#,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        escape(&config.y_label)
+    );
+    // Axes.
+    let _ = writeln!(
+        svg,
+        r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#333"/>"##
+    );
+    // X ticks at 0/25/50/75/100 %.
+    for k in 0..=4 {
+        let x = x_min + (x_max - x_min) * k as f64 / 4.0;
+        let px = tx(x);
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{px}" y1="{}" x2="{px}" y2="{}" stroke="#999" stroke-dasharray="2,3"/>"##,
+            MARGIN_T,
+            MARGIN_T + plot_h
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{px}" y="{}" text-anchor="middle">{:.0}%</text>"#,
+            MARGIN_T + plot_h + 16.0,
+            x * 100.0
+        );
+    }
+    // Y ticks: decades when log, else 5 linear ticks.
+    if config.log_y {
+        let lo = y_min.log10().floor() as i32;
+        let hi = y_max.log10().ceil() as i32;
+        for d in lo..=hi {
+            let y = 10f64.powi(d);
+            if y < y_min || y > y_max * 1.0001 {
+                continue;
+            }
+            let py = ty(y);
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{MARGIN_L}" y1="{py}" x2="{}" y2="{py}" stroke="#ddd"/>"##,
+                MARGIN_L + plot_w
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{}" y="{}" text-anchor="end">1e{d}</text>"#,
+                MARGIN_L - 6.0,
+                py + 4.0
+            );
+        }
+    } else {
+        for k in 0..=4 {
+            let y = y_min + (y_max - y_min) * k as f64 / 4.0;
+            let py = ty(y);
+            let _ = writeln!(
+                svg,
+                r#"<text x="{}" y="{}" text-anchor="end">{y:.1}</text>"#,
+                MARGIN_L - 6.0,
+                py + 4.0
+            );
+        }
+    }
+    // Series polylines + legend.
+    for (i, s) in series.iter().filter(|s| !s.points.is_empty()).enumerate() {
+        let color = COLORS[i % COLORS.len()];
+        let pts: Vec<String> = s.points.iter().map(|&(x, y)| format!("{:.1},{:.1}", tx(x), ty(y))).collect();
+        let _ = writeln!(
+            svg,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
+            pts.join(" ")
+        );
+        let ly = MARGIN_T + 14.0 * i as f64 + 8.0;
+        let lx = MARGIN_L + plot_w + 10.0;
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/>"#,
+            lx + 18.0
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="{}">{}</text>"#,
+            lx + 24.0,
+            ly + 4.0,
+            escape(&s.label)
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn bounds(values: impl Iterator<Item = f64>, def_min: f64, def_max: f64) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in values.filter(|v| v.is_finite()) {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if lo > hi {
+        (def_min, def_max)
+    } else if (hi - lo).abs() < f64::EPSILON {
+        (lo, lo + 1.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Build the Series list of one figure from day reports.
+pub fn series_from_reports(
+    reports: &[carp_simenv::DayReport],
+    pick: impl Fn(&carp_simenv::Snapshot) -> f64,
+) -> Vec<Series> {
+    reports
+        .iter()
+        .map(|r| Series {
+            label: r.planner.to_string(),
+            points: r.snapshots.iter().map(|s| (s.progress, pick(s))).collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_series() -> Vec<Series> {
+        vec![
+            Series {
+                label: "SRP".into(),
+                points: (1..=10).map(|i| (i as f64 / 10.0, i as f64 * 0.1)).collect(),
+            },
+            Series {
+                label: "SAP".into(),
+                points: (1..=10).map(|i| (i as f64 / 10.0, i as f64 * 2.0)).collect(),
+            },
+        ]
+    }
+
+    #[test]
+    fn chart_contains_all_structural_elements() {
+        let cfg = ChartConfig { title: "Fig. 16 — TC on W-1".into(), y_label: "TC [s]".into(), ..Default::default() };
+        let svg = line_chart(&cfg, &sample_series());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("Fig. 16"));
+        assert!(svg.contains("SRP"));
+        assert!(svg.contains("SAP"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("100%"));
+    }
+
+    #[test]
+    fn log_scale_emits_decade_gridlines() {
+        let cfg = ChartConfig { log_y: true, ..Default::default() };
+        let series = vec![Series {
+            label: "x".into(),
+            points: vec![(0.0, 0.01), (0.5, 1.0), (1.0, 100.0)],
+        }];
+        let svg = line_chart(&cfg, &series);
+        assert!(svg.contains("1e0"));
+        assert!(svg.contains("1e2"));
+    }
+
+    #[test]
+    fn empty_input_still_renders_axes() {
+        let svg = line_chart(&ChartConfig::default(), &[]);
+        assert!(svg.contains("<rect"));
+        assert!(!svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn coordinates_stay_inside_canvas() {
+        let cfg = ChartConfig::default();
+        let svg = line_chart(&cfg, &sample_series());
+        for cap in svg.split("points=\"").skip(1) {
+            let coords = cap.split('"').next().unwrap();
+            for pair in coords.split_whitespace() {
+                let (x, y) = pair.split_once(',').unwrap();
+                let (x, y): (f64, f64) = (x.parse().unwrap(), y.parse().unwrap());
+                assert!(x >= 0.0 && x <= cfg.width as f64, "x {x}");
+                assert!(y >= 0.0 && y <= cfg.height as f64, "y {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let cfg = ChartConfig { title: "a < b & c".into(), ..Default::default() };
+        let svg = line_chart(&cfg, &[]);
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Space-time segments (Definition 6): the 2-D (1-D space + 1-D time)
+//! representation of routes within a strip.
+//!
+//! A segment `φ = ⟨s, f⟩` runs from `(t0, s0)` to `(t1, s1)` where `t` is
+//! time and `s` the one-dimensional grid number along the strip direction.
+//! Robots move at unit speed, so a segment's slope `Δs/Δt` is always `1`
+//! (moving forward along the strip), `-1` (moving backward) or `0`
+//! (waiting) — Fig. 4.
+
+use carp_warehouse::types::Time;
+
+/// A space-time segment within a strip.
+///
+/// Invariants (checked by [`Segment::validate`] and upheld by the
+/// constructors):
+/// * `t0 <= t1`;
+/// * `|s1 - s0| == t1 - t0` (moving) or `s1 == s0` (waiting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Segment {
+    /// Start time `s\[0\]` in the paper's notation.
+    pub t0: Time,
+    /// Finish time `f\[0\]`.
+    pub t1: Time,
+    /// Start grid number `s\[1\]`.
+    pub s0: i32,
+    /// Finish grid number `f\[1\]`.
+    pub s1: i32,
+}
+
+impl Segment {
+    /// A waiting segment: stay at `pos` from `t0` to `t1` (slope 0, Fig. 4's
+    /// horizontal red segment). `t0 == t1` yields a point.
+    pub fn wait(t0: Time, t1: Time, pos: i32) -> Self {
+        assert!(t0 <= t1);
+        Segment { t0, t1, s0: pos, s1: pos }
+    }
+
+    /// A moving segment from grid `s0` at `t0` to grid `s1`, arriving at
+    /// `t0 + |s1 - s0|` (slope ±1).
+    pub fn travel(t0: Time, s0: i32, s1: i32) -> Self {
+        let d = s0.abs_diff(s1);
+        Segment { t0, t1: t0 + d, s0, s1 }
+    }
+
+    /// A single point in space-time (a route entering a strip and leaving
+    /// right away — footnote 1 of the paper).
+    pub fn point(t: Time, pos: i32) -> Self {
+        Segment { t0: t, t1: t, s0: pos, s1: pos }
+    }
+
+    /// Slope of the segment: `1`, `-1` or `0`.
+    #[inline]
+    pub fn slope(&self) -> i8 {
+        match self.s1.cmp(&self.s0) {
+            core::cmp::Ordering::Greater => 1,
+            core::cmp::Ordering::Less => -1,
+            core::cmp::Ordering::Equal => 0,
+        }
+    }
+
+    /// Duration `t1 - t0` in time steps.
+    #[inline]
+    pub fn duration(&self) -> Time {
+        self.t1 - self.t0
+    }
+
+    /// Grid number occupied at absolute time `t`; `None` outside `[t0, t1]`.
+    #[inline]
+    pub fn pos_at(&self, t: Time) -> Option<i32> {
+        if t < self.t0 || t > self.t1 {
+            return None;
+        }
+        Some(self.s0 + self.slope() as i32 * (t - self.t0) as i32)
+    }
+
+    /// Whether the segment's time span `[t0, t1]` intersects `[lo, hi]`.
+    #[inline]
+    pub fn time_overlaps(&self, lo: Time, hi: Time) -> bool {
+        self.t0 <= hi && self.t1 >= lo
+    }
+
+    /// The slope-index key of Algorithm 3 / Eq. (4), in exact integer form.
+    ///
+    /// The paper rotates slope-±1 segments by ∓π/4 so parallel segments on
+    /// the same line share a rotated coordinate `s'\[0\]` (e.g. `4√2` in
+    /// Fig. 9). The rotated coordinate equals the line's intercept scaled by
+    /// `√2/2`, so we index by the exact integer intercepts instead:
+    ///
+    /// * slope `1` (line `s = t + b`): key `b = s0 - t0`;
+    /// * slope `-1` (line `s = -t + c`): key `c = s0 + t0`;
+    /// * slope `0`: key is the spatial coordinate `s0` itself.
+    #[inline]
+    pub fn index_key(&self) -> i64 {
+        match self.slope() {
+            1 => self.s0 as i64 - self.t0 as i64,
+            -1 => self.s0 as i64 + self.t0 as i64,
+            _ => self.s0 as i64,
+        }
+    }
+
+    /// Check the segment invariants.
+    pub fn validate(&self) -> bool {
+        self.t0 <= self.t1
+            && (self.s0 == self.s1 || self.s0.abs_diff(self.s1) == self.t1 - self.t0)
+    }
+
+    /// Minimum of the two grid numbers.
+    #[inline]
+    pub fn s_min(&self) -> i32 {
+        self.s0.min(self.s1)
+    }
+
+    /// Maximum of the two grid numbers.
+    #[inline]
+    pub fn s_max(&self) -> i32 {
+        self.s0.max(self.s1)
+    }
+
+    /// Enumerate the discrete `(time, grid)` occupancy of the segment —
+    /// used by ground-truth tests, not by the fast path.
+    pub fn occupancy(&self) -> impl Iterator<Item = (Time, i32)> + '_ {
+        (self.t0..=self.t1).map(move |t| (t, self.pos_at(t).expect("t in range")))
+    }
+}
+
+impl core::fmt::Display for Segment {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "⟨({},{}) → ({},{})⟩", self.t0, self.s0, self.t1, self.s1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_produce_valid_segments() {
+        assert!(Segment::wait(3, 7, 5).validate());
+        assert!(Segment::travel(0, 2, 9).validate());
+        assert!(Segment::travel(0, 9, 2).validate());
+        assert!(Segment::point(4, 4).validate());
+    }
+
+    #[test]
+    fn slopes() {
+        assert_eq!(Segment::travel(0, 2, 9).slope(), 1);
+        assert_eq!(Segment::travel(0, 9, 2).slope(), -1);
+        assert_eq!(Segment::wait(0, 5, 3).slope(), 0);
+        assert_eq!(Segment::point(0, 3).slope(), 0);
+    }
+
+    #[test]
+    fn pos_at_interpolates() {
+        let fwd = Segment::travel(10, 0, 5);
+        assert_eq!(fwd.pos_at(10), Some(0));
+        assert_eq!(fwd.pos_at(13), Some(3));
+        assert_eq!(fwd.pos_at(15), Some(5));
+        assert_eq!(fwd.pos_at(16), None);
+        assert_eq!(fwd.pos_at(9), None);
+        let bwd = Segment::travel(10, 5, 0);
+        assert_eq!(bwd.pos_at(12), Some(3));
+        let wait = Segment::wait(0, 4, 7);
+        assert_eq!(wait.pos_at(2), Some(7));
+    }
+
+    #[test]
+    fn index_keys_match_line_intercepts() {
+        // Fig. 9's leftmost slope-1 segment: s=⟨0,8⟩ → f=⟨5,13⟩, rotated
+        // coordinate 4√2; our integer key is b = 8 - 0 = 8 = 4√2·√2.
+        let seg = Segment { t0: 0, t1: 5, s0: 8, s1: 13 };
+        assert_eq!(seg.index_key(), 8);
+        // Two collinear slope-1 segments share a key.
+        let later = Segment { t0: 3, t1: 6, s0: 11, s1: 14 };
+        assert_eq!(later.index_key(), 8);
+        // Slope -1: key is s + t.
+        let back = Segment { t0: 2, t1: 5, s0: 9, s1: 6 };
+        assert_eq!(back.index_key(), 11);
+        let back2 = Segment { t0: 4, t1: 6, s0: 7, s1: 5 };
+        assert_eq!(back2.index_key(), 11);
+        // Slope 0: spatial coordinate.
+        assert_eq!(Segment::wait(11, 16, 13).index_key(), 13);
+    }
+
+    #[test]
+    fn occupancy_enumerates_inclusive_range() {
+        let seg = Segment::travel(2, 4, 1);
+        let occ: Vec<(Time, i32)> = seg.occupancy().collect();
+        assert_eq!(occ, vec![(2, 4), (3, 3), (4, 2), (5, 1)]);
+    }
+
+    #[test]
+    fn time_overlap() {
+        let seg = Segment::wait(5, 10, 0);
+        assert!(seg.time_overlaps(10, 20));
+        assert!(seg.time_overlaps(0, 5));
+        assert!(!seg.time_overlaps(11, 20));
+        assert!(!seg.time_overlaps(0, 4));
+    }
+
+    #[test]
+    fn validate_rejects_superluminal() {
+        let bad = Segment { t0: 0, t1: 2, s0: 0, s1: 5 };
+        assert!(!bad.validate());
+    }
+}

@@ -1,0 +1,183 @@
+//! Segment stores: collections of committed segments within one strip that
+//! answer *earliest-collision* queries for candidate segments.
+//!
+//! [`NaiveStore`] is the ordered-set scheme of §V-B-2: all segments in one
+//! red-black tree (std's `BTreeMap`) keyed by start time; a query binary
+//! searches the time-overlap window and judges the survivors one by one —
+//! `O(2·log n + n)`.
+//!
+//! The accelerated slope-based index of §V-D lives in [`crate::index`];
+//! both implement [`SegmentStore`], which is what lets the SRP planner (and
+//! the Fig. 22 ablation) swap them freely.
+
+use crate::intersect::{earliest_collision, SegCollision};
+use crate::segment::Segment;
+use carp_warehouse::memory;
+use carp_warehouse::types::Time;
+use std::collections::BTreeMap;
+
+/// Handle of an inserted segment, used for removal when a route retires.
+pub type SegmentId = u64;
+
+/// A collection of segments supporting insertion, removal and
+/// earliest-collision queries (the operations of Algorithm 3).
+pub trait SegmentStore {
+    /// Insert a segment, returning its removal handle.
+    fn insert(&mut self, seg: Segment) -> SegmentId;
+
+    /// Remove a previously inserted segment. Returns `false` when the
+    /// `(id, segment)` pair is unknown.
+    fn remove(&mut self, id: SegmentId, seg: &Segment) -> bool;
+
+    /// Earliest collision of a candidate segment against every stored
+    /// segment (exact discrete semantics), or `None` when the candidate is
+    /// compatible with all of them.
+    fn earliest_collision(&self, seg: &Segment) -> Option<SegCollision>;
+
+    /// Number of stored segments.
+    fn len(&self) -> usize;
+
+    /// Whether the store is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Estimated heap bytes of the store (MC metric).
+    fn memory_bytes(&self) -> usize;
+
+    /// Snapshot of all stored segments, for tests and debugging.
+    fn snapshot(&self) -> Vec<Segment>;
+}
+
+/// The naive ordered-set store of §V-B-2.
+///
+/// Segments are kept in a `BTreeMap` ordered by `(start time, id)`. Queries
+/// scan the window `[q.t0 − max_duration, q.t1]` of start times — every
+/// segment whose span can overlap the query — and judge each with the exact
+/// intersection test. `max_duration` is a high-water mark (removals do not
+/// lower it), which is conservative but always correct.
+#[derive(Debug, Default, Clone)]
+pub struct NaiveStore {
+    by_start: BTreeMap<(Time, SegmentId), Segment>,
+    max_duration: Time,
+    next_id: SegmentId,
+}
+
+impl NaiveStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SegmentStore for NaiveStore {
+    fn insert(&mut self, seg: Segment) -> SegmentId {
+        debug_assert!(seg.validate(), "invalid segment {seg}");
+        let id = self.next_id;
+        self.next_id += 1;
+        self.max_duration = self.max_duration.max(seg.duration());
+        self.by_start.insert((seg.t0, id), seg);
+        id
+    }
+
+    fn remove(&mut self, id: SegmentId, seg: &Segment) -> bool {
+        self.by_start.remove(&(seg.t0, id)).is_some()
+    }
+
+    fn earliest_collision(&self, seg: &Segment) -> Option<SegCollision> {
+        let lo = seg.t0.saturating_sub(self.max_duration);
+        let mut best: Option<SegCollision> = None;
+        for (_, other) in self.by_start.range((lo, 0)..=(seg.t1, SegmentId::MAX)) {
+            if other.t1 < seg.t0 {
+                continue;
+            }
+            best = SegCollision::min_opt(best, earliest_collision(seg, other));
+        }
+        best
+    }
+
+    fn len(&self) -> usize {
+        self.by_start.len()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        memory::btreemap_bytes(&self.by_start) + core::mem::size_of::<Self>()
+    }
+
+    fn snapshot(&self) -> Vec<Segment> {
+        self.by_start.values().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intersect::CollisionKind;
+
+    #[test]
+    fn insert_query_remove_cycle() {
+        let mut store = NaiveStore::new();
+        let seg = Segment::travel(0, 0, 5);
+        let id = store.insert(seg);
+        assert_eq!(store.len(), 1);
+
+        let head_on = Segment::travel(0, 5, 0);
+        let c = store.earliest_collision(&head_on).expect("collide");
+        assert_eq!(c.kind, CollisionKind::Swap);
+
+        assert!(store.remove(id, &seg));
+        assert!(store.is_empty());
+        assert_eq!(store.earliest_collision(&head_on), None);
+        assert!(!store.remove(id, &seg), "double remove must fail");
+    }
+
+    #[test]
+    fn earliest_among_many() {
+        let mut store = NaiveStore::new();
+        store.insert(Segment::wait(8, 12, 3)); // vertex at 8 for a 0→9 mover
+        store.insert(Segment::wait(4, 12, 7)); // vertex at 7
+        store.insert(Segment::wait(0, 2, 1)); // vertex at 1
+        let mover = Segment::travel(0, 0, 9);
+        let c = store.earliest_collision(&mover).expect("collide");
+        assert_eq!(c.time, 1);
+    }
+
+    #[test]
+    fn long_early_segment_is_not_missed() {
+        let mut store = NaiveStore::new();
+        // Starts long before the query but still overlaps it.
+        store.insert(Segment::wait(0, 100, 5));
+        let q = Segment::travel(50, 0, 9);
+        let c = store.earliest_collision(&q).expect("collide");
+        assert_eq!(c.time, 55);
+    }
+
+    #[test]
+    fn no_false_positives_outside_window() {
+        let mut store = NaiveStore::new();
+        store.insert(Segment::travel(0, 0, 5));
+        let later = Segment::travel(100, 5, 0);
+        assert_eq!(store.earliest_collision(&later), None);
+    }
+
+    #[test]
+    fn memory_grows_and_shrinks() {
+        let mut store = NaiveStore::new();
+        let base = store.memory_bytes();
+        let seg = Segment::wait(0, 1, 0);
+        let id = store.insert(seg);
+        assert!(store.memory_bytes() > base);
+        store.remove(id, &seg);
+        assert_eq!(store.memory_bytes(), base);
+    }
+
+    #[test]
+    fn snapshot_returns_all() {
+        let mut store = NaiveStore::new();
+        store.insert(Segment::wait(3, 4, 1));
+        store.insert(Segment::travel(0, 0, 2));
+        let snap = store.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(snap.contains(&Segment::wait(3, 4, 1)));
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests pinning the segment geometry to the discrete
+//! ground truth of Definition 3.
+
+use carp_geometry::{
+    collide_paper, earliest_collision, earliest_collision_reference, CollisionKind, NaiveStore,
+    SegCollision, Segment, SegmentStore, SlopeIndexStore,
+};
+use proptest::prelude::*;
+
+/// Arbitrary valid segment: random start, random slope, bounded span.
+fn arb_segment() -> impl Strategy<Value = Segment> {
+    (0u32..80, 0i32..30, 0usize..3, 0u32..15).prop_map(|(t0, s0, kind, span)| match kind {
+        0 => Segment::wait(t0, t0 + span, s0),
+        1 => Segment::travel(t0, s0, s0 + span as i32),
+        _ => Segment::travel(t0, s0, s0 - span as i32),
+    })
+}
+
+proptest! {
+    /// The exact closed-form collision test agrees with brute-force
+    /// discrete expansion on every segment pair.
+    #[test]
+    fn exact_matches_brute_force(a in arb_segment(), b in arb_segment()) {
+        prop_assert_eq!(earliest_collision(&a, &b), earliest_collision_reference(&a, &b));
+    }
+
+    /// Collision detection is symmetric in its arguments.
+    #[test]
+    fn collision_is_symmetric(a in arb_segment(), b in arb_segment()) {
+        prop_assert_eq!(earliest_collision(&a, &b), earliest_collision(&b, &a));
+    }
+
+    /// Every segment collides with itself at its start time (vertex).
+    #[test]
+    fn self_collision_at_start(a in arb_segment()) {
+        prop_assert_eq!(
+            earliest_collision(&a, &a),
+            Some(SegCollision { time: a.t0, kind: CollisionKind::Vertex })
+        );
+    }
+
+    /// The paper's Eq. (2) never reports a collision the exact test does
+    /// not (it is strictly weaker: proper crossings only).
+    #[test]
+    fn paper_test_is_sound_subset(a in arb_segment(), b in arb_segment()) {
+        if collide_paper(&a, &b) {
+            prop_assert!(earliest_collision(&a, &b).is_some(),
+                "Eq.(2) reported a phantom collision for {} vs {}", a, b);
+        }
+    }
+
+    /// Both stores return the same earliest collision as a linear scan with
+    /// the exact pairwise test.
+    #[test]
+    fn stores_match_linear_scan(
+        segs in prop::collection::vec(arb_segment(), 0..60),
+        q in arb_segment(),
+    ) {
+        let mut naive = NaiveStore::new();
+        let mut index = SlopeIndexStore::new();
+        let mut expected: Option<SegCollision> = None;
+        for s in &segs {
+            naive.insert(*s);
+            index.insert(*s);
+            expected = SegCollision::min_opt(expected, earliest_collision(&q, s));
+        }
+        prop_assert_eq!(naive.earliest_collision(&q), expected);
+        prop_assert_eq!(index.earliest_collision(&q), expected);
+    }
+
+    /// Removal really removes: after deleting every inserted segment the
+    /// stores report no collisions and zero length.
+    #[test]
+    fn removal_restores_emptiness(segs in prop::collection::vec(arb_segment(), 1..40)) {
+        let mut naive = NaiveStore::new();
+        let mut index = SlopeIndexStore::new();
+        let handles: Vec<_> = segs.iter().map(|s| (naive.insert(*s), index.insert(*s), *s)).collect();
+        for (nid, iid, s) in handles {
+            prop_assert!(naive.remove(nid, &s));
+            prop_assert!(index.remove(iid, &s));
+        }
+        prop_assert!(naive.is_empty());
+        prop_assert!(index.is_empty());
+        for s in &segs {
+            prop_assert_eq!(naive.earliest_collision(s), None);
+            prop_assert_eq!(index.earliest_collision(s), None);
+        }
+    }
+
+    /// A reported collision time always lies within both segments' spans
+    /// (for swaps, within [t0, t1) of both).
+    #[test]
+    fn collision_time_within_overlap(a in arb_segment(), b in arb_segment()) {
+        if let Some(c) = earliest_collision(&a, &b) {
+            let lo = a.t0.max(b.t0);
+            let hi = a.t1.min(b.t1);
+            match c.kind {
+                CollisionKind::Vertex => prop_assert!((lo..=hi).contains(&c.time)),
+                CollisionKind::Swap => prop_assert!(c.time >= lo && c.time < hi),
+            }
+        }
+    }
+
+    /// Eq. (3) gives the exact collision time whenever the exact test finds
+    /// a collision between genuinely opposite-slope segments.
+    #[test]
+    fn eq3_matches_exact_on_opposite_slopes(a in arb_segment(), b in arb_segment()) {
+        if a.slope() == 1 && b.slope() == -1 {
+            if let Some(c) = earliest_collision(&a, &b) {
+                // Eq. (3) assumes the crossing lies within both segments —
+                // the exact test guarantees it here.
+                prop_assert_eq!(carp_geometry::collision_time_paper(&a, &b), c.time);
+            }
+        }
+    }
+
+    /// Snapshots of both stores agree after identical workloads.
+    #[test]
+    fn snapshots_agree(segs in prop::collection::vec(arb_segment(), 0..50)) {
+        let mut naive = NaiveStore::new();
+        let mut index = SlopeIndexStore::new();
+        for s in &segs {
+            naive.insert(*s);
+            index.insert(*s);
+        }
+        let mut a = naive.snapshot();
+        let mut b = index.snapshot();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,17 @@
+//! Online test environment for CARP planners (§VIII-A, Fig. 15).
+//!
+//! The environment "simulates the emergence of delivery tasks, sends the
+//! task information to the route planning algorithm, … assigns those
+//! planned routes to robots for execution \[and\] records all our metrics
+//! for comparison". [`sim::Simulation`] is that loop; [`metrics`] holds the
+//! OG/TC/MC recorder and the per-day report used by every figure of the
+//! evaluation (Figs. 16–21, Table III).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod sim;
+
+pub use metrics::{DayReport, Recorder, Snapshot};
+pub use sim::{SimConfig, Simulation};

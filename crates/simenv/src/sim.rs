@@ -1,0 +1,305 @@
+//! The online test environment (§VIII-A, Fig. 15).
+//!
+//! The simulator replays a day of delivery tasks against one planner. Each
+//! task decomposes into the three-leg workflow of the paper: *pickup*
+//! (robot → rack), *transmission* (rack → picker) and *return*
+//! (picker → rack home). Tasks are assigned to the nearest free robot on
+//! arrival (or queued until one frees up); each leg's planning request is
+//! submitted when the previous leg completes.
+//!
+//! The environment measures TC as the wall-clock time spent inside the
+//! planner, samples MC at progress ticks, computes OG as the makespan of
+//! all planned routes, and — unlike the paper's testbed — *audits* every
+//! final route set against the ground-truth conflict semantics of
+//! Definition 3.
+
+use crate::metrics::{DayReport, Recorder};
+use carp_warehouse::collision::validate_routes;
+use carp_warehouse::layout::Layout;
+use carp_warehouse::planner::{PlanOutcome, Planner};
+use carp_warehouse::request::{QueryKind, Request, RequestId};
+use carp_warehouse::route::Route;
+use carp_warehouse::tasks::Task;
+use carp_warehouse::types::{Cell, Time};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::time::Instant;
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Service time between legs (lifting a rack, picking items), in steps.
+    pub service_time: Time,
+    /// Delay before retrying an infeasible planning request.
+    pub retry_delay: Time,
+    /// Retries before a request is abandoned (counts as failed).
+    pub max_retries: u32,
+    /// Progress granularity of TC/MC snapshots (0.02 = every 2%, as in the
+    /// paper's snapshot comparison).
+    pub snapshot_tick: f64,
+    /// Audit all final routes against the ground-truth validator.
+    pub audit: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            service_time: 1,
+            retry_delay: 4,
+            max_retries: 16,
+            snapshot_tick: 0.02,
+            audit: true,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    Arrive { task: usize },
+    LegDone { task: usize, robot: usize, kind: QueryKind, expected_end: Time },
+    Retry { task: usize, robot: usize, kind: QueryKind, attempt: u32 },
+}
+
+/// In-flight bookkeeping per robot.
+#[derive(Debug, Clone)]
+struct Robot {
+    pos: Cell,
+    busy: bool,
+}
+
+/// The day simulator.
+pub struct Simulation<'a, P: Planner> {
+    layout: &'a Layout,
+    tasks: &'a [Task],
+    planner: P,
+    config: SimConfig,
+}
+
+impl<'a, P: Planner> Simulation<'a, P> {
+    /// Create a simulation of `tasks` over `layout` driven by `planner`.
+    pub fn new(layout: &'a Layout, tasks: &'a [Task], planner: P, config: SimConfig) -> Self {
+        Simulation { layout, tasks, planner, config }
+    }
+
+    /// Run the full day and return the metric report plus the planner (for
+    /// inspecting planner-specific stats afterwards).
+    pub fn run(mut self) -> (DayReport, P) {
+        let mut recorder = Recorder::new(self.tasks.len(), self.config.snapshot_tick);
+        let mut robots: Vec<Robot> = self
+            .layout
+            .robot_spawns
+            .iter()
+            .map(|&pos| Robot { pos, busy: false })
+            .collect();
+        assert!(!robots.is_empty(), "layout has no robots");
+
+        // Event queue ordered by (time, seq) for determinism.
+        let mut events: BinaryHeap<core::cmp::Reverse<(Time, u64)>> = BinaryHeap::new();
+        let mut payloads: HashMap<u64, Event> = HashMap::new();
+        let mut seq = 0u64;
+        let push = |events: &mut BinaryHeap<core::cmp::Reverse<(Time, u64)>>,
+                        payloads: &mut HashMap<u64, Event>,
+                        seq: &mut u64,
+                        t: Time,
+                        e: Event| {
+            events.push(core::cmp::Reverse((t, *seq)));
+            payloads.insert(*seq, e);
+            *seq += 1;
+        };
+        for (i, task) in self.tasks.iter().enumerate() {
+            push(&mut events, &mut payloads, &mut seq, task.arrival, Event::Arrive { task: i });
+        }
+
+        // Waiting tasks (no free robot yet) and in-flight request tracking.
+        let mut waiting: VecDeque<usize> = VecDeque::new();
+        let mut next_request_id: RequestId = 0;
+        // Final route per request id (revisions overwrite).
+        let mut final_routes: HashMap<RequestId, Route> = HashMap::new();
+        // Request id -> (task, robot, kind) for revision re-scheduling.
+        let mut req_meta: HashMap<RequestId, (usize, usize, QueryKind)> = HashMap::new();
+        // Active route end per (task, kind), updated by revisions.
+        let mut active_end: HashMap<(usize, QueryKind), Time> = HashMap::new();
+        let mut planned_requests = 0usize;
+        let mut failed_requests = 0usize;
+        let mut makespan: Time = 0;
+
+        macro_rules! plan_leg {
+            ($now:expr, $task:expr, $robot:expr, $kind:expr, $attempt:expr) => {{
+                let t = self.tasks[$task];
+                let (origin, destination) = match $kind {
+                    QueryKind::Pickup => (robots[$robot].pos, t.rack),
+                    QueryKind::Transmission => (t.rack, t.picker),
+                    QueryKind::Return => (t.picker, t.rack),
+                };
+                let id = next_request_id;
+                next_request_id += 1;
+                let req = Request::new(id, $now, origin, destination, $kind);
+                let started = Instant::now();
+                let outcome = self.planner.plan(&req);
+                recorder.add_planning(started.elapsed());
+                match outcome {
+                    PlanOutcome::Planned(route) => {
+                        planned_requests += 1;
+                        makespan = makespan.max(route.finish_exclusive());
+                        let end = route.end_time();
+                        final_routes.insert(id, route);
+                        req_meta.insert(id, ($task, $robot, $kind));
+                        active_end.insert(($task, $kind), end);
+                        push(
+                            &mut events,
+                            &mut payloads,
+                            &mut seq,
+                            end,
+                            Event::LegDone { task: $task, robot: $robot, kind: $kind, expected_end: end },
+                        );
+                    }
+                    PlanOutcome::Infeasible => {
+                        if $attempt < self.config.max_retries {
+                            push(
+                                &mut events,
+                                &mut payloads,
+                                &mut seq,
+                                $now + self.config.retry_delay,
+                                Event::Retry { task: $task, robot: $robot, kind: $kind, attempt: $attempt + 1 },
+                            );
+                        } else {
+                            failed_requests += 1;
+                            // Give up on the task; free the robot.
+                            robots[$robot].busy = false;
+                        }
+                    }
+                }
+            }};
+        }
+
+        let mut last_advance: Option<Time> = None;
+        while let Some(core::cmp::Reverse((now, id))) = events.pop() {
+            let event = payloads.remove(&id).expect("payload");
+            // Let the planner retire state and deliver revisions once per
+            // timestamp.
+            if last_advance != Some(now) {
+                last_advance = Some(now);
+                let started = Instant::now();
+                let revisions = self.planner.advance(now);
+                recorder.add_planning(started.elapsed());
+                for (rid, route) in revisions {
+                    if let Some(&(task, robot, kind)) = req_meta.get(&rid) {
+                        makespan = makespan.max(route.finish_exclusive());
+                        let end = route.end_time();
+                        if active_end.get(&(task, kind)) != Some(&end) {
+                            active_end.insert((task, kind), end);
+                            push(
+                                &mut events,
+                                &mut payloads,
+                                &mut seq,
+                                end,
+                                Event::LegDone { task, robot, kind, expected_end: end },
+                            );
+                        }
+                        final_routes.insert(rid, route);
+                    }
+                }
+            }
+
+            match event {
+                Event::Arrive { task } => {
+                    match self.nearest_free_robot(&robots, self.tasks[task].rack) {
+                        Some(r) => {
+                            robots[r].busy = true;
+                            plan_leg!(now, task, r, QueryKind::Pickup, 0);
+                        }
+                        None => waiting.push_back(task),
+                    }
+                }
+                Event::Retry { task, robot, kind, attempt } => {
+                    plan_leg!(now, task, robot, kind, attempt);
+                }
+                Event::LegDone { task, robot, kind, expected_end } => {
+                    // Stale completion (route was revised): ignore.
+                    if active_end.get(&(task, kind)) != Some(&expected_end) {
+                        continue;
+                    }
+                    active_end.remove(&(task, kind));
+                    let t = self.tasks[task];
+                    match kind {
+                        QueryKind::Pickup => {
+                            robots[robot].pos = t.rack;
+                            plan_leg!(now + self.config.service_time, task, robot, QueryKind::Transmission, 0);
+                        }
+                        QueryKind::Transmission => {
+                            robots[robot].pos = t.picker;
+                            plan_leg!(now + self.config.service_time, task, robot, QueryKind::Return, 0);
+                        }
+                        QueryKind::Return => {
+                            robots[robot].pos = t.rack;
+                            robots[robot].busy = false;
+                            recorder.task_completed_at(now, t.arrival, self.planner.memory_bytes());
+                            // A robot freed: serve the queue.
+                            if let Some(next_task) = waiting.pop_front() {
+                                if let Some(r) =
+                                    self.nearest_free_robot(&robots, self.tasks[next_task].rack)
+                                {
+                                    robots[r].busy = true;
+                                    plan_leg!(now, next_task, r, QueryKind::Pickup, 0);
+                                } else {
+                                    waiting.push_front(next_task);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let audit_conflicts = if self.config.audit {
+            let routes: Vec<Route> = final_routes.values().cloned().collect();
+            match validate_routes(&routes) {
+                None => 0,
+                Some(_) => count_conflicts(&routes),
+            }
+        } else {
+            0
+        };
+
+        let report = recorder.finish(
+            self.planner.name(),
+            makespan,
+            planned_requests,
+            failed_requests,
+            audit_conflicts,
+        );
+        (report, self.planner)
+    }
+
+    fn nearest_free_robot(&self, robots: &[Robot], target: Cell) -> Option<usize> {
+        robots
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.busy)
+            .min_by_key(|(_, r)| r.pos.manhattan(target))
+            .map(|(i, _)| i)
+    }
+}
+
+/// Count conflicting occupancy events (diagnostic for the audit): the
+/// number of `(cell, time)` duplications plus swapped motions, in one
+/// linear pass over the total occupancy.
+fn count_conflicts(routes: &[Route]) -> usize {
+    use std::collections::HashMap as Map;
+    let mut cells: Map<(Cell, Time), u32> = Map::new();
+    let mut motions: Map<(Cell, Cell, Time), u32> = Map::new();
+    let mut n = 0usize;
+    for r in routes {
+        for (t, c) in r.occupancy() {
+            n += *cells.entry((c, t)).and_modify(|k| *k += 1).or_insert(1) as usize - 1;
+        }
+        for (k, w) in r.grids.windows(2).enumerate() {
+            if w[0] == w[1] {
+                continue;
+            }
+            let t = r.start + k as Time;
+            n += motions.get(&(w[1], w[0], t)).copied().unwrap_or(0) as usize;
+            *motions.entry((w[0], w[1], t)).or_insert(0) += 1;
+        }
+    }
+    n
+}

@@ -1,0 +1,122 @@
+//! The test environment driving all five planners over the same small day
+//! stream — the miniature version of the paper's whole evaluation.
+
+use carp_baselines::{AcpConfig, AcpPlanner, RpConfig, RpPlanner, SapPlanner, TwpConfig, TwpPlanner};
+use carp_simenv::{SimConfig, Simulation};
+use carp_spacetime::AStarConfig;
+use carp_srp::{SrpConfig, SrpPlanner};
+use carp_warehouse::layout::{Layout, LayoutConfig};
+use carp_warehouse::tasks::{generate_tasks, DayProfile, Task};
+
+fn small_day() -> (Layout, Vec<Task>) {
+    let layout = LayoutConfig::small().generate();
+    let tasks = generate_tasks(&layout, &DayProfile::new(600, 40), 11);
+    (layout, tasks)
+}
+
+fn check_report(report: &carp_simenv::DayReport, strict_audit: bool) {
+    assert!(
+        report.completed as f64 >= report.tasks as f64 * 0.9,
+        "{}: only {}/{} tasks completed",
+        report.planner,
+        report.completed,
+        report.tasks
+    );
+    if strict_audit {
+        assert_eq!(report.audit_conflicts, 0, "{}: audit found conflicts", report.planner);
+    }
+    assert!(report.makespan > 0);
+    assert!(!report.snapshots.is_empty());
+    assert!(report.planning_secs > 0.0);
+    assert!(report.peak_memory_bytes > 0);
+    // Snapshot TC series is monotone.
+    for w in report.snapshots.windows(2) {
+        assert!(w[0].planning_secs <= w[1].planning_secs);
+        assert!(w[0].progress < w[1].progress);
+    }
+}
+
+#[test]
+fn srp_full_day() {
+    let (layout, tasks) = small_day();
+    let planner = SrpPlanner::new(layout.matrix.clone(), SrpConfig::default());
+    let (report, planner) = Simulation::new(&layout, &tasks, planner, SimConfig::default()).run();
+    check_report(&report, true);
+    assert!(planner.stats.planned > 0);
+}
+
+#[test]
+fn sap_full_day() {
+    let (layout, tasks) = small_day();
+    let planner = SapPlanner::new(layout.matrix.clone(), AStarConfig::default());
+    let (report, _) = Simulation::new(&layout, &tasks, planner, SimConfig::default()).run();
+    check_report(&report, true);
+}
+
+#[test]
+fn rp_full_day() {
+    let (layout, tasks) = small_day();
+    let planner = RpPlanner::new(layout.matrix.clone(), RpConfig::default());
+    let (report, _) = Simulation::new(&layout, &tasks, planner, SimConfig::default()).run();
+    check_report(&report, true);
+}
+
+#[test]
+fn twp_full_day() {
+    let (layout, tasks) = small_day();
+    let planner = TwpPlanner::new(layout.matrix.clone(), TwpConfig::default());
+    let (report, _) = Simulation::new(&layout, &tasks, planner, SimConfig::default()).run();
+    // Windowed planning may leave residual conflicts when repairs fail;
+    // require a (near-)clean audit rather than perfection.
+    check_report(&report, false);
+    assert!(report.audit_conflicts <= 2, "TWP leaked {} conflicts", report.audit_conflicts);
+}
+
+#[test]
+fn acp_full_day() {
+    let (layout, tasks) = small_day();
+    let planner = AcpPlanner::new(layout.matrix.clone(), AcpConfig::default());
+    let (report, planner) = Simulation::new(&layout, &tasks, planner, SimConfig::default()).run();
+    check_report(&report, true);
+    assert!(planner.stats.cache_hits > 0);
+}
+
+#[test]
+fn planners_agree_on_task_volume_and_comparable_makespan() {
+    let (layout, tasks) = small_day();
+    let (srp_report, _) = Simulation::new(
+        &layout,
+        &tasks,
+        SrpPlanner::new(layout.matrix.clone(), SrpConfig::default()),
+        SimConfig::default(),
+    )
+    .run();
+    let (sap_report, _) = Simulation::new(
+        &layout,
+        &tasks,
+        SapPlanner::new(layout.matrix.clone(), AStarConfig::default()),
+        SimConfig::default(),
+    )
+    .run();
+    assert_eq!(srp_report.tasks, sap_report.tasks);
+    // Effectiveness (Table III): SRP's makespan should be within a modest
+    // factor of the grid-optimal prioritized baseline.
+    let ratio = srp_report.makespan as f64 / sap_report.makespan as f64;
+    assert!(
+        (0.6..1.8).contains(&ratio),
+        "SRP/SAP makespan ratio {ratio:.2} out of band ({} vs {})",
+        srp_report.makespan,
+        sap_report.makespan
+    );
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let (layout, tasks) = small_day();
+    let run = || {
+        let planner = SrpPlanner::new(layout.matrix.clone(), SrpConfig::default());
+        let (report, _) = Simulation::new(&layout, &tasks, planner, SimConfig::default()).run();
+        (report.makespan, report.completed, report.planned_requests)
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,169 @@
+//! Protocol-level tests of the test environment using scripted planners:
+//! infeasible-retry handling, route revisions, task queueing when robots
+//! run out, and failure accounting.
+
+use carp_simenv::{SimConfig, Simulation};
+use carp_warehouse::layout::LayoutConfig;
+use carp_warehouse::planner::{PlanOutcome, Planner};
+use carp_warehouse::request::{Request, RequestId};
+use carp_warehouse::route::Route;
+use carp_warehouse::tasks::{generate_tasks, DayProfile, Task};
+use carp_warehouse::types::{Cell, Time};
+
+/// A planner that travels Manhattan-style ignoring all collisions — the
+/// simplest possible "always plans" stub.
+struct ManhattanStub {
+    /// Refuse the first `refusals` calls (to exercise the retry path).
+    refusals: usize,
+    calls: usize,
+    revisions: Vec<(RequestId, Route)>,
+}
+
+impl ManhattanStub {
+    fn new(refusals: usize) -> Self {
+        ManhattanStub { refusals, calls: 0, revisions: Vec::new() }
+    }
+
+    fn manhattan_route(req: &Request) -> Route {
+        let mut grids = vec![req.origin];
+        let mut cur = req.origin;
+        while cur.row != req.destination.row {
+            cur.row = if cur.row < req.destination.row { cur.row + 1 } else { cur.row - 1 };
+            grids.push(cur);
+        }
+        while cur.col != req.destination.col {
+            cur.col = if cur.col < req.destination.col { cur.col + 1 } else { cur.col - 1 };
+            grids.push(cur);
+        }
+        Route::new(req.t, grids)
+    }
+}
+
+impl Planner for ManhattanStub {
+    fn name(&self) -> &'static str {
+        "stub"
+    }
+    fn plan(&mut self, req: &Request) -> PlanOutcome {
+        self.calls += 1;
+        if self.calls <= self.refusals {
+            return PlanOutcome::Infeasible;
+        }
+        PlanOutcome::Planned(Self::manhattan_route(req))
+    }
+    fn advance(&mut self, _now: Time) -> Vec<(RequestId, Route)> {
+        core::mem::take(&mut self.revisions)
+    }
+    fn memory_bytes(&self) -> usize {
+        64
+    }
+}
+
+fn tiny_world() -> (carp_warehouse::layout::Layout, Vec<Task>) {
+    let layout = LayoutConfig::small().generate();
+    let tasks = generate_tasks(&layout, &DayProfile::new(300, 8), 3);
+    (layout, tasks)
+}
+
+#[test]
+fn retries_recover_from_transient_refusals() {
+    let (layout, tasks) = tiny_world();
+    // Refuse the first two planning calls; retries must absorb them.
+    let stub = ManhattanStub::new(2);
+    let (report, _) = Simulation::new(&layout, &tasks, stub, SimConfig { audit: false, ..SimConfig::default() }).run();
+    assert_eq!(report.completed, report.tasks, "retries should rescue refused requests");
+    assert_eq!(report.failed_requests, 0);
+}
+
+#[test]
+fn permanent_refusal_is_counted_as_failure() {
+    let (layout, tasks) = tiny_world();
+    let stub = ManhattanStub::new(usize::MAX); // never plans
+    let config = SimConfig { max_retries: 2, audit: false, ..SimConfig::default() };
+    let (report, _) = Simulation::new(&layout, &tasks, stub, config).run();
+    assert_eq!(report.completed, 0);
+    assert!(report.failed_requests > 0);
+    assert_eq!(report.makespan, 0, "nothing was ever planned");
+}
+
+#[test]
+fn all_tasks_complete_with_single_robot() {
+    // One robot forces full task queueing: every task waits for the robot.
+    let mut cfg = LayoutConfig::small();
+    cfg.robots = 1;
+    let layout = cfg.generate();
+    let tasks = generate_tasks(&layout, &DayProfile::new(100, 6), 8);
+    let stub = ManhattanStub::new(0);
+    let (report, _) =
+        Simulation::new(&layout, &tasks, stub, SimConfig { audit: false, ..SimConfig::default() }).run();
+    assert_eq!(report.completed, 6, "the queue must drain through the single robot");
+    // With one robot the makespan is far beyond the arrival horizon.
+    assert!(report.makespan > 100);
+}
+
+#[test]
+fn latency_and_throughput_are_recorded() {
+    let (layout, tasks) = tiny_world();
+    let stub = ManhattanStub::new(0);
+    let (report, _) =
+        Simulation::new(&layout, &tasks, stub, SimConfig { audit: false, ..SimConfig::default() }).run();
+    assert!(report.mean_task_latency > 0.0);
+    assert!(report.throughput_per_hour > 0.0);
+    let csv = report.snapshots_csv();
+    assert!(csv.starts_with("progress,sim_time,planning_secs,memory_bytes"));
+    assert_eq!(csv.lines().count(), report.snapshots.len() + 1);
+}
+
+/// A planner whose advance() revises its latest route to end later —
+/// exercises the simulator's stale-completion handling.
+struct RevisingStub {
+    last: Option<(RequestId, Request)>,
+    revised: bool,
+}
+
+impl Planner for RevisingStub {
+    fn name(&self) -> &'static str {
+        "revising-stub"
+    }
+    fn plan(&mut self, req: &Request) -> PlanOutcome {
+        self.last = Some((req.id, *req));
+        PlanOutcome::Planned(ManhattanStub::manhattan_route(req))
+    }
+    fn advance(&mut self, now: Time) -> Vec<(RequestId, Route)> {
+        if self.revised {
+            return Vec::new();
+        }
+        if let Some((id, req)) = self.last {
+            if now > req.t {
+                self.revised = true;
+                // Same trajectory, but dawdle at the origin for 3 steps.
+                let base = ManhattanStub::manhattan_route(&req);
+                let mut grids = vec![req.origin; 3];
+                grids.extend(base.grids);
+                return vec![(id, Route::new(req.t, grids))];
+            }
+        }
+        Vec::new()
+    }
+    fn memory_bytes(&self) -> usize {
+        32
+    }
+}
+
+#[test]
+fn revisions_defer_leg_completion() {
+    let mut cfg = LayoutConfig::small();
+    cfg.robots = 1;
+    let layout = cfg.generate();
+    // A single task so the revision cleanly applies to its pickup leg.
+    let tasks = vec![Task { id: 0, arrival: 0, rack: layout.rack_cells[0], picker: layout.pickers[0] }];
+    let stub = RevisingStub { last: None, revised: false };
+    let (report, _) =
+        Simulation::new(&layout, &tasks, stub, SimConfig { audit: false, ..SimConfig::default() }).run();
+    assert_eq!(report.completed, 1);
+    // The revision added 3 waiting steps to the first leg, visible in the
+    // makespan relative to an unrevised run.
+    let stub = ManhattanStub::new(0);
+    let (unrevised, _) =
+        Simulation::new(&layout, &tasks, stub, SimConfig { audit: false, ..SimConfig::default() }).run();
+    assert_eq!(report.makespan, unrevised.makespan + 3);
+}

@@ -1,0 +1,329 @@
+//! Conflict-Based Search (Sharon et al. \[2\]): the optimal multi-agent
+//! pathfinding solver the RP baseline \[3\] replans conflicting groups with.
+//!
+//! CBS runs a best-first search over a *constraint tree*: each node holds a
+//! set of per-agent space-time constraints and one route per agent planned
+//! by the low-level solver (space-time A\*) under those constraints. When
+//! two routes conflict, the node branches into two children, each forbidding
+//! the conflict for one of the agents.
+
+use crate::astar::{AStarConfig, SpaceTimeAStar};
+use crate::reservation::ReservationTable;
+use carp_warehouse::collision::{first_conflict, ConflictKind};
+use carp_warehouse::matrix::WarehouseMatrix;
+use carp_warehouse::memory;
+use carp_warehouse::route::Route;
+use carp_warehouse::types::{Cell, Time};
+use std::collections::{BinaryHeap, HashSet};
+
+/// Per-agent space-time constraints imposed by CBS branching.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ConstraintSet {
+    vertices: HashSet<(Cell, Time)>,
+    edges: HashSet<(Cell, Cell, Time)>,
+}
+
+impl ConstraintSet {
+    /// Forbid occupying `cell` at time `t`.
+    pub fn block_vertex(&mut self, cell: Cell, t: Time) {
+        self.vertices.insert((cell, t));
+    }
+
+    /// Forbid the directed motion `from → to` departing at time `t`.
+    pub fn block_edge(&mut self, from: Cell, to: Cell, t: Time) {
+        self.edges.insert((from, to, t));
+    }
+
+    /// Whether occupying `cell` at `t` is forbidden.
+    #[inline]
+    pub fn vertex_blocked(&self, cell: Cell, t: Time) -> bool {
+        self.vertices.contains(&(cell, t))
+    }
+
+    /// Whether the motion `from → to` at `t` is forbidden.
+    #[inline]
+    pub fn edge_blocked(&self, from: Cell, to: Cell, t: Time) -> bool {
+        self.edges.contains(&(from, to, t))
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.vertices.len() + self.edges.len()
+    }
+
+    /// Whether no constraints are held.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty() && self.edges.is_empty()
+    }
+
+    /// Estimated heap bytes.
+    pub fn memory_bytes(&self) -> usize {
+        memory::hashset_bytes(&self.vertices) + memory::hashset_bytes(&self.edges)
+    }
+}
+
+/// One agent of a CBS instance.
+#[derive(Debug, Clone, Copy)]
+pub struct CbsAgent {
+    /// Origin cell.
+    pub start: Cell,
+    /// Destination cell.
+    pub goal: Cell,
+    /// Earliest departure time.
+    pub depart: Time,
+}
+
+/// CBS tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CbsConfig {
+    /// Cap on constraint-tree nodes before giving up (the RP baseline then
+    /// falls back to prioritized planning).
+    pub max_nodes: usize,
+    /// Low-level search configuration.
+    pub astar: AStarConfig,
+}
+
+impl Default for CbsConfig {
+    fn default() -> Self {
+        CbsConfig { max_nodes: 512, astar: AStarConfig::default() }
+    }
+}
+
+/// Statistics of the most recent [`CbsSolver::solve`] call.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CbsStats {
+    /// Constraint-tree nodes expanded.
+    pub nodes: usize,
+    /// Low-level A\* invocations.
+    pub low_level_calls: usize,
+    /// Peak bytes across tree nodes and low-level searches.
+    pub peak_bytes: usize,
+}
+
+/// Conflict-Based Search solver.
+#[derive(Debug, Default)]
+pub struct CbsSolver {
+    /// Configuration.
+    pub config: CbsConfig,
+    /// Statistics of the last call.
+    pub stats: CbsStats,
+}
+
+struct CtNode {
+    cost: Time,
+    constraints: Vec<ConstraintSet>,
+    routes: Vec<Route>,
+}
+
+impl CtNode {
+    fn bytes(&self) -> usize {
+        self.constraints.iter().map(|c| c.memory_bytes()).sum::<usize>()
+            + self.routes.iter().map(|r| r.memory_bytes()).sum::<usize>()
+    }
+}
+
+impl PartialEq for CtNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.cost == other.cost
+    }
+}
+impl Eq for CtNode {}
+impl Ord for CtNode {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        other.cost.cmp(&self.cost) // min-heap by sum of costs
+    }
+}
+impl PartialOrd for CtNode {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl CbsSolver {
+    /// Create a solver with the given configuration.
+    pub fn new(config: CbsConfig) -> Self {
+        CbsSolver { config, stats: CbsStats::default() }
+    }
+
+    /// Solve for all agents jointly, avoiding `external` reservations held
+    /// by routes outside the replanned group. Returns one route per agent
+    /// (sum-of-costs optimal w.r.t. the low-level search space) or `None`
+    /// when the node budget is exhausted or some agent has no route.
+    pub fn solve(
+        &mut self,
+        matrix: &WarehouseMatrix,
+        external: &ReservationTable,
+        agents: &[CbsAgent],
+    ) -> Option<Vec<Route>> {
+        self.stats = CbsStats::default();
+        let mut astar = SpaceTimeAStar::new(self.config.astar);
+        fn low_level(
+            stats: &mut CbsStats,
+            astar: &mut SpaceTimeAStar,
+            matrix: &WarehouseMatrix,
+            external: &ReservationTable,
+            constraints: &ConstraintSet,
+            a: &CbsAgent,
+        ) -> Option<Route> {
+            stats.low_level_calls += 1;
+            let r = astar.plan(matrix, external, Some(constraints), a.start, a.goal, a.depart);
+            stats.peak_bytes = stats.peak_bytes.max(astar.stats.peak_bytes);
+            r
+        }
+
+        let root_constraints = vec![ConstraintSet::default(); agents.len()];
+        let mut routes = Vec::with_capacity(agents.len());
+        for (cs, a) in root_constraints.iter().zip(agents) {
+            routes.push(low_level(&mut self.stats, &mut astar, matrix, external, cs, a)?);
+        }
+        let mut open = BinaryHeap::new();
+        let cost = routes.iter().map(|r| r.duration()).sum();
+        open.push(CtNode { cost, constraints: root_constraints, routes });
+
+        while let Some(node) = open.pop() {
+            self.stats.nodes += 1;
+            if self.stats.nodes > self.config.max_nodes {
+                return None;
+            }
+            self.stats.peak_bytes = self.stats.peak_bytes.max(node.bytes() * open.len().max(1));
+            let Some((i, j, conflict)) = find_first_conflict(&node.routes) else {
+                return Some(node.routes);
+            };
+            // Branch: forbid the conflict for agent i, then for agent j.
+            for &(agent, other) in &[(i, j), (j, i)] {
+                let mut constraints = node.constraints.clone();
+                match conflict.kind {
+                    ConflictKind::Vertex => {
+                        constraints[agent].block_vertex(conflict.cell, conflict.time);
+                    }
+                    ConflictKind::Swap => {
+                        let (a, b) = (&node.routes[agent], &node.routes[other]);
+                        let from = a.position_at(conflict.time).expect("conflict inside route");
+                        let to = b.position_at(conflict.time).expect("conflict inside route");
+                        constraints[agent].block_edge(from, to, conflict.time);
+                    }
+                }
+                if let Some(new_route) = low_level(
+                    &mut self.stats,
+                    &mut astar,
+                    matrix,
+                    external,
+                    &constraints[agent],
+                    &agents[agent],
+                ) {
+                    let mut routes = node.routes.clone();
+                    routes[agent] = new_route;
+                    let cost = routes.iter().map(|r| r.duration()).sum();
+                    open.push(CtNode { cost, constraints, routes });
+                }
+            }
+        }
+        None
+    }
+}
+
+/// First pairwise conflict among `routes`, with the indices involved.
+fn find_first_conflict(routes: &[Route]) -> Option<(usize, usize, carp_warehouse::collision::Conflict)> {
+    let mut best: Option<(usize, usize, carp_warehouse::collision::Conflict)> = None;
+    for i in 0..routes.len() {
+        for j in i + 1..routes.len() {
+            if let Some(c) = first_conflict(&routes[i], &routes[j]) {
+                if best.as_ref().is_none_or(|(_, _, b)| c.time < b.time) {
+                    best = Some((i, j, c));
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carp_warehouse::collision::is_collision_free;
+
+    #[test]
+    fn resolves_head_on_corridor_conflict() {
+        // Two agents traverse the same corridor in opposite directions; one
+        // must dodge into the bay at (1,2).
+        let m = WarehouseMatrix::from_ascii(
+            "#####\n\
+             .....\n\
+             ##.##",
+        );
+        let agents = [
+            CbsAgent { start: Cell::new(1, 0), goal: Cell::new(1, 4), depart: 0 },
+            CbsAgent { start: Cell::new(1, 4), goal: Cell::new(1, 0), depart: 0 },
+        ];
+        let mut cbs = CbsSolver::default();
+        let routes = cbs.solve(&m, &ReservationTable::new(), &agents).expect("solvable");
+        assert!(is_collision_free(&routes));
+        assert_eq!(routes[0].destination(), Cell::new(1, 4));
+        assert_eq!(routes[1].destination(), Cell::new(1, 0));
+        for r in &routes {
+            assert!(r.validate(&m).is_ok());
+        }
+    }
+
+    #[test]
+    fn independent_agents_get_shortest_routes() {
+        let m = WarehouseMatrix::empty(6, 6);
+        let agents = [
+            CbsAgent { start: Cell::new(0, 0), goal: Cell::new(0, 5), depart: 0 },
+            CbsAgent { start: Cell::new(5, 0), goal: Cell::new(5, 5), depart: 0 },
+        ];
+        let mut cbs = CbsSolver::default();
+        let routes = cbs.solve(&m, &ReservationTable::new(), &agents).expect("solvable");
+        assert_eq!(routes[0].duration(), 5);
+        assert_eq!(routes[1].duration(), 5);
+        assert_eq!(cbs.stats.nodes, 1, "no conflicts, root suffices");
+    }
+
+    #[test]
+    fn respects_external_reservations() {
+        let m = WarehouseMatrix::empty(4, 4);
+        let mut external = ReservationTable::new();
+        let outsider = Route::new(0, (0..4).map(|i| Cell::new(i, 1)).collect());
+        external.reserve(&outsider, 99);
+        let agents = [CbsAgent { start: Cell::new(0, 0), goal: Cell::new(0, 3), depart: 0 }];
+        let mut cbs = CbsSolver::default();
+        let routes = cbs.solve(&m, &external, &agents).expect("solvable");
+        assert!(first_conflict(&routes[0], &outsider).is_none());
+    }
+
+    #[test]
+    fn crossing_agents_are_separated() {
+        let m = WarehouseMatrix::empty(5, 5);
+        // Both want to pass through the centre at the same instant.
+        let agents = [
+            CbsAgent { start: Cell::new(2, 0), goal: Cell::new(2, 4), depart: 0 },
+            CbsAgent { start: Cell::new(0, 2), goal: Cell::new(4, 2), depart: 0 },
+        ];
+        let mut cbs = CbsSolver::default();
+        let routes = cbs.solve(&m, &ReservationTable::new(), &agents).expect("solvable");
+        assert!(is_collision_free(&routes));
+        // Optimality: at most one agent pays a 1-step detour/wait.
+        let total: Time = routes.iter().map(|r| r.duration()).sum();
+        assert!(total <= 9, "sum of costs {total} should be ≤ 9");
+    }
+
+    #[test]
+    fn node_budget_exhaustion_returns_none() {
+        let m = WarehouseMatrix::from_ascii(
+            "#####\n\
+             .....\n\
+             #####",
+        );
+        // Pure corridor, no bays: opposite traversal is infeasible; CBS must
+        // keep branching until the budget runs out.
+        let agents = [
+            CbsAgent { start: Cell::new(1, 0), goal: Cell::new(1, 4), depart: 0 },
+            CbsAgent { start: Cell::new(1, 4), goal: Cell::new(1, 0), depart: 0 },
+        ];
+        let mut cbs = CbsSolver::new(CbsConfig {
+            max_nodes: 16,
+            astar: AStarConfig { max_expansions: 5_000, horizon: 32, max_depart_delay: 8, collision_horizon: None },
+        });
+        assert!(cbs.solve(&m, &ReservationTable::new(), &agents).is_none());
+    }
+}

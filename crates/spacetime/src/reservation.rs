@@ -1,0 +1,174 @@
+//! Reservation tables: the grid-level collision state of the baseline
+//! planners.
+//!
+//! A committed route reserves every `(cell, time)` it occupies (vertex
+//! conflicts, Fig. 1(a)) and every directed `(from, to, time)` motion it
+//! performs (swap conflicts, Fig. 1(b)). This is the 3-D structure whose
+//! size — `O(route length)` entries per route — explains the memory gap to
+//! SRP's two-endpoints-per-segment representation (§VIII-B).
+
+use carp_warehouse::memory;
+use carp_warehouse::route::Route;
+use carp_warehouse::types::{Cell, Time};
+use std::collections::HashMap;
+
+/// Tag identifying the owner of a reservation (the request id).
+pub type Tag = u64;
+
+/// Space-time reservation table.
+#[derive(Debug, Default, Clone)]
+pub struct ReservationTable {
+    /// `(cell, t)` → owner.
+    vertices: HashMap<(Cell, Time), Tag>,
+    /// Directed motions `(from, to, t)` → owner, where the owner moves from
+    /// `from` at `t` to `to` at `t + 1`.
+    edges: HashMap<(Cell, Cell, Time), Tag>,
+}
+
+impl ReservationTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether `cell` is free at time `t`.
+    #[inline]
+    pub fn vertex_free(&self, cell: Cell, t: Time) -> bool {
+        !self.vertices.contains_key(&(cell, t))
+    }
+
+    /// Whether moving `from → to` departing at time `t` is free of both the
+    /// target-vertex conflict (at `t + 1`) and the swap conflict (someone
+    /// moving `to → from` at `t`).
+    #[inline]
+    pub fn move_free(&self, from: Cell, to: Cell, t: Time) -> bool {
+        self.vertex_free(to, t + 1) && !self.edges.contains_key(&(to, from, t))
+    }
+
+    /// Owner of the reservation at `(cell, t)`, if any.
+    pub fn vertex_owner(&self, cell: Cell, t: Time) -> Option<Tag> {
+        self.vertices.get(&(cell, t)).copied()
+    }
+
+    /// Reserve every vertex and motion of `route` for `tag`.
+    ///
+    /// Existing reservations by other owners on the same keys indicate the
+    /// caller committed a colliding route; this is a programming error in a
+    /// planner and is caught in debug builds.
+    pub fn reserve(&mut self, route: &Route, tag: Tag) {
+        for (t, cell) in route.occupancy() {
+            let prev = self.vertices.insert((cell, t), tag);
+            debug_assert!(prev.is_none() || prev == Some(tag), "double booking at {cell} t={t}");
+        }
+        for (k, w) in route.grids.windows(2).enumerate() {
+            if w[0] != w[1] {
+                self.edges.insert((w[0], w[1], route.start + k as Time), tag);
+            }
+        }
+    }
+
+    /// Release every reservation `route` holds for `tag`. Entries owned by
+    /// other tags are left untouched.
+    pub fn release(&mut self, route: &Route, tag: Tag) {
+        for (t, cell) in route.occupancy() {
+            if self.vertices.get(&(cell, t)) == Some(&tag) {
+                self.vertices.remove(&(cell, t));
+            }
+        }
+        for (k, w) in route.grids.windows(2).enumerate() {
+            if w[0] != w[1] {
+                let key = (w[0], w[1], route.start + k as Time);
+                if self.edges.get(&key) == Some(&tag) {
+                    self.edges.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Number of vertex reservations.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether the table holds no reservations.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty() && self.edges.is_empty()
+    }
+
+    /// Estimated heap bytes (MC metric).
+    pub fn memory_bytes(&self) -> usize {
+        memory::hashmap_bytes(&self.vertices) + memory::hashmap_bytes(&self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn route(start: Time, pairs: &[(u16, u16)]) -> Route {
+        Route::new(start, pairs.iter().map(|&(r, c)| Cell::new(r, c)).collect())
+    }
+
+    #[test]
+    fn reserve_blocks_vertices_and_swaps() {
+        let mut rt = ReservationTable::new();
+        rt.reserve(&route(0, &[(0, 0), (0, 1), (0, 2)]), 1);
+        // Vertex occupancy.
+        assert!(!rt.vertex_free(Cell::new(0, 1), 1));
+        assert!(rt.vertex_free(Cell::new(0, 1), 0));
+        // Swap: moving (0,1) -> (0,0) departing at t=0 crosses the reserved
+        // (0,0) -> (0,1) motion.
+        assert!(!rt.move_free(Cell::new(0, 1), Cell::new(0, 0), 0));
+        // Following one step behind is fine.
+        assert!(rt.move_free(Cell::new(0, 0), Cell::new(0, 1), 2));
+    }
+
+    #[test]
+    fn move_free_checks_target_vertex() {
+        let mut rt = ReservationTable::new();
+        rt.reserve(&route(0, &[(0, 2), (0, 2)]), 1);
+        assert!(!rt.move_free(Cell::new(0, 1), Cell::new(0, 2), 0));
+        assert!(rt.move_free(Cell::new(0, 1), Cell::new(0, 2), 1));
+    }
+
+    #[test]
+    fn release_is_exact_inverse() {
+        let mut rt = ReservationTable::new();
+        let r1 = route(0, &[(0, 0), (0, 1)]);
+        let r2 = route(5, &[(0, 0), (1, 0)]);
+        rt.reserve(&r1, 1);
+        rt.reserve(&r2, 2);
+        rt.release(&r1, 1);
+        assert!(rt.vertex_free(Cell::new(0, 1), 1));
+        assert!(!rt.vertex_free(Cell::new(0, 0), 5), "other owner must survive");
+        rt.release(&r2, 2);
+        assert!(rt.is_empty());
+    }
+
+    #[test]
+    fn release_ignores_foreign_tags() {
+        let mut rt = ReservationTable::new();
+        let r = route(0, &[(0, 0), (0, 1)]);
+        rt.reserve(&r, 1);
+        rt.release(&r, 99);
+        assert!(!rt.vertex_free(Cell::new(0, 0), 0));
+    }
+
+    #[test]
+    fn waiting_reserves_no_edges() {
+        let mut rt = ReservationTable::new();
+        rt.reserve(&route(0, &[(3, 3), (3, 3), (3, 3)]), 7);
+        assert_eq!(rt.len(), 3);
+        assert!(rt.move_free(Cell::new(3, 4), Cell::new(3, 5), 0));
+        // But the waited-on cell is vertex-blocked.
+        assert!(!rt.move_free(Cell::new(3, 4), Cell::new(3, 3), 0));
+    }
+
+    #[test]
+    fn memory_tracks_population() {
+        let mut rt = ReservationTable::new();
+        let r = route(0, &[(0, 0), (0, 1), (0, 2), (0, 3)]);
+        rt.reserve(&r, 1);
+        assert!(rt.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the grid-level substrate: reservation-table
+//! consistency with the ground-truth validator, A\* route legality, and
+//! CBS optimality against brute force on tiny instances.
+
+use carp_spacetime::cbs::{CbsAgent, CbsSolver};
+use carp_spacetime::{AStarConfig, ReservationTable, SpaceTimeAStar};
+use carp_warehouse::collision::{first_conflict, is_collision_free};
+use carp_warehouse::route::Route;
+use carp_warehouse::types::{Cell, Time};
+use carp_warehouse::WarehouseMatrix;
+use proptest::prelude::*;
+
+/// A random legal route on an open `rows × cols` grid.
+fn arb_route(rows: u16, cols: u16) -> impl Strategy<Value = Route> {
+    (
+        0u32..20,
+        0..rows,
+        0..cols,
+        prop::collection::vec(0u8..5, 1..25),
+    )
+        .prop_map(move |(start, r0, c0, moves)| {
+            let mut cur = Cell::new(r0, c0);
+            let mut grids = vec![cur];
+            for m in moves {
+                let next = match m {
+                    0 => cur.step(carp_warehouse::types::Dir::North, rows, cols),
+                    1 => cur.step(carp_warehouse::types::Dir::South, rows, cols),
+                    2 => cur.step(carp_warehouse::types::Dir::West, rows, cols),
+                    3 => cur.step(carp_warehouse::types::Dir::East, rows, cols),
+                    _ => Some(cur), // wait
+                };
+                cur = next.unwrap_or(cur);
+                grids.push(cur);
+            }
+            Route::new(start, grids)
+        })
+}
+
+proptest! {
+    /// Reservation-table blocking agrees with the pairwise conflict
+    /// validator: a candidate route is conflict-free against a reserved
+    /// route iff every candidate step passes the table's checks.
+    #[test]
+    fn reservation_checks_match_validator(a in arb_route(6, 6), b in arb_route(6, 6)) {
+        let mut rt = ReservationTable::new();
+        rt.reserve(&a, 1);
+        let mut table_ok = true;
+        for (t, cell) in b.occupancy() {
+            if !rt.vertex_free(cell, t) {
+                table_ok = false;
+            }
+        }
+        for (k, w) in b.grids.windows(2).enumerate() {
+            if w[0] != w[1] && !rt.move_free(w[0], w[1], b.start + k as Time) {
+                table_ok = false;
+            }
+        }
+        prop_assert_eq!(table_ok, first_conflict(&a, &b).is_none());
+    }
+
+    /// A* routes against random reservations are legal and conflict-free.
+    #[test]
+    fn astar_routes_avoid_reservations(
+        blockers in prop::collection::vec(arb_route(6, 6), 0..4),
+        sr in 0u16..6, sc in 0u16..6, gr in 0u16..6, gc in 0u16..6,
+    ) {
+        let m = WarehouseMatrix::empty(6, 6);
+        let mut rt = ReservationTable::new();
+        for (i, b) in blockers.iter().enumerate() {
+            // Blockers may conflict with each other; reserve only the
+            // compatible prefix of the set.
+            if blockers[..i].iter().all(|x| first_conflict(x, b).is_none()) {
+                rt.reserve(b, i as u64);
+            }
+        }
+        let mut astar = SpaceTimeAStar::new(AStarConfig { horizon: 128, ..AStarConfig::default() });
+        if let Some(route) = astar.plan(&m, &rt, None, Cell::new(sr, sc), Cell::new(gr, gc), 0) {
+            prop_assert!(route.validate(&m).is_ok());
+            for (i, b) in blockers.iter().enumerate() {
+                if blockers[..i].iter().all(|x| first_conflict(x, b).is_none()) {
+                    prop_assert!(first_conflict(&route, b).is_none(), "conflicts blocker {}", i);
+                }
+            }
+        }
+    }
+
+    /// CBS solutions on two-agent instances are collision-free and
+    /// sum-of-costs optimal w.r.t. exhaustive per-agent lower bounds: no
+    /// agent can beat its solo shortest path, and CBS never spends more
+    /// than solo costs + the detour bound of one conflict resolution.
+    #[test]
+    fn cbs_two_agents_sound_and_tight(
+        s1 in (0u16..4, 0u16..4), g1 in (0u16..4, 0u16..4),
+        s2 in (0u16..4, 0u16..4), g2 in (0u16..4, 0u16..4),
+    ) {
+        prop_assume!(s1 != s2 && g1 != g2);
+        let m = WarehouseMatrix::empty(4, 4);
+        let agents = [
+            CbsAgent { start: Cell::new(s1.0, s1.1), goal: Cell::new(g1.0, g1.1), depart: 0 },
+            CbsAgent { start: Cell::new(s2.0, s2.1), goal: Cell::new(g2.0, g2.1), depart: 0 },
+        ];
+        let mut cbs = CbsSolver::default();
+        if let Some(routes) = cbs.solve(&m, &ReservationTable::new(), &agents) {
+            prop_assert!(is_collision_free(&routes));
+            let solo: Time = agents.iter().map(|a| a.start.manhattan(a.goal)).sum();
+            let cost: Time = routes.iter().map(|r| r.duration()).sum();
+            prop_assert!(cost >= solo, "below the solo lower bound");
+            // On a 4x4 open grid one conflict costs at most a small detour.
+            prop_assert!(cost <= solo + 6, "cost {} vs solo {}", cost, solo);
+            for (r, a) in routes.iter().zip(&agents) {
+                prop_assert_eq!(r.origin(), a.start);
+                prop_assert_eq!(r.destination(), a.goal);
+            }
+        }
+    }
+}

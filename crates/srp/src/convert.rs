@@ -1,0 +1,278 @@
+//! Conversion between grid-level routes and the strip/segment
+//! representation — the third TC component of Fig. 22(a).
+//!
+//! Any legal grid route decomposes uniquely: at every instant the robot is
+//! inside exactly one strip; while it stays in a strip it moves along the
+//! strip axis or waits (strips are maximal same-value runs, so a lateral
+//! step always changes strips), and each strip change is a *crossing*
+//! motion. [`decompose`] produces the per-strip segment polylines plus the
+//! crossing list; [`compose`] rebuilds the grid route from a chain of
+//! intra-strip legs (used by the planner's route assembly).
+
+use crate::intra::IntraRoute;
+use crate::strip_graph::{StripGraph, StripId};
+use carp_geometry::Segment;
+use carp_warehouse::matrix::WarehouseMatrix;
+use carp_warehouse::route::Route;
+use carp_warehouse::types::{Cell, Time};
+
+/// A grid route decomposed into strip-level segments and crossings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decomposition {
+    /// `(strip, segment)` pairs covering the route's full occupancy,
+    /// ordered by time.
+    pub segments: Vec<(StripId, Segment)>,
+    /// Directed boundary motions `(from_cell, to_cell, departure_time)`.
+    pub crossings: Vec<(Cell, Cell, Time)>,
+}
+
+/// Decompose a grid route into per-strip segment polylines and crossings.
+pub fn decompose(m: &WarehouseMatrix, graph: &StripGraph, route: &Route) -> Decomposition {
+    let mut segments = Vec::new();
+    let mut crossings = Vec::new();
+
+    let cells = &route.grids;
+    let mut run_start = 0usize; // index into cells of the current strip run
+    let mut i = 0usize;
+    while i < cells.len() {
+        let strip_id = graph.strip_of(m, cells[run_start]);
+        // Extend the run while we stay in the same strip.
+        let same_strip = i + 1 < cells.len() && graph.strip_of(m, cells[i + 1]) == strip_id;
+        if same_strip {
+            i += 1;
+            continue;
+        }
+        // Emit the run [run_start, i] as a polyline within `strip_id`.
+        let strip = graph.strip(strip_id);
+        let t_base = route.start + run_start as Time;
+        let offsets: Vec<i32> = cells[run_start..=i].iter().map(|&c| strip.offset_of(c)).collect();
+        emit_polyline(strip_id, t_base, &offsets, &mut segments);
+        // Crossing into the next strip, if any.
+        if i + 1 < cells.len() {
+            let t = route.start + i as Time;
+            crossings.push((cells[i], cells[i + 1], t));
+            run_start = i + 1;
+        }
+        i += 1;
+    }
+    Decomposition { segments, crossings }
+}
+
+/// Emit maximal constant-slope segments for a run of strip offsets
+/// starting at `t_base`.
+fn emit_polyline(strip: StripId, t_base: Time, offsets: &[i32], out: &mut Vec<(StripId, Segment)>) {
+    debug_assert!(!offsets.is_empty());
+    if offsets.len() == 1 {
+        out.push((strip, Segment::point(t_base, offsets[0])));
+        return;
+    }
+    let mut seg_start = 0usize;
+    let mut slope = offsets[1] - offsets[0];
+    for k in 1..offsets.len() {
+        let step = offsets[k] - offsets[k - 1];
+        debug_assert!(step.abs() <= 1, "offsets must be unit steps");
+        if step != slope {
+            out.push((strip, make_seg(t_base, seg_start, k - 1, offsets)));
+            seg_start = k - 1;
+            slope = step;
+        }
+    }
+    out.push((strip, make_seg(t_base, seg_start, offsets.len() - 1, offsets)));
+}
+
+fn make_seg(t_base: Time, a: usize, b: usize, offsets: &[i32]) -> Segment {
+    Segment {
+        t0: t_base + a as Time,
+        t1: t_base + b as Time,
+        s0: offsets[a],
+        s1: offsets[b],
+    }
+}
+
+/// Rebuild the grid cells of one intra-strip leg.
+pub fn leg_cells(graph: &StripGraph, strip: StripId, leg: &IntraRoute) -> Vec<Cell> {
+    let s = graph.strip(strip);
+    let mut cells = Vec::with_capacity((leg.arrive - leg.enter + 1) as usize);
+    for seg in &leg.segments {
+        for (t, off) in seg.occupancy() {
+            // Shared endpoints between consecutive segments appear twice;
+            // keep the first occurrence of each instant.
+            if cells.len() as Time + leg.enter > t {
+                continue;
+            }
+            cells.push(s.cell_at(off));
+        }
+    }
+    cells
+}
+
+/// Compose a full grid route from a chain of `(strip, leg)` pairs, where
+/// consecutive legs are bridged by one crossing step (the first leg starts
+/// at the route's departure; each following leg starts one instant after
+/// the previous leg ends, on an adjacent cell).
+pub fn compose(graph: &StripGraph, legs: &[(StripId, IntraRoute)]) -> Route {
+    assert!(!legs.is_empty());
+    let start = legs[0].1.enter;
+    let mut grids: Vec<Cell> = Vec::new();
+    for (k, (strip, leg)) in legs.iter().enumerate() {
+        let cells = leg_cells(graph, *strip, leg);
+        if k > 0 {
+            let prev = &legs[k - 1].1;
+            debug_assert_eq!(leg.enter, prev.arrive + 1, "legs must be time-contiguous");
+            debug_assert!(
+                grids.last().expect("nonempty").is_adjacent(cells[0]),
+                "legs must be space-adjacent"
+            );
+        }
+        grids.extend(cells);
+    }
+    Route::new(start, grids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strip_graph::StripGraph;
+
+    fn toy() -> (WarehouseMatrix, StripGraph) {
+        let m = WarehouseMatrix::from_ascii(
+            ".....\n\
+             .##..\n\
+             .##..\n\
+             .....",
+        );
+        let g = StripGraph::build(&m);
+        (m, g)
+    }
+
+    #[test]
+    fn straight_route_in_one_strip_is_one_segment() {
+        let (m, g) = toy();
+        let r = Route::new(4, (0..5).map(|j| Cell::new(0, j)).collect());
+        let d = decompose(&m, &g, &r);
+        assert_eq!(d.crossings, vec![]);
+        assert_eq!(d.segments.len(), 1);
+        let (_, seg) = d.segments[0];
+        assert_eq!(seg, Segment { t0: 4, t1: 8, s0: 0, s1: 4 });
+    }
+
+    #[test]
+    fn waits_and_reversals_split_polyline() {
+        let (m, g) = toy();
+        // Move east 2, wait 2, move back west 1 — all inside the top aisle.
+        let r = Route::new(
+            0,
+            vec![
+                Cell::new(0, 0),
+                Cell::new(0, 1),
+                Cell::new(0, 2),
+                Cell::new(0, 2),
+                Cell::new(0, 2),
+                Cell::new(0, 1),
+            ],
+        );
+        let d = decompose(&m, &g, &r);
+        let segs: Vec<Segment> = d.segments.iter().map(|&(_, s)| s).collect();
+        assert_eq!(
+            segs,
+            vec![
+                Segment { t0: 0, t1: 2, s0: 0, s1: 2 },
+                Segment { t0: 2, t1: 4, s0: 2, s1: 2 },
+                Segment { t0: 4, t1: 5, s0: 2, s1: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn strip_changes_produce_crossings() {
+        let (m, g) = toy();
+        // Down column 0 from the top aisle to the bottom aisle, then east.
+        let r = Route::new(
+            10,
+            vec![
+                Cell::new(0, 0),
+                Cell::new(1, 0),
+                Cell::new(2, 0),
+                Cell::new(3, 0),
+                Cell::new(3, 1),
+            ],
+        );
+        let d = decompose(&m, &g, &r);
+        assert_eq!(d.crossings.len(), 2);
+        assert_eq!(d.crossings[0], (Cell::new(0, 0), Cell::new(1, 0), 10));
+        assert_eq!(d.crossings[1], (Cell::new(2, 0), Cell::new(3, 0), 12));
+        // Three strips: top aisle (point), col-0 aisle (travel), bottom
+        // aisle (travel).
+        assert_eq!(d.segments.len(), 3);
+        assert_eq!(d.segments[0].1, Segment::point(10, 0));
+        assert_eq!(d.segments[1].1, Segment { t0: 11, t1: 12, s0: 0, s1: 1 });
+        assert_eq!(d.segments[2].1, Segment { t0: 13, t1: 14, s0: 0, s1: 1 });
+    }
+
+    #[test]
+    fn decomposition_preserves_occupancy() {
+        let (m, g) = toy();
+        let r = Route::new(
+            0,
+            vec![
+                Cell::new(0, 3),
+                Cell::new(0, 4),
+                Cell::new(1, 4),
+                Cell::new(1, 4),
+                Cell::new(2, 4),
+                Cell::new(3, 4),
+                Cell::new(3, 3),
+            ],
+        );
+        let d = decompose(&m, &g, &r);
+        // Rebuild (time → cell) from the segments and compare to the route.
+        let mut rebuilt: std::collections::BTreeMap<Time, Cell> = std::collections::BTreeMap::new();
+        for &(sid, seg) in &d.segments {
+            let strip = g.strip(sid);
+            for (t, off) in seg.occupancy() {
+                let cell = strip.cell_at(off);
+                let prev = rebuilt.insert(t, cell);
+                assert!(prev.is_none_or(|p| p == cell), "inconsistent occupancy at t={t}");
+            }
+        }
+        let expected: std::collections::BTreeMap<Time, Cell> = r.occupancy().collect();
+        assert_eq!(rebuilt, expected);
+    }
+
+    #[test]
+    fn compose_chains_legs() {
+        let (_, g) = toy();
+        // Leg 1: top aisle, offsets 0→... point at 0; leg 2: col0 strip.
+        let leg1 = IntraRoute { segments: vec![Segment::point(5, 0)], enter: 5, arrive: 5 };
+        let leg2 = IntraRoute {
+            segments: vec![Segment { t0: 6, t1: 7, s0: 0, s1: 1 }],
+            enter: 6,
+            arrive: 7,
+        };
+        let (m, _) = toy();
+        let top = g.strip_of(&m, Cell::new(0, 0));
+        let col0 = g.strip_of(&m, Cell::new(1, 0));
+        let r = compose(&g, &[(top, leg1), (col0, leg2)]);
+        assert_eq!(r.start, 5);
+        assert_eq!(r.grids, vec![Cell::new(0, 0), Cell::new(1, 0), Cell::new(2, 0)]);
+    }
+
+    #[test]
+    fn leg_cells_deduplicates_shared_endpoints() {
+        let (m, g) = toy();
+        let top = g.strip_of(&m, Cell::new(0, 0));
+        let leg = IntraRoute {
+            segments: vec![
+                Segment { t0: 0, t1: 2, s0: 0, s1: 2 },
+                Segment { t0: 2, t1: 3, s0: 2, s1: 2 },
+            ],
+            enter: 0,
+            arrive: 3,
+        };
+        let cells = leg_cells(&g, top, &leg);
+        assert_eq!(
+            cells,
+            vec![Cell::new(0, 0), Cell::new(0, 1), Cell::new(0, 2), Cell::new(0, 2)]
+        );
+    }
+}

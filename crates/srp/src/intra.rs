@@ -1,0 +1,362 @@
+//! Intra-strip route planning (§V-C, Algorithm 2): backtracking search for
+//! the shortest collision-free polyline from one grid number to another
+//! within a strip.
+//!
+//! The search greedily moves towards the destination; when the move would
+//! collide at time `c` (earliest collision from the segment store), it
+//! stops right before the collision, waits, and tries again — recursing
+//! with longer waits when necessary. Moving *backward* (away from the
+//! destination) is prohibited for efficiency (§V-C), which is one of the
+//! three sub-optimality sources analysed in §VII-A; infeasibility under
+//! this restriction is handled by the caller's A\* fallback (§VI remarks).
+//!
+//! Unlike the paper's pseudocode, candidate segments are **not** inserted
+//! into the shared store during the search: a robot's own consecutive
+//! segments can never conflict with each other, so the store only ever
+//! holds committed routes and the search is read-only (see DESIGN.md §6,
+//! "Query/commit split").
+
+use carp_geometry::store::SegmentStore;
+use carp_geometry::Segment;
+use carp_warehouse::types::Time;
+
+/// Limits on the backtracking search.
+#[derive(Debug, Clone, Copy)]
+pub struct IntraConfig {
+    /// Longest single wait the search will consider at one stop point.
+    pub max_wait: Time,
+    /// Cap on search nodes (stop points examined) before giving up.
+    pub max_nodes: usize,
+}
+
+impl Default for IntraConfig {
+    fn default() -> Self {
+        IntraConfig { max_wait: 48, max_nodes: 512 }
+    }
+}
+
+/// A planned intra-strip route: a polyline of segments from the origin
+/// grid number to the destination, consecutive in time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntraRoute {
+    /// The polyline, ordered by time; adjacent segments share endpoints.
+    pub segments: Vec<Segment>,
+    /// Time the origin grid is first occupied.
+    pub enter: Time,
+    /// Time the destination grid is reached.
+    pub arrive: Time,
+}
+
+impl IntraRoute {
+    /// Duration `arrive − enter`.
+    pub fn duration(&self) -> Time {
+        self.arrive - self.enter
+    }
+
+    /// The destination grid number.
+    pub fn destination(&self) -> i32 {
+        self.segments.last().expect("non-empty").s1
+    }
+
+    /// Check internal consistency: contiguous, valid segments.
+    pub fn is_well_formed(&self) -> bool {
+        if self.segments.is_empty() {
+            return false;
+        }
+        if self.segments[0].t0 != self.enter || self.segments.last().unwrap().t1 != self.arrive {
+            return false;
+        }
+        self.segments.iter().all(|s| s.validate())
+            && self
+                .segments
+                .windows(2)
+                .all(|w| w[0].t1 == w[1].t0 && w[0].s1 == w[1].s0)
+    }
+}
+
+/// Plan a collision-free intra-strip route from grid number `from` to `to`
+/// starting at time `t`, against the committed segments in `store`.
+///
+/// Precondition: `(t, from)` itself is collision-free (guaranteed by the
+/// caller, who checked the entry point — see the planner's entry probing).
+/// Returns `None` when no route exists within the configured limits.
+pub fn plan_within<S: SegmentStore>(
+    store: &S,
+    t: Time,
+    from: i32,
+    to: i32,
+    config: &IntraConfig,
+) -> Option<IntraRoute> {
+    debug_assert!(
+        store
+            .earliest_collision(&Segment::point(t, from))
+            .is_none(),
+        "entry point (t={t}, s={from}) is contested; caller must probe first"
+    );
+    if from == to {
+        return Some(IntraRoute { segments: vec![Segment::point(t, from)], enter: t, arrive: t });
+    }
+    let mut segments = Vec::new();
+    let mut nodes = 0usize;
+    let arrive = backtrack::<S, true>(store, t, from, to, config, &mut nodes, &mut segments)?;
+    let route = IntraRoute { segments, enter: t, arrive };
+    debug_assert!(route.is_well_formed());
+    Some(route)
+}
+
+/// Arrival time of [`plan_within`] without materializing the polyline —
+/// the allocation-free query used by the inter-strip search, whose
+/// relaxations only need the edge *weight* (§VI); the winning chain is
+/// re-planned with [`plan_within`] afterwards. Deterministic: returns
+/// exactly `plan_within(..).map(|r| r.arrive)`.
+pub fn plan_within_cost<S: SegmentStore>(
+    store: &S,
+    t: Time,
+    from: i32,
+    to: i32,
+    config: &IntraConfig,
+) -> Option<Time> {
+    if from == to {
+        return Some(t);
+    }
+    // Fast path: nothing committed in this strip.
+    if store.is_empty() {
+        return Some(t + from.abs_diff(to));
+    }
+    let mut nodes = 0usize;
+    let mut scratch = Vec::new();
+    backtrack::<S, false>(store, t, from, to, config, &mut nodes, &mut scratch)
+}
+
+/// The recursive backtracking of Algorithm 2, returning the arrival time
+/// at `d`. With `COLLECT`, `out` holds the chosen polyline on success and
+/// is left untouched on failure; without it, no segments are materialized.
+fn backtrack<S: SegmentStore, const COLLECT: bool>(
+    store: &S,
+    t: Time,
+    p: i32,
+    d: i32,
+    config: &IntraConfig,
+    nodes: &mut usize,
+    out: &mut Vec<Segment>,
+) -> Option<Time> {
+    *nodes += 1;
+    if *nodes > config.max_nodes {
+        return None;
+    }
+    if p == d {
+        // Trivial leg; only reachable from plan_within's `from == to` guard
+        // or a recursion that stopped exactly at the destination.
+        return Some(t);
+    }
+    // Greedy move towards the destination (lines 8–9).
+    let full = Segment::travel(t, p, d);
+    let Some(collision) = store.earliest_collision(&full) else {
+        if COLLECT {
+            out.push(full);
+        }
+        return Some(full.t1); // lines 10–12
+    };
+    // Stop right before the collision (line 18). For a vertex conflict at
+    // time `c` the last safe instant on the move is `c − 1`; for a swap the
+    // conflict is the motion `c → c + 1` itself, so occupying the stop
+    // point at `c` is still safe.
+    let c = collision.time;
+    let stop_t = match collision.kind {
+        carp_geometry::CollisionKind::Vertex => {
+            debug_assert!(c > t, "entry point was contested");
+            c - 1
+        }
+        carp_geometry::CollisionKind::Swap => c,
+    };
+    let dir = if d > p { 1 } else { -1 };
+    let p_stop = p + dir * (stop_t - t) as i32;
+    let moved = stop_t > t;
+    if COLLECT && moved {
+        out.push(Segment::travel(t, p, p_stop));
+    }
+    if p_stop == d {
+        // The collision happens beyond the destination — cannot occur since
+        // the full segment ends at d; defensive only.
+        if COLLECT && !moved {
+            out.push(Segment::point(t, p));
+        }
+        return Some(stop_t);
+    }
+    // Longest permissible wait at the stop point: until someone else needs
+    // this grid (waits are slope-0, so any collision against them is a
+    // vertex conflict at the intruder's arrival).
+    let probe = Segment::wait(stop_t, stop_t + config.max_wait, p_stop);
+    let max_tau = match store.earliest_collision(&probe) {
+        Some(c2) => {
+            debug_assert!(c2.time > stop_t, "stop point reached collision-free");
+            (c2.time - 1 - stop_t).min(config.max_wait)
+        }
+        None => config.max_wait,
+    };
+    // Try waits of increasing length (lines 16–21).
+    for tau in 1..=max_tau {
+        if COLLECT {
+            out.push(Segment::wait(stop_t, stop_t + tau, p_stop));
+        }
+        if let Some(arr) = backtrack::<S, COLLECT>(store, stop_t + tau, p_stop, d, config, nodes, out) {
+            return Some(arr);
+        }
+        if COLLECT {
+            out.pop();
+        }
+    }
+    if COLLECT && moved {
+        out.pop();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carp_geometry::{NaiveStore, SlopeIndexStore};
+
+    fn assert_route_clear<S: SegmentStore>(store: &S, r: &IntraRoute) {
+        for seg in &r.segments {
+            assert_eq!(
+                store.earliest_collision(seg),
+                None,
+                "planned segment {seg} collides"
+            );
+        }
+    }
+
+    #[test]
+    fn unobstructed_is_straight_line() {
+        let store = NaiveStore::new();
+        let r = plan_within(&store, 5, 2, 9, &IntraConfig::default()).expect("route");
+        assert_eq!(r.segments, vec![Segment::travel(5, 2, 9)]);
+        assert_eq!(r.duration(), 7);
+    }
+
+    #[test]
+    fn same_grid_is_a_point() {
+        let store = NaiveStore::new();
+        let r = plan_within(&store, 3, 4, 4, &IntraConfig::default()).expect("route");
+        assert_eq!(r.segments, vec![Segment::point(3, 4)]);
+        assert_eq!(r.duration(), 0);
+    }
+
+    #[test]
+    fn waits_out_a_crossing_waiter() {
+        let mut store = SlopeIndexStore::new();
+        // Someone parks at grid 5 during t = 0..7.
+        store.insert(Segment::wait(0, 7, 5));
+        let r = plan_within(&store, 0, 0, 9, &IntraConfig::default()).expect("route");
+        assert_route_clear(&store, &r);
+        assert_eq!(r.destination(), 9);
+        // Shortest possible: move to 4 (t=4), wait until the parker leaves
+        // (must reach 5 no earlier than t=8), then continue.
+        assert_eq!(r.arrive, 12);
+    }
+
+    #[test]
+    fn dodges_oncoming_route_via_wait() {
+        let mut store = SlopeIndexStore::new();
+        // Oncoming robot sweeps 9 → 0 during t = 0..9.
+        store.insert(Segment::travel(0, 9, 0));
+        let r = plan_within(&store, 0, 0, 9, &IntraConfig::default());
+        // Forward-only search cannot pass an oncoming robot on a single
+        // line without a pull-off — it must be infeasible or wait until the
+        // sweep finishes... waiting at 0 collides when the sweeper arrives
+        // at 0 (t=9). Hence: infeasible.
+        assert!(r.is_none(), "head-on on one line is unresolvable forward-only");
+    }
+
+    #[test]
+    fn follows_leader_without_collision() {
+        let mut store = SlopeIndexStore::new();
+        // A leader moves 0 → 9 starting at t=0.
+        store.insert(Segment::travel(0, 0, 9));
+        // We start one step behind at the same time.
+        let r = plan_within(&store, 1, 0, 9, &IntraConfig::default()).expect("route");
+        assert_route_clear(&store, &r);
+        assert_eq!(r.arrive, 10, "follows one step behind, no extra wait");
+    }
+
+    #[test]
+    fn two_stage_wait_for_two_crossers() {
+        let mut store = SlopeIndexStore::new();
+        // Crosser A occupies grid 3 at t=3 (point), crosser B occupies
+        // grid 6 at t=8.
+        store.insert(Segment::point(3, 3));
+        store.insert(Segment::point(8, 6));
+        let r = plan_within(&store, 0, 0, 9, &IntraConfig::default()).expect("route");
+        assert_route_clear(&store, &r);
+        assert_eq!(r.destination(), 9);
+        // Optimal forward-only: some waiting occurs, arrival is delayed
+        // beyond the unobstructed 9.
+        assert!(r.arrive > 9);
+        assert!(r.is_well_formed());
+    }
+
+    #[test]
+    fn backward_movement_supported() {
+        let mut store = SlopeIndexStore::new();
+        store.insert(Segment::wait(0, 4, 5));
+        // Plan from 9 down to 0 (slope −1 route) around the parked robot.
+        let r = plan_within(&store, 0, 9, 0, &IntraConfig::default()).expect("route");
+        assert_route_clear(&store, &r);
+        assert_eq!(r.destination(), 0);
+    }
+
+    #[test]
+    fn node_budget_failure_leaves_no_garbage() {
+        let mut store = SlopeIndexStore::new();
+        // A wall of parked robots that never leaves.
+        for t in 0..20 {
+            store.insert(Segment::wait(t * 10, t * 10 + 10, 5));
+        }
+        let cfg = IntraConfig { max_wait: 8, max_nodes: 16 };
+        assert!(plan_within(&store, 0, 0, 9, &cfg).is_none());
+    }
+
+    #[test]
+    fn naive_and_indexed_stores_agree() {
+        let mut naive = NaiveStore::new();
+        let mut index = SlopeIndexStore::new();
+        let population = [
+            Segment::wait(2, 6, 4),
+            Segment::travel(0, 9, 3),
+            Segment::point(5, 7),
+            Segment::travel(4, 0, 6),
+        ];
+        for s in population {
+            naive.insert(s);
+            index.insert(s);
+        }
+        let a = plan_within(&naive, 0, 0, 9, &IntraConfig::default());
+        let b = plan_within(&index, 0, 0, 9, &IntraConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn planned_route_is_discretely_collision_free() {
+        // Ground-truth check: expand the planned polyline and every stored
+        // segment to discrete occupancy and verify Definition 3 directly.
+        let mut store = SlopeIndexStore::new();
+        // Two parked robots with staggered time windows force two separate
+        // waiting phases. (An oncoming full-line sweep would be infeasible
+        // forward-only — that is the §VII-A backtracking restriction.)
+        let population = [Segment::wait(0, 6, 3), Segment::wait(8, 14, 6)];
+        for s in population {
+            store.insert(s);
+        }
+        let r = plan_within(&store, 0, 0, 8, &IntraConfig::default()).expect("route");
+        for seg in &r.segments {
+            for other in &population {
+                assert_eq!(
+                    carp_geometry::earliest_collision_reference(seg, other),
+                    None,
+                    "{seg} vs {other}"
+                );
+            }
+        }
+    }
+}

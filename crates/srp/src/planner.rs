@@ -1,0 +1,803 @@
+//! End-to-end Strip-based Route Planning (§VI, Algorithm 4).
+//!
+//! Planning one request runs a time-dependent Dijkstra over the strip
+//! graph. Labels are `(strip, entry cell, arrival time)`; relaxing an edge
+//! `u → v` calls the intra-strip backtracking planner to move from the
+//! current cell to the transit grid adjacent to `v` (the edge weight of
+//! Definition 5), then crosses the boundary. Collision awareness lives
+//! entirely at the intra-strip level (segment stores) plus one global
+//! boundary-crossing table for cross-strip swap conflicts (an engineering
+//! completion the paper leaves implicit — DESIGN.md §3).
+//!
+//! The search restrictions (no backward intra-strip moves, greedy transit
+//! pairs, one visit per strip) can rarely make a request infeasible; as the
+//! paper prescribes (§VI remarks), such requests fall back to grid-level
+//! space-time A\*, reconstructing a reservation table from the committed
+//! segments on demand.
+
+use crate::convert::{compose, decompose};
+use crate::intra::{plan_within, plan_within_cost, IntraConfig, IntraRoute};
+use crate::strip_graph::{EdgeGeom, StripEdge, StripGraph, StripId, StripKind};
+use carp_geometry::store::{SegmentId, SegmentStore};
+use carp_geometry::{Segment, SlopeIndexStore};
+use carp_spacetime::{AStarConfig, ReservationTable, SpaceTimeAStar};
+use carp_warehouse::matrix::WarehouseMatrix;
+use carp_warehouse::memory;
+use carp_warehouse::planner::{PlanOutcome, Planner};
+use carp_warehouse::request::{Request, RequestId};
+use carp_warehouse::route::Route;
+use carp_warehouse::types::{Cell, Time};
+use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet};
+use std::time::Instant;
+
+/// Configuration of the SRP planner.
+#[derive(Debug, Clone, Copy)]
+pub struct SrpConfig {
+    /// Intra-strip backtracking limits.
+    pub intra: IntraConfig,
+    /// How long a robot may wait at a transit cell for the boundary
+    /// crossing and the entry cell of the next strip to clear.
+    pub max_entry_delay: Time,
+    /// How long the departure may be postponed when the origin cell is
+    /// contested at the request time.
+    pub max_start_delay: Time,
+    /// Use the Manhattan heuristic on the inter-strip search (turns the
+    /// paper's plain Dijkstra into A\*; identical results on FIFO edge
+    /// weights, substantially fewer strip expansions — see DESIGN.md §6).
+    pub use_heuristic: bool,
+    /// Start-time bumps retried at strip level before resorting to the
+    /// grid fallback. A request whose direct traversal is blocked (e.g. a
+    /// head-on meeting inside one aisle, unresolvable by forward-only
+    /// backtracking) usually becomes feasible once the oncoming traffic has
+    /// drained — retrying with a postponed departure keeps planning inside
+    /// the fast strip framework.
+    pub retry_bumps: [Time; 3],
+    /// Fall back to grid-level space-time A\* when the strip-level search
+    /// fails (§VI remarks).
+    pub use_fallback: bool,
+    /// Fallback search limits.
+    pub fallback: AStarConfig,
+    /// Record the Fig. 22(a) TC breakdown (adds two `Instant` reads per
+    /// intra-strip call; off by default to keep TC comparisons clean).
+    pub instrument: bool,
+}
+
+impl Default for SrpConfig {
+    fn default() -> Self {
+        SrpConfig {
+            intra: IntraConfig::default(),
+            max_entry_delay: 48,
+            max_start_delay: 128,
+            retry_bumps: [8, 24, 72],
+            use_heuristic: true,
+            use_fallback: true,
+            fallback: AStarConfig::default(),
+            instrument: false,
+        }
+    }
+}
+
+/// Counters and the Fig. 22(a) time breakdown.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SrpStats {
+    /// Successfully planned requests.
+    pub planned: usize,
+    /// Requests resolved by a strip-level retry with postponed departure.
+    pub retries: usize,
+    /// Requests resolved by the A\* fallback.
+    pub fallbacks: usize,
+    /// Requests that could not be planned at all.
+    pub infeasible: usize,
+    /// Strip-graph nodes settled across all requests.
+    pub strips_settled: usize,
+    /// Intra-strip planning calls.
+    pub intra_calls: usize,
+    /// Nanoseconds in inter-strip search bookkeeping (when instrumented).
+    pub inter_ns: u64,
+    /// Nanoseconds in intra-strip planning + collision queries.
+    pub intra_ns: u64,
+    /// Nanoseconds converting between strip and grid representations.
+    pub convert_ns: u64,
+    /// High-water bytes of the fallback A\* search (part of MC).
+    pub fallback_peak_bytes: usize,
+}
+
+/// Bookkeeping for one committed route, enough to retire it later.
+#[derive(Debug, Clone)]
+struct Committed {
+    segs: Vec<(StripId, SegmentId, Segment)>,
+    crossings: Vec<(Cell, Cell, Time)>,
+}
+
+/// Sentinel node id for the search goal.
+const GOAL: StripId = StripId::MAX;
+
+/// A parent-chain entry of the cost-only inter-strip search: the hop's leg
+/// lives within strip `prev`, ends at `exit_cell`, waits there until
+/// `depart`, and (when `crossed`) steps into the keyed node at `depart+1`.
+#[derive(Debug, Clone, Copy)]
+struct ParentLite {
+    prev: StripId,
+    exit_cell: Cell,
+    depart: Time,
+    #[allow(dead_code)] // kept for debugging/assertions
+    crossed: bool,
+}
+
+impl ParentLite {
+    const NONE: ParentLite =
+        ParentLite { prev: GOAL, exit_cell: Cell::new(0, 0), depart: 0, crossed: false };
+}
+
+/// Reusable per-request search state, generation-stamped so consecutive
+/// plans never re-clear the dense arrays.
+#[derive(Debug, Default, Clone)]
+struct SearchScratch {
+    gen: u32,
+    stamp: Vec<u32>,
+    settled_stamp: Vec<u32>,
+    dist_v: Vec<Time>,
+    entry: Vec<Cell>,
+    parent: Vec<ParentLite>,
+}
+
+impl SearchScratch {
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.settled_stamp.resize(n, 0);
+            self.dist_v.resize(n, 0);
+            self.entry.resize(n, Cell::new(0, 0));
+            self.parent.resize(n, ParentLite::NONE);
+        }
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            // Extremely rare wrap: hard-reset the stamps.
+            self.stamp.fill(0);
+            self.settled_stamp.fill(0);
+            self.gen = 1;
+        }
+    }
+
+    #[inline]
+    fn dist(&self, i: usize) -> Option<Time> {
+        (self.stamp[i] == self.gen).then(|| self.dist_v[i])
+    }
+
+    #[inline]
+    fn relax(&mut self, i: usize, t: Time, entry: Cell, p: ParentLite) {
+        self.stamp[i] = self.gen;
+        self.dist_v[i] = t;
+        self.entry[i] = entry;
+        self.parent[i] = p;
+    }
+
+    #[inline]
+    fn settled(&self, i: usize) -> bool {
+        self.settled_stamp[i] == self.gen
+    }
+
+    #[inline]
+    fn settle(&mut self, i: usize) {
+        self.settled_stamp[i] = self.gen;
+    }
+
+    fn memory_bytes(&self) -> usize {
+        carp_warehouse::memory::vec_bytes(&self.stamp)
+            + carp_warehouse::memory::vec_bytes(&self.settled_stamp)
+            + carp_warehouse::memory::vec_bytes(&self.dist_v)
+            + carp_warehouse::memory::vec_bytes(&self.entry)
+            + carp_warehouse::memory::vec_bytes(&self.parent)
+    }
+}
+
+/// The Strip-based Route Planner, generic over the segment store so the
+/// Fig. 22(b) ablation can swap the slope index for the naive ordered set.
+#[derive(Debug, Clone)]
+pub struct SrpPlanner<S: SegmentStore = SlopeIndexStore> {
+    matrix: WarehouseMatrix,
+    graph: StripGraph,
+    /// Per-strip segment stores, allocated lazily and boxed: most strips
+    /// carry no traffic at any given moment, and inline store shells in the
+    /// map's slots would otherwise dominate SRP's memory footprint.
+    stores: HashMap<StripId, Box<S>>,
+    /// Shared empty store handed out for strips with no segments.
+    empty_store: S,
+    /// Directed boundary motions of active routes.
+    crossings: HashSet<(Cell, Cell, Time)>,
+    committed: HashMap<RequestId, Committed>,
+    retire_queue: BTreeSet<(Time, RequestId)>,
+    scratch: SearchScratch,
+    /// Configuration.
+    pub config: SrpConfig,
+    /// Counters and TC breakdown.
+    pub stats: SrpStats,
+}
+
+impl SrpPlanner<SlopeIndexStore> {
+    /// Build an SRP planner with the slope-indexed store (the full method
+    /// of the paper, §V-D).
+    pub fn new(matrix: WarehouseMatrix, config: SrpConfig) -> Self {
+        Self::with_store(matrix, config)
+    }
+}
+
+impl<S: SegmentStore + Default> SrpPlanner<S> {
+    /// Build an SRP planner with a custom segment store implementation.
+    pub fn with_store(matrix: WarehouseMatrix, config: SrpConfig) -> Self {
+        let graph = StripGraph::build(&matrix);
+        SrpPlanner {
+            matrix,
+            graph,
+            stores: HashMap::new(),
+            empty_store: S::default(),
+            crossings: HashSet::new(),
+            committed: HashMap::new(),
+            retire_queue: BTreeSet::new(),
+            scratch: SearchScratch::default(),
+            config,
+            stats: SrpStats::default(),
+        }
+    }
+
+    /// The underlying strip graph (for inspection and the Table II stats).
+    pub fn graph(&self) -> &StripGraph {
+        &self.graph
+    }
+
+    /// The warehouse matrix the planner operates on.
+    pub fn matrix(&self) -> &WarehouseMatrix {
+        &self.matrix
+    }
+
+    /// Number of currently committed (active) routes.
+    pub fn active_routes(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// Total segments across all strip stores.
+    pub fn total_segments(&self) -> usize {
+        self.stores.values().map(|s| s.len()).sum()
+    }
+
+    /// Read access to a strip's store (empty stand-in when untouched).
+    #[inline]
+    fn store(&self, sid: StripId) -> &S {
+        self.stores.get(&sid).map_or(&self.empty_store, |b| &**b)
+    }
+
+    /// Byte breakdown of [`Planner::memory_bytes`] for diagnostics:
+    /// `(stores, committed bookkeeping, crossings, scratch, graph)`.
+    pub fn memory_breakdown(&self) -> (usize, usize, usize, usize, usize) {
+        let stores: usize = self
+            .stores
+            .values()
+            .map(|s| s.memory_bytes() + core::mem::size_of::<S>())
+            .sum::<usize>()
+            + memory::hashmap_bytes(&self.stores);
+        let committed: usize = self
+            .committed
+            .values()
+            .map(|c| memory::vec_bytes(&c.segs) + memory::vec_bytes(&c.crossings))
+            .sum::<usize>()
+            + memory::hashmap_bytes(&self.committed)
+            + memory::btreeset_bytes(&self.retire_queue);
+        (
+            stores,
+            committed,
+            memory::hashset_bytes(&self.crossings),
+            self.scratch.memory_bytes() + self.stats.fallback_peak_bytes,
+            self.graph.memory_bytes(),
+        )
+    }
+
+    /// Plan a route *without committing it* — the pure strip-level search
+    /// (including the retry bumps, excluding the grid fallback). Used by
+    /// the competitive-ratio experiment (Theorem 1), which compares single
+    /// uncommitted routes against the space-time-optimal ones.
+    pub fn plan_uncommitted(&mut self, req: &Request) -> Option<Route> {
+        let mut route = self.plan_strips(req);
+        if route.is_none() {
+            for bump in self.config.retry_bumps {
+                let mut delayed = *req;
+                delayed.t = req.t + bump;
+                route = self.plan_strips(&delayed);
+                if route.is_some() {
+                    break;
+                }
+            }
+        }
+        route
+    }
+
+    /// Commit an externally produced route into the collision state (used
+    /// by experiments that need to seed background traffic).
+    pub fn commit_route(&mut self, id: RequestId, route: &Route) {
+        self.commit(id, route);
+    }
+
+    #[inline]
+    fn now(&self) -> Option<Instant> {
+        self.config.instrument.then(Instant::now)
+    }
+
+    #[inline]
+    fn lap(&mut self, start: Option<Instant>, bucket: fn(&mut SrpStats) -> &mut u64) {
+        if let Some(s) = start {
+            *bucket(&mut self.stats) += s.elapsed().as_nanos() as u64;
+        }
+    }
+
+    /// Earliest `t' ∈ [t, t + limit]` at which `(t', cell)` is free in the
+    /// cell's strip store, or `None`.
+    fn probe_free_time(&self, cell: Cell, t: Time, limit: Time) -> Option<Time> {
+        let sid = self.graph.strip_of(&self.matrix, cell);
+        let off = self.graph.strip(sid).offset_of(cell);
+        let store = self.store(sid);
+        let mut t = t;
+        let deadline = t + limit;
+        while t <= deadline {
+            match store.earliest_collision(&Segment::wait(t, deadline, off)) {
+                None => return Some(t),
+                Some(c) if c.time > t => return Some(t),
+                Some(_) => t += 1,
+            }
+        }
+        None
+    }
+
+    /// Plan a route at strip level; `None` means the restricted search
+    /// space has no solution and the fallback should take over.
+    ///
+    /// The search runs in two phases for speed: a cost-only time-dependent
+    /// A*/Dijkstra over strips (no segment polylines are materialized —
+    /// relaxations only need edge durations), then a reconstruction pass
+    /// that re-plans the few legs along the winning chain with full
+    /// polylines. Both phases query the same immutable stores, so the
+    /// rebuilt legs are identical to the ones the search priced.
+    fn plan_strips(&mut self, req: &Request) -> Option<Route> {
+        let (o, d) = (req.origin, req.destination);
+        let su = self.graph.strip_of(&self.matrix, o);
+        let sd = self.graph.strip_of(&self.matrix, d);
+        let start_t = self.probe_free_time(o, req.t, self.config.max_start_delay)?;
+
+        if o == d {
+            return Some(Route::stationary(start_t, o));
+        }
+        let su_kind = self.graph.strip(su).kind;
+        if su == sd && su_kind == StripKind::Rack {
+            return None; // cannot move along a rack strip
+        }
+
+        // Phase 1: cost-only time-dependent Dijkstra / A* (Algorithm 4).
+        let use_h = self.config.use_heuristic;
+        let h = move |cell: Cell| -> Time { if use_h { cell.manhattan(d) } else { 0 } };
+        let n = self.graph.num_vertices();
+        let goal_slot = n; // dense index of the GOAL pseudo-node
+        self.scratch.begin(n + 1);
+        // Min-heap on (f, Reverse(g)): among equal f the deepest entry wins,
+        // so the search dives along one optimal staircase instead of
+        // flooding the whole equal-cost plateau between origin and
+        // destination (consistent heuristic ⇒ optimality is unaffected).
+        //
+        // Edges are evaluated LAZILY: settling a strip pushes one cheap
+        // optimistic entry per edge (`edge_k != NO_EDGE`), carrying the
+        // admissible bound `at + |gu → transit| + 1`; the expensive
+        // intra-strip + crossing evaluation runs only when that bound
+        // reaches the top of the heap. Long full-width aisles have O(W)
+        // edges, so eager evaluation would dominate the whole search.
+        type Key = (Time, core::cmp::Reverse<Time>, StripId, u32);
+        const NO_EDGE: u32 = u32::MAX;
+        let mut heap: BinaryHeap<core::cmp::Reverse<Key>> = BinaryHeap::new();
+        self.scratch.relax(su as usize, start_t, o, ParentLite::NONE);
+        heap.push(core::cmp::Reverse((start_t + h(o), core::cmp::Reverse(start_t), su, NO_EDGE)));
+        let sd_is_rack = self.graph.strip(sd).kind == StripKind::Rack;
+
+        // Resolve one edge's transit pair under all the rack rules; `None`
+        // when the edge is unusable for this request.
+        let resolve = |graph: &StripGraph, u: StripId, k: usize, gu: Cell| -> Option<(StripId, bool, Cell, Cell)> {
+            let edge = graph.edges(u)[k];
+            let v = edge.to;
+            let v_is_goal_rack = v == sd && sd_is_rack;
+            if graph.strip(v).kind == StripKind::Rack && !v_is_goal_rack {
+                return None;
+            }
+            let pair = if v_is_goal_rack {
+                transit_to_cell(graph, u, &edge, d)
+            } else {
+                Some(graph.transition(u, &edge, gu))
+            };
+            let (g_u, g_v) = pair?;
+            // Within a rack origin strip, no movement is possible.
+            if su_kind == StripKind::Rack && u == su && g_u != o {
+                return None;
+            }
+            Some((v, v_is_goal_rack, g_u, g_v))
+        };
+
+        while let Some(core::cmp::Reverse((_, core::cmp::Reverse(at), u, edge_k))) = heap.pop() {
+            if u == GOAL {
+                break;
+            }
+            let ui = u as usize;
+
+            if edge_k != NO_EDGE {
+                // Deferred edge evaluation: `at` is the optimistic arrival.
+                let gu = self.scratch.entry[ui];
+                let settle_at = self.scratch.dist(ui).expect("edge source settled");
+                let Some((v, v_is_goal_rack, g_u, g_v)) = resolve(&self.graph, u, edge_k as usize, gu)
+                else {
+                    continue;
+                };
+                let vi = if v_is_goal_rack { goal_slot } else { v as usize };
+                if self.scratch.settled(vi) || self.scratch.dist(vi).is_some_and(|dv| dv <= at) {
+                    continue;
+                }
+                let strip_u = *self.graph.strip(u);
+                let Some(arrive) =
+                    self.intra_cost(u, settle_at, strip_u.offset_of(gu), strip_u.offset_of(g_u))
+                else {
+                    continue;
+                };
+                let Some(depart) = self.cross_cost(u, arrive, strip_u.offset_of(g_u), g_u, g_v) else {
+                    continue;
+                };
+                let arrival = depart + 1;
+                if self.scratch.dist(vi).is_none_or(|dv| arrival < dv) {
+                    let parent = ParentLite { prev: u, exit_cell: g_u, depart, crossed: true };
+                    self.scratch.relax(vi, arrival, if v_is_goal_rack { d } else { g_v }, parent);
+                    let key = if v_is_goal_rack { arrival } else { arrival + h(g_v) };
+                    let node = if v_is_goal_rack { GOAL } else { v };
+                    heap.push(core::cmp::Reverse((key, core::cmp::Reverse(arrival), node, NO_EDGE)));
+                }
+                continue;
+            }
+
+            if self.scratch.settled(ui) || self.scratch.dist(ui) != Some(at) {
+                continue;
+            }
+            self.scratch.settle(ui);
+            self.stats.strips_settled += 1;
+            let gu = self.scratch.entry[ui];
+
+            // Final leg when the destination strip is an aisle.
+            if u == sd {
+                let strip = *self.graph.strip(u);
+                if let Some(total) = self.intra_cost(u, at, strip.offset_of(gu), strip.offset_of(d)) {
+                    if self.scratch.dist(goal_slot).is_none_or(|g| total < g) {
+                        self.scratch.relax(
+                            goal_slot,
+                            total,
+                            d,
+                            ParentLite { prev: u, exit_cell: d, depart: total, crossed: false },
+                        );
+                        heap.push(core::cmp::Reverse((total, core::cmp::Reverse(total), GOAL, NO_EDGE)));
+                    }
+                }
+                continue; // never expand beyond the destination strip
+            }
+
+            let strip_u = *self.graph.strip(u);
+            for k in 0..self.graph.edges(u).len() {
+                let Some((v, v_is_goal_rack, g_u, g_v)) = resolve(&self.graph, u, k, gu) else {
+                    continue;
+                };
+                let vi = if v_is_goal_rack { goal_slot } else { v as usize };
+                if self.scratch.settled(vi) {
+                    continue;
+                }
+                // Admissible bound: straight-line leg + one crossing step.
+                let lb = at + strip_u.offset_of(gu).abs_diff(strip_u.offset_of(g_u)) + 1;
+                if self.scratch.dist(vi).is_some_and(|dv| dv <= lb) {
+                    continue;
+                }
+                let key = if v_is_goal_rack { lb } else { lb + h(g_v) };
+                heap.push(core::cmp::Reverse((key, core::cmp::Reverse(lb), u, k as u32)));
+            }
+        }
+
+        let total = self.scratch.dist(goal_slot)?;
+        // Phase 2: reconstruct the leg chain (line 24 of Algorithm 4) by
+        // walking the parent pointers and re-planning each leg in full.
+        let convert_t = self.now();
+        let mut hops: Vec<ParentLite> = Vec::new();
+        let mut node = goal_slot;
+        loop {
+            let p = self.scratch.parent[node];
+            debug_assert!(p.prev != GOAL, "goal is connected to the origin");
+            hops.push(p);
+            if p.prev == su {
+                break;
+            }
+            node = p.prev as usize;
+        }
+        hops.reverse();
+        self.lap(convert_t, |s| &mut s.convert_ns);
+
+        let mut legs: Vec<(StripId, IntraRoute)> = Vec::with_capacity(hops.len() + 1);
+        for hop in &hops {
+            let u = hop.prev;
+            let strip = *self.graph.strip(u);
+            let enter_t = self.scratch.dist(u as usize).expect("on chain");
+            let gu = self.scratch.entry[u as usize];
+            let mut leg = self
+                .intra_full(u, enter_t, strip.offset_of(gu), strip.offset_of(hop.exit_cell))
+                .expect("cost phase succeeded on this leg");
+            debug_assert!(leg.arrive <= hop.depart);
+            if leg.arrive < hop.depart {
+                let off = strip.offset_of(hop.exit_cell);
+                leg.segments.push(Segment::wait(leg.arrive, hop.depart, off));
+                leg.arrive = hop.depart;
+            }
+            legs.push((u, leg));
+        }
+        if sd_is_rack {
+            // The rack destination is entered by the final crossing; it
+            // contributes a single point of occupancy.
+            legs.push((sd, IntraRoute {
+                segments: vec![Segment::point(total, self.graph.strip(sd).offset_of(d))],
+                enter: total,
+                arrive: total,
+            }));
+        }
+
+        let convert_t = self.now();
+        let route = compose(&self.graph, &legs);
+        self.lap(convert_t, |s| &mut s.convert_ns);
+        debug_assert_eq!(route.destination(), d);
+        debug_assert_eq!(route.end_time(), total);
+        Some(route)
+    }
+
+    /// Instrumented cost-only intra-strip query (search phase).
+    fn intra_cost(&mut self, strip: StripId, t: Time, from: i32, to: i32) -> Option<Time> {
+        let started = self.now();
+        self.stats.intra_calls += 1;
+        let arrive = plan_within_cost(self.store(strip), t, from, to, &self.config.intra);
+        self.lap(started, |s| &mut s.intra_ns);
+        arrive
+    }
+
+    /// Instrumented full intra-strip planning (reconstruction phase).
+    fn intra_full(&mut self, strip: StripId, t: Time, from: i32, to: i32) -> Option<IntraRoute> {
+        let started = self.now();
+        let leg = plan_within(self.store(strip), t, from, to, &self.config.intra);
+        self.lap(started, |s| &mut s.intra_ns);
+        leg
+    }
+
+    /// Find the earliest boundary departure `>= arrive` for the motion
+    /// `g_u -> g_v` (cost phase: no leg materialization).
+    fn cross_cost(&mut self, u: StripId, arrive: Time, exit_off: i32, g_u: Cell, g_v: Cell) -> Option<Time> {
+        let started = self.now();
+        let store_u = self.store(u);
+        // Longest wait permissible at the transit cell.
+        let probe = Segment::wait(arrive, arrive + self.config.max_entry_delay, exit_off);
+        let wait_limit = match store_u.earliest_collision(&probe) {
+            Some(c) => {
+                debug_assert!(c.time > arrive, "transit cell reached collision-free");
+                (c.time - 1 - arrive).min(self.config.max_entry_delay)
+            }
+            None => self.config.max_entry_delay,
+        };
+        let v = self.graph.strip_of(&self.matrix, g_v);
+        let v_off = self.graph.strip(v).offset_of(g_v);
+        let store_v = self.store(v);
+        let mut found = None;
+        for delta in 0..=wait_limit {
+            let depart = arrive + delta;
+            // Cross-strip swap: someone crossing the other way at `depart`.
+            if self.crossings.contains(&(g_v, g_u, depart)) {
+                continue;
+            }
+            // Entry vertex: the first instant in the next strip.
+            if store_v.earliest_collision(&Segment::point(depart + 1, v_off)).is_some() {
+                continue;
+            }
+            found = Some(depart);
+            break;
+        }
+        self.lap(started, |s| &mut s.intra_ns);
+        found
+    }
+
+
+    /// Grid-level fallback (§VI remarks): rebuild a reservation table from
+    /// the committed segments and run space-time A\*.
+    fn plan_fallback(&mut self, req: &Request) -> Option<Route> {
+        let mut rt = ReservationTable::new();
+        for (id, c) in &self.committed {
+            for &(sid, _, seg) in &c.segs {
+                let strip = self.graph.strip(sid);
+                let mut prev: Option<(Time, Cell)> = None;
+                for (t, off) in seg.occupancy() {
+                    let cell = strip.cell_at(off);
+                    rt.reserve(&Route::stationary(t, cell), *id);
+                    if let Some((pt, pc)) = prev {
+                        if pc != cell {
+                            rt.reserve(&Route::new(pt, vec![pc, cell]), *id);
+                        }
+                    }
+                    prev = Some((t, cell));
+                }
+            }
+            for &(from, to, t) in &c.crossings {
+                rt.reserve(&Route::new(t, vec![from, to]), *id);
+            }
+        }
+        let mut astar = SpaceTimeAStar::new(self.config.fallback);
+        let r = astar.plan(&self.matrix, &rt, None, req.origin, req.destination, req.t);
+        self.stats.fallback_peak_bytes = self.stats.fallback_peak_bytes.max(astar.stats.peak_bytes);
+        r
+    }
+
+    /// Commit a planned route: decompose it and insert its segments and
+    /// crossings into the collision state.
+    fn commit(&mut self, id: RequestId, route: &Route) {
+        let started = self.now();
+        let dec = decompose(&self.matrix, &self.graph, route);
+        #[cfg(debug_assertions)]
+        for (sid, seg) in &dec.segments {
+            debug_assert!(
+                self.store(*sid).earliest_collision(seg).is_none(),
+                "committing colliding segment {seg} in strip {sid}"
+            );
+        }
+        let mut segs = Vec::with_capacity(dec.segments.len());
+        for (sid, seg) in dec.segments {
+            let handle = self.stores.entry(sid).or_insert_with(|| Box::new(S::default())).insert(seg);
+            segs.push((sid, handle, seg));
+        }
+        for &c in &dec.crossings {
+            self.crossings.insert(c);
+        }
+        self.committed.insert(id, Committed { segs, crossings: dec.crossings });
+        self.retire_queue.insert((route.end_time(), id));
+        self.lap(started, |s| &mut s.convert_ns);
+    }
+
+    /// Remove one committed route from the collision state.
+    fn retire(&mut self, id: RequestId) {
+        if let Some(c) = self.committed.remove(&id) {
+            for (sid, handle, seg) in c.segs {
+                let store = self.stores.get_mut(&sid).expect("store exists for committed segment");
+                let removed = store.remove(handle, &seg);
+                debug_assert!(removed, "segment missing on retire");
+                if store.is_empty() {
+                    self.stores.remove(&sid);
+                }
+            }
+            for key in c.crossings {
+                self.crossings.remove(&key);
+            }
+        }
+    }
+}
+
+/// The transit pair of `edge` whose target-strip cell is exactly `target`
+/// (used for rack destinations), or `None` when this edge cannot deliver
+/// the robot adjacent to `target`.
+fn transit_to_cell(graph: &StripGraph, u: StripId, edge: &StripEdge, target: Cell) -> Option<(Cell, Cell)> {
+    match edge.geom {
+        EdgeGeom::Perpendicular { u_cell, v_cell } | EdgeGeom::Collinear { u_cell, v_cell } => {
+            (v_cell == target).then_some((u_cell, v_cell))
+        }
+        EdgeGeom::Lateral { lo, hi } => {
+            let su = graph.strip(u);
+            let sv = graph.strip(edge.to);
+            debug_assert!(sv.contains(target));
+            let coord = match sv.dir {
+                crate::strip_graph::StripDir::Latitudinal => target.col,
+                crate::strip_graph::StripDir::Longitudinal => target.row,
+            };
+            if !(lo..=hi).contains(&coord) {
+                return None;
+            }
+            let u_cell = match su.dir {
+                crate::strip_graph::StripDir::Latitudinal => Cell::new(su.alpha.row, coord),
+                crate::strip_graph::StripDir::Longitudinal => Cell::new(coord, su.alpha.col),
+            };
+            Some((u_cell, target))
+        }
+    }
+}
+
+impl<S: SegmentStore + Default> Planner for SrpPlanner<S> {
+    fn name(&self) -> &'static str {
+        "SRP"
+    }
+
+    fn plan(&mut self, req: &Request) -> PlanOutcome {
+        // inter_ns is the strip-level search time *excluding* the intra and
+        // conversion buckets, so the three Fig. 22(a) components add up to
+        // the whole.
+        let inter_t = self.now();
+        let sub_before = self.stats.intra_ns + self.stats.convert_ns;
+        let mut strip_route = self.plan_strips(req);
+        if strip_route.is_none() {
+            // Strip-level retries with postponed departure (see
+            // `SrpConfig::retry_bumps`).
+            for bump in self.config.retry_bumps {
+                let mut delayed = *req;
+                delayed.t = req.t + bump;
+                strip_route = self.plan_strips(&delayed);
+                if strip_route.is_some() {
+                    self.stats.retries += 1;
+                    break;
+                }
+            }
+        }
+        if let Some(started) = inter_t {
+            let sub = (self.stats.intra_ns + self.stats.convert_ns) - sub_before;
+            self.stats.inter_ns += (started.elapsed().as_nanos() as u64).saturating_sub(sub);
+        }
+        let route = match strip_route {
+            Some(r) => Some(r),
+            None if self.config.use_fallback => {
+                let r = self.plan_fallback(req);
+                if r.is_some() {
+                    self.stats.fallbacks += 1;
+                }
+                r
+            }
+            None => None,
+        };
+        match route {
+            Some(route) => {
+                debug_assert!(route.validate(&self.matrix).is_ok(), "invalid route planned");
+                self.commit(req.id, &route);
+                self.stats.planned += 1;
+                PlanOutcome::Planned(route)
+            }
+            None => {
+                self.stats.infeasible += 1;
+                PlanOutcome::Infeasible
+            }
+        }
+    }
+
+    fn advance(&mut self, now: Time) -> Vec<(RequestId, Route)> {
+        // Retire routes that finished strictly before `now`; their segments
+        // can no longer collide with requests emerging at `t ≥ now`.
+        while let Some(&(end, id)) = self.retire_queue.iter().next() {
+            if end >= now {
+                break;
+            }
+            self.retire_queue.remove(&(end, id));
+            self.retire(id);
+        }
+        Vec::new()
+    }
+
+    fn cancel(&mut self, id: RequestId) -> bool {
+        if self.committed.contains_key(&id) {
+            self.retire_queue.retain(|&(_, rid)| rid != id);
+            self.retire(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let stores: usize = self
+            .stores
+            .values()
+            .map(|s| s.memory_bytes() + core::mem::size_of::<S>())
+            .sum::<usize>()
+            + memory::hashmap_bytes(&self.stores);
+        let committed: usize = self
+            .committed
+            .values()
+            .map(|c| memory::vec_bytes(&c.segs) + memory::vec_bytes(&c.crossings))
+            .sum();
+        stores
+            + committed
+            + memory::hashset_bytes(&self.crossings)
+            + memory::hashmap_bytes(&self.committed)
+            + memory::btreeset_bytes(&self.retire_queue)
+            + self.scratch.memory_bytes()
+            + self.stats.fallback_peak_bytes
+            + self.graph.memory_bytes()
+    }
+}

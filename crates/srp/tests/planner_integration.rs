@@ -1,0 +1,243 @@
+//! End-to-end tests of the SRP planner against the ground-truth discrete
+//! collision semantics (Definition 3).
+
+use carp_srp::{SrpConfig, SrpPlanner};
+use carp_warehouse::collision::validate_routes;
+use carp_warehouse::layout::LayoutConfig;
+use carp_warehouse::tasks::generate_requests;
+use carp_warehouse::types::Cell;
+use carp_warehouse::{Planner, QueryKind, Request, Route, WarehouseMatrix};
+
+fn toy_matrix() -> WarehouseMatrix {
+    WarehouseMatrix::from_ascii(
+        "......\n\
+         .##.#.\n\
+         .##.#.\n\
+         ......\n\
+         .##...\n\
+         .##...\n\
+         ......",
+    )
+}
+
+#[test]
+fn single_route_is_shortest_in_empty_traffic() {
+    let mut srp = SrpPlanner::new(toy_matrix(), SrpConfig::default());
+    let req = Request::new(0, 0, Cell::new(0, 0), Cell::new(6, 5), QueryKind::Pickup);
+    let route = srp.plan(&req).route().cloned().expect("planned");
+    assert!(route.validate(srp.matrix()).is_ok());
+    assert_eq!(route.origin(), Cell::new(0, 0));
+    assert_eq!(route.destination(), Cell::new(6, 5));
+    // With no traffic the route must be a true shortest path.
+    assert_eq!(route.duration(), 11);
+}
+
+#[test]
+fn route_to_rack_destination_ends_on_rack() {
+    let m = toy_matrix();
+    let mut srp = SrpPlanner::new(m, SrpConfig::default());
+    let rack = Cell::new(2, 1);
+    let req = Request::new(0, 0, Cell::new(0, 0), rack, QueryKind::Pickup);
+    let route = srp.plan(&req).route().cloned().expect("planned");
+    assert_eq!(route.destination(), rack);
+    assert!(route.validate(srp.matrix()).is_ok());
+    // Only the final step may touch the rack.
+    for &g in &route.grids[..route.grids.len() - 1] {
+        assert!(srp.matrix().is_free(g));
+    }
+}
+
+#[test]
+fn route_from_rack_origin_leaves_laterally() {
+    let m = toy_matrix();
+    let mut srp = SrpPlanner::new(m, SrpConfig::default());
+    let rack = Cell::new(1, 1);
+    let req = Request::new(0, 3, rack, Cell::new(6, 0), QueryKind::Transmission);
+    let route = srp.plan(&req).route().cloned().expect("planned");
+    assert_eq!(route.origin(), rack);
+    assert!(route.start >= 3);
+    assert!(route.validate(srp.matrix()).is_ok());
+}
+
+#[test]
+fn many_sequential_requests_are_mutually_collision_free() {
+    let layout = LayoutConfig::small().generate();
+    let mut srp = SrpPlanner::new(layout.matrix.clone(), SrpConfig::default());
+    let requests = generate_requests(&layout, 120, 3.0, 42);
+    let mut routes: Vec<Route> = Vec::new();
+    let mut infeasible = 0;
+    for req in &requests {
+        match srp.plan(req) {
+            outcome => match outcome.route() {
+                Some(r) => {
+                    assert!(r.validate(srp.matrix()).is_ok(), "invalid route for {req:?}");
+                    assert!(r.start >= req.t);
+                    routes.push(r.clone());
+                }
+                None => infeasible += 1,
+            },
+        }
+    }
+    assert!(routes.len() >= 110, "too many infeasible: {infeasible}");
+    assert_eq!(validate_routes(&routes), None, "planner committed a collision");
+}
+
+#[test]
+fn contested_origin_postpones_departure() {
+    let m = WarehouseMatrix::empty(3, 8);
+    let mut srp = SrpPlanner::new(m, SrpConfig::default());
+    // First robot sweeps the row through (0,0) arriving there at t=5.
+    let r1 = srp
+        .plan(&Request::new(0, 0, Cell::new(0, 5), Cell::new(0, 0), QueryKind::Pickup))
+        .route()
+        .cloned()
+        .expect("planned");
+    assert_eq!(r1.end_time(), 5);
+    // Second robot wants to depart from (0,0) at t=5 — contested instant.
+    let r2 = srp
+        .plan(&Request::new(1, 5, Cell::new(0, 0), Cell::new(2, 0), QueryKind::Pickup))
+        .route()
+        .cloned()
+        .expect("planned");
+    assert_eq!(validate_routes(&[r1, r2.clone()]), None);
+    assert!(r2.start > 5, "origin occupied at t=5 by the arrived robot");
+}
+
+#[test]
+fn fallback_resolves_strip_level_dead_end() {
+    // Single corridor with a side bay: a head-on meeting inside one strip is
+    // unresolvable forward-only, so SRP must fall back to grid A*.
+    let m = WarehouseMatrix::from_ascii(
+        "######\n\
+         ......\n\
+         ###.##",
+    );
+    // With retries disabled the planner must resort to the grid A*.
+    let mut srp = SrpPlanner::new(m.clone(), SrpConfig { retry_bumps: [0, 0, 0], ..SrpConfig::default() });
+    let r1 = srp
+        .plan(&Request::new(0, 0, Cell::new(1, 0), Cell::new(1, 5), QueryKind::Pickup))
+        .route()
+        .cloned()
+        .expect("eastbound");
+    let r2 = srp
+        .plan(&Request::new(1, 0, Cell::new(1, 5), Cell::new(1, 0), QueryKind::Pickup))
+        .route()
+        .cloned()
+        .expect("westbound must succeed via fallback");
+    assert_eq!(validate_routes(&[r1, r2]), None);
+    assert!(srp.stats.fallbacks >= 1, "expected the A* fallback to fire");
+
+    // With the default retry bumps the same dead end resolves inside the
+    // strip framework: the westbound robot simply departs later.
+    let mut srp = SrpPlanner::new(m, SrpConfig::default());
+    let r1 = srp
+        .plan(&Request::new(0, 0, Cell::new(1, 0), Cell::new(1, 5), QueryKind::Pickup))
+        .route()
+        .cloned()
+        .expect("eastbound");
+    let r2 = srp
+        .plan(&Request::new(1, 0, Cell::new(1, 5), Cell::new(1, 0), QueryKind::Pickup))
+        .route()
+        .cloned()
+        .expect("westbound via retry");
+    assert_eq!(validate_routes(&[r1, r2]), None);
+    assert_eq!(srp.stats.fallbacks, 0, "retry should avoid the fallback");
+    assert!(srp.stats.retries >= 1);
+}
+
+#[test]
+fn advance_retires_finished_routes_and_frees_memory() {
+    let layout = LayoutConfig::small().generate();
+    let mut srp = SrpPlanner::new(layout.matrix.clone(), SrpConfig::default());
+    let requests = generate_requests(&layout, 40, 5.0, 7);
+    let mut last_end = 0;
+    for req in &requests {
+        if let Some(r) = srp.plan(req).route() {
+            last_end = last_end.max(r.end_time());
+        }
+    }
+    let before = srp.memory_bytes();
+    assert!(srp.total_segments() > 0);
+    srp.advance(last_end + 1);
+    assert_eq!(srp.total_segments(), 0, "all routes finished, stores must drain");
+    assert_eq!(srp.active_routes(), 0);
+    assert!(srp.memory_bytes() < before);
+}
+
+#[test]
+fn retired_routes_no_longer_block() {
+    let m = WarehouseMatrix::empty(2, 10);
+    let mut srp = SrpPlanner::new(m, SrpConfig::default());
+    let r1 = srp
+        .plan(&Request::new(0, 0, Cell::new(0, 0), Cell::new(0, 9), QueryKind::Pickup))
+        .route()
+        .cloned()
+        .expect("planned");
+    srp.advance(r1.end_time() + 1);
+    // A later request re-using the same corridor must get the unobstructed
+    // shortest route.
+    let r2 = srp
+        .plan(&Request::new(1, r1.end_time() + 1, Cell::new(0, 9), Cell::new(0, 0), QueryKind::Pickup))
+        .route()
+        .cloned()
+        .expect("planned");
+    assert_eq!(r2.duration(), 9);
+}
+
+#[test]
+fn stationary_request_is_a_point() {
+    let mut srp = SrpPlanner::new(toy_matrix(), SrpConfig::default());
+    let req = Request::new(0, 4, Cell::new(3, 3), Cell::new(3, 3), QueryKind::Return);
+    let route = srp.plan(&req).route().cloned().expect("planned");
+    assert_eq!(route.grids.len(), 1);
+    assert_eq!(route.start, 4);
+}
+
+#[test]
+fn heuristic_and_dijkstra_agree_on_route_duration() {
+    let layout = LayoutConfig::small().generate();
+    let requests = generate_requests(&layout, 60, 2.0, 99);
+    let mut with_h = SrpPlanner::new(layout.matrix.clone(), SrpConfig { use_heuristic: true, ..SrpConfig::default() });
+    let mut without_h = SrpPlanner::new(
+        layout.matrix.clone(),
+        SrpConfig { use_heuristic: false, ..SrpConfig::default() },
+    );
+    // Edge weights depend on the entry cell of each strip, so A* and plain
+    // Dijkstra may settle strips with different entry cells and produce
+    // slightly different (both valid) routes; we check aggregate closeness
+    // and the expansion saving, not per-route equality.
+    let (mut dur_h, mut dur_d) = (0u64, 0u64);
+    for req in &requests {
+        if let Some(r) = with_h.plan(req).route() {
+            dur_h += r.duration() as u64;
+        }
+        if let Some(r) = without_h.plan(req).route() {
+            dur_d += r.duration() as u64;
+        }
+    }
+    let gap = (dur_h as f64 - dur_d as f64).abs() / dur_d as f64;
+    assert!(gap < 0.05, "heuristic shifted total durations by {gap:.3}");
+    assert!(
+        with_h.stats.strips_settled < without_h.stats.strips_settled,
+        "heuristic should settle fewer strips ({} vs {})",
+        with_h.stats.strips_settled,
+        without_h.stats.strips_settled
+    );
+}
+
+#[test]
+fn instrumented_breakdown_adds_up() {
+    let layout = LayoutConfig::small().generate();
+    let mut srp = SrpPlanner::new(
+        layout.matrix.clone(),
+        SrpConfig { instrument: true, ..SrpConfig::default() },
+    );
+    for req in generate_requests(&layout, 50, 4.0, 5) {
+        srp.plan(&req);
+    }
+    let s = srp.stats;
+    assert!(s.intra_ns > 0, "intra bucket empty");
+    assert!(s.convert_ns > 0, "convert bucket empty");
+    assert!(s.inter_ns > 0, "inter bucket empty");
+    assert!(s.intra_calls > 0);
+}

@@ -1,0 +1,173 @@
+//! Strip-graph construction on pathological warehouse shapes — degenerate
+//! maps Algorithm 1 must still partition and connect correctly, and on
+//! which the planner must still route.
+
+use carp_srp::{SrpConfig, SrpPlanner, StripDir, StripGraph, StripKind};
+use carp_warehouse::types::Cell;
+use carp_warehouse::{Planner, QueryKind, Request, WarehouseMatrix};
+
+fn assert_partition(m: &WarehouseMatrix, g: &StripGraph) {
+    let mut counts = vec![0u32; g.num_vertices()];
+    for c in m.cells() {
+        let sid = g.strip_of(m, c);
+        assert!(g.strip(sid).contains(c));
+        counts[sid as usize] += 1;
+    }
+    for (i, s) in g.strips.iter().enumerate() {
+        assert_eq!(counts[i], s.len(), "strip {i}");
+    }
+}
+
+#[test]
+fn single_free_row_is_one_latitudinal_strip() {
+    let m = WarehouseMatrix::empty(1, 20);
+    let g = StripGraph::build(&m);
+    assert_eq!(g.num_vertices(), 1);
+    assert_eq!(g.num_edges(), 0);
+    assert_eq!(g.strips[0].dir, StripDir::Latitudinal);
+    assert_eq!(g.strips[0].len(), 20);
+    assert_partition(&m, &g);
+}
+
+#[test]
+fn single_free_column_is_many_rows() {
+    // Every row of a 1-wide map is "all free", so Algorithm 1 makes each a
+    // latitudinal strip of length 1, stacked side by side.
+    let m = WarehouseMatrix::empty(20, 1);
+    let g = StripGraph::build(&m);
+    assert_eq!(g.num_vertices(), 20);
+    assert_eq!(g.num_edges(), 19);
+    assert_partition(&m, &g);
+    // And routing along it works.
+    let mut srp = SrpPlanner::new(m, SrpConfig::default());
+    let r = srp
+        .plan(&Request::new(0, 0, Cell::new(0, 0), Cell::new(19, 0), QueryKind::Pickup))
+        .route()
+        .cloned()
+        .expect("route");
+    assert_eq!(r.duration(), 19);
+}
+
+#[test]
+fn fully_open_floor() {
+    let m = WarehouseMatrix::empty(12, 17);
+    let g = StripGraph::build(&m);
+    // Every row is a full-free latitudinal strip.
+    assert_eq!(g.num_vertices(), 12);
+    assert_eq!(g.num_edges(), 11);
+    assert_partition(&m, &g);
+}
+
+#[test]
+fn checkerboard_degenerates_to_unit_strips() {
+    // Worst case for aggregation: no two same-value cells align vertically
+    // after row filtering.
+    let mut m = WarehouseMatrix::empty(8, 8);
+    for c in m.cells().collect::<Vec<_>>() {
+        if (c.row + c.col) % 2 == 0 && c.row > 0 && c.row < 7 {
+            m.set_rack(c, true);
+        }
+    }
+    let g = StripGraph::build(&m);
+    assert_partition(&m, &g);
+    // All strips are single cells except the two free border rows.
+    let unit = g.strips.iter().filter(|s| s.len() == 1).count();
+    assert!(unit >= 8 * 6 - 2, "checkerboard must shatter into unit strips, got {unit}");
+}
+
+#[test]
+fn solid_rack_block_with_ring() {
+    let m = WarehouseMatrix::from_ascii(
+        "......\n\
+         .####.\n\
+         .####.\n\
+         .####.\n\
+         ......",
+    );
+    let g = StripGraph::build(&m);
+    assert_partition(&m, &g);
+    let racks: Vec<_> = g.strips.iter().filter(|s| s.kind == StripKind::Rack).collect();
+    assert_eq!(racks.len(), 4, "one rack strip per column of the block");
+    for r in &racks {
+        assert_eq!(r.len(), 3);
+    }
+    // Interior rack cells (col 2,3 of the block) have no lateral aisle
+    // access; routing must still reach an *edge* rack cell.
+    let mut srp = SrpPlanner::new(m, SrpConfig::default());
+    let edge_rack = Cell::new(2, 1);
+    let r = srp
+        .plan(&Request::new(0, 0, Cell::new(0, 0), edge_rack, QueryKind::Pickup))
+        .route()
+        .cloned()
+        .expect("edge rack reachable");
+    assert_eq!(r.destination(), edge_rack);
+}
+
+#[test]
+fn interior_rack_cell_is_unreachable_and_reported() {
+    let m = WarehouseMatrix::from_ascii(
+        "......\n\
+         .####.\n\
+         .####.\n\
+         .####.\n\
+         ......",
+    );
+    let mut srp = SrpPlanner::new(m, SrpConfig::default());
+    // (2,2) is enclosed by racks on all four sides: no legal final step.
+    let outcome = srp.plan(&Request::new(0, 0, Cell::new(0, 0), Cell::new(2, 2), QueryKind::Pickup));
+    assert!(outcome.route().is_none(), "interior rack cells have no access step");
+}
+
+#[test]
+fn horizontal_rack_bars_become_longitudinal_unit_runs() {
+    // A full-width rack row: not a free row, so it aggregates column-wise
+    // into 1-cell rack strips.
+    let m = WarehouseMatrix::from_ascii(
+        ".....\n\
+         #####\n\
+         .....",
+    );
+    let g = StripGraph::build(&m);
+    assert_partition(&m, &g);
+    let racks = g.strips.iter().filter(|s| s.kind == StripKind::Rack).count();
+    assert_eq!(racks, 5);
+    // The two free rows must NOT be connected (the rack bar separates
+    // them; rack strips are only endpoints).
+    let mut srp = SrpPlanner::new(m, SrpConfig::default());
+    let outcome = srp.plan(&Request::new(0, 0, Cell::new(0, 0), Cell::new(2, 4), QueryKind::Pickup));
+    assert!(outcome.route().is_none(), "the rack bar must be impassable");
+}
+
+#[test]
+fn transitions_exist_for_every_edge_geometry() {
+    use carp_srp::EdgeGeom;
+    let layout = carp_warehouse::layout::LayoutConfig::small().generate();
+    let g = StripGraph::build(&layout.matrix);
+    let (mut perp, mut lat, mut col) = (0, 0, 0);
+    for sid in 0..g.num_vertices() as u32 {
+        for e in g.edges(sid) {
+            match e.geom {
+                EdgeGeom::Perpendicular { u_cell, v_cell } => {
+                    perp += 1;
+                    assert!(u_cell.is_adjacent(v_cell));
+                    assert!(g.strip(sid).contains(u_cell));
+                    assert!(g.strip(e.to).contains(v_cell));
+                }
+                EdgeGeom::Collinear { u_cell, v_cell } => {
+                    col += 1;
+                    assert!(u_cell.is_adjacent(v_cell));
+                }
+                EdgeGeom::Lateral { lo, hi } => {
+                    lat += 1;
+                    assert!(lo <= hi);
+                    // Every overlap coordinate yields an adjacent pair.
+                    let (gu, gv) = g.transition(sid, e, g.strip(sid).cell_at(0));
+                    assert!(gu.is_adjacent(gv));
+                }
+            }
+        }
+    }
+    assert!(perp > 0, "layout must contain perpendicular adjacencies");
+    assert!(lat > 0, "layout must contain lateral adjacencies");
+    let _ = col; // collinear runs may or may not occur in regular layouts
+}

@@ -1,0 +1,208 @@
+//! Ground-truth discrete collision semantics (Definition 3).
+//!
+//! Two routes collide when they
+//!
+//! 1. visit the same grid at the same time (**vertex conflict**, Fig. 1(a)),
+//!    or
+//! 2. pass over each other — exchange adjacent grids across one time step
+//!    (**swap conflict**, Fig. 1(b)).
+//!
+//! This module is the reference implementation every planner is audited
+//! against; it deliberately favours clarity and exactness over speed (the
+//! fast path is the segment geometry in `carp-geometry`).
+
+use crate::route::Route;
+use crate::types::{Cell, Time};
+use std::collections::HashMap;
+
+/// The kind of a detected conflict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictKind {
+    /// Same grid, same time (Fig. 1(a)).
+    Vertex,
+    /// Two routes exchange adjacent grids over one step (Fig. 1(b)).
+    Swap,
+}
+
+/// A conflict between two routes, reported with its earliest occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conflict {
+    /// Kind of the conflict.
+    pub kind: ConflictKind,
+    /// Time of the conflict. For swaps this is the time at which the two
+    /// robots *start* exchanging cells (they meet "between" `time` and
+    /// `time + 1` — the floor convention of Eq. (3)).
+    pub time: Time,
+    /// Grid of the conflict: the shared grid for vertex conflicts, the grid
+    /// occupied by the first route at `time` for swap conflicts.
+    pub cell: Cell,
+    /// Indices of the two conflicting routes (when checking sets) or `(0,1)`
+    /// for pairwise checks.
+    pub routes: (usize, usize),
+}
+
+/// Find the earliest conflict between two routes, or `None` if they are
+/// compatible. Exhaustive over the overlapping time range — O(min duration).
+pub fn first_conflict(a: &Route, b: &Route) -> Option<Conflict> {
+    let lo = a.start.max(b.start);
+    let hi = a.end_time().min(b.end_time());
+    if lo > hi {
+        return None;
+    }
+    for t in lo..=hi {
+        let pa = a.position_at(t).expect("t within a's span");
+        let pb = b.position_at(t).expect("t within b's span");
+        if pa == pb {
+            return Some(Conflict { kind: ConflictKind::Vertex, time: t, cell: pa, routes: (0, 1) });
+        }
+        if t < hi {
+            let na = a.position_at(t + 1).expect("t+1 within a's span");
+            let nb = b.position_at(t + 1).expect("t+1 within b's span");
+            if na == pb && nb == pa && pa != na {
+                return Some(Conflict { kind: ConflictKind::Swap, time: t, cell: pa, routes: (0, 1) });
+            }
+        }
+    }
+    None
+}
+
+/// Validate that a whole set of routes is collision-free.
+///
+/// Runs in `O(total occupancy)` using a `(cell, time)` hash map for vertex
+/// conflicts and an edge map for swaps, so it scales to full simulation days.
+/// Returns the first conflict found (with the indices of the two offending
+/// routes) or `None` when the set is collision-free.
+pub fn validate_routes(routes: &[Route]) -> Option<Conflict> {
+    // (cell, t) -> route index.
+    let mut occupancy: HashMap<(Cell, Time), usize> = HashMap::new();
+    // Directed motion (from, to, t) -> route index, for swap detection:
+    // a swap by route j against route i exists iff i moved (u -> v) at t and
+    // j moved (v -> u) at t.
+    let mut motions: HashMap<(Cell, Cell, Time), usize> = HashMap::new();
+    let mut best: Option<Conflict> = None;
+    let mut consider = |c: Conflict| {
+        if best.map_or(true, |b| c.time < b.time) {
+            best = Some(c);
+        }
+    };
+
+    for (i, r) in routes.iter().enumerate() {
+        for (t, cell) in r.occupancy() {
+            if let Some(&j) = occupancy.get(&(cell, t)) {
+                consider(Conflict { kind: ConflictKind::Vertex, time: t, cell, routes: (j, i) });
+            } else {
+                occupancy.insert((cell, t), i);
+            }
+        }
+        for (k, w) in r.grids.windows(2).enumerate() {
+            if w[0] == w[1] {
+                continue;
+            }
+            let t = r.start + k as Time;
+            if let Some(&j) = motions.get(&(w[1], w[0], t)) {
+                consider(Conflict { kind: ConflictKind::Swap, time: t, cell: w[0], routes: (j, i) });
+            }
+            motions.insert((w[0], w[1], t), i);
+        }
+    }
+    best
+}
+
+/// Convenience: `true` when the set of routes is collision-free (Def. 3).
+pub fn is_collision_free(routes: &[Route]) -> bool {
+    validate_routes(routes).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn route(start: Time, pairs: &[(u16, u16)]) -> Route {
+        Route::new(start, pairs.iter().map(|&(r, c)| Cell::new(r, c)).collect())
+    }
+
+    #[test]
+    fn detects_vertex_conflict() {
+        // Both occupy (0,1) at t=1.
+        let a = route(0, &[(0, 0), (0, 1), (0, 2)]);
+        let b = route(0, &[(1, 1), (0, 1), (1, 1)]);
+        let c = first_conflict(&a, &b).expect("conflict");
+        assert_eq!(c.kind, ConflictKind::Vertex);
+        assert_eq!(c.time, 1);
+        assert_eq!(c.cell, Cell::new(0, 1));
+    }
+
+    #[test]
+    fn detects_swap_conflict() {
+        // a: (0,0)->(0,1); b: (0,1)->(0,0) at the same step (Fig. 1(b)).
+        let a = route(0, &[(0, 0), (0, 1)]);
+        let b = route(0, &[(0, 1), (0, 0)]);
+        let c = first_conflict(&a, &b).expect("conflict");
+        assert_eq!(c.kind, ConflictKind::Swap);
+        assert_eq!(c.time, 0);
+    }
+
+    #[test]
+    fn following_is_not_a_conflict() {
+        // b follows a one step behind — legal.
+        let a = route(0, &[(0, 0), (0, 1), (0, 2), (0, 3)]);
+        let b = route(1, &[(0, 0), (0, 1), (0, 2)]);
+        assert_eq!(first_conflict(&a, &b), None);
+    }
+
+    #[test]
+    fn head_on_crossing_at_half_step_is_swap() {
+        // a moves east over (0,0)..(0,3); b moves west over the same row,
+        // meeting between integer instants.
+        let a = route(0, &[(0, 0), (0, 1), (0, 2), (0, 3)]);
+        let b = route(0, &[(0, 3), (0, 2), (0, 1), (0, 0)]);
+        let c = first_conflict(&a, &b).expect("conflict");
+        assert_eq!(c.kind, ConflictKind::Swap);
+        assert_eq!(c.time, 1); // they exchange (0,1)/(0,2) between t=1 and 2
+    }
+
+    #[test]
+    fn disjoint_time_ranges_never_conflict() {
+        let a = route(0, &[(0, 0), (0, 1)]);
+        let b = route(10, &[(0, 1), (0, 0)]);
+        assert_eq!(first_conflict(&a, &b), None);
+    }
+
+    #[test]
+    fn same_cell_different_times_ok() {
+        let a = route(0, &[(0, 0), (0, 1), (0, 2)]);
+        let b = route(5, &[(0, 2), (0, 1), (0, 0)]);
+        assert_eq!(first_conflict(&a, &b), None);
+    }
+
+    #[test]
+    fn set_validator_matches_pairwise() {
+        let a = route(0, &[(0, 0), (0, 1), (0, 2)]);
+        let b = route(0, &[(2, 0), (1, 0), (0, 0)]);
+        // Head-on over an odd span: both reach (0,1) at t=1 — a vertex conflict.
+        let c = route(0, &[(0, 2), (0, 1), (0, 0)]);
+        assert!(is_collision_free(&[a.clone(), b.clone()]));
+        let conflict = validate_routes(&[a.clone(), b, c.clone()]).expect("conflict");
+        assert_eq!(conflict.kind, ConflictKind::Vertex);
+        assert_eq!(conflict.time, 1);
+        assert_eq!(first_conflict(&a, &c).map(|x| (x.kind, x.time)), Some((ConflictKind::Vertex, 1)));
+    }
+
+    #[test]
+    fn waiting_robot_blocks_cell() {
+        let a = route(0, &[(0, 1), (0, 1), (0, 1), (0, 1)]);
+        let b = route(0, &[(0, 0), (0, 1), (0, 2)]);
+        let c = first_conflict(&a, &b).expect("conflict");
+        assert_eq!(c.kind, ConflictKind::Vertex);
+        assert_eq!(c.time, 1);
+    }
+
+    #[test]
+    fn set_validator_reports_earliest_conflict() {
+        let a = route(0, &[(0, 0), (0, 1), (0, 2), (0, 3)]);
+        let late = route(3, &[(0, 3), (0, 3)]); // vertex at t=3
+        let early = route(0, &[(0, 1), (0, 1)]); // vertex at t=1
+        let c = validate_routes(&[a, late, early]).expect("conflict");
+        assert_eq!(c.time, 1);
+    }
+}

@@ -1,0 +1,165 @@
+//! Dataset snapshots: serialize a complete benchmark scenario — layout
+//! configuration plus the exact task stream — so experiments can be
+//! archived, shared and replayed bit-for-bit.
+//!
+//! The paper evaluates on proprietary warehouse logs; this module is the
+//! open equivalent: a [`Dataset`] file pins everything a run depends on
+//! (the layout generator is deterministic, so only its configuration is
+//! stored, not the matrix).
+
+use crate::layout::{Layout, LayoutConfig};
+use crate::tasks::Task;
+use serde::{Deserialize, Serialize};
+
+/// Current snapshot format version; bumped on breaking schema changes.
+pub const DATASET_VERSION: u32 = 1;
+
+/// A self-contained, replayable benchmark scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Format version ([`DATASET_VERSION`]).
+    pub version: u32,
+    /// Free-form name ("W-1 Day3" …).
+    pub name: String,
+    /// Layout generator configuration (regenerates the exact matrix).
+    pub layout: LayoutConfig,
+    /// The task stream, sorted by arrival.
+    pub tasks: Vec<Task>,
+}
+
+/// Errors from loading a dataset.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// Underlying (de)serialization failure.
+    Json(serde_json::Error),
+    /// The file's version differs from [`DATASET_VERSION`].
+    VersionMismatch {
+        /// Version found in the file.
+        found: u32,
+    },
+    /// The task stream is not sorted by arrival time.
+    UnsortedTasks,
+    /// A task references a cell outside the generated layout's semantics
+    /// (rack not on a rack cell, picker not free).
+    InvalidTask {
+        /// Index of the offending task.
+        index: usize,
+    },
+}
+
+impl core::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DatasetError::Json(e) => write!(f, "dataset JSON error: {e}"),
+            DatasetError::VersionMismatch { found } => {
+                write!(f, "dataset version {found}, expected {DATASET_VERSION}")
+            }
+            DatasetError::UnsortedTasks => write!(f, "task stream not sorted by arrival"),
+            DatasetError::InvalidTask { index } => write!(f, "task {index} is inconsistent with the layout"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl From<serde_json::Error> for DatasetError {
+    fn from(e: serde_json::Error) -> Self {
+        DatasetError::Json(e)
+    }
+}
+
+impl Dataset {
+    /// Bundle a scenario.
+    pub fn new(name: impl Into<String>, layout: LayoutConfig, tasks: Vec<Task>) -> Self {
+        Dataset { version: DATASET_VERSION, name: name.into(), layout, tasks }
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("dataset serializes")
+    }
+
+    /// Parse and validate a snapshot: version, task ordering, and task /
+    /// layout consistency.
+    pub fn from_json(json: &str) -> Result<Self, DatasetError> {
+        let ds: Dataset = serde_json::from_str(json)?;
+        if ds.version != DATASET_VERSION {
+            return Err(DatasetError::VersionMismatch { found: ds.version });
+        }
+        if ds.tasks.windows(2).any(|w| w[0].arrival > w[1].arrival) {
+            return Err(DatasetError::UnsortedTasks);
+        }
+        let layout = ds.layout.generate();
+        for (index, t) in ds.tasks.iter().enumerate() {
+            let rack_ok = layout.matrix.in_bounds(t.rack) && layout.matrix.is_rack(t.rack);
+            let picker_ok = layout.matrix.in_bounds(t.picker) && layout.matrix.is_free(t.picker);
+            if !rack_ok || !picker_ok {
+                return Err(DatasetError::InvalidTask { index });
+            }
+        }
+        Ok(ds)
+    }
+
+    /// Regenerate the layout this dataset was built for.
+    pub fn layout(&self) -> Layout {
+        self.layout.generate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::{generate_tasks, DayProfile};
+    use crate::types::Cell;
+
+    fn sample() -> Dataset {
+        let cfg = LayoutConfig::small();
+        let layout = cfg.generate();
+        let tasks = generate_tasks(&layout, &DayProfile::new(600, 25), 9);
+        Dataset::new("small-day", cfg, tasks)
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let ds = sample();
+        let json = ds.to_json();
+        let back = Dataset::from_json(&json).expect("parses");
+        assert_eq!(ds, back);
+        // The regenerated layout matches the original configuration.
+        assert_eq!(back.layout().matrix, ds.layout.generate().matrix);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut ds = sample();
+        ds.version = 999;
+        let json = serde_json::to_string(&ds).unwrap();
+        match Dataset::from_json(&json) {
+            Err(DatasetError::VersionMismatch { found: 999 }) => {}
+            other => panic!("expected version mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsorted_tasks_are_rejected() {
+        let mut ds = sample();
+        ds.tasks.reverse();
+        let json = serde_json::to_string(&ds).unwrap();
+        assert!(matches!(Dataset::from_json(&json), Err(DatasetError::UnsortedTasks)));
+    }
+
+    #[test]
+    fn task_layout_consistency_is_enforced() {
+        let mut ds = sample();
+        // Point a task's rack at a free aisle cell.
+        ds.tasks[0].rack = Cell::new(0, 0);
+        ds.tasks.sort_by_key(|t| t.arrival);
+        let json = serde_json::to_string(&ds).unwrap();
+        assert!(matches!(Dataset::from_json(&json), Err(DatasetError::InvalidTask { .. })));
+    }
+
+    #[test]
+    fn garbage_json_is_an_error() {
+        assert!(matches!(Dataset::from_json("{not json"), Err(DatasetError::Json(_))));
+    }
+}

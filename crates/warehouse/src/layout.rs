@@ -1,0 +1,410 @@
+//! Parametric warehouse layout generation.
+//!
+//! The paper evaluates on three proprietary warehouses (W-1/W-2/W-3,
+//! Table II) operated by Geekplus. We cannot obtain those maps, so this
+//! module generates layouts with the same *structural* properties the SRP
+//! framework exploits (§IV-A remarks):
+//!
+//! * rack clusters are uniform `2 × l` rectangles with sides parallel to the
+//!   axes;
+//! * clusters are arranged in **bands** separated by full-width latitudinal
+//!   aisles (the "long aisles" Algorithm 1 aggregates first);
+//! * within a band, clusters are separated by longitudinal aisle columns;
+//! * pickers sit at the bottom boundary, and free margins surround the
+//!   storage region.
+//!
+//! [`WarehousePreset`] instantiates the generator with the dimensions, rack
+//! counts, robot counts and picker counts from Table II.
+
+use crate::matrix::WarehouseMatrix;
+use crate::types::Cell;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the layout generator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayoutConfig {
+    /// Warehouse length `H` in grids (rows).
+    pub rows: u16,
+    /// Warehouse width `W` in grids (columns).
+    pub cols: u16,
+    /// Rack cluster length `l`: clusters are `2 × l` (2 columns wide,
+    /// `l` rows long), per the §IV-A simplification.
+    pub cluster_len: u16,
+    /// Free columns between horizontally adjacent clusters.
+    pub col_gap: u16,
+    /// Full-width free rows between vertically adjacent bands (these become
+    /// the long latitudinal aisle strips).
+    pub band_gap: u16,
+    /// Free rows at the top edge.
+    pub margin_top: u16,
+    /// Free rows at the bottom edge (picker zone).
+    pub margin_bottom: u16,
+    /// Free columns at the left edge.
+    pub margin_left: u16,
+    /// Free columns at the right edge.
+    pub margin_right: u16,
+    /// Target number of rack grids; the generator fills
+    /// `round(target / (2·l))` cluster slots, spread evenly over the
+    /// candidate slot lattice (Bresenham spread), so the actual count is the
+    /// nearest multiple of `2·l`.
+    pub target_racks: u32,
+    /// Number of picker stations, placed evenly along the bottom margin.
+    pub pickers: u16,
+    /// Number of robots; spawn cells are spread over the aisle rows.
+    pub robots: u16,
+}
+
+/// A generated warehouse: the matrix plus the semantic cell sets the
+/// simulator needs.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    /// The generated grid matrix.
+    pub matrix: WarehouseMatrix,
+    /// Every rack grid (each is a rack "home" slot for the return leg).
+    pub rack_cells: Vec<Cell>,
+    /// Picker station cells (free cells on the bottom margin).
+    pub pickers: Vec<Cell>,
+    /// Initial robot cells (free aisle cells).
+    pub robot_spawns: Vec<Cell>,
+    /// The configuration that produced this layout.
+    pub config: LayoutConfig,
+}
+
+/// Summary statistics of a layout, for the Table II reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayoutStats {
+    /// `H` (rows).
+    pub rows: u16,
+    /// `W` (columns).
+    pub cols: u16,
+    /// Number of rack grids.
+    pub racks: usize,
+    /// Number of robots.
+    pub robots: usize,
+    /// Number of picker stations.
+    pub pickers: usize,
+    /// Grid-based vertex count (`H·W`, Table II "Grid-based #vertices").
+    pub grid_vertices: usize,
+    /// Grid-based 4-adjacency edge count (Table II "Grid-based #edges").
+    pub grid_edges: usize,
+}
+
+/// The three warehouse scales of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WarehousePreset {
+    /// W-1: 233 × 104, ≈4896 racks, 408 robots, 68 pickers.
+    W1,
+    /// W-2: 240 × 206, ≈9792 racks, 952 robots, 136 pickers.
+    W2,
+    /// W-3: 292 × 278, ≈15088 racks, 2208 robots, 184 pickers.
+    W3,
+}
+
+impl WarehousePreset {
+    /// All presets, smallest first.
+    pub const ALL: [WarehousePreset; 3] = [WarehousePreset::W1, WarehousePreset::W2, WarehousePreset::W3];
+
+    /// Display name matching the paper ("W-1" …).
+    pub fn name(self) -> &'static str {
+        match self {
+            WarehousePreset::W1 => "W-1",
+            WarehousePreset::W2 => "W-2",
+            WarehousePreset::W3 => "W-3",
+        }
+    }
+
+    /// Layout configuration matching the preset's Table II row.
+    pub fn config(self) -> LayoutConfig {
+        let base = LayoutConfig {
+            rows: 0,
+            cols: 0,
+            cluster_len: 6,
+            col_gap: 2,
+            band_gap: 2,
+            margin_top: 4,
+            margin_bottom: 4,
+            margin_left: 4,
+            margin_right: 4,
+            target_racks: 0,
+            pickers: 0,
+            robots: 0,
+        };
+        match self {
+            WarehousePreset::W1 => LayoutConfig {
+                rows: 233,
+                cols: 104,
+                target_racks: 4896,
+                pickers: 68,
+                robots: 408,
+                ..base
+            },
+            WarehousePreset::W2 => LayoutConfig {
+                rows: 240,
+                cols: 206,
+                target_racks: 9792,
+                pickers: 136,
+                robots: 952,
+                ..base
+            },
+            WarehousePreset::W3 => LayoutConfig {
+                rows: 292,
+                cols: 278,
+                target_racks: 15088,
+                pickers: 184,
+                robots: 2208,
+                ..base
+            },
+        }
+    }
+
+    /// Generate the preset layout.
+    pub fn generate(self) -> Layout {
+        self.config().generate()
+    }
+
+    /// Per-day task counts (×10³) from Table II, used to shape the synthetic
+    /// task streams so day-to-day comparisons keep the paper's proportions.
+    pub fn daily_tasks_thousands(self) -> [f64; 5] {
+        match self {
+            WarehousePreset::W1 => [45.0, 46.6, 27.7, 33.1, 33.4],
+            WarehousePreset::W2 => [41.0, 45.9, 34.3, 79.9, 63.5],
+            WarehousePreset::W3 => [34.4, 35.2, 26.5, 134.6, 103.9],
+        }
+    }
+}
+
+impl LayoutConfig {
+    /// A small configuration (31 × 26 grids) for tests and examples —
+    /// structurally identical to the presets, just tiny.
+    pub fn small() -> Self {
+        LayoutConfig {
+            rows: 31,
+            cols: 26,
+            cluster_len: 4,
+            col_gap: 2,
+            band_gap: 2,
+            margin_top: 2,
+            margin_bottom: 3,
+            margin_left: 2,
+            margin_right: 2,
+            target_racks: 128,
+            pickers: 6,
+            robots: 12,
+        }
+    }
+
+    /// Number of cluster slots per band (horizontal capacity).
+    fn slots_per_band(&self) -> u16 {
+        let usable = self.cols - self.margin_left - self.margin_right;
+        let period = 2 + self.col_gap;
+        // Each slot needs 2 rack columns; the trailing gap may be absorbed
+        // by the right margin.
+        (usable + self.col_gap) / period
+    }
+
+    /// Number of bands (vertical capacity).
+    fn num_bands(&self) -> u16 {
+        let usable = self.rows - self.margin_top - self.margin_bottom;
+        let period = self.cluster_len + self.band_gap;
+        (usable + self.band_gap) / period
+    }
+
+    /// Generate the layout. Deterministic: the same configuration always
+    /// yields the same warehouse.
+    ///
+    /// # Panics
+    /// Panics when the configuration cannot host the requested clusters,
+    /// pickers or robots.
+    pub fn generate(&self) -> Layout {
+        assert!(self.cluster_len >= 1 && self.col_gap >= 1 && self.band_gap >= 1);
+        assert!(self.rows > self.margin_top + self.margin_bottom);
+        assert!(self.cols > self.margin_left + self.margin_right);
+
+        let mut matrix = WarehouseMatrix::empty(self.rows, self.cols);
+        let bands = self.num_bands() as u32;
+        let slots = self.slots_per_band() as u32;
+        let capacity = bands * slots;
+        let per_cluster = 2 * self.cluster_len as u32;
+        let want_clusters = ((self.target_racks + per_cluster / 2) / per_cluster).max(1);
+        assert!(
+            want_clusters <= capacity,
+            "layout too small: need {want_clusters} cluster slots, have {capacity}"
+        );
+
+        // Bresenham spread: fill exactly `want_clusters` of the `capacity`
+        // slots, evenly, deterministically.
+        let mut rack_cells = Vec::with_capacity((want_clusters * per_cluster) as usize);
+        for k in 0..capacity {
+            let filled = (k * want_clusters) / capacity != ((k + 1) * want_clusters) / capacity;
+            if !filled {
+                continue;
+            }
+            let band = (k / slots) as u16;
+            let slot = (k % slots) as u16;
+            let row0 = self.margin_top + band * (self.cluster_len + self.band_gap);
+            let col0 = self.margin_left + slot * (2 + self.col_gap);
+            for dr in 0..self.cluster_len {
+                for dc in 0..2 {
+                    let cell = Cell::new(row0 + dr, col0 + dc);
+                    matrix.set_rack(cell, true);
+                    rack_cells.push(cell);
+                }
+            }
+        }
+
+        // Pickers: evenly spaced along the second-to-last row.
+        let picker_row = self.rows - 2;
+        let mut pickers = Vec::with_capacity(self.pickers as usize);
+        for p in 0..self.pickers {
+            let col = ((p as u32 * 2 + 1) * self.cols as u32 / (self.pickers as u32 * 2)) as u16;
+            let cell = Cell::new(picker_row, col.min(self.cols - 1));
+            debug_assert!(matrix.is_free(cell));
+            pickers.push(cell);
+        }
+        pickers.dedup();
+
+        // Robot spawns: spread over the free cells of the latitudinal aisle
+        // rows (top margin + band gaps), round-robin.
+        let mut aisle_rows: Vec<u16> = (0..self.rows).filter(|&i| matrix.row_is_all_free(i)).collect();
+        // Keep the picker row free of parked robots.
+        aisle_rows.retain(|&i| i != picker_row);
+        let mut robot_spawns = Vec::with_capacity(self.robots as usize);
+        let total_slots = aisle_rows.len() as u32 * self.cols as u32;
+        assert!(total_slots >= self.robots as u32, "not enough aisle cells for robots");
+        for r in 0..self.robots as u32 {
+            let slot = r * total_slots / self.robots as u32;
+            let row = aisle_rows[(slot / self.cols as u32) as usize];
+            let col = (slot % self.cols as u32) as u16;
+            robot_spawns.push(Cell::new(row, col));
+        }
+        robot_spawns.dedup();
+
+        Layout {
+            matrix,
+            rack_cells,
+            pickers,
+            robot_spawns,
+            config: self.clone(),
+        }
+    }
+}
+
+impl Layout {
+    /// Summary statistics (the left half of Table II).
+    pub fn stats(&self) -> LayoutStats {
+        LayoutStats {
+            rows: self.matrix.rows(),
+            cols: self.matrix.cols(),
+            racks: self.matrix.num_racks(),
+            robots: self.robot_spawns.len(),
+            pickers: self.pickers.len(),
+            grid_vertices: self.matrix.num_cells(),
+            grid_edges: self.matrix.grid_edge_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_layout_is_consistent() {
+        let l = LayoutConfig::small().generate();
+        let stats = l.stats();
+        assert_eq!(stats.racks, l.rack_cells.len());
+        assert!(stats.racks as u32 >= 96, "close to target 128, got {}", stats.racks);
+        for &c in &l.pickers {
+            assert!(l.matrix.is_free(c), "picker on rack at {c}");
+        }
+        for &c in &l.robot_spawns {
+            assert!(l.matrix.is_free(c), "robot spawned on rack at {c}");
+        }
+    }
+
+    #[test]
+    fn rack_cells_form_2xl_clusters() {
+        let cfg = LayoutConfig::small();
+        let l = cfg.generate();
+        assert_eq!(l.rack_cells.len() % (2 * cfg.cluster_len as usize), 0);
+        // Every rack cell has a free cell laterally adjacent (rack endpoints
+        // must be reachable with one perpendicular step).
+        for &c in &l.rack_cells {
+            let reachable = l
+                .matrix
+                .free_neighbors(c)
+                .any(|n| n.row == c.row);
+            assert!(reachable, "rack {c} has no lateral aisle access");
+        }
+    }
+
+    #[test]
+    fn presets_match_table2_scale() {
+        for preset in WarehousePreset::ALL {
+            let cfg = preset.config();
+            let l = cfg.generate();
+            let stats = l.stats();
+            assert_eq!(stats.rows, cfg.rows);
+            assert_eq!(stats.cols, cfg.cols);
+            let target = cfg.target_racks as f64;
+            let got = stats.racks as f64;
+            assert!(
+                (got - target).abs() / target < 0.01,
+                "{}: racks {} vs target {}",
+                preset.name(),
+                stats.racks,
+                cfg.target_racks
+            );
+            assert_eq!(stats.pickers, cfg.pickers as usize);
+            assert_eq!(stats.robots, cfg.robots as usize);
+        }
+    }
+
+    #[test]
+    fn w1_grid_counts_match_paper() {
+        let stats = WarehousePreset::W1.generate().stats();
+        assert_eq!(stats.grid_vertices, 24232); // Table II, grid-based #vertices
+    }
+
+    #[test]
+    fn bands_are_separated_by_full_free_rows() {
+        let l = LayoutConfig::small().generate();
+        let m = &l.matrix;
+        let mut saw_aisle_row = false;
+        let mut saw_rack_row = false;
+        for i in 0..m.rows() {
+            if m.row_is_all_free(i) {
+                saw_aisle_row = true;
+            } else {
+                saw_rack_row = true;
+            }
+        }
+        assert!(saw_aisle_row && saw_rack_row);
+        // The top margin rows are full aisles.
+        assert!(m.row_is_all_free(0));
+        assert!(m.row_is_all_free(1));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = WarehousePreset::W1.generate();
+        let b = WarehousePreset::W1.generate();
+        assert_eq!(a.matrix, b.matrix);
+        assert_eq!(a.pickers, b.pickers);
+        assert_eq!(a.robot_spawns, b.robot_spawns);
+    }
+
+    #[test]
+    fn density_is_realistic() {
+        // Paper densities: W-1 20.2%, W-2 19.8%, W-3 18.6%.
+        for preset in WarehousePreset::ALL {
+            let stats = preset.generate().stats();
+            let density = stats.racks as f64 / stats.grid_vertices as f64;
+            assert!(
+                (0.15..0.25).contains(&density),
+                "{}: density {density:.3}",
+                preset.name()
+            );
+        }
+    }
+}

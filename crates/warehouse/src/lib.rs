@@ -1,0 +1,45 @@
+//! Problem domain for Collision-Aware Route Planning (CARP) in robotized
+//! warehouses, following the problem statement of the ICDE'23 paper
+//! *"Collision-Aware Route Planning in Warehouses Made Efficient: A
+//! Strip-based Framework"* (§II).
+//!
+//! This crate is the substrate every planner in the workspace builds on:
+//!
+//! * [`matrix::WarehouseMatrix`] — the grid matrix `M` (Definition 1);
+//! * [`route::Route`] — timed grid sequences (Definition 2);
+//! * [`collision`] — the exact discrete conflict semantics (Definition 3),
+//!   used as ground truth by every test and by the simulator's audit mode;
+//! * [`layout`] — a parametric generator for realistic warehouse layouts with
+//!   2×l rack clusters, aisles and picker stations, including presets that
+//!   match the paper's W-1/W-2/W-3 datasets (Table II);
+//! * [`tasks`] — online delivery-task streams (pickup / transmission /
+//!   return queries, §VIII-A);
+//! * [`planner`] — the [`planner::Planner`] trait implemented by SRP and all
+//!   baselines.
+//!
+//! The crate is deliberately free of any planning logic; it only defines the
+//! problem and the data that feeds it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collision;
+pub mod dataset;
+pub mod layout;
+pub mod matrix;
+pub mod memory;
+pub mod planner;
+pub mod render;
+pub mod request;
+pub mod route;
+pub mod tasks;
+pub mod types;
+
+pub use collision::{first_conflict, validate_routes, Conflict, ConflictKind};
+pub use dataset::{Dataset, DatasetError};
+pub use layout::{LayoutConfig, LayoutStats, WarehousePreset};
+pub use matrix::WarehouseMatrix;
+pub use planner::{Planner, PlanOutcome};
+pub use request::{QueryKind, Request, RequestId};
+pub use route::Route;
+pub use types::{Cell, Dir, Time, INFINITY_TIME};

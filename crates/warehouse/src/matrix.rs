@@ -1,0 +1,232 @@
+//! The warehouse matrix `M` (Definition 1): an `H × W` boolean grid where
+//! `true` marks a rack and `false` a free (traversable) grid.
+
+use crate::types::{Cell, Dir};
+use serde::{Deserialize, Serialize};
+
+/// Grid matrix representation of a warehouse (Definition 1).
+///
+/// Stored as a dense bit-per-cell vector for cache-friendly scanning; all
+/// planners in the workspace address cells either as [`Cell`] coordinates or
+/// as dense `u32` indices (`row * width + col`) obtained via
+/// [`WarehouseMatrix::index_of`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WarehouseMatrix {
+    rows: u16,
+    cols: u16,
+    /// `racks[idx]` is `true` when the cell holds a rack.
+    racks: Vec<bool>,
+}
+
+impl WarehouseMatrix {
+    /// Create an empty (all-aisle) matrix of `rows × cols` grids.
+    ///
+    /// # Panics
+    /// Panics when either dimension is zero.
+    pub fn empty(rows: u16, cols: u16) -> Self {
+        assert!(rows > 0 && cols > 0, "warehouse must be non-empty");
+        WarehouseMatrix {
+            rows,
+            cols,
+            racks: vec![false; rows as usize * cols as usize],
+        }
+    }
+
+    /// Parse a matrix from an ASCII map: `#`/`@`/`T` are racks, `.`/` ` are
+    /// aisles. Lines must be equal length. Convenient for tests and examples.
+    ///
+    /// # Panics
+    /// Panics on ragged lines, unknown characters, or an empty map.
+    pub fn from_ascii(map: &str) -> Self {
+        let lines: Vec<&str> = map.lines().filter(|l| !l.trim().is_empty()).collect();
+        assert!(!lines.is_empty(), "empty ascii map");
+        let cols = lines[0].trim().len();
+        let mut m = WarehouseMatrix::empty(lines.len() as u16, cols as u16);
+        for (i, line) in lines.iter().enumerate() {
+            let line = line.trim();
+            assert_eq!(line.len(), cols, "ragged ascii map at line {i}");
+            for (j, ch) in line.chars().enumerate() {
+                let rack = match ch {
+                    '#' | '@' | 'T' => true,
+                    '.' | ' ' => false,
+                    other => panic!("unknown map character {other:?}"),
+                };
+                m.set_rack(Cell::new(i as u16, j as u16), rack);
+            }
+        }
+        m
+    }
+
+    /// Render the matrix as an ASCII map (inverse of [`Self::from_ascii`]).
+    pub fn to_ascii(&self) -> String {
+        let mut out = String::with_capacity((self.cols as usize + 1) * self.rows as usize);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.push(if self.is_rack(Cell::new(i, j)) { '#' } else { '.' });
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Number of rows (`H`, the warehouse length).
+    #[inline]
+    pub fn rows(&self) -> u16 {
+        self.rows
+    }
+
+    /// Number of columns (`W`, the warehouse width).
+    #[inline]
+    pub fn cols(&self) -> u16 {
+        self.cols
+    }
+
+    /// Total number of grids `H × W`.
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        self.racks.len()
+    }
+
+    /// Number of rack grids.
+    pub fn num_racks(&self) -> usize {
+        self.racks.iter().filter(|&&r| r).count()
+    }
+
+    /// Dense index of a cell: `row * W + col`.
+    #[inline]
+    pub fn index_of(&self, c: Cell) -> u32 {
+        debug_assert!(self.in_bounds(c));
+        c.row as u32 * self.cols as u32 + c.col as u32
+    }
+
+    /// Inverse of [`Self::index_of`].
+    #[inline]
+    pub fn cell_of(&self, idx: u32) -> Cell {
+        debug_assert!((idx as usize) < self.racks.len());
+        Cell::new((idx / self.cols as u32) as u16, (idx % self.cols as u32) as u16)
+    }
+
+    /// Whether the cell lies inside the matrix.
+    #[inline]
+    pub fn in_bounds(&self, c: Cell) -> bool {
+        c.row < self.rows && c.col < self.cols
+    }
+
+    /// Whether the cell holds a rack (`M[i,j] = true`).
+    #[inline]
+    pub fn is_rack(&self, c: Cell) -> bool {
+        self.racks[self.index_of(c) as usize]
+    }
+
+    /// Whether a robot may traverse the cell (`M[i,j] = false`).
+    #[inline]
+    pub fn is_free(&self, c: Cell) -> bool {
+        !self.is_rack(c)
+    }
+
+    /// Place or remove a rack.
+    pub fn set_rack(&mut self, c: Cell, rack: bool) {
+        let idx = self.index_of(c) as usize;
+        self.racks[idx] = rack;
+    }
+
+    /// Iterate the free (traversable) neighbours of `c` in the four axis
+    /// directions.
+    pub fn free_neighbors(&self, c: Cell) -> impl Iterator<Item = Cell> + '_ {
+        Dir::ALL
+            .into_iter()
+            .filter_map(move |d| c.step(d, self.rows, self.cols))
+            .filter(move |&n| self.is_free(n))
+    }
+
+    /// Iterate all in-bound neighbours of `c` (free or rack).
+    pub fn neighbors(&self, c: Cell) -> impl Iterator<Item = Cell> + '_ {
+        Dir::ALL
+            .into_iter()
+            .filter_map(move |d| c.step(d, self.rows, self.cols))
+    }
+
+    /// Iterate every cell in row-major order.
+    pub fn cells(&self) -> impl Iterator<Item = Cell> + '_ {
+        (0..self.rows).flat_map(move |i| (0..self.cols).map(move |j| Cell::new(i, j)))
+    }
+
+    /// Whether the entire row `i` is free of racks — such rows become the
+    /// long latitudinal aisle strips of Algorithm 1.
+    pub fn row_is_all_free(&self, i: u16) -> bool {
+        let start = i as usize * self.cols as usize;
+        self.racks[start..start + self.cols as usize].iter().all(|&r| !r)
+    }
+
+    /// Number of undirected grid-graph edges between free or rack cells —
+    /// the "grid-based #edges" column of Table II counts 4-adjacency over
+    /// all grids.
+    pub fn grid_edge_count(&self) -> usize {
+        let r = self.rows as usize;
+        let c = self.cols as usize;
+        r * (c - 1) + c * (r - 1)
+    }
+
+    /// Approximate heap footprint in bytes (for the MC metric).
+    pub fn memory_bytes(&self) -> usize {
+        self.racks.capacity() * core::mem::size_of::<bool>() + core::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_roundtrip() {
+        let map = "....\n.##.\n.##.\n....\n";
+        let m = WarehouseMatrix::from_ascii(map);
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.num_racks(), 4);
+        assert_eq!(m.to_ascii(), map);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let m = WarehouseMatrix::empty(7, 11);
+        for c in m.cells() {
+            assert_eq!(m.cell_of(m.index_of(c)), c);
+        }
+    }
+
+    #[test]
+    fn free_neighbors_respect_racks_and_bounds() {
+        let m = WarehouseMatrix::from_ascii("...\n.#.\n...");
+        let center_neighbors: Vec<Cell> = m.free_neighbors(Cell::new(1, 0)).collect();
+        // (1,1) is a rack; (0,0) and (2,0) remain.
+        assert_eq!(center_neighbors, vec![Cell::new(0, 0), Cell::new(2, 0)]);
+        let corner: Vec<Cell> = m.free_neighbors(Cell::new(0, 0)).collect();
+        assert_eq!(corner, vec![Cell::new(1, 0), Cell::new(0, 1)]);
+    }
+
+    #[test]
+    fn row_all_free_detection() {
+        let m = WarehouseMatrix::from_ascii("...\n.#.\n...");
+        assert!(m.row_is_all_free(0));
+        assert!(!m.row_is_all_free(1));
+        assert!(m.row_is_all_free(2));
+    }
+
+    #[test]
+    fn grid_edge_count_matches_small_case() {
+        // 2x2 grid: 2 horizontal + 2 vertical edges.
+        let m = WarehouseMatrix::empty(2, 2);
+        assert_eq!(m.grid_edge_count(), 4);
+        // Table II sanity: edges ≈ 2·H·W for large grids.
+        let m = WarehouseMatrix::empty(233, 104);
+        assert_eq!(m.num_cells(), 24232);
+        assert_eq!(m.grid_edge_count(), 233 * 103 + 104 * 232);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_ascii_rejected() {
+        WarehouseMatrix::from_ascii("...\n..\n");
+    }
+}

@@ -1,0 +1,162 @@
+//! The common interface every CARP planner implements (SRP and the four
+//! baselines), plus the plan outcome type.
+//!
+//! The contract mirrors the online setting of Definition 3: requests arrive
+//! one at a time with non-decreasing emergence times; the planner must
+//! return a route that is collision-free against **all routes it has already
+//! committed** and immediately commit it. The simulator audits this with the
+//! ground-truth validator in [`crate::collision`].
+
+use crate::request::{Request, RequestId};
+use crate::route::Route;
+use crate::types::Time;
+
+/// Result of a single planning call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanOutcome {
+    /// A collision-free route was found and committed.
+    Planned(Route),
+    /// No route exists under the planner's search restrictions (rare; the
+    /// simulator re-submits the request at a later timestamp).
+    Infeasible,
+}
+
+impl PlanOutcome {
+    /// The planned route, if any.
+    pub fn route(&self) -> Option<&Route> {
+        match self {
+            PlanOutcome::Planned(r) => Some(r),
+            PlanOutcome::Infeasible => None,
+        }
+    }
+}
+
+/// A collision-aware route planner operating in the online setting.
+pub trait Planner {
+    /// Short display name ("SRP", "SAP", …) used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Plan a route for `req` starting no earlier than `req.t`, avoiding all
+    /// previously committed routes, and commit it.
+    fn plan(&mut self, req: &Request) -> PlanOutcome;
+
+    /// Notify the planner that simulated time advanced to `now`.
+    ///
+    /// Planners use this to retire finished routes (bounding memory) and —
+    /// for windowed planners such as TWP — to extend/replan committed
+    /// routes. Returns route *revisions*: `(request id, new full route)`
+    /// pairs the simulator must adopt. The default does nothing.
+    fn advance(&mut self, now: Time) -> Vec<(RequestId, Route)> {
+        let _ = now;
+        Vec::new()
+    }
+
+    /// Bytes of live planner state: collision structures, caches, committed
+    /// routes. This is the MC metric of §VIII-A, measured by deterministic
+    /// data-structure accounting rather than JVM heap sampling.
+    fn memory_bytes(&self) -> usize;
+
+    /// Cancel a committed route (the task was aborted): its reservations /
+    /// segments are released so later requests may use the freed capacity.
+    ///
+    /// Returns `false` when the id is unknown or already retired. The
+    /// default implementation refuses (`false`); every planner in this
+    /// workspace overrides it.
+    fn cancel(&mut self, id: RequestId) -> bool {
+        let _ = id;
+        false
+    }
+
+    /// Plan a whole batch `Q_t` (Definition 3 hands the planner a *set* of
+    /// pairs per timestamp). The default processes requests shortest-first
+    /// — the standard prioritization that lets short hops slip through
+    /// before long routes lock corridors — and returns outcomes in the
+    /// *input* order.
+    fn plan_batch(&mut self, requests: &[Request]) -> Vec<PlanOutcome> {
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        order.sort_by_key(|&i| (requests[i].distance_lower_bound(), requests[i].id));
+        let mut out = vec![PlanOutcome::Infeasible; requests.len()];
+        for i in order {
+            out[i] = self.plan(&requests[i]);
+        }
+        out
+    }
+}
+
+impl<P: Planner + ?Sized> Planner for Box<P> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn plan(&mut self, req: &Request) -> PlanOutcome {
+        (**self).plan(req)
+    }
+    fn advance(&mut self, now: Time) -> Vec<(RequestId, Route)> {
+        (**self).advance(now)
+    }
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
+    fn cancel(&mut self, id: RequestId) -> bool {
+        (**self).cancel(id)
+    }
+    fn plan_batch(&mut self, requests: &[Request]) -> Vec<PlanOutcome> {
+        (**self).plan_batch(requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Cell;
+
+    struct Dummy;
+    impl Planner for Dummy {
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+        fn plan(&mut self, req: &Request) -> PlanOutcome {
+            PlanOutcome::Planned(Route::stationary(req.t, req.origin))
+        }
+        fn memory_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn default_advance_is_a_noop() {
+        let mut d = Dummy;
+        assert!(d.advance(10).is_empty());
+    }
+
+    #[test]
+    fn batch_planning_preserves_input_order() {
+        struct Echo;
+        impl Planner for Echo {
+            fn name(&self) -> &'static str {
+                "echo"
+            }
+            fn plan(&mut self, req: &Request) -> PlanOutcome {
+                PlanOutcome::Planned(Route::stationary(req.t, req.origin))
+            }
+            fn memory_bytes(&self) -> usize {
+                0
+            }
+        }
+        let reqs = vec![
+            Request::new(0, 0, Cell::new(0, 0), Cell::new(9, 9), crate::QueryKind::Pickup),
+            Request::new(1, 0, Cell::new(5, 5), Cell::new(5, 6), crate::QueryKind::Pickup),
+        ];
+        let outcomes = Echo.plan_batch(&reqs);
+        assert_eq!(outcomes.len(), 2);
+        // Outcome i corresponds to request i despite shortest-first order.
+        assert_eq!(outcomes[0].route().unwrap().origin(), Cell::new(0, 0));
+        assert_eq!(outcomes[1].route().unwrap().origin(), Cell::new(5, 5));
+    }
+
+    #[test]
+    fn outcome_route_accessor() {
+        let r = Route::stationary(0, Cell::new(0, 0));
+        assert_eq!(PlanOutcome::Planned(r.clone()).route(), Some(&r));
+        assert_eq!(PlanOutcome::Infeasible.route(), None);
+    }
+}

@@ -1,0 +1,162 @@
+//! ASCII rendering of warehouses and routes, for debugging, examples and
+//! documentation. Deliberately dependency-free; the binary examples build
+//! their visualisations from these helpers.
+
+use crate::matrix::WarehouseMatrix;
+use crate::route::Route;
+use crate::types::{Cell, Time};
+
+/// A character canvas over a warehouse matrix.
+#[derive(Debug, Clone)]
+pub struct Canvas {
+    rows: usize,
+    cols: usize,
+    cells: Vec<char>,
+}
+
+impl Canvas {
+    /// Start from the matrix's rack map (`#` racks, `.` aisles).
+    pub fn from_matrix(m: &WarehouseMatrix) -> Self {
+        let (rows, cols) = (m.rows() as usize, m.cols() as usize);
+        let mut cells = Vec::with_capacity(rows * cols);
+        for c in m.cells() {
+            cells.push(if m.is_rack(c) { '#' } else { '.' });
+        }
+        Canvas { rows, cols, cells }
+    }
+
+    /// Put a character at a cell (ignored when out of bounds).
+    pub fn put(&mut self, cell: Cell, ch: char) {
+        let (r, c) = (cell.row as usize, cell.col as usize);
+        if r < self.rows && c < self.cols {
+            self.cells[r * self.cols + c] = ch;
+        }
+    }
+
+    /// Overlay a route: grids are marked with their visit order modulo 10
+    /// (`0` = start). Repeated visits keep the latest digit.
+    pub fn draw_route(&mut self, route: &Route) {
+        for (i, &g) in route.grids.iter().enumerate() {
+            self.put(g, char::from_digit((i % 10) as u32, 10).expect("digit"));
+        }
+    }
+
+    /// Overlay a set of labelled points (robots, pickers…).
+    pub fn draw_points(&mut self, points: &[Cell], ch: char) {
+        for &p in points {
+            self.put(p, ch);
+        }
+    }
+
+    /// Render to a string with trailing newline per row.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity((self.cols + 1) * self.rows);
+        for r in 0..self.rows {
+            out.extend(&self.cells[r * self.cols..(r + 1) * self.cols]);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Space-time diagram of one-dimensional trajectories (strip-local view):
+/// rows are grid numbers (descending), columns are time steps. Each
+/// trajectory is a `(label, positions-by-time, start-time)` triple; shared
+/// `(t, s)` points render as `X`.
+pub fn space_time_diagram(trajectories: &[(char, Vec<i32>, Time)]) -> String {
+    let mut t_max = 0;
+    let (mut s_min, mut s_max) = (i32::MAX, i32::MIN);
+    for (_, pos, start) in trajectories {
+        t_max = t_max.max(start + pos.len().saturating_sub(1) as Time);
+        for &s in pos {
+            s_min = s_min.min(s);
+            s_max = s_max.max(s);
+        }
+    }
+    if trajectories.is_empty() || s_min > s_max {
+        return String::from("(empty)\n");
+    }
+    let mut out = String::new();
+    for s in (s_min..=s_max).rev() {
+        out.push_str(&format!("s={s:>3} "));
+        for t in 0..=t_max {
+            let mut here = None;
+            for (label, pos, start) in trajectories {
+                if t >= *start {
+                    if let Some(&p) = pos.get((t - start) as usize) {
+                        if p == s {
+                            here = Some(match here {
+                                None => *label,
+                                Some(_) => 'X',
+                            });
+                        }
+                    }
+                }
+            }
+            out.push(here.unwrap_or('·'));
+        }
+        out.push('\n');
+    }
+    out.push_str("  t = ");
+    for t in 0..=t_max {
+        out.push(char::from_digit(t % 10, 10).expect("digit"));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canvas_reflects_matrix_and_overlays() {
+        let m = WarehouseMatrix::from_ascii("...\n.#.\n...");
+        let mut canvas = Canvas::from_matrix(&m);
+        let route = Route::new(0, vec![Cell::new(0, 0), Cell::new(0, 1), Cell::new(0, 2)]);
+        canvas.draw_route(&route);
+        canvas.draw_points(&[Cell::new(2, 2)], 'P');
+        assert_eq!(canvas.render(), "012\n.#.\n..P\n");
+    }
+
+    #[test]
+    fn route_digits_wrap_modulo_ten() {
+        let m = WarehouseMatrix::empty(1, 12);
+        let mut canvas = Canvas::from_matrix(&m);
+        let route = Route::new(0, (0..12).map(|c| Cell::new(0, c)).collect());
+        canvas.draw_route(&route);
+        assert_eq!(canvas.render(), "012345678901\n");
+    }
+
+    #[test]
+    fn out_of_bounds_puts_are_ignored() {
+        let m = WarehouseMatrix::empty(2, 2);
+        let mut canvas = Canvas::from_matrix(&m);
+        canvas.put(Cell::new(9, 9), 'Z');
+        assert_eq!(canvas.render(), "..\n..\n");
+    }
+
+    #[test]
+    fn space_time_diagram_marks_collisions() {
+        // Two head-on trajectories meeting at s=1, t=1.
+        let a = ('a', vec![0, 1, 2], 0);
+        let b = ('b', vec![2, 1, 0], 0);
+        let diagram = space_time_diagram(&[a, b]);
+        assert!(diagram.contains('X'), "the meeting point must be an X:\n{diagram}");
+        assert!(diagram.lines().count() >= 4);
+    }
+
+    #[test]
+    fn empty_diagram_is_graceful() {
+        assert_eq!(space_time_diagram(&[]), "(empty)\n");
+    }
+
+    #[test]
+    fn late_start_is_offset() {
+        let a = ('a', vec![0, 0], 3);
+        let d = space_time_diagram(&[a]);
+        // s=0 row: three dots then the trajectory.
+        let row = d.lines().next().expect("row");
+        assert!(row.ends_with("···aa"), "{row}");
+    }
+}

@@ -1,0 +1,71 @@
+//! Route-planning requests: the origin–destination pairs `Q_t` of
+//! Definition 3, tagged with the query kind of the delivery workflow
+//! (§VIII-A: each delivery task incurs a pickup, a transmission and a
+//! return query).
+
+use crate::types::{Cell, Time};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a planning request, unique within a simulation run.
+pub type RequestId = u64;
+
+/// The three query kinds a delivery task decomposes into (§VIII-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryKind {
+    /// Robot → rack: an idle robot drives to the rack it must carry.
+    Pickup,
+    /// Rack → picker: the loaded robot delivers the rack to a picker station.
+    Transmission,
+    /// Picker → rack home: the robot returns the rack to its original slot.
+    Return,
+}
+
+impl QueryKind {
+    /// All kinds in workflow order.
+    pub const ALL: [QueryKind; 3] = [QueryKind::Pickup, QueryKind::Transmission, QueryKind::Return];
+}
+
+/// One origin–destination planning request `⟨o, d⟩` emerging at time `t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Unique id.
+    pub id: RequestId,
+    /// Emerging time `t` — the earliest time the robot may start moving.
+    pub t: Time,
+    /// Origin grid `o`.
+    pub origin: Cell,
+    /// Destination grid `d`.
+    pub destination: Cell,
+    /// Which leg of the delivery workflow this request belongs to.
+    pub kind: QueryKind,
+}
+
+impl Request {
+    /// Construct a request.
+    pub fn new(id: RequestId, t: Time, origin: Cell, destination: Cell, kind: QueryKind) -> Self {
+        Request { id, t, origin, destination, kind }
+    }
+
+    /// Lower bound on the route duration: the Manhattan distance.
+    pub fn distance_lower_bound(&self) -> u32 {
+        self.origin.manhattan(self.destination)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_bound_is_manhattan() {
+        let q = Request::new(0, 5, Cell::new(1, 1), Cell::new(4, 3), QueryKind::Pickup);
+        assert_eq!(q.distance_lower_bound(), 5);
+    }
+
+    #[test]
+    fn kinds_cover_workflow() {
+        assert_eq!(QueryKind::ALL.len(), 3);
+        assert_eq!(QueryKind::ALL[0], QueryKind::Pickup);
+        assert_eq!(QueryKind::ALL[2], QueryKind::Return);
+    }
+}

@@ -1,0 +1,249 @@
+//! Routes (Definition 2): a start moving time plus an ordered sequence of
+//! visited grids, one grid per second.
+
+use crate::matrix::WarehouseMatrix;
+use crate::types::{Cell, Time};
+use serde::{Deserialize, Serialize};
+
+/// A route `r = ⟨st_r, G_r⟩` (Definition 2).
+///
+/// The robot occupies `grids[i]` exactly at time `start + i`. Consecutive
+/// grids are either identical (the robot waits) or 4-adjacent (the robot
+/// moves one grid). Note the paper's Definition 2 states grids are visited at
+/// unit speed; waiting is expressed by repeating a grid, which is how the
+/// segment representation's slope-0 segments materialize at grid level.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    /// Start moving time `st_r`.
+    pub start: Time,
+    /// Ordered visiting grids `G_r`.
+    pub grids: Vec<Cell>,
+}
+
+/// Errors raised by [`Route::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// The grid sequence is empty.
+    Empty,
+    /// Two consecutive grids are neither equal nor 4-adjacent.
+    IllegalStep {
+        /// Index of the offending step within `grids`.
+        at: usize,
+    },
+    /// The route leaves the matrix bounds.
+    OutOfBounds {
+        /// Index of the offending grid.
+        at: usize,
+    },
+    /// The route traverses a rack grid at a non-endpoint position.
+    ThroughRack {
+        /// Index of the offending grid.
+        at: usize,
+    },
+}
+
+impl core::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RouteError::Empty => write!(f, "route has no grids"),
+            RouteError::IllegalStep { at } => write!(f, "illegal step at index {at}"),
+            RouteError::OutOfBounds { at } => write!(f, "grid out of bounds at index {at}"),
+            RouteError::ThroughRack { at } => write!(f, "route crosses a rack at index {at}"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+impl Route {
+    /// Construct a route; `grids` must be non-empty.
+    pub fn new(start: Time, grids: Vec<Cell>) -> Self {
+        debug_assert!(!grids.is_empty());
+        Route { start, grids }
+    }
+
+    /// A route that stays at `cell` for a single instant.
+    pub fn stationary(start: Time, cell: Cell) -> Self {
+        Route { start, grids: vec![cell] }
+    }
+
+    /// First grid of the route.
+    #[inline]
+    pub fn origin(&self) -> Cell {
+        self.grids[0]
+    }
+
+    /// Last grid of the route.
+    #[inline]
+    pub fn destination(&self) -> Cell {
+        *self.grids.last().expect("route is non-empty")
+    }
+
+    /// The time the robot occupies the last grid: `start + |G_r| - 1`.
+    ///
+    /// The paper's makespan expression `st_r + |G_r|` counts one past the
+    /// last occupied instant; we expose both (see [`Route::finish_exclusive`]).
+    #[inline]
+    pub fn end_time(&self) -> Time {
+        self.start + (self.grids.len() as Time - 1)
+    }
+
+    /// `st_r + |G_r|`, the term that appears in the makespan objective Eq.(1).
+    #[inline]
+    pub fn finish_exclusive(&self) -> Time {
+        self.start + self.grids.len() as Time
+    }
+
+    /// Duration in time steps (number of moves/waits).
+    #[inline]
+    pub fn duration(&self) -> Time {
+        self.grids.len() as Time - 1
+    }
+
+    /// The grid occupied at absolute time `t`, if the route is active then.
+    ///
+    /// Returns `None` before `start` and after [`Route::end_time`] — robots
+    /// disappear at their target (the standard online-MAPF assumption; see
+    /// DESIGN.md §3).
+    #[inline]
+    pub fn position_at(&self, t: Time) -> Option<Cell> {
+        if t < self.start {
+            return None;
+        }
+        let i = (t - self.start) as usize;
+        self.grids.get(i).copied()
+    }
+
+    /// Iterate `(time, cell)` occupancy pairs.
+    pub fn occupancy(&self) -> impl Iterator<Item = (Time, Cell)> + '_ {
+        self.grids
+            .iter()
+            .enumerate()
+            .map(move |(i, &g)| (self.start + i as Time, g))
+    }
+
+    /// Check route integrity: non-empty, within bounds, unit steps, and not
+    /// crossing racks except at the two endpoints (rack grids may be query
+    /// endpoints — see DESIGN.md §3 "Rack-grid endpoints").
+    pub fn validate(&self, m: &WarehouseMatrix) -> Result<(), RouteError> {
+        if self.grids.is_empty() {
+            return Err(RouteError::Empty);
+        }
+        // A robot may dwell under a rack at its endpoints (waiting to
+        // depart after pickup, or arriving) but never traverse one mid-route.
+        let head_dwell = self.grids.iter().take_while(|&&g| g == self.grids[0]).count() - 1;
+        let last = self.grids.len() - 1;
+        let tail_cell = self.grids[last];
+        let tail_dwell = self.grids.iter().rev().take_while(|&&g| g == tail_cell).count() - 1;
+        for (i, &g) in self.grids.iter().enumerate() {
+            if !m.in_bounds(g) {
+                return Err(RouteError::OutOfBounds { at: i });
+            }
+            if m.is_rack(g) && i > head_dwell && i < last - tail_dwell {
+                return Err(RouteError::ThroughRack { at: i });
+            }
+        }
+        for (i, w) in self.grids.windows(2).enumerate() {
+            let legal = w[0] == w[1] || w[0].is_adjacent(w[1]);
+            if !legal {
+                return Err(RouteError::IllegalStep { at: i + 1 });
+            }
+        }
+        Ok(())
+    }
+
+    /// Append another route that starts where/when this one ends.
+    ///
+    /// `other.start` must equal `self.end_time()` and `other.origin()` must
+    /// equal `self.destination()`; the duplicated junction grid is dropped.
+    pub fn chain(&mut self, other: &Route) {
+        assert_eq!(other.start, self.end_time(), "chained route must start at end time");
+        assert_eq!(other.origin(), self.destination(), "chained route must start at end cell");
+        self.grids.extend_from_slice(&other.grids[1..]);
+    }
+
+    /// Approximate heap footprint in bytes (for the MC metric).
+    pub fn memory_bytes(&self) -> usize {
+        core::mem::size_of::<Self>() + self.grids.capacity() * core::mem::size_of::<Cell>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cells(pairs: &[(u16, u16)]) -> Vec<Cell> {
+        pairs.iter().map(|&(r, c)| Cell::new(r, c)).collect()
+    }
+
+    #[test]
+    fn position_and_times() {
+        let r = Route::new(10, cells(&[(0, 0), (0, 1), (0, 1), (1, 1)]));
+        assert_eq!(r.position_at(9), None);
+        assert_eq!(r.position_at(10), Some(Cell::new(0, 0)));
+        assert_eq!(r.position_at(12), Some(Cell::new(0, 1)));
+        assert_eq!(r.position_at(13), Some(Cell::new(1, 1)));
+        assert_eq!(r.position_at(14), None);
+        assert_eq!(r.end_time(), 13);
+        assert_eq!(r.finish_exclusive(), 14);
+        assert_eq!(r.duration(), 3);
+    }
+
+    #[test]
+    fn validate_accepts_waits_and_moves() {
+        let m = WarehouseMatrix::empty(4, 4);
+        let r = Route::new(0, cells(&[(0, 0), (0, 0), (0, 1), (1, 1)]));
+        assert!(r.validate(&m).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_diagonal_and_jump() {
+        let m = WarehouseMatrix::empty(4, 4);
+        let diag = Route::new(0, cells(&[(0, 0), (1, 1)]));
+        assert_eq!(diag.validate(&m), Err(RouteError::IllegalStep { at: 1 }));
+        let jump = Route::new(0, cells(&[(0, 0), (0, 2)]));
+        assert_eq!(jump.validate(&m), Err(RouteError::IllegalStep { at: 1 }));
+    }
+
+    #[test]
+    fn validate_rejects_mid_route_rack_but_allows_endpoints() {
+        let m = WarehouseMatrix::from_ascii("...\n.#.\n...");
+        let through = Route::new(0, cells(&[(1, 0), (1, 1), (1, 2)]));
+        assert_eq!(through.validate(&m), Err(RouteError::ThroughRack { at: 1 }));
+        let to_rack = Route::new(0, cells(&[(1, 0), (1, 1)]));
+        assert!(to_rack.validate(&m).is_ok());
+        let from_rack = Route::new(0, cells(&[(1, 1), (1, 0)]));
+        assert!(from_rack.validate(&m).is_ok());
+    }
+
+    #[test]
+    fn chain_concatenates() {
+        let mut a = Route::new(0, cells(&[(0, 0), (0, 1)]));
+        let b = Route::new(1, cells(&[(0, 1), (0, 2), (0, 3)]));
+        a.chain(&b);
+        assert_eq!(a.grids, cells(&[(0, 0), (0, 1), (0, 2), (0, 3)]));
+        assert_eq!(a.end_time(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "start at end time")]
+    fn chain_rejects_time_gap() {
+        let mut a = Route::new(0, cells(&[(0, 0), (0, 1)]));
+        let b = Route::new(5, cells(&[(0, 1), (0, 2)]));
+        a.chain(&b);
+    }
+
+    #[test]
+    fn occupancy_enumerates_all_instants() {
+        let r = Route::new(3, cells(&[(2, 2), (2, 3), (2, 3)]));
+        let occ: Vec<(Time, Cell)> = r.occupancy().collect();
+        assert_eq!(
+            occ,
+            vec![
+                (3, Cell::new(2, 2)),
+                (4, Cell::new(2, 3)),
+                (5, Cell::new(2, 3)),
+            ]
+        );
+    }
+}

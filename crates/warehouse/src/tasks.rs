@@ -1,0 +1,192 @@
+//! Synthetic online task streams (§VIII-A).
+//!
+//! Each delivery task incurs three route-planning queries: *pickup*
+//! (robot → rack), *transmission* (rack → picker) and *return*
+//! (picker → rack home). The paper extracts five days of real tasks per
+//! warehouse; we generate streams with the same per-day volumes (scaled by a
+//! configurable factor) and a bimodal arrival profile reproducing the
+//! morning/noon floods the paper observes in the MC plots (§VIII-B).
+
+use crate::layout::Layout;
+use crate::request::{QueryKind, Request, RequestId};
+use crate::types::{Cell, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One delivery task: carry `rack` to `picker`, then return it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Task {
+    /// Task id, unique within a stream.
+    pub id: u64,
+    /// Arrival (emergence) time.
+    pub arrival: Time,
+    /// The rack to fetch (a rack grid; also the home slot for the return).
+    pub rack: Cell,
+    /// The picker station to serve.
+    pub picker: Cell,
+}
+
+/// Shape of a simulated day.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DayProfile {
+    /// Length of the day in simulated seconds.
+    pub horizon: Time,
+    /// Number of tasks arriving during the day.
+    pub num_tasks: u32,
+    /// Weight of the uniform "background" arrival component (0..=1); the
+    /// remainder is split between a morning and a noon peak.
+    pub background: f64,
+}
+
+impl DayProfile {
+    /// A day profile with `num_tasks` tasks over `horizon` seconds and the
+    /// default 40% background / 30% morning-peak / 30% noon-peak mixture.
+    pub fn new(horizon: Time, num_tasks: u32) -> Self {
+        DayProfile { horizon, num_tasks, background: 0.4 }
+    }
+
+    /// Sample one arrival time.
+    fn sample_arrival(&self, rng: &mut StdRng) -> Time {
+        let h = self.horizon as f64;
+        let u: f64 = rng.gen();
+        let x = if u < self.background {
+            rng.gen::<f64>() * h
+        } else if u < self.background + (1.0 - self.background) / 2.0 {
+            // Morning peak centred at 20% of the day.
+            sample_clamped_normal(rng, 0.20 * h, 0.06 * h, h)
+        } else {
+            // Noon peak centred at 50% of the day.
+            sample_clamped_normal(rng, 0.50 * h, 0.08 * h, h)
+        };
+        x as Time
+    }
+}
+
+/// Sample a normal via Box–Muller and clamp into `[0, max)`.
+fn sample_clamped_normal(rng: &mut StdRng, mean: f64, sd: f64, max: f64) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos();
+    (mean + sd * z).clamp(0.0, max - 1.0)
+}
+
+/// Generate a day of tasks over a layout, sorted by arrival time.
+///
+/// Racks and pickers are drawn uniformly — real order streams are skewed,
+/// but spatial spread is what drives congestion and planner cost, and a
+/// uniform draw maximizes spread for a given volume (see DESIGN.md §3).
+pub fn generate_tasks(layout: &Layout, profile: &DayProfile, seed: u64) -> Vec<Task> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tasks = Vec::with_capacity(profile.num_tasks as usize);
+    assert!(!layout.rack_cells.is_empty() && !layout.pickers.is_empty());
+    for id in 0..profile.num_tasks as u64 {
+        let arrival = profile.sample_arrival(&mut rng);
+        let rack = layout.rack_cells[rng.gen_range(0..layout.rack_cells.len())];
+        let picker = layout.pickers[rng.gen_range(0..layout.pickers.len())];
+        tasks.push(Task { id, arrival, rack, picker });
+    }
+    tasks.sort_by_key(|t| (t.arrival, t.id));
+    tasks
+}
+
+/// Generate a batch of standalone planning requests (for micro-benchmarks
+/// and unit experiments that bypass the full simulator).
+///
+/// Requests arrive at rate roughly `rate_per_sec`; origins are free cells,
+/// destinations alternate between rack cells and pickers so the mix touches
+/// all three query kinds.
+pub fn generate_requests(layout: &Layout, n: usize, rate_per_sec: f64, seed: u64) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let free: Vec<Cell> = layout.matrix.cells().filter(|&c| layout.matrix.is_free(c)).collect();
+    let mut t = 0f64;
+    let mut out = Vec::with_capacity(n);
+    for id in 0..n as RequestId {
+        // Exponential inter-arrival.
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        t += -u.ln() / rate_per_sec;
+        let kind = QueryKind::ALL[(id % 3) as usize];
+        let (origin, destination) = match kind {
+            QueryKind::Pickup => (
+                free[rng.gen_range(0..free.len())],
+                layout.rack_cells[rng.gen_range(0..layout.rack_cells.len())],
+            ),
+            QueryKind::Transmission => (
+                layout.rack_cells[rng.gen_range(0..layout.rack_cells.len())],
+                layout.pickers[rng.gen_range(0..layout.pickers.len())],
+            ),
+            QueryKind::Return => (
+                layout.pickers[rng.gen_range(0..layout.pickers.len())],
+                layout.rack_cells[rng.gen_range(0..layout.rack_cells.len())],
+            ),
+        };
+        out.push(Request::new(id, t as Time, origin, destination, kind));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::LayoutConfig;
+
+    #[test]
+    fn tasks_are_sorted_and_well_formed() {
+        let layout = LayoutConfig::small().generate();
+        let profile = DayProfile::new(3600, 200);
+        let tasks = generate_tasks(&layout, &profile, 7);
+        assert_eq!(tasks.len(), 200);
+        for w in tasks.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+        for t in &tasks {
+            assert!(t.arrival < 3600);
+            assert!(layout.matrix.is_rack(t.rack));
+            assert!(layout.matrix.is_free(t.picker));
+        }
+    }
+
+    #[test]
+    fn task_generation_is_seeded() {
+        let layout = LayoutConfig::small().generate();
+        let profile = DayProfile::new(3600, 50);
+        assert_eq!(generate_tasks(&layout, &profile, 1), generate_tasks(&layout, &profile, 1));
+        assert_ne!(generate_tasks(&layout, &profile, 1), generate_tasks(&layout, &profile, 2));
+    }
+
+    #[test]
+    fn arrival_profile_has_peaks() {
+        let layout = LayoutConfig::small().generate();
+        let profile = DayProfile::new(10_000, 5_000);
+        let tasks = generate_tasks(&layout, &profile, 42);
+        // Count arrivals near the morning peak (20%) vs a quiet band (80%).
+        let near = |center: f64| {
+            tasks
+                .iter()
+                .filter(|t| ((t.arrival as f64 / 10_000.0) - center).abs() < 0.05)
+                .count()
+        };
+        assert!(near(0.20) > 2 * near(0.85), "morning peak missing");
+    }
+
+    #[test]
+    fn request_batch_mixes_kinds() {
+        let layout = LayoutConfig::small().generate();
+        let reqs = generate_requests(&layout, 30, 5.0, 3);
+        assert_eq!(reqs.len(), 30);
+        for kind in QueryKind::ALL {
+            assert!(reqs.iter().any(|r| r.kind == kind));
+        }
+        for w in reqs.windows(2) {
+            assert!(w[0].t <= w[1].t, "arrivals must be non-decreasing");
+        }
+        // Transmission origins are racks; pickups end at racks.
+        for r in &reqs {
+            match r.kind {
+                QueryKind::Pickup => assert!(layout.matrix.is_rack(r.destination)),
+                QueryKind::Transmission => assert!(layout.matrix.is_rack(r.origin)),
+                QueryKind::Return => assert!(layout.matrix.is_rack(r.destination)),
+            }
+        }
+    }
+}

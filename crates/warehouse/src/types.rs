@@ -1,0 +1,161 @@
+//! Elementary types shared across the workspace: discrete time, grid cells
+//! and movement directions.
+
+use serde::{Deserialize, Serialize};
+
+/// Discrete time in seconds. Robots move exactly one grid per second (§II,
+/// Definition 2), so every event in the system happens at an integer time.
+pub type Time = u32;
+
+/// Sentinel "never" time, used e.g. as the collision time of non-colliding
+/// segments (the paper's `INF` in Algorithm 3).
+pub const INFINITY_TIME: Time = Time::MAX;
+
+/// A grid cell `⟨row, col⟩` of the warehouse matrix.
+///
+/// Rows grow southwards, columns eastwards; the unit length is the grid
+/// width (Definition 1). Cells are plain value types and are `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Cell {
+    /// Row index (`i` in the paper's `⟨i, j⟩`).
+    pub row: u16,
+    /// Column index (`j` in the paper's `⟨i, j⟩`).
+    pub col: u16,
+}
+
+impl Cell {
+    /// Construct a cell from row/column indices.
+    #[inline]
+    pub const fn new(row: u16, col: u16) -> Self {
+        Cell { row, col }
+    }
+
+    /// Manhattan (L1) distance to another cell — the lower bound on travel
+    /// time between the two cells at unit speed.
+    #[inline]
+    pub fn manhattan(self, other: Cell) -> u32 {
+        self.row.abs_diff(other.row) as u32 + self.col.abs_diff(other.col) as u32
+    }
+
+    /// Whether `other` is exactly one grid away along a row or column.
+    #[inline]
+    pub fn is_adjacent(self, other: Cell) -> bool {
+        self.manhattan(other) == 1
+    }
+
+    /// The neighbouring cell in direction `d`, or `None` when it would leave
+    /// the `rows × cols` matrix.
+    #[inline]
+    pub fn step(self, d: Dir, rows: u16, cols: u16) -> Option<Cell> {
+        let (dr, dc) = d.delta();
+        let row = self.row.checked_add_signed(dr)?;
+        let col = self.col.checked_add_signed(dc)?;
+        (row < rows && col < cols).then_some(Cell { row, col })
+    }
+}
+
+impl core::fmt::Display for Cell {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "⟨{},{}⟩", self.row, self.col)
+    }
+}
+
+/// The four axis-aligned movement directions (robots may only move along
+/// rows or columns, Definition 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dir {
+    /// Decreasing row index.
+    North,
+    /// Increasing row index.
+    South,
+    /// Decreasing column index.
+    West,
+    /// Increasing column index.
+    East,
+}
+
+impl Dir {
+    /// All four directions, in a fixed deterministic order.
+    pub const ALL: [Dir; 4] = [Dir::North, Dir::South, Dir::West, Dir::East];
+
+    /// Row/column delta of a single step in this direction.
+    #[inline]
+    pub const fn delta(self) -> (i16, i16) {
+        match self {
+            Dir::North => (-1, 0),
+            Dir::South => (1, 0),
+            Dir::West => (0, -1),
+            Dir::East => (0, 1),
+        }
+    }
+
+    /// The opposite direction.
+    #[inline]
+    pub const fn opposite(self) -> Dir {
+        match self {
+            Dir::North => Dir::South,
+            Dir::South => Dir::North,
+            Dir::West => Dir::East,
+            Dir::East => Dir::West,
+        }
+    }
+
+    /// Whether this direction runs along a row (latitudinal movement).
+    #[inline]
+    pub const fn is_latitudinal(self) -> bool {
+        matches!(self, Dir::West | Dir::East)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_is_symmetric_and_zero_on_self() {
+        let a = Cell::new(3, 7);
+        let b = Cell::new(10, 2);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert_eq!(a.manhattan(b), 7 + 5);
+        assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn adjacency_matches_manhattan_one() {
+        let a = Cell::new(5, 5);
+        assert!(a.is_adjacent(Cell::new(4, 5)));
+        assert!(a.is_adjacent(Cell::new(5, 6)));
+        assert!(!a.is_adjacent(Cell::new(4, 4)));
+        assert!(!a.is_adjacent(a));
+    }
+
+    #[test]
+    fn step_respects_bounds() {
+        let origin = Cell::new(0, 0);
+        assert_eq!(origin.step(Dir::North, 4, 4), None);
+        assert_eq!(origin.step(Dir::West, 4, 4), None);
+        assert_eq!(origin.step(Dir::South, 4, 4), Some(Cell::new(1, 0)));
+        assert_eq!(origin.step(Dir::East, 4, 4), Some(Cell::new(0, 1)));
+        let corner = Cell::new(3, 3);
+        assert_eq!(corner.step(Dir::South, 4, 4), None);
+        assert_eq!(corner.step(Dir::East, 4, 4), None);
+    }
+
+    #[test]
+    fn opposite_is_involutive() {
+        for d in Dir::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            let (dr, dc) = d.delta();
+            let (or, oc) = d.opposite().delta();
+            assert_eq!((dr + or, dc + oc), (0, 0));
+        }
+    }
+
+    #[test]
+    fn latitudinal_classification() {
+        assert!(Dir::East.is_latitudinal());
+        assert!(Dir::West.is_latitudinal());
+        assert!(!Dir::North.is_latitudinal());
+        assert!(!Dir::South.is_latitudinal());
+    }
+}

@@ -1,0 +1,74 @@
+//! Visualize how SRP turns route collisions into segment intersections
+//! (§V, Figs. 4–6): draws space-time diagrams of segments within one strip
+//! and reports what the exact intersection test and the paper's Eq. (2)/(3)
+//! say about each pair.
+//!
+//! ```sh
+//! cargo run --example collision_debug
+//! ```
+
+use srp_warehouse::geometry::{
+    collide_paper, collision_time_paper, earliest_collision, CollisionKind, Segment,
+};
+use srp_warehouse::warehouse::render::space_time_diagram;
+
+fn main() {
+    let scenarios: &[(&str, Segment, Segment)] = &[
+        (
+            "head-on crossing between integer times (swap conflict, Fig. 6(b))",
+            Segment::travel(0, 0, 5),
+            Segment::travel(0, 5, 0),
+        ),
+        (
+            "head-on meeting exactly on a grid (vertex conflict, Fig. 6(a))",
+            Segment::travel(0, 0, 4),
+            Segment::travel(0, 4, 0),
+        ),
+        (
+            "mover vs. parked robot (slope 0)",
+            Segment::travel(0, 0, 7),
+            Segment::wait(2, 9, 4),
+        ),
+        (
+            "follower one step behind the leader (no conflict)",
+            Segment::travel(0, 0, 6),
+            Segment::travel(1, 0, 6),
+        ),
+        (
+            "collinear overlap the strict Eq.(2) misses",
+            Segment::travel(0, 0, 6),
+            Segment::travel(3, 3, 9),
+        ),
+    ];
+
+    for (label, phi, psi) in scenarios {
+        println!("── {label}");
+        println!("   φ = {phi}    ψ = {psi}");
+        draw(phi, psi);
+        match earliest_collision(phi, psi) {
+            Some(c) => {
+                let kind = match c.kind {
+                    CollisionKind::Vertex => "vertex",
+                    CollisionKind::Swap => "swap",
+                };
+                println!("   exact test: {kind} conflict at t = {}", c.time);
+            }
+            None => println!("   exact test: no conflict"),
+        }
+        println!(
+            "   paper Eq.(2): {}   Eq.(3) time: {}",
+            if collide_paper(phi, psi) { "intersect" } else { "no proper crossing" },
+            collision_time_paper(phi, psi)
+        );
+        println!();
+    }
+}
+
+/// ASCII space-time diagram: rows = grid numbers (space), cols = time.
+fn draw(phi: &Segment, psi: &Segment) {
+    let traj = |seg: &Segment| -> Vec<i32> { seg.occupancy().map(|(_, s)| s).collect() };
+    let diagram = space_time_diagram(&[('φ', traj(phi), phi.t0), ('ψ', traj(psi), psi.t0)]);
+    for line in diagram.lines() {
+        println!("   {line}");
+    }
+}

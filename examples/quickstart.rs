@@ -1,0 +1,76 @@
+//! Quickstart: build a small warehouse, plan a handful of collision-free
+//! routes with SRP, and print the routes on an ASCII map.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use srp_warehouse::prelude::*;
+use srp_warehouse::warehouse::render::Canvas;
+
+fn main() {
+    // A miniature warehouse: two rack clusters, aisles all around.
+    let matrix = WarehouseMatrix::from_ascii(
+        "..........\n\
+         .##...##..\n\
+         .##...##..\n\
+         .##...##..\n\
+         ..........\n\
+         .##...##..\n\
+         .##...##..\n\
+         ..........",
+    );
+    println!("Warehouse ({} × {} grids, {} racks):", matrix.rows(), matrix.cols(), matrix.num_racks());
+    println!("{}", matrix.to_ascii());
+
+    let mut planner = SrpPlanner::new(matrix.clone(), SrpConfig::default());
+    println!(
+        "Strip graph: {} strips, {} edges (vs {} grid cells)\n",
+        planner.graph().num_vertices(),
+        planner.graph().num_edges(),
+        matrix.num_cells()
+    );
+
+    // Three requests: a pickup to a rack, a crossing trip, and a return.
+    let requests = [
+        Request::new(0, 0, Cell::new(0, 0), Cell::new(2, 1), QueryKind::Pickup),
+        Request::new(1, 0, Cell::new(7, 9), Cell::new(0, 9), QueryKind::Transmission),
+        Request::new(2, 1, Cell::new(4, 5), Cell::new(6, 7), QueryKind::Return),
+    ];
+
+    let mut routes = Vec::new();
+    for req in &requests {
+        match planner.plan(req) {
+            PlanOutcome::Planned(route) => {
+                println!(
+                    "request {}: {} → {}  start t={} duration {} steps",
+                    req.id,
+                    req.origin,
+                    req.destination,
+                    route.start,
+                    route.duration()
+                );
+                print_route(&matrix, &route);
+                routes.push(route);
+            }
+            PlanOutcome::Infeasible => println!("request {} infeasible", req.id),
+        }
+    }
+
+    // The planner guarantees mutual collision-freedom; double-check with
+    // the ground-truth validator.
+    match srp_warehouse::warehouse::collision::validate_routes(&routes) {
+        None => println!("✓ all {} routes mutually collision-free", routes.len()),
+        Some(c) => println!("✗ conflict found: {c:?}"),
+    }
+}
+
+/// Draw the route onto the map with digits marking visit order (mod 10).
+fn print_route(matrix: &WarehouseMatrix, route: &srp_warehouse::prelude::Route) {
+    let mut canvas = Canvas::from_matrix(matrix);
+    canvas.draw_route(route);
+    for line in canvas.render().lines() {
+        println!("  {line}");
+    }
+    println!();
+}

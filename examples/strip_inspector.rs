@@ -1,0 +1,85 @@
+//! Inspect the strip-graph extraction on the Table II presets: how many
+//! strips and strip edges the aggregation produces versus the raw grid
+//! graph, plus a visual of strips on a small map.
+//!
+//! ```sh
+//! cargo run --release --example strip_inspector
+//! ```
+
+use srp_warehouse::prelude::*;
+use srp_warehouse::srp::{StripDir, StripKind};
+
+fn main() {
+    // Visual: paint strip ids (mod 36) over a small generated layout.
+    let layout = LayoutConfig::small().generate();
+    let graph = StripGraph::build(&layout.matrix);
+    println!(
+        "small layout {}×{}: {} strips / {} cells\n",
+        layout.matrix.rows(),
+        layout.matrix.cols(),
+        graph.num_vertices(),
+        layout.matrix.num_cells()
+    );
+    const GLYPHS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyz";
+    for i in 0..layout.matrix.rows() {
+        let mut line = String::new();
+        for j in 0..layout.matrix.cols() {
+            let cell = Cell::new(i, j);
+            let id = graph.strip_of(&layout.matrix, cell) as usize;
+            let ch = if layout.matrix.is_rack(cell) {
+                '#'
+            } else {
+                GLYPHS[id % GLYPHS.len()] as char
+            };
+            line.push(ch);
+        }
+        println!("  {line}");
+    }
+    println!("\n  (# = rack strip cell; letters/digits = aisle strip id mod 36)\n");
+
+    // Table II reproduction: grid vs strip scale on all presets.
+    println!(
+        "{:<6} {:>9} {:>7} {:>8} {:>8} | {:>10} {:>10} | {:>10} {:>10} | {:>6} {:>6}",
+        "Name", "H×W", "#Rack", "#Robot", "#Picker", "grid #V", "grid #E", "strip #V", "strip #E", "V%", "E%"
+    );
+    for preset in WarehousePreset::ALL {
+        let layout = preset.generate();
+        let stats = layout.stats();
+        let graph = StripGraph::build(&layout.matrix);
+        println!(
+            "{:<6} {:>9} {:>7} {:>8} {:>8} | {:>10} {:>10} | {:>10} {:>10} | {:>5.1}% {:>5.1}%",
+            preset.name(),
+            format!("{}x{}", stats.rows, stats.cols),
+            stats.racks,
+            stats.robots,
+            stats.pickers,
+            stats.grid_vertices,
+            stats.grid_edges,
+            graph.num_vertices(),
+            graph.num_edges(),
+            100.0 * graph.num_vertices() as f64 / stats.grid_vertices as f64,
+            100.0 * graph.num_edges() as f64 / stats.grid_edges as f64,
+        );
+    }
+
+    // Strip composition of the largest preset.
+    let layout = WarehousePreset::W3.generate();
+    let graph = StripGraph::build(&layout.matrix);
+    let mut lat = 0;
+    let mut lon_aisle = 0;
+    let mut lon_rack = 0;
+    let mut len_sum = 0u64;
+    for s in &graph.strips {
+        len_sum += s.len() as u64;
+        match (s.dir, s.kind) {
+            (StripDir::Latitudinal, _) => lat += 1,
+            (StripDir::Longitudinal, StripKind::Aisle) => lon_aisle += 1,
+            (StripDir::Longitudinal, StripKind::Rack) => lon_rack += 1,
+        }
+    }
+    println!(
+        "\nW-3 strip composition: {lat} latitudinal aisles, {lon_aisle} longitudinal aisles, \
+         {lon_rack} rack strips; mean strip length {:.1} grids",
+        len_sum as f64 / graph.num_vertices() as f64
+    );
+}

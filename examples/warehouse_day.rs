@@ -1,0 +1,81 @@
+//! Simulate a (scaled-down) day of warehouse operation on the W-1 preset
+//! and compare SRP with one baseline of your choice.
+//!
+//! ```sh
+//! cargo run --release --example warehouse_day -- [tasks] [baseline]
+//! # e.g.
+//! cargo run --release --example warehouse_day -- 300 ACP
+//! ```
+//!
+//! `baseline` is one of SAP, RP, TWP, ACP (default ACP).
+
+use srp_warehouse::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tasks_n: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let baseline = args.get(2).map(String::as_str).unwrap_or("ACP").to_uppercase();
+
+    println!("Generating W-1 layout (Table II scale)…");
+    let layout = WarehousePreset::W1.generate();
+    let stats = layout.stats();
+    println!(
+        "  {} × {} grids, {} racks, {} robots, {} pickers",
+        stats.rows, stats.cols, stats.racks, stats.robots, stats.pickers
+    );
+
+    let horizon = 1800; // half an hour of simulated time
+    let tasks = generate_tasks(&layout, &DayProfile::new(horizon, tasks_n), 2023);
+    println!("  {} delivery tasks over {horizon}s (3 planning queries each)\n", tasks.len());
+
+    let srp = SrpPlanner::new(layout.matrix.clone(), SrpConfig::default());
+    let (srp_report, srp_planner) =
+        Simulation::new(&layout, &tasks, srp, SimConfig::default()).run();
+    print_report(&srp_report);
+    println!(
+        "    strips settled {}, intra calls {}, fallbacks {}\n",
+        srp_planner.stats.strips_settled, srp_planner.stats.intra_calls, srp_planner.stats.fallbacks
+    );
+
+    let baseline_report = match baseline.as_str() {
+        "SAP" => {
+            let p = SapPlanner::new(layout.matrix.clone(), AStarConfig::default());
+            Simulation::new(&layout, &tasks, p, SimConfig::default()).run().0
+        }
+        "RP" => {
+            let p = RpPlanner::new(layout.matrix.clone(), RpConfig::default());
+            Simulation::new(&layout, &tasks, p, SimConfig::default()).run().0
+        }
+        "TWP" => {
+            let p = TwpPlanner::new(layout.matrix.clone(), TwpConfig::default());
+            Simulation::new(&layout, &tasks, p, SimConfig::default()).run().0
+        }
+        "ACP" => {
+            let p = AcpPlanner::new(layout.matrix.clone(), AcpConfig::default());
+            Simulation::new(&layout, &tasks, p, SimConfig::default()).run().0
+        }
+        other => {
+            eprintln!("unknown baseline {other}; use SAP, RP, TWP or ACP");
+            std::process::exit(1);
+        }
+    };
+    print_report(&baseline_report);
+
+    println!();
+    println!(
+        "SRP vs {}: {:.1}× faster planning, {:.1}× less memory, makespan ratio {:.3}",
+        baseline_report.planner,
+        baseline_report.planning_secs / srp_report.planning_secs.max(1e-9),
+        baseline_report.peak_memory_bytes as f64 / srp_report.peak_memory_bytes.max(1) as f64,
+        srp_report.makespan as f64 / baseline_report.makespan.max(1) as f64,
+    );
+}
+
+fn print_report(r: &DayReport) {
+    println!("[{}]", r.planner);
+    println!("    tasks completed   {}/{}", r.completed, r.tasks);
+    println!("    makespan (OG)     {} s", r.makespan);
+    println!("    planning (TC)     {:.3} s", r.planning_secs);
+    println!("    peak memory (MC)  {:.1} KiB", r.peak_memory_bytes as f64 / 1024.0);
+    println!("    audit conflicts   {}", r.audit_conflicts);
+}

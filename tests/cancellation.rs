@@ -1,0 +1,75 @@
+//! Route-cancellation semantics across all planners: cancelling a
+//! committed route must free its capacity exactly, and cancelling unknown
+//! ids must be refused.
+
+use srp_warehouse::prelude::*;
+
+fn all_planners(matrix: &WarehouseMatrix) -> Vec<Box<dyn Planner>> {
+    vec![
+        Box::new(SrpPlanner::new(matrix.clone(), SrpConfig::default())),
+        Box::new(SapPlanner::new(matrix.clone(), AStarConfig::default())),
+        Box::new(RpPlanner::new(matrix.clone(), RpConfig::default())),
+        Box::new(TwpPlanner::new(matrix.clone(), TwpConfig::default())),
+        Box::new(AcpPlanner::new(matrix.clone(), AcpConfig::default())),
+    ]
+}
+
+#[test]
+fn cancelled_route_frees_the_corridor() {
+    // A single-row corridor: while route 0 sweeps it, an opposing request
+    // must wait/detour; after cancellation, the corridor is free again.
+    let matrix = WarehouseMatrix::empty(1, 12);
+    for mut planner in all_planners(&matrix) {
+        let name = planner.name();
+        let blocker = Request::new(0, 0, Cell::new(0, 0), Cell::new(0, 11), QueryKind::Pickup);
+        assert!(planner.plan(&blocker).route().is_some(), "{name}: blocker");
+
+        assert!(planner.cancel(0), "{name}: cancel must succeed");
+        assert!(!planner.cancel(0), "{name}: double cancel must fail");
+
+        // Same corridor, opposite direction, same instant: only possible
+        // because the blocker is gone (a 1-row corridor has no detours).
+        let free = Request::new(1, 0, Cell::new(0, 11), Cell::new(0, 0), QueryKind::Pickup);
+        let route = planner
+            .plan(&free)
+            .route()
+            .cloned()
+            .unwrap_or_else(|| panic!("{name}: corridor still blocked after cancel"));
+        assert_eq!(route.duration(), 11, "{name}: expected the unobstructed sweep");
+    }
+}
+
+#[test]
+fn cancel_unknown_id_is_refused_everywhere() {
+    let matrix = WarehouseMatrix::empty(4, 4);
+    for mut planner in all_planners(&matrix) {
+        assert!(!planner.cancel(424242), "{}", planner.name());
+    }
+}
+
+#[test]
+fn cancel_does_not_disturb_other_routes() {
+    let matrix = WarehouseMatrix::empty(4, 10);
+    let mut planner = SrpPlanner::new(matrix.clone(), SrpConfig::default());
+    let r0 = planner
+        .plan(&Request::new(0, 0, Cell::new(0, 0), Cell::new(0, 9), QueryKind::Pickup))
+        .route()
+        .cloned()
+        .expect("r0");
+    planner
+        .plan(&Request::new(1, 0, Cell::new(2, 0), Cell::new(2, 9), QueryKind::Pickup))
+        .route()
+        .expect("r1");
+    assert!(planner.cancel(1));
+    // Route 0's reservations must still block a head-on request on row 0.
+    let head_on = planner
+        .plan(&Request::new(2, 0, Cell::new(0, 9), Cell::new(0, 0), QueryKind::Pickup))
+        .route()
+        .cloned()
+        .expect("r2 plans around r0");
+    assert!(
+        srp_warehouse::warehouse::collision::first_conflict(&r0, &head_on).is_none(),
+        "cancel(1) must not have freed route 0's cells"
+    );
+    assert!(head_on.finish_exclusive() > r0.finish_exclusive());
+}

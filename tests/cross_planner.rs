@@ -1,0 +1,112 @@
+//! Cross-crate integration tests: every planner against the same streams,
+//! audited by the ground-truth conflict semantics, plus cross-planner
+//! effectiveness comparisons.
+
+use srp_warehouse::prelude::*;
+use srp_warehouse::warehouse::collision::validate_routes;
+
+fn planners(layout: &LayoutConfig) -> Vec<Box<dyn Planner>> {
+    let l = layout.generate();
+    vec![
+        Box::new(SrpPlanner::new(l.matrix.clone(), SrpConfig::default())),
+        Box::new(SapPlanner::new(l.matrix.clone(), AStarConfig::default())),
+        Box::new(RpPlanner::new(l.matrix.clone(), RpConfig::default())),
+        Box::new(AcpPlanner::new(l.matrix.clone(), AcpConfig::default())),
+    ]
+}
+
+#[test]
+fn all_planners_survive_identical_request_stream() {
+    let cfg = LayoutConfig::small();
+    let layout = cfg.generate();
+    let requests = generate_requests(&layout, 90, 3.0, 2024);
+    for mut planner in planners(&cfg) {
+        let mut routes = Vec::new();
+        for req in &requests {
+            if let PlanOutcome::Planned(r) = planner.plan(req) {
+                assert!(r.validate(&layout.matrix).is_ok(), "{}: invalid route", planner.name());
+                routes.push(r);
+            }
+            for (_, revised) in planner.advance(req.t) {
+                // Revisions replace earlier routes; for this sequential test
+                // we simply re-validate them.
+                assert!(revised.validate(&layout.matrix).is_ok());
+            }
+        }
+        assert!(
+            routes.len() >= 85,
+            "{}: too many infeasible ({} of {})",
+            planner.name(),
+            requests.len() - routes.len(),
+            requests.len()
+        );
+    }
+}
+
+#[test]
+fn srp_and_sap_routes_have_comparable_length() {
+    let layout = LayoutConfig::small().generate();
+    let requests = generate_requests(&layout, 60, 2.0, 7);
+    let mut srp = SrpPlanner::new(layout.matrix.clone(), SrpConfig::default());
+    let mut sap = SapPlanner::new(layout.matrix.clone(), AStarConfig::default());
+    let (mut srp_total, mut sap_total) = (0u64, 0u64);
+    for req in &requests {
+        if let (Some(a), Some(b)) = (srp.plan(req).route(), sap.plan(req).route()) {
+            srp_total += a.duration() as u64;
+            sap_total += b.duration() as u64;
+        }
+    }
+    let ratio = srp_total as f64 / sap_total as f64;
+    // Theorem 1 bounds the per-route expectation by 1.788; aggregates on
+    // light traffic should be much closer to 1.
+    assert!(
+        (0.95..1.30).contains(&ratio),
+        "SRP/SAP total duration ratio {ratio:.3} ({srp_total} vs {sap_total})"
+    );
+}
+
+#[test]
+fn full_simulated_day_cross_planner_audit() {
+    let layout = LayoutConfig::small().generate();
+    let tasks = generate_tasks(&layout, &DayProfile::new(500, 35), 99);
+    for kind in ["SRP", "SAP", "ACP"] {
+        let planner: Box<dyn Planner> = match kind {
+            "SRP" => Box::new(SrpPlanner::new(layout.matrix.clone(), SrpConfig::default())),
+            "SAP" => Box::new(SapPlanner::new(layout.matrix.clone(), AStarConfig::default())),
+            _ => Box::new(AcpPlanner::new(layout.matrix.clone(), AcpConfig::default())),
+        };
+        let (report, _) = Simulation::new(&layout, &tasks, planner, SimConfig::default()).run();
+        assert_eq!(report.audit_conflicts, 0, "{kind} leaked conflicts");
+        assert_eq!(report.completed, report.tasks, "{kind} left tasks unfinished");
+        assert!(report.makespan >= 500, "{kind}: makespan shorter than the day");
+    }
+}
+
+#[test]
+fn segment_and_grid_representations_agree_on_collisions() {
+    // Plan routes with SRP (segment-based collision state) and re-validate
+    // every pair at grid level: if the representations disagreed, the audit
+    // would find conflicts the segment stores missed.
+    let layout = LayoutConfig::small().generate();
+    let mut srp = SrpPlanner::new(layout.matrix.clone(), SrpConfig::default());
+    let requests = generate_requests(&layout, 150, 5.0, 1234);
+    let mut routes = Vec::new();
+    for req in &requests {
+        if let PlanOutcome::Planned(r) = srp.plan(req) {
+            routes.push(r);
+        }
+    }
+    assert!(routes.len() > 140);
+    assert_eq!(validate_routes(&routes), None);
+}
+
+#[test]
+fn workspace_prelude_exposes_a_complete_api() {
+    // Compile-time check that the prelude covers the typical workflow.
+    let matrix = WarehouseMatrix::from_ascii(".....\n.##..\n.....");
+    let mut planner = SrpPlanner::new(matrix, SrpConfig::default());
+    let req = Request::new(0, 0, Cell::new(0, 0), Cell::new(2, 4), QueryKind::Pickup);
+    let route = planner.plan(&req).route().cloned().expect("planned");
+    assert_eq!(route.destination(), Cell::new(2, 4));
+    assert!(planner.memory_bytes() > 0);
+}
