@@ -33,7 +33,10 @@ pub struct AcpConfig {
 
 impl Default for AcpConfig {
     fn default() -> Self {
-        AcpConfig { max_total_wait: 64, astar: AStarConfig::default() }
+        AcpConfig {
+            max_total_wait: 64,
+            astar: AStarConfig::default(),
+        }
     }
 }
 
@@ -185,7 +188,8 @@ impl Planner for AcpPlanner {
                         req.destination,
                         req.t,
                     );
-                    self.search_peak_bytes = self.search_peak_bytes.max(self.astar.stats.peak_bytes);
+                    self.search_peak_bytes =
+                        self.search_peak_bytes.max(self.astar.stats.peak_bytes);
                     r
                 }
             },
@@ -210,11 +214,7 @@ impl Planner for AcpPlanner {
     }
 
     fn memory_bytes(&self) -> usize {
-        let cache: usize = self
-            .cache
-            .values()
-            .map(|p| memory::vec_bytes(p))
-            .sum::<usize>()
+        let cache: usize = self.cache.values().map(memory::vec_bytes).sum::<usize>()
             + memory::hashmap_bytes(&self.cache);
         // The paper's MC includes "runtime space consumption during
         // execution": the fallback-search high-water is part of the
@@ -239,7 +239,10 @@ mod tests {
         let b = Cell::new(5, 5);
         acp.plan(&Request::new(0, 0, a, b, QueryKind::Pickup));
         acp.plan(&Request::new(1, 30, a, b, QueryKind::Pickup));
-        assert_eq!(acp.stats.cache_fills, 1, "second request must reuse the path");
+        assert_eq!(
+            acp.stats.cache_fills, 1,
+            "second request must reuse the path"
+        );
         assert_eq!(acp.cache_entries(), 1);
         assert_eq!(acp.stats.cache_hits, 2);
     }
@@ -249,12 +252,24 @@ mod tests {
         let m = WarehouseMatrix::empty(5, 5);
         let mut acp = AcpPlanner::new(m, AcpConfig::default());
         let r1 = acp
-            .plan(&Request::new(0, 0, Cell::new(2, 0), Cell::new(2, 4), QueryKind::Pickup))
+            .plan(&Request::new(
+                0,
+                0,
+                Cell::new(2, 0),
+                Cell::new(2, 4),
+                QueryKind::Pickup,
+            ))
             .route()
             .cloned()
             .expect("r1");
         let r2 = acp
-            .plan(&Request::new(1, 0, Cell::new(0, 2), Cell::new(4, 2), QueryKind::Pickup))
+            .plan(&Request::new(
+                1,
+                0,
+                Cell::new(0, 2),
+                Cell::new(4, 2),
+                QueryKind::Pickup,
+            ))
             .route()
             .cloned()
             .expect("r2");
@@ -269,16 +284,34 @@ mod tests {
             "......\n\
              ......",
         );
-        let mut acp = AcpPlanner::new(m, AcpConfig { max_total_wait: 8, ..Default::default() });
+        let mut acp = AcpPlanner::new(
+            m,
+            AcpConfig {
+                max_total_wait: 8,
+                ..Default::default()
+            },
+        );
         let r1 = acp
-            .plan(&Request::new(0, 0, Cell::new(0, 0), Cell::new(0, 5), QueryKind::Pickup))
+            .plan(&Request::new(
+                0,
+                0,
+                Cell::new(0, 0),
+                Cell::new(0, 5),
+                QueryKind::Pickup,
+            ))
             .route()
             .cloned()
             .expect("r1");
         // Head-on along row 0: greedy waiting can never resolve it; the
         // fallback must route around via row 1.
         let r2 = acp
-            .plan(&Request::new(1, 0, Cell::new(0, 5), Cell::new(0, 0), QueryKind::Pickup))
+            .plan(&Request::new(
+                1,
+                0,
+                Cell::new(0, 5),
+                Cell::new(0, 0),
+                QueryKind::Pickup,
+            ))
             .route()
             .cloned()
             .expect("r2");
@@ -307,7 +340,13 @@ mod tests {
         let mut acp = AcpPlanner::new(m, AcpConfig::default());
         let before = acp.memory_bytes();
         for i in 0..10u16 {
-            acp.plan(&Request::new(i as u64, 0, Cell::new(0, i), Cell::new(9, 9 - i), QueryKind::Pickup));
+            acp.plan(&Request::new(
+                i as u64,
+                0,
+                Cell::new(0, i),
+                Cell::new(9, 9 - i),
+                QueryKind::Pickup,
+            ));
         }
         assert!(acp.memory_bytes() > before);
         assert_eq!(acp.cache_entries(), 10);

@@ -22,12 +22,12 @@
 pub mod acp;
 pub mod common;
 pub mod rp;
-pub mod sipp;
 pub mod sap;
+pub mod sipp;
 pub mod twp;
 
 pub use acp::{AcpConfig, AcpPlanner, AcpStats};
 pub use rp::{RpConfig, RpPlanner, RpStats};
-pub use sipp::{SippConfig, SippPlanner, SippStats};
 pub use sap::SapPlanner;
+pub use sipp::{SippConfig, SippPlanner, SippStats};
 pub use twp::{TwpConfig, TwpPlanner, TwpStats};

@@ -33,7 +33,10 @@ impl Default for RpConfig {
         // planning: replanned tails are short and a stuck branch must fail
         // fast so the planner can degrade to prioritized A* (the behaviour
         // that makes RP slow-but-bounded in the paper's evaluation).
-        let mut cbs = CbsConfig { max_nodes: 128, ..CbsConfig::default() };
+        let mut cbs = CbsConfig {
+            max_nodes: 128,
+            ..CbsConfig::default()
+        };
         cbs.astar.max_expansions = 50_000;
         cbs.astar.horizon = 1024;
         RpConfig { cbs, max_group: 6 }
@@ -97,7 +100,14 @@ impl RpPlanner {
     /// Plan ignoring all other robots (the optimistic first attempt).
     fn plan_ignoring_traffic(&mut self, req: &Request) -> Option<Route> {
         let empty = ReservationTable::new();
-        let r = self.astar.plan(&self.matrix, &empty, None, req.origin, req.destination, req.t);
+        let r = self.astar.plan(
+            &self.matrix,
+            &empty,
+            None,
+            req.origin,
+            req.destination,
+            req.t,
+        );
         self.search_peak_bytes = self.search_peak_bytes.max(self.astar.stats.peak_bytes);
         r
     }
@@ -122,10 +132,16 @@ impl RpPlanner {
     fn replan_group(&mut self, req: &Request, group: &[RequestId]) -> Option<Route> {
         // Withdraw group routes, split them into past prefix + future need.
         let now = req.t;
-        let mut agents = vec![CbsAgent { start: req.origin, goal: req.destination, depart: now }];
+        let mut agents = vec![CbsAgent {
+            start: req.origin,
+            goal: req.destination,
+            depart: now,
+        }];
         let mut withdrawn: Vec<(RequestId, Route, Option<Route>)> = Vec::new();
         for &id in group {
-            let Some(old) = self.commitments.withdraw(id) else { continue };
+            let Some(old) = self.commitments.withdraw(id) else {
+                continue;
+            };
             let (prefix, start, depart) = if old.start >= now {
                 (None, old.origin(), old.start)
             } else {
@@ -133,7 +149,11 @@ impl RpPlanner {
                 let prefix = Route::new(old.start, old.grids[..=done].to_vec());
                 (Some(prefix), old.grids[done], now)
             };
-            agents.push(CbsAgent { start, goal: old.destination(), depart });
+            agents.push(CbsAgent {
+                start,
+                goal: old.destination(),
+                depart,
+            });
             withdrawn.push((id, old, prefix));
         }
 
@@ -219,7 +239,11 @@ impl Planner for RpPlanner {
         // The paper's MC includes "runtime space consumption during
         // execution": the search high-water is part of the footprint.
         self.commitments.memory_bytes()
-            + self.pending_revisions.iter().map(|(_, r)| r.memory_bytes()).sum::<usize>()
+            + self
+                .pending_revisions
+                .iter()
+                .map(|(_, r)| r.memory_bytes())
+                .sum::<usize>()
             + self.search_peak_bytes
     }
 }
@@ -285,7 +309,13 @@ mod tests {
         let mut rp = RpPlanner::new(m, RpConfig::default());
         // Robot 0 sweeps row 2 starting t=0.
         let r0 = rp
-            .plan(&Request::new(0, 0, Cell::new(2, 0), Cell::new(2, 8), QueryKind::Pickup))
+            .plan(&Request::new(
+                0,
+                0,
+                Cell::new(2, 0),
+                Cell::new(2, 8),
+                QueryKind::Pickup,
+            ))
             .route()
             .cloned()
             .expect("r0");
@@ -300,7 +330,11 @@ mod tests {
             .unwrap_or(r0.clone());
         // The prefix up to t=3 must be untouched.
         for t in 0..=3 {
-            assert_eq!(r0_final.position_at(t), r0.position_at(t), "prefix changed at t={t}");
+            assert_eq!(
+                r0_final.position_at(t),
+                r0.position_at(t),
+                "prefix changed at t={t}"
+            );
         }
         assert_eq!(validate_routes(&[r0_final, r1]), None);
     }

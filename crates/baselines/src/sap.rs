@@ -110,12 +110,24 @@ mod tests {
         let m = WarehouseMatrix::empty(3, 6);
         let mut sap = SapPlanner::new(m, AStarConfig::default());
         let r1 = sap
-            .plan(&Request::new(0, 0, Cell::new(1, 0), Cell::new(1, 5), QueryKind::Pickup))
+            .plan(&Request::new(
+                0,
+                0,
+                Cell::new(1, 0),
+                Cell::new(1, 5),
+                QueryKind::Pickup,
+            ))
             .route()
             .cloned()
             .expect("r1");
         let r2 = sap
-            .plan(&Request::new(1, 0, Cell::new(1, 5), Cell::new(1, 0), QueryKind::Pickup))
+            .plan(&Request::new(
+                1,
+                0,
+                Cell::new(1, 5),
+                Cell::new(1, 0),
+                QueryKind::Pickup,
+            ))
             .route()
             .cloned()
             .expect("r2");
@@ -128,7 +140,13 @@ mod tests {
     fn retirement_unblocks_cells() {
         let m = WarehouseMatrix::empty(2, 6);
         let mut sap = SapPlanner::new(m, AStarConfig::default());
-        sap.plan(&Request::new(0, 0, Cell::new(0, 0), Cell::new(0, 5), QueryKind::Pickup));
+        sap.plan(&Request::new(
+            0,
+            0,
+            Cell::new(0, 0),
+            Cell::new(0, 5),
+            QueryKind::Pickup,
+        ));
         assert_eq!(sap.active_routes(), 1);
         sap.advance(100);
         assert_eq!(sap.active_routes(), 0);

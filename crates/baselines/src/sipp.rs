@@ -33,7 +33,11 @@ pub struct SippConfig {
 
 impl Default for SippConfig {
     fn default() -> Self {
-        SippConfig { max_expansions: 200_000, horizon: 4096, max_depart_delay: 256 }
+        SippConfig {
+            max_expansions: 200_000,
+            horizon: 4096,
+            max_depart_delay: 256,
+        }
     }
 }
 
@@ -123,15 +127,15 @@ impl SippPlanner {
     /// reserved.
     fn interval_at(&self, cell: Cell, t: Time) -> Option<Interval> {
         let Some(blocked) = self.blocks.get(&cell) else {
-            return Some(Interval { start: 0, end: INFINITY_TIME });
+            return Some(Interval {
+                start: 0,
+                end: INFINITY_TIME,
+            });
         };
         if blocked.contains(&t) {
             return None;
         }
-        let start = blocked
-            .range(..t)
-            .next_back()
-            .map_or(0, |&b| b + 1);
+        let start = blocked.range(..t).next_back().map_or(0, |&b| b + 1);
         let end = blocked.range(t..).next().map_or(INFINITY_TIME, |&b| b - 1);
         Some(Interval { start, end })
     }
@@ -178,7 +182,13 @@ impl SippPlanner {
         best.insert((start, start_interval.start), depart);
         let mut expansions = 0usize;
 
-        while let Some(Node { g, cell, interval_start, .. }) = open.pop() {
+        while let Some(Node {
+            g,
+            cell,
+            interval_start,
+            ..
+        }) = open.pop()
+        {
             expansions += 1;
             if expansions > self.config.max_expansions {
                 break;
@@ -194,9 +204,7 @@ impl SippPlanner {
             if g - depart >= self.config.horizon {
                 continue;
             }
-            let interval_end = self
-                .interval_at(cell, g)
-                .map_or(g, |iv| iv.end);
+            let interval_end = self.interval_at(cell, g).map_or(g, |iv| iv.end);
             for n in self.matrix.neighbors(cell) {
                 if !(self.matrix.is_free(n) || n == goal) {
                     continue;
@@ -207,19 +215,18 @@ impl SippPlanner {
                 let mut arrive_from = g + 1;
                 // Enumerate n's safe intervals overlapping the window.
                 while arrive_from <= latest_depart.saturating_add(1) {
-                    let Some(iv) = self.next_interval(n, arrive_from) else { break };
+                    let Some(iv) = self.next_interval(n, arrive_from) else {
+                        break;
+                    };
                     if iv.start > latest_depart + 1 {
                         break;
                     }
                     let mut tau = iv.start.max(g + 1) - 1; // departure time
-                    // Skip over swap conflicts while staying in both windows.
-                    while tau <= latest_depart
-                        && tau + 1 <= iv.end
-                        && self.swap_blocked(cell, n, tau)
-                    {
+                                                           // Skip over swap conflicts while staying in both windows.
+                    while tau <= latest_depart && tau < iv.end && self.swap_blocked(cell, n, tau) {
                         tau += 1;
                     }
-                    if tau <= latest_depart && tau + 1 <= iv.end && !self.swap_blocked(cell, n, tau) {
+                    if tau <= latest_depart && tau < iv.end && !self.swap_blocked(cell, n, tau) {
                         let arrival = tau + 1;
                         let key = (n, iv.start);
                         if best.get(&key).is_none_or(|&b| arrival < b) {
@@ -249,13 +256,19 @@ impl SippPlanner {
     /// interval containing `from`, or the next one after it).
     fn next_interval(&self, cell: Cell, from: Time) -> Option<Interval> {
         let Some(blocked) = self.blocks.get(&cell) else {
-            return Some(Interval { start: 0, end: INFINITY_TIME });
+            return Some(Interval {
+                start: 0,
+                end: INFINITY_TIME,
+            });
         };
         let mut cur = from;
         loop {
             if !blocked.contains(&cur) {
                 let start = blocked.range(..cur).next_back().map_or(0, |&b| b + 1);
-                let end = blocked.range(cur..).next().map_or(INFINITY_TIME, |&b| b - 1);
+                let end = blocked
+                    .range(cur..)
+                    .next()
+                    .map_or(INFINITY_TIME, |&b| b - 1);
                 return Some(Interval { start, end });
             }
             // `cur` is blocked: jump past the contiguous blocked run.
@@ -332,7 +345,9 @@ impl SippPlanner {
     }
 
     fn release(&mut self, id: RequestId) -> bool {
-        let Some(route) = self.routes.remove(&id) else { return false };
+        let Some(route) = self.routes.remove(&id) else {
+            return false;
+        };
         self.retire_queue.remove(&(route.end_time(), id));
         for (t, cell) in route.occupancy() {
             if let Some(b) = self.blocks.get_mut(&cell) {
@@ -412,7 +427,13 @@ mod tests {
         let m = WarehouseMatrix::empty(5, 10);
         let mut sipp = SippPlanner::new(m.clone(), SippConfig::default());
         let r = sipp
-            .plan(&Request::new(0, 3, Cell::new(2, 0), Cell::new(2, 9), QueryKind::Pickup))
+            .plan(&Request::new(
+                0,
+                3,
+                Cell::new(2, 0),
+                Cell::new(2, 9),
+                QueryKind::Pickup,
+            ))
             .route()
             .cloned()
             .expect("route");
@@ -427,12 +448,24 @@ mod tests {
         let mut sipp = SippPlanner::new(m.clone(), SippConfig::default());
         // Sweep down column 3 during t=0..5.
         let sweep = sipp
-            .plan(&Request::new(0, 0, Cell::new(0, 3), Cell::new(5, 3), QueryKind::Pickup))
+            .plan(&Request::new(
+                0,
+                0,
+                Cell::new(0, 3),
+                Cell::new(5, 3),
+                QueryKind::Pickup,
+            ))
             .route()
             .cloned()
             .expect("sweep");
         let crosser = sipp
-            .plan(&Request::new(1, 0, Cell::new(2, 0), Cell::new(2, 5), QueryKind::Pickup))
+            .plan(&Request::new(
+                1,
+                0,
+                Cell::new(2, 0),
+                Cell::new(2, 5),
+                QueryKind::Pickup,
+            ))
             .route()
             .cloned()
             .expect("crosser");
@@ -445,12 +478,24 @@ mod tests {
         let m = WarehouseMatrix::empty(2, 8);
         let mut sipp = SippPlanner::new(m, SippConfig::default());
         let east = sipp
-            .plan(&Request::new(0, 0, Cell::new(0, 0), Cell::new(0, 7), QueryKind::Pickup))
+            .plan(&Request::new(
+                0,
+                0,
+                Cell::new(0, 0),
+                Cell::new(0, 7),
+                QueryKind::Pickup,
+            ))
             .route()
             .cloned()
             .expect("east");
         let west = sipp
-            .plan(&Request::new(1, 0, Cell::new(0, 7), Cell::new(0, 0), QueryKind::Pickup))
+            .plan(&Request::new(
+                1,
+                0,
+                Cell::new(0, 7),
+                Cell::new(0, 0),
+                QueryKind::Pickup,
+            ))
             .route()
             .cloned()
             .expect("west");
@@ -481,22 +526,49 @@ mod tests {
         assert_eq!(sipp.interval_at(c, 0), Some(Interval { start: 0, end: 2 }));
         assert_eq!(sipp.interval_at(c, 3), None);
         assert_eq!(sipp.interval_at(c, 5), Some(Interval { start: 5, end: 8 }));
-        assert_eq!(sipp.interval_at(c, 10), Some(Interval { start: 10, end: INFINITY_TIME }));
-        assert_eq!(sipp.next_interval(c, 3), Some(Interval { start: 5, end: 8 }));
-        assert_eq!(sipp.next_interval(c, 9), Some(Interval { start: 10, end: INFINITY_TIME }));
+        assert_eq!(
+            sipp.interval_at(c, 10),
+            Some(Interval {
+                start: 10,
+                end: INFINITY_TIME
+            })
+        );
+        assert_eq!(
+            sipp.next_interval(c, 3),
+            Some(Interval { start: 5, end: 8 })
+        );
+        assert_eq!(
+            sipp.next_interval(c, 9),
+            Some(Interval {
+                start: 10,
+                end: INFINITY_TIME
+            })
+        );
     }
 
     #[test]
     fn retirement_and_cancellation_release_blocks() {
         let m = WarehouseMatrix::empty(1, 6);
         let mut sipp = SippPlanner::new(m, SippConfig::default());
-        sipp.plan(&Request::new(0, 0, Cell::new(0, 0), Cell::new(0, 5), QueryKind::Pickup));
+        sipp.plan(&Request::new(
+            0,
+            0,
+            Cell::new(0, 0),
+            Cell::new(0, 5),
+            QueryKind::Pickup,
+        ));
         assert_eq!(sipp.active_routes(), 1);
         assert!(sipp.cancel(0));
         assert!(sipp.blocks.is_empty());
         assert!(sipp.motions.is_empty());
         // And again via advance().
-        sipp.plan(&Request::new(1, 0, Cell::new(0, 0), Cell::new(0, 5), QueryKind::Pickup));
+        sipp.plan(&Request::new(
+            1,
+            0,
+            Cell::new(0, 0),
+            Cell::new(0, 5),
+            QueryKind::Pickup,
+        ));
         sipp.advance(100);
         assert_eq!(sipp.active_routes(), 0);
         assert!(sipp.blocks.is_empty());
@@ -518,6 +590,9 @@ mod tests {
             }
         }
         let gap = (a as f64 - b as f64).abs() / b as f64;
-        assert!(gap < 0.02, "SIPP vs SAP completion gap {gap:.4} ({a} vs {b})");
+        assert!(
+            gap < 0.02,
+            "SIPP vs SAP completion gap {gap:.4} ({a} vs {b})"
+        );
     }
 }

@@ -33,7 +33,11 @@ pub struct TwpConfig {
 
 impl Default for TwpConfig {
     fn default() -> Self {
-        TwpConfig { window: 24, period: 12, astar: AStarConfig::default() }
+        TwpConfig {
+            window: 24,
+            period: 12,
+            astar: AStarConfig::default(),
+        }
     }
 }
 
@@ -105,7 +109,9 @@ impl TwpPlanner {
         ids.sort_unstable();
         let mut revisions = Vec::new();
         for id in ids {
-            let Some(old) = self.commitments.withdraw(id) else { continue };
+            let Some(old) = self.commitments.withdraw(id) else {
+                continue;
+            };
             if old.end_time() <= now {
                 // Already finished (or finishing now): keep as is.
                 self.commitments.commit(id, old);
@@ -224,28 +230,57 @@ mod tests {
     #[test]
     fn window_defers_far_conflicts() {
         let m = WarehouseMatrix::empty(2, 40);
-        let mut twp = TwpPlanner::new(m, TwpConfig { window: 8, period: 4, ..Default::default() });
+        let mut twp = TwpPlanner::new(
+            m,
+            TwpConfig {
+                window: 8,
+                period: 4,
+                ..Default::default()
+            },
+        );
         // Two head-on robots far apart: the conflict is ~20 steps away,
         // beyond the window, so both initially get straight routes.
         let r1 = twp
-            .plan(&Request::new(0, 0, Cell::new(0, 0), Cell::new(0, 39), QueryKind::Pickup))
+            .plan(&Request::new(
+                0,
+                0,
+                Cell::new(0, 0),
+                Cell::new(0, 39),
+                QueryKind::Pickup,
+            ))
             .route()
             .cloned()
             .expect("r1");
         let r2 = twp
-            .plan(&Request::new(1, 0, Cell::new(0, 39), Cell::new(0, 0), QueryKind::Pickup))
+            .plan(&Request::new(
+                1,
+                0,
+                Cell::new(0, 39),
+                Cell::new(0, 0),
+                QueryKind::Pickup,
+            ))
             .route()
             .cloned()
             .expect("r2");
         assert_eq!(r1.duration(), 39);
         assert_eq!(r2.duration(), 39);
-        assert!(first_conflict(&r1, &r2).is_some(), "unresolved beyond window");
+        assert!(
+            first_conflict(&r1, &r2).is_some(),
+            "unresolved beyond window"
+        );
     }
 
     #[test]
     fn repairs_resolve_deferred_conflicts_in_time() {
         let m = WarehouseMatrix::empty(3, 30);
-        let mut twp = TwpPlanner::new(m, TwpConfig { window: 10, period: 5, ..Default::default() });
+        let mut twp = TwpPlanner::new(
+            m,
+            TwpConfig {
+                window: 10,
+                period: 5,
+                ..Default::default()
+            },
+        );
         let reqs = [
             Request::new(0, 0, Cell::new(1, 0), Cell::new(1, 29), QueryKind::Pickup),
             Request::new(1, 0, Cell::new(1, 29), Cell::new(1, 0), QueryKind::Pickup),
@@ -270,19 +305,42 @@ mod tests {
     #[test]
     fn repair_preserves_travelled_prefix() {
         let m = WarehouseMatrix::empty(3, 30);
-        let mut twp = TwpPlanner::new(m, TwpConfig { window: 10, period: 5, ..Default::default() });
+        let mut twp = TwpPlanner::new(
+            m,
+            TwpConfig {
+                window: 10,
+                period: 5,
+                ..Default::default()
+            },
+        );
         let r0 = twp
-            .plan(&Request::new(0, 0, Cell::new(1, 0), Cell::new(1, 29), QueryKind::Pickup))
+            .plan(&Request::new(
+                0,
+                0,
+                Cell::new(1, 0),
+                Cell::new(1, 29),
+                QueryKind::Pickup,
+            ))
             .route()
             .cloned()
             .expect("r0");
-        twp.plan(&Request::new(1, 0, Cell::new(1, 29), Cell::new(1, 0), QueryKind::Pickup));
+        twp.plan(&Request::new(
+            1,
+            0,
+            Cell::new(1, 29),
+            Cell::new(1, 0),
+            QueryKind::Pickup,
+        ));
         // Slide the window at t=5 and capture the revision for robot 0.
         let revisions = twp.advance(5);
         for (id, revised) in revisions {
             if id == 0 {
                 for t in 0..=5 {
-                    assert_eq!(revised.position_at(t), r0.position_at(t), "prefix changed at {t}");
+                    assert_eq!(
+                        revised.position_at(t),
+                        r0.position_at(t),
+                        "prefix changed at {t}"
+                    );
                 }
             }
         }

@@ -39,7 +39,9 @@ fn bench_collision_stores(c: &mut Criterion) {
             naive.insert(s);
             index.insert(s);
         }
-        let queries: Vec<Segment> = (0..256).map(|_| random_segment(&mut rng, 2000, 60)).collect();
+        let queries: Vec<Segment> = (0..256)
+            .map(|_| random_segment(&mut rng, 2000, 60))
+            .collect();
         group.bench_function(format!("naive/{n}"), |b| {
             let mut i = 0;
             b.iter(|| {
@@ -61,7 +63,9 @@ fn bench_collision_stores(c: &mut Criterion) {
 fn bench_store_insert(c: &mut Criterion) {
     let mut group = c.benchmark_group("store_insert");
     let mut rng = StdRng::seed_from_u64(7);
-    let segs: Vec<Segment> = (0..1000).map(|_| random_segment(&mut rng, 2000, 60)).collect();
+    let segs: Vec<Segment> = (0..1000)
+        .map(|_| random_segment(&mut rng, 2000, 60))
+        .collect();
     group.bench_function("naive/1000", |b| {
         b.iter_batched(
             NaiveStore::new,

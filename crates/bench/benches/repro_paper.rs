@@ -31,8 +31,18 @@ fn main() {
         // Fall back to cargo when the binary has not been built yet.
         Command::new("cargo")
             .args([
-                "run", "--release", "-p", "carp-bench", "--bin", "repro", "--", "all", "--scale",
-                &scale, "--days", &days,
+                "run",
+                "--release",
+                "-p",
+                "carp-bench",
+                "--bin",
+                "repro",
+                "--",
+                "all",
+                "--scale",
+                &scale,
+                "--days",
+                &days,
             ])
             .status()
     };

@@ -29,16 +29,45 @@ struct Opts {
     days: usize,
 }
 
+const USAGE: &str = "usage: repro [<target>] [--scale S] [--days N]
+  targets: table2 fig16 fig17 fig18 fig19 fig20 fig21 fig22 table3
+           scaling cr sipp ablation all (default: all)
+  --scale S   rate-preserving day scale, 0 < S <= 1 (default 0.01)
+  --days N    days per warehouse, capped at 5 (default 5)";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let target = args.first().map(String::as_str).unwrap_or("all").to_string();
-    let mut opts = Opts { scale: 0.01, days: 5 };
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    let target = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("all")
+        .to_string();
+    let mut opts = Opts {
+        scale: 0.01,
+        days: 5,
+    };
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--scale" => opts.scale = it.next().and_then(|v| v.parse().ok()).expect("--scale <f64>"),
-            "--days" => opts.days = it.next().and_then(|v| v.parse().ok()).expect("--days <n>"),
-            other => panic!("unknown flag {other}"),
+            "--scale" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => opts.scale = s,
+                None => usage_error("--scale expects a number"),
+            },
+            "--days" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(d) => opts.days = d,
+                None => usage_error("--days expects an integer"),
+            },
+            other => usage_error(&format!("unknown flag {other}")),
         }
     }
 
@@ -70,10 +99,7 @@ fn main() {
             sipp_extension(opts);
             ablation(opts);
         }
-        other => {
-            eprintln!("unknown target {other}");
-            std::process::exit(1);
-        }
+        other => usage_error(&format!("unknown target {other}")),
     }
 }
 
@@ -84,7 +110,17 @@ fn table2() {
     println!("==================================================================");
     println!(
         "{:<5} {:>9} {:>6} {:>7} {:>8} | {:>9} {:>9} | {:>9} {:>9} | {:>6} {:>6}",
-        "Name", "HxW", "#Rack", "#Robot", "#Picker", "grid #V", "grid #E", "strip #V", "strip #E", "V%", "E%"
+        "Name",
+        "HxW",
+        "#Rack",
+        "#Robot",
+        "#Picker",
+        "grid #V",
+        "grid #E",
+        "strip #V",
+        "strip #E",
+        "V%",
+        "E%"
     );
     for preset in WarehousePreset::ALL {
         let layout = preset.generate();
@@ -122,7 +158,11 @@ fn run_grid(opts: Opts) -> Vec<GridCell> {
     for preset in WarehousePreset::ALL {
         let layout = preset.generate();
         for day in 0..opts.days.min(5) {
-            let sc = Scenario { preset, day, scale: opts.scale };
+            let sc = Scenario {
+                preset,
+                day,
+                scale: opts.scale,
+            };
             let tasks = sc.tasks(&layout);
             eprintln!(
                 "[grid] {} Day{} — {} tasks over {}s",
@@ -135,7 +175,11 @@ fn run_grid(opts: Opts) -> Vec<GridCell> {
                 .iter()
                 .map(|&k| run_scenario(&layout, &tasks, k))
                 .collect();
-            grid.push(GridCell { preset, day, reports });
+            grid.push(GridCell {
+                preset,
+                day,
+                reports,
+            });
         }
     }
     grid
@@ -144,9 +188,21 @@ fn run_grid(opts: Opts) -> Vec<GridCell> {
 /// Print Figs. 16–21 from an already-computed grid.
 fn print_figures_from_grid(grid: &[GridCell], opts: Opts) {
     for (preset, tc_title, mc_title) in [
-        (WarehousePreset::W1, "Fig. 16 — TC on W-1", "Fig. 19 — MC on W-1"),
-        (WarehousePreset::W2, "Fig. 17 — TC on W-2", "Fig. 20 — MC on W-2"),
-        (WarehousePreset::W3, "Fig. 18 — TC on W-3", "Fig. 21 — MC on W-3"),
+        (
+            WarehousePreset::W1,
+            "Fig. 16 — TC on W-1",
+            "Fig. 19 — MC on W-1",
+        ),
+        (
+            WarehousePreset::W2,
+            "Fig. 17 — TC on W-2",
+            "Fig. 20 — MC on W-2",
+        ),
+        (
+            WarehousePreset::W3,
+            "Fig. 18 — TC on W-3",
+            "Fig. 21 — MC on W-3",
+        ),
     ] {
         for cell in grid.iter().filter(|c| c.preset == preset) {
             print_day_figures(cell, tc_title, mc_title, opts);
@@ -156,7 +212,11 @@ fn print_figures_from_grid(grid: &[GridCell], opts: Opts) {
 
 fn print_day_figures(cell: &GridCell, tc_title: &str, mc_title: &str, opts: Opts) {
     println!("==================================================================");
-    println!("{tc_title} / {mc_title} — Day{} (scale {})", cell.day + 1, opts.scale);
+    println!(
+        "{tc_title} / {mc_title} — Day{} (scale {})",
+        cell.day + 1,
+        opts.scale
+    );
     println!("==================================================================");
     emit_svg(cell, tc_title, mc_title);
     println!(
@@ -165,13 +225,22 @@ fn print_day_figures(cell: &GridCell, tc_title: &str, mc_title: &str, opts: Opts
     );
     println!(
         "{}",
-        format_series("MC vs progress", &cell.reports, |s| s.memory_bytes as f64 / 1024.0, "KiB")
+        format_series(
+            "MC vs progress",
+            &cell.reports,
+            |s| s.memory_bytes as f64 / 1024.0,
+            "KiB"
+        )
     );
     for r in &cell.reports {
         println!("  {}", summary_line(r));
     }
     // The paper's 227x headline is a snapshot comparison at 2% progress.
-    let srp = cell.reports.iter().find(|r| r.planner == "SRP").expect("SRP ran");
+    let srp = cell
+        .reports
+        .iter()
+        .find(|r| r.planner == "SRP")
+        .expect("SRP ran");
     if let Some(first) = srp.snapshots.first() {
         let srp_tc = first.planning_secs.max(1e-9);
         if let Some((name, tc)) = cell
@@ -181,16 +250,28 @@ fn print_day_figures(cell: &GridCell, tc_title: &str, mc_title: &str, opts: Opts
             .filter_map(|r| r.snapshots.first().map(|s| (r.planner, s.planning_secs)))
             .max_by(|a, b| a.1.total_cmp(&b.1))
         {
-            println!("  snapshot@2%: SRP {srp_tc:.4}s vs {name} {tc:.4}s → {:.1}x speedup", tc / srp_tc);
+            println!(
+                "  snapshot@2%: SRP {srp_tc:.4}s vs {name} {tc:.4}s → {:.1}x speedup",
+                tc / srp_tc
+            );
         }
     }
     let full_speedups: Vec<String> = cell
         .reports
         .iter()
         .filter(|r| r.planner != "SRP")
-        .map(|r| format!("{} {:.1}x", r.planner, r.planning_secs / srp.planning_secs.max(1e-9)))
+        .map(|r| {
+            format!(
+                "{} {:.1}x",
+                r.planner,
+                r.planning_secs / srp.planning_secs.max(1e-9)
+            )
+        })
         .collect();
-    println!("  full-day TC speedups of SRP: {}", full_speedups.join(", "));
+    println!(
+        "  full-day TC speedups of SRP: {}",
+        full_speedups.join(", ")
+    );
     println!();
 }
 
@@ -210,12 +291,25 @@ fn emit_svg(cell: &GridCell, tc_title: &str, mc_title: &str) {
     }
     // "Fig. 16 — TC on W-1" → "fig16".
     let slug = |t: &str| {
-        let num = t.split_whitespace().nth(1).unwrap_or("fig").trim_end_matches('.');
+        let num = t
+            .split_whitespace()
+            .nth(1)
+            .unwrap_or("fig")
+            .trim_end_matches('.');
         format!("fig{num}")
     };
     for (title, unit, pick) in [
-        (tc_title, "TC [s]", Box::new(|s: &carp_simenv::Snapshot| s.planning_secs) as Box<dyn Fn(&carp_simenv::Snapshot) -> f64>),
-        (mc_title, "MC [KiB]", Box::new(|s: &carp_simenv::Snapshot| s.memory_bytes as f64 / 1024.0)),
+        (
+            tc_title,
+            "TC [s]",
+            Box::new(|s: &carp_simenv::Snapshot| s.planning_secs)
+                as Box<dyn Fn(&carp_simenv::Snapshot) -> f64>,
+        ),
+        (
+            mc_title,
+            "MC [KiB]",
+            Box::new(|s: &carp_simenv::Snapshot| s.memory_bytes as f64 / 1024.0),
+        ),
     ] {
         let cfg = ChartConfig {
             title: format!("{title} — Day{}", cell.day + 1),
@@ -239,14 +333,27 @@ fn emit_svg(cell: &GridCell, tc_title: &str, mc_title: &str) {
 fn figures(preset: WarehousePreset, tc_title: &str, mc_title: &str, opts: Opts) {
     let layout = preset.generate();
     for day in 0..opts.days.min(5) {
-        let sc = Scenario { preset, day, scale: opts.scale };
+        let sc = Scenario {
+            preset,
+            day,
+            scale: opts.scale,
+        };
         let tasks = sc.tasks(&layout);
-        eprintln!("[grid] {} Day{} — {} tasks", preset.name(), day + 1, tasks.len());
+        eprintln!(
+            "[grid] {} Day{} — {} tasks",
+            preset.name(),
+            day + 1,
+            tasks.len()
+        );
         let reports = PlannerKind::EVALUATED
             .iter()
             .map(|&k| run_scenario(&layout, &tasks, k))
             .collect();
-        let cell = GridCell { preset, day, reports };
+        let cell = GridCell {
+            preset,
+            day,
+            reports,
+        };
         print_day_figures(&cell, tc_title, mc_title, opts);
     }
 }
@@ -260,7 +367,10 @@ fn table3(grid: &[GridCell], opts: Opts) {
         opts.scale
     );
     println!("==================================================================");
-    println!("{:<5} {:>8} {:>8} {:>8} {:>8} {:>8}", "Name", "SAP", "RP", "TWP", "ACP", "SRP");
+    println!(
+        "{:<5} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "Name", "SAP", "RP", "TWP", "ACP", "SRP"
+    );
     for preset in WarehousePreset::ALL {
         let cells: Vec<&GridCell> = grid.iter().filter(|c| c.preset == preset).collect();
         if cells.is_empty() {
@@ -283,7 +393,9 @@ fn table3(grid: &[GridCell], opts: Opts) {
             mean("SRP")
         );
     }
-    println!("(paper reports absolute seconds on full days; the comparison is the per-row ordering)");
+    println!(
+        "(paper reports absolute seconds on full days; the comparison is the per-row ordering)"
+    );
     println!();
 }
 
@@ -295,12 +407,22 @@ fn fig22(opts: Opts) {
         (WarehousePreset::W3, 3usize, "W-3 Day4 (dense)"),
     ] {
         println!("==================================================================");
-        println!("Fig. 22 — need for slope-based indexing ({label}, scale {})", opts.scale);
+        println!(
+            "Fig. 22 — need for slope-based indexing ({label}, scale {})",
+            opts.scale
+        );
         println!("==================================================================");
         let layout = preset.generate();
-        let sc = Scenario { preset, day, scale: opts.scale };
+        let sc = Scenario {
+            preset,
+            day,
+            scale: opts.scale,
+        };
         let tasks = sc.tasks(&layout);
-        let cfg = SrpConfig { instrument: true, ..SrpConfig::default() };
+        let cfg = SrpConfig {
+            instrument: true,
+            ..SrpConfig::default()
+        };
 
         // (a) breakdown with the naive ordered-set store.
         let naive = SrpPlanner::<carp_geometry::NaiveStore>::with_store(layout.matrix.clone(), cfg);
@@ -309,7 +431,11 @@ fn fig22(opts: Opts) {
         let ns = naive_planner.stats;
         let total_naive = ((ns.inter_ns + ns.intra_ns + ns.convert_ns) as f64 / 1e9).max(1e-9);
         println!("(a) TC breakdown of SRP *without* slope indexing:");
-        for (part, v) in [("inter-strip", ns.inter_ns), ("intra-strip", ns.intra_ns), ("conversion", ns.convert_ns)] {
+        for (part, v) in [
+            ("inter-strip", ns.inter_ns),
+            ("intra-strip", ns.intra_ns),
+            ("conversion", ns.convert_ns),
+        ] {
             println!(
                 "    {part:<12}: {:>9.3}s ({:>4.1}%)",
                 v as f64 / 1e9,
@@ -424,10 +550,24 @@ fn competitive_ratio() {
     let mut astar = SpaceTimeAStar::new(AStarConfig::default());
     let mut ratios = Vec::new();
     for probe in &probes {
-        let req = Request::new(10_000 + probe.id, probe.t, probe.origin, probe.destination, QueryKind::Pickup);
-        let Some(srp_route) = srp.plan_uncommitted(&req) else { continue };
-        let Some(opt_route) = astar.plan(&layout.matrix, &reservations, None, req.origin, req.destination, req.t)
-        else {
+        let req = Request::new(
+            10_000 + probe.id,
+            probe.t,
+            probe.origin,
+            probe.destination,
+            QueryKind::Pickup,
+        );
+        let Some(srp_route) = srp.plan_uncommitted(&req) else {
+            continue;
+        };
+        let Some(opt_route) = astar.plan(
+            &layout.matrix,
+            &reservations,
+            None,
+            req.origin,
+            req.destination,
+            req.t,
+        ) else {
             continue;
         };
         // Compare completion times relative to the request time (length +
@@ -438,7 +578,10 @@ fn competitive_ratio() {
     }
     ratios.sort_by(|a, b| a.total_cmp(b));
     let mean = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
-    let p95 = ratios.get((ratios.len() as f64 * 0.95) as usize).copied().unwrap_or(f64::NAN);
+    let p95 = ratios
+        .get((ratios.len() as f64 * 0.95) as usize)
+        .copied()
+        .unwrap_or(f64::NAN);
     let max = ratios.last().copied().unwrap_or(f64::NAN);
     println!(
         "  probes={}  mean CR={:.3}  p95={:.3}  max={:.3}  (bound 1.788 on the expectation)",
@@ -447,7 +590,10 @@ fn competitive_ratio() {
         p95,
         max
     );
-    println!("  within bound: {}", if mean <= 1.788 { "YES" } else { "NO" });
+    println!(
+        "  within bound: {}",
+        if mean <= 1.788 { "YES" } else { "NO" }
+    );
     println!();
 }
 
@@ -455,10 +601,17 @@ fn competitive_ratio() {
 /// the slope index (§V-D), the inter-strip heuristic, and the retry bumps.
 fn ablation(opts: Opts) {
     println!("==================================================================");
-    println!("X4 — SRP design-choice ablation (W-1 Day1, scale {})", opts.scale);
+    println!(
+        "X4 — SRP design-choice ablation (W-1 Day1, scale {})",
+        opts.scale
+    );
     println!("==================================================================");
     let layout = WarehousePreset::W1.generate();
-    let sc = Scenario { preset: WarehousePreset::W1, day: 0, scale: opts.scale };
+    let sc = Scenario {
+        preset: WarehousePreset::W1,
+        day: 0,
+        scale: opts.scale,
+    };
     let tasks = sc.tasks(&layout);
     println!(
         "{:<22} {:>9} {:>8} {:>10} {:>9} {:>9}",
@@ -487,11 +640,28 @@ fn ablation(opts: Opts) {
     };
     run_variant("full (default)", SrpConfig::default(), false);
     run_variant("naive segment store", SrpConfig::default(), true);
-    run_variant("no inter-strip A* h", SrpConfig { use_heuristic: false, ..SrpConfig::default() }, false);
-    run_variant("no retry bumps", SrpConfig { retry_bumps: [0, 0, 0], ..SrpConfig::default() }, false);
+    run_variant(
+        "no inter-strip A* h",
+        SrpConfig {
+            use_heuristic: false,
+            ..SrpConfig::default()
+        },
+        false,
+    );
+    run_variant(
+        "no retry bumps",
+        SrpConfig {
+            retry_bumps: [0, 0, 0],
+            ..SrpConfig::default()
+        },
+        false,
+    );
     run_variant(
         "no fallback",
-        SrpConfig { use_fallback: false, ..SrpConfig::default() },
+        SrpConfig {
+            use_fallback: false,
+            ..SrpConfig::default()
+        },
         false,
     );
     println!();
@@ -500,7 +670,10 @@ fn ablation(opts: Opts) {
 /// Extra experiment X3: SRP versus the SIPP extension baseline.
 fn sipp_extension(opts: Opts) {
     println!("==================================================================");
-    println!("X3 — SRP vs SIPP (extension beyond the paper, scale {})", opts.scale);
+    println!(
+        "X3 — SRP vs SIPP (extension beyond the paper, scale {})",
+        opts.scale
+    );
     println!("==================================================================");
     println!(
         "{:<5} {:>5} | {:>10} {:>10} | {:>10} {:>10} | {:>8} {:>8}",
@@ -509,7 +682,11 @@ fn sipp_extension(opts: Opts) {
     for preset in [WarehousePreset::W1, WarehousePreset::W3] {
         let layout = preset.generate();
         let day = 0;
-        let sc = Scenario { preset, day, scale: opts.scale };
+        let sc = Scenario {
+            preset,
+            day,
+            scale: opts.scale,
+        };
         let tasks = sc.tasks(&layout);
         let srp = run_scenario(&layout, &tasks, PlannerKind::Srp);
         let sipp = run_scenario(&layout, &tasks, PlannerKind::Sipp);
@@ -525,6 +702,8 @@ fn sipp_extension(opts: Opts) {
             sipp.makespan
         );
     }
-    println!("(SIPP is the strongest classical grid-level planner; see EXPERIMENTS.md for discussion)");
+    println!(
+        "(SIPP is the strongest classical grid-level planner; see EXPERIMENTS.md for discussion)"
+    );
     println!();
 }

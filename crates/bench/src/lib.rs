@@ -78,7 +78,10 @@ impl PlannerKind {
         let m = layout.matrix.clone();
         match self {
             PlannerKind::Srp => Box::new(SrpPlanner::new(m, SrpConfig::default())),
-            PlannerKind::SrpNaive => Box::new(SrpPlanner::<NaiveStore>::with_store(m, SrpConfig::default())),
+            PlannerKind::SrpNaive => Box::new(SrpPlanner::<NaiveStore>::with_store(
+                m,
+                SrpConfig::default(),
+            )),
             PlannerKind::Sap => Box::new(SapPlanner::new(m, AStarConfig::default())),
             PlannerKind::Rp => Box::new(RpPlanner::new(m, RpConfig::default())),
             PlannerKind::Twp => Box::new(TwpPlanner::new(m, TwpConfig::default())),
@@ -119,7 +122,11 @@ impl Scenario {
 
     /// Generate the task stream.
     pub fn tasks(&self, layout: &Layout) -> Vec<Task> {
-        generate_tasks(layout, &DayProfile::new(self.horizon(), self.num_tasks()), self.seed())
+        generate_tasks(
+            layout,
+            &DayProfile::new(self.horizon(), self.num_tasks()),
+            self.seed(),
+        )
     }
 }
 
@@ -195,11 +202,22 @@ mod tests {
 
     #[test]
     fn scenario_scaling_preserves_rate() {
-        let a = Scenario { preset: WarehousePreset::W1, day: 0, scale: 0.01 };
-        let b = Scenario { preset: WarehousePreset::W1, day: 0, scale: 0.02 };
+        let a = Scenario {
+            preset: WarehousePreset::W1,
+            day: 0,
+            scale: 0.01,
+        };
+        let b = Scenario {
+            preset: WarehousePreset::W1,
+            day: 0,
+            scale: 0.02,
+        };
         let rate_a = a.num_tasks() as f64 / a.horizon() as f64;
         let rate_b = b.num_tasks() as f64 / b.horizon() as f64;
-        assert!((rate_a - rate_b).abs() / rate_a < 0.02, "{rate_a} vs {rate_b}");
+        assert!(
+            (rate_a - rate_b).abs() / rate_a < 0.02,
+            "{rate_a} vs {rate_b}"
+        );
         // Paper rate: 45.0k tasks / 86400 s.
         assert!((rate_a - 45_000.0 / 86_400.0).abs() / rate_a < 0.02);
     }
@@ -207,7 +225,10 @@ mod tests {
     #[test]
     fn all_planner_kinds_build() {
         let layout = carp_warehouse::layout::LayoutConfig::small().generate();
-        for kind in PlannerKind::EVALUATED.into_iter().chain([PlannerKind::SrpNaive]) {
+        for kind in PlannerKind::EVALUATED
+            .into_iter()
+            .chain([PlannerKind::SrpNaive])
+        {
             let p = kind.build(&layout);
             assert!(!p.name().is_empty());
         }
@@ -216,7 +237,11 @@ mod tests {
     #[test]
     fn tiny_scenario_runs_end_to_end() {
         let layout = carp_warehouse::layout::LayoutConfig::small().generate();
-        let sc = Scenario { preset: WarehousePreset::W1, day: 2, scale: 0.0005 };
+        let sc = Scenario {
+            preset: WarehousePreset::W1,
+            day: 2,
+            scale: 0.0005,
+        };
         let tasks = sc.tasks(&layout);
         assert!(!tasks.is_empty());
         let report = run_scenario(&layout, &tasks, PlannerKind::Srp);
@@ -227,7 +252,11 @@ mod tests {
     #[test]
     fn series_formatting_contains_all_planners() {
         let layout = carp_warehouse::layout::LayoutConfig::small().generate();
-        let sc = Scenario { preset: WarehousePreset::W1, day: 0, scale: 0.0005 };
+        let sc = Scenario {
+            preset: WarehousePreset::W1,
+            day: 0,
+            scale: 0.0005,
+        };
         let tasks = sc.tasks(&layout);
         let reports = vec![
             run_scenario(&layout, &tasks, PlannerKind::Srp),

@@ -48,7 +48,9 @@ impl Default for ChartConfig {
 }
 
 /// Color palette (distinct, print-friendly).
-const COLORS: [&str; 6] = ["#d62728", "#1f77b4", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b"];
+const COLORS: [&str; 6] = [
+    "#d62728", "#1f77b4", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b",
+];
 
 const MARGIN_L: f64 = 64.0;
 const MARGIN_R: f64 = 120.0;
@@ -83,7 +85,8 @@ pub fn line_chart(config: &ChartConfig, series: &[Series]) -> String {
         };
         MARGIN_T + plot_h * (1.0 - v.clamp(0.0, 1.0))
     };
-    let tx = |x: f64| -> f64 { MARGIN_L + plot_w * ((x - x_min) / (x_max - x_min)).clamp(0.0, 1.0) };
+    let tx =
+        |x: f64| -> f64 { MARGIN_L + plot_w * ((x - x_min) / (x_max - x_min)).clamp(0.0, 1.0) };
 
     let mut svg = String::new();
     let _ = writeln!(
@@ -171,7 +174,11 @@ pub fn line_chart(config: &ChartConfig, series: &[Series]) -> String {
     // Series polylines + legend.
     for (i, s) in series.iter().filter(|s| !s.points.is_empty()).enumerate() {
         let color = COLORS[i % COLORS.len()];
-        let pts: Vec<String> = s.points.iter().map(|&(x, y)| format!("{:.1},{:.1}", tx(x), ty(y))).collect();
+        let pts: Vec<String> = s
+            .points
+            .iter()
+            .map(|&(x, y)| format!("{:.1},{:.1}", tx(x), ty(y)))
+            .collect();
         let _ = writeln!(
             svg,
             r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
@@ -213,7 +220,9 @@ fn bounds(values: impl Iterator<Item = f64>, def_min: f64, def_max: f64) -> (f64
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Build the Series list of one figure from day reports.
@@ -238,18 +247,26 @@ mod tests {
         vec![
             Series {
                 label: "SRP".into(),
-                points: (1..=10).map(|i| (i as f64 / 10.0, i as f64 * 0.1)).collect(),
+                points: (1..=10)
+                    .map(|i| (i as f64 / 10.0, i as f64 * 0.1))
+                    .collect(),
             },
             Series {
                 label: "SAP".into(),
-                points: (1..=10).map(|i| (i as f64 / 10.0, i as f64 * 2.0)).collect(),
+                points: (1..=10)
+                    .map(|i| (i as f64 / 10.0, i as f64 * 2.0))
+                    .collect(),
             },
         ]
     }
 
     #[test]
     fn chart_contains_all_structural_elements() {
-        let cfg = ChartConfig { title: "Fig. 16 — TC on W-1".into(), y_label: "TC [s]".into(), ..Default::default() };
+        let cfg = ChartConfig {
+            title: "Fig. 16 — TC on W-1".into(),
+            y_label: "TC [s]".into(),
+            ..Default::default()
+        };
         let svg = line_chart(&cfg, &sample_series());
         assert!(svg.starts_with("<svg"));
         assert!(svg.trim_end().ends_with("</svg>"));
@@ -262,7 +279,10 @@ mod tests {
 
     #[test]
     fn log_scale_emits_decade_gridlines() {
-        let cfg = ChartConfig { log_y: true, ..Default::default() };
+        let cfg = ChartConfig {
+            log_y: true,
+            ..Default::default()
+        };
         let series = vec![Series {
             label: "x".into(),
             points: vec![(0.0, 0.01), (0.5, 1.0), (1.0, 100.0)],
@@ -296,7 +316,10 @@ mod tests {
 
     #[test]
     fn titles_are_escaped() {
-        let cfg = ChartConfig { title: "a < b & c".into(), ..Default::default() };
+        let cfg = ChartConfig {
+            title: "a < b & c".into(),
+            ..Default::default()
+        };
         let svg = line_chart(&cfg, &[]);
         assert!(svg.contains("a &lt; b &amp; c"));
     }

@@ -48,7 +48,10 @@ impl SlopeClass {
     fn insert(&mut self, id: SegmentId, seg: Segment) {
         self.max_duration = self.max_duration.max(seg.duration());
         self.by_start.insert((seg.t0, id), seg);
-        self.by_key.entry(seg.index_key()).or_default().push((seg.t0, seg.t1));
+        self.by_key
+            .entry(seg.index_key())
+            .or_default()
+            .push((seg.t0, seg.t1));
     }
 
     fn remove(&mut self, id: SegmentId, seg: &Segment) -> bool {
@@ -74,7 +77,10 @@ impl SlopeClass {
         let mut best: Option<SegCollision> = None;
         for &(t0, t1) in bucket {
             if t0 <= seg.t1 && t1 >= seg.t0 {
-                let hit = SegCollision { time: seg.t0.max(t0), kind: CollisionKind::Vertex };
+                let hit = SegCollision {
+                    time: seg.t0.max(t0),
+                    kind: CollisionKind::Vertex,
+                };
                 best = SegCollision::min_opt(best, Some(hit));
             }
         }
@@ -181,15 +187,28 @@ mod tests {
     fn fig9_slope0_query() {
         let mut idx = SlopeIndexStore::new();
         // Leftmost slope-1 segment of Fig. 9: ⟨0,8⟩ → ⟨5,13⟩.
-        idx.insert(Segment { t0: 0, t1: 5, s0: 8, s1: 13 });
+        idx.insert(Segment {
+            t0: 0,
+            t1: 5,
+            s0: 8,
+            s1: 13,
+        });
         // A parallel waiter at the same spatial coordinate 13.
         idx.insert(Segment::wait(10, 12, 13));
         // A waiter at a different coordinate — same-slope, different key.
         idx.insert(Segment::wait(11, 16, 4));
         // Query: wait at 13 over t = 11..16 (the red segment of Fig. 9).
         let q = Segment::wait(11, 16, 13);
-        let c = idx.earliest_collision(&q).expect("collides with the waiter at 13");
-        assert_eq!(c, SegCollision { time: 11, kind: CollisionKind::Vertex });
+        let c = idx
+            .earliest_collision(&q)
+            .expect("collides with the waiter at 13");
+        assert_eq!(
+            c,
+            SegCollision {
+                time: 11,
+                kind: CollisionKind::Vertex
+            }
+        );
     }
 
     #[test]
@@ -234,7 +253,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let mut naive = NaiveStore::new();
         let mut idx = SlopeIndexStore::new();
-        let mut random_seg = |rng: &mut StdRng| -> Segment {
+        let random_seg = |rng: &mut StdRng| -> Segment {
             let t0 = rng.gen_range(0..60u32);
             let s0 = rng.gen_range(0..20i32);
             match rng.gen_range(0..3) {

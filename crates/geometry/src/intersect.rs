@@ -71,15 +71,20 @@ pub fn earliest_collision(phi: &Segment, psi: &Segment) -> Option<SegCollision> 
     let kp = phi.slope() as i64;
     let kq = psi.slope() as i64;
     // d(t) = phi(t) - psi(t); evaluate at lo.
-    let d_lo = phi.pos_at(lo).expect("lo in range") as i64 - psi.pos_at(lo).expect("lo in range") as i64;
+    let d_lo =
+        phi.pos_at(lo).expect("lo in range") as i64 - psi.pos_at(lo).expect("lo in range") as i64;
     let dd = kp - kq;
 
-    let vertex = linear_root(d_lo, dd, 0, (hi - lo) as i64)
-        .map(|off| SegCollision { time: lo + off as Time, kind: CollisionKind::Vertex });
+    let vertex = linear_root(d_lo, dd, 0, (hi - lo) as i64).map(|off| SegCollision {
+        time: lo + off as Time,
+        kind: CollisionKind::Vertex,
+    });
 
     let swap = if kp == -kq && kp != 0 && hi > lo {
-        linear_root(d_lo, dd, kq, (hi - lo - 1) as i64)
-            .map(|off| SegCollision { time: lo + off as Time, kind: CollisionKind::Swap })
+        linear_root(d_lo, dd, kq, (hi - lo - 1) as i64).map(|off| SegCollision {
+            time: lo + off as Time,
+            kind: CollisionKind::Swap,
+        })
     } else {
         None
     };
@@ -114,8 +119,14 @@ pub fn collide_paper(phi: &Segment, psi: &Segment) -> bool {
     if phi.t0.max(psi.t0) > phi.t1.min(psi.t1) {
         return false;
     }
-    let (ps, pf) = ((phi.t0 as i64, phi.s0 as i64), (phi.t1 as i64, phi.s1 as i64));
-    let (qs, qf) = ((psi.t0 as i64, psi.s0 as i64), (psi.t1 as i64, psi.s1 as i64));
+    let (ps, pf) = (
+        (phi.t0 as i64, phi.s0 as i64),
+        (phi.t1 as i64, phi.s1 as i64),
+    );
+    let (qs, qf) = (
+        (psi.t0 as i64, psi.s0 as i64),
+        (psi.t1 as i64, psi.s1 as i64),
+    );
     let cross = |a: (i64, i64), b: (i64, i64)| a.0 * b.1 - a.1 * b.0;
     let sub = |a: (i64, i64), b: (i64, i64)| (a.0 - b.0, a.1 - b.1);
     // ((s_φ−f_ψ)×(s_ψ−f_ψ)) · ((f_φ−f_ψ)×(s_ψ−f_ψ)) < 0
@@ -148,12 +159,24 @@ pub fn earliest_collision_reference(phi: &Segment, psi: &Segment) -> Option<SegC
     for t in lo..=hi {
         let (a, b) = (phi.pos_at(t).unwrap(), psi.pos_at(t).unwrap());
         if a == b {
-            best = SegCollision::min_opt(best, Some(SegCollision { time: t, kind: CollisionKind::Vertex }));
+            best = SegCollision::min_opt(
+                best,
+                Some(SegCollision {
+                    time: t,
+                    kind: CollisionKind::Vertex,
+                }),
+            );
         }
         if t < hi {
             let (na, nb) = (phi.pos_at(t + 1).unwrap(), psi.pos_at(t + 1).unwrap());
             if a == nb && b == na && a != na {
-                best = SegCollision::min_opt(best, Some(SegCollision { time: t, kind: CollisionKind::Swap }));
+                best = SegCollision::min_opt(
+                    best,
+                    Some(SegCollision {
+                        time: t,
+                        kind: CollisionKind::Swap,
+                    }),
+                );
             }
         }
     }
@@ -194,7 +217,13 @@ mod tests {
         let phi = Segment::travel(0, 0, 9);
         let psi = Segment::wait(0, 10, 5);
         let c = earliest_collision(&phi, &psi).expect("collide");
-        assert_eq!(c, SegCollision { time: 5, kind: CollisionKind::Vertex });
+        assert_eq!(
+            c,
+            SegCollision {
+                time: 5,
+                kind: CollisionKind::Vertex
+            }
+        );
     }
 
     #[test]
@@ -225,7 +254,13 @@ mod tests {
         let phi = Segment::travel(0, 0, 3);
         let psi = Segment::travel(3, 3, 6);
         let c = earliest_collision(&phi, &psi).expect("collide");
-        assert_eq!(c, SegCollision { time: 3, kind: CollisionKind::Vertex });
+        assert_eq!(
+            c,
+            SegCollision {
+                time: 3,
+                kind: CollisionKind::Vertex
+            }
+        );
         assert!(!collide_paper(&phi, &psi));
     }
 
@@ -242,7 +277,13 @@ mod tests {
         let phi = Segment::wait(0, 5, 2);
         let psi = Segment::wait(3, 8, 2);
         let c = earliest_collision(&phi, &psi).expect("collide");
-        assert_eq!(c, SegCollision { time: 3, kind: CollisionKind::Vertex });
+        assert_eq!(
+            c,
+            SegCollision {
+                time: 3,
+                kind: CollisionKind::Vertex
+            }
+        );
     }
 
     #[test]
@@ -258,7 +299,10 @@ mod tests {
         let psi = Segment::point(3, 3);
         assert_eq!(
             earliest_collision(&phi, &psi),
-            Some(SegCollision { time: 3, kind: CollisionKind::Vertex })
+            Some(SegCollision {
+                time: 3,
+                kind: CollisionKind::Vertex
+            })
         );
     }
 
@@ -268,7 +312,13 @@ mod tests {
         let phi = Segment::travel(0, 0, 1);
         let psi = Segment::travel(0, 1, 0);
         let c = earliest_collision(&phi, &psi).expect("collide");
-        assert_eq!(c, SegCollision { time: 0, kind: CollisionKind::Swap });
+        assert_eq!(
+            c,
+            SegCollision {
+                time: 0,
+                kind: CollisionKind::Swap
+            }
+        );
     }
 
     #[test]
@@ -294,7 +344,10 @@ mod tests {
     fn collision_is_symmetric() {
         let phi = Segment::travel(0, 0, 8);
         let psi = Segment::travel(2, 8, 0);
-        assert_eq!(earliest_collision(&phi, &psi), earliest_collision(&psi, &phi));
+        assert_eq!(
+            earliest_collision(&phi, &psi),
+            earliest_collision(&psi, &phi)
+        );
     }
 
     #[test]

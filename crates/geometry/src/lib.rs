@@ -19,6 +19,8 @@
 pub mod index;
 pub mod intersect;
 pub mod segment;
+#[cfg(feature = "shadow-store")]
+pub mod shadow;
 pub mod store;
 
 pub use index::SlopeIndexStore;
@@ -27,4 +29,6 @@ pub use intersect::{
     earliest_collision_reference, CollisionKind, SegCollision,
 };
 pub use segment::Segment;
+#[cfg(feature = "shadow-store")]
+pub use shadow::ShadowStore;
 pub use store::{NaiveStore, SegmentId, SegmentStore};

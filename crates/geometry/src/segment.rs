@@ -32,20 +32,35 @@ impl Segment {
     /// horizontal red segment). `t0 == t1` yields a point.
     pub fn wait(t0: Time, t1: Time, pos: i32) -> Self {
         assert!(t0 <= t1);
-        Segment { t0, t1, s0: pos, s1: pos }
+        Segment {
+            t0,
+            t1,
+            s0: pos,
+            s1: pos,
+        }
     }
 
     /// A moving segment from grid `s0` at `t0` to grid `s1`, arriving at
     /// `t0 + |s1 - s0|` (slope ±1).
     pub fn travel(t0: Time, s0: i32, s1: i32) -> Self {
         let d = s0.abs_diff(s1);
-        Segment { t0, t1: t0 + d, s0, s1 }
+        Segment {
+            t0,
+            t1: t0 + d,
+            s0,
+            s1,
+        }
     }
 
     /// A single point in space-time (a route entering a strip and leaving
     /// right away — footnote 1 of the paper).
     pub fn point(t: Time, pos: i32) -> Self {
-        Segment { t0: t, t1: t, s0: pos, s1: pos }
+        Segment {
+            t0: t,
+            t1: t,
+            s0: pos,
+            s1: pos,
+        }
     }
 
     /// Slope of the segment: `1`, `-1` or `0`.
@@ -100,8 +115,7 @@ impl Segment {
 
     /// Check the segment invariants.
     pub fn validate(&self) -> bool {
-        self.t0 <= self.t1
-            && (self.s0 == self.s1 || self.s0.abs_diff(self.s1) == self.t1 - self.t0)
+        self.t0 <= self.t1 && (self.s0 == self.s1 || self.s0.abs_diff(self.s1) == self.t1 - self.t0)
     }
 
     /// Minimum of the two grid numbers.
@@ -167,15 +181,35 @@ mod tests {
     fn index_keys_match_line_intercepts() {
         // Fig. 9's leftmost slope-1 segment: s=⟨0,8⟩ → f=⟨5,13⟩, rotated
         // coordinate 4√2; our integer key is b = 8 - 0 = 8 = 4√2·√2.
-        let seg = Segment { t0: 0, t1: 5, s0: 8, s1: 13 };
+        let seg = Segment {
+            t0: 0,
+            t1: 5,
+            s0: 8,
+            s1: 13,
+        };
         assert_eq!(seg.index_key(), 8);
         // Two collinear slope-1 segments share a key.
-        let later = Segment { t0: 3, t1: 6, s0: 11, s1: 14 };
+        let later = Segment {
+            t0: 3,
+            t1: 6,
+            s0: 11,
+            s1: 14,
+        };
         assert_eq!(later.index_key(), 8);
         // Slope -1: key is s + t.
-        let back = Segment { t0: 2, t1: 5, s0: 9, s1: 6 };
+        let back = Segment {
+            t0: 2,
+            t1: 5,
+            s0: 9,
+            s1: 6,
+        };
         assert_eq!(back.index_key(), 11);
-        let back2 = Segment { t0: 4, t1: 6, s0: 7, s1: 5 };
+        let back2 = Segment {
+            t0: 4,
+            t1: 6,
+            s0: 7,
+            s1: 5,
+        };
         assert_eq!(back2.index_key(), 11);
         // Slope 0: spatial coordinate.
         assert_eq!(Segment::wait(11, 16, 13).index_key(), 13);
@@ -199,7 +233,12 @@ mod tests {
 
     #[test]
     fn validate_rejects_superluminal() {
-        let bad = Segment { t0: 0, t1: 2, s0: 0, s1: 5 };
+        let bad = Segment {
+            t0: 0,
+            t1: 2,
+            s0: 0,
+            s1: 5,
+        };
         assert!(!bad.validate());
     }
 }

@@ -1,0 +1,125 @@
+//! Replayable repros for audit failures.
+//!
+//! When the online auditor ([`carp_warehouse::collision::IncrementalAuditor`])
+//! refuses a route, the interesting question is *where the bad segment came
+//! from*. A [`ReproBundle`] freezes everything needed to answer it offline:
+//! the layout configuration (layout generation is deterministic), the
+//! request stream prefix up to the offending plan, the conflict itself, the
+//! provenance of both routes involved (which planner path produced them),
+//! and an ASCII space-time timeline of the two trajectories. The bundle
+//! serializes to JSON so a failing CI run's log is a complete, replayable
+//! test case.
+
+use carp_warehouse::collision::AuditConflict;
+use carp_warehouse::layout::LayoutConfig;
+use carp_warehouse::render::conflict_timeline;
+use carp_warehouse::request::Request;
+use carp_warehouse::route::Route;
+use serde::{Deserialize, Serialize};
+
+/// A minimal, self-contained JSON repro of one audit failure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReproBundle {
+    /// The layout configuration (regenerates the exact warehouse).
+    pub layout: LayoutConfig,
+    /// Every request submitted, in order, up to and including the one whose
+    /// committed route failed the audit.
+    pub requests: Vec<Request>,
+    /// Human-readable description of the detected conflict.
+    pub conflict: String,
+    /// Provenance lines for the routes involved (planner path, strip chain,
+    /// crossings) — empty strings when the planner records none.
+    pub provenance: Vec<String>,
+    /// ASCII space-time timeline of the two conflicting routes
+    /// ([`carp_warehouse::render::conflict_timeline`]).
+    pub timeline: String,
+}
+
+impl ReproBundle {
+    /// Assemble a bundle from the audit failure's raw parts.
+    pub fn new(
+        layout: LayoutConfig,
+        requests: Vec<Request>,
+        conflict: &AuditConflict,
+        existing: &Route,
+        incoming: &Route,
+        provenance: Vec<String>,
+    ) -> Self {
+        ReproBundle {
+            layout,
+            requests,
+            conflict: conflict.to_string(),
+            provenance,
+            timeline: conflict_timeline(existing, incoming),
+        }
+    }
+
+    /// Serialize to pretty JSON (infallible for this all-integer payload).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("repro bundle serializes")
+    }
+
+    /// Parse a bundle back from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carp_warehouse::collision::{AuditConflict, ConflictKind, IncrementalAuditor};
+    use carp_warehouse::request::QueryKind;
+    use carp_warehouse::types::Cell;
+
+    #[test]
+    fn bundle_roundtrips_through_json() {
+        let layout = LayoutConfig::small();
+        let a = Route::new(0, vec![Cell::new(0, 0), Cell::new(0, 1)]);
+        let b = Route::new(0, vec![Cell::new(0, 1), Cell::new(0, 0)]);
+        let mut aud = IncrementalAuditor::new();
+        aud.commit(1, &a).expect("first route commits");
+        let conflict = aud.commit(2, &b).expect_err("swap refused");
+        assert_eq!(conflict.kind, ConflictKind::Swap);
+        let requests = vec![
+            Request::new(1, 0, Cell::new(0, 0), Cell::new(0, 1), QueryKind::Pickup),
+            Request::new(2, 0, Cell::new(0, 1), Cell::new(0, 0), QueryKind::Return),
+        ];
+        let bundle = ReproBundle::new(
+            layout.clone(),
+            requests,
+            &conflict,
+            &a,
+            &b,
+            vec![
+                "existing: direct strip search".into(),
+                "incoming: grid A* fallback".into(),
+            ],
+        );
+        let json = bundle.to_json();
+        assert!(json.contains("Swap"), "{json}");
+        let back = ReproBundle::from_json(&json).expect("parses");
+        assert_eq!(back.layout, layout);
+        assert_eq!(back.requests.len(), 2);
+        assert_eq!(back.requests[1].kind, QueryKind::Return);
+        assert_eq!(back.conflict, bundle.conflict);
+        assert_eq!(back.provenance, bundle.provenance);
+        assert!(back.timeline.contains("row(t)"));
+    }
+
+    #[test]
+    fn conflict_description_names_both_requests() {
+        let c = AuditConflict {
+            kind: ConflictKind::Vertex,
+            time: 7,
+            cell: Cell::new(3, 4),
+            existing: 11,
+            incoming: 12,
+        };
+        let s = c.to_string();
+        assert!(
+            s.contains("t=7") && s.contains("11") && s.contains("12"),
+            "{s}"
+        );
+    }
+}

@@ -10,8 +10,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod metrics;
 pub mod sim;
 
+pub use audit::ReproBundle;
 pub use metrics::{DayReport, Recorder, Snapshot};
 pub use sim::{SimConfig, Simulation};

@@ -69,7 +69,11 @@ impl DayReport {
         use std::fmt::Write;
         let mut out = String::from("progress,sim_time,planning_secs,memory_bytes\n");
         for s in &self.snapshots {
-            let _ = writeln!(out, "{:.4},{},{:.6},{}", s.progress, s.sim_time, s.planning_secs, s.memory_bytes);
+            let _ = writeln!(
+                out,
+                "{:.4},{},{:.6},{}",
+                s.progress, s.sim_time, s.planning_secs, s.memory_bytes
+            );
         }
         out
     }

@@ -13,8 +13,9 @@
 //! final route set against the ground-truth conflict semantics of
 //! Definition 3.
 
+use crate::audit::ReproBundle;
 use crate::metrics::{DayReport, Recorder};
-use carp_warehouse::collision::validate_routes;
+use carp_warehouse::collision::{validate_routes, IncrementalAuditor};
 use carp_warehouse::layout::Layout;
 use carp_warehouse::planner::{PlanOutcome, Planner};
 use carp_warehouse::request::{QueryKind, Request, RequestId};
@@ -54,9 +55,21 @@ impl Default for SimConfig {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
-    Arrive { task: usize },
-    LegDone { task: usize, robot: usize, kind: QueryKind, expected_end: Time },
-    Retry { task: usize, robot: usize, kind: QueryKind, attempt: u32 },
+    Arrive {
+        task: usize,
+    },
+    LegDone {
+        task: usize,
+        robot: usize,
+        kind: QueryKind,
+        expected_end: Time,
+    },
+    Retry {
+        task: usize,
+        robot: usize,
+        kind: QueryKind,
+        attempt: u32,
+    },
 }
 
 /// In-flight bookkeeping per robot.
@@ -77,7 +90,12 @@ pub struct Simulation<'a, P: Planner> {
 impl<'a, P: Planner> Simulation<'a, P> {
     /// Create a simulation of `tasks` over `layout` driven by `planner`.
     pub fn new(layout: &'a Layout, tasks: &'a [Task], planner: P, config: SimConfig) -> Self {
-        Simulation { layout, tasks, planner, config }
+        Simulation {
+            layout,
+            tasks,
+            planner,
+            config,
+        }
     }
 
     /// Run the full day and return the metric report plus the planner (for
@@ -97,16 +115,22 @@ impl<'a, P: Planner> Simulation<'a, P> {
         let mut payloads: HashMap<u64, Event> = HashMap::new();
         let mut seq = 0u64;
         let push = |events: &mut BinaryHeap<core::cmp::Reverse<(Time, u64)>>,
-                        payloads: &mut HashMap<u64, Event>,
-                        seq: &mut u64,
-                        t: Time,
-                        e: Event| {
+                    payloads: &mut HashMap<u64, Event>,
+                    seq: &mut u64,
+                    t: Time,
+                    e: Event| {
             events.push(core::cmp::Reverse((t, *seq)));
             payloads.insert(*seq, e);
             *seq += 1;
         };
         for (i, task) in self.tasks.iter().enumerate() {
-            push(&mut events, &mut payloads, &mut seq, task.arrival, Event::Arrive { task: i });
+            push(
+                &mut events,
+                &mut payloads,
+                &mut seq,
+                task.arrival,
+                Event::Arrive { task: i },
+            );
         }
 
         // Waiting tasks (no free robot yet) and in-flight request tracking.
@@ -121,6 +145,62 @@ impl<'a, P: Planner> Simulation<'a, P> {
         let mut planned_requests = 0usize;
         let mut failed_requests = 0usize;
         let mut makespan: Time = 0;
+        // Online audit state: mirrors the planner's committed routes and
+        // refuses conflicting commits the moment they happen, catching
+        // transient conflicts that a post-hoc batch validation of the
+        // *final* (possibly revised) routes would miss.
+        let mut auditor = if self.config.audit {
+            Some(IncrementalAuditor::new())
+        } else {
+            None
+        };
+        let mut request_log: Vec<Request> = Vec::new();
+        let mut online_conflicts = 0usize;
+        let mut repro_emitted = false;
+        // Commits the auditor refused whose verdict is pending: planners like
+        // RP revise the conflicting peers internally and only deliver those
+        // revisions on the next advance(), so a refusal is judged final only
+        // after the following revision batch has been applied.
+        let mut deferred: Vec<(RequestId, Route)> = Vec::new();
+
+        macro_rules! report_conflict {
+            ($aud:expr, $c:expr, $incoming:expr) => {{
+                online_conflicts += 1;
+                if !repro_emitted {
+                    repro_emitted = true;
+                    let provenance = vec![
+                        format!(
+                            "existing request {}: {}",
+                            $c.existing,
+                            self.planner
+                                .provenance($c.existing)
+                                .unwrap_or_else(|| "unrecorded".into())
+                        ),
+                        format!(
+                            "incoming request {}: {}",
+                            $c.incoming,
+                            self.planner
+                                .provenance($c.incoming)
+                                .unwrap_or_else(|| "unrecorded".into())
+                        ),
+                    ];
+                    if let Some(existing) = $aud.route($c.existing).cloned() {
+                        let bundle = ReproBundle::new(
+                            self.layout.config.clone(),
+                            request_log.clone(),
+                            &$c,
+                            &existing,
+                            $incoming,
+                            provenance,
+                        );
+                        eprintln!("[audit] {}", $c);
+                        eprintln!("[audit] {}", bundle.provenance.join("\n[audit] "));
+                        eprintln!("[audit] timeline:\n{}", bundle.timeline);
+                        eprintln!("[audit] replayable repro:\n{}", bundle.to_json());
+                    }
+                }
+            }};
+        }
 
         macro_rules! plan_leg {
             ($now:expr, $task:expr, $robot:expr, $kind:expr, $attempt:expr) => {{
@@ -133,6 +213,9 @@ impl<'a, P: Planner> Simulation<'a, P> {
                 let id = next_request_id;
                 next_request_id += 1;
                 let req = Request::new(id, $now, origin, destination, $kind);
+                if auditor.is_some() {
+                    request_log.push(req);
+                }
                 let started = Instant::now();
                 let outcome = self.planner.plan(&req);
                 recorder.add_planning(started.elapsed());
@@ -141,6 +224,11 @@ impl<'a, P: Planner> Simulation<'a, P> {
                         planned_requests += 1;
                         makespan = makespan.max(route.finish_exclusive());
                         let end = route.end_time();
+                        if let Some(aud) = auditor.as_mut() {
+                            if aud.commit(id, &route).is_err() {
+                                deferred.push((id, route.clone()));
+                            }
+                        }
                         final_routes.insert(id, route);
                         req_meta.insert(id, ($task, $robot, $kind));
                         active_end.insert(($task, $kind), end);
@@ -149,7 +237,12 @@ impl<'a, P: Planner> Simulation<'a, P> {
                             &mut payloads,
                             &mut seq,
                             end,
-                            Event::LegDone { task: $task, robot: $robot, kind: $kind, expected_end: end },
+                            Event::LegDone {
+                                task: $task,
+                                robot: $robot,
+                                kind: $kind,
+                                expected_end: end,
+                            },
                         );
                     }
                     PlanOutcome::Infeasible => {
@@ -159,7 +252,12 @@ impl<'a, P: Planner> Simulation<'a, P> {
                                 &mut payloads,
                                 &mut seq,
                                 $now + self.config.retry_delay,
-                                Event::Retry { task: $task, robot: $robot, kind: $kind, attempt: $attempt + 1 },
+                                Event::Retry {
+                                    task: $task,
+                                    robot: $robot,
+                                    kind: $kind,
+                                    attempt: $attempt + 1,
+                                },
                             );
                         } else {
                             failed_requests += 1;
@@ -181,10 +279,26 @@ impl<'a, P: Planner> Simulation<'a, P> {
                 let started = Instant::now();
                 let revisions = self.planner.advance(now);
                 recorder.add_planning(started.elapsed());
+                // Revisions land as one atomic batch: cancel every revised
+                // route before recommitting any, otherwise a revised route
+                // would be checked against a peer's *stale* plan and report
+                // a conflict that never existed.
+                if let Some(aud) = auditor.as_mut() {
+                    for (rid, _) in &revisions {
+                        if req_meta.contains_key(rid) {
+                            aud.cancel(*rid);
+                        }
+                    }
+                }
                 for (rid, route) in revisions {
                     if let Some(&(task, robot, kind)) = req_meta.get(&rid) {
                         makespan = makespan.max(route.finish_exclusive());
                         let end = route.end_time();
+                        if let Some(aud) = auditor.as_mut() {
+                            if let Err(c) = aud.commit(rid, &route) {
+                                report_conflict!(aud, c, &route);
+                            }
+                        }
                         if active_end.get(&(task, kind)) != Some(&end) {
                             active_end.insert((task, kind), end);
                             push(
@@ -192,10 +306,28 @@ impl<'a, P: Planner> Simulation<'a, P> {
                                 &mut payloads,
                                 &mut seq,
                                 end,
-                                Event::LegDone { task, robot, kind, expected_end: end },
+                                Event::LegDone {
+                                    task,
+                                    robot,
+                                    kind,
+                                    expected_end: end,
+                                },
                             );
                         }
                         final_routes.insert(rid, route);
+                    }
+                }
+                // With the revision batch applied, pending refusals get
+                // their verdict: a commit that still fails is a real
+                // conflict the planner never repaired.
+                if let Some(aud) = auditor.as_mut() {
+                    for (rid, route) in core::mem::take(&mut deferred) {
+                        if aud.route(rid).is_some() {
+                            continue; // a revision superseded the refused plan
+                        }
+                        if let Err(c) = aud.commit(rid, &route) {
+                            report_conflict!(aud, c, &route);
+                        }
                     }
                 }
             }
@@ -210,10 +342,20 @@ impl<'a, P: Planner> Simulation<'a, P> {
                         None => waiting.push_back(task),
                     }
                 }
-                Event::Retry { task, robot, kind, attempt } => {
+                Event::Retry {
+                    task,
+                    robot,
+                    kind,
+                    attempt,
+                } => {
                     plan_leg!(now, task, robot, kind, attempt);
                 }
-                Event::LegDone { task, robot, kind, expected_end } => {
+                Event::LegDone {
+                    task,
+                    robot,
+                    kind,
+                    expected_end,
+                } => {
                     // Stale completion (route was revised): ignore.
                     if active_end.get(&(task, kind)) != Some(&expected_end) {
                         continue;
@@ -223,11 +365,23 @@ impl<'a, P: Planner> Simulation<'a, P> {
                     match kind {
                         QueryKind::Pickup => {
                             robots[robot].pos = t.rack;
-                            plan_leg!(now + self.config.service_time, task, robot, QueryKind::Transmission, 0);
+                            plan_leg!(
+                                now + self.config.service_time,
+                                task,
+                                robot,
+                                QueryKind::Transmission,
+                                0
+                            );
                         }
                         QueryKind::Transmission => {
                             robots[robot].pos = t.picker;
-                            plan_leg!(now + self.config.service_time, task, robot, QueryKind::Return, 0);
+                            plan_leg!(
+                                now + self.config.service_time,
+                                task,
+                                robot,
+                                QueryKind::Return,
+                                0
+                            );
                         }
                         QueryKind::Return => {
                             robots[robot].pos = t.rack;
@@ -250,11 +404,27 @@ impl<'a, P: Planner> Simulation<'a, P> {
             }
         }
 
+        // Refusals still pending after the last event have no more revisions
+        // coming: judge them now.
+        if let Some(aud) = auditor.as_mut() {
+            for (rid, route) in core::mem::take(&mut deferred) {
+                if aud.route(rid).is_some() {
+                    continue;
+                }
+                if let Err(c) = aud.commit(rid, &route) {
+                    report_conflict!(aud, c, &route);
+                }
+            }
+        }
+
         let audit_conflicts = if self.config.audit {
             let routes: Vec<Route> = final_routes.values().cloned().collect();
             match validate_routes(&routes) {
-                None => 0,
-                Some(_) => count_conflicts(&routes),
+                // The batch pass only sees final (post-revision) routes; the
+                // online count additionally covers transient conflicts that a
+                // later revision papered over, so report whichever is worse.
+                None => online_conflicts,
+                Some(_) => count_conflicts(&routes).max(online_conflicts),
             }
         } else {
             0

@@ -1,7 +1,9 @@
 //! The test environment driving all five planners over the same small day
 //! stream — the miniature version of the paper's whole evaluation.
 
-use carp_baselines::{AcpConfig, AcpPlanner, RpConfig, RpPlanner, SapPlanner, TwpConfig, TwpPlanner};
+use carp_baselines::{
+    AcpConfig, AcpPlanner, RpConfig, RpPlanner, SapPlanner, TwpConfig, TwpPlanner,
+};
 use carp_simenv::{SimConfig, Simulation};
 use carp_spacetime::AStarConfig;
 use carp_srp::{SrpConfig, SrpPlanner};
@@ -23,7 +25,11 @@ fn check_report(report: &carp_simenv::DayReport, strict_audit: bool) {
         report.tasks
     );
     if strict_audit {
-        assert_eq!(report.audit_conflicts, 0, "{}: audit found conflicts", report.planner);
+        assert_eq!(
+            report.audit_conflicts, 0,
+            "{}: audit found conflicts",
+            report.planner
+        );
     }
     assert!(report.makespan > 0);
     assert!(!report.snapshots.is_empty());
@@ -69,7 +75,11 @@ fn twp_full_day() {
     // Windowed planning may leave residual conflicts when repairs fail;
     // require a (near-)clean audit rather than perfection.
     check_report(&report, false);
-    assert!(report.audit_conflicts <= 2, "TWP leaked {} conflicts", report.audit_conflicts);
+    assert!(
+        report.audit_conflicts <= 2,
+        "TWP leaked {} conflicts",
+        report.audit_conflicts
+    );
 }
 
 #[test]

@@ -8,7 +8,7 @@ use carp_warehouse::planner::{PlanOutcome, Planner};
 use carp_warehouse::request::{Request, RequestId};
 use carp_warehouse::route::Route;
 use carp_warehouse::tasks::{generate_tasks, DayProfile, Task};
-use carp_warehouse::types::{Cell, Time};
+use carp_warehouse::types::Time;
 
 /// A planner that travels Manhattan-style ignoring all collisions — the
 /// simplest possible "always plans" stub.
@@ -21,18 +21,30 @@ struct ManhattanStub {
 
 impl ManhattanStub {
     fn new(refusals: usize) -> Self {
-        ManhattanStub { refusals, calls: 0, revisions: Vec::new() }
+        ManhattanStub {
+            refusals,
+            calls: 0,
+            revisions: Vec::new(),
+        }
     }
 
     fn manhattan_route(req: &Request) -> Route {
         let mut grids = vec![req.origin];
         let mut cur = req.origin;
         while cur.row != req.destination.row {
-            cur.row = if cur.row < req.destination.row { cur.row + 1 } else { cur.row - 1 };
+            cur.row = if cur.row < req.destination.row {
+                cur.row + 1
+            } else {
+                cur.row - 1
+            };
             grids.push(cur);
         }
         while cur.col != req.destination.col {
-            cur.col = if cur.col < req.destination.col { cur.col + 1 } else { cur.col - 1 };
+            cur.col = if cur.col < req.destination.col {
+                cur.col + 1
+            } else {
+                cur.col - 1
+            };
             grids.push(cur);
         }
         Route::new(req.t, grids)
@@ -69,8 +81,20 @@ fn retries_recover_from_transient_refusals() {
     let (layout, tasks) = tiny_world();
     // Refuse the first two planning calls; retries must absorb them.
     let stub = ManhattanStub::new(2);
-    let (report, _) = Simulation::new(&layout, &tasks, stub, SimConfig { audit: false, ..SimConfig::default() }).run();
-    assert_eq!(report.completed, report.tasks, "retries should rescue refused requests");
+    let (report, _) = Simulation::new(
+        &layout,
+        &tasks,
+        stub,
+        SimConfig {
+            audit: false,
+            ..SimConfig::default()
+        },
+    )
+    .run();
+    assert_eq!(
+        report.completed, report.tasks,
+        "retries should rescue refused requests"
+    );
     assert_eq!(report.failed_requests, 0);
 }
 
@@ -78,7 +102,11 @@ fn retries_recover_from_transient_refusals() {
 fn permanent_refusal_is_counted_as_failure() {
     let (layout, tasks) = tiny_world();
     let stub = ManhattanStub::new(usize::MAX); // never plans
-    let config = SimConfig { max_retries: 2, audit: false, ..SimConfig::default() };
+    let config = SimConfig {
+        max_retries: 2,
+        audit: false,
+        ..SimConfig::default()
+    };
     let (report, _) = Simulation::new(&layout, &tasks, stub, config).run();
     assert_eq!(report.completed, 0);
     assert!(report.failed_requests > 0);
@@ -93,9 +121,20 @@ fn all_tasks_complete_with_single_robot() {
     let layout = cfg.generate();
     let tasks = generate_tasks(&layout, &DayProfile::new(100, 6), 8);
     let stub = ManhattanStub::new(0);
-    let (report, _) =
-        Simulation::new(&layout, &tasks, stub, SimConfig { audit: false, ..SimConfig::default() }).run();
-    assert_eq!(report.completed, 6, "the queue must drain through the single robot");
+    let (report, _) = Simulation::new(
+        &layout,
+        &tasks,
+        stub,
+        SimConfig {
+            audit: false,
+            ..SimConfig::default()
+        },
+    )
+    .run();
+    assert_eq!(
+        report.completed, 6,
+        "the queue must drain through the single robot"
+    );
     // With one robot the makespan is far beyond the arrival horizon.
     assert!(report.makespan > 100);
 }
@@ -104,8 +143,16 @@ fn all_tasks_complete_with_single_robot() {
 fn latency_and_throughput_are_recorded() {
     let (layout, tasks) = tiny_world();
     let stub = ManhattanStub::new(0);
-    let (report, _) =
-        Simulation::new(&layout, &tasks, stub, SimConfig { audit: false, ..SimConfig::default() }).run();
+    let (report, _) = Simulation::new(
+        &layout,
+        &tasks,
+        stub,
+        SimConfig {
+            audit: false,
+            ..SimConfig::default()
+        },
+    )
+    .run();
     assert!(report.mean_task_latency > 0.0);
     assert!(report.throughput_per_hour > 0.0);
     let csv = report.snapshots_csv();
@@ -155,15 +202,39 @@ fn revisions_defer_leg_completion() {
     cfg.robots = 1;
     let layout = cfg.generate();
     // A single task so the revision cleanly applies to its pickup leg.
-    let tasks = vec![Task { id: 0, arrival: 0, rack: layout.rack_cells[0], picker: layout.pickers[0] }];
-    let stub = RevisingStub { last: None, revised: false };
-    let (report, _) =
-        Simulation::new(&layout, &tasks, stub, SimConfig { audit: false, ..SimConfig::default() }).run();
+    let tasks = vec![Task {
+        id: 0,
+        arrival: 0,
+        rack: layout.rack_cells[0],
+        picker: layout.pickers[0],
+    }];
+    let stub = RevisingStub {
+        last: None,
+        revised: false,
+    };
+    let (report, _) = Simulation::new(
+        &layout,
+        &tasks,
+        stub,
+        SimConfig {
+            audit: false,
+            ..SimConfig::default()
+        },
+    )
+    .run();
     assert_eq!(report.completed, 1);
     // The revision added 3 waiting steps to the first leg, visible in the
     // makespan relative to an unrevised run.
     let stub = ManhattanStub::new(0);
-    let (unrevised, _) =
-        Simulation::new(&layout, &tasks, stub, SimConfig { audit: false, ..SimConfig::default() }).run();
+    let (unrevised, _) = Simulation::new(
+        &layout,
+        &tasks,
+        stub,
+        SimConfig {
+            audit: false,
+            ..SimConfig::default()
+        },
+    )
+    .run();
     assert_eq!(report.makespan, unrevised.makespan + 3);
 }

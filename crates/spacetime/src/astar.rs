@@ -33,7 +33,12 @@ pub struct AStarConfig {
 
 impl Default for AStarConfig {
     fn default() -> Self {
-        AStarConfig { max_expansions: 400_000, horizon: 4096, max_depart_delay: 256, collision_horizon: None }
+        AStarConfig {
+            max_expansions: 400_000,
+            horizon: 4096,
+            max_depart_delay: 256,
+            collision_horizon: None,
+        }
     }
 }
 
@@ -86,7 +91,10 @@ impl PartialOrd for Node {
 impl SpaceTimeAStar {
     /// Create a planner with the given configuration.
     pub fn new(config: AStarConfig) -> Self {
-        SpaceTimeAStar { config, stats: AStarStats::default() }
+        SpaceTimeAStar {
+            config,
+            stats: AStarStats::default(),
+        }
     }
 
     /// Plan the shortest route from `start` to `goal` departing no earlier
@@ -130,7 +138,11 @@ impl SpaceTimeAStar {
         let mut open = BinaryHeap::new();
         let mut parents: HashMap<(Cell, Time), (Cell, Time)> = HashMap::new();
         let mut closed: HashMap<(Cell, Time), Time> = HashMap::new();
-        open.push(Node { f: depart + start.manhattan(goal), g: depart, cell: start });
+        open.push(Node {
+            f: depart + start.manhattan(goal),
+            g: depart,
+            cell: start,
+        });
         closed.insert((start, depart), depart);
 
         while let Some(Node { g: t, cell, .. }) = open.pop() {
@@ -152,7 +164,11 @@ impl SpaceTimeAStar {
                 }
                 closed.insert((ncell, nt), nt);
                 parents.insert((ncell, nt), (cell, t));
-                open.push(Node { f: nt + ncell.manhattan(goal), g: nt, cell: ncell });
+                open.push(Node {
+                    f: nt + ncell.manhattan(goal),
+                    g: nt,
+                    cell: ncell,
+                });
                 self.stats.generated += 1;
             };
             // Wait in place.
@@ -178,7 +194,11 @@ impl SpaceTimeAStar {
         None
     }
 
-    fn track_peak(&mut self, open: &BinaryHeap<Node>, parents: &HashMap<(Cell, Time), (Cell, Time)>) {
+    fn track_peak(
+        &mut self,
+        open: &BinaryHeap<Node>,
+        parents: &HashMap<(Cell, Time), (Cell, Time)>,
+    ) {
         let bytes = open.len() * core::mem::size_of::<Node>()
             + parents.len() * (core::mem::size_of::<((Cell, Time), (Cell, Time))>() + 2);
         self.stats.peak_bytes = self.stats.peak_bytes.max(bytes);
@@ -218,7 +238,14 @@ mod tests {
         let m = open_matrix();
         let mut astar = SpaceTimeAStar::default();
         let r = astar
-            .plan(&m, &ReservationTable::new(), None, Cell::new(0, 0), Cell::new(0, 5), 3)
+            .plan(
+                &m,
+                &ReservationTable::new(),
+                None,
+                Cell::new(0, 0),
+                Cell::new(0, 5),
+                3,
+            )
             .expect("route");
         assert_eq!(r.start, 3);
         assert_eq!(r.duration(), 5);
@@ -234,7 +261,14 @@ mod tests {
         );
         let mut astar = SpaceTimeAStar::default();
         let r = astar
-            .plan(&m, &ReservationTable::new(), None, Cell::new(1, 0), Cell::new(1, 4), 0)
+            .plan(
+                &m,
+                &ReservationTable::new(),
+                None,
+                Cell::new(1, 0),
+                Cell::new(1, 4),
+                0,
+            )
             .expect("route");
         assert_eq!(r.duration(), 6); // around the 3-rack block
         assert!(r.validate(&m).is_ok());
@@ -290,7 +324,14 @@ mod tests {
         cs.block_vertex(Cell::new(0, 2), 2);
         let mut astar = SpaceTimeAStar::default();
         let r = astar
-            .plan(&m, &ReservationTable::new(), Some(&cs), Cell::new(0, 0), Cell::new(0, 4), 0)
+            .plan(
+                &m,
+                &ReservationTable::new(),
+                Some(&cs),
+                Cell::new(0, 0),
+                Cell::new(0, 4),
+                0,
+            )
             .expect("route");
         assert_ne!(r.position_at(2), Some(Cell::new(0, 2)));
         assert!(r.validate(&m).is_ok());
@@ -306,9 +347,19 @@ mod tests {
         // Goal (1,1) is fully walled by racks: unreachable from (0,0) since
         // crossing racks is forbidden — except as an endpoint, but no free
         // neighbour path exists... actually (1,1) is free but enclosed.
-        let mut astar = SpaceTimeAStar::new(AStarConfig { max_expansions: 10_000, ..Default::default() });
+        let mut astar = SpaceTimeAStar::new(AStarConfig {
+            max_expansions: 10_000,
+            ..Default::default()
+        });
         assert!(astar
-            .plan(&m, &ReservationTable::new(), None, Cell::new(0, 0), Cell::new(1, 1), 0)
+            .plan(
+                &m,
+                &ReservationTable::new(),
+                None,
+                Cell::new(0, 0),
+                Cell::new(1, 1),
+                0
+            )
             .is_none());
     }
 
@@ -317,7 +368,14 @@ mod tests {
         let m = open_matrix();
         let mut astar = SpaceTimeAStar::default();
         astar
-            .plan(&m, &ReservationTable::new(), None, Cell::new(0, 0), Cell::new(7, 7), 0)
+            .plan(
+                &m,
+                &ReservationTable::new(),
+                None,
+                Cell::new(0, 0),
+                Cell::new(7, 7),
+                0,
+            )
             .expect("route");
         assert!(astar.stats.expansions > 0);
         assert!(astar.stats.peak_bytes > 0);
@@ -328,7 +386,14 @@ mod tests {
         let m = open_matrix();
         let mut astar = SpaceTimeAStar::default();
         let r = astar
-            .plan(&m, &ReservationTable::new(), None, Cell::new(3, 3), Cell::new(3, 3), 5)
+            .plan(
+                &m,
+                &ReservationTable::new(),
+                None,
+                Cell::new(3, 3),
+                Cell::new(3, 3),
+                5,
+            )
             .expect("route");
         assert_eq!(r.grids.len(), 1);
         assert_eq!(r.start, 5);

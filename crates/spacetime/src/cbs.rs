@@ -85,7 +85,10 @@ pub struct CbsConfig {
 
 impl Default for CbsConfig {
     fn default() -> Self {
-        CbsConfig { max_nodes: 512, astar: AStarConfig::default() }
+        CbsConfig {
+            max_nodes: 512,
+            astar: AStarConfig::default(),
+        }
     }
 }
 
@@ -117,7 +120,10 @@ struct CtNode {
 
 impl CtNode {
     fn bytes(&self) -> usize {
-        self.constraints.iter().map(|c| c.memory_bytes()).sum::<usize>()
+        self.constraints
+            .iter()
+            .map(|c| c.memory_bytes())
+            .sum::<usize>()
             + self.routes.iter().map(|r| r.memory_bytes()).sum::<usize>()
     }
 }
@@ -142,7 +148,10 @@ impl PartialOrd for CtNode {
 impl CbsSolver {
     /// Create a solver with the given configuration.
     pub fn new(config: CbsConfig) -> Self {
-        CbsSolver { config, stats: CbsStats::default() }
+        CbsSolver {
+            config,
+            stats: CbsStats::default(),
+        }
     }
 
     /// Solve for all agents jointly, avoiding `external` reservations held
@@ -166,7 +175,14 @@ impl CbsSolver {
             a: &CbsAgent,
         ) -> Option<Route> {
             stats.low_level_calls += 1;
-            let r = astar.plan(matrix, external, Some(constraints), a.start, a.goal, a.depart);
+            let r = astar.plan(
+                matrix,
+                external,
+                Some(constraints),
+                a.start,
+                a.goal,
+                a.depart,
+            );
             stats.peak_bytes = stats.peak_bytes.max(astar.stats.peak_bytes);
             r
         }
@@ -174,11 +190,22 @@ impl CbsSolver {
         let root_constraints = vec![ConstraintSet::default(); agents.len()];
         let mut routes = Vec::with_capacity(agents.len());
         for (cs, a) in root_constraints.iter().zip(agents) {
-            routes.push(low_level(&mut self.stats, &mut astar, matrix, external, cs, a)?);
+            routes.push(low_level(
+                &mut self.stats,
+                &mut astar,
+                matrix,
+                external,
+                cs,
+                a,
+            )?);
         }
         let mut open = BinaryHeap::new();
         let cost = routes.iter().map(|r| r.duration()).sum();
-        open.push(CtNode { cost, constraints: root_constraints, routes });
+        open.push(CtNode {
+            cost,
+            constraints: root_constraints,
+            routes,
+        });
 
         while let Some(node) = open.pop() {
             self.stats.nodes += 1;
@@ -214,7 +241,11 @@ impl CbsSolver {
                     let mut routes = node.routes.clone();
                     routes[agent] = new_route;
                     let cost = routes.iter().map(|r| r.duration()).sum();
-                    open.push(CtNode { cost, constraints, routes });
+                    open.push(CtNode {
+                        cost,
+                        constraints,
+                        routes,
+                    });
                 }
             }
         }
@@ -223,7 +254,9 @@ impl CbsSolver {
 }
 
 /// First pairwise conflict among `routes`, with the indices involved.
-fn find_first_conflict(routes: &[Route]) -> Option<(usize, usize, carp_warehouse::collision::Conflict)> {
+fn find_first_conflict(
+    routes: &[Route],
+) -> Option<(usize, usize, carp_warehouse::collision::Conflict)> {
     let mut best: Option<(usize, usize, carp_warehouse::collision::Conflict)> = None;
     for i in 0..routes.len() {
         for j in i + 1..routes.len() {
@@ -252,11 +285,21 @@ mod tests {
              ##.##",
         );
         let agents = [
-            CbsAgent { start: Cell::new(1, 0), goal: Cell::new(1, 4), depart: 0 },
-            CbsAgent { start: Cell::new(1, 4), goal: Cell::new(1, 0), depart: 0 },
+            CbsAgent {
+                start: Cell::new(1, 0),
+                goal: Cell::new(1, 4),
+                depart: 0,
+            },
+            CbsAgent {
+                start: Cell::new(1, 4),
+                goal: Cell::new(1, 0),
+                depart: 0,
+            },
         ];
         let mut cbs = CbsSolver::default();
-        let routes = cbs.solve(&m, &ReservationTable::new(), &agents).expect("solvable");
+        let routes = cbs
+            .solve(&m, &ReservationTable::new(), &agents)
+            .expect("solvable");
         assert!(is_collision_free(&routes));
         assert_eq!(routes[0].destination(), Cell::new(1, 4));
         assert_eq!(routes[1].destination(), Cell::new(1, 0));
@@ -269,11 +312,21 @@ mod tests {
     fn independent_agents_get_shortest_routes() {
         let m = WarehouseMatrix::empty(6, 6);
         let agents = [
-            CbsAgent { start: Cell::new(0, 0), goal: Cell::new(0, 5), depart: 0 },
-            CbsAgent { start: Cell::new(5, 0), goal: Cell::new(5, 5), depart: 0 },
+            CbsAgent {
+                start: Cell::new(0, 0),
+                goal: Cell::new(0, 5),
+                depart: 0,
+            },
+            CbsAgent {
+                start: Cell::new(5, 0),
+                goal: Cell::new(5, 5),
+                depart: 0,
+            },
         ];
         let mut cbs = CbsSolver::default();
-        let routes = cbs.solve(&m, &ReservationTable::new(), &agents).expect("solvable");
+        let routes = cbs
+            .solve(&m, &ReservationTable::new(), &agents)
+            .expect("solvable");
         assert_eq!(routes[0].duration(), 5);
         assert_eq!(routes[1].duration(), 5);
         assert_eq!(cbs.stats.nodes, 1, "no conflicts, root suffices");
@@ -285,7 +338,11 @@ mod tests {
         let mut external = ReservationTable::new();
         let outsider = Route::new(0, (0..4).map(|i| Cell::new(i, 1)).collect());
         external.reserve(&outsider, 99);
-        let agents = [CbsAgent { start: Cell::new(0, 0), goal: Cell::new(0, 3), depart: 0 }];
+        let agents = [CbsAgent {
+            start: Cell::new(0, 0),
+            goal: Cell::new(0, 3),
+            depart: 0,
+        }];
         let mut cbs = CbsSolver::default();
         let routes = cbs.solve(&m, &external, &agents).expect("solvable");
         assert!(first_conflict(&routes[0], &outsider).is_none());
@@ -296,11 +353,21 @@ mod tests {
         let m = WarehouseMatrix::empty(5, 5);
         // Both want to pass through the centre at the same instant.
         let agents = [
-            CbsAgent { start: Cell::new(2, 0), goal: Cell::new(2, 4), depart: 0 },
-            CbsAgent { start: Cell::new(0, 2), goal: Cell::new(4, 2), depart: 0 },
+            CbsAgent {
+                start: Cell::new(2, 0),
+                goal: Cell::new(2, 4),
+                depart: 0,
+            },
+            CbsAgent {
+                start: Cell::new(0, 2),
+                goal: Cell::new(4, 2),
+                depart: 0,
+            },
         ];
         let mut cbs = CbsSolver::default();
-        let routes = cbs.solve(&m, &ReservationTable::new(), &agents).expect("solvable");
+        let routes = cbs
+            .solve(&m, &ReservationTable::new(), &agents)
+            .expect("solvable");
         assert!(is_collision_free(&routes));
         // Optimality: at most one agent pays a 1-step detour/wait.
         let total: Time = routes.iter().map(|r| r.duration()).sum();
@@ -317,12 +384,25 @@ mod tests {
         // Pure corridor, no bays: opposite traversal is infeasible; CBS must
         // keep branching until the budget runs out.
         let agents = [
-            CbsAgent { start: Cell::new(1, 0), goal: Cell::new(1, 4), depart: 0 },
-            CbsAgent { start: Cell::new(1, 4), goal: Cell::new(1, 0), depart: 0 },
+            CbsAgent {
+                start: Cell::new(1, 0),
+                goal: Cell::new(1, 4),
+                depart: 0,
+            },
+            CbsAgent {
+                start: Cell::new(1, 4),
+                goal: Cell::new(1, 0),
+                depart: 0,
+            },
         ];
         let mut cbs = CbsSolver::new(CbsConfig {
             max_nodes: 16,
-            astar: AStarConfig { max_expansions: 5_000, horizon: 32, max_depart_delay: 8, collision_horizon: None },
+            astar: AStarConfig {
+                max_expansions: 5_000,
+                horizon: 32,
+                max_depart_delay: 8,
+                collision_horizon: None,
+            },
         });
         assert!(cbs.solve(&m, &ReservationTable::new(), &agents).is_none());
     }

@@ -58,11 +58,15 @@ impl ReservationTable {
     pub fn reserve(&mut self, route: &Route, tag: Tag) {
         for (t, cell) in route.occupancy() {
             let prev = self.vertices.insert((cell, t), tag);
-            debug_assert!(prev.is_none() || prev == Some(tag), "double booking at {cell} t={t}");
+            debug_assert!(
+                prev.is_none() || prev == Some(tag),
+                "double booking at {cell} t={t}"
+            );
         }
         for (k, w) in route.grids.windows(2).enumerate() {
             if w[0] != w[1] {
-                self.edges.insert((w[0], w[1], route.start + k as Time), tag);
+                self.edges
+                    .insert((w[0], w[1], route.start + k as Time), tag);
             }
         }
     }
@@ -140,7 +144,10 @@ mod tests {
         rt.reserve(&r2, 2);
         rt.release(&r1, 1);
         assert!(rt.vertex_free(Cell::new(0, 1), 1));
-        assert!(!rt.vertex_free(Cell::new(0, 0), 5), "other owner must survive");
+        assert!(
+            !rt.vertex_free(Cell::new(0, 0), 5),
+            "other owner must survive"
+        );
         rt.release(&r2, 2);
         assert!(rt.is_empty());
     }

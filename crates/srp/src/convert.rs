@@ -45,7 +45,10 @@ pub fn decompose(m: &WarehouseMatrix, graph: &StripGraph, route: &Route) -> Deco
         // Emit the run [run_start, i] as a polyline within `strip_id`.
         let strip = graph.strip(strip_id);
         let t_base = route.start + run_start as Time;
-        let offsets: Vec<i32> = cells[run_start..=i].iter().map(|&c| strip.offset_of(c)).collect();
+        let offsets: Vec<i32> = cells[run_start..=i]
+            .iter()
+            .map(|&c| strip.offset_of(c))
+            .collect();
         emit_polyline(strip_id, t_base, &offsets, &mut segments);
         // Crossing into the next strip, if any.
         if i + 1 < cells.len() {
@@ -55,7 +58,10 @@ pub fn decompose(m: &WarehouseMatrix, graph: &StripGraph, route: &Route) -> Deco
         }
         i += 1;
     }
-    Decomposition { segments, crossings }
+    Decomposition {
+        segments,
+        crossings,
+    }
 }
 
 /// Emit maximal constant-slope segments for a run of strip offsets
@@ -77,7 +83,10 @@ fn emit_polyline(strip: StripId, t_base: Time, offsets: &[i32], out: &mut Vec<(S
             slope = step;
         }
     }
-    out.push((strip, make_seg(t_base, seg_start, offsets.len() - 1, offsets)));
+    out.push((
+        strip,
+        make_seg(t_base, seg_start, offsets.len() - 1, offsets),
+    ));
 }
 
 fn make_seg(t_base: Time, a: usize, b: usize, offsets: &[i32]) -> Segment {
@@ -153,7 +162,15 @@ mod tests {
         assert_eq!(d.crossings, vec![]);
         assert_eq!(d.segments.len(), 1);
         let (_, seg) = d.segments[0];
-        assert_eq!(seg, Segment { t0: 4, t1: 8, s0: 0, s1: 4 });
+        assert_eq!(
+            seg,
+            Segment {
+                t0: 4,
+                t1: 8,
+                s0: 0,
+                s1: 4
+            }
+        );
     }
 
     #[test]
@@ -176,9 +193,24 @@ mod tests {
         assert_eq!(
             segs,
             vec![
-                Segment { t0: 0, t1: 2, s0: 0, s1: 2 },
-                Segment { t0: 2, t1: 4, s0: 2, s1: 2 },
-                Segment { t0: 4, t1: 5, s0: 2, s1: 1 },
+                Segment {
+                    t0: 0,
+                    t1: 2,
+                    s0: 0,
+                    s1: 2
+                },
+                Segment {
+                    t0: 2,
+                    t1: 4,
+                    s0: 2,
+                    s1: 2
+                },
+                Segment {
+                    t0: 4,
+                    t1: 5,
+                    s0: 2,
+                    s1: 1
+                },
             ]
         );
     }
@@ -205,8 +237,24 @@ mod tests {
         // aisle (travel).
         assert_eq!(d.segments.len(), 3);
         assert_eq!(d.segments[0].1, Segment::point(10, 0));
-        assert_eq!(d.segments[1].1, Segment { t0: 11, t1: 12, s0: 0, s1: 1 });
-        assert_eq!(d.segments[2].1, Segment { t0: 13, t1: 14, s0: 0, s1: 1 });
+        assert_eq!(
+            d.segments[1].1,
+            Segment {
+                t0: 11,
+                t1: 12,
+                s0: 0,
+                s1: 1
+            }
+        );
+        assert_eq!(
+            d.segments[2].1,
+            Segment {
+                t0: 13,
+                t1: 14,
+                s0: 0,
+                s1: 1
+            }
+        );
     }
 
     #[test]
@@ -232,7 +280,10 @@ mod tests {
             for (t, off) in seg.occupancy() {
                 let cell = strip.cell_at(off);
                 let prev = rebuilt.insert(t, cell);
-                assert!(prev.is_none_or(|p| p == cell), "inconsistent occupancy at t={t}");
+                assert!(
+                    prev.is_none_or(|p| p == cell),
+                    "inconsistent occupancy at t={t}"
+                );
             }
         }
         let expected: std::collections::BTreeMap<Time, Cell> = r.occupancy().collect();
@@ -243,9 +294,18 @@ mod tests {
     fn compose_chains_legs() {
         let (_, g) = toy();
         // Leg 1: top aisle, offsets 0→... point at 0; leg 2: col0 strip.
-        let leg1 = IntraRoute { segments: vec![Segment::point(5, 0)], enter: 5, arrive: 5 };
+        let leg1 = IntraRoute {
+            segments: vec![Segment::point(5, 0)],
+            enter: 5,
+            arrive: 5,
+        };
         let leg2 = IntraRoute {
-            segments: vec![Segment { t0: 6, t1: 7, s0: 0, s1: 1 }],
+            segments: vec![Segment {
+                t0: 6,
+                t1: 7,
+                s0: 0,
+                s1: 1,
+            }],
             enter: 6,
             arrive: 7,
         };
@@ -254,7 +314,10 @@ mod tests {
         let col0 = g.strip_of(&m, Cell::new(1, 0));
         let r = compose(&g, &[(top, leg1), (col0, leg2)]);
         assert_eq!(r.start, 5);
-        assert_eq!(r.grids, vec![Cell::new(0, 0), Cell::new(1, 0), Cell::new(2, 0)]);
+        assert_eq!(
+            r.grids,
+            vec![Cell::new(0, 0), Cell::new(1, 0), Cell::new(2, 0)]
+        );
     }
 
     #[test]
@@ -263,8 +326,18 @@ mod tests {
         let top = g.strip_of(&m, Cell::new(0, 0));
         let leg = IntraRoute {
             segments: vec![
-                Segment { t0: 0, t1: 2, s0: 0, s1: 2 },
-                Segment { t0: 2, t1: 3, s0: 2, s1: 2 },
+                Segment {
+                    t0: 0,
+                    t1: 2,
+                    s0: 0,
+                    s1: 2,
+                },
+                Segment {
+                    t0: 2,
+                    t1: 3,
+                    s0: 2,
+                    s1: 2,
+                },
             ],
             enter: 0,
             arrive: 3,
@@ -272,7 +345,12 @@ mod tests {
         let cells = leg_cells(&g, top, &leg);
         assert_eq!(
             cells,
-            vec![Cell::new(0, 0), Cell::new(0, 1), Cell::new(0, 2), Cell::new(0, 2)]
+            vec![
+                Cell::new(0, 0),
+                Cell::new(0, 1),
+                Cell::new(0, 2),
+                Cell::new(0, 2)
+            ]
         );
     }
 }

@@ -31,7 +31,10 @@ pub struct IntraConfig {
 
 impl Default for IntraConfig {
     fn default() -> Self {
-        IntraConfig { max_wait: 48, max_nodes: 512 }
+        IntraConfig {
+            max_wait: 48,
+            max_nodes: 512,
+        }
     }
 }
 
@@ -88,18 +91,24 @@ pub fn plan_within<S: SegmentStore>(
     config: &IntraConfig,
 ) -> Option<IntraRoute> {
     debug_assert!(
-        store
-            .earliest_collision(&Segment::point(t, from))
-            .is_none(),
+        store.earliest_collision(&Segment::point(t, from)).is_none(),
         "entry point (t={t}, s={from}) is contested; caller must probe first"
     );
     if from == to {
-        return Some(IntraRoute { segments: vec![Segment::point(t, from)], enter: t, arrive: t });
+        return Some(IntraRoute {
+            segments: vec![Segment::point(t, from)],
+            enter: t,
+            arrive: t,
+        });
     }
     let mut segments = Vec::new();
     let mut nodes = 0usize;
     let arrive = backtrack::<S, true>(store, t, from, to, config, &mut nodes, &mut segments)?;
-    let route = IntraRoute { segments, enter: t, arrive };
+    let route = IntraRoute {
+        segments,
+        enter: t,
+        arrive,
+    };
     debug_assert!(route.is_well_formed());
     Some(route)
 }
@@ -199,7 +208,9 @@ fn backtrack<S: SegmentStore, const COLLECT: bool>(
         if COLLECT {
             out.push(Segment::wait(stop_t, stop_t + tau, p_stop));
         }
-        if let Some(arr) = backtrack::<S, COLLECT>(store, stop_t + tau, p_stop, d, config, nodes, out) {
+        if let Some(arr) =
+            backtrack::<S, COLLECT>(store, stop_t + tau, p_stop, d, config, nodes, out)
+        {
             return Some(arr);
         }
         if COLLECT {
@@ -266,7 +277,10 @@ mod tests {
         // line without a pull-off — it must be infeasible or wait until the
         // sweep finishes... waiting at 0 collides when the sweeper arrives
         // at 0 (t=9). Hence: infeasible.
-        assert!(r.is_none(), "head-on on one line is unresolvable forward-only");
+        assert!(
+            r.is_none(),
+            "head-on on one line is unresolvable forward-only"
+        );
     }
 
     #[test]
@@ -313,7 +327,10 @@ mod tests {
         for t in 0..20 {
             store.insert(Segment::wait(t * 10, t * 10 + 10, 5));
         }
-        let cfg = IntraConfig { max_wait: 8, max_nodes: 16 };
+        let cfg = IntraConfig {
+            max_wait: 8,
+            max_nodes: 16,
+        };
         assert!(plan_within(&store, 0, 0, 9, &cfg).is_none());
     }
 

@@ -102,11 +102,74 @@ pub struct SrpStats {
     pub fallback_peak_bytes: usize,
 }
 
-/// Bookkeeping for one committed route, enough to retire it later.
+/// Which internal search path produced a committed route. Recorded per
+/// commit so the audit layer can trace a bad route back to the code path
+/// that emitted it (conflict-provenance, DESIGN.md §"Auditing").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannerPath {
+    /// The direct strip-level search at the request's emergence time.
+    Direct,
+    /// A strip-level retry with the departure postponed by `bump` steps.
+    Retry {
+        /// The start-time bump that made the request feasible.
+        bump: Time,
+    },
+    /// The grid-level space-time A\* fallback (§VI remarks).
+    Fallback,
+    /// A route committed from outside via [`SrpPlanner::commit_route`].
+    External,
+}
+
+impl core::fmt::Display for PlannerPath {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PlannerPath::Direct => write!(f, "direct strip search"),
+            PlannerPath::Retry { bump } => write!(f, "strip retry (departure +{bump})"),
+            PlannerPath::Fallback => write!(f, "grid A* fallback"),
+            PlannerPath::External => write!(f, "externally committed"),
+        }
+    }
+}
+
+/// Provenance of one committed route: the producing path plus the strip
+/// chain and boundary crossings of its decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Provenance {
+    /// Which search path produced the route.
+    pub path: PlannerPath,
+    /// Strips traversed, in time order (consecutive duplicates collapsed).
+    pub strips: Vec<StripId>,
+    /// Directed boundary crossings `(from, to, departure time)`.
+    pub crossings: Vec<(Cell, Cell, Time)>,
+    /// Number of stored segments the route decomposed into.
+    pub segments: usize,
+}
+
+impl core::fmt::Display for Provenance {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "path={}, strips=[", self.path)?;
+        for (i, s) in self.strips.iter().enumerate() {
+            if i > 0 {
+                write!(f, "→")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(
+            f,
+            "], segments={}, crossings={}",
+            self.segments,
+            self.crossings.len()
+        )
+    }
+}
+
+/// Bookkeeping for one committed route, enough to retire it later and to
+/// answer provenance queries while it is active.
 #[derive(Debug, Clone)]
 struct Committed {
     segs: Vec<(StripId, SegmentId, Segment)>,
     crossings: Vec<(Cell, Cell, Time)>,
+    path: PlannerPath,
 }
 
 /// Sentinel node id for the search goal.
@@ -125,8 +188,12 @@ struct ParentLite {
 }
 
 impl ParentLite {
-    const NONE: ParentLite =
-        ParentLite { prev: GOAL, exit_cell: Cell::new(0, 0), depart: 0, crossed: false };
+    const NONE: ParentLite = ParentLite {
+        prev: GOAL,
+        exit_cell: Cell::new(0, 0),
+        depart: 0,
+        crossed: false,
+    };
 }
 
 /// Reusable per-request search state, generation-stamped so consecutive
@@ -313,7 +380,26 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
     /// Commit an externally produced route into the collision state (used
     /// by experiments that need to seed background traffic).
     pub fn commit_route(&mut self, id: RequestId, route: &Route) {
-        self.commit(id, route);
+        self.commit(id, route, PlannerPath::External);
+    }
+
+    /// Provenance of a currently committed (not yet retired) route: the
+    /// search path that produced it plus its strip chain and crossings.
+    pub fn route_provenance(&self, id: RequestId) -> Option<Provenance> {
+        self.committed.get(&id).map(|c| {
+            let mut strips: Vec<StripId> = Vec::new();
+            for &(sid, _, _) in &c.segs {
+                if strips.last() != Some(&sid) {
+                    strips.push(sid);
+                }
+            }
+            Provenance {
+                path: c.path,
+                strips,
+                crossings: c.crossings.clone(),
+                segments: c.segs.len(),
+            }
+        })
     }
 
     #[inline]
@@ -371,7 +457,13 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
 
         // Phase 1: cost-only time-dependent Dijkstra / A* (Algorithm 4).
         let use_h = self.config.use_heuristic;
-        let h = move |cell: Cell| -> Time { if use_h { cell.manhattan(d) } else { 0 } };
+        let h = move |cell: Cell| -> Time {
+            if use_h {
+                cell.manhattan(d)
+            } else {
+                0
+            }
+        };
         let n = self.graph.num_vertices();
         let goal_slot = n; // dense index of the GOAL pseudo-node
         self.scratch.begin(n + 1);
@@ -389,13 +481,23 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
         type Key = (Time, core::cmp::Reverse<Time>, StripId, u32);
         const NO_EDGE: u32 = u32::MAX;
         let mut heap: BinaryHeap<core::cmp::Reverse<Key>> = BinaryHeap::new();
-        self.scratch.relax(su as usize, start_t, o, ParentLite::NONE);
-        heap.push(core::cmp::Reverse((start_t + h(o), core::cmp::Reverse(start_t), su, NO_EDGE)));
+        self.scratch
+            .relax(su as usize, start_t, o, ParentLite::NONE);
+        heap.push(core::cmp::Reverse((
+            start_t + h(o),
+            core::cmp::Reverse(start_t),
+            su,
+            NO_EDGE,
+        )));
         let sd_is_rack = self.graph.strip(sd).kind == StripKind::Rack;
 
         // Resolve one edge's transit pair under all the rack rules; `None`
         // when the edge is unusable for this request.
-        let resolve = |graph: &StripGraph, u: StripId, k: usize, gu: Cell| -> Option<(StripId, bool, Cell, Cell)> {
+        let resolve = |graph: &StripGraph,
+                       u: StripId,
+                       k: usize,
+                       gu: Cell|
+         -> Option<(StripId, bool, Cell, Cell)> {
             let edge = graph.edges(u)[k];
             let v = edge.to;
             let v_is_goal_rack = v == sd && sd_is_rack;
@@ -425,11 +527,16 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
                 // Deferred edge evaluation: `at` is the optimistic arrival.
                 let gu = self.scratch.entry[ui];
                 let settle_at = self.scratch.dist(ui).expect("edge source settled");
-                let Some((v, v_is_goal_rack, g_u, g_v)) = resolve(&self.graph, u, edge_k as usize, gu)
+                let Some((v, v_is_goal_rack, g_u, g_v)) =
+                    resolve(&self.graph, u, edge_k as usize, gu)
                 else {
                     continue;
                 };
-                let vi = if v_is_goal_rack { goal_slot } else { v as usize };
+                let vi = if v_is_goal_rack {
+                    goal_slot
+                } else {
+                    v as usize
+                };
                 if self.scratch.settled(vi) || self.scratch.dist(vi).is_some_and(|dv| dv <= at) {
                     continue;
                 }
@@ -439,16 +546,32 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
                 else {
                     continue;
                 };
-                let Some(depart) = self.cross_cost(u, arrive, strip_u.offset_of(g_u), g_u, g_v) else {
+                let Some(depart) = self.cross_cost(u, arrive, strip_u.offset_of(g_u), g_u, g_v)
+                else {
                     continue;
                 };
                 let arrival = depart + 1;
                 if self.scratch.dist(vi).is_none_or(|dv| arrival < dv) {
-                    let parent = ParentLite { prev: u, exit_cell: g_u, depart, crossed: true };
-                    self.scratch.relax(vi, arrival, if v_is_goal_rack { d } else { g_v }, parent);
-                    let key = if v_is_goal_rack { arrival } else { arrival + h(g_v) };
+                    let parent = ParentLite {
+                        prev: u,
+                        exit_cell: g_u,
+                        depart,
+                        crossed: true,
+                    };
+                    self.scratch
+                        .relax(vi, arrival, if v_is_goal_rack { d } else { g_v }, parent);
+                    let key = if v_is_goal_rack {
+                        arrival
+                    } else {
+                        arrival + h(g_v)
+                    };
                     let node = if v_is_goal_rack { GOAL } else { v };
-                    heap.push(core::cmp::Reverse((key, core::cmp::Reverse(arrival), node, NO_EDGE)));
+                    heap.push(core::cmp::Reverse((
+                        key,
+                        core::cmp::Reverse(arrival),
+                        node,
+                        NO_EDGE,
+                    )));
                 }
                 continue;
             }
@@ -463,15 +586,26 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
             // Final leg when the destination strip is an aisle.
             if u == sd {
                 let strip = *self.graph.strip(u);
-                if let Some(total) = self.intra_cost(u, at, strip.offset_of(gu), strip.offset_of(d)) {
+                if let Some(total) = self.intra_cost(u, at, strip.offset_of(gu), strip.offset_of(d))
+                {
                     if self.scratch.dist(goal_slot).is_none_or(|g| total < g) {
                         self.scratch.relax(
                             goal_slot,
                             total,
                             d,
-                            ParentLite { prev: u, exit_cell: d, depart: total, crossed: false },
+                            ParentLite {
+                                prev: u,
+                                exit_cell: d,
+                                depart: total,
+                                crossed: false,
+                            },
                         );
-                        heap.push(core::cmp::Reverse((total, core::cmp::Reverse(total), GOAL, NO_EDGE)));
+                        heap.push(core::cmp::Reverse((
+                            total,
+                            core::cmp::Reverse(total),
+                            GOAL,
+                            NO_EDGE,
+                        )));
                     }
                 }
                 continue; // never expand beyond the destination strip
@@ -482,7 +616,11 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
                 let Some((v, v_is_goal_rack, g_u, g_v)) = resolve(&self.graph, u, k, gu) else {
                     continue;
                 };
-                let vi = if v_is_goal_rack { goal_slot } else { v as usize };
+                let vi = if v_is_goal_rack {
+                    goal_slot
+                } else {
+                    v as usize
+                };
                 if self.scratch.settled(vi) {
                     continue;
                 }
@@ -492,7 +630,12 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
                     continue;
                 }
                 let key = if v_is_goal_rack { lb } else { lb + h(g_v) };
-                heap.push(core::cmp::Reverse((key, core::cmp::Reverse(lb), u, k as u32)));
+                heap.push(core::cmp::Reverse((
+                    key,
+                    core::cmp::Reverse(lb),
+                    u,
+                    k as u32,
+                )));
             }
         }
 
@@ -521,12 +664,18 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
             let enter_t = self.scratch.dist(u as usize).expect("on chain");
             let gu = self.scratch.entry[u as usize];
             let mut leg = self
-                .intra_full(u, enter_t, strip.offset_of(gu), strip.offset_of(hop.exit_cell))
+                .intra_full(
+                    u,
+                    enter_t,
+                    strip.offset_of(gu),
+                    strip.offset_of(hop.exit_cell),
+                )
                 .expect("cost phase succeeded on this leg");
             debug_assert!(leg.arrive <= hop.depart);
             if leg.arrive < hop.depart {
                 let off = strip.offset_of(hop.exit_cell);
-                leg.segments.push(Segment::wait(leg.arrive, hop.depart, off));
+                leg.segments
+                    .push(Segment::wait(leg.arrive, hop.depart, off));
                 leg.arrive = hop.depart;
             }
             legs.push((u, leg));
@@ -534,11 +683,14 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
         if sd_is_rack {
             // The rack destination is entered by the final crossing; it
             // contributes a single point of occupancy.
-            legs.push((sd, IntraRoute {
-                segments: vec![Segment::point(total, self.graph.strip(sd).offset_of(d))],
-                enter: total,
-                arrive: total,
-            }));
+            legs.push((
+                sd,
+                IntraRoute {
+                    segments: vec![Segment::point(total, self.graph.strip(sd).offset_of(d))],
+                    enter: total,
+                    arrive: total,
+                },
+            ));
         }
 
         let convert_t = self.now();
@@ -568,7 +720,14 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
 
     /// Find the earliest boundary departure `>= arrive` for the motion
     /// `g_u -> g_v` (cost phase: no leg materialization).
-    fn cross_cost(&mut self, u: StripId, arrive: Time, exit_off: i32, g_u: Cell, g_v: Cell) -> Option<Time> {
+    fn cross_cost(
+        &mut self,
+        u: StripId,
+        arrive: Time,
+        exit_off: i32,
+        g_u: Cell,
+        g_v: Cell,
+    ) -> Option<Time> {
         let started = self.now();
         let store_u = self.store(u);
         // Longest wait permissible at the transit cell.
@@ -591,7 +750,10 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
                 continue;
             }
             // Entry vertex: the first instant in the next strip.
-            if store_v.earliest_collision(&Segment::point(depart + 1, v_off)).is_some() {
+            if store_v
+                .earliest_collision(&Segment::point(depart + 1, v_off))
+                .is_some()
+            {
                 continue;
             }
             found = Some(depart);
@@ -600,7 +762,6 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
         self.lap(started, |s| &mut s.intra_ns);
         found
     }
-
 
     /// Grid-level fallback (§VI remarks): rebuild a reservation table from
     /// the committed segments and run space-time A\*.
@@ -632,8 +793,9 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
     }
 
     /// Commit a planned route: decompose it and insert its segments and
-    /// crossings into the collision state.
-    fn commit(&mut self, id: RequestId, route: &Route) {
+    /// crossings into the collision state, tagged with the search path that
+    /// produced it.
+    fn commit(&mut self, id: RequestId, route: &Route, path: PlannerPath) {
         let started = self.now();
         let dec = decompose(&self.matrix, &self.graph, route);
         #[cfg(debug_assertions)]
@@ -645,13 +807,24 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
         }
         let mut segs = Vec::with_capacity(dec.segments.len());
         for (sid, seg) in dec.segments {
-            let handle = self.stores.entry(sid).or_insert_with(|| Box::new(S::default())).insert(seg);
+            let handle = self
+                .stores
+                .entry(sid)
+                .or_insert_with(|| Box::new(S::default()))
+                .insert(seg);
             segs.push((sid, handle, seg));
         }
         for &c in &dec.crossings {
             self.crossings.insert(c);
         }
-        self.committed.insert(id, Committed { segs, crossings: dec.crossings });
+        self.committed.insert(
+            id,
+            Committed {
+                segs,
+                crossings: dec.crossings,
+                path,
+            },
+        );
         self.retire_queue.insert((route.end_time(), id));
         self.lap(started, |s| &mut s.convert_ns);
     }
@@ -660,7 +833,10 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
     fn retire(&mut self, id: RequestId) {
         if let Some(c) = self.committed.remove(&id) {
             for (sid, handle, seg) in c.segs {
-                let store = self.stores.get_mut(&sid).expect("store exists for committed segment");
+                let store = self
+                    .stores
+                    .get_mut(&sid)
+                    .expect("store exists for committed segment");
                 let removed = store.remove(handle, &seg);
                 debug_assert!(removed, "segment missing on retire");
                 if store.is_empty() {
@@ -677,7 +853,12 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
 /// The transit pair of `edge` whose target-strip cell is exactly `target`
 /// (used for rack destinations), or `None` when this edge cannot deliver
 /// the robot adjacent to `target`.
-fn transit_to_cell(graph: &StripGraph, u: StripId, edge: &StripEdge, target: Cell) -> Option<(Cell, Cell)> {
+fn transit_to_cell(
+    graph: &StripGraph,
+    u: StripId,
+    edge: &StripEdge,
+    target: Cell,
+) -> Option<(Cell, Cell)> {
     match edge.geom {
         EdgeGeom::Perpendicular { u_cell, v_cell } | EdgeGeom::Collinear { u_cell, v_cell } => {
             (v_cell == target).then_some((u_cell, v_cell))
@@ -713,6 +894,7 @@ impl<S: SegmentStore + Default> Planner for SrpPlanner<S> {
         // the whole.
         let inter_t = self.now();
         let sub_before = self.stats.intra_ns + self.stats.convert_ns;
+        let mut path = PlannerPath::Direct;
         let mut strip_route = self.plan_strips(req);
         if strip_route.is_none() {
             // Strip-level retries with postponed departure (see
@@ -723,6 +905,7 @@ impl<S: SegmentStore + Default> Planner for SrpPlanner<S> {
                 strip_route = self.plan_strips(&delayed);
                 if strip_route.is_some() {
                     self.stats.retries += 1;
+                    path = PlannerPath::Retry { bump };
                     break;
                 }
             }
@@ -737,6 +920,7 @@ impl<S: SegmentStore + Default> Planner for SrpPlanner<S> {
                 let r = self.plan_fallback(req);
                 if r.is_some() {
                     self.stats.fallbacks += 1;
+                    path = PlannerPath::Fallback;
                 }
                 r
             }
@@ -744,8 +928,11 @@ impl<S: SegmentStore + Default> Planner for SrpPlanner<S> {
         };
         match route {
             Some(route) => {
-                debug_assert!(route.validate(&self.matrix).is_ok(), "invalid route planned");
-                self.commit(req.id, &route);
+                debug_assert!(
+                    route.validate(&self.matrix).is_ok(),
+                    "invalid route planned"
+                );
+                self.commit(req.id, &route, path);
                 self.stats.planned += 1;
                 PlanOutcome::Planned(route)
             }
@@ -767,6 +954,10 @@ impl<S: SegmentStore + Default> Planner for SrpPlanner<S> {
             self.retire(id);
         }
         Vec::new()
+    }
+
+    fn provenance(&self, id: RequestId) -> Option<String> {
+        self.route_provenance(id).map(|p| p.to_string())
     }
 
     fn cancel(&mut self, id: RequestId) -> bool {

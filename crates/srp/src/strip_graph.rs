@@ -69,8 +69,12 @@ impl Strip {
     /// Whether `c` lies within the strip.
     pub fn contains(&self, c: Cell) -> bool {
         match self.dir {
-            StripDir::Latitudinal => c.row == self.alpha.row && (self.alpha.col..=self.beta.col).contains(&c.col),
-            StripDir::Longitudinal => c.col == self.alpha.col && (self.alpha.row..=self.beta.row).contains(&c.row),
+            StripDir::Latitudinal => {
+                c.row == self.alpha.row && (self.alpha.col..=self.beta.col).contains(&c.col)
+            }
+            StripDir::Longitudinal => {
+                c.col == self.alpha.col && (self.alpha.row..=self.beta.row).contains(&c.row)
+            }
         }
     }
 
@@ -205,7 +209,11 @@ impl StripGraph {
                     alpha: Cell::new(i, j),
                     beta: Cell::new(k, j),
                     dir: StripDir::Longitudinal,
-                    kind: if value { StripKind::Rack } else { StripKind::Aisle },
+                    kind: if value {
+                        StripKind::Rack
+                    } else {
+                        StripKind::Aisle
+                    },
                 });
                 for r in i..=k {
                     cell_to_strip[m.index_of(Cell::new(r, j)) as usize] = id;
@@ -244,12 +252,23 @@ impl StripGraph {
                     continue;
                 }
                 num_edges += 1;
-                adj[a as usize].push(StripEdge { to: b, geom: edge_geom(&sa, &sb) });
-                adj[b as usize].push(StripEdge { to: a, geom: edge_geom(&sb, &sa) });
+                adj[a as usize].push(StripEdge {
+                    to: b,
+                    geom: edge_geom(&sa, &sb),
+                });
+                adj[b as usize].push(StripEdge {
+                    to: a,
+                    geom: edge_geom(&sb, &sa),
+                });
             }
         }
 
-        StripGraph { strips, cell_to_strip, adj, num_edges }
+        StripGraph {
+            strips,
+            cell_to_strip,
+            adj,
+            num_edges,
+        }
     }
 
     /// The strip containing `cell`.
@@ -318,7 +337,11 @@ impl StripGraph {
 fn edge_geom(a: &Strip, b: &Strip) -> EdgeGeom {
     if a.dir != b.dir {
         // Perpendicular: exactly one cell of `a` is adjacent to one of `b`.
-        let (lat, lon) = if a.dir == StripDir::Latitudinal { (a, b) } else { (b, a) };
+        let (lat, lon) = if a.dir == StripDir::Latitudinal {
+            (a, b)
+        } else {
+            (b, a)
+        };
         let col = lon.alpha.col;
         let row = lat.alpha.row;
         // The longitudinal strip's end adjacent to the latitudinal row.
@@ -333,9 +356,15 @@ fn edge_geom(a: &Strip, b: &Strip) -> EdgeGeom {
         };
         let lat_cell = Cell::new(row, col.min(lat.beta.col).max(lat.alpha.col));
         if a.dir == StripDir::Latitudinal {
-            EdgeGeom::Perpendicular { u_cell: lat_cell, v_cell: lon_cell }
+            EdgeGeom::Perpendicular {
+                u_cell: lat_cell,
+                v_cell: lon_cell,
+            }
         } else {
-            EdgeGeom::Perpendicular { u_cell: lon_cell, v_cell: lat_cell }
+            EdgeGeom::Perpendicular {
+                u_cell: lon_cell,
+                v_cell: lat_cell,
+            }
         }
     } else {
         let same_line = match a.dir {
@@ -367,7 +396,10 @@ fn edge_geom(a: &Strip, b: &Strip) -> EdgeGeom {
                 StripDir::Latitudinal => (a.alpha.col, a.beta.col, b.alpha.col, b.beta.col),
                 StripDir::Longitudinal => (a.alpha.row, a.beta.row, b.alpha.row, b.beta.row),
             };
-            EdgeGeom::Lateral { lo: a_lo.max(b_lo), hi: a_hi.min(b_hi) }
+            EdgeGeom::Lateral {
+                lo: a_lo.max(b_lo),
+                hi: a_hi.min(b_hi),
+            }
         }
     }
 }
@@ -395,9 +427,17 @@ mod tests {
         // Rows 0 and 3 are latitudinal aisles. Columns 0..4 over rows 1..2:
         // col0 aisle, col1 rack, col2 rack, col3 aisle, col4 aisle.
         assert_eq!(g.num_vertices(), 7);
-        let lat = g.strips.iter().filter(|s| s.dir == StripDir::Latitudinal).count();
+        let lat = g
+            .strips
+            .iter()
+            .filter(|s| s.dir == StripDir::Latitudinal)
+            .count();
         assert_eq!(lat, 2);
-        let racks = g.strips.iter().filter(|s| s.kind == StripKind::Rack).count();
+        let racks = g
+            .strips
+            .iter()
+            .filter(|s| s.kind == StripKind::Rack)
+            .count();
         assert_eq!(racks, 2);
         // Every cell is covered by exactly one strip.
         for c in m.cells() {
@@ -488,7 +528,11 @@ mod tests {
         assert_ne!(b, c);
         assert_eq!(g.strip(a).kind, StripKind::Aisle);
         assert_eq!(g.strip(b).kind, StripKind::Rack);
-        let edge = *g.edges(a).iter().find(|e| e.to == b).expect("collinear edge");
+        let edge = *g
+            .edges(a)
+            .iter()
+            .find(|e| e.to == b)
+            .expect("collinear edge");
         match edge.geom {
             EdgeGeom::Collinear { u_cell, v_cell } => {
                 assert_eq!(u_cell, Cell::new(1, 0));

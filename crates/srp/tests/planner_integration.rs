@@ -67,19 +67,24 @@ fn many_sequential_requests_are_mutually_collision_free() {
     let mut routes: Vec<Route> = Vec::new();
     let mut infeasible = 0;
     for req in &requests {
-        match srp.plan(req) {
-            outcome => match outcome.route() {
-                Some(r) => {
-                    assert!(r.validate(srp.matrix()).is_ok(), "invalid route for {req:?}");
-                    assert!(r.start >= req.t);
-                    routes.push(r.clone());
-                }
-                None => infeasible += 1,
-            },
+        match srp.plan(req).route() {
+            Some(r) => {
+                assert!(
+                    r.validate(srp.matrix()).is_ok(),
+                    "invalid route for {req:?}"
+                );
+                assert!(r.start >= req.t);
+                routes.push(r.clone());
+            }
+            None => infeasible += 1,
         }
     }
     assert!(routes.len() >= 110, "too many infeasible: {infeasible}");
-    assert_eq!(validate_routes(&routes), None, "planner committed a collision");
+    assert_eq!(
+        validate_routes(&routes),
+        None,
+        "planner committed a collision"
+    );
 }
 
 #[test]
@@ -88,14 +93,26 @@ fn contested_origin_postpones_departure() {
     let mut srp = SrpPlanner::new(m, SrpConfig::default());
     // First robot sweeps the row through (0,0) arriving there at t=5.
     let r1 = srp
-        .plan(&Request::new(0, 0, Cell::new(0, 5), Cell::new(0, 0), QueryKind::Pickup))
+        .plan(&Request::new(
+            0,
+            0,
+            Cell::new(0, 5),
+            Cell::new(0, 0),
+            QueryKind::Pickup,
+        ))
         .route()
         .cloned()
         .expect("planned");
     assert_eq!(r1.end_time(), 5);
     // Second robot wants to depart from (0,0) at t=5 — contested instant.
     let r2 = srp
-        .plan(&Request::new(1, 5, Cell::new(0, 0), Cell::new(2, 0), QueryKind::Pickup))
+        .plan(&Request::new(
+            1,
+            5,
+            Cell::new(0, 0),
+            Cell::new(2, 0),
+            QueryKind::Pickup,
+        ))
         .route()
         .cloned()
         .expect("planned");
@@ -113,14 +130,32 @@ fn fallback_resolves_strip_level_dead_end() {
          ###.##",
     );
     // With retries disabled the planner must resort to the grid A*.
-    let mut srp = SrpPlanner::new(m.clone(), SrpConfig { retry_bumps: [0, 0, 0], ..SrpConfig::default() });
+    let mut srp = SrpPlanner::new(
+        m.clone(),
+        SrpConfig {
+            retry_bumps: [0, 0, 0],
+            ..SrpConfig::default()
+        },
+    );
     let r1 = srp
-        .plan(&Request::new(0, 0, Cell::new(1, 0), Cell::new(1, 5), QueryKind::Pickup))
+        .plan(&Request::new(
+            0,
+            0,
+            Cell::new(1, 0),
+            Cell::new(1, 5),
+            QueryKind::Pickup,
+        ))
         .route()
         .cloned()
         .expect("eastbound");
     let r2 = srp
-        .plan(&Request::new(1, 0, Cell::new(1, 5), Cell::new(1, 0), QueryKind::Pickup))
+        .plan(&Request::new(
+            1,
+            0,
+            Cell::new(1, 5),
+            Cell::new(1, 0),
+            QueryKind::Pickup,
+        ))
         .route()
         .cloned()
         .expect("westbound must succeed via fallback");
@@ -131,12 +166,24 @@ fn fallback_resolves_strip_level_dead_end() {
     // strip framework: the westbound robot simply departs later.
     let mut srp = SrpPlanner::new(m, SrpConfig::default());
     let r1 = srp
-        .plan(&Request::new(0, 0, Cell::new(1, 0), Cell::new(1, 5), QueryKind::Pickup))
+        .plan(&Request::new(
+            0,
+            0,
+            Cell::new(1, 0),
+            Cell::new(1, 5),
+            QueryKind::Pickup,
+        ))
         .route()
         .cloned()
         .expect("eastbound");
     let r2 = srp
-        .plan(&Request::new(1, 0, Cell::new(1, 5), Cell::new(1, 0), QueryKind::Pickup))
+        .plan(&Request::new(
+            1,
+            0,
+            Cell::new(1, 5),
+            Cell::new(1, 0),
+            QueryKind::Pickup,
+        ))
         .route()
         .cloned()
         .expect("westbound via retry");
@@ -159,7 +206,11 @@ fn advance_retires_finished_routes_and_frees_memory() {
     let before = srp.memory_bytes();
     assert!(srp.total_segments() > 0);
     srp.advance(last_end + 1);
-    assert_eq!(srp.total_segments(), 0, "all routes finished, stores must drain");
+    assert_eq!(
+        srp.total_segments(),
+        0,
+        "all routes finished, stores must drain"
+    );
     assert_eq!(srp.active_routes(), 0);
     assert!(srp.memory_bytes() < before);
 }
@@ -169,7 +220,13 @@ fn retired_routes_no_longer_block() {
     let m = WarehouseMatrix::empty(2, 10);
     let mut srp = SrpPlanner::new(m, SrpConfig::default());
     let r1 = srp
-        .plan(&Request::new(0, 0, Cell::new(0, 0), Cell::new(0, 9), QueryKind::Pickup))
+        .plan(&Request::new(
+            0,
+            0,
+            Cell::new(0, 0),
+            Cell::new(0, 9),
+            QueryKind::Pickup,
+        ))
         .route()
         .cloned()
         .expect("planned");
@@ -177,7 +234,13 @@ fn retired_routes_no_longer_block() {
     // A later request re-using the same corridor must get the unobstructed
     // shortest route.
     let r2 = srp
-        .plan(&Request::new(1, r1.end_time() + 1, Cell::new(0, 9), Cell::new(0, 0), QueryKind::Pickup))
+        .plan(&Request::new(
+            1,
+            r1.end_time() + 1,
+            Cell::new(0, 9),
+            Cell::new(0, 0),
+            QueryKind::Pickup,
+        ))
         .route()
         .cloned()
         .expect("planned");
@@ -197,10 +260,19 @@ fn stationary_request_is_a_point() {
 fn heuristic_and_dijkstra_agree_on_route_duration() {
     let layout = LayoutConfig::small().generate();
     let requests = generate_requests(&layout, 60, 2.0, 99);
-    let mut with_h = SrpPlanner::new(layout.matrix.clone(), SrpConfig { use_heuristic: true, ..SrpConfig::default() });
+    let mut with_h = SrpPlanner::new(
+        layout.matrix.clone(),
+        SrpConfig {
+            use_heuristic: true,
+            ..SrpConfig::default()
+        },
+    );
     let mut without_h = SrpPlanner::new(
         layout.matrix.clone(),
-        SrpConfig { use_heuristic: false, ..SrpConfig::default() },
+        SrpConfig {
+            use_heuristic: false,
+            ..SrpConfig::default()
+        },
     );
     // Edge weights depend on the entry cell of each strip, so A* and plain
     // Dijkstra may settle strips with different entry cells and produce
@@ -230,7 +302,10 @@ fn instrumented_breakdown_adds_up() {
     let layout = LayoutConfig::small().generate();
     let mut srp = SrpPlanner::new(
         layout.matrix.clone(),
-        SrpConfig { instrument: true, ..SrpConfig::default() },
+        SrpConfig {
+            instrument: true,
+            ..SrpConfig::default()
+        },
     );
     for req in generate_requests(&layout, 50, 4.0, 5) {
         srp.plan(&req);

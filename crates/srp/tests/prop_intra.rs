@@ -11,11 +11,13 @@ const STRIP_LEN: i32 = 12;
 
 fn arb_population() -> impl Strategy<Value = Vec<Segment>> {
     prop::collection::vec(
-        (1u32..30, 1i32..STRIP_LEN, 0usize..3, 0u32..8).prop_map(|(t0, s0, kind, span)| match kind {
-            0 => Segment::wait(t0, t0 + span, s0),
-            1 => Segment::travel(t0, s0, (s0 + span as i32).min(STRIP_LEN - 1)),
-            _ => Segment::travel(t0, s0, (s0 - span as i32).max(0)),
-        }),
+        (1u32..30, 1i32..STRIP_LEN, 0usize..3, 0u32..8).prop_map(
+            |(t0, s0, kind, span)| match kind {
+                0 => Segment::wait(t0, t0 + span, s0),
+                1 => Segment::travel(t0, s0, (s0 + span as i32).min(STRIP_LEN - 1)),
+                _ => Segment::travel(t0, s0, (s0 - span as i32).max(0)),
+            },
+        ),
         0..8,
     )
 }
@@ -25,13 +27,16 @@ fn arb_population() -> impl Strategy<Value = Vec<Segment>> {
 /// states pruned via discrete occupancy of the population. Mirrors the
 /// search space restrictions of Algorithm 2 (no backward moves) so its
 /// optimum is the exact reference for `plan_within`.
-fn brute_force_arrival(population: &[Segment], t0: Time, from: i32, to: i32, max_t: Time) -> Option<Time> {
+fn brute_force_arrival(
+    population: &[Segment],
+    t0: Time,
+    from: i32,
+    to: i32,
+    max_t: Time,
+) -> Option<Time> {
     let dir = if to >= from { 1 } else { -1 };
-    let occupied = |t: Time, s: i32| -> bool {
-        population
-            .iter()
-            .any(|seg| seg.pos_at(t) == Some(s))
-    };
+    let occupied =
+        |t: Time, s: i32| -> bool { population.iter().any(|seg| seg.pos_at(t) == Some(s)) };
     let swap = |t: Time, a: i32, b: i32| -> bool {
         population
             .iter()
@@ -105,7 +110,7 @@ proptest! {
             // immediate unobstructed straight line, backtracking must too.
             if let Some(opt) = optimal {
                 prop_assert!(
-                    opt > t0 + (to - from).abs() as Time,
+                    opt > t0 + (to - from).unsigned_abs(),
                     "backtracking missed the trivially free straight line (opt {})",
                     opt
                 );

@@ -1,0 +1,76 @@
+//! Differential shadow-store mode (feature `shadow-store`): the SRP
+//! planner with [`ShadowStore`] runs the slope index and the naive ordered
+//! set side by side, asserting identical collision answers on **every**
+//! store query. Any divergence panics inside the store, so a green run is
+//! a proof that the two collision back-ends agreed over the whole stream.
+#![cfg(feature = "shadow-store")]
+
+use carp_geometry::ShadowStore;
+use carp_srp::{PlannerPath, SrpConfig, SrpPlanner};
+use carp_warehouse::collision::{validate_routes, IncrementalAuditor};
+use carp_warehouse::layout::LayoutConfig;
+use carp_warehouse::planner::{PlanOutcome, Planner};
+use carp_warehouse::tasks::generate_requests;
+
+#[test]
+fn shadow_mode_validates_a_full_small_stream_without_divergence() {
+    let layout = LayoutConfig::small().generate();
+    let mut planner =
+        SrpPlanner::<ShadowStore>::with_store(layout.matrix.clone(), SrpConfig::default());
+    let requests = generate_requests(&layout, 120, 4.0, 42);
+    let mut auditor = IncrementalAuditor::new();
+    let mut routes = Vec::new();
+    for req in &requests {
+        if let PlanOutcome::Planned(r) = planner.plan(req) {
+            // Online audit on top of the differential stores: the stores
+            // agreeing is necessary, the routes being conflict-free is the
+            // end-to-end guarantee.
+            if let Err(c) = auditor.commit(req.id, &r) {
+                panic!(
+                    "shadow-mode stream leaked a conflict: {c}\n  incoming provenance: {}\n  existing provenance: {}",
+                    planner.provenance(c.incoming).unwrap_or_default(),
+                    planner.provenance(c.existing).unwrap_or_default(),
+                );
+            }
+            routes.push(r);
+        }
+    }
+    assert!(
+        routes.len() >= 114,
+        "only {} of {} planned",
+        routes.len(),
+        requests.len()
+    );
+    assert_eq!(validate_routes(&routes), None);
+}
+
+#[test]
+fn shadow_mode_supports_cancel_and_retirement() {
+    let layout = LayoutConfig::small().generate();
+    let mut planner =
+        SrpPlanner::<ShadowStore>::with_store(layout.matrix.clone(), SrpConfig::default());
+    let requests = generate_requests(&layout, 40, 3.0, 7);
+    let mut planned = Vec::new();
+    for req in &requests {
+        if let PlanOutcome::Planned(r) = planner.plan(req) {
+            assert!(planner
+                .route_provenance(req.id)
+                .is_some_and(|p| p.path != PlannerPath::External));
+            planned.push((req.id, r));
+        }
+    }
+    // Cancel every other route, then retire the rest via advance().
+    for (i, (id, _)) in planned.iter().enumerate() {
+        if i % 2 == 0 {
+            assert!(planner.cancel(*id));
+        }
+    }
+    let horizon = planned.iter().map(|(_, r)| r.end_time()).max().unwrap_or(0);
+    planner.advance(horizon + 1);
+    assert_eq!(
+        planner.total_segments(),
+        0,
+        "all shadowed segments released"
+    );
+    assert_eq!(planner.active_routes(), 0);
+}

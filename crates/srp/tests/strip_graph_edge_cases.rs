@@ -41,7 +41,13 @@ fn single_free_column_is_many_rows() {
     // And routing along it works.
     let mut srp = SrpPlanner::new(m, SrpConfig::default());
     let r = srp
-        .plan(&Request::new(0, 0, Cell::new(0, 0), Cell::new(19, 0), QueryKind::Pickup))
+        .plan(&Request::new(
+            0,
+            0,
+            Cell::new(0, 0),
+            Cell::new(19, 0),
+            QueryKind::Pickup,
+        ))
         .route()
         .cloned()
         .expect("route");
@@ -72,7 +78,10 @@ fn checkerboard_degenerates_to_unit_strips() {
     assert_partition(&m, &g);
     // All strips are single cells except the two free border rows.
     let unit = g.strips.iter().filter(|s| s.len() == 1).count();
-    assert!(unit >= 8 * 6 - 2, "checkerboard must shatter into unit strips, got {unit}");
+    assert!(
+        unit >= 8 * 6 - 2,
+        "checkerboard must shatter into unit strips, got {unit}"
+    );
 }
 
 #[test]
@@ -86,7 +95,11 @@ fn solid_rack_block_with_ring() {
     );
     let g = StripGraph::build(&m);
     assert_partition(&m, &g);
-    let racks: Vec<_> = g.strips.iter().filter(|s| s.kind == StripKind::Rack).collect();
+    let racks: Vec<_> = g
+        .strips
+        .iter()
+        .filter(|s| s.kind == StripKind::Rack)
+        .collect();
     assert_eq!(racks.len(), 4, "one rack strip per column of the block");
     for r in &racks {
         assert_eq!(r.len(), 3);
@@ -96,7 +109,13 @@ fn solid_rack_block_with_ring() {
     let mut srp = SrpPlanner::new(m, SrpConfig::default());
     let edge_rack = Cell::new(2, 1);
     let r = srp
-        .plan(&Request::new(0, 0, Cell::new(0, 0), edge_rack, QueryKind::Pickup))
+        .plan(&Request::new(
+            0,
+            0,
+            Cell::new(0, 0),
+            edge_rack,
+            QueryKind::Pickup,
+        ))
         .route()
         .cloned()
         .expect("edge rack reachable");
@@ -114,8 +133,17 @@ fn interior_rack_cell_is_unreachable_and_reported() {
     );
     let mut srp = SrpPlanner::new(m, SrpConfig::default());
     // (2,2) is enclosed by racks on all four sides: no legal final step.
-    let outcome = srp.plan(&Request::new(0, 0, Cell::new(0, 0), Cell::new(2, 2), QueryKind::Pickup));
-    assert!(outcome.route().is_none(), "interior rack cells have no access step");
+    let outcome = srp.plan(&Request::new(
+        0,
+        0,
+        Cell::new(0, 0),
+        Cell::new(2, 2),
+        QueryKind::Pickup,
+    ));
+    assert!(
+        outcome.route().is_none(),
+        "interior rack cells have no access step"
+    );
 }
 
 #[test]
@@ -129,12 +157,22 @@ fn horizontal_rack_bars_become_longitudinal_unit_runs() {
     );
     let g = StripGraph::build(&m);
     assert_partition(&m, &g);
-    let racks = g.strips.iter().filter(|s| s.kind == StripKind::Rack).count();
+    let racks = g
+        .strips
+        .iter()
+        .filter(|s| s.kind == StripKind::Rack)
+        .count();
     assert_eq!(racks, 5);
     // The two free rows must NOT be connected (the rack bar separates
     // them; rack strips are only endpoints).
     let mut srp = SrpPlanner::new(m, SrpConfig::default());
-    let outcome = srp.plan(&Request::new(0, 0, Cell::new(0, 0), Cell::new(2, 4), QueryKind::Pickup));
+    let outcome = srp.plan(&Request::new(
+        0,
+        0,
+        Cell::new(0, 0),
+        Cell::new(2, 4),
+        QueryKind::Pickup,
+    ));
     assert!(outcome.route().is_none(), "the rack bar must be impassable");
 }
 

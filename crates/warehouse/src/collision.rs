@@ -11,6 +11,7 @@
 //! against; it deliberately favours clarity and exactness over speed (the
 //! fast path is the segment geometry in `carp-geometry`).
 
+use crate::request::RequestId;
 use crate::route::Route;
 use crate::types::{Cell, Time};
 use std::collections::HashMap;
@@ -41,6 +42,16 @@ pub struct Conflict {
     pub routes: (usize, usize),
 }
 
+impl Conflict {
+    /// Half-step ordering key: a swap reported at `t` physically occurs at
+    /// `t + ½`, strictly after a vertex conflict at `t` and strictly before
+    /// one at `t + 1`. Matches `SegCollision::order_key` in `carp-geometry`.
+    #[inline]
+    pub fn order_key(&self) -> u64 {
+        (self.time as u64) << 1 | matches!(self.kind, ConflictKind::Swap) as u64
+    }
+}
+
 /// Find the earliest conflict between two routes, or `None` if they are
 /// compatible. Exhaustive over the overlapping time range — O(min duration).
 pub fn first_conflict(a: &Route, b: &Route) -> Option<Conflict> {
@@ -53,13 +64,23 @@ pub fn first_conflict(a: &Route, b: &Route) -> Option<Conflict> {
         let pa = a.position_at(t).expect("t within a's span");
         let pb = b.position_at(t).expect("t within b's span");
         if pa == pb {
-            return Some(Conflict { kind: ConflictKind::Vertex, time: t, cell: pa, routes: (0, 1) });
+            return Some(Conflict {
+                kind: ConflictKind::Vertex,
+                time: t,
+                cell: pa,
+                routes: (0, 1),
+            });
         }
         if t < hi {
             let na = a.position_at(t + 1).expect("t+1 within a's span");
             let nb = b.position_at(t + 1).expect("t+1 within b's span");
             if na == pb && nb == pa && pa != na {
-                return Some(Conflict { kind: ConflictKind::Swap, time: t, cell: pa, routes: (0, 1) });
+                return Some(Conflict {
+                    kind: ConflictKind::Swap,
+                    time: t,
+                    cell: pa,
+                    routes: (0, 1),
+                });
             }
         }
     }
@@ -80,8 +101,10 @@ pub fn validate_routes(routes: &[Route]) -> Option<Conflict> {
     // j moved (v -> u) at t.
     let mut motions: HashMap<(Cell, Cell, Time), usize> = HashMap::new();
     let mut best: Option<Conflict> = None;
+    // Half-step ordering: a vertex at `t` beats a swap at `t` (which occurs
+    // at `t + ½`); among equal keys the first found wins.
     let mut consider = |c: Conflict| {
-        if best.map_or(true, |b| c.time < b.time) {
+        if best.is_none_or(|b| c.order_key() < b.order_key()) {
             best = Some(c);
         }
     };
@@ -89,7 +112,12 @@ pub fn validate_routes(routes: &[Route]) -> Option<Conflict> {
     for (i, r) in routes.iter().enumerate() {
         for (t, cell) in r.occupancy() {
             if let Some(&j) = occupancy.get(&(cell, t)) {
-                consider(Conflict { kind: ConflictKind::Vertex, time: t, cell, routes: (j, i) });
+                consider(Conflict {
+                    kind: ConflictKind::Vertex,
+                    time: t,
+                    cell,
+                    routes: (j, i),
+                });
             } else {
                 occupancy.insert((cell, t), i);
             }
@@ -100,7 +128,12 @@ pub fn validate_routes(routes: &[Route]) -> Option<Conflict> {
             }
             let t = r.start + k as Time;
             if let Some(&j) = motions.get(&(w[1], w[0], t)) {
-                consider(Conflict { kind: ConflictKind::Swap, time: t, cell: w[0], routes: (j, i) });
+                consider(Conflict {
+                    kind: ConflictKind::Swap,
+                    time: t,
+                    cell: w[0],
+                    routes: (j, i),
+                });
             }
             motions.insert((w[0], w[1], t), i);
         }
@@ -111,6 +144,180 @@ pub fn validate_routes(routes: &[Route]) -> Option<Conflict> {
 /// Convenience: `true` when the set of routes is collision-free (Def. 3).
 pub fn is_collision_free(routes: &[Route]) -> bool {
     validate_routes(routes).is_none()
+}
+
+/// A conflict detected by the [`IncrementalAuditor`], identifying the two
+/// offending routes by request id rather than slice index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditConflict {
+    /// Kind of the conflict.
+    pub kind: ConflictKind,
+    /// Time of the conflict (floor convention for swaps, as in [`Conflict`]).
+    pub time: Time,
+    /// Grid of the conflict: the shared grid for vertex conflicts, the grid
+    /// occupied by the incoming route at `time` for swap conflicts.
+    pub cell: Cell,
+    /// The route already held by the auditor.
+    pub existing: RequestId,
+    /// The route whose commit was refused.
+    pub incoming: RequestId,
+}
+
+impl AuditConflict {
+    /// Half-step ordering key; see [`Conflict::order_key`].
+    #[inline]
+    pub fn order_key(&self) -> u64 {
+        (self.time as u64) << 1 | matches!(self.kind, ConflictKind::Swap) as u64
+    }
+}
+
+impl core::fmt::Display for AuditConflict {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{:?} conflict at t={} cell={} between committed request {} and incoming request {}",
+            self.kind, self.time, self.cell, self.existing, self.incoming
+        )
+    }
+}
+
+/// Online ground-truth auditor: maintains the `(cell, time)` occupancy and
+/// `(from, to, time)` motion maps of all currently committed routes so each
+/// new plan can be checked the moment it is committed, in O(route length),
+/// instead of re-validating the whole set.
+///
+/// The accepted set is collision-free by construction (a conflicting commit
+/// is refused and **not** inserted), so every map entry belongs to exactly
+/// one route and [`IncrementalAuditor::cancel`] / `retire` are exact
+/// inverses of [`IncrementalAuditor::commit`]: a commit → cancel → recommit
+/// cycle reproduces the same verdicts as batch [`validate_routes`].
+#[derive(Debug, Default, Clone)]
+pub struct IncrementalAuditor {
+    occupancy: HashMap<(Cell, Time), RequestId>,
+    motions: HashMap<(Cell, Cell, Time), RequestId>,
+    routes: HashMap<RequestId, Route>,
+}
+
+impl IncrementalAuditor {
+    /// Create an empty auditor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of committed routes.
+    pub fn active(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether no routes are committed.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// The committed route of a request, if any.
+    pub fn route(&self, id: RequestId) -> Option<&Route> {
+        self.routes.get(&id)
+    }
+
+    /// Audit `route` against every committed route and, when it is
+    /// compatible, commit it. On conflict the earliest offence (half-step
+    /// ordering) is returned and the auditor state is left unchanged.
+    ///
+    /// # Panics
+    /// Panics when `id` is already committed — cancel it first (route
+    /// revisions must be modelled as cancel + commit).
+    pub fn commit(&mut self, id: RequestId, route: &Route) -> Result<(), AuditConflict> {
+        assert!(
+            !self.routes.contains_key(&id),
+            "request {id} is already committed; cancel it before recommitting"
+        );
+        let mut best: Option<AuditConflict> = None;
+        let mut consider = |c: AuditConflict| {
+            if best.is_none_or(|b| c.order_key() < b.order_key()) {
+                best = Some(c);
+            }
+        };
+        for (t, cell) in route.occupancy() {
+            if let Some(&j) = self.occupancy.get(&(cell, t)) {
+                consider(AuditConflict {
+                    kind: ConflictKind::Vertex,
+                    time: t,
+                    cell,
+                    existing: j,
+                    incoming: id,
+                });
+            }
+        }
+        for (k, w) in route.grids.windows(2).enumerate() {
+            if w[0] == w[1] {
+                continue;
+            }
+            let t = route.start + k as Time;
+            if let Some(&j) = self.motions.get(&(w[1], w[0], t)) {
+                consider(AuditConflict {
+                    kind: ConflictKind::Swap,
+                    time: t,
+                    cell: w[0],
+                    existing: j,
+                    incoming: id,
+                });
+            }
+        }
+        if let Some(c) = best {
+            return Err(c);
+        }
+        for (t, cell) in route.occupancy() {
+            self.occupancy.insert((cell, t), id);
+        }
+        for (k, w) in route.grids.windows(2).enumerate() {
+            if w[0] == w[1] {
+                continue;
+            }
+            self.motions
+                .insert((w[0], w[1], route.start + k as Time), id);
+        }
+        self.routes.insert(id, route.clone());
+        Ok(())
+    }
+
+    /// Remove a committed route (the task was aborted); its occupancy and
+    /// motions are released. Returns `false` when `id` is unknown.
+    pub fn cancel(&mut self, id: RequestId) -> bool {
+        let Some(route) = self.routes.remove(&id) else {
+            return false;
+        };
+        for (t, cell) in route.occupancy() {
+            let removed = self.occupancy.remove(&(cell, t));
+            debug_assert_eq!(removed, Some(id), "occupancy owned by exactly one route");
+        }
+        for (k, w) in route.grids.windows(2).enumerate() {
+            if w[0] == w[1] {
+                continue;
+            }
+            let removed = self.motions.remove(&(w[0], w[1], route.start + k as Time));
+            debug_assert_eq!(removed, Some(id), "motion owned by exactly one route");
+        }
+        true
+    }
+
+    /// Remove a committed route that finished executing. State-wise this is
+    /// identical to [`IncrementalAuditor::cancel`]; the separate name keeps
+    /// call sites honest about *why* a route leaves the audit set.
+    pub fn retire(&mut self, id: RequestId) -> bool {
+        self.cancel(id)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        crate::memory::hashmap_bytes(&self.occupancy)
+            + crate::memory::hashmap_bytes(&self.motions)
+            + crate::memory::hashmap_bytes(&self.routes)
+            + self
+                .routes
+                .values()
+                .map(|r| crate::memory::vec_bytes(&r.grids))
+                .sum::<usize>()
+    }
 }
 
 #[cfg(test)]
@@ -185,7 +392,10 @@ mod tests {
         let conflict = validate_routes(&[a.clone(), b, c.clone()]).expect("conflict");
         assert_eq!(conflict.kind, ConflictKind::Vertex);
         assert_eq!(conflict.time, 1);
-        assert_eq!(first_conflict(&a, &c).map(|x| (x.kind, x.time)), Some((ConflictKind::Vertex, 1)));
+        assert_eq!(
+            first_conflict(&a, &c).map(|x| (x.kind, x.time)),
+            Some((ConflictKind::Vertex, 1))
+        );
     }
 
     #[test]
@@ -204,5 +414,119 @@ mod tests {
         let early = route(0, &[(0, 1), (0, 1)]); // vertex at t=1
         let c = validate_routes(&[a, late, early]).expect("conflict");
         assert_eq!(c.time, 1);
+    }
+
+    #[test]
+    fn vertex_beats_swap_at_the_same_floor_time() {
+        // a and b swap between t=1 and t=2 (reported at floor t=1); c has a
+        // vertex conflict with a at exactly t=1. The swap occurs at t=1+½,
+        // so the vertex must win even though the swap is discovered first.
+        let a = route(0, &[(0, 0), (0, 1), (0, 2)]);
+        let b = route(0, &[(1, 2), (0, 2), (0, 1)]);
+        let c = route(1, &[(0, 1), (1, 1)]);
+        let found = validate_routes(&[a.clone(), b.clone(), c.clone()]).expect("conflict");
+        assert_eq!(
+            first_conflict(&a, &b).map(|x| (x.kind, x.time)),
+            Some((ConflictKind::Swap, 1))
+        );
+        assert_eq!(
+            first_conflict(&a, &c).map(|x| (x.kind, x.time)),
+            Some((ConflictKind::Vertex, 1))
+        );
+        assert_eq!((found.kind, found.time), (ConflictKind::Vertex, 1));
+        assert!(
+            Conflict {
+                kind: ConflictKind::Vertex,
+                time: 1,
+                cell: Cell::new(0, 1),
+                routes: (0, 2)
+            }
+            .order_key()
+                < Conflict {
+                    kind: ConflictKind::Swap,
+                    time: 1,
+                    cell: Cell::new(0, 1),
+                    routes: (0, 1)
+                }
+                .order_key()
+        );
+    }
+
+    #[test]
+    fn auditor_accepts_compatible_and_refuses_conflicting_commits() {
+        let mut aud = IncrementalAuditor::new();
+        let a = route(0, &[(0, 0), (0, 1), (0, 2), (0, 3)]);
+        let follower = route(1, &[(0, 0), (0, 1), (0, 2)]);
+        assert_eq!(aud.commit(1, &a), Ok(()));
+        assert_eq!(aud.commit(2, &follower), Ok(()));
+        assert_eq!(aud.active(), 2);
+
+        // Head-on against a: swap between t=1 and t=2.
+        let head_on = route(0, &[(0, 3), (0, 2), (0, 1), (0, 0)]);
+        let err = aud.commit(3, &head_on).expect_err("swap detected");
+        assert_eq!(err.kind, ConflictKind::Swap);
+        assert_eq!(err.existing, 1);
+        assert_eq!(err.incoming, 3);
+        // A refused commit leaves no trace.
+        assert_eq!(aud.active(), 2);
+        assert!(aud.route(3).is_none());
+    }
+
+    #[test]
+    fn auditor_reports_earliest_conflict_with_half_step_ordering() {
+        let mut aud = IncrementalAuditor::new();
+        // Route 7 moves (0,1)→(1,1) at t=1; route 9 sits on (1,1) at t=1.
+        assert_eq!(aud.commit(7, &route(1, &[(0, 1), (1, 1)])), Ok(()));
+        assert_eq!(aud.commit(9, &route(1, &[(1, 1)])), Ok(()));
+        // The incoming route swaps with 7 (between t=1 and 2 ⇒ key 1+½) and
+        // has a vertex against 9 at exactly t=1; the vertex must win.
+        let incoming = route(1, &[(1, 1), (0, 1)]);
+        let err = aud.commit(8, &incoming).expect_err("conflict");
+        assert_eq!((err.kind, err.time), (ConflictKind::Vertex, 1));
+        assert_eq!(err.existing, 9);
+    }
+
+    #[test]
+    fn auditor_cancel_releases_capacity() {
+        let mut aud = IncrementalAuditor::new();
+        let a = route(0, &[(0, 0), (0, 1)]);
+        let b = route(0, &[(0, 1), (0, 0)]); // swaps with a
+        assert_eq!(aud.commit(1, &a), Ok(()));
+        assert!(aud.commit(2, &b).is_err());
+        assert!(aud.cancel(1));
+        assert!(!aud.cancel(1), "double cancel must fail");
+        assert_eq!(aud.commit(2, &b), Ok(()));
+        assert!(aud.retire(2));
+        assert!(aud.is_empty());
+    }
+
+    #[test]
+    fn auditor_agrees_with_batch_validator() {
+        let routes = [
+            route(0, &[(0, 0), (0, 1), (0, 2), (0, 3)]),
+            route(1, &[(0, 0), (0, 1), (0, 2)]),
+            route(0, &[(2, 2), (1, 2), (1, 1)]),
+            route(2, &[(1, 1), (1, 2)]), // vertex with the third route at t=2
+        ];
+        let batch = validate_routes(&routes);
+        let mut aud = IncrementalAuditor::new();
+        let mut first_refused = None;
+        for (i, r) in routes.iter().enumerate() {
+            if let Err(c) = aud.commit(i as RequestId, r) {
+                first_refused.get_or_insert(c);
+            }
+        }
+        let batch = batch.expect("the set conflicts");
+        let online = first_refused.expect("the auditor refuses a commit");
+        assert_eq!((batch.kind, batch.time), (online.kind, online.time));
+    }
+
+    #[test]
+    #[should_panic(expected = "already committed")]
+    fn auditor_rejects_duplicate_ids() {
+        let mut aud = IncrementalAuditor::new();
+        let a = route(0, &[(0, 0), (0, 1)]);
+        let _ = aud.commit(1, &a);
+        let _ = aud.commit(1, &route(5, &[(3, 3)]));
     }
 }

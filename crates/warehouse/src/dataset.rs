@@ -55,7 +55,9 @@ impl core::fmt::Display for DatasetError {
                 write!(f, "dataset version {found}, expected {DATASET_VERSION}")
             }
             DatasetError::UnsortedTasks => write!(f, "task stream not sorted by arrival"),
-            DatasetError::InvalidTask { index } => write!(f, "task {index} is inconsistent with the layout"),
+            DatasetError::InvalidTask { index } => {
+                write!(f, "task {index} is inconsistent with the layout")
+            }
         }
     }
 }
@@ -71,7 +73,12 @@ impl From<serde_json::Error> for DatasetError {
 impl Dataset {
     /// Bundle a scenario.
     pub fn new(name: impl Into<String>, layout: LayoutConfig, tasks: Vec<Task>) -> Self {
-        Dataset { version: DATASET_VERSION, name: name.into(), layout, tasks }
+        Dataset {
+            version: DATASET_VERSION,
+            name: name.into(),
+            layout,
+            tasks,
+        }
     }
 
     /// Serialize to pretty JSON.
@@ -145,7 +152,10 @@ mod tests {
         let mut ds = sample();
         ds.tasks.reverse();
         let json = serde_json::to_string(&ds).unwrap();
-        assert!(matches!(Dataset::from_json(&json), Err(DatasetError::UnsortedTasks)));
+        assert!(matches!(
+            Dataset::from_json(&json),
+            Err(DatasetError::UnsortedTasks)
+        ));
     }
 
     #[test]
@@ -155,11 +165,17 @@ mod tests {
         ds.tasks[0].rack = Cell::new(0, 0);
         ds.tasks.sort_by_key(|t| t.arrival);
         let json = serde_json::to_string(&ds).unwrap();
-        assert!(matches!(Dataset::from_json(&json), Err(DatasetError::InvalidTask { .. })));
+        assert!(matches!(
+            Dataset::from_json(&json),
+            Err(DatasetError::InvalidTask { .. })
+        ));
     }
 
     #[test]
     fn garbage_json_is_an_error() {
-        assert!(matches!(Dataset::from_json("{not json"), Err(DatasetError::Json(_))));
+        assert!(matches!(
+            Dataset::from_json("{not json"),
+            Err(DatasetError::Json(_))
+        ));
     }
 }

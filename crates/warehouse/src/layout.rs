@@ -102,7 +102,11 @@ pub enum WarehousePreset {
 
 impl WarehousePreset {
     /// All presets, smallest first.
-    pub const ALL: [WarehousePreset; 3] = [WarehousePreset::W1, WarehousePreset::W2, WarehousePreset::W3];
+    pub const ALL: [WarehousePreset; 3] = [
+        WarehousePreset::W1,
+        WarehousePreset::W2,
+        WarehousePreset::W3,
+    ];
 
     /// Display name matching the paper ("W-1" …).
     pub fn name(self) -> &'static str {
@@ -265,12 +269,17 @@ impl LayoutConfig {
 
         // Robot spawns: spread over the free cells of the latitudinal aisle
         // rows (top margin + band gaps), round-robin.
-        let mut aisle_rows: Vec<u16> = (0..self.rows).filter(|&i| matrix.row_is_all_free(i)).collect();
+        let mut aisle_rows: Vec<u16> = (0..self.rows)
+            .filter(|&i| matrix.row_is_all_free(i))
+            .collect();
         // Keep the picker row free of parked robots.
         aisle_rows.retain(|&i| i != picker_row);
         let mut robot_spawns = Vec::with_capacity(self.robots as usize);
         let total_slots = aisle_rows.len() as u32 * self.cols as u32;
-        assert!(total_slots >= self.robots as u32, "not enough aisle cells for robots");
+        assert!(
+            total_slots >= self.robots as u32,
+            "not enough aisle cells for robots"
+        );
         for r in 0..self.robots as u32 {
             let slot = r * total_slots / self.robots as u32;
             let row = aisle_rows[(slot / self.cols as u32) as usize];
@@ -313,7 +322,11 @@ mod tests {
         let l = LayoutConfig::small().generate();
         let stats = l.stats();
         assert_eq!(stats.racks, l.rack_cells.len());
-        assert!(stats.racks as u32 >= 96, "close to target 128, got {}", stats.racks);
+        assert!(
+            stats.racks as u32 >= 96,
+            "close to target 128, got {}",
+            stats.racks
+        );
         for &c in &l.pickers {
             assert!(l.matrix.is_free(c), "picker on rack at {c}");
         }
@@ -330,10 +343,7 @@ mod tests {
         // Every rack cell has a free cell laterally adjacent (rack endpoints
         // must be reachable with one perpendicular step).
         for &c in &l.rack_cells {
-            let reachable = l
-                .matrix
-                .free_neighbors(c)
-                .any(|n| n.row == c.row);
+            let reachable = l.matrix.free_neighbors(c).any(|n| n.row == c.row);
             assert!(reachable, "rack {c} has no lateral aisle access");
         }
     }

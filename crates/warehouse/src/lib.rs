@@ -35,11 +35,13 @@ pub mod route;
 pub mod tasks;
 pub mod types;
 
-pub use collision::{first_conflict, validate_routes, Conflict, ConflictKind};
+pub use collision::{
+    first_conflict, validate_routes, AuditConflict, Conflict, ConflictKind, IncrementalAuditor,
+};
 pub use dataset::{Dataset, DatasetError};
 pub use layout::{LayoutConfig, LayoutStats, WarehousePreset};
-pub use matrix::WarehouseMatrix;
-pub use planner::{Planner, PlanOutcome};
+pub use matrix::{AsciiMapError, WarehouseMatrix};
+pub use planner::{PlanOutcome, Planner};
 pub use request::{QueryKind, Request, RequestId};
 pub use route::Route;
 pub use types::{Cell, Dir, Time, INFINITY_TIME};

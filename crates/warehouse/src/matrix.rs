@@ -4,6 +4,39 @@
 use crate::types::{Cell, Dir};
 use serde::{Deserialize, Serialize};
 
+/// Why an ASCII map failed to parse (see [`WarehouseMatrix::try_from_ascii`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AsciiMapError {
+    /// The map has no non-blank lines.
+    Empty,
+    /// A line's length differs from the first line's (0-based index).
+    Ragged {
+        /// 0-based index of the offending line.
+        line: usize,
+    },
+    /// A character is neither a rack (`#`/`@`/`T`) nor an aisle (`.`/` `).
+    UnknownChar {
+        /// 0-based index of the offending line.
+        line: usize,
+        /// The unrecognized character.
+        ch: char,
+    },
+}
+
+impl core::fmt::Display for AsciiMapError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AsciiMapError::Empty => write!(f, "empty ascii map"),
+            AsciiMapError::Ragged { line } => write!(f, "ragged ascii map at line {line}"),
+            AsciiMapError::UnknownChar { line, ch } => {
+                write!(f, "unknown map character {ch:?} at line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsciiMapError {}
+
 /// Grid matrix representation of a warehouse (Definition 1).
 ///
 /// Stored as a dense bit-per-cell vector for cache-friendly scanning; all
@@ -36,25 +69,36 @@ impl WarehouseMatrix {
     /// aisles. Lines must be equal length. Convenient for tests and examples.
     ///
     /// # Panics
-    /// Panics on ragged lines, unknown characters, or an empty map.
+    /// Panics on ragged lines, unknown characters, or an empty map; see
+    /// [`Self::try_from_ascii`] for the fallible companion.
     pub fn from_ascii(map: &str) -> Self {
+        Self::try_from_ascii(map).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible companion of [`Self::from_ascii`] for untrusted input
+    /// (CLI-supplied map files): returns a parse error instead of panicking.
+    pub fn try_from_ascii(map: &str) -> Result<Self, AsciiMapError> {
         let lines: Vec<&str> = map.lines().filter(|l| !l.trim().is_empty()).collect();
-        assert!(!lines.is_empty(), "empty ascii map");
+        if lines.is_empty() {
+            return Err(AsciiMapError::Empty);
+        }
         let cols = lines[0].trim().len();
         let mut m = WarehouseMatrix::empty(lines.len() as u16, cols as u16);
         for (i, line) in lines.iter().enumerate() {
             let line = line.trim();
-            assert_eq!(line.len(), cols, "ragged ascii map at line {i}");
+            if line.len() != cols {
+                return Err(AsciiMapError::Ragged { line: i });
+            }
             for (j, ch) in line.chars().enumerate() {
                 let rack = match ch {
                     '#' | '@' | 'T' => true,
                     '.' | ' ' => false,
-                    other => panic!("unknown map character {other:?}"),
+                    other => return Err(AsciiMapError::UnknownChar { line: i, ch: other }),
                 };
                 m.set_rack(Cell::new(i as u16, j as u16), rack);
             }
         }
-        m
+        Ok(m)
     }
 
     /// Render the matrix as an ASCII map (inverse of [`Self::from_ascii`]).
@@ -62,7 +106,11 @@ impl WarehouseMatrix {
         let mut out = String::with_capacity((self.cols as usize + 1) * self.rows as usize);
         for i in 0..self.rows {
             for j in 0..self.cols {
-                out.push(if self.is_rack(Cell::new(i, j)) { '#' } else { '.' });
+                out.push(if self.is_rack(Cell::new(i, j)) {
+                    '#'
+                } else {
+                    '.'
+                });
             }
             out.push('\n');
         }
@@ -103,7 +151,10 @@ impl WarehouseMatrix {
     #[inline]
     pub fn cell_of(&self, idx: u32) -> Cell {
         debug_assert!((idx as usize) < self.racks.len());
-        Cell::new((idx / self.cols as u32) as u16, (idx % self.cols as u32) as u16)
+        Cell::new(
+            (idx / self.cols as u32) as u16,
+            (idx % self.cols as u32) as u16,
+        )
     }
 
     /// Whether the cell lies inside the matrix.
@@ -155,7 +206,9 @@ impl WarehouseMatrix {
     /// long latitudinal aisle strips of Algorithm 1.
     pub fn row_is_all_free(&self, i: u16) -> bool {
         let start = i as usize * self.cols as usize;
-        self.racks[start..start + self.cols as usize].iter().all(|&r| !r)
+        self.racks[start..start + self.cols as usize]
+            .iter()
+            .all(|&r| !r)
     }
 
     /// Number of undirected grid-graph edges between free or rack cells —
@@ -228,5 +281,31 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn ragged_ascii_rejected() {
         WarehouseMatrix::from_ascii("...\n..\n");
+    }
+
+    #[test]
+    fn try_from_ascii_reports_errors_instead_of_panicking() {
+        assert_eq!(
+            WarehouseMatrix::try_from_ascii("\n  \n"),
+            Err(AsciiMapError::Empty)
+        );
+        assert_eq!(
+            WarehouseMatrix::try_from_ascii("...\n..\n"),
+            Err(AsciiMapError::Ragged { line: 1 })
+        );
+        assert_eq!(
+            WarehouseMatrix::try_from_ascii("...\n.x.\n"),
+            Err(AsciiMapError::UnknownChar { line: 1, ch: 'x' })
+        );
+        let ok = WarehouseMatrix::try_from_ascii(".#.\n...\n").expect("valid map");
+        assert_eq!(ok.num_racks(), 1);
+        // Error messages are stable (the panicking wrapper relies on them).
+        assert_eq!(
+            AsciiMapError::Ragged { line: 3 }.to_string(),
+            "ragged ascii map at line 3"
+        );
+        assert!(AsciiMapError::UnknownChar { line: 0, ch: '?' }
+            .to_string()
+            .contains("unknown map character"));
     }
 }

@@ -56,6 +56,17 @@ pub trait Planner {
     /// data-structure accounting rather than JVM heap sampling.
     fn memory_bytes(&self) -> usize;
 
+    /// Human-readable provenance of a committed route: which internal
+    /// search path produced it (direct search, retry, fallback, …) plus any
+    /// planner-specific structure (strip chain, boundary crossings). Purely
+    /// diagnostic — the audit layer attaches it to conflict reports so a
+    /// bad route can be traced to the code path that emitted it. Planners
+    /// without provenance tracking return `None` (the default).
+    fn provenance(&self, id: RequestId) -> Option<String> {
+        let _ = id;
+        None
+    }
+
     /// Cancel a committed route (the task was aborted): its reservations /
     /// segments are released so later requests may use the freed capacity.
     ///
@@ -95,6 +106,9 @@ impl<P: Planner + ?Sized> Planner for Box<P> {
     }
     fn memory_bytes(&self) -> usize {
         (**self).memory_bytes()
+    }
+    fn provenance(&self, id: RequestId) -> Option<String> {
+        (**self).provenance(id)
     }
     fn cancel(&mut self, id: RequestId) -> bool {
         (**self).cancel(id)
@@ -143,8 +157,20 @@ mod tests {
             }
         }
         let reqs = vec![
-            Request::new(0, 0, Cell::new(0, 0), Cell::new(9, 9), crate::QueryKind::Pickup),
-            Request::new(1, 0, Cell::new(5, 5), Cell::new(5, 6), crate::QueryKind::Pickup),
+            Request::new(
+                0,
+                0,
+                Cell::new(0, 0),
+                Cell::new(9, 9),
+                crate::QueryKind::Pickup,
+            ),
+            Request::new(
+                1,
+                0,
+                Cell::new(5, 5),
+                Cell::new(5, 6),
+                crate::QueryKind::Pickup,
+            ),
         ];
         let outcomes = Echo.plan_batch(&reqs);
         assert_eq!(outcomes.len(), 2);

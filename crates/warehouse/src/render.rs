@@ -105,6 +105,32 @@ pub fn space_time_diagram(trajectories: &[(char, Vec<i32>, Time)]) -> String {
     out
 }
 
+/// Space-time timeline of two conflicting grid routes: their row and column
+/// coordinates over time, rendered as two [`space_time_diagram`]s with the
+/// time axis anchored at the earlier start. A vertex conflict shows as an
+/// `X` at the same instant in *both* projections; a swap shows as adjacent
+/// coordinates exchanging between two instants. Used by the audit layer's
+/// failure repros.
+pub fn conflict_timeline(a: &Route, b: &Route) -> String {
+    let base = a.start.min(b.start);
+    let proj = |r: &Route, f: fn(Cell) -> i32| -> (char, Vec<i32>, Time) {
+        ('?', r.grids.iter().map(|&c| f(c)).collect(), r.start - base)
+    };
+    let label = |mut t: (char, Vec<i32>, Time), ch: char| {
+        t.0 = ch;
+        t
+    };
+    let rows = space_time_diagram(&[
+        label(proj(a, |c| c.row as i32), 'a'),
+        label(proj(b, |c| c.row as i32), 'b'),
+    ]);
+    let cols = space_time_diagram(&[
+        label(proj(a, |c| c.col as i32), 'a'),
+        label(proj(b, |c| c.col as i32), 'b'),
+    ]);
+    format!("row(t), t0={base}:\n{rows}col(t), t0={base}:\n{cols}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,13 +168,27 @@ mod tests {
         let a = ('a', vec![0, 1, 2], 0);
         let b = ('b', vec![2, 1, 0], 0);
         let diagram = space_time_diagram(&[a, b]);
-        assert!(diagram.contains('X'), "the meeting point must be an X:\n{diagram}");
+        assert!(
+            diagram.contains('X'),
+            "the meeting point must be an X:\n{diagram}"
+        );
         assert!(diagram.lines().count() >= 4);
     }
 
     #[test]
     fn empty_diagram_is_graceful() {
         assert_eq!(space_time_diagram(&[]), "(empty)\n");
+    }
+
+    #[test]
+    fn conflict_timeline_shows_both_projections() {
+        // Head-on meeting in row 0: vertex at (0,1), t=1.
+        let a = Route::new(0, vec![Cell::new(0, 0), Cell::new(0, 1)]);
+        let b = Route::new(1, vec![Cell::new(0, 1), Cell::new(0, 2)]);
+        let d = conflict_timeline(&a, &b);
+        assert!(d.contains("row(t)") && d.contains("col(t)"), "{d}");
+        // Both routes visit column 1 at t=1 → an X in the column projection.
+        assert!(d.contains('X'), "{d}");
     }
 
     #[test]

@@ -22,7 +22,11 @@ pub enum QueryKind {
 
 impl QueryKind {
     /// All kinds in workflow order.
-    pub const ALL: [QueryKind; 3] = [QueryKind::Pickup, QueryKind::Transmission, QueryKind::Return];
+    pub const ALL: [QueryKind; 3] = [
+        QueryKind::Pickup,
+        QueryKind::Transmission,
+        QueryKind::Return,
+    ];
 }
 
 /// One origin–destination planning request `⟨o, d⟩` emerging at time `t`.
@@ -43,7 +47,13 @@ pub struct Request {
 impl Request {
     /// Construct a request.
     pub fn new(id: RequestId, t: Time, origin: Cell, destination: Cell, kind: QueryKind) -> Self {
-        Request { id, t, origin, destination, kind }
+        Request {
+            id,
+            t,
+            origin,
+            destination,
+            kind,
+        }
     }
 
     /// Lower bound on the route duration: the Manhattan distance.

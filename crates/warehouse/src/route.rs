@@ -64,7 +64,10 @@ impl Route {
 
     /// A route that stays at `cell` for a single instant.
     pub fn stationary(start: Time, cell: Cell) -> Self {
-        Route { start, grids: vec![cell] }
+        Route {
+            start,
+            grids: vec![cell],
+        }
     }
 
     /// First grid of the route.
@@ -131,10 +134,21 @@ impl Route {
         }
         // A robot may dwell under a rack at its endpoints (waiting to
         // depart after pickup, or arriving) but never traverse one mid-route.
-        let head_dwell = self.grids.iter().take_while(|&&g| g == self.grids[0]).count() - 1;
+        let head_dwell = self
+            .grids
+            .iter()
+            .take_while(|&&g| g == self.grids[0])
+            .count()
+            - 1;
         let last = self.grids.len() - 1;
         let tail_cell = self.grids[last];
-        let tail_dwell = self.grids.iter().rev().take_while(|&&g| g == tail_cell).count() - 1;
+        let tail_dwell = self
+            .grids
+            .iter()
+            .rev()
+            .take_while(|&&g| g == tail_cell)
+            .count()
+            - 1;
         for (i, &g) in self.grids.iter().enumerate() {
             if !m.in_bounds(g) {
                 return Err(RouteError::OutOfBounds { at: i });
@@ -157,8 +171,16 @@ impl Route {
     /// `other.start` must equal `self.end_time()` and `other.origin()` must
     /// equal `self.destination()`; the duplicated junction grid is dropped.
     pub fn chain(&mut self, other: &Route) {
-        assert_eq!(other.start, self.end_time(), "chained route must start at end time");
-        assert_eq!(other.origin(), self.destination(), "chained route must start at end cell");
+        assert_eq!(
+            other.start,
+            self.end_time(),
+            "chained route must start at end time"
+        );
+        assert_eq!(
+            other.origin(),
+            self.destination(),
+            "chained route must start at end cell"
+        );
         self.grids.extend_from_slice(&other.grids[1..]);
     }
 

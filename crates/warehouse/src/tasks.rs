@@ -43,7 +43,11 @@ impl DayProfile {
     /// A day profile with `num_tasks` tasks over `horizon` seconds and the
     /// default 40% background / 30% morning-peak / 30% noon-peak mixture.
     pub fn new(horizon: Time, num_tasks: u32) -> Self {
-        DayProfile { horizon, num_tasks, background: 0.4 }
+        DayProfile {
+            horizon,
+            num_tasks,
+            background: 0.4,
+        }
     }
 
     /// Sample one arrival time.
@@ -84,7 +88,12 @@ pub fn generate_tasks(layout: &Layout, profile: &DayProfile, seed: u64) -> Vec<T
         let arrival = profile.sample_arrival(&mut rng);
         let rack = layout.rack_cells[rng.gen_range(0..layout.rack_cells.len())];
         let picker = layout.pickers[rng.gen_range(0..layout.pickers.len())];
-        tasks.push(Task { id, arrival, rack, picker });
+        tasks.push(Task {
+            id,
+            arrival,
+            rack,
+            picker,
+        });
     }
     tasks.sort_by_key(|t| (t.arrival, t.id));
     tasks
@@ -98,7 +107,11 @@ pub fn generate_tasks(layout: &Layout, profile: &DayProfile, seed: u64) -> Vec<T
 /// all three query kinds.
 pub fn generate_requests(layout: &Layout, n: usize, rate_per_sec: f64, seed: u64) -> Vec<Request> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let free: Vec<Cell> = layout.matrix.cells().filter(|&c| layout.matrix.is_free(c)).collect();
+    let free: Vec<Cell> = layout
+        .matrix
+        .cells()
+        .filter(|&c| layout.matrix.is_free(c))
+        .collect();
     let mut t = 0f64;
     let mut out = Vec::with_capacity(n);
     for id in 0..n as RequestId {
@@ -150,8 +163,14 @@ mod tests {
     fn task_generation_is_seeded() {
         let layout = LayoutConfig::small().generate();
         let profile = DayProfile::new(3600, 50);
-        assert_eq!(generate_tasks(&layout, &profile, 1), generate_tasks(&layout, &profile, 1));
-        assert_ne!(generate_tasks(&layout, &profile, 1), generate_tasks(&layout, &profile, 2));
+        assert_eq!(
+            generate_tasks(&layout, &profile, 1),
+            generate_tasks(&layout, &profile, 1)
+        );
+        assert_ne!(
+            generate_tasks(&layout, &profile, 1),
+            generate_tasks(&layout, &profile, 2)
+        );
     }
 
     #[test]

@@ -57,7 +57,11 @@ fn main() {
         }
         println!(
             "   paper Eq.(2): {}   Eq.(3) time: {}",
-            if collide_paper(phi, psi) { "intersect" } else { "no proper crossing" },
+            if collide_paper(phi, psi) {
+                "intersect"
+            } else {
+                "no proper crossing"
+            },
             collision_time_paper(phi, psi)
         );
         println!();

@@ -1,0 +1,101 @@
+//! Exhaustive collision sweep over the `prop_end_to_end` instance space.
+//!
+//! Plans a 40-request stream on every layout-shape/seed combination,
+//! audits every commit online with the incremental auditor, and validates
+//! the committed routes with the ground-truth batch validator. Prints one
+//! line per failing instance (layout knobs, seed, first conflict and the
+//! provenance of the offending routes) so a regression can be pinned as an
+//! explicit test.
+//!
+//! Run with: `cargo run --release --example collision_sweep [seeds] [requests] [rate]`
+
+use srp_warehouse::prelude::*;
+use srp_warehouse::warehouse::collision::validate_routes;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seeds: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(200);
+    let n_requests: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(40);
+    let rate: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3.0);
+    let mut instances = 0u64;
+    let mut failures = 0u64;
+    let (mut planned, mut retries, mut fallbacks, mut infeasible) =
+        (0usize, 0usize, 0usize, 0usize);
+    for cluster_len in 2u16..5 {
+        for col_gap in 1u16..3 {
+            for band_gap in 1u16..3 {
+                for racks in (16u32..80).step_by(7) {
+                    let cfg = LayoutConfig {
+                        rows: 24,
+                        cols: 20,
+                        cluster_len,
+                        col_gap,
+                        band_gap,
+                        margin_top: 2,
+                        margin_bottom: 3,
+                        margin_left: 2,
+                        margin_right: 2,
+                        target_racks: racks,
+                        pickers: 4,
+                        robots: 6,
+                    };
+                    let layout = cfg.generate();
+                    for seed in 0..seeds {
+                        instances += 1;
+                        let mut planner =
+                            SrpPlanner::new(layout.matrix.clone(), SrpConfig::default());
+                        let requests = generate_requests(&layout, n_requests, rate, seed);
+                        let mut auditor = IncrementalAuditor::new();
+                        let mut routes = Vec::new();
+                        for req in &requests {
+                            if let PlanOutcome::Planned(r) = planner.plan(req) {
+                                if let Err(e) = r.validate(&layout.matrix) {
+                                    failures += 1;
+                                    println!(
+                                        "INVALID cluster_len={cluster_len} col_gap={col_gap} \
+                                         band_gap={band_gap} racks={racks} seed={seed} \
+                                         req={} err={e:?}",
+                                        req.id
+                                    );
+                                }
+                                if let Err(c) = auditor.commit(req.id, &r) {
+                                    failures += 1;
+                                    println!(
+                                        "AUDIT cluster_len={cluster_len} col_gap={col_gap} \
+                                         band_gap={band_gap} racks={racks} seed={seed} {c}\n\
+                                         \x20 existing: {}\n  incoming: {}",
+                                        planner
+                                            .provenance(c.existing)
+                                            .unwrap_or_else(|| "unrecorded".into()),
+                                        planner
+                                            .provenance(c.incoming)
+                                            .unwrap_or_else(|| "unrecorded".into()),
+                                    );
+                                }
+                                routes.push(r);
+                            }
+                        }
+                        planned += planner.stats.planned;
+                        retries += planner.stats.retries;
+                        fallbacks += planner.stats.fallbacks;
+                        infeasible += planner.stats.infeasible;
+                        if let Some(c) = validate_routes(&routes) {
+                            failures += 1;
+                            println!(
+                                "CONFLICT cluster_len={cluster_len} col_gap={col_gap} \
+                                 band_gap={band_gap} racks={racks} seed={seed} {c:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    println!(
+        "swept {instances} instances, {failures} failures \
+         (planned={planned} retries={retries} fallbacks={fallbacks} infeasible={infeasible})"
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

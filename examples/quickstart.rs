@@ -20,7 +20,12 @@ fn main() {
          .##...##..\n\
          ..........",
     );
-    println!("Warehouse ({} × {} grids, {} racks):", matrix.rows(), matrix.cols(), matrix.num_racks());
+    println!(
+        "Warehouse ({} × {} grids, {} racks):",
+        matrix.rows(),
+        matrix.cols(),
+        matrix.num_racks()
+    );
     println!("{}", matrix.to_ascii());
 
     let mut planner = SrpPlanner::new(matrix.clone(), SrpConfig::default());
@@ -34,7 +39,13 @@ fn main() {
     // Three requests: a pickup to a rack, a crossing trip, and a return.
     let requests = [
         Request::new(0, 0, Cell::new(0, 0), Cell::new(2, 1), QueryKind::Pickup),
-        Request::new(1, 0, Cell::new(7, 9), Cell::new(0, 9), QueryKind::Transmission),
+        Request::new(
+            1,
+            0,
+            Cell::new(7, 9),
+            Cell::new(0, 9),
+            QueryKind::Transmission,
+        ),
         Request::new(2, 1, Cell::new(4, 5), Cell::new(6, 7), QueryKind::Return),
     ];
 

@@ -40,7 +40,17 @@ fn main() {
     // Table II reproduction: grid vs strip scale on all presets.
     println!(
         "{:<6} {:>9} {:>7} {:>8} {:>8} | {:>10} {:>10} | {:>10} {:>10} | {:>6} {:>6}",
-        "Name", "H×W", "#Rack", "#Robot", "#Picker", "grid #V", "grid #E", "strip #V", "strip #E", "V%", "E%"
+        "Name",
+        "H×W",
+        "#Rack",
+        "#Robot",
+        "#Picker",
+        "grid #V",
+        "grid #E",
+        "strip #V",
+        "strip #E",
+        "V%",
+        "E%"
     );
     for preset in WarehousePreset::ALL {
         let layout = preset.generate();

@@ -14,7 +14,11 @@ use srp_warehouse::prelude::*;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let tasks_n: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(200);
-    let baseline = args.get(2).map(String::as_str).unwrap_or("ACP").to_uppercase();
+    let baseline = args
+        .get(2)
+        .map(String::as_str)
+        .unwrap_or("ACP")
+        .to_uppercase();
 
     println!("Generating W-1 layout (Table II scale)…");
     let layout = WarehousePreset::W1.generate();
@@ -26,7 +30,10 @@ fn main() {
 
     let horizon = 1800; // half an hour of simulated time
     let tasks = generate_tasks(&layout, &DayProfile::new(horizon, tasks_n), 2023);
-    println!("  {} delivery tasks over {horizon}s (3 planning queries each)\n", tasks.len());
+    println!(
+        "  {} delivery tasks over {horizon}s (3 planning queries each)\n",
+        tasks.len()
+    );
 
     let srp = SrpPlanner::new(layout.matrix.clone(), SrpConfig::default());
     let (srp_report, srp_planner) =
@@ -34,25 +41,35 @@ fn main() {
     print_report(&srp_report);
     println!(
         "    strips settled {}, intra calls {}, fallbacks {}\n",
-        srp_planner.stats.strips_settled, srp_planner.stats.intra_calls, srp_planner.stats.fallbacks
+        srp_planner.stats.strips_settled,
+        srp_planner.stats.intra_calls,
+        srp_planner.stats.fallbacks
     );
 
     let baseline_report = match baseline.as_str() {
         "SAP" => {
             let p = SapPlanner::new(layout.matrix.clone(), AStarConfig::default());
-            Simulation::new(&layout, &tasks, p, SimConfig::default()).run().0
+            Simulation::new(&layout, &tasks, p, SimConfig::default())
+                .run()
+                .0
         }
         "RP" => {
             let p = RpPlanner::new(layout.matrix.clone(), RpConfig::default());
-            Simulation::new(&layout, &tasks, p, SimConfig::default()).run().0
+            Simulation::new(&layout, &tasks, p, SimConfig::default())
+                .run()
+                .0
         }
         "TWP" => {
             let p = TwpPlanner::new(layout.matrix.clone(), TwpConfig::default());
-            Simulation::new(&layout, &tasks, p, SimConfig::default()).run().0
+            Simulation::new(&layout, &tasks, p, SimConfig::default())
+                .run()
+                .0
         }
         "ACP" => {
             let p = AcpPlanner::new(layout.matrix.clone(), AcpConfig::default());
-            Simulation::new(&layout, &tasks, p, SimConfig::default()).run().0
+            Simulation::new(&layout, &tasks, p, SimConfig::default())
+                .run()
+                .0
         }
         other => {
             eprintln!("unknown baseline {other}; use SAP, RP, TWP or ACP");
@@ -76,6 +93,9 @@ fn print_report(r: &DayReport) {
     println!("    tasks completed   {}/{}", r.completed, r.tasks);
     println!("    makespan (OG)     {} s", r.makespan);
     println!("    planning (TC)     {:.3} s", r.planning_secs);
-    println!("    peak memory (MC)  {:.1} KiB", r.peak_memory_bytes as f64 / 1024.0);
+    println!(
+        "    peak memory (MC)  {:.1} KiB",
+        r.peak_memory_bytes as f64 / 1024.0
+    );
     println!("    audit conflicts   {}", r.audit_conflicts);
 }

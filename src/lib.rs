@@ -45,15 +45,18 @@ pub use carp_warehouse as warehouse;
 
 /// Everything needed for typical use in one import.
 pub mod prelude {
-    pub use carp_baselines::{AcpConfig, AcpPlanner, RpConfig, RpPlanner, SapPlanner, TwpConfig, TwpPlanner};
+    pub use carp_baselines::{
+        AcpConfig, AcpPlanner, RpConfig, RpPlanner, SapPlanner, TwpConfig, TwpPlanner,
+    };
     pub use carp_geometry::{NaiveStore, Segment, SegmentStore, SlopeIndexStore};
-    pub use carp_simenv::{DayReport, SimConfig, Simulation};
+    pub use carp_simenv::{DayReport, ReproBundle, SimConfig, Simulation};
     pub use carp_spacetime::AStarConfig;
-    pub use carp_srp::{SrpConfig, SrpPlanner, StripGraph};
+    pub use carp_srp::{PlannerPath, Provenance, SrpConfig, SrpPlanner, StripGraph};
     pub use carp_warehouse::layout::{LayoutConfig, WarehousePreset};
     pub use carp_warehouse::tasks::{generate_requests, generate_tasks, DayProfile};
     pub use carp_warehouse::types::Cell;
     pub use carp_warehouse::{
-        PlanOutcome, Planner, QueryKind, Request, Route, WarehouseMatrix,
+        AuditConflict, Conflict, ConflictKind, IncrementalAuditor, PlanOutcome, Planner, QueryKind,
+        Request, Route, WarehouseMatrix,
     };
 }

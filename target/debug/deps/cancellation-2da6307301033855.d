@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cancellation-2da6307301033855.d: tests/cancellation.rs
+
+/root/repo/target/debug/deps/cancellation-2da6307301033855: tests/cancellation.rs
+
+tests/cancellation.rs:

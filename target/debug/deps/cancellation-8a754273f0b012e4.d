@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cancellation-8a754273f0b012e4.d: tests/cancellation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcancellation-8a754273f0b012e4.rmeta: tests/cancellation.rs Cargo.toml
+
+tests/cancellation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cancellation-9d9beb3f67963c04.d: tests/cancellation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcancellation-9d9beb3f67963c04.rmeta: tests/cancellation.rs Cargo.toml
+
+tests/cancellation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

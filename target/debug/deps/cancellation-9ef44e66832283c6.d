@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cancellation-9ef44e66832283c6.d: tests/cancellation.rs
+
+/root/repo/target/debug/deps/cancellation-9ef44e66832283c6: tests/cancellation.rs
+
+tests/cancellation.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/carp_baselines-3d4d4b53757bf8d8.d: crates/baselines/src/lib.rs crates/baselines/src/acp.rs crates/baselines/src/common.rs crates/baselines/src/rp.rs crates/baselines/src/sap.rs crates/baselines/src/sipp.rs crates/baselines/src/twp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcarp_baselines-3d4d4b53757bf8d8.rmeta: crates/baselines/src/lib.rs crates/baselines/src/acp.rs crates/baselines/src/common.rs crates/baselines/src/rp.rs crates/baselines/src/sap.rs crates/baselines/src/sipp.rs crates/baselines/src/twp.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/acp.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/rp.rs:
+crates/baselines/src/sap.rs:
+crates/baselines/src/sipp.rs:
+crates/baselines/src/twp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/carp_baselines-90a584165f36b623.d: crates/baselines/src/lib.rs crates/baselines/src/acp.rs crates/baselines/src/common.rs crates/baselines/src/rp.rs crates/baselines/src/sap.rs crates/baselines/src/sipp.rs crates/baselines/src/twp.rs
+
+/root/repo/target/debug/deps/libcarp_baselines-90a584165f36b623.rlib: crates/baselines/src/lib.rs crates/baselines/src/acp.rs crates/baselines/src/common.rs crates/baselines/src/rp.rs crates/baselines/src/sap.rs crates/baselines/src/sipp.rs crates/baselines/src/twp.rs
+
+/root/repo/target/debug/deps/libcarp_baselines-90a584165f36b623.rmeta: crates/baselines/src/lib.rs crates/baselines/src/acp.rs crates/baselines/src/common.rs crates/baselines/src/rp.rs crates/baselines/src/sap.rs crates/baselines/src/sipp.rs crates/baselines/src/twp.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/acp.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/rp.rs:
+crates/baselines/src/sap.rs:
+crates/baselines/src/sipp.rs:
+crates/baselines/src/twp.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/carp_bench-17e8908520be8841.d: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/debug/deps/libcarp_bench-17e8908520be8841.rlib: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/debug/deps/libcarp_bench-17e8908520be8841.rmeta: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/svg.rs:

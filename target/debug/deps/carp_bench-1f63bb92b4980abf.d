@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/carp_bench-1f63bb92b4980abf.d: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/debug/deps/libcarp_bench-1f63bb92b4980abf.rlib: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/debug/deps/libcarp_bench-1f63bb92b4980abf.rmeta: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/svg.rs:

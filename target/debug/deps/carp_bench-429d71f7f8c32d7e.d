@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/carp_bench-429d71f7f8c32d7e.d: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/debug/deps/carp_bench-429d71f7f8c32d7e: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/svg.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/carp_bench-4be01230347ffbf0.d: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/debug/deps/libcarp_bench-4be01230347ffbf0.rlib: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/debug/deps/libcarp_bench-4be01230347ffbf0.rmeta: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/svg.rs:

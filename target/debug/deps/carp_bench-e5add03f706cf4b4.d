@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/carp_bench-e5add03f706cf4b4.d: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/debug/deps/carp_bench-e5add03f706cf4b4: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/svg.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/carp_bench-ff50f683b99b0da2.d: crates/bench/src/lib.rs crates/bench/src/svg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcarp_bench-ff50f683b99b0da2.rmeta: crates/bench/src/lib.rs crates/bench/src/svg.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/svg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/carp_geometry-4212ea6e311ac62b.d: crates/geometry/src/lib.rs crates/geometry/src/index.rs crates/geometry/src/intersect.rs crates/geometry/src/segment.rs crates/geometry/src/store.rs
+
+/root/repo/target/debug/deps/libcarp_geometry-4212ea6e311ac62b.rlib: crates/geometry/src/lib.rs crates/geometry/src/index.rs crates/geometry/src/intersect.rs crates/geometry/src/segment.rs crates/geometry/src/store.rs
+
+/root/repo/target/debug/deps/libcarp_geometry-4212ea6e311ac62b.rmeta: crates/geometry/src/lib.rs crates/geometry/src/index.rs crates/geometry/src/intersect.rs crates/geometry/src/segment.rs crates/geometry/src/store.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/index.rs:
+crates/geometry/src/intersect.rs:
+crates/geometry/src/segment.rs:
+crates/geometry/src/store.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/carp_geometry-646c43210cd3ca4f.d: crates/geometry/src/lib.rs crates/geometry/src/index.rs crates/geometry/src/intersect.rs crates/geometry/src/segment.rs crates/geometry/src/shadow.rs crates/geometry/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcarp_geometry-646c43210cd3ca4f.rmeta: crates/geometry/src/lib.rs crates/geometry/src/index.rs crates/geometry/src/intersect.rs crates/geometry/src/segment.rs crates/geometry/src/shadow.rs crates/geometry/src/store.rs Cargo.toml
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/index.rs:
+crates/geometry/src/intersect.rs:
+crates/geometry/src/segment.rs:
+crates/geometry/src/shadow.rs:
+crates/geometry/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

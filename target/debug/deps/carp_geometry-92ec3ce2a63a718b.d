@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/carp_geometry-92ec3ce2a63a718b.d: crates/geometry/src/lib.rs crates/geometry/src/index.rs crates/geometry/src/intersect.rs crates/geometry/src/segment.rs crates/geometry/src/shadow.rs crates/geometry/src/store.rs
+
+/root/repo/target/debug/deps/libcarp_geometry-92ec3ce2a63a718b.rlib: crates/geometry/src/lib.rs crates/geometry/src/index.rs crates/geometry/src/intersect.rs crates/geometry/src/segment.rs crates/geometry/src/shadow.rs crates/geometry/src/store.rs
+
+/root/repo/target/debug/deps/libcarp_geometry-92ec3ce2a63a718b.rmeta: crates/geometry/src/lib.rs crates/geometry/src/index.rs crates/geometry/src/intersect.rs crates/geometry/src/segment.rs crates/geometry/src/shadow.rs crates/geometry/src/store.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/index.rs:
+crates/geometry/src/intersect.rs:
+crates/geometry/src/segment.rs:
+crates/geometry/src/shadow.rs:
+crates/geometry/src/store.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/carp_geometry-d948dafbf8e29f53.d: crates/geometry/src/lib.rs crates/geometry/src/index.rs crates/geometry/src/intersect.rs crates/geometry/src/segment.rs crates/geometry/src/shadow.rs crates/geometry/src/store.rs
+
+/root/repo/target/debug/deps/carp_geometry-d948dafbf8e29f53: crates/geometry/src/lib.rs crates/geometry/src/index.rs crates/geometry/src/intersect.rs crates/geometry/src/segment.rs crates/geometry/src/shadow.rs crates/geometry/src/store.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/index.rs:
+crates/geometry/src/intersect.rs:
+crates/geometry/src/segment.rs:
+crates/geometry/src/shadow.rs:
+crates/geometry/src/store.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/carp_simenv-286c818f44a33db2.d: crates/simenv/src/lib.rs crates/simenv/src/audit.rs crates/simenv/src/metrics.rs crates/simenv/src/sim.rs
+
+/root/repo/target/debug/deps/carp_simenv-286c818f44a33db2: crates/simenv/src/lib.rs crates/simenv/src/audit.rs crates/simenv/src/metrics.rs crates/simenv/src/sim.rs
+
+crates/simenv/src/lib.rs:
+crates/simenv/src/audit.rs:
+crates/simenv/src/metrics.rs:
+crates/simenv/src/sim.rs:

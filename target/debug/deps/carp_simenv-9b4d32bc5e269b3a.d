@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/carp_simenv-9b4d32bc5e269b3a.d: crates/simenv/src/lib.rs crates/simenv/src/metrics.rs crates/simenv/src/sim.rs
+
+/root/repo/target/debug/deps/libcarp_simenv-9b4d32bc5e269b3a.rlib: crates/simenv/src/lib.rs crates/simenv/src/metrics.rs crates/simenv/src/sim.rs
+
+/root/repo/target/debug/deps/libcarp_simenv-9b4d32bc5e269b3a.rmeta: crates/simenv/src/lib.rs crates/simenv/src/metrics.rs crates/simenv/src/sim.rs
+
+crates/simenv/src/lib.rs:
+crates/simenv/src/metrics.rs:
+crates/simenv/src/sim.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/carp_simenv-b67e3e14a52dfc73.d: crates/simenv/src/lib.rs crates/simenv/src/audit.rs crates/simenv/src/metrics.rs crates/simenv/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcarp_simenv-b67e3e14a52dfc73.rmeta: crates/simenv/src/lib.rs crates/simenv/src/audit.rs crates/simenv/src/metrics.rs crates/simenv/src/sim.rs Cargo.toml
+
+crates/simenv/src/lib.rs:
+crates/simenv/src/audit.rs:
+crates/simenv/src/metrics.rs:
+crates/simenv/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

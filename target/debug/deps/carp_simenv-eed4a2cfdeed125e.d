@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/carp_simenv-eed4a2cfdeed125e.d: crates/simenv/src/lib.rs crates/simenv/src/metrics.rs crates/simenv/src/sim.rs
+
+/root/repo/target/debug/deps/carp_simenv-eed4a2cfdeed125e: crates/simenv/src/lib.rs crates/simenv/src/metrics.rs crates/simenv/src/sim.rs
+
+crates/simenv/src/lib.rs:
+crates/simenv/src/metrics.rs:
+crates/simenv/src/sim.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/carp_simenv-fea6b0f45a9aaf66.d: crates/simenv/src/lib.rs crates/simenv/src/audit.rs crates/simenv/src/metrics.rs crates/simenv/src/sim.rs
+
+/root/repo/target/debug/deps/libcarp_simenv-fea6b0f45a9aaf66.rlib: crates/simenv/src/lib.rs crates/simenv/src/audit.rs crates/simenv/src/metrics.rs crates/simenv/src/sim.rs
+
+/root/repo/target/debug/deps/libcarp_simenv-fea6b0f45a9aaf66.rmeta: crates/simenv/src/lib.rs crates/simenv/src/audit.rs crates/simenv/src/metrics.rs crates/simenv/src/sim.rs
+
+crates/simenv/src/lib.rs:
+crates/simenv/src/audit.rs:
+crates/simenv/src/metrics.rs:
+crates/simenv/src/sim.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/carp_spacetime-674c53413b9ce710.d: crates/spacetime/src/lib.rs crates/spacetime/src/astar.rs crates/spacetime/src/cbs.rs crates/spacetime/src/reservation.rs
+
+/root/repo/target/debug/deps/libcarp_spacetime-674c53413b9ce710.rlib: crates/spacetime/src/lib.rs crates/spacetime/src/astar.rs crates/spacetime/src/cbs.rs crates/spacetime/src/reservation.rs
+
+/root/repo/target/debug/deps/libcarp_spacetime-674c53413b9ce710.rmeta: crates/spacetime/src/lib.rs crates/spacetime/src/astar.rs crates/spacetime/src/cbs.rs crates/spacetime/src/reservation.rs
+
+crates/spacetime/src/lib.rs:
+crates/spacetime/src/astar.rs:
+crates/spacetime/src/cbs.rs:
+crates/spacetime/src/reservation.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/carp_spacetime-a5a95a3358fe4a32.d: crates/spacetime/src/lib.rs crates/spacetime/src/astar.rs crates/spacetime/src/cbs.rs crates/spacetime/src/reservation.rs
+
+/root/repo/target/debug/deps/carp_spacetime-a5a95a3358fe4a32: crates/spacetime/src/lib.rs crates/spacetime/src/astar.rs crates/spacetime/src/cbs.rs crates/spacetime/src/reservation.rs
+
+crates/spacetime/src/lib.rs:
+crates/spacetime/src/astar.rs:
+crates/spacetime/src/cbs.rs:
+crates/spacetime/src/reservation.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/carp_spacetime-aea85dea53214732.d: crates/spacetime/src/lib.rs crates/spacetime/src/astar.rs crates/spacetime/src/cbs.rs crates/spacetime/src/reservation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcarp_spacetime-aea85dea53214732.rmeta: crates/spacetime/src/lib.rs crates/spacetime/src/astar.rs crates/spacetime/src/cbs.rs crates/spacetime/src/reservation.rs Cargo.toml
+
+crates/spacetime/src/lib.rs:
+crates/spacetime/src/astar.rs:
+crates/spacetime/src/cbs.rs:
+crates/spacetime/src/reservation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

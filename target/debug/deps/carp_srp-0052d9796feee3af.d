@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/carp_srp-0052d9796feee3af.d: crates/srp/src/lib.rs crates/srp/src/convert.rs crates/srp/src/intra.rs crates/srp/src/planner.rs crates/srp/src/strip_graph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcarp_srp-0052d9796feee3af.rmeta: crates/srp/src/lib.rs crates/srp/src/convert.rs crates/srp/src/intra.rs crates/srp/src/planner.rs crates/srp/src/strip_graph.rs Cargo.toml
+
+crates/srp/src/lib.rs:
+crates/srp/src/convert.rs:
+crates/srp/src/intra.rs:
+crates/srp/src/planner.rs:
+crates/srp/src/strip_graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/carp_srp-2718709c395dea17.d: crates/srp/src/lib.rs crates/srp/src/convert.rs crates/srp/src/intra.rs crates/srp/src/planner.rs crates/srp/src/strip_graph.rs
+
+/root/repo/target/debug/deps/carp_srp-2718709c395dea17: crates/srp/src/lib.rs crates/srp/src/convert.rs crates/srp/src/intra.rs crates/srp/src/planner.rs crates/srp/src/strip_graph.rs
+
+crates/srp/src/lib.rs:
+crates/srp/src/convert.rs:
+crates/srp/src/intra.rs:
+crates/srp/src/planner.rs:
+crates/srp/src/strip_graph.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/carp_srp-9ee5df16b3a2667f.d: crates/srp/src/lib.rs crates/srp/src/convert.rs crates/srp/src/intra.rs crates/srp/src/planner.rs crates/srp/src/strip_graph.rs
+
+/root/repo/target/debug/deps/carp_srp-9ee5df16b3a2667f: crates/srp/src/lib.rs crates/srp/src/convert.rs crates/srp/src/intra.rs crates/srp/src/planner.rs crates/srp/src/strip_graph.rs
+
+crates/srp/src/lib.rs:
+crates/srp/src/convert.rs:
+crates/srp/src/intra.rs:
+crates/srp/src/planner.rs:
+crates/srp/src/strip_graph.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/carp_srp-c616253a52af4f3f.d: crates/srp/src/lib.rs crates/srp/src/convert.rs crates/srp/src/intra.rs crates/srp/src/planner.rs crates/srp/src/strip_graph.rs
+
+/root/repo/target/debug/deps/libcarp_srp-c616253a52af4f3f.rlib: crates/srp/src/lib.rs crates/srp/src/convert.rs crates/srp/src/intra.rs crates/srp/src/planner.rs crates/srp/src/strip_graph.rs
+
+/root/repo/target/debug/deps/libcarp_srp-c616253a52af4f3f.rmeta: crates/srp/src/lib.rs crates/srp/src/convert.rs crates/srp/src/intra.rs crates/srp/src/planner.rs crates/srp/src/strip_graph.rs
+
+crates/srp/src/lib.rs:
+crates/srp/src/convert.rs:
+crates/srp/src/intra.rs:
+crates/srp/src/planner.rs:
+crates/srp/src/strip_graph.rs:

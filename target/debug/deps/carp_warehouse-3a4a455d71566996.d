@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/carp_warehouse-3a4a455d71566996.d: crates/warehouse/src/lib.rs crates/warehouse/src/collision.rs crates/warehouse/src/dataset.rs crates/warehouse/src/layout.rs crates/warehouse/src/matrix.rs crates/warehouse/src/memory.rs crates/warehouse/src/planner.rs crates/warehouse/src/render.rs crates/warehouse/src/request.rs crates/warehouse/src/route.rs crates/warehouse/src/tasks.rs crates/warehouse/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcarp_warehouse-3a4a455d71566996.rmeta: crates/warehouse/src/lib.rs crates/warehouse/src/collision.rs crates/warehouse/src/dataset.rs crates/warehouse/src/layout.rs crates/warehouse/src/matrix.rs crates/warehouse/src/memory.rs crates/warehouse/src/planner.rs crates/warehouse/src/render.rs crates/warehouse/src/request.rs crates/warehouse/src/route.rs crates/warehouse/src/tasks.rs crates/warehouse/src/types.rs Cargo.toml
+
+crates/warehouse/src/lib.rs:
+crates/warehouse/src/collision.rs:
+crates/warehouse/src/dataset.rs:
+crates/warehouse/src/layout.rs:
+crates/warehouse/src/matrix.rs:
+crates/warehouse/src/memory.rs:
+crates/warehouse/src/planner.rs:
+crates/warehouse/src/render.rs:
+crates/warehouse/src/request.rs:
+crates/warehouse/src/route.rs:
+crates/warehouse/src/tasks.rs:
+crates/warehouse/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_planner-7e5965199f9db774.d: tests/cross_planner.rs
+
+/root/repo/target/debug/deps/cross_planner-7e5965199f9db774: tests/cross_planner.rs
+
+tests/cross_planner.rs:

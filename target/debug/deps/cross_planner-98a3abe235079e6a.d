@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_planner-98a3abe235079e6a.d: tests/cross_planner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_planner-98a3abe235079e6a.rmeta: tests/cross_planner.rs Cargo.toml
+
+tests/cross_planner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_planner-d4c506930976f00c.d: tests/cross_planner.rs
+
+/root/repo/target/debug/deps/cross_planner-d4c506930976f00c: tests/cross_planner.rs
+
+tests/cross_planner.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_planner-e94e2b5368efc46b.d: tests/cross_planner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_planner-e94e2b5368efc46b.rmeta: tests/cross_planner.rs Cargo.toml
+
+tests/cross_planner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

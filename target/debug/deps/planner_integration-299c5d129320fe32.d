@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/planner_integration-299c5d129320fe32.d: crates/srp/tests/planner_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplanner_integration-299c5d129320fe32.rmeta: crates/srp/tests/planner_integration.rs Cargo.toml
+
+crates/srp/tests/planner_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

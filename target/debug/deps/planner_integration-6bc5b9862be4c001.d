@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/planner_integration-6bc5b9862be4c001.d: crates/srp/tests/planner_integration.rs
+
+/root/repo/target/debug/deps/planner_integration-6bc5b9862be4c001: crates/srp/tests/planner_integration.rs
+
+crates/srp/tests/planner_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/planner_integration-6d8f14674063cc98.d: crates/srp/tests/planner_integration.rs
+
+/root/repo/target/debug/deps/planner_integration-6d8f14674063cc98: crates/srp/tests/planner_integration.rs
+
+crates/srp/tests/planner_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/planner_integration-be16b1bc03da8c50.d: crates/srp/tests/planner_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplanner_integration-be16b1bc03da8c50.rmeta: crates/srp/tests/planner_integration.rs Cargo.toml
+
+crates/srp/tests/planner_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_end_to_end-26b5b06ffdd6fe11.d: tests/prop_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_end_to_end-26b5b06ffdd6fe11.rmeta: tests/prop_end_to_end.rs Cargo.toml
+
+tests/prop_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

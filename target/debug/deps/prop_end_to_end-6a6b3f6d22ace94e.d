@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_end_to_end-6a6b3f6d22ace94e.d: tests/prop_end_to_end.rs
+
+/root/repo/target/debug/deps/prop_end_to_end-6a6b3f6d22ace94e: tests/prop_end_to_end.rs
+
+tests/prop_end_to_end.rs:

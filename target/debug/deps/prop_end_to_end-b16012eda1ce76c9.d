@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_end_to_end-b16012eda1ce76c9.d: tests/prop_end_to_end.rs
+
+/root/repo/target/debug/deps/prop_end_to_end-b16012eda1ce76c9: tests/prop_end_to_end.rs
+
+tests/prop_end_to_end.rs:

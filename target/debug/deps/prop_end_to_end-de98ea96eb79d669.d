@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_end_to_end-de98ea96eb79d669.d: tests/prop_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_end_to_end-de98ea96eb79d669.rmeta: tests/prop_end_to_end.rs Cargo.toml
+
+tests/prop_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

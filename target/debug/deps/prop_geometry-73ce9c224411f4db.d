@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_geometry-73ce9c224411f4db.d: crates/geometry/tests/prop_geometry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_geometry-73ce9c224411f4db.rmeta: crates/geometry/tests/prop_geometry.rs Cargo.toml
+
+crates/geometry/tests/prop_geometry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_geometry-8d65a46a2fd74752.d: crates/geometry/tests/prop_geometry.rs
+
+/root/repo/target/debug/deps/prop_geometry-8d65a46a2fd74752: crates/geometry/tests/prop_geometry.rs
+
+crates/geometry/tests/prop_geometry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_geometry-9a06883d11f231e1.d: crates/geometry/tests/prop_geometry.rs
+
+/root/repo/target/debug/deps/prop_geometry-9a06883d11f231e1: crates/geometry/tests/prop_geometry.rs
+
+crates/geometry/tests/prop_geometry.rs:

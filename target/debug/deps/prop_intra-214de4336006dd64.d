@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_intra-214de4336006dd64.d: crates/srp/tests/prop_intra.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_intra-214de4336006dd64.rmeta: crates/srp/tests/prop_intra.rs Cargo.toml
+
+crates/srp/tests/prop_intra.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_intra-22dabd2d15480548.d: crates/srp/tests/prop_intra.rs
+
+/root/repo/target/debug/deps/prop_intra-22dabd2d15480548: crates/srp/tests/prop_intra.rs
+
+crates/srp/tests/prop_intra.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_intra-db7eaaf97ecff437.d: crates/srp/tests/prop_intra.rs
+
+/root/repo/target/debug/deps/prop_intra-db7eaaf97ecff437: crates/srp/tests/prop_intra.rs
+
+crates/srp/tests/prop_intra.rs:

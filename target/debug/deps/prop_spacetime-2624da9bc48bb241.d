@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_spacetime-2624da9bc48bb241.d: crates/spacetime/tests/prop_spacetime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_spacetime-2624da9bc48bb241.rmeta: crates/spacetime/tests/prop_spacetime.rs Cargo.toml
+
+crates/spacetime/tests/prop_spacetime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

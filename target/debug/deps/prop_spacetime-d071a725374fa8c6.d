@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_spacetime-d071a725374fa8c6.d: crates/spacetime/tests/prop_spacetime.rs
+
+/root/repo/target/debug/deps/prop_spacetime-d071a725374fa8c6: crates/spacetime/tests/prop_spacetime.rs
+
+crates/spacetime/tests/prop_spacetime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-4d5d4b5c6bb60d78.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-4d5d4b5c6bb60d78.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

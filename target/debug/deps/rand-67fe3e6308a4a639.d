@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-67fe3e6308a4a639.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-67fe3e6308a4a639.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-67fe3e6308a4a639.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-16b77d075c09ab10.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-16b77d075c09ab10: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-58dc136d37421ac1.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-58dc136d37421ac1: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-855c8984ef58e320.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-855c8984ef58e320: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

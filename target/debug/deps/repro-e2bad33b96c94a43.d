@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-e2bad33b96c94a43.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-e2bad33b96c94a43: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

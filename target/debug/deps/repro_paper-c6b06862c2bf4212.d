@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_paper-c6b06862c2bf4212.d: crates/bench/benches/repro_paper.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_paper-c6b06862c2bf4212.rmeta: crates/bench/benches/repro_paper.rs Cargo.toml
+
+crates/bench/benches/repro_paper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

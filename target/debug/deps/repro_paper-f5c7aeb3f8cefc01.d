@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_paper-f5c7aeb3f8cefc01.d: crates/bench/benches/repro_paper.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_paper-f5c7aeb3f8cefc01.rmeta: crates/bench/benches/repro_paper.rs Cargo.toml
+
+crates/bench/benches/repro_paper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

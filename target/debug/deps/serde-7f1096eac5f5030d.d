@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-7f1096eac5f5030d.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-7f1096eac5f5030d.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-56f511d60152a139.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-56f511d60152a139.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shadow-a62420dca36a8b2a.d: crates/srp/tests/shadow.rs
+
+/root/repo/target/debug/deps/shadow-a62420dca36a8b2a: crates/srp/tests/shadow.rs
+
+crates/srp/tests/shadow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shadow-e344ff57e338a6fd.d: crates/srp/tests/shadow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshadow-e344ff57e338a6fd.rmeta: crates/srp/tests/shadow.rs Cargo.toml
+
+crates/srp/tests/shadow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

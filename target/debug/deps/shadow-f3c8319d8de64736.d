@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shadow-f3c8319d8de64736.d: crates/srp/tests/shadow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshadow-f3c8319d8de64736.rmeta: crates/srp/tests/shadow.rs Cargo.toml
+
+crates/srp/tests/shadow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

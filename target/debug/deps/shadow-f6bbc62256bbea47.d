@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shadow-f6bbc62256bbea47.d: crates/srp/tests/shadow.rs
+
+/root/repo/target/debug/deps/shadow-f6bbc62256bbea47: crates/srp/tests/shadow.rs
+
+crates/srp/tests/shadow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_all_planners-593d35c4e707dbf4.d: crates/simenv/tests/sim_all_planners.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_all_planners-593d35c4e707dbf4.rmeta: crates/simenv/tests/sim_all_planners.rs Cargo.toml
+
+crates/simenv/tests/sim_all_planners.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_all_planners-6b33e58b04b5468c.d: crates/simenv/tests/sim_all_planners.rs
+
+/root/repo/target/debug/deps/sim_all_planners-6b33e58b04b5468c: crates/simenv/tests/sim_all_planners.rs
+
+crates/simenv/tests/sim_all_planners.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_all_planners-a8a77b67f0a98ebf.d: crates/simenv/tests/sim_all_planners.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_all_planners-a8a77b67f0a98ebf.rmeta: crates/simenv/tests/sim_all_planners.rs Cargo.toml
+
+crates/simenv/tests/sim_all_planners.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_all_planners-d2ec1a628555c6cb.d: crates/simenv/tests/sim_all_planners.rs
+
+/root/repo/target/debug/deps/sim_all_planners-d2ec1a628555c6cb: crates/simenv/tests/sim_all_planners.rs
+
+crates/simenv/tests/sim_all_planners.rs:

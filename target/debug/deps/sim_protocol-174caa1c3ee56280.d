@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_protocol-174caa1c3ee56280.d: crates/simenv/tests/sim_protocol.rs
+
+/root/repo/target/debug/deps/sim_protocol-174caa1c3ee56280: crates/simenv/tests/sim_protocol.rs
+
+crates/simenv/tests/sim_protocol.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_protocol-199cd1eb96ae2d88.d: crates/simenv/tests/sim_protocol.rs
+
+/root/repo/target/debug/deps/sim_protocol-199cd1eb96ae2d88: crates/simenv/tests/sim_protocol.rs
+
+crates/simenv/tests/sim_protocol.rs:

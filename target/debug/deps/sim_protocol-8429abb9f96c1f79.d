@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_protocol-8429abb9f96c1f79.d: crates/simenv/tests/sim_protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_protocol-8429abb9f96c1f79.rmeta: crates/simenv/tests/sim_protocol.rs Cargo.toml
+
+crates/simenv/tests/sim_protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

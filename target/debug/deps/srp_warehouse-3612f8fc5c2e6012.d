@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/srp_warehouse-3612f8fc5c2e6012.d: src/lib.rs
+
+/root/repo/target/debug/deps/srp_warehouse-3612f8fc5c2e6012: src/lib.rs
+
+src/lib.rs:

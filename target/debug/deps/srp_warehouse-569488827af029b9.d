@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/srp_warehouse-569488827af029b9.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsrp_warehouse-569488827af029b9.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsrp_warehouse-569488827af029b9.rmeta: src/lib.rs
+
+src/lib.rs:

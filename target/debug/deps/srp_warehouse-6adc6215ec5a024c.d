@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/srp_warehouse-6adc6215ec5a024c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsrp_warehouse-6adc6215ec5a024c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsrp_warehouse-6adc6215ec5a024c.rmeta: src/lib.rs
+
+src/lib.rs:

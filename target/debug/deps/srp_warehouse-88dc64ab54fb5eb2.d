@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/srp_warehouse-88dc64ab54fb5eb2.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsrp_warehouse-88dc64ab54fb5eb2.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/srp_warehouse-96c8fdc783ce8db1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsrp_warehouse-96c8fdc783ce8db1.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsrp_warehouse-96c8fdc783ce8db1.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/srp_warehouse-b264a68673cf5e7d.d: src/lib.rs
+
+/root/repo/target/debug/deps/srp_warehouse-b264a68673cf5e7d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/strip_graph_edge_cases-4f5d4d7a93bdb721.d: crates/srp/tests/strip_graph_edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrip_graph_edge_cases-4f5d4d7a93bdb721.rmeta: crates/srp/tests/strip_graph_edge_cases.rs Cargo.toml
+
+crates/srp/tests/strip_graph_edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/strip_graph_edge_cases-5e32c949b434ab26.d: crates/srp/tests/strip_graph_edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrip_graph_edge_cases-5e32c949b434ab26.rmeta: crates/srp/tests/strip_graph_edge_cases.rs Cargo.toml
+
+crates/srp/tests/strip_graph_edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

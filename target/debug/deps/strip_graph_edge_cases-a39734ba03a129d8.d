@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strip_graph_edge_cases-a39734ba03a129d8.d: crates/srp/tests/strip_graph_edge_cases.rs
+
+/root/repo/target/debug/deps/strip_graph_edge_cases-a39734ba03a129d8: crates/srp/tests/strip_graph_edge_cases.rs
+
+crates/srp/tests/strip_graph_edge_cases.rs:

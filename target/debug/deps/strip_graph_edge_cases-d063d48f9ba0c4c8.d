@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strip_graph_edge_cases-d063d48f9ba0c4c8.d: crates/srp/tests/strip_graph_edge_cases.rs
+
+/root/repo/target/debug/deps/strip_graph_edge_cases-d063d48f9ba0c4c8: crates/srp/tests/strip_graph_edge_cases.rs
+
+crates/srp/tests/strip_graph_edge_cases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/audit_demo_tmp-b62f66ac19c3feae.d: examples/audit_demo_tmp.rs
+
+/root/repo/target/debug/examples/audit_demo_tmp-b62f66ac19c3feae: examples/audit_demo_tmp.rs
+
+examples/audit_demo_tmp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/collision_debug-35e28aeb7304fbb7.d: examples/collision_debug.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcollision_debug-35e28aeb7304fbb7.rmeta: examples/collision_debug.rs Cargo.toml
+
+examples/collision_debug.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

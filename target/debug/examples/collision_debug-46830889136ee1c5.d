@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/collision_debug-46830889136ee1c5.d: examples/collision_debug.rs
+
+/root/repo/target/debug/examples/collision_debug-46830889136ee1c5: examples/collision_debug.rs
+
+examples/collision_debug.rs:

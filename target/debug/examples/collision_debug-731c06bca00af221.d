@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/collision_debug-731c06bca00af221.d: examples/collision_debug.rs
+
+/root/repo/target/debug/examples/collision_debug-731c06bca00af221: examples/collision_debug.rs
+
+examples/collision_debug.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/collision_sweep-13478fbf837892d0.d: examples/collision_sweep.rs
+
+/root/repo/target/debug/examples/collision_sweep-13478fbf837892d0: examples/collision_sweep.rs
+
+examples/collision_sweep.rs:

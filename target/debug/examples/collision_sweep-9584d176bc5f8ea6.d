@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/collision_sweep-9584d176bc5f8ea6.d: examples/collision_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcollision_sweep-9584d176bc5f8ea6.rmeta: examples/collision_sweep.rs Cargo.toml
+
+examples/collision_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/collision_sweep-fa126e985f8ff9a7.d: examples/collision_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcollision_sweep-fa126e985f8ff9a7.rmeta: examples/collision_sweep.rs Cargo.toml
+
+examples/collision_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-76cc3ea818f85854.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-76cc3ea818f85854: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-802884b1ca6f4d2b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-802884b1ca6f4d2b: examples/quickstart.rs
+
+examples/quickstart.rs:

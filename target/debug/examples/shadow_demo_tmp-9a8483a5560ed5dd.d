@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/shadow_demo_tmp-9a8483a5560ed5dd.d: examples/shadow_demo_tmp.rs
+
+/root/repo/target/debug/examples/shadow_demo_tmp-9a8483a5560ed5dd: examples/shadow_demo_tmp.rs
+
+examples/shadow_demo_tmp.rs:

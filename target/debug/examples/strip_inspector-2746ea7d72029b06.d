@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/strip_inspector-2746ea7d72029b06.d: examples/strip_inspector.rs
+
+/root/repo/target/debug/examples/strip_inspector-2746ea7d72029b06: examples/strip_inspector.rs
+
+examples/strip_inspector.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/strip_inspector-829d29b280688549.d: examples/strip_inspector.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstrip_inspector-829d29b280688549.rmeta: examples/strip_inspector.rs Cargo.toml
+
+examples/strip_inspector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/strip_inspector-c5ab10fa6a230078.d: examples/strip_inspector.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstrip_inspector-c5ab10fa6a230078.rmeta: examples/strip_inspector.rs Cargo.toml
+
+examples/strip_inspector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/strip_inspector-ed140fcd59c0af55.d: examples/strip_inspector.rs
+
+/root/repo/target/debug/examples/strip_inspector-ed140fcd59c0af55: examples/strip_inspector.rs
+
+examples/strip_inspector.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/warehouse_day-663823c183334488.d: examples/warehouse_day.rs
+
+/root/repo/target/debug/examples/warehouse_day-663823c183334488: examples/warehouse_day.rs
+
+examples/warehouse_day.rs:

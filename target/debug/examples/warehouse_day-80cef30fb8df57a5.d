@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/warehouse_day-80cef30fb8df57a5.d: examples/warehouse_day.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwarehouse_day-80cef30fb8df57a5.rmeta: examples/warehouse_day.rs Cargo.toml
+
+examples/warehouse_day.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

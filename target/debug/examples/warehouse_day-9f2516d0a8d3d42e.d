@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/warehouse_day-9f2516d0a8d3d42e.d: examples/warehouse_day.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwarehouse_day-9f2516d0a8d3d42e.rmeta: examples/warehouse_day.rs Cargo.toml
+
+examples/warehouse_day.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/warehouse_day-b1261d78d52fae7b.d: examples/warehouse_day.rs
+
+/root/repo/target/debug/examples/warehouse_day-b1261d78d52fae7b: examples/warehouse_day.rs
+
+examples/warehouse_day.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/carp_baselines-5c2590b70dccabde.d: crates/baselines/src/lib.rs crates/baselines/src/acp.rs crates/baselines/src/common.rs crates/baselines/src/rp.rs crates/baselines/src/sap.rs crates/baselines/src/sipp.rs crates/baselines/src/twp.rs
+
+/root/repo/target/release/deps/libcarp_baselines-5c2590b70dccabde.rlib: crates/baselines/src/lib.rs crates/baselines/src/acp.rs crates/baselines/src/common.rs crates/baselines/src/rp.rs crates/baselines/src/sap.rs crates/baselines/src/sipp.rs crates/baselines/src/twp.rs
+
+/root/repo/target/release/deps/libcarp_baselines-5c2590b70dccabde.rmeta: crates/baselines/src/lib.rs crates/baselines/src/acp.rs crates/baselines/src/common.rs crates/baselines/src/rp.rs crates/baselines/src/sap.rs crates/baselines/src/sipp.rs crates/baselines/src/twp.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/acp.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/rp.rs:
+crates/baselines/src/sap.rs:
+crates/baselines/src/sipp.rs:
+crates/baselines/src/twp.rs:

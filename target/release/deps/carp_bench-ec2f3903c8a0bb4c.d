@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/carp_bench-ec2f3903c8a0bb4c.d: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/release/deps/libcarp_bench-ec2f3903c8a0bb4c.rlib: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/release/deps/libcarp_bench-ec2f3903c8a0bb4c.rmeta: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/svg.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/carp_bench-f54205b1bd4d5ea1.d: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/release/deps/libcarp_bench-f54205b1bd4d5ea1.rlib: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/release/deps/libcarp_bench-f54205b1bd4d5ea1.rmeta: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/svg.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/carp_geometry-82108528f080f81c.d: crates/geometry/src/lib.rs crates/geometry/src/index.rs crates/geometry/src/intersect.rs crates/geometry/src/segment.rs crates/geometry/src/store.rs
+
+/root/repo/target/release/deps/libcarp_geometry-82108528f080f81c.rlib: crates/geometry/src/lib.rs crates/geometry/src/index.rs crates/geometry/src/intersect.rs crates/geometry/src/segment.rs crates/geometry/src/store.rs
+
+/root/repo/target/release/deps/libcarp_geometry-82108528f080f81c.rmeta: crates/geometry/src/lib.rs crates/geometry/src/index.rs crates/geometry/src/intersect.rs crates/geometry/src/segment.rs crates/geometry/src/store.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/index.rs:
+crates/geometry/src/intersect.rs:
+crates/geometry/src/segment.rs:
+crates/geometry/src/store.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/carp_simenv-9273fd8d49b905da.d: crates/simenv/src/lib.rs crates/simenv/src/audit.rs crates/simenv/src/metrics.rs crates/simenv/src/sim.rs
+
+/root/repo/target/release/deps/libcarp_simenv-9273fd8d49b905da.rlib: crates/simenv/src/lib.rs crates/simenv/src/audit.rs crates/simenv/src/metrics.rs crates/simenv/src/sim.rs
+
+/root/repo/target/release/deps/libcarp_simenv-9273fd8d49b905da.rmeta: crates/simenv/src/lib.rs crates/simenv/src/audit.rs crates/simenv/src/metrics.rs crates/simenv/src/sim.rs
+
+crates/simenv/src/lib.rs:
+crates/simenv/src/audit.rs:
+crates/simenv/src/metrics.rs:
+crates/simenv/src/sim.rs:

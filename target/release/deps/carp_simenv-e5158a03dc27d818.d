@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/carp_simenv-e5158a03dc27d818.d: crates/simenv/src/lib.rs crates/simenv/src/metrics.rs crates/simenv/src/sim.rs
+
+/root/repo/target/release/deps/libcarp_simenv-e5158a03dc27d818.rlib: crates/simenv/src/lib.rs crates/simenv/src/metrics.rs crates/simenv/src/sim.rs
+
+/root/repo/target/release/deps/libcarp_simenv-e5158a03dc27d818.rmeta: crates/simenv/src/lib.rs crates/simenv/src/metrics.rs crates/simenv/src/sim.rs
+
+crates/simenv/src/lib.rs:
+crates/simenv/src/metrics.rs:
+crates/simenv/src/sim.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/carp_spacetime-96a143b417c43452.d: crates/spacetime/src/lib.rs crates/spacetime/src/astar.rs crates/spacetime/src/cbs.rs crates/spacetime/src/reservation.rs
+
+/root/repo/target/release/deps/libcarp_spacetime-96a143b417c43452.rlib: crates/spacetime/src/lib.rs crates/spacetime/src/astar.rs crates/spacetime/src/cbs.rs crates/spacetime/src/reservation.rs
+
+/root/repo/target/release/deps/libcarp_spacetime-96a143b417c43452.rmeta: crates/spacetime/src/lib.rs crates/spacetime/src/astar.rs crates/spacetime/src/cbs.rs crates/spacetime/src/reservation.rs
+
+crates/spacetime/src/lib.rs:
+crates/spacetime/src/astar.rs:
+crates/spacetime/src/cbs.rs:
+crates/spacetime/src/reservation.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/carp_srp-387f76d27a31591b.d: crates/srp/src/lib.rs crates/srp/src/convert.rs crates/srp/src/intra.rs crates/srp/src/planner.rs crates/srp/src/strip_graph.rs
+
+/root/repo/target/release/deps/libcarp_srp-387f76d27a31591b.rlib: crates/srp/src/lib.rs crates/srp/src/convert.rs crates/srp/src/intra.rs crates/srp/src/planner.rs crates/srp/src/strip_graph.rs
+
+/root/repo/target/release/deps/libcarp_srp-387f76d27a31591b.rmeta: crates/srp/src/lib.rs crates/srp/src/convert.rs crates/srp/src/intra.rs crates/srp/src/planner.rs crates/srp/src/strip_graph.rs
+
+crates/srp/src/lib.rs:
+crates/srp/src/convert.rs:
+crates/srp/src/intra.rs:
+crates/srp/src/planner.rs:
+crates/srp/src/strip_graph.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/carp_warehouse-b01db499ada327ee.d: crates/warehouse/src/lib.rs crates/warehouse/src/collision.rs crates/warehouse/src/dataset.rs crates/warehouse/src/layout.rs crates/warehouse/src/matrix.rs crates/warehouse/src/memory.rs crates/warehouse/src/planner.rs crates/warehouse/src/render.rs crates/warehouse/src/request.rs crates/warehouse/src/route.rs crates/warehouse/src/tasks.rs crates/warehouse/src/types.rs
+
+/root/repo/target/release/deps/libcarp_warehouse-b01db499ada327ee.rlib: crates/warehouse/src/lib.rs crates/warehouse/src/collision.rs crates/warehouse/src/dataset.rs crates/warehouse/src/layout.rs crates/warehouse/src/matrix.rs crates/warehouse/src/memory.rs crates/warehouse/src/planner.rs crates/warehouse/src/render.rs crates/warehouse/src/request.rs crates/warehouse/src/route.rs crates/warehouse/src/tasks.rs crates/warehouse/src/types.rs
+
+/root/repo/target/release/deps/libcarp_warehouse-b01db499ada327ee.rmeta: crates/warehouse/src/lib.rs crates/warehouse/src/collision.rs crates/warehouse/src/dataset.rs crates/warehouse/src/layout.rs crates/warehouse/src/matrix.rs crates/warehouse/src/memory.rs crates/warehouse/src/planner.rs crates/warehouse/src/render.rs crates/warehouse/src/request.rs crates/warehouse/src/route.rs crates/warehouse/src/tasks.rs crates/warehouse/src/types.rs
+
+crates/warehouse/src/lib.rs:
+crates/warehouse/src/collision.rs:
+crates/warehouse/src/dataset.rs:
+crates/warehouse/src/layout.rs:
+crates/warehouse/src/matrix.rs:
+crates/warehouse/src/memory.rs:
+crates/warehouse/src/planner.rs:
+crates/warehouse/src/render.rs:
+crates/warehouse/src/request.rs:
+crates/warehouse/src/route.rs:
+crates/warehouse/src/tasks.rs:
+crates/warehouse/src/types.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-e75c3410bdf11096.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e75c3410bdf11096.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-e75c3410bdf11096.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

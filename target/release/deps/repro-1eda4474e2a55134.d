@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-1eda4474e2a55134.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-1eda4474e2a55134: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

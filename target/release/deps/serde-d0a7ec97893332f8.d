@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-d0a7ec97893332f8.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-d0a7ec97893332f8.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-d0a7ec97893332f8.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

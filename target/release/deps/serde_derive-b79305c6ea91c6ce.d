@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-b79305c6ea91c6ce.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-b79305c6ea91c6ce.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-470651ba5dbbd0c4.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-470651ba5dbbd0c4.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-470651ba5dbbd0c4.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

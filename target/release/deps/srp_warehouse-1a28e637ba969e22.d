@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/srp_warehouse-1a28e637ba969e22.d: src/lib.rs
+
+/root/repo/target/release/deps/libsrp_warehouse-1a28e637ba969e22.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsrp_warehouse-1a28e637ba969e22.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/srp_warehouse-618721d63b34d9bb.d: src/lib.rs
+
+/root/repo/target/release/deps/libsrp_warehouse-618721d63b34d9bb.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsrp_warehouse-618721d63b34d9bb.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/collision_sweep-2cc0d9a685329fe6.d: examples/collision_sweep.rs
+
+/root/repo/target/release/examples/collision_sweep-2cc0d9a685329fe6: examples/collision_sweep.rs
+
+examples/collision_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/collision_sweep-8a134571db4e62e2.d: examples/collision_sweep.rs
+
+/root/repo/target/release/examples/collision_sweep-8a134571db4e62e2: examples/collision_sweep.rs
+
+examples/collision_sweep.rs:

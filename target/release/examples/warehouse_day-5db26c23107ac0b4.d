@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/warehouse_day-5db26c23107ac0b4.d: examples/warehouse_day.rs
+
+/root/repo/target/release/examples/warehouse_day-5db26c23107ac0b4: examples/warehouse_day.rs
+
+examples/warehouse_day.rs:

@@ -35,7 +35,11 @@ fn cancelled_route_frees_the_corridor() {
             .route()
             .cloned()
             .unwrap_or_else(|| panic!("{name}: corridor still blocked after cancel"));
-        assert_eq!(route.duration(), 11, "{name}: expected the unobstructed sweep");
+        assert_eq!(
+            route.duration(),
+            11,
+            "{name}: expected the unobstructed sweep"
+        );
     }
 }
 
@@ -52,18 +56,36 @@ fn cancel_does_not_disturb_other_routes() {
     let matrix = WarehouseMatrix::empty(4, 10);
     let mut planner = SrpPlanner::new(matrix.clone(), SrpConfig::default());
     let r0 = planner
-        .plan(&Request::new(0, 0, Cell::new(0, 0), Cell::new(0, 9), QueryKind::Pickup))
+        .plan(&Request::new(
+            0,
+            0,
+            Cell::new(0, 0),
+            Cell::new(0, 9),
+            QueryKind::Pickup,
+        ))
         .route()
         .cloned()
         .expect("r0");
     planner
-        .plan(&Request::new(1, 0, Cell::new(2, 0), Cell::new(2, 9), QueryKind::Pickup))
+        .plan(&Request::new(
+            1,
+            0,
+            Cell::new(2, 0),
+            Cell::new(2, 9),
+            QueryKind::Pickup,
+        ))
         .route()
         .expect("r1");
     assert!(planner.cancel(1));
     // Route 0's reservations must still block a head-on request on row 0.
     let head_on = planner
-        .plan(&Request::new(2, 0, Cell::new(0, 9), Cell::new(0, 0), QueryKind::Pickup))
+        .plan(&Request::new(
+            2,
+            0,
+            Cell::new(0, 9),
+            Cell::new(0, 0),
+            QueryKind::Pickup,
+        ))
         .route()
         .cloned()
         .expect("r2 plans around r0");

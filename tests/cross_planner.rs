@@ -21,25 +21,57 @@ fn all_planners_survive_identical_request_stream() {
     let layout = cfg.generate();
     let requests = generate_requests(&layout, 90, 3.0, 2024);
     for mut planner in planners(&cfg) {
-        let mut routes = Vec::new();
+        let mut planned = 0usize;
+        let mut final_routes: Vec<(u64, Route)> = Vec::new();
         for req in &requests {
             if let PlanOutcome::Planned(r) = planner.plan(req) {
-                assert!(r.validate(&layout.matrix).is_ok(), "{}: invalid route", planner.name());
-                routes.push(r);
+                assert!(
+                    r.validate(&layout.matrix).is_ok(),
+                    "{}: invalid route",
+                    planner.name()
+                );
+                if planner.name() == "SRP" {
+                    // SRP records where each route came from; the tag must be
+                    // readable while the route is committed.
+                    let p = planner.provenance(req.id).expect("SRP provenance");
+                    assert!(p.contains("path="), "unexpected provenance format: {p}");
+                }
+                planned += 1;
+                final_routes.push((req.id, r));
             }
-            for (_, revised) in planner.advance(req.t) {
-                // Revisions replace earlier routes; for this sequential test
-                // we simply re-validate them.
+            for (rid, revised) in planner.advance(req.t) {
+                // Revisions replace earlier routes.
                 assert!(revised.validate(&layout.matrix).is_ok());
+                if let Some(slot) = final_routes.iter_mut().find(|(id, _)| *id == rid) {
+                    slot.1 = revised;
+                }
             }
         }
         assert!(
-            routes.len() >= 85,
+            planned >= 85,
             "{}: too many infeasible ({} of {})",
             planner.name(),
-            requests.len() - routes.len(),
+            requests.len() - planned,
             requests.len()
         );
+        // The final route set must be mutually collision-free: the
+        // incremental auditor accepts every post-revision route.
+        let mut auditor = IncrementalAuditor::new();
+        for (rid, r) in &final_routes {
+            if let Err(c) = auditor.commit(*rid, r) {
+                panic!(
+                    "{}: audit refused route: {c}\n  existing: {}\n  incoming: {}",
+                    planner.name(),
+                    planner
+                        .provenance(c.existing)
+                        .unwrap_or_else(|| "unrecorded".into()),
+                    planner
+                        .provenance(c.incoming)
+                        .unwrap_or_else(|| "unrecorded".into()),
+                );
+            }
+        }
+        assert_eq!(auditor.active(), final_routes.len());
     }
 }
 
@@ -72,13 +104,22 @@ fn full_simulated_day_cross_planner_audit() {
     for kind in ["SRP", "SAP", "ACP"] {
         let planner: Box<dyn Planner> = match kind {
             "SRP" => Box::new(SrpPlanner::new(layout.matrix.clone(), SrpConfig::default())),
-            "SAP" => Box::new(SapPlanner::new(layout.matrix.clone(), AStarConfig::default())),
+            "SAP" => Box::new(SapPlanner::new(
+                layout.matrix.clone(),
+                AStarConfig::default(),
+            )),
             _ => Box::new(AcpPlanner::new(layout.matrix.clone(), AcpConfig::default())),
         };
         let (report, _) = Simulation::new(&layout, &tasks, planner, SimConfig::default()).run();
         assert_eq!(report.audit_conflicts, 0, "{kind} leaked conflicts");
-        assert_eq!(report.completed, report.tasks, "{kind} left tasks unfinished");
-        assert!(report.makespan >= 500, "{kind}: makespan shorter than the day");
+        assert_eq!(
+            report.completed, report.tasks,
+            "{kind} left tasks unfinished"
+        );
+        assert!(
+            report.makespan >= 500,
+            "{kind}: makespan shorter than the day"
+        );
     }
 }
 

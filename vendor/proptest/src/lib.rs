@@ -1,0 +1,383 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build container cannot reach crates.io, so this crate vendors the
+//! subset of the proptest API the workspace tests use: the [`proptest!`]
+//! macro, range/tuple/`prop_map`/`collection::vec` strategies, and the
+//! `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs (via
+//!   `Debug`), the case index and the deterministic per-case seed; replay
+//!   is exact because generation is seeded from the test's name and the
+//!   case index alone.
+//! * **Deterministic by default.** Upstream draws fresh entropy per run;
+//!   here every run of a given binary generates identical cases, so CI
+//!   and local runs agree. Set `PROPTEST_SEED` to explore a different
+//!   deterministic universe, and `PROPTEST_CASES` to scale case counts.
+//! * `.proptest-regressions` files are upstream-format seeds that this
+//!   stub cannot decode; regressions are instead pinned as explicit
+//!   `#[test]` functions next to the property (see
+//!   `tests/prop_end_to_end.rs` in the workspace root).
+
+#![forbid(unsafe_code)]
+
+use core::fmt::Debug;
+use core::ops::{Range, RangeInclusive};
+
+/// Runner configuration (`ProptestConfig` upstream).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Effective case count: the config value, overridable via
+/// `PROPTEST_CASES` (a floor of 1 keeps every property exercised — no
+/// `PROPTEST_CASES=0` shortcuts).
+pub fn resolve_cases(configured: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v.parse::<u32>().map(|n| n.max(1)).unwrap_or(configured),
+        Err(_) => configured,
+    }
+}
+
+/// Why a test-case body did not complete.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assert*` failure — the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejection — the case does not apply.
+    Reject(String),
+}
+
+/// Deterministic per-case generator (SplitMix64 stream).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Generator for one case of one property, seeded from the test path,
+    /// the case index and the optional `PROPTEST_SEED` env override.
+    pub fn for_case(test_path: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let universe = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        TestRng {
+            state: h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ universe,
+        }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Value generators. `Value` is the generated type; generation must be a
+/// pure function of the rng stream so failures replay exactly.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy producing one fixed value (`Just` upstream).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Collection strategies (`prop::collection` upstream).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use core::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` strategy: `size.len()`-bounded vectors of `element` values.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.clone().generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `use proptest::prelude::*` surface.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Define property tests. Supports the upstream form used in this
+/// workspace: an optional `#![proptest_config(..)]` header followed by
+/// `#[test] fn name(pat in strategy, ..) { .. }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg); $($rest)*);
+    };
+    (@run ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let cases = $crate::resolve_cases(cfg.cases);
+                for case in 0..cases {
+                    let mut proptest_rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut proptest_rng);)+
+                    let proptest_inputs = {
+                        let mut s = ::std::string::String::new();
+                        $(
+                            s.push_str(concat!("\n  ", stringify!($arg), " = "));
+                            s.push_str(&format!("{:?}", &$arg));
+                        )+
+                        s
+                    };
+                    let result: ::core::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    match result {
+                        ::core::result::Result::Ok(()) => {}
+                        ::core::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                        ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "property `{}` failed at case {case}/{cases}: {msg}\ninputs:{}\n\
+                                 (deterministic replay: rerun this test; \
+                                 PROPTEST_SEED/PROPTEST_CASES tune the universe)",
+                                stringify!($name),
+                                proptest_inputs,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run (::core::default::Default::default()); $($rest)*);
+    };
+}
+
+/// Fail the enclosing property when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the enclosing property when the two sides differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fail the enclosing property when the two sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Skip the current case when `cond` does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = (0u32..100, 0i32..50).prop_map(|(a, b)| (a, b));
+        let mut r1 = crate::TestRng::for_case("x::y", 3);
+        let mut r2 = crate::TestRng::for_case("x::y", 3);
+        assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+    }
+
+    #[test]
+    fn vec_lengths_respect_bounds() {
+        let strat = prop::collection::vec(0u8..10, 2..6);
+        for case in 0..100 {
+            let mut rng = crate::TestRng::for_case("len", case);
+            let v = strat.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro path itself: generation, assume and assert all wired.
+        #[test]
+        fn macro_roundtrip(a in 0u32..1000, b in 1u32..10, v in prop::collection::vec(0u8..5, 0..4)) {
+            prop_assume!(a % 7 != 0);
+            prop_assert!(a < 1000);
+            prop_assert_eq!((a / b) * b + a % b, a);
+            prop_assert!(v.len() < 4, "vec of {} elements", v.len());
+        }
+    }
+
+    proptest! {
+        /// Default config (no header) also compiles and runs.
+        #[test]
+        fn default_config_form(x in 0u8..3) {
+            prop_assert!(x < 3);
+        }
+    }
+}

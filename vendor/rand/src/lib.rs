@@ -1,0 +1,252 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build container has no network access to crates.io, so the
+//! workspace vendors the small slice of `rand` it actually uses:
+//! seedable deterministic generators (`StdRng`, `SmallRng`), `gen`,
+//! `gen_range` over integer/float ranges and `gen_bool`.
+//!
+//! The value streams do **not** match upstream `rand` bit-for-bit (the
+//! upstream generators are ChaCha12/Xoshiro with different seeding);
+//! everything in this workspace only relies on *determinism per seed*,
+//! which this crate guarantees: the same seed always yields the same
+//! stream, on every platform.
+
+#![forbid(unsafe_code)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly distributed bits (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators (subset: only `seed_from_u64` is provided).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of a standard-distribution type (`f64`/`f32` in
+    /// `[0, 1)`, uniform integers, fair `bool`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from a range. Panics on an empty range, like
+    /// upstream `rand`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types sampleable by [`Rng::gen`] (the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit: f64 = Standard::sample_standard(rng);
+                self.start + (self.end - self.start) * unit as $t
+            }
+        }
+    )*};
+}
+sample_range_float!(f32, f64);
+
+/// xoshiro256** core, seeded via SplitMix64 — deterministic and portable.
+#[derive(Debug, Clone)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the full state.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Xoshiro256 {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// The concrete generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng, Xoshiro256};
+
+    /// Deterministic "standard" generator (xoshiro256** here, not ChaCha).
+    #[derive(Debug, Clone)]
+    pub struct StdRng(Xoshiro256);
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng(Xoshiro256::seed_from_u64(state))
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Small fast generator; identical engine to [`StdRng`] in this stub.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng(Xoshiro256);
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // Domain-separated from StdRng so the two streams differ.
+            SmallRng(Xoshiro256::seed_from_u64(state ^ 0x5111_0a11_5111_0a11))
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u32..1000), b.gen_range(0u32..1000));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let same = (0..100)
+            .filter(|_| a.gen_range(0u32..1000) == c.gen_range(0u32..1000))
+            .count();
+        assert!(same < 20, "different seeds should diverge");
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&v));
+            let w = rng.gen_range(0u32..=3);
+            assert!(w <= 3);
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+        // Both endpoints of a small range are hit.
+        let hits: std::collections::HashSet<i32> = (0..200).map(|_| rng.gen_range(0..3)).collect();
+        assert_eq!(hits.len(), 3);
+    }
+}

@@ -1,0 +1,274 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! vendored Value-based `serde` by scanning the raw token stream — no
+//! `syn`/`quote` (unavailable offline). Supported shapes, which cover every
+//! derive in this workspace:
+//!
+//! * structs with named fields → JSON-style map keyed by field name;
+//! * enums with unit variants only → the variant name as a string.
+//!
+//! Generics and `#[serde(...)]` attributes are rejected with a compile
+//! error rather than silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the Value-based `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derive the Value-based `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    /// Unit variant names, in declaration order.
+    Enum(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let (name, shape) = match parse(input) {
+        Ok(x) => x,
+        Err(msg) => {
+            let escaped = msg.replace('"', "\\\"");
+            return format!("compile_error!(\"{escaped}\");").parse().unwrap();
+        }
+    };
+    let code = match (&shape, mode) {
+        (Shape::Struct(fields), Mode::Serialize) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Shape::Struct(fields), Mode::Deserialize) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::field(map, \"{f}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let map = v.as_map().ok_or_else(|| ::serde::Error::expected(\"map\", \"{name}\"))?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Shape::Enum(variants), Mode::Serialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        (Shape::Enum(variants), Mode::Deserialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v.as_str().ok_or_else(|| ::serde::Error::expected(\"string\", \"{name}\"))? {{\n\
+                             {arms}\n\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\n\
+                                 format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "serde stub derive: expected struct/enum, got {other:?}"
+            ))
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "serde stub derive: expected type name, got {other:?}"
+            ))
+        }
+    };
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!("serde stub derive: generics on `{name}` are not supported"))
+        }
+        _ => {
+            return Err(format!(
+                "serde stub derive: `{name}` must be a braced struct or enum (tuple/unit shapes unsupported)"
+            ))
+        }
+    };
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(body, &name)?),
+        "enum" => Shape::Enum(parse_unit_variants(body, &name)?),
+        other => {
+            return Err(format!(
+                "serde stub derive: unsupported item kind `{other}`"
+            ))
+        }
+    };
+    Ok((name, shape))
+}
+
+/// Field grammar handled: `#[attr]* pub? ident : Type ,` with `<>` nesting
+/// inside `Type`.
+fn parse_named_fields(body: TokenStream, ty: &str) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes / doc comments on the field.
+        while let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == '#' {
+                iter.next();
+                iter.next();
+            } else {
+                break;
+            }
+        }
+        let field = loop {
+            match iter.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    return Err(format!(
+                        "serde stub derive: unexpected token {other} in fields of `{ty}`"
+                    ))
+                }
+            }
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => {
+                return Err(format!(
+                    "serde stub derive: expected `:` after field `{field}` of `{ty}`"
+                ))
+            }
+        }
+        fields.push(field);
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        for tok in iter.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_unit_variants(body: TokenStream, ty: &str) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        while let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == '#' {
+                iter.next();
+                iter.next();
+            } else {
+                break;
+            }
+        }
+        match iter.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Ident(id)) => variants.push(id.to_string()),
+            Some(other) => {
+                return Err(format!(
+                    "serde stub derive: unexpected token {other} in enum `{ty}`"
+                ))
+            }
+        }
+        match iter.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde stub derive: enum `{ty}` has a non-unit variant `{}` (unsupported)",
+                    variants.last().unwrap()
+                ))
+            }
+            Some(other) => {
+                return Err(format!(
+                    "serde stub derive: unexpected token {other} after variant in `{ty}`"
+                ))
+            }
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! Offline stand-in for `serde_json`, built on the vendored Value-based
+//! `serde`. Provides the calls this workspace uses: [`to_string`],
+//! [`to_string_pretty`], [`from_str`] and the [`Error`] type.
+//!
+//! Encoding notes: floats print via Rust's shortest-round-trip `{:?}`
+//! (`1.0`, not `1`), matching upstream; non-finite floats are an error;
+//! strings escape `"`/`\\` and control characters.
+
+#![forbid(unsafe_code)]
+
+use serde::{Deserialize, Serialize, Value};
+
+/// JSON (de)serialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+    /// Byte offset for parse errors, when known.
+    offset: Option<usize>,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error {
+            msg: msg.into(),
+            offset: None,
+        }
+    }
+
+    fn at(msg: impl Into<String>, offset: usize) -> Self {
+        Error {
+            msg: msg.into(),
+            offset: Some(offset),
+        }
+    }
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self.offset {
+            Some(o) => write!(f, "{} at byte {o}", self.msg),
+            None => f.write_str(&self.msg),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serialize a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0)?;
+    Ok(out)
+}
+
+/// Serialize a value to 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0)?;
+    Ok(out)
+}
+
+/// Parse JSON into a deserializable type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::at("trailing characters", p.pos));
+    }
+    Ok(T::from_value(&v)?)
+}
+
+// ---- writer -------------------------------------------------------------
+
+fn write_value(
+    out: &mut String,
+    v: &Value,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<(), Error> {
+    use core::fmt::Write;
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(f) => {
+            if !f.is_finite() {
+                return Err(Error::new("non-finite float is not valid JSON"));
+            }
+            // `{:?}` is Rust's shortest round-trip form and always keeps a
+            // decimal point or exponent, like upstream serde_json.
+            let _ = write!(out, "{f:?}");
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1)?;
+            }
+            if !items.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1)?;
+            }
+            if !entries.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    use core::fmt::Write;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parser -------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::at(format!("expected `{}`", b as char), self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error::at(format!("expected `{word}`"), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            None => Err(Error::at("unexpected end of input", self.pos)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => return Err(Error::at("expected `,` or `]`", self.pos)),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let val = self.value()?;
+                    entries.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => return Err(Error::at("expected `,` or `}`", self.pos)),
+                    }
+                }
+            }
+            Some(_) => self.number(),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast-forward over plain UTF-8 runs.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                core::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::at("invalid UTF-8 in string", start))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| core::str::from_utf8(h).ok())
+                                .ok_or_else(|| Error::at("truncated \\u escape", self.pos))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::at("invalid \\u escape", self.pos))?;
+                            // Surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error::at("invalid escape", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(Error::at("unterminated string", self.pos)),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = core::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::at("invalid number", start))?;
+        if text.is_empty() {
+            return Err(Error::at("expected a JSON value", start));
+        }
+        if !text.contains(['.', 'e', 'E']) {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::at(format!("invalid number `{text}`"), start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_value_shapes() {
+        let v = Value::Map(vec![
+            ("name".into(), Value::Str("W-1 \"day\"\n".into())),
+            ("n".into(), Value::I64(-3)),
+            ("rate".into(), Value::F64(2.5)),
+            (
+                "flags".into(),
+                Value::Seq(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("empty".into(), Value::Seq(vec![])),
+        ]);
+        for json in [
+            to_string(&W(v.clone())).unwrap(),
+            to_string_pretty(&W(v.clone())).unwrap(),
+        ] {
+            let back: W = from_str(&json).unwrap();
+            assert_eq!(back.0, v);
+        }
+    }
+
+    #[test]
+    fn garbage_is_an_error() {
+        assert!(from_str::<W>("{not json").is_err());
+        assert!(from_str::<W>("").is_err());
+        assert!(from_str::<W>("[1, 2,]").is_err());
+        assert!(from_str::<W>("[1] trailing").is_err());
+    }
+
+    #[test]
+    fn floats_keep_roundtrip_form() {
+        assert_eq!(to_string(&W(Value::F64(1.0))).unwrap(), "1.0");
+        assert_eq!(to_string(&W(Value::F64(0.1))).unwrap(), "0.1");
+        assert!(to_string(&W(Value::F64(f64::NAN))).is_err());
+    }
+
+    /// Transparent wrapper so tests can push raw `Value`s through the API.
+    #[derive(Debug, PartialEq)]
+    struct W(Value);
+
+    impl Serialize for W {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+
+    impl Deserialize for W {
+        fn from_value(v: &Value) -> Result<Self, serde::Error> {
+            Ok(W(v.clone()))
+        }
+    }
+}
