@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cancellation-9249bae3e3129573.d: tests/cancellation.rs
+
+/root/repo/target/debug/deps/libcancellation-9249bae3e3129573.rmeta: tests/cancellation.rs
+
+tests/cancellation.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/carp_baselines-18cab7f1c0a835d5.d: crates/baselines/src/lib.rs crates/baselines/src/acp.rs crates/baselines/src/common.rs crates/baselines/src/rp.rs crates/baselines/src/sap.rs crates/baselines/src/sipp.rs crates/baselines/src/twp.rs
+
+/root/repo/target/debug/deps/libcarp_baselines-18cab7f1c0a835d5.rmeta: crates/baselines/src/lib.rs crates/baselines/src/acp.rs crates/baselines/src/common.rs crates/baselines/src/rp.rs crates/baselines/src/sap.rs crates/baselines/src/sipp.rs crates/baselines/src/twp.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/acp.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/rp.rs:
+crates/baselines/src/sap.rs:
+crates/baselines/src/sipp.rs:
+crates/baselines/src/twp.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/carp_baselines-9b18484262ba032b.d: crates/baselines/src/lib.rs crates/baselines/src/acp.rs crates/baselines/src/common.rs crates/baselines/src/rp.rs crates/baselines/src/sap.rs crates/baselines/src/sipp.rs crates/baselines/src/twp.rs
+
+/root/repo/target/debug/deps/libcarp_baselines-9b18484262ba032b.rmeta: crates/baselines/src/lib.rs crates/baselines/src/acp.rs crates/baselines/src/common.rs crates/baselines/src/rp.rs crates/baselines/src/sap.rs crates/baselines/src/sipp.rs crates/baselines/src/twp.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/acp.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/rp.rs:
+crates/baselines/src/sap.rs:
+crates/baselines/src/sipp.rs:
+crates/baselines/src/twp.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/carp_bench-a660f96a0cb08619.d: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/debug/deps/libcarp_bench-a660f96a0cb08619.rmeta: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/svg.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/carp_bench-d7911a0722781409.d: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+/root/repo/target/debug/deps/libcarp_bench-d7911a0722781409.rmeta: crates/bench/src/lib.rs crates/bench/src/svg.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/svg.rs:

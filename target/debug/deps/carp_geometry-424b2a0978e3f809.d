@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/carp_geometry-424b2a0978e3f809.d: crates/geometry/src/lib.rs crates/geometry/src/index.rs crates/geometry/src/intersect.rs crates/geometry/src/segment.rs crates/geometry/src/store.rs
+
+/root/repo/target/debug/deps/libcarp_geometry-424b2a0978e3f809.rmeta: crates/geometry/src/lib.rs crates/geometry/src/index.rs crates/geometry/src/intersect.rs crates/geometry/src/segment.rs crates/geometry/src/store.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/index.rs:
+crates/geometry/src/intersect.rs:
+crates/geometry/src/segment.rs:
+crates/geometry/src/store.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/carp_simenv-bf65cb1064dd3237.d: crates/simenv/src/lib.rs crates/simenv/src/audit.rs crates/simenv/src/metrics.rs crates/simenv/src/sim.rs
+
+/root/repo/target/debug/deps/libcarp_simenv-bf65cb1064dd3237.rmeta: crates/simenv/src/lib.rs crates/simenv/src/audit.rs crates/simenv/src/metrics.rs crates/simenv/src/sim.rs
+
+crates/simenv/src/lib.rs:
+crates/simenv/src/audit.rs:
+crates/simenv/src/metrics.rs:
+crates/simenv/src/sim.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/carp_spacetime-a6f3ee257a2e4651.d: crates/spacetime/src/lib.rs crates/spacetime/src/astar.rs crates/spacetime/src/cbs.rs crates/spacetime/src/reservation.rs
+
+/root/repo/target/debug/deps/libcarp_spacetime-a6f3ee257a2e4651.rmeta: crates/spacetime/src/lib.rs crates/spacetime/src/astar.rs crates/spacetime/src/cbs.rs crates/spacetime/src/reservation.rs
+
+crates/spacetime/src/lib.rs:
+crates/spacetime/src/astar.rs:
+crates/spacetime/src/cbs.rs:
+crates/spacetime/src/reservation.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/carp_spacetime-ac200ccec5125963.d: crates/spacetime/src/lib.rs crates/spacetime/src/astar.rs crates/spacetime/src/cbs.rs crates/spacetime/src/reservation.rs
+
+/root/repo/target/debug/deps/libcarp_spacetime-ac200ccec5125963.rmeta: crates/spacetime/src/lib.rs crates/spacetime/src/astar.rs crates/spacetime/src/cbs.rs crates/spacetime/src/reservation.rs
+
+crates/spacetime/src/lib.rs:
+crates/spacetime/src/astar.rs:
+crates/spacetime/src/cbs.rs:
+crates/spacetime/src/reservation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/carp_srp-b855a78fe826aacc.d: crates/srp/src/lib.rs crates/srp/src/convert.rs crates/srp/src/intra.rs crates/srp/src/planner.rs crates/srp/src/strip_graph.rs
+
+/root/repo/target/debug/deps/libcarp_srp-b855a78fe826aacc.rmeta: crates/srp/src/lib.rs crates/srp/src/convert.rs crates/srp/src/intra.rs crates/srp/src/planner.rs crates/srp/src/strip_graph.rs
+
+crates/srp/src/lib.rs:
+crates/srp/src/convert.rs:
+crates/srp/src/intra.rs:
+crates/srp/src/planner.rs:
+crates/srp/src/strip_graph.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/carp_warehouse-74fe2444c90b70ea.d: crates/warehouse/src/lib.rs crates/warehouse/src/collision.rs crates/warehouse/src/dataset.rs crates/warehouse/src/layout.rs crates/warehouse/src/matrix.rs crates/warehouse/src/memory.rs crates/warehouse/src/planner.rs crates/warehouse/src/render.rs crates/warehouse/src/request.rs crates/warehouse/src/route.rs crates/warehouse/src/tasks.rs crates/warehouse/src/types.rs
+
+/root/repo/target/debug/deps/libcarp_warehouse-74fe2444c90b70ea.rmeta: crates/warehouse/src/lib.rs crates/warehouse/src/collision.rs crates/warehouse/src/dataset.rs crates/warehouse/src/layout.rs crates/warehouse/src/matrix.rs crates/warehouse/src/memory.rs crates/warehouse/src/planner.rs crates/warehouse/src/render.rs crates/warehouse/src/request.rs crates/warehouse/src/route.rs crates/warehouse/src/tasks.rs crates/warehouse/src/types.rs
+
+crates/warehouse/src/lib.rs:
+crates/warehouse/src/collision.rs:
+crates/warehouse/src/dataset.rs:
+crates/warehouse/src/layout.rs:
+crates/warehouse/src/matrix.rs:
+crates/warehouse/src/memory.rs:
+crates/warehouse/src/planner.rs:
+crates/warehouse/src/render.rs:
+crates/warehouse/src/request.rs:
+crates/warehouse/src/route.rs:
+crates/warehouse/src/tasks.rs:
+crates/warehouse/src/types.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_planner-8ed0bd4288251cd1.d: tests/cross_planner.rs
+
+/root/repo/target/debug/deps/libcross_planner-8ed0bd4288251cd1.rmeta: tests/cross_planner.rs
+
+tests/cross_planner.rs:

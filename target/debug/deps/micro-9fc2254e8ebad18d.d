@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-9fc2254e8ebad18d.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/libmicro-9fc2254e8ebad18d.rmeta: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/planner_integration-88a7c27970e72e27.d: crates/srp/tests/planner_integration.rs
+
+/root/repo/target/debug/deps/libplanner_integration-88a7c27970e72e27.rmeta: crates/srp/tests/planner_integration.rs
+
+crates/srp/tests/planner_integration.rs:

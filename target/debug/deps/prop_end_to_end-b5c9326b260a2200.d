@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_end_to_end-b5c9326b260a2200.d: tests/prop_end_to_end.rs
+
+/root/repo/target/debug/deps/libprop_end_to_end-b5c9326b260a2200.rmeta: tests/prop_end_to_end.rs
+
+tests/prop_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_geometry-c4b8c86094724570.d: crates/geometry/tests/prop_geometry.rs
+
+/root/repo/target/debug/deps/libprop_geometry-c4b8c86094724570.rmeta: crates/geometry/tests/prop_geometry.rs
+
+crates/geometry/tests/prop_geometry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_intra-6cbb6ae895e2bff3.d: crates/srp/tests/prop_intra.rs
+
+/root/repo/target/debug/deps/libprop_intra-6cbb6ae895e2bff3.rmeta: crates/srp/tests/prop_intra.rs
+
+crates/srp/tests/prop_intra.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_spacetime-91310114bd22c6b1.d: crates/spacetime/tests/prop_spacetime.rs
+
+/root/repo/target/debug/deps/libprop_spacetime-91310114bd22c6b1.rmeta: crates/spacetime/tests/prop_spacetime.rs
+
+crates/spacetime/tests/prop_spacetime.rs:

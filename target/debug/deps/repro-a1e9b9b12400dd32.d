@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-a1e9b9b12400dd32.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-a1e9b9b12400dd32.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

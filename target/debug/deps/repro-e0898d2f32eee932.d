@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-e0898d2f32eee932.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-e0898d2f32eee932.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_paper-4a5cce85ce4ce34f.d: crates/bench/benches/repro_paper.rs
+
+/root/repo/target/debug/deps/librepro_paper-4a5cce85ce4ce34f.rmeta: crates/bench/benches/repro_paper.rs
+
+crates/bench/benches/repro_paper.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shadow-fa81c3e897cca3e9.d: crates/srp/tests/shadow.rs
+
+/root/repo/target/debug/deps/libshadow-fa81c3e897cca3e9.rmeta: crates/srp/tests/shadow.rs
+
+crates/srp/tests/shadow.rs:

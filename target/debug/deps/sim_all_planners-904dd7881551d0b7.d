@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_all_planners-904dd7881551d0b7.d: crates/simenv/tests/sim_all_planners.rs
+
+/root/repo/target/debug/deps/libsim_all_planners-904dd7881551d0b7.rmeta: crates/simenv/tests/sim_all_planners.rs
+
+crates/simenv/tests/sim_all_planners.rs:

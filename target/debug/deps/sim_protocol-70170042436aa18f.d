@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_protocol-70170042436aa18f.d: crates/simenv/tests/sim_protocol.rs
+
+/root/repo/target/debug/deps/libsim_protocol-70170042436aa18f.rmeta: crates/simenv/tests/sim_protocol.rs
+
+crates/simenv/tests/sim_protocol.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/srp_warehouse-d45228f3256d975a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsrp_warehouse-d45228f3256d975a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/srp_warehouse-e9032be2bd8ee163.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsrp_warehouse-e9032be2bd8ee163.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strip_graph_edge_cases-814d73adf5051c53.d: crates/srp/tests/strip_graph_edge_cases.rs
+
+/root/repo/target/debug/deps/libstrip_graph_edge_cases-814d73adf5051c53.rmeta: crates/srp/tests/strip_graph_edge_cases.rs
+
+crates/srp/tests/strip_graph_edge_cases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/collision_debug-10eadfff2ac3c402.d: examples/collision_debug.rs
+
+/root/repo/target/debug/examples/libcollision_debug-10eadfff2ac3c402.rmeta: examples/collision_debug.rs
+
+examples/collision_debug.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/collision_sweep-bca45b6f8b883353.d: examples/collision_sweep.rs
+
+/root/repo/target/debug/examples/libcollision_sweep-bca45b6f8b883353.rmeta: examples/collision_sweep.rs
+
+examples/collision_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ed337a9374338970.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-ed337a9374338970.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/strip_inspector-d0678a92c4e4adaf.d: examples/strip_inspector.rs
+
+/root/repo/target/debug/examples/libstrip_inspector-d0678a92c4e4adaf.rmeta: examples/strip_inspector.rs
+
+examples/strip_inspector.rs:

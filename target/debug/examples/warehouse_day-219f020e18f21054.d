@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/warehouse_day-219f020e18f21054.d: examples/warehouse_day.rs
+
+/root/repo/target/debug/examples/libwarehouse_day-219f020e18f21054.rmeta: examples/warehouse_day.rs
+
+examples/warehouse_day.rs:
