@@ -39,8 +39,11 @@ impl Commitments {
         Some(route)
     }
 
-    /// Retire every route that finished strictly before `now`.
-    pub fn retire_before(&mut self, now: Time) {
+    /// Retire every route that finished strictly before `now`, returning
+    /// the ids of the routes actually retired so callers can clean up their
+    /// per-route bookkeeping (e.g. provenance maps).
+    pub fn retire_before(&mut self, now: Time) -> Vec<RequestId> {
+        let mut retired = Vec::new();
         while let Some(&(end, id)) = self.retire_queue.iter().next() {
             if end >= now {
                 break;
@@ -48,8 +51,10 @@ impl Commitments {
             self.retire_queue.remove(&(end, id));
             if let Some(route) = self.routes.remove(&id) {
                 self.reservations.release(&route, id);
+                retired.push(id);
             }
         }
+        retired
     }
 
     /// The active route for `id`, if any.
@@ -121,11 +126,11 @@ mod tests {
         let mut c = Commitments::new();
         c.commit(1, route(0, 0..3)); // ends at t=2
         c.commit(2, route(0, 5..10)); // ends at t=4
-        c.retire_before(3);
+        assert_eq!(c.retire_before(3), vec![1]);
         assert_eq!(c.len(), 1);
         assert!(c.route(1).is_none());
         assert!(c.route(2).is_some());
-        c.retire_before(5);
+        assert_eq!(c.retire_before(5), vec![2]);
         assert!(c.is_empty());
     }
 

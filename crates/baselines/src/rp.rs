@@ -12,10 +12,12 @@ use crate::common::Commitments;
 use carp_spacetime::cbs::{CbsAgent, CbsConfig, CbsSolver};
 use carp_spacetime::{ReservationTable, SpaceTimeAStar};
 use carp_warehouse::matrix::WarehouseMatrix;
+use carp_warehouse::memory;
 use carp_warehouse::planner::{PlanOutcome, Planner};
 use carp_warehouse::request::{Request, RequestId};
 use carp_warehouse::route::Route;
 use carp_warehouse::types::Time;
+use std::collections::HashMap;
 
 /// RP configuration.
 #[derive(Debug, Clone, Copy)]
@@ -65,6 +67,9 @@ pub struct RpPlanner {
     /// Route revisions produced by joint replanning, delivered on the next
     /// [`Planner::advance`] call.
     pending_revisions: Vec<(RequestId, Route)>,
+    /// Provenance of each active route: which code path committed it, and
+    /// for CBS replans the full group of jointly replanned request ids.
+    provenance: HashMap<RequestId, String>,
     /// Counters.
     pub stats: RpStats,
     /// High-water mark of search runtime memory.
@@ -87,9 +92,28 @@ impl RpPlanner {
             commitments: Commitments::new(),
             config,
             pending_revisions: Vec::new(),
+            provenance: HashMap::new(),
             stats: RpStats::default(),
             search_peak_bytes: 0,
         }
+    }
+
+    /// Render the id list of a CBS replanning group (the new request plus
+    /// every jointly replanned robot), sorted for stable output.
+    fn group_label(req: RequestId, group: &[RequestId]) -> String {
+        let mut ids: Vec<RequestId> = Vec::with_capacity(group.len() + 1);
+        ids.push(req);
+        ids.extend_from_slice(group);
+        ids.sort_unstable();
+        let mut label = String::from("cbs group [");
+        for (i, id) in ids.iter().enumerate() {
+            if i > 0 {
+                label.push(',');
+            }
+            label.push_str(&id.to_string());
+        }
+        label.push(']');
+        label
     }
 
     /// Number of active committed routes.
@@ -171,6 +195,7 @@ impl RpPlanner {
             return None;
         };
         let new_route = routes.remove(0);
+        let label = Self::group_label(req.id, group);
         for ((id, _, prefix), tail) in withdrawn.into_iter().zip(routes) {
             let full = match prefix {
                 Some(mut p) => {
@@ -182,6 +207,7 @@ impl RpPlanner {
                 None => tail,
             };
             self.commitments.commit(id, full.clone());
+            self.provenance.insert(id, format!("{label} (revised)"));
             self.pending_revisions.push((id, full));
         }
         Some(new_route)
@@ -195,31 +221,41 @@ impl Planner for RpPlanner {
 
     fn plan(&mut self, req: &Request) -> PlanOutcome {
         let optimistic = self.plan_ignoring_traffic(req);
-        let route = match optimistic {
+        let (route, label) = match optimistic {
             Some(candidate) => {
                 let conflicts = self.commitments.conflicting_ids(&candidate);
                 if conflicts.is_empty() {
                     self.stats.conflict_free += 1;
-                    Some(candidate)
+                    (Some(candidate), String::from("conflict-free"))
                 } else if conflicts.len() <= self.config.max_group {
                     self.stats.replans += 1;
                     match self.replan_group(req, &conflicts) {
-                        Some(r) => Some(r),
+                        Some(r) => (Some(r), Self::group_label(req.id, &conflicts)),
                         None => {
                             self.stats.cbs_bailouts += 1;
-                            self.plan_prioritized(req)
+                            (
+                                self.plan_prioritized(req),
+                                String::from("prioritized fallback (cbs bailout)"),
+                            )
                         }
                     }
                 } else {
                     self.stats.cbs_bailouts += 1;
-                    self.plan_prioritized(req)
+                    (
+                        self.plan_prioritized(req),
+                        format!(
+                            "prioritized fallback (group of {} too large)",
+                            conflicts.len()
+                        ),
+                    )
                 }
             }
-            None => None,
+            None => (None, String::new()),
         };
         match route {
             Some(route) => {
                 self.commitments.commit(req.id, route.clone());
+                self.provenance.insert(req.id, label);
                 PlanOutcome::Planned(route)
             }
             None => PlanOutcome::Infeasible,
@@ -227,12 +263,22 @@ impl Planner for RpPlanner {
     }
 
     fn advance(&mut self, now: Time) -> Vec<(RequestId, Route)> {
-        self.commitments.retire_before(now);
+        for id in self.commitments.retire_before(now) {
+            self.provenance.remove(&id);
+        }
         core::mem::take(&mut self.pending_revisions)
     }
 
+    fn provenance(&self, id: RequestId) -> Option<String> {
+        self.provenance.get(&id).cloned()
+    }
+
     fn cancel(&mut self, id: RequestId) -> bool {
-        self.commitments.withdraw(id).is_some()
+        let cancelled = self.commitments.withdraw(id).is_some();
+        if cancelled {
+            self.provenance.remove(&id);
+        }
+        cancelled
     }
 
     fn memory_bytes(&self) -> usize {
@@ -244,6 +290,12 @@ impl Planner for RpPlanner {
                 .iter()
                 .map(|(_, r)| r.memory_bytes())
                 .sum::<usize>()
+            + self
+                .provenance
+                .values()
+                .map(|s| s.capacity())
+                .sum::<usize>()
+            + memory::hashmap_bytes(&self.provenance)
             + self.search_peak_bytes
     }
 }

@@ -15,10 +15,12 @@
 use crate::common::Commitments;
 use carp_spacetime::{AStarConfig, SpaceTimeAStar};
 use carp_warehouse::matrix::WarehouseMatrix;
+use carp_warehouse::memory;
 use carp_warehouse::planner::{PlanOutcome, Planner};
 use carp_warehouse::request::{Request, RequestId};
 use carp_warehouse::route::Route;
 use carp_warehouse::types::{Cell, Time};
+use std::collections::HashMap;
 
 /// TWP configuration.
 #[derive(Debug, Clone, Copy)]
@@ -61,6 +63,9 @@ pub struct TwpPlanner {
     config: TwpConfig,
     /// Absolute time of the next scheduled repair round.
     next_repair: Time,
+    /// Provenance of each active route: the window (repair-round ordinal)
+    /// it was planned under, updated whenever a slide repairs its tail.
+    provenance: HashMap<RequestId, String>,
     /// Counters.
     pub stats: TwpStats,
     /// High-water mark of search runtime memory.
@@ -77,6 +82,7 @@ impl TwpPlanner {
             commitments: Commitments::new(),
             config,
             next_repair: 0,
+            provenance: HashMap::new(),
             stats: TwpStats::default(),
             search_peak_bytes: 0,
         }
@@ -146,6 +152,13 @@ impl TwpPlanner {
                     };
                     let changed = full != old;
                     self.commitments.commit(id, full.clone());
+                    self.provenance.insert(
+                        id,
+                        format!(
+                            "window {} (tail repaired at t={now})",
+                            self.stats.repair_rounds
+                        ),
+                    );
                     if changed {
                         revisions.push((id, full));
                     }
@@ -172,6 +185,13 @@ impl Planner for TwpPlanner {
         match self.windowed_plan(req.origin, req.destination, req.t, req.t) {
             Some(route) => {
                 self.commitments.commit(req.id, route.clone());
+                self.provenance.insert(
+                    req.id,
+                    format!(
+                        "window {} (planned at t={})",
+                        self.stats.repair_rounds, req.t
+                    ),
+                );
                 PlanOutcome::Planned(route)
             }
             None => PlanOutcome::Infeasible,
@@ -179,7 +199,9 @@ impl Planner for TwpPlanner {
     }
 
     fn advance(&mut self, now: Time) -> Vec<(RequestId, Route)> {
-        self.commitments.retire_before(now);
+        for id in self.commitments.retire_before(now) {
+            self.provenance.remove(&id);
+        }
         if now >= self.next_repair {
             self.next_repair = now + self.config.period;
             self.repair_round(now)
@@ -188,14 +210,29 @@ impl Planner for TwpPlanner {
         }
     }
 
+    fn provenance(&self, id: RequestId) -> Option<String> {
+        self.provenance.get(&id).cloned()
+    }
+
     fn cancel(&mut self, id: RequestId) -> bool {
-        self.commitments.withdraw(id).is_some()
+        let cancelled = self.commitments.withdraw(id).is_some();
+        if cancelled {
+            self.provenance.remove(&id);
+        }
+        cancelled
     }
 
     fn memory_bytes(&self) -> usize {
         // The paper's MC includes "runtime space consumption during
         // execution": the search high-water is part of the footprint.
-        self.commitments.memory_bytes() + self.search_peak_bytes
+        self.commitments.memory_bytes()
+            + self
+                .provenance
+                .values()
+                .map(|s| s.capacity())
+                .sum::<usize>()
+            + memory::hashmap_bytes(&self.provenance)
+            + self.search_peak_bytes
     }
 }
 

@@ -1,0 +1,85 @@
+//! Sharded vs serial segment-store engine (the tentpole measurement of the
+//! `StoreEngine` refactor).
+//!
+//! One SRP planner per partition count {1, 2, 4, 8} commits the same W-2
+//! background traffic — routes are bit-identical across counts, so every
+//! engine holds the same segments — then batched earliest-collision probes
+//! shaped like candidate routes (segments spanning many strips) are timed
+//! through `StoreEngine::collide_many`. With `partitions = 1` the batch
+//! runs serially; higher counts fan out across partition read locks on
+//! scoped threads.
+//!
+//! NOTE: the fan-out only engages when `std::thread::available_parallelism`
+//! reports more than one core. On a single-core host every partition count
+//! degrades to the serial path by design (the gate that keeps sharding
+//! from ever regressing), so the expected ≥1.5× gap at 4 partitions is
+//! observable only on multi-core hardware.
+
+use carp_srp::{SrpConfig, SrpPlanner};
+use carp_warehouse::layout::WarehousePreset;
+use carp_warehouse::tasks::generate_requests;
+use carp_warehouse::Planner;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use carp_geometry::engine::ShardKey;
+use carp_geometry::Segment;
+
+/// A probe batch shaped like a candidate route's decomposition: segments
+/// scattered over many strips, mixing waits and unit-slope travels.
+fn probe_batch(num_strips: u32, len: usize, seed: u64) -> Vec<(ShardKey, Segment)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            let strip = rng.gen_range(0..num_strips);
+            let t0 = rng.gen_range(0..400u32);
+            let s0 = rng.gen_range(0..40i32);
+            let seg = match rng.gen_range(0..3) {
+                0 => Segment::wait(t0, t0 + rng.gen_range(0..8u32), s0),
+                1 => Segment::travel(t0, s0, s0 + rng.gen_range(0..12i32)),
+                _ => Segment::travel(t0, s0 + rng.gen_range(0..12i32), s0),
+            };
+            (strip, seg)
+        })
+        .collect()
+}
+
+fn bench_sharded_vs_serial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_vs_serial_w2");
+    group.sample_size(20);
+    let layout = WarehousePreset::W2.generate();
+    let background = generate_requests(&layout, 600, 2.0, 17);
+
+    // Serial reference answers, to pin bit-identical behavior across
+    // partition counts before timing anything.
+    let mut reference: Option<Vec<Option<carp_geometry::SegCollision>>> = None;
+
+    for &parts in &[1usize, 2, 4, 8] {
+        let config = SrpConfig {
+            store_partitions: parts,
+            ..SrpConfig::default()
+        };
+        let mut planner = SrpPlanner::new(layout.matrix.clone(), config);
+        for req in &background {
+            planner.plan(req);
+        }
+        let engine = planner.engine();
+        let queries = probe_batch(planner.graph().num_vertices() as u32, 256, 23);
+        let answers = engine.collide_many(&queries);
+        match &reference {
+            None => reference = Some(answers),
+            Some(r) => assert_eq!(
+                r, &answers,
+                "partition count {parts} diverged from the serial engine"
+            ),
+        }
+        group.bench_function(format!("partitions/{parts}"), |b| {
+            b.iter(|| black_box(engine.collide_many(&queries)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_vs_serial);
+criterion_main!(benches);

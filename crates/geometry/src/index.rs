@@ -69,6 +69,52 @@ impl SlopeClass {
         removed
     }
 
+    /// Remove a batch within this class. Bucket edits are grouped by key
+    /// (one map lookup per distinct key instead of one per segment) and the
+    /// duration high-water mark is re-tightened once at the end — the batch
+    /// bookkeeping single `remove` cannot afford.
+    fn remove_batch(&mut self, removals: &[(SegmentId, Segment)]) -> usize {
+        let mut removed: Vec<Segment> = Vec::with_capacity(removals.len());
+        for (id, seg) in removals {
+            if self.by_start.remove(&(seg.t0, *id)).is_some() {
+                removed.push(*seg);
+            }
+        }
+        // Group bucket removals by rotated key.
+        removed.sort_unstable_by_key(|s| s.index_key());
+        let mut i = 0;
+        while i < removed.len() {
+            let key = removed[i].index_key();
+            let mut j = i;
+            if let Some(bucket) = self.by_key.get_mut(&key) {
+                while j < removed.len() && removed[j].index_key() == key {
+                    let span = (removed[j].t0, removed[j].t1);
+                    if let Some(pos) = bucket.iter().position(|&s| s == span) {
+                        bucket.swap_remove(pos);
+                    }
+                    j += 1;
+                }
+                if bucket.is_empty() {
+                    self.by_key.remove(&key);
+                }
+            } else {
+                while j < removed.len() && removed[j].index_key() == key {
+                    j += 1;
+                }
+            }
+            i = j;
+        }
+        if !removed.is_empty() {
+            self.max_duration = self
+                .by_start
+                .values()
+                .map(|s| s.duration())
+                .max()
+                .unwrap_or(0);
+        }
+        removed.len()
+    }
+
     /// Earliest collision with segments *parallel* to `seg` (same class):
     /// only the same-key bucket can collide; any time overlap there is a
     /// vertex conflict starting at the first shared instant.
@@ -143,6 +189,23 @@ impl SegmentStore for SlopeIndexStore {
         if removed {
             self.len -= 1;
         }
+        removed
+    }
+
+    fn remove_batch(&mut self, removals: &[(SegmentId, Segment)]) -> usize {
+        // Partition the batch by slope class, then let each class apply its
+        // list with grouped bucket edits and one high-water re-tighten.
+        let mut by_class: [Vec<(SegmentId, Segment)>; 3] = Default::default();
+        for &(id, seg) in removals {
+            by_class[Self::class_of(seg.slope())].push((id, seg));
+        }
+        let mut removed = 0usize;
+        for (class, list) in self.classes.iter_mut().zip(by_class) {
+            if !list.is_empty() {
+                removed += class.remove_batch(&list);
+            }
+        }
+        self.len -= removed;
         removed
     }
 

@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod index;
 pub mod intersect;
 pub mod segment;
@@ -23,6 +24,7 @@ pub mod segment;
 pub mod shadow;
 pub mod store;
 
+pub use engine::{EngineStats, ShardKey, StoreEngine};
 pub use index::SlopeIndexStore;
 pub use intersect::{
     collide_exact, collide_paper, collision_time_paper, earliest_collision,

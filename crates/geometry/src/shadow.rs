@@ -74,6 +74,24 @@ impl SegmentStore for ShadowStore {
         rf
     }
 
+    fn remove_batch(&mut self, removals: &[(SegmentId, Segment)]) -> usize {
+        let mut fast_list = Vec::with_capacity(removals.len());
+        let mut naive_list = Vec::with_capacity(removals.len());
+        for (id, seg) in removals {
+            if let Some((f, n)) = self.handles.remove(id) {
+                fast_list.push((f, *seg));
+                naive_list.push((n, *seg));
+            }
+        }
+        let rf = self.fast.remove_batch(&fast_list);
+        let rn = self.naive.remove_batch(&naive_list);
+        assert_eq!(
+            rf, rn,
+            "shadow-store divergence in remove_batch: slope-index removed {rf}, naive removed {rn}"
+        );
+        rf
+    }
+
     fn earliest_collision(&self, seg: &Segment) -> Option<SegCollision> {
         let a = self.fast.earliest_collision(seg);
         let b = self.naive.earliest_collision(seg);
@@ -81,6 +99,18 @@ impl SegmentStore for ShadowStore {
             a, b,
             "shadow-store divergence querying {seg}: slope-index {a:?}, naive {b:?}"
         );
+        a
+    }
+
+    fn collide_many(&self, queries: &[Segment]) -> Vec<Option<SegCollision>> {
+        let a = self.fast.collide_many(queries);
+        let b = self.naive.collide_many(queries);
+        for ((q, ra), rb) in queries.iter().zip(&a).zip(&b) {
+            assert_eq!(
+                ra, rb,
+                "shadow-store divergence in collide_many on {q}: slope-index {ra:?}, naive {rb:?}"
+            );
+        }
         a
     }
 

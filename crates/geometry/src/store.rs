@@ -21,7 +21,12 @@ pub type SegmentId = u64;
 
 /// A collection of segments supporting insertion, removal and
 /// earliest-collision queries (the operations of Algorithm 3).
-pub trait SegmentStore {
+///
+/// Stores are `Send + Sync`: the sharded [`crate::engine::StoreEngine`]
+/// fans batched collision probes out across partitions with scoped
+/// threads, which requires shared read access from worker threads. All
+/// stores here are plain owned data structures, so the bound is free.
+pub trait SegmentStore: Send + Sync {
     /// Insert a segment, returning its removal handle.
     fn insert(&mut self, seg: Segment) -> SegmentId;
 
@@ -29,10 +34,30 @@ pub trait SegmentStore {
     /// `(id, segment)` pair is unknown.
     fn remove(&mut self, id: SegmentId, seg: &Segment) -> bool;
 
+    /// Remove a batch of previously inserted segments in one call,
+    /// returning how many were actually present. The default loops over
+    /// [`SegmentStore::remove`]; stores override it when a batch admits
+    /// cheaper bookkeeping (e.g. re-tightening duration high-water marks
+    /// once per batch instead of never).
+    fn remove_batch(&mut self, removals: &[(SegmentId, Segment)]) -> usize {
+        removals
+            .iter()
+            .filter(|(id, seg)| self.remove(*id, seg))
+            .count()
+    }
+
     /// Earliest collision of a candidate segment against every stored
     /// segment (exact discrete semantics), or `None` when the candidate is
     /// compatible with all of them.
     fn earliest_collision(&self, seg: &Segment) -> Option<SegCollision>;
+
+    /// Earliest collisions of many candidate segments, in input order.
+    /// Semantically `queries.iter().map(|q| self.earliest_collision(q))`;
+    /// the engine layer uses this per shard so a whole group of probes
+    /// runs under a single lock acquisition.
+    fn collide_many(&self, queries: &[Segment]) -> Vec<Option<SegCollision>> {
+        queries.iter().map(|q| self.earliest_collision(q)).collect()
+    }
 
     /// Number of stored segments.
     fn len(&self) -> usize;
@@ -82,6 +107,31 @@ impl SegmentStore for NaiveStore {
 
     fn remove(&mut self, id: SegmentId, seg: &Segment) -> bool {
         self.by_start.remove(&(seg.t0, id)).is_some()
+    }
+
+    fn remove_batch(&mut self, removals: &[(SegmentId, Segment)]) -> usize {
+        let mut removed = 0usize;
+        for (id, seg) in removals {
+            if self.by_start.remove(&(seg.t0, *id)).is_some() {
+                removed += 1;
+            }
+        }
+        // A batch is the one moment where re-tightening the duration
+        // high-water mark pays for itself: one pass over the survivors
+        // narrows every later query window back to the true maximum
+        // (single `remove` keeps the conservative mark untouched).
+        // Narrowing is sound: the window only needs to cover segments that
+        // can still overlap a query, and those all have duration ≤ the
+        // recomputed maximum.
+        if removed > 0 {
+            self.max_duration = self
+                .by_start
+                .values()
+                .map(|s| s.duration())
+                .max()
+                .unwrap_or(0);
+        }
+        removed
     }
 
     fn earliest_collision(&self, seg: &Segment) -> Option<SegCollision> {

@@ -60,6 +60,13 @@ pub struct DayReport {
     pub mean_task_latency: f64,
     /// Completed tasks per simulated hour.
     pub throughput_per_hour: f64,
+    /// Mean partition fan-out per batched collision probe of the planner's
+    /// sharded store engine (1.0 = fully serial; 0.0 when the planner has
+    /// no engine or issued no batches).
+    pub engine_probe_parallelism: f64,
+    /// Mean segments retired per batched engine removal (0.0 when the
+    /// planner has no engine or never retired a batch).
+    pub retire_batch_size: f64,
 }
 
 impl DayReport {
@@ -187,6 +194,8 @@ impl Recorder {
             audit_conflicts,
             mean_task_latency,
             throughput_per_hour,
+            engine_probe_parallelism: 0.0,
+            retire_batch_size: 0.0,
         }
     }
 }

@@ -330,6 +330,23 @@ impl<'a, P: Planner> Simulation<'a, P> {
                         }
                     }
                 }
+                // Under `strict-audit`, cross-check the online verdict
+                // against the ground-truth batch checker on every advance:
+                // the incremental auditor only ever accepts compatible
+                // commits, so a batch validation of its active set must
+                // find nothing. A hit means the auditor's occupancy
+                // bookkeeping diverged from Definition 3 — a bug in the
+                // audit layer itself, worth a hard stop.
+                #[cfg(feature = "strict-audit")]
+                if let Some(aud) = auditor.as_ref() {
+                    let active: Vec<Route> = aud.routes().map(|(_, r)| r.clone()).collect();
+                    if let Some(c) = validate_routes(&active) {
+                        panic!(
+                            "strict-audit: online auditor accepted a set the \
+                             batch validator rejects at t={now}: {c:?}"
+                        );
+                    }
+                }
             }
 
             match event {
@@ -430,13 +447,17 @@ impl<'a, P: Planner> Simulation<'a, P> {
             0
         };
 
-        let report = recorder.finish(
+        let mut report = recorder.finish(
             self.planner.name(),
             makespan,
             planned_requests,
             failed_requests,
             audit_conflicts,
         );
+        if let Some(m) = self.planner.engine_metrics() {
+            report.engine_probe_parallelism = m.probe_parallelism;
+            report.retire_batch_size = m.retire_batch_size;
+        }
         (report, self.planner)
     }
 

@@ -18,12 +18,13 @@
 use crate::convert::{compose, decompose};
 use crate::intra::{plan_within, plan_within_cost, IntraConfig, IntraRoute};
 use crate::strip_graph::{EdgeGeom, StripEdge, StripGraph, StripId, StripKind};
+use carp_geometry::engine::{ShardKey, StoreEngine};
 use carp_geometry::store::{SegmentId, SegmentStore};
 use carp_geometry::{Segment, SlopeIndexStore};
 use carp_spacetime::{AStarConfig, ReservationTable, SpaceTimeAStar};
 use carp_warehouse::matrix::WarehouseMatrix;
 use carp_warehouse::memory;
-use carp_warehouse::planner::{PlanOutcome, Planner};
+use carp_warehouse::planner::{EngineMetrics, PlanOutcome, Planner};
 use carp_warehouse::request::{Request, RequestId};
 use carp_warehouse::route::Route;
 use carp_warehouse::types::{Cell, Time};
@@ -60,6 +61,12 @@ pub struct SrpConfig {
     /// Record the Fig. 22(a) TC breakdown (adds two `Instant` reads per
     /// intra-strip call; off by default to keep TC comparisons clean).
     pub instrument: bool,
+    /// Lock-striped partitions of the segment-store engine
+    /// ([`StoreEngine`]). `1` is the serial path (bit-identical to the
+    /// pre-engine planner); higher counts let batched collision probes fan
+    /// out across partitions on multi-core hosts. Routes are identical for
+    /// every value — only concurrency changes.
+    pub store_partitions: usize,
 }
 
 impl Default for SrpConfig {
@@ -73,6 +80,7 @@ impl Default for SrpConfig {
             use_fallback: true,
             fallback: AStarConfig::default(),
             instrument: false,
+            store_partitions: 1,
         }
     }
 }
@@ -264,12 +272,10 @@ impl SearchScratch {
 pub struct SrpPlanner<S: SegmentStore = SlopeIndexStore> {
     matrix: WarehouseMatrix,
     graph: StripGraph,
-    /// Per-strip segment stores, allocated lazily and boxed: most strips
-    /// carry no traffic at any given moment, and inline store shells in the
-    /// map's slots would otherwise dominate SRP's memory footprint.
-    stores: HashMap<StripId, Box<S>>,
-    /// Shared empty store handed out for strips with no segments.
-    empty_store: S,
+    /// The sharded segment-store engine owning all per-strip stores
+    /// (lock-striped by `StripId % partitions`; see
+    /// `SrpConfig::store_partitions`).
+    engine: StoreEngine<S>,
     /// Directed boundary motions of active routes.
     crossings: HashSet<(Cell, Cell, Time)>,
     committed: HashMap<RequestId, Committed>,
@@ -296,8 +302,7 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
         SrpPlanner {
             matrix,
             graph,
-            stores: HashMap::new(),
-            empty_store: S::default(),
+            engine: StoreEngine::new(config.store_partitions),
             crossings: HashSet::new(),
             committed: HashMap::new(),
             retire_queue: BTreeSet::new(),
@@ -324,24 +329,26 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
 
     /// Total segments across all strip stores.
     pub fn total_segments(&self) -> usize {
-        self.stores.values().map(|s| s.len()).sum()
+        self.engine.total_segments()
     }
 
-    /// Read access to a strip's store (empty stand-in when untouched).
-    #[inline]
-    fn store(&self, sid: StripId) -> &S {
-        self.stores.get(&sid).map_or(&self.empty_store, |b| &**b)
+    /// The segment-store engine (for inspection and its operation stats).
+    pub fn engine(&self) -> &StoreEngine<S> {
+        &self.engine
+    }
+
+    /// Run a closure against one strip's segment store under the engine's
+    /// read lock (an empty stand-in when the strip carries no traffic).
+    /// Replaces the pre-engine `store_for_strip` reference accessor, which
+    /// cannot outlive a lock guard.
+    pub fn with_store_for_strip<R>(&self, sid: StripId, f: impl FnOnce(&S) -> R) -> R {
+        self.engine.with_shard(sid, f)
     }
 
     /// Byte breakdown of [`Planner::memory_bytes`] for diagnostics:
     /// `(stores, committed bookkeeping, crossings, scratch, graph)`.
     pub fn memory_breakdown(&self) -> (usize, usize, usize, usize, usize) {
-        let stores: usize = self
-            .stores
-            .values()
-            .map(|s| s.memory_bytes() + core::mem::size_of::<S>())
-            .sum::<usize>()
-            + memory::hashmap_bytes(&self.stores);
+        let stores: usize = self.engine.memory_bytes();
         let committed: usize = self
             .committed
             .values()
@@ -419,17 +426,18 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
     fn probe_free_time(&self, cell: Cell, t: Time, limit: Time) -> Option<Time> {
         let sid = self.graph.strip_of(&self.matrix, cell);
         let off = self.graph.strip(sid).offset_of(cell);
-        let store = self.store(sid);
-        let mut t = t;
         let deadline = t + limit;
-        while t <= deadline {
-            match store.earliest_collision(&Segment::wait(t, deadline, off)) {
-                None => return Some(t),
-                Some(c) if c.time > t => return Some(t),
-                Some(_) => t += 1,
+        self.engine.with_shard(sid, |store| {
+            let mut t = t;
+            while t <= deadline {
+                match store.earliest_collision(&Segment::wait(t, deadline, off)) {
+                    None => return Some(t),
+                    Some(c) if c.time > t => return Some(t),
+                    Some(_) => t += 1,
+                }
             }
-        }
-        None
+            None
+        })
     }
 
     /// Plan a route at strip level; `None` means the restricted search
@@ -705,7 +713,10 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
     fn intra_cost(&mut self, strip: StripId, t: Time, from: i32, to: i32) -> Option<Time> {
         let started = self.now();
         self.stats.intra_calls += 1;
-        let arrive = plan_within_cost(self.store(strip), t, from, to, &self.config.intra);
+        let intra = self.config.intra;
+        let arrive = self
+            .engine
+            .with_shard(strip, |s| plan_within_cost(s, t, from, to, &intra));
         self.lap(started, |s| &mut s.intra_ns);
         arrive
     }
@@ -713,7 +724,10 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
     /// Instrumented full intra-strip planning (reconstruction phase).
     fn intra_full(&mut self, strip: StripId, t: Time, from: i32, to: i32) -> Option<IntraRoute> {
         let started = self.now();
-        let leg = plan_within(self.store(strip), t, from, to, &self.config.intra);
+        let intra = self.config.intra;
+        let leg = self
+            .engine
+            .with_shard(strip, |s| plan_within(s, t, from, to, &intra));
         self.lap(started, |s| &mut s.intra_ns);
         leg
     }
@@ -729,36 +743,43 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
         g_v: Cell,
     ) -> Option<Time> {
         let started = self.now();
-        let store_u = self.store(u);
-        // Longest wait permissible at the transit cell.
-        let probe = Segment::wait(arrive, arrive + self.config.max_entry_delay, exit_off);
-        let wait_limit = match store_u.earliest_collision(&probe) {
-            Some(c) => {
-                debug_assert!(c.time > arrive, "transit cell reached collision-free");
-                (c.time - 1 - arrive).min(self.config.max_entry_delay)
-            }
-            None => self.config.max_entry_delay,
-        };
+        let max_entry_delay = self.config.max_entry_delay;
+        // Longest wait permissible at the transit cell. This and the entry
+        // probes below are two *sequential* shard borrows — never nested,
+        // so the engine's partition locks cannot self-deadlock even when
+        // strips `u` and `v` share a partition.
+        let probe = Segment::wait(arrive, arrive + max_entry_delay, exit_off);
+        let wait_limit =
+            self.engine
+                .with_shard(u, |store_u| match store_u.earliest_collision(&probe) {
+                    Some(c) => {
+                        debug_assert!(c.time > arrive, "transit cell reached collision-free");
+                        (c.time - 1 - arrive).min(max_entry_delay)
+                    }
+                    None => max_entry_delay,
+                });
         let v = self.graph.strip_of(&self.matrix, g_v);
         let v_off = self.graph.strip(v).offset_of(g_v);
-        let store_v = self.store(v);
-        let mut found = None;
-        for delta in 0..=wait_limit {
-            let depart = arrive + delta;
-            // Cross-strip swap: someone crossing the other way at `depart`.
-            if self.crossings.contains(&(g_v, g_u, depart)) {
-                continue;
+        let crossings = &self.crossings;
+        let found = self.engine.with_shard(v, |store_v| {
+            for delta in 0..=wait_limit {
+                let depart = arrive + delta;
+                // Cross-strip swap: someone crossing the other way at
+                // `depart`.
+                if crossings.contains(&(g_v, g_u, depart)) {
+                    continue;
+                }
+                // Entry vertex: the first instant in the next strip.
+                if store_v
+                    .earliest_collision(&Segment::point(depart + 1, v_off))
+                    .is_some()
+                {
+                    continue;
+                }
+                return Some(depart);
             }
-            // Entry vertex: the first instant in the next strip.
-            if store_v
-                .earliest_collision(&Segment::point(depart + 1, v_off))
-                .is_some()
-            {
-                continue;
-            }
-            found = Some(depart);
-            break;
-        }
+            None
+        });
         self.lap(started, |s| &mut s.intra_ns);
         found
     }
@@ -798,20 +819,21 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
     fn commit(&mut self, id: RequestId, route: &Route, path: PlannerPath) {
         let started = self.now();
         let dec = decompose(&self.matrix, &self.graph, route);
-        #[cfg(debug_assertions)]
-        for (sid, seg) in &dec.segments {
-            debug_assert!(
-                self.store(*sid).earliest_collision(seg).is_none(),
+        // Pre-commit validation as one batched probe over the whole
+        // candidate route (its segments span many strips, so this is the
+        // engine's parallel fan-out path on multi-core hosts). The check is
+        // always on: a colliding commit means a planner bug, and one batch
+        // probe per commit is noise next to the search that produced it.
+        let hits = self.engine.collide_many(&dec.segments);
+        for ((sid, seg), hit) in dec.segments.iter().zip(&hits) {
+            assert!(
+                hit.is_none(),
                 "committing colliding segment {seg} in strip {sid}"
             );
         }
         let mut segs = Vec::with_capacity(dec.segments.len());
         for (sid, seg) in dec.segments {
-            let handle = self
-                .stores
-                .entry(sid)
-                .or_insert_with(|| Box::new(S::default()))
-                .insert(seg);
+            let handle = self.engine.insert(sid, seg);
             segs.push((sid, handle, seg));
         }
         for &c in &dec.crossings {
@@ -829,24 +851,26 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
         self.lap(started, |s| &mut s.convert_ns);
     }
 
-    /// Remove one committed route from the collision state.
-    fn retire(&mut self, id: RequestId) {
-        if let Some(c) = self.committed.remove(&id) {
-            for (sid, handle, seg) in c.segs {
-                let store = self
-                    .stores
-                    .get_mut(&sid)
-                    .expect("store exists for committed segment");
-                let removed = store.remove(handle, &seg);
-                debug_assert!(removed, "segment missing on retire");
-                if store.is_empty() {
-                    self.stores.remove(&sid);
+    /// Remove a batch of committed routes from the collision state. All
+    /// their segments are retired through one [`StoreEngine::remove_batch`]
+    /// call — per-shard removal lists applied under a single lock
+    /// acquisition each — instead of one map traversal per segment. Ids
+    /// with no committed route (already retired, cancelled) are skipped.
+    fn retire_batch(&mut self, ids: &[RequestId]) {
+        let mut removals: Vec<(ShardKey, SegmentId, Segment)> = Vec::new();
+        for id in ids {
+            if let Some(c) = self.committed.remove(id) {
+                removals.extend(c.segs);
+                for key in c.crossings {
+                    self.crossings.remove(&key);
                 }
             }
-            for key in c.crossings {
-                self.crossings.remove(&key);
-            }
         }
+        if removals.is_empty() {
+            return;
+        }
+        let removed = self.engine.remove_batch(&removals);
+        debug_assert_eq!(removed, removals.len(), "segment missing on retire");
     }
 }
 
@@ -945,14 +969,17 @@ impl<S: SegmentStore + Default> Planner for SrpPlanner<S> {
 
     fn advance(&mut self, now: Time) -> Vec<(RequestId, Route)> {
         // Retire routes that finished strictly before `now`; their segments
-        // can no longer collide with requests emerging at `t ≥ now`.
+        // can no longer collide with requests emerging at `t ≥ now`. The
+        // whole batch of expirations goes through one engine removal pass.
+        let mut expired: Vec<RequestId> = Vec::new();
         while let Some(&(end, id)) = self.retire_queue.iter().next() {
             if end >= now {
                 break;
             }
             self.retire_queue.remove(&(end, id));
-            self.retire(id);
+            expired.push(id);
         }
+        self.retire_batch(&expired);
         Vec::new()
     }
 
@@ -963,20 +990,24 @@ impl<S: SegmentStore + Default> Planner for SrpPlanner<S> {
     fn cancel(&mut self, id: RequestId) -> bool {
         if self.committed.contains_key(&id) {
             self.retire_queue.retain(|&(_, rid)| rid != id);
-            self.retire(id);
+            self.retire_batch(&[id]);
             true
         } else {
             false
         }
     }
 
+    fn engine_metrics(&self) -> Option<EngineMetrics> {
+        let stats = self.engine.stats();
+        Some(EngineMetrics {
+            probe_batches: stats.probe_batches,
+            probe_parallelism: stats.probe_parallelism(),
+            retire_batch_size: stats.mean_retire_batch(),
+        })
+    }
+
     fn memory_bytes(&self) -> usize {
-        let stores: usize = self
-            .stores
-            .values()
-            .map(|s| s.memory_bytes() + core::mem::size_of::<S>())
-            .sum::<usize>()
-            + memory::hashmap_bytes(&self.stores);
+        let stores: usize = self.engine.memory_bytes();
         let committed: usize = self
             .committed
             .values()

@@ -219,6 +219,13 @@ impl IncrementalAuditor {
         self.routes.get(&id)
     }
 
+    /// Iterate all committed `(id, route)` pairs — the auditor's active
+    /// set, which the `strict-audit` simulator feature batch-revalidates
+    /// against the ground-truth checker on every advance.
+    pub fn routes(&self) -> impl Iterator<Item = (&RequestId, &Route)> {
+        self.routes.iter()
+    }
+
     /// Audit `route` against every committed route and, when it is
     /// compatible, commit it. On conflict the earliest offence (half-step
     /// ordering) is returned and the auditor state is left unchanged.

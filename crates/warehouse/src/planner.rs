@@ -31,6 +31,20 @@ impl PlanOutcome {
     }
 }
 
+/// Operation metrics of a planner's sharded store engine, when it has one.
+/// Defined here (rather than next to the engine) so the simulator can read
+/// them through the object-safe [`Planner`] interface without depending on
+/// the geometry crate's concrete engine type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineMetrics {
+    /// Batched collision-probe calls issued so far.
+    pub probe_batches: u64,
+    /// Mean partition fan-out per probe batch (1.0 = fully serial).
+    pub probe_parallelism: f64,
+    /// Mean segments retired per removal batch.
+    pub retire_batch_size: f64,
+}
+
 /// A collision-aware route planner operating in the online setting.
 pub trait Planner {
     /// Short display name ("SRP", "SAP", …) used in experiment output.
@@ -78,6 +92,14 @@ pub trait Planner {
         false
     }
 
+    /// Operation metrics of the planner's sharded store engine. `None` (the
+    /// default) for planners without one; SRP reports the probe/retirement
+    /// counters of its `carp_geometry::engine::StoreEngine`, which the
+    /// simulator folds into the day report.
+    fn engine_metrics(&self) -> Option<EngineMetrics> {
+        None
+    }
+
     /// Plan a whole batch `Q_t` (Definition 3 hands the planner a *set* of
     /// pairs per timestamp). The default processes requests shortest-first
     /// — the standard prioritization that lets short hops slip through
@@ -112,6 +134,9 @@ impl<P: Planner + ?Sized> Planner for Box<P> {
     }
     fn cancel(&mut self, id: RequestId) -> bool {
         (**self).cancel(id)
+    }
+    fn engine_metrics(&self) -> Option<EngineMetrics> {
+        (**self).engine_metrics()
     }
     fn plan_batch(&mut self, requests: &[Request]) -> Vec<PlanOutcome> {
         (**self).plan_batch(requests)

@@ -142,6 +142,94 @@ fn segment_and_grid_representations_agree_on_collisions() {
 }
 
 #[test]
+fn srp_routes_are_bit_identical_for_every_partition_count() {
+    // The sharded engine is a pure storage-layout change: partitioning the
+    // per-strip shards must never alter a single committed route, even with
+    // retirement interleaved into the stream.
+    let layout = LayoutConfig::small().generate();
+    let requests = generate_requests(&layout, 120, 4.0, 104);
+    let mut streams: Vec<Vec<(u64, Route)>> = Vec::new();
+    for parts in [1usize, 4, 8] {
+        let config = SrpConfig {
+            store_partitions: parts,
+            ..SrpConfig::default()
+        };
+        let mut planner = SrpPlanner::new(layout.matrix.clone(), config);
+        let mut planned = Vec::new();
+        for req in &requests {
+            planner.advance(req.t);
+            if let PlanOutcome::Planned(r) = planner.plan(req) {
+                planned.push((req.id, r));
+            }
+        }
+        streams.push(planned);
+    }
+    assert!(streams[0].len() >= 110);
+    assert_eq!(
+        streams[0], streams[1],
+        "partitions=4 diverged from the serial engine"
+    );
+    assert_eq!(
+        streams[0], streams[2],
+        "partitions=8 diverged from the serial engine"
+    );
+}
+
+#[test]
+fn every_committed_route_has_provenance_in_all_three_planners() {
+    // SRP tags planner paths, RP tags CBS group membership, TWP tags the
+    // planning window: a committed route without provenance means an audit
+    // trail gap, so the invariant holds across all three planners.
+    let layout = LayoutConfig::small().generate();
+    let requests = generate_requests(&layout, 60, 3.0, 11);
+    let planners: Vec<Box<dyn Planner>> = vec![
+        Box::new(SrpPlanner::new(layout.matrix.clone(), SrpConfig::default())),
+        Box::new(RpPlanner::new(layout.matrix.clone(), RpConfig::default())),
+        // A window covering the whole stream keeps TWP's optimistic
+        // beyond-horizon commits out of play: this test is about provenance
+        // bookkeeping, not windowed conflict deferral (twp_full_day covers
+        // that), and the reservation table treats residual double bookings
+        // as planner bugs in debug builds.
+        Box::new(TwpPlanner::new(
+            layout.matrix.clone(),
+            TwpConfig {
+                window: 4096,
+                ..TwpConfig::default()
+            },
+        )),
+    ];
+    for mut planner in planners {
+        let mut committed = 0usize;
+        for req in &requests {
+            if let PlanOutcome::Planned(_) = planner.plan(req) {
+                committed += 1;
+                let p = planner
+                    .provenance(req.id)
+                    .unwrap_or_else(|| panic!("{}: no provenance for {}", planner.name(), req.id));
+                assert!(
+                    !p.trim().is_empty(),
+                    "{}: empty provenance for {}",
+                    planner.name(),
+                    req.id
+                );
+            }
+            // Revisions (RP's CBS groups, TWP's window repairs) must keep the
+            // tags of every revised route readable too.
+            for (rid, _) in planner.advance(req.t) {
+                assert!(
+                    planner
+                        .provenance(rid)
+                        .is_some_and(|p| !p.trim().is_empty()),
+                    "{}: revised route {rid} lost its provenance",
+                    planner.name()
+                );
+            }
+        }
+        assert!(committed >= 50, "{}: too few planned", planner.name());
+    }
+}
+
+#[test]
 fn workspace_prelude_exposes_a_complete_api() {
     // Compile-time check that the prelude covers the typical workflow.
     let matrix = WarehouseMatrix::from_ascii(".....\n.##..\n.....");
