@@ -79,6 +79,12 @@ impl Commitments {
         ids
     }
 
+    /// Cumulative reservation-table double-booking overwrites (see
+    /// [`ReservationTable::reservation_repairs`]).
+    pub fn reservation_repairs(&self) -> u64 {
+        self.reservations.reservation_repairs()
+    }
+
     /// Number of active routes.
     pub fn len(&self) -> usize {
         self.routes.len()

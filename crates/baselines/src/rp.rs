@@ -13,7 +13,7 @@ use carp_spacetime::cbs::{CbsAgent, CbsConfig, CbsSolver};
 use carp_spacetime::{ReservationTable, SpaceTimeAStar};
 use carp_warehouse::matrix::WarehouseMatrix;
 use carp_warehouse::memory;
-use carp_warehouse::planner::{PlanOutcome, Planner};
+use carp_warehouse::planner::{EngineMetrics, PlanOutcome, Planner};
 use carp_warehouse::request::{Request, RequestId};
 use carp_warehouse::route::Route;
 use carp_warehouse::types::Time;
@@ -271,6 +271,16 @@ impl Planner for RpPlanner {
 
     fn provenance(&self, id: RequestId) -> Option<String> {
         self.provenance.get(&id).cloned()
+    }
+
+    fn engine_metrics(&self) -> Option<EngineMetrics> {
+        // RP commits optimistic shortest paths before CBS resolves their
+        // conflicts, so its reservation table double-books between the
+        // commit and the group replan; the repair count sizes that debt.
+        Some(EngineMetrics {
+            reservation_repairs: self.commitments.reservation_repairs(),
+            ..EngineMetrics::default()
+        })
     }
 
     fn cancel(&mut self, id: RequestId) -> bool {

@@ -16,7 +16,7 @@ use crate::common::Commitments;
 use carp_spacetime::{AStarConfig, SpaceTimeAStar};
 use carp_warehouse::matrix::WarehouseMatrix;
 use carp_warehouse::memory;
-use carp_warehouse::planner::{PlanOutcome, Planner};
+use carp_warehouse::planner::{EngineMetrics, PlanOutcome, Planner};
 use carp_warehouse::request::{Request, RequestId};
 use carp_warehouse::route::Route;
 use carp_warehouse::types::{Cell, Time};
@@ -212,6 +212,17 @@ impl Planner for TwpPlanner {
 
     fn provenance(&self, id: RequestId) -> Option<String> {
         self.provenance.get(&id).cloned()
+    }
+
+    fn engine_metrics(&self) -> Option<EngineMetrics> {
+        // TWP has no segment-store engine, but its optimistic beyond-window
+        // commits double-book the reservation table by design; surfacing the
+        // repair count keeps the window-consistency gap visible now that the
+        // table no longer asserts on dense streams (see ROADMAP).
+        Some(EngineMetrics {
+            reservation_repairs: self.commitments.reservation_repairs(),
+            ..EngineMetrics::default()
+        })
     }
 
     fn cancel(&mut self, id: RequestId) -> bool {

@@ -69,6 +69,17 @@ impl EngineStats {
         }
     }
 
+    /// Share of probe batches that actually fanned out on scoped threads.
+    /// 0.0 means every batch took the serial path (single-core host, one
+    /// partition, or batches below the fan-out threshold).
+    pub fn parallel_share(&self) -> f64 {
+        if self.probe_batches == 0 {
+            0.0
+        } else {
+            self.parallel_batches as f64 / self.probe_batches as f64
+        }
+    }
+
     /// Mean segments retired per removal batch.
     pub fn mean_retire_batch(&self) -> f64 {
         if self.retire_batches == 0 {

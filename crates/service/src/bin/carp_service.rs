@@ -1,0 +1,199 @@
+//! `carp-service` — run the online planning service under generated load
+//! and emit a `BENCH_service.json` report.
+//!
+//! ```sh
+//! cargo run --release -p carp-service -- \
+//!     --preset W-2 --tasks 400 --rates 1,4 --seed 7 --out BENCH_service.json
+//! ```
+//!
+//! One run is executed per rate multiplier; each run replays the same
+//! seeded task stream with arrivals compressed by the multiplier, audits
+//! every committed route, and records latency percentiles and refusal
+//! counters. The process exits non-zero if any run reports an audited
+//! collision, which is the CI perf job's gate.
+
+use carp_service::loadgen::{run_load, LoadScenario};
+use carp_service::report::ServiceBenchReport;
+use carp_service::service::ServiceConfig;
+use carp_simenv::SimConfig;
+use carp_srp::{SrpConfig, SrpPlanner};
+use carp_warehouse::layout::{Layout, LayoutConfig, WarehousePreset};
+use std::time::Duration;
+
+const USAGE: &str = "usage: carp-service [options]
+  --preset P          warehouse preset: small | W-1 | W-2 | W-3 (default small)
+  --tasks N           tasks in the stream (default 200)
+  --horizon T         day span in sim-seconds before compression (default 2000)
+  --rates R1,R2,...   arrival-rate multipliers, one run each (default 1,4)
+  --seed S            task-stream RNG seed (default 7)
+  --queue-capacity N  ingest queue bound (default 256)
+  --deadline-ms MS    per-request planning deadline; 0 disables it and makes
+                      the committed route set bit-deterministic (default 0)
+  --sim-config PATH   JSON file overriding SimConfig fields (service_time,
+                      retry_delay, max_retries, ...)
+  --out PATH          write BENCH_service.json here (default: print to stdout)
+
+exit status: 0 on success, 1 if any run audited a collision, 2 on bad usage";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("carp-service: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+struct Opts {
+    preset: String,
+    tasks: u32,
+    horizon: u32,
+    rates: Vec<f64>,
+    seed: u64,
+    queue_capacity: usize,
+    deadline_ms: u64,
+    sim: SimConfig,
+    out: Option<String>,
+}
+
+fn parse_opts() -> Opts {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        std::process::exit(0);
+    }
+    let mut opts = Opts {
+        preset: "small".to_string(),
+        tasks: 200,
+        horizon: 2000,
+        rates: vec![1.0, 4.0],
+        seed: 7,
+        queue_capacity: 256,
+        deadline_ms: 0,
+        sim: SimConfig::default(),
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> &str {
+            match it.next() {
+                Some(v) => v,
+                None => usage_error(&format!("{flag} expects a value")),
+            }
+        };
+        match a.as_str() {
+            "--preset" => opts.preset = value("--preset").to_string(),
+            "--tasks" => match value("--tasks").parse() {
+                Ok(n) => opts.tasks = n,
+                Err(_) => usage_error("--tasks expects an integer"),
+            },
+            "--horizon" => match value("--horizon").parse() {
+                Ok(t) => opts.horizon = t,
+                Err(_) => usage_error("--horizon expects an integer"),
+            },
+            "--rates" => {
+                let raw = value("--rates");
+                let rates: Result<Vec<f64>, _> = raw.split(',').map(str::parse).collect();
+                match rates {
+                    Ok(r) if !r.is_empty() && r.iter().all(|&x| x > 0.0) => opts.rates = r,
+                    _ => usage_error("--rates expects positive numbers like 1,4"),
+                }
+            }
+            "--seed" => match value("--seed").parse() {
+                Ok(s) => opts.seed = s,
+                Err(_) => usage_error("--seed expects an integer"),
+            },
+            "--queue-capacity" => match value("--queue-capacity").parse() {
+                Ok(n) if n > 0 => opts.queue_capacity = n,
+                _ => usage_error("--queue-capacity expects a positive integer"),
+            },
+            "--deadline-ms" => match value("--deadline-ms").parse() {
+                Ok(ms) => opts.deadline_ms = ms,
+                Err(_) => usage_error("--deadline-ms expects an integer"),
+            },
+            "--sim-config" => {
+                let path = value("--sim-config");
+                let json = match std::fs::read_to_string(path) {
+                    Ok(j) => j,
+                    Err(e) => usage_error(&format!("cannot read {path}: {e}")),
+                };
+                match SimConfig::from_json(&json) {
+                    Ok(cfg) => opts.sim = cfg,
+                    Err(e) => usage_error(&format!("bad sim config {path}: {e}")),
+                }
+            }
+            "--out" => opts.out = Some(value("--out").to_string()),
+            other => usage_error(&format!("unknown flag {other}")),
+        }
+    }
+    opts
+}
+
+fn layout_for(preset: &str) -> Layout {
+    match preset {
+        "small" => LayoutConfig::small().generate(),
+        "W-1" | "w-1" | "W1" | "w1" => WarehousePreset::W1.generate(),
+        "W-2" | "w-2" | "W2" | "w2" => WarehousePreset::W2.generate(),
+        "W-3" | "w-3" | "W3" | "w3" => WarehousePreset::W3.generate(),
+        other => usage_error(&format!("unknown preset {other}")),
+    }
+}
+
+fn main() {
+    let opts = parse_opts();
+    let layout = layout_for(&opts.preset);
+    let service_cfg = ServiceConfig {
+        queue_capacity: opts.queue_capacity,
+        deadline: if opts.deadline_ms == 0 {
+            None
+        } else {
+            Some(Duration::from_millis(opts.deadline_ms))
+        },
+        ..ServiceConfig::default()
+    };
+
+    let mut runs = Vec::with_capacity(opts.rates.len());
+    for &rate in &opts.rates {
+        let scenario = LoadScenario::new(
+            format!("{}@{}x", opts.preset, rate),
+            layout.clone(),
+            opts.tasks,
+            opts.horizon,
+            rate,
+            opts.seed,
+        );
+        let planner = SrpPlanner::new(layout.matrix.clone(), SrpConfig::default());
+        eprintln!(
+            "carp-service: running {} ({} tasks, seed {})...",
+            scenario.name,
+            scenario.tasks.len(),
+            opts.seed
+        );
+        let (report, _planner) = run_load(&scenario, planner, opts.sim, service_cfg);
+        eprintln!(
+            "carp-service: {} done: {} planned, p95 {} us, {} conflicts, {:.1} plans/s",
+            report.scenario,
+            report.service.planned,
+            report.service.planning_latency.p95_us,
+            report.audit_conflicts,
+            report.throughput_rps
+        );
+        runs.push(report);
+    }
+
+    let bench = ServiceBenchReport::new(runs);
+    let conflicts = bench.total_audit_conflicts();
+    let json = bench.to_json();
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("carp-service: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("carp-service: wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+
+    if conflicts > 0 {
+        eprintln!("carp-service: FAIL — {conflicts} audited collision(s)");
+        std::process::exit(1);
+    }
+}

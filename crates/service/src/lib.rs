@@ -1,0 +1,34 @@
+//! `carp-service`: an online planning service around any [`Planner`].
+//!
+//! The simulator in `carp-simenv` drives planners in a closed single-thread
+//! loop; this crate turns a planner into a *service*: a bounded ingest queue
+//! with backpressure, per-request planning deadlines, a commit pipeline that
+//! keeps the engine's batched `collide_many` / `remove_batch` paths hot, and
+//! a metrics snapshot with fixed-bucket latency percentiles. A deterministic
+//! load generator ([`loadgen`]) replays the paper's W-1/W-2/W-3 day profiles
+//! against the service at configurable arrival-rate multipliers and emits
+//! the `BENCH_service.json` report consumed by the CI perf job.
+//!
+//! Commitment of a route is a linearization point in the online CARP model
+//! (Definition 3): routes are committed one at a time against the state left
+//! by all earlier commits. The service therefore runs a single worker thread
+//! that owns the planner; concurrency comes from the submitters, the metrics
+//! readers, and the engine's internal probe fan-out.
+//!
+//! [`Planner`]: carp_warehouse::planner::Planner
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod loadgen;
+pub mod report;
+pub mod service;
+
+pub use histogram::{LatencyHistogram, LatencySummary};
+pub use loadgen::{run_load, LoadScenario};
+pub use report::{routes_digest, LoadReport, ServiceBenchReport, BENCH_VERSION};
+pub use service::{
+    PlanResponse, PlanningService, ServiceClient, ServiceConfig, ServiceMetrics, SubmitError,
+    Ticket,
+};

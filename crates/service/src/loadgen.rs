@@ -1,0 +1,399 @@
+//! Deterministic load generation: replay a warehouse day through the
+//! service and audit every committed route.
+//!
+//! The harness regenerates the simulator's three-leg task workflow
+//! (pickup → transmission → return, nearest-free-robot assignment, retry
+//! on infeasible) but drives the [`PlanningService`] API instead of
+//! calling the planner directly, so queueing, admission control and
+//! deadlines are on the measured path. Arrival times come from the same
+//! bimodal [`DayProfile`] the batch simulator uses, divided by a
+//! configurable **rate multiplier** — 4× compresses the day to a quarter
+//! of its span, quadrupling the arrival rate without changing the task
+//! set.
+//!
+//! Determinism: the request stream is a pure function of (layout, profile,
+//! seed, multiplier), and submissions happen in lockstep bursts — all
+//! requests sharing a sim-timestamp are submitted in sequence order, then
+//! their replies are collected before the clock moves. The worker answers
+//! strictly FIFO, so with deadlines disabled the committed route set is
+//! bit-identical across runs ([`LoadReport::routes_digest`] pins it).
+//! With a deadline set, refusals depend on wall-clock speed — that is the
+//! point of a deadline — so overload runs trade the bit-determinism
+//! guarantee for budget enforcement.
+//!
+//! Every committed route is mirrored into an [`IncrementalAuditor`] the
+//! moment its ticket resolves, and the final route set is re-validated
+//! batch-style, exactly like the batch simulator's audit. Route revisions
+//! delivered by `advance` are re-audited (cancel, then recommit as one
+//! batch); leg chaining keeps the originally planned end times, so the
+//! harness is exact for non-revising planners (SRP, SAP, SIPP, ACP) and a
+//! close approximation for TWP/RP.
+
+use crate::report::LoadReport;
+use crate::service::{PlanResponse, PlanningService, ServiceConfig, SubmitError};
+use carp_simenv::SimConfig;
+use carp_warehouse::collision::{validate_routes, IncrementalAuditor};
+use carp_warehouse::layout::Layout;
+use carp_warehouse::planner::Planner;
+use carp_warehouse::request::{QueryKind, Request, RequestId};
+use carp_warehouse::route::Route;
+use carp_warehouse::tasks::{generate_tasks, DayProfile, Task};
+use carp_warehouse::types::{Cell, Time};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::time::Instant;
+
+/// A complete load scenario: the warehouse, the (already rate-compressed)
+/// task stream, and the identity of the run.
+pub struct LoadScenario {
+    /// Scenario label carried into the report ("W-2@4x" …).
+    pub name: String,
+    /// The warehouse.
+    pub layout: Layout,
+    /// Task stream with compressed arrival times, sorted by arrival.
+    pub tasks: Vec<Task>,
+    /// The arrival-rate multiplier the stream was compressed by.
+    pub rate_multiplier: f64,
+    /// RNG seed the stream was generated from.
+    pub seed: u64,
+}
+
+impl LoadScenario {
+    /// Build a scenario over `layout`: `num_tasks` tasks drawn from the
+    /// standard bimodal day profile over `horizon` seconds with `seed`,
+    /// arrivals divided by `rate_multiplier`.
+    pub fn new(
+        name: impl Into<String>,
+        layout: Layout,
+        num_tasks: u32,
+        horizon: Time,
+        rate_multiplier: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(rate_multiplier > 0.0, "rate multiplier must be positive");
+        let profile = DayProfile::new(horizon, num_tasks);
+        let mut tasks = generate_tasks(&layout, &profile, seed);
+        for t in &mut tasks {
+            t.arrival = (t.arrival as f64 / rate_multiplier) as Time;
+        }
+        // Integer truncation preserves order, but re-assert the invariant.
+        tasks.sort_by_key(|t| (t.arrival, t.id));
+        LoadScenario {
+            name: name.into(),
+            layout,
+            tasks,
+            rate_multiplier,
+            seed,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A task emerges: grab the nearest free robot or queue.
+    Arrive { task: usize },
+    /// Submit one leg's planning request (possibly a retry).
+    Leg {
+        task: usize,
+        robot: usize,
+        kind: QueryKind,
+        attempt: u32,
+    },
+    /// The return leg finished: free the robot, serve the waiting queue.
+    Complete { robot: usize },
+}
+
+struct RobotState {
+    pos: Cell,
+    busy: bool,
+}
+
+/// Drive `planner` through a full load run of `scenario`. Returns the
+/// report and the planner (recovered from the service worker) for
+/// post-run inspection.
+pub fn run_load<P: Planner + Send + 'static>(
+    scenario: &LoadScenario,
+    planner: P,
+    sim: SimConfig,
+    service_cfg: ServiceConfig,
+) -> (LoadReport, P) {
+    let svc = PlanningService::spawn(planner, service_cfg);
+    let client = svc.client();
+
+    let mut robots: Vec<RobotState> = scenario
+        .layout
+        .robot_spawns
+        .iter()
+        .map(|&pos| RobotState { pos, busy: false })
+        .collect();
+    assert!(!robots.is_empty(), "layout has no robots");
+
+    // (time, seq) heap with payload map, exactly the simulator's ordering.
+    let mut heap: BinaryHeap<core::cmp::Reverse<(Time, u64)>> = BinaryHeap::new();
+    let mut payloads: HashMap<u64, Event> = HashMap::new();
+    let mut seq = 0u64;
+    let push = |heap: &mut BinaryHeap<core::cmp::Reverse<(Time, u64)>>,
+                payloads: &mut HashMap<u64, Event>,
+                seq: &mut u64,
+                t: Time,
+                e: Event| {
+        heap.push(core::cmp::Reverse((t, *seq)));
+        payloads.insert(*seq, e);
+        *seq += 1;
+    };
+    for (i, task) in scenario.tasks.iter().enumerate() {
+        push(
+            &mut heap,
+            &mut payloads,
+            &mut seq,
+            task.arrival,
+            Event::Arrive { task: i },
+        );
+    }
+
+    let mut waiting: VecDeque<usize> = VecDeque::new();
+    let mut next_request_id: RequestId = 0;
+    let mut final_routes: HashMap<RequestId, Route> = HashMap::new();
+    let mut auditor = IncrementalAuditor::new();
+    let mut online_conflicts = 0usize;
+    let mut completed = 0usize;
+    let mut failed_requests = 0usize;
+    let mut refused_requests = 0usize;
+    let mut makespan: Time = 0;
+    let mut backpressure_retries = 0u64;
+
+    let wall_start = Instant::now();
+    while let Some(&core::cmp::Reverse((now, _))) = heap.peek() {
+        // Clock moved: let the planner retire state (the engine's batched
+        // remove_batch path) and deliver revisions before this burst plans.
+        let revisions = client.advance(now);
+        if !revisions.is_empty() {
+            // Revisions land as one atomic batch (see sim.rs): cancel every
+            // revised route before recommitting any.
+            for (rid, _) in &revisions {
+                auditor.cancel(*rid);
+            }
+            for (rid, route) in revisions {
+                makespan = makespan.max(route.finish_exclusive());
+                if auditor.commit(rid, &route).is_err() {
+                    online_conflicts += 1;
+                }
+                final_routes.insert(rid, route);
+            }
+        }
+
+        // Drain every event scheduled for `now`, in sequence order, into
+        // one submission burst.
+        let mut burst: Vec<(
+            RequestId,
+            usize,
+            usize,
+            QueryKind,
+            u32,
+            crate::service::Ticket,
+        )> = Vec::new();
+        while let Some(&core::cmp::Reverse((t, _))) = heap.peek() {
+            if t != now {
+                break;
+            }
+            let core::cmp::Reverse((_, id)) = heap.pop().expect("peeked");
+            let event = payloads.remove(&id).expect("payload");
+            match event {
+                Event::Arrive { task } => {
+                    match nearest_free_robot(&robots, scenario.tasks[task].rack) {
+                        Some(r) => {
+                            robots[r].busy = true;
+                            push(
+                                &mut heap,
+                                &mut payloads,
+                                &mut seq,
+                                now,
+                                Event::Leg {
+                                    task,
+                                    robot: r,
+                                    kind: QueryKind::Pickup,
+                                    attempt: 0,
+                                },
+                            );
+                        }
+                        None => waiting.push_back(task),
+                    }
+                }
+                Event::Complete { robot } => {
+                    robots[robot].busy = false;
+                    completed += 1;
+                    if let Some(next_task) = waiting.pop_front() {
+                        if let Some(r) = nearest_free_robot(&robots, scenario.tasks[next_task].rack)
+                        {
+                            robots[r].busy = true;
+                            push(
+                                &mut heap,
+                                &mut payloads,
+                                &mut seq,
+                                now,
+                                Event::Leg {
+                                    task: next_task,
+                                    robot: r,
+                                    kind: QueryKind::Pickup,
+                                    attempt: 0,
+                                },
+                            );
+                        } else {
+                            waiting.push_front(next_task);
+                        }
+                    }
+                }
+                Event::Leg {
+                    task,
+                    robot,
+                    kind,
+                    attempt,
+                } => {
+                    let t = scenario.tasks[task];
+                    let (origin, destination) = match kind {
+                        QueryKind::Pickup => (robots[robot].pos, t.rack),
+                        QueryKind::Transmission => (t.rack, t.picker),
+                        QueryKind::Return => (t.picker, t.rack),
+                    };
+                    let rid = next_request_id;
+                    next_request_id += 1;
+                    let request = Request::new(rid, now, origin, destination, kind);
+                    // Backpressure: back off for the hinted delay and
+                    // resubmit. The retry loop keeps submission order —
+                    // there is exactly one submitter — so determinism
+                    // survives rejection storms.
+                    let ticket = loop {
+                        match client.submit(request) {
+                            Ok(t) => break t,
+                            Err(SubmitError::Backpressure { retry_after, .. }) => {
+                                backpressure_retries += 1;
+                                std::thread::sleep(retry_after);
+                            }
+                            Err(SubmitError::ShuttingDown) => {
+                                unreachable!("service shut down mid-run")
+                            }
+                        }
+                    };
+                    burst.push((rid, task, robot, kind, attempt, ticket));
+                }
+            }
+        }
+
+        // Collect the burst's replies in submission order and schedule the
+        // follow-up events.
+        for (rid, task, robot, kind, attempt, ticket) in burst {
+            match ticket.wait() {
+                PlanResponse::Planned(route) => {
+                    makespan = makespan.max(route.finish_exclusive());
+                    let end = route.end_time();
+                    if auditor.commit(rid, &route).is_err() {
+                        online_conflicts += 1;
+                    }
+                    final_routes.insert(rid, route);
+                    match kind {
+                        QueryKind::Pickup => {
+                            robots[robot].pos = scenario.tasks[task].rack;
+                            push(
+                                &mut heap,
+                                &mut payloads,
+                                &mut seq,
+                                end + sim.service_time,
+                                Event::Leg {
+                                    task,
+                                    robot,
+                                    kind: QueryKind::Transmission,
+                                    attempt: 0,
+                                },
+                            );
+                        }
+                        QueryKind::Transmission => {
+                            robots[robot].pos = scenario.tasks[task].picker;
+                            push(
+                                &mut heap,
+                                &mut payloads,
+                                &mut seq,
+                                end + sim.service_time,
+                                Event::Leg {
+                                    task,
+                                    robot,
+                                    kind: QueryKind::Return,
+                                    attempt: 0,
+                                },
+                            );
+                        }
+                        QueryKind::Return => {
+                            robots[robot].pos = scenario.tasks[task].rack;
+                            push(
+                                &mut heap,
+                                &mut payloads,
+                                &mut seq,
+                                end,
+                                Event::Complete { robot },
+                            );
+                        }
+                    }
+                }
+                resp => {
+                    // Refusals and infeasibilities share the retry path: the
+                    // client backs off retry_delay sim-seconds and tries
+                    // again, up to the shared SimConfig budget.
+                    if resp.is_refusal() {
+                        refused_requests += 1;
+                    }
+                    if attempt < sim.max_retries {
+                        push(
+                            &mut heap,
+                            &mut payloads,
+                            &mut seq,
+                            now + sim.retry_delay,
+                            Event::Leg {
+                                task,
+                                robot,
+                                kind,
+                                attempt: attempt + 1,
+                            },
+                        );
+                    } else {
+                        failed_requests += 1;
+                        robots[robot].busy = false;
+                    }
+                }
+            }
+        }
+    }
+    let wall_secs = wall_start.elapsed().as_secs_f64();
+
+    let metrics = client.metrics();
+    let planner = svc.shutdown();
+
+    // Batch re-validation of the final (post-revision) set, like sim.rs:
+    // report whichever of the online and batch counts is worse.
+    let routes: Vec<Route> = final_routes.values().cloned().collect();
+    let audit_conflicts = match validate_routes(&routes) {
+        None => online_conflicts,
+        Some(_) => online_conflicts.max(1),
+    };
+
+    let report = LoadReport::build(
+        scenario,
+        &final_routes,
+        metrics,
+        planner.engine_metrics(),
+        wall_secs,
+        completed,
+        failed_requests,
+        refused_requests,
+        backpressure_retries,
+        audit_conflicts,
+        makespan,
+    );
+    (report, planner)
+}
+
+fn nearest_free_robot(robots: &[RobotState], target: Cell) -> Option<usize> {
+    robots
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| !r.busy)
+        .min_by_key(|(_, r)| r.pos.manhattan(target))
+        .map(|(i, _)| i)
+}

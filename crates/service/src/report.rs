@@ -1,0 +1,200 @@
+//! Serializable load-run reports — the `BENCH_service.json` schema.
+//!
+//! One [`LoadReport`] per (scenario, rate) run; a [`ServiceBenchReport`]
+//! bundles the runs of one invocation. The schema is versioned so the CI
+//! artifact trail stays parseable as fields accrue.
+
+use crate::loadgen::LoadScenario;
+use crate::service::ServiceMetrics;
+use carp_warehouse::planner::EngineMetrics;
+use carp_warehouse::request::RequestId;
+use carp_warehouse::route::Route;
+use carp_warehouse::types::Time;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Current `BENCH_service.json` schema version.
+pub const BENCH_VERSION: u32 = 1;
+
+/// Result of one load run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Scenario label ("W-2" …).
+    pub scenario: String,
+    /// Arrival-rate multiplier the day was compressed by.
+    pub rate_multiplier: f64,
+    /// Task-stream RNG seed.
+    pub seed: u64,
+    /// Tasks in the stream.
+    pub tasks: usize,
+    /// Tasks whose three legs all completed.
+    pub completed: usize,
+    /// Planning requests submitted (including retries).
+    pub requests: usize,
+    /// Leg requests abandoned after exhausting retries.
+    pub failed_requests: usize,
+    /// Requests refused by the service (deadline shed/overrun), before
+    /// retries; backpressure rejections are counted separately since those
+    /// submissions never entered the queue.
+    pub refused_requests: usize,
+    /// Submission attempts bounced by backpressure and retried.
+    pub backpressure_retries: u64,
+    /// Refusal rate over all submission attempts (see
+    /// [`ServiceMetrics::refusal_rate`]).
+    pub refusal_rate: f64,
+    /// Audited conflicts across the committed route set (must be 0).
+    pub audit_conflicts: usize,
+    /// Makespan of the committed route set (sim-time).
+    pub makespan: Time,
+    /// Wall-clock seconds for the whole run.
+    pub wall_secs: f64,
+    /// Planned routes per wall-clock second.
+    pub throughput_rps: f64,
+    /// FNV-1a digest over the final committed route set, sorted by request
+    /// id — two runs with the same seed and rate must produce the same
+    /// digest (the determinism pin the CI job checks).
+    pub routes_digest: u64,
+    /// Full service metrics snapshot (queue, latency percentiles,
+    /// counters).
+    pub service: ServiceMetrics,
+    /// Engine counters read from the planner after shutdown (the service
+    /// snapshot holds the last mid-run view; this is the final one).
+    pub engine: Option<EngineMetrics>,
+}
+
+impl LoadReport {
+    /// Assemble a report from a finished run's raw pieces.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn build(
+        scenario: &LoadScenario,
+        final_routes: &HashMap<RequestId, Route>,
+        service: ServiceMetrics,
+        engine: Option<EngineMetrics>,
+        wall_secs: f64,
+        completed: usize,
+        failed_requests: usize,
+        refused_requests: usize,
+        backpressure_retries: u64,
+        audit_conflicts: usize,
+        makespan: Time,
+    ) -> Self {
+        let throughput_rps = if wall_secs > 0.0 {
+            service.planned as f64 / wall_secs
+        } else {
+            0.0
+        };
+        LoadReport {
+            scenario: scenario.name.clone(),
+            rate_multiplier: scenario.rate_multiplier,
+            seed: scenario.seed,
+            tasks: scenario.tasks.len(),
+            completed,
+            requests: service.submitted as usize,
+            failed_requests,
+            refused_requests,
+            backpressure_retries,
+            refusal_rate: service.refusal_rate(),
+            audit_conflicts,
+            makespan,
+            wall_secs,
+            throughput_rps,
+            routes_digest: routes_digest(final_routes),
+            service,
+            engine,
+        }
+    }
+}
+
+/// The `BENCH_service.json` top-level document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceBenchReport {
+    /// Schema version ([`BENCH_VERSION`]).
+    pub version: u32,
+    /// One entry per (scenario, rate) run, in execution order.
+    pub runs: Vec<LoadReport>,
+}
+
+impl ServiceBenchReport {
+    /// Bundle runs under the current schema version.
+    pub fn new(runs: Vec<LoadReport>) -> Self {
+        ServiceBenchReport {
+            version: BENCH_VERSION,
+            runs,
+        }
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Parse a report document.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Total audited conflicts across all runs (the CI gate).
+    pub fn total_audit_conflicts(&self) -> usize {
+        self.runs.iter().map(|r| r.audit_conflicts).sum()
+    }
+}
+
+/// Order-independent digest of a committed route set: FNV-1a over
+/// `(id, start, cells…)` of every route, visited in ascending id order.
+pub fn routes_digest(routes: &HashMap<RequestId, Route>) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut ids: Vec<&RequestId> = routes.keys().collect();
+    ids.sort_unstable();
+    let mut h = FNV_OFFSET;
+    let mut eat = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for id in ids {
+        let r = &routes[id];
+        eat(*id);
+        eat(u64::from(r.start));
+        for c in &r.grids {
+            eat((u64::from(c.row) << 32) | u64::from(c.col));
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carp_warehouse::types::Cell;
+
+    fn route(start: Time, cols: core::ops::Range<u16>) -> Route {
+        Route::new(start, cols.map(|c| Cell::new(0, c)).collect())
+    }
+
+    #[test]
+    fn digest_is_order_independent_but_content_sensitive() {
+        let mut a = HashMap::new();
+        a.insert(1u64, route(0, 0..5));
+        a.insert(2u64, route(3, 5..9));
+        let mut b = HashMap::new();
+        b.insert(2u64, route(3, 5..9));
+        b.insert(1u64, route(0, 0..5));
+        assert_eq!(routes_digest(&a), routes_digest(&b));
+        b.insert(3u64, route(7, 2..4));
+        assert_ne!(routes_digest(&a), routes_digest(&b));
+        let mut c = HashMap::new();
+        c.insert(1u64, route(1, 0..5)); // shifted start
+        c.insert(2u64, route(3, 5..9));
+        assert_ne!(routes_digest(&a), routes_digest(&c));
+    }
+
+    #[test]
+    fn empty_digest_is_stable() {
+        assert_eq!(
+            routes_digest(&HashMap::new()),
+            routes_digest(&HashMap::new())
+        );
+    }
+}

@@ -1,0 +1,689 @@
+//! The online planning service: a bounded ingest queue in front of a
+//! dedicated planner thread.
+//!
+//! ```text
+//!  submitters ──▶ bounded queue ──▶ worker thread ──▶ reply tickets
+//!   (many)        (backpressure:     deadline check,
+//!                  reject + retry-   planner.plan(),
+//!                  after when full)  over-budget cancel,
+//!                                    batched advance/retire
+//! ```
+//!
+//! Planning must stay **serial**: the online contract (Definition 3)
+//! requires every route to be collision-checked against *all previously
+//! committed* routes, so commits are a linearization point. The service
+//! therefore runs one worker thread that owns the planner, and gets its
+//! parallelism from (a) many submitters enqueueing concurrently, (b) the
+//! planner's own engine fanning probe batches out across partitions
+//! ([`StoreEngine`](../../carp_geometry/engine/struct.StoreEngine.html)),
+//! and (c) metrics readers never touching the planner.
+//!
+//! Admission control and degradation:
+//!
+//! * **Backpressure** — the ingest queue is bounded; a submit against a
+//!   full queue is rejected immediately with a retry-after hint instead of
+//!   growing the queue without bound (the paper's planning-time budget has
+//!   no slack for unbounded waiting).
+//! * **Deadlines** — each request carries the service's end-to-end budget.
+//!   A request that already exceeded it while queued is *shed* unplanned;
+//!   a plan that completes over budget is *cancelled* (the planner's
+//!   `cancel` path retires its segments) and converted into a refusal, so
+//!   an over-budget plan never stalls the robot fleet on a stale answer.
+
+use crate::histogram::{LatencyHistogram, LatencySummary};
+use carp_warehouse::planner::{EngineMetrics, PlanOutcome, Planner};
+use carp_warehouse::request::{Request, RequestId};
+use carp_warehouse::route::Route;
+use carp_warehouse::types::Time;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Service tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Capacity of the bounded ingest queue; submissions against a full
+    /// queue are rejected with [`SubmitError::Backpressure`].
+    pub queue_capacity: usize,
+    /// End-to-end budget per request (queue wait + planning). `None`
+    /// disables deadline enforcement — required for bit-deterministic
+    /// replays, where refusals must not depend on wall-clock speed.
+    pub deadline: Option<Duration>,
+    /// Retry-after hint handed to rejected submitters.
+    pub retry_after: Duration,
+    /// Requests drained from the queue per worker cycle. Larger batches
+    /// amortize lock traffic; the worker still answers strictly in FIFO
+    /// order so admission order fully determines commit order.
+    pub batch_limit: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_capacity: 256,
+            deadline: Some(Duration::from_millis(250)),
+            retry_after: Duration::from_millis(5),
+            batch_limit: 32,
+        }
+    }
+}
+
+/// Terminal answer for one submitted request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanResponse {
+    /// A collision-free route was committed.
+    Planned(Route),
+    /// The planner found no route under its search limits.
+    Infeasible,
+    /// The request sat in the queue past its deadline and was shed without
+    /// ever reaching the planner.
+    DeadlineShed,
+    /// The planner produced a route but blew the budget; the route was
+    /// cancelled (uncommitted) and the requester must re-submit.
+    DeadlineOverrun,
+}
+
+impl PlanResponse {
+    /// The committed route, if any.
+    pub fn route(&self) -> Option<&Route> {
+        match self {
+            PlanResponse::Planned(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Whether this response is a refusal (shed or overrun) rather than a
+    /// planning verdict.
+    pub fn is_refusal(&self) -> bool {
+        matches!(
+            self,
+            PlanResponse::DeadlineShed | PlanResponse::DeadlineOverrun
+        )
+    }
+}
+
+/// Submission rejection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded ingest queue is full; retry after the hinted delay.
+    Backpressure {
+        /// Suggested client-side wait before re-submitting.
+        retry_after: Duration,
+        /// Queue depth observed at rejection (== capacity).
+        queue_depth: usize,
+    },
+    /// The service is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl core::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SubmitError::Backpressure {
+                retry_after,
+                queue_depth,
+            } => write!(
+                f,
+                "queue full ({queue_depth} pending); retry after {retry_after:?}"
+            ),
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Handle for one submitted request; resolves to its [`PlanResponse`].
+#[derive(Debug)]
+pub struct Ticket {
+    id: RequestId,
+    rx: mpsc::Receiver<PlanResponse>,
+}
+
+impl Ticket {
+    /// The request id this ticket tracks.
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// Block until the worker answers. Panics if the service died without
+    /// answering (worker panic) — a bug, not an operational state.
+    pub fn wait(self) -> PlanResponse {
+        self.rx.recv().expect("service dropped a ticket")
+    }
+}
+
+/// One queued unit of work.
+struct Envelope {
+    request: Request,
+    enqueued_at: Instant,
+    reply: mpsc::Sender<PlanResponse>,
+}
+
+/// Control-plane commands; these bypass admission control (they carry the
+/// simulation clock and lifecycle, not load).
+enum Control {
+    /// Drive `Planner::advance(now)`: batched retirement plus any route
+    /// revisions, which are sent back to the caller.
+    Advance {
+        now: Time,
+        reply: mpsc::Sender<Vec<(RequestId, Route)>>,
+    },
+    /// Cancel a committed route.
+    Cancel {
+        id: RequestId,
+        reply: mpsc::Sender<bool>,
+    },
+}
+
+/// Monotone event counters, readable without locking the queue.
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: AtomicU64,
+    rejected_backpressure: AtomicU64,
+    planned: AtomicU64,
+    infeasible: AtomicU64,
+    shed_deadline: AtomicU64,
+    cancelled_deadline: AtomicU64,
+    in_flight: AtomicU64,
+}
+
+/// Queue state behind the mutex.
+struct QueueState {
+    plan: VecDeque<Envelope>,
+    control: VecDeque<Control>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    wakeup: Condvar,
+    counters: Counters,
+    config: ServiceConfig,
+    /// Wall-clock time spent inside `Planner::plan` per request.
+    planning_hist: Mutex<LatencyHistogram>,
+    /// End-to-end submit → reply latency per answered request.
+    turnaround_hist: Mutex<LatencyHistogram>,
+    /// Last engine metrics published by the worker (updated per cycle).
+    engine: Mutex<Option<EngineMetrics>>,
+}
+
+/// Point-in-time, serializable view of the service's operational state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceMetrics {
+    /// Requests currently waiting in the ingest queue.
+    pub queue_depth: usize,
+    /// Requests dequeued but not yet answered.
+    pub in_flight: u64,
+    /// Total submissions accepted into the queue.
+    pub submitted: u64,
+    /// Submissions rejected by backpressure (never enqueued).
+    pub rejected_backpressure: u64,
+    /// Requests answered with a committed route.
+    pub planned: u64,
+    /// Requests answered `Infeasible` by the planner.
+    pub infeasible: u64,
+    /// Requests shed in the queue past their deadline (never planned).
+    pub shed_deadline: u64,
+    /// Plans cancelled for finishing over budget.
+    pub cancelled_deadline: u64,
+    /// Wall-clock planning latency (inside `Planner::plan`).
+    pub planning_latency: LatencySummary,
+    /// End-to-end submit → reply latency.
+    pub turnaround_latency: LatencySummary,
+    /// Engine counters from the planner's collision backend, when it has
+    /// one (refreshed once per worker cycle).
+    pub engine: Option<EngineMetrics>,
+}
+
+impl ServiceMetrics {
+    /// Refusals (shed + cancelled + backpressure) over all submission
+    /// attempts; 0.0 when nothing was submitted.
+    pub fn refusal_rate(&self) -> f64 {
+        let attempts = self.submitted + self.rejected_backpressure;
+        if attempts == 0 {
+            return 0.0;
+        }
+        let refused = self.rejected_backpressure + self.shed_deadline + self.cancelled_deadline;
+        refused as f64 / attempts as f64
+    }
+}
+
+/// Cloneable submission/observation handle; safe to share across threads.
+#[derive(Clone)]
+pub struct ServiceClient {
+    shared: Arc<Shared>,
+}
+
+impl ServiceClient {
+    /// Submit a planning request. Non-blocking: a full queue rejects with
+    /// [`SubmitError::Backpressure`] immediately (the retry-after hint is
+    /// the admission-control contract — callers back off, the queue never
+    /// grows past its bound).
+    pub fn submit(&self, request: Request) -> Result<Ticket, SubmitError> {
+        let (tx, rx) = mpsc::channel();
+        let id = request.id;
+        {
+            let mut st = self.shared.state.lock().expect("service lock");
+            if st.shutdown {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if st.plan.len() >= self.shared.config.queue_capacity {
+                self.shared
+                    .counters
+                    .rejected_backpressure
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::Backpressure {
+                    retry_after: self.shared.config.retry_after,
+                    queue_depth: st.plan.len(),
+                });
+            }
+            st.plan.push_back(Envelope {
+                request,
+                enqueued_at: Instant::now(),
+                reply: tx,
+            });
+        }
+        self.shared
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.wakeup.notify_one();
+        Ok(Ticket { id, rx })
+    }
+
+    /// Advance the planner's clock to `now` (batched retirement through the
+    /// engine's `remove_batch` path) and return any route revisions.
+    /// Blocks until the worker has processed the command.
+    pub fn advance(&self, now: Time) -> Vec<(RequestId, Route)> {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut st = self.shared.state.lock().expect("service lock");
+            if st.shutdown {
+                return Vec::new();
+            }
+            st.control.push_back(Control::Advance { now, reply: tx });
+        }
+        self.shared.wakeup.notify_one();
+        rx.recv().unwrap_or_default()
+    }
+
+    /// Cancel a committed route (task aborted); `false` when unknown.
+    pub fn cancel(&self, id: RequestId) -> bool {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut st = self.shared.state.lock().expect("service lock");
+            if st.shutdown {
+                return false;
+            }
+            st.control.push_back(Control::Cancel { id, reply: tx });
+        }
+        self.shared.wakeup.notify_one();
+        rx.recv().unwrap_or(false)
+    }
+
+    /// Snapshot the service metrics. Never touches the planner thread.
+    pub fn metrics(&self) -> ServiceMetrics {
+        let queue_depth = self.shared.state.lock().expect("service lock").plan.len();
+        let c = &self.shared.counters;
+        ServiceMetrics {
+            queue_depth,
+            in_flight: c.in_flight.load(Ordering::Relaxed),
+            submitted: c.submitted.load(Ordering::Relaxed),
+            rejected_backpressure: c.rejected_backpressure.load(Ordering::Relaxed),
+            planned: c.planned.load(Ordering::Relaxed),
+            infeasible: c.infeasible.load(Ordering::Relaxed),
+            shed_deadline: c.shed_deadline.load(Ordering::Relaxed),
+            cancelled_deadline: c.cancelled_deadline.load(Ordering::Relaxed),
+            planning_latency: self
+                .shared
+                .planning_hist
+                .lock()
+                .expect("hist lock")
+                .summary(),
+            turnaround_latency: self
+                .shared
+                .turnaround_hist
+                .lock()
+                .expect("hist lock")
+                .summary(),
+            engine: *self.shared.engine.lock().expect("engine lock"),
+        }
+    }
+}
+
+/// The running service: owns the worker thread and the planner inside it.
+pub struct PlanningService<P: Planner + Send + 'static> {
+    shared: Arc<Shared>,
+    worker: std::thread::JoinHandle<P>,
+}
+
+impl<P: Planner + Send + 'static> PlanningService<P> {
+    /// Spawn the worker thread around `planner`.
+    pub fn spawn(planner: P, config: ServiceConfig) -> Self {
+        assert!(config.queue_capacity > 0, "queue capacity must be positive");
+        assert!(config.batch_limit > 0, "batch limit must be positive");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                plan: VecDeque::with_capacity(config.queue_capacity),
+                control: VecDeque::new(),
+                shutdown: false,
+            }),
+            wakeup: Condvar::new(),
+            counters: Counters::default(),
+            config,
+            planning_hist: Mutex::new(LatencyHistogram::new()),
+            turnaround_hist: Mutex::new(LatencyHistogram::new()),
+            engine: Mutex::new(None),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("carp-service-worker".into())
+            .spawn(move || worker_loop(planner, worker_shared))
+            .expect("spawn service worker");
+        PlanningService { shared, worker }
+    }
+
+    /// A cloneable client handle for submitters and metrics readers.
+    pub fn client(&self) -> ServiceClient {
+        ServiceClient {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Drain the queue, stop the worker, and return the planner for
+    /// inspection (engine metrics, provenance, memory accounting).
+    pub fn shutdown(self) -> P {
+        {
+            let mut st = self.shared.state.lock().expect("service lock");
+            st.shutdown = true;
+        }
+        self.shared.wakeup.notify_all();
+        self.worker.join().expect("service worker panicked")
+    }
+}
+
+fn worker_loop<P: Planner>(mut planner: P, shared: Arc<Shared>) -> P {
+    loop {
+        let (controls, batch, stop) = {
+            let mut st = shared.state.lock().expect("service lock");
+            while st.control.is_empty() && st.plan.is_empty() && !st.shutdown {
+                st = shared.wakeup.wait(st).expect("service lock");
+            }
+            let controls: Vec<Control> = st.control.drain(..).collect();
+            let take = st.plan.len().min(shared.config.batch_limit);
+            let batch: Vec<Envelope> = st.plan.drain(..take).collect();
+            let stop = st.shutdown && st.plan.is_empty() && st.control.is_empty();
+            (controls, batch, stop)
+        };
+        shared
+            .counters
+            .in_flight
+            .store(batch.len() as u64, Ordering::Relaxed);
+
+        for control in controls {
+            match control {
+                Control::Advance { now, reply } => {
+                    let _ = reply.send(planner.advance(now));
+                }
+                Control::Cancel { id, reply } => {
+                    let _ = reply.send(planner.cancel(id));
+                }
+            }
+        }
+
+        for env in batch {
+            process_one(&mut planner, &shared, env);
+            shared.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+        }
+
+        if let Some(m) = planner.engine_metrics() {
+            *shared.engine.lock().expect("engine lock") = Some(m);
+        }
+
+        if stop {
+            return planner;
+        }
+    }
+}
+
+fn process_one<P: Planner>(planner: &mut P, shared: &Shared, env: Envelope) {
+    let deadline = shared.config.deadline;
+    // Shed before planning: a request that already blew its budget queueing
+    // would waste planner time producing an answer nobody can use.
+    if let Some(d) = deadline {
+        if env.enqueued_at.elapsed() > d {
+            shared
+                .counters
+                .shed_deadline
+                .fetch_add(1, Ordering::Relaxed);
+            record_turnaround(shared, env.enqueued_at);
+            let _ = env.reply.send(PlanResponse::DeadlineShed);
+            return;
+        }
+    }
+    let started = Instant::now();
+    let outcome = planner.plan(&env.request);
+    shared
+        .planning_hist
+        .lock()
+        .expect("hist lock")
+        .record(started.elapsed());
+    let response = match outcome {
+        PlanOutcome::Planned(route) => {
+            // Over-budget plans are *uncommitted*: the cancel path releases
+            // the route's segments/reservations, so the refusal leaves no
+            // trace in the collision state and the robot is free to retry.
+            if deadline.is_some_and(|d| env.enqueued_at.elapsed() > d) {
+                planner.cancel(env.request.id);
+                shared
+                    .counters
+                    .cancelled_deadline
+                    .fetch_add(1, Ordering::Relaxed);
+                PlanResponse::DeadlineOverrun
+            } else {
+                shared.counters.planned.fetch_add(1, Ordering::Relaxed);
+                PlanResponse::Planned(route)
+            }
+        }
+        PlanOutcome::Infeasible => {
+            shared.counters.infeasible.fetch_add(1, Ordering::Relaxed);
+            PlanResponse::Infeasible
+        }
+    };
+    record_turnaround(shared, env.enqueued_at);
+    let _ = env.reply.send(response);
+}
+
+fn record_turnaround(shared: &Shared, enqueued_at: Instant) {
+    shared
+        .turnaround_hist
+        .lock()
+        .expect("hist lock")
+        .record(enqueued_at.elapsed());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carp_warehouse::request::QueryKind;
+    use carp_warehouse::types::Cell;
+
+    /// Test double: plans a stationary route after an optional artificial
+    /// delay, and records cancels.
+    struct StubPlanner {
+        delay: Duration,
+        cancelled: Vec<RequestId>,
+        planned: usize,
+    }
+
+    impl StubPlanner {
+        fn new(delay: Duration) -> Self {
+            StubPlanner {
+                delay,
+                cancelled: Vec::new(),
+                planned: 0,
+            }
+        }
+    }
+
+    impl Planner for StubPlanner {
+        fn name(&self) -> &'static str {
+            "stub"
+        }
+        fn plan(&mut self, req: &Request) -> PlanOutcome {
+            if !self.delay.is_zero() {
+                std::thread::sleep(self.delay);
+            }
+            self.planned += 1;
+            PlanOutcome::Planned(Route::stationary(req.t, req.origin))
+        }
+        fn cancel(&mut self, id: RequestId) -> bool {
+            self.cancelled.push(id);
+            true
+        }
+        fn memory_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    fn req(id: RequestId) -> Request {
+        Request::new(id, 0, Cell::new(0, 0), Cell::new(0, 1), QueryKind::Pickup)
+    }
+
+    #[test]
+    fn plans_flow_through_and_shutdown_returns_planner() {
+        let svc =
+            PlanningService::spawn(StubPlanner::new(Duration::ZERO), ServiceConfig::default());
+        let client = svc.client();
+        let tickets: Vec<Ticket> = (0..10).map(|i| client.submit(req(i)).unwrap()).collect();
+        for t in tickets {
+            assert!(matches!(t.wait(), PlanResponse::Planned(_)));
+        }
+        let m = client.metrics();
+        assert_eq!(m.planned, 10);
+        assert_eq!(m.submitted, 10);
+        assert_eq!(m.planning_latency.count, 10);
+        let planner = svc.shutdown();
+        assert_eq!(planner.planned, 10);
+    }
+
+    #[test]
+    fn backpressure_rejects_instead_of_growing() {
+        // Worker is slow (10 ms per plan), queue holds 4: flooding 50
+        // submissions must reject most of them, and the queue never exceeds
+        // its bound.
+        let svc = PlanningService::spawn(
+            StubPlanner::new(Duration::from_millis(10)),
+            ServiceConfig {
+                queue_capacity: 4,
+                deadline: None,
+                batch_limit: 1,
+                ..Default::default()
+            },
+        );
+        let client = svc.client();
+        let mut accepted = Vec::new();
+        let mut rejected = 0usize;
+        for i in 0..50 {
+            match client.submit(req(i)) {
+                Ok(t) => accepted.push(t),
+                Err(SubmitError::Backpressure {
+                    retry_after,
+                    queue_depth,
+                }) => {
+                    rejected += 1;
+                    assert!(queue_depth <= 4);
+                    assert!(!retry_after.is_zero());
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+            assert!(client.metrics().queue_depth <= 4, "queue grew past bound");
+        }
+        assert!(rejected > 0, "flood never hit backpressure");
+        let m = client.metrics();
+        assert_eq!(m.rejected_backpressure as usize, rejected);
+        assert_eq!(m.submitted as usize, accepted.len());
+        // Every accepted request still gets answered.
+        for t in accepted {
+            assert!(matches!(t.wait(), PlanResponse::Planned(_)));
+        }
+        svc.shutdown();
+    }
+
+    #[test]
+    fn over_budget_plans_are_cancelled_not_committed() {
+        let svc = PlanningService::spawn(
+            StubPlanner::new(Duration::from_millis(25)),
+            ServiceConfig {
+                deadline: Some(Duration::from_millis(1)),
+                ..Default::default()
+            },
+        );
+        let client = svc.client();
+        let t = client.submit(req(0)).unwrap();
+        assert_eq!(t.wait(), PlanResponse::DeadlineOverrun);
+        let m = client.metrics();
+        assert_eq!(m.cancelled_deadline, 1);
+        assert_eq!(m.planned, 0);
+        let planner = svc.shutdown();
+        assert_eq!(planner.cancelled, vec![0], "route must be uncommitted");
+    }
+
+    #[test]
+    fn queue_wait_past_deadline_sheds_without_planning() {
+        // First request holds the worker for 50 ms; the second's 5 ms
+        // deadline expires while queued, so it is shed unplanned.
+        let svc = PlanningService::spawn(
+            StubPlanner::new(Duration::from_millis(50)),
+            ServiceConfig {
+                deadline: Some(Duration::from_millis(5)),
+                batch_limit: 1,
+                ..Default::default()
+            },
+        );
+        let client = svc.client();
+        let t0 = client.submit(req(0)).unwrap();
+        let t1 = client.submit(req(1)).unwrap();
+        // Request 0 itself overruns (50 ms > 5 ms) — that's fine, we only
+        // care that request 1 never reached the planner.
+        let _ = t0.wait();
+        assert_eq!(t1.wait(), PlanResponse::DeadlineShed);
+        let planner = svc.shutdown();
+        assert_eq!(planner.planned, 1, "shed request must not be planned");
+        let _ = client.metrics();
+    }
+
+    #[test]
+    fn shutdown_rejects_new_submissions() {
+        let svc =
+            PlanningService::spawn(StubPlanner::new(Duration::ZERO), ServiceConfig::default());
+        let client = svc.client();
+        svc.shutdown();
+        assert!(matches!(
+            client.submit(req(0)),
+            Err(SubmitError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn refusal_rate_accounts_all_refusal_paths() {
+        let m = ServiceMetrics {
+            queue_depth: 0,
+            in_flight: 0,
+            submitted: 90,
+            rejected_backpressure: 10,
+            planned: 80,
+            infeasible: 2,
+            shed_deadline: 5,
+            cancelled_deadline: 3,
+            planning_latency: LatencyHistogram::new().summary(),
+            turnaround_latency: LatencyHistogram::new().summary(),
+            engine: None,
+        };
+        assert!((m.refusal_rate() - 0.18).abs() < 1e-12);
+    }
+}

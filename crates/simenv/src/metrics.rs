@@ -67,6 +67,10 @@ pub struct DayReport {
     /// Mean segments retired per batched engine removal (0.0 when the
     /// planner has no engine or never retired a batch).
     pub retire_batch_size: f64,
+    /// Reservation-table bookings that overwrote a different owner's entry
+    /// (0 for pre-checked planners; positive under TWP/RP optimistic
+    /// commits, where every overwrite is debt a later repair pays off).
+    pub reservation_repairs: u64,
 }
 
 impl DayReport {
@@ -196,6 +200,7 @@ impl Recorder {
             throughput_per_hour,
             engine_probe_parallelism: 0.0,
             retire_batch_size: 0.0,
+            reservation_repairs: 0,
         }
     }
 }

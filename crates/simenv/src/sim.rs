@@ -22,11 +22,18 @@ use carp_warehouse::request::{QueryKind, Request, RequestId};
 use carp_warehouse::route::Route;
 use carp_warehouse::tasks::Task;
 use carp_warehouse::types::{Cell, Time};
+use serde::{Deserialize, Serialize};
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::time::Instant;
 
 /// Simulation parameters.
-#[derive(Debug, Clone, Copy)]
+///
+/// Serializes to/from JSON so the simulator and the `carp-service` CLI
+/// share one on-disk config format; every field carries a default, so a
+/// partial JSON object (`{"service_time": 2}`) is a valid config (the
+/// hand-written `Deserialize` below fills the rest — the vendored serde
+/// has no `#[serde(default)]`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct SimConfig {
     /// Service time between legs (lifting a rack, picking items), in steps.
     pub service_time: Time,
@@ -39,6 +46,42 @@ pub struct SimConfig {
     pub snapshot_tick: f64,
     /// Audit all final routes against the ground-truth validator.
     pub audit: bool,
+}
+
+impl Deserialize for SimConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("map", "SimConfig"))?;
+        let mut cfg = SimConfig::default();
+        for (key, val) in map {
+            match key.as_str() {
+                "service_time" => cfg.service_time = Deserialize::from_value(val)?,
+                "retry_delay" => cfg.retry_delay = Deserialize::from_value(val)?,
+                "max_retries" => cfg.max_retries = Deserialize::from_value(val)?,
+                "snapshot_tick" => cfg.snapshot_tick = Deserialize::from_value(val)?,
+                "audit" => cfg.audit = Deserialize::from_value(val)?,
+                other => {
+                    return Err(serde::Error::custom(format!(
+                        "unknown SimConfig field `{other}`"
+                    )))
+                }
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+impl SimConfig {
+    /// Parse a config from JSON; missing fields take their defaults.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serializes")
+    }
 }
 
 impl Default for SimConfig {
@@ -457,6 +500,7 @@ impl<'a, P: Planner> Simulation<'a, P> {
         if let Some(m) = self.planner.engine_metrics() {
             report.engine_probe_parallelism = m.probe_parallelism;
             report.retire_batch_size = m.retire_batch_size;
+            report.reservation_repairs = m.reservation_repairs;
         }
         (report, self.planner)
     }

@@ -1001,8 +1001,11 @@ impl<S: SegmentStore + Default> Planner for SrpPlanner<S> {
         let stats = self.engine.stats();
         Some(EngineMetrics {
             probe_batches: stats.probe_batches,
+            probe_queries: stats.probe_queries,
             probe_parallelism: stats.probe_parallelism(),
+            probe_parallel_share: stats.parallel_share(),
             retire_batch_size: stats.mean_retire_batch(),
+            reservation_repairs: 0,
         })
     }
 

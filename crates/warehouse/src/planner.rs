@@ -10,6 +10,7 @@
 use crate::request::{Request, RequestId};
 use crate::route::Route;
 use crate::types::Time;
+use serde::{Deserialize, Serialize};
 
 /// Result of a single planning call.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,18 +32,30 @@ impl PlanOutcome {
     }
 }
 
-/// Operation metrics of a planner's sharded store engine, when it has one.
+/// Operation metrics of a planner's collision backend: the sharded segment
+/// store engine (SRP) or the grid-level reservation table (the baselines).
 /// Defined here (rather than next to the engine) so the simulator can read
 /// them through the object-safe [`Planner`] interface without depending on
 /// the geometry crate's concrete engine type.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct EngineMetrics {
     /// Batched collision-probe calls issued so far.
     pub probe_batches: u64,
+    /// Individual collision queries across all probe batches.
+    pub probe_queries: u64,
     /// Mean partition fan-out per probe batch (1.0 = fully serial).
     pub probe_parallelism: f64,
+    /// Share of probe batches that actually ran on scoped threads (0.0 on
+    /// single-core hosts or below the fan-out threshold — the number that
+    /// tells a perf job whether sharding engaged at all).
+    pub probe_parallel_share: f64,
     /// Mean segments retired per removal batch.
     pub retire_batch_size: f64,
+    /// Reservation-table bookings that overwrote a different owner's entry.
+    /// Zero for planners that pre-check every commit; positive under TWP's
+    /// optimistic beyond-window commits, where each overwrite is a repair
+    /// the next window slide must make good on.
+    pub reservation_repairs: u64,
 }
 
 /// A collision-aware route planner operating in the online setting.

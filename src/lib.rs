@@ -14,7 +14,9 @@
 //! * [`srp`] — the strip-based planner (the paper's contribution);
 //! * [`spacetime`] — space-time A\*, reservation tables, CBS;
 //! * [`baselines`] — SAP, RP, TWP, ACP;
-//! * [`simenv`] — the day simulator and OG/TC/MC metrics.
+//! * [`simenv`] — the day simulator and OG/TC/MC metrics;
+//! * [`service`] — the online planning service (bounded queue,
+//!   backpressure, deadlines) and its deterministic load generator.
 //!
 //! ## Quickstart
 //!
@@ -38,6 +40,7 @@
 
 pub use carp_baselines as baselines;
 pub use carp_geometry as geometry;
+pub use carp_service as service;
 pub use carp_simenv as simenv;
 pub use carp_spacetime as spacetime;
 pub use carp_srp as srp;
@@ -49,6 +52,7 @@ pub mod prelude {
         AcpConfig, AcpPlanner, RpConfig, RpPlanner, SapPlanner, TwpConfig, TwpPlanner,
     };
     pub use carp_geometry::{NaiveStore, Segment, SegmentStore, SlopeIndexStore};
+    pub use carp_service::{LoadScenario, PlanningService, ServiceConfig, ServiceMetrics};
     pub use carp_simenv::{DayReport, ReproBundle, SimConfig, Simulation};
     pub use carp_spacetime::AStarConfig;
     pub use carp_srp::{PlannerPath, Provenance, SrpConfig, SrpPlanner, StripGraph};
