@@ -1,0 +1,154 @@
+//! Batched frontier expansion vs one-edge-at-a-time relaxation in the
+//! Phase-1 inter-strip search (the tentpole measurement of the batched
+//! `relax_frontier_batch` refactor).
+//!
+//! The same W-2 request stream is planned from scratch under serial
+//! (`frontier_batch = 1`, one engine thread) and batched
+//! (`frontier_batch = 64`, auto threads) configurations at partition
+//! counts {1, 4}. Before anything is timed the stream's outcomes are
+//! diffed against the serial reference — the equivalence gate. A timing
+//! regression is tuning noise; an equivalence failure is a determinism
+//! bug and panics the bench even in `--test` quick mode.
+//!
+//! NOTE: the scoped-thread fan-out only engages when
+//! `std::thread::available_parallelism` reports more than one core. On a
+//! single-core host every configuration degrades to the serial path by
+//! design, so the expected ≥1.5× gap at 4 partitions is observable only
+//! on multi-core hardware (the CI perf job's artifact records it).
+//!
+//! Set `PARALLEL_SEARCH_OUT=/path/to.json` to dump the equivalence-run
+//! timings as a small hand-formatted JSON artifact.
+
+use carp_srp::{SrpConfig, SrpPlanner};
+use carp_warehouse::layout::WarehousePreset;
+use carp_warehouse::tasks::generate_requests;
+use carp_warehouse::{PlanOutcome, Planner, Request, WarehouseMatrix};
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::{Duration, Instant};
+
+const STREAM_LEN: usize = 200;
+
+#[derive(Clone, Copy)]
+struct Variant {
+    label: &'static str,
+    partitions: usize,
+    frontier_batch: usize,
+    /// `Some(1)` forces the serial engine; `None` lets the engine size its
+    /// scoped-thread pool from the host.
+    threads: Option<usize>,
+}
+
+const VARIANTS: [Variant; 4] = [
+    Variant {
+        label: "serial/partitions-1",
+        partitions: 1,
+        frontier_batch: 1,
+        threads: Some(1),
+    },
+    Variant {
+        label: "serial/partitions-4",
+        partitions: 4,
+        frontier_batch: 1,
+        threads: Some(1),
+    },
+    Variant {
+        label: "batched/partitions-1",
+        partitions: 1,
+        frontier_batch: 64,
+        threads: None,
+    },
+    Variant {
+        label: "batched/partitions-4",
+        partitions: 4,
+        frontier_batch: 64,
+        threads: None,
+    },
+];
+
+fn config_of(v: Variant) -> SrpConfig {
+    SrpConfig {
+        store_partitions: v.partitions,
+        frontier_batch: v.frontier_batch,
+        engine_threads: v.threads,
+        ..SrpConfig::default()
+    }
+}
+
+fn plan_stream(
+    matrix: &WarehouseMatrix,
+    requests: &[Request],
+    config: SrpConfig,
+) -> (Vec<PlanOutcome>, Duration) {
+    let mut planner = SrpPlanner::new(matrix.clone(), config);
+    let start = Instant::now();
+    let outcomes = requests.iter().map(|r| planner.plan(r)).collect();
+    (outcomes, start.elapsed())
+}
+
+fn write_artifact(path: &str, timings: &[(Variant, Duration)]) {
+    let serial_s = timings[0].1.as_secs_f64();
+    let entries: Vec<String> = timings
+        .iter()
+        .map(|(v, d)| {
+            let s = d.as_secs_f64();
+            format!(
+                "    {{\"label\": \"{}\", \"partitions\": {}, \"frontier_batch\": {}, \
+                 \"threads\": {}, \"seconds\": {s:.4}, \"speedup_vs_serial\": {:.3}}}",
+                v.label,
+                v.partitions,
+                v.frontier_batch,
+                v.threads.map_or("\"auto\"".into(), |t| t.to_string()),
+                serial_s / s.max(1e-9),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_search\",\n  \"preset\": \"W-2\",\n  \
+         \"requests\": {STREAM_LEN},\n  \"equivalence\": \"bit-identical\",\n  \
+         \"runs\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write(path, json).expect("parallel-search artifact written");
+    println!("parallel_search: wrote {path}");
+}
+
+fn bench_parallel_search(c: &mut Criterion) {
+    let layout = WarehousePreset::W2.generate();
+    let requests = generate_requests(&layout, STREAM_LEN, 2.0, 31);
+
+    // Equivalence gate: every variant must reproduce the serial reference
+    // bit for bit before any timing is reported.
+    let mut timings: Vec<(Variant, Duration)> = Vec::new();
+    let mut reference: Option<Vec<PlanOutcome>> = None;
+    for v in VARIANTS {
+        let (outcomes, elapsed) = plan_stream(&layout.matrix, &requests, config_of(v));
+        match &reference {
+            None => reference = Some(outcomes),
+            Some(r) => assert_eq!(
+                r, &outcomes,
+                "{}: batched search diverged from the serial reference",
+                v.label
+            ),
+        }
+        timings.push((v, elapsed));
+    }
+    if let Ok(path) = std::env::var("PARALLEL_SEARCH_OUT") {
+        write_artifact(&path, &timings);
+    }
+
+    let mut group = c.benchmark_group("parallel_search_w2");
+    group.sample_size(3);
+    for v in VARIANTS {
+        group.bench_function(v.label, |b| {
+            b.iter_batched(
+                || (),
+                |()| black_box(plan_stream(&layout.matrix, &requests, config_of(v))),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_search);
+criterion_main!(benches);

@@ -41,6 +41,13 @@ pub type ShardKey = u32;
 /// per-thread setup cost dwarfs the probes themselves.
 const PARALLEL_PROBE_MIN: usize = 32;
 
+/// Minimum batch size before an [`StoreEngine::eval_many`] fan-out spawns
+/// threads. Each evaluation job is a whole store-level search (an
+/// intra-strip plan or a crossing scan) — orders of magnitude heavier than
+/// one collision probe — so the fan-out pays for itself at much smaller
+/// batches than [`PARALLEL_PROBE_MIN`].
+const PARALLEL_EVAL_MIN: usize = 3;
+
 /// Cumulative operation counters of an engine (monotone; never reset).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct EngineStats {
@@ -57,6 +64,12 @@ pub struct EngineStats {
     pub retire_batches: u64,
     /// Segments removed across all `remove_batch` calls.
     pub retired_segments: u64,
+    /// `eval_many` calls (batched edge-cost evaluations).
+    pub eval_batches: u64,
+    /// Individual jobs across all `eval_many` calls.
+    pub eval_jobs: u64,
+    /// `eval_many` calls that actually ran on scoped threads.
+    pub parallel_eval_batches: u64,
 }
 
 impl EngineStats {
@@ -88,6 +101,26 @@ impl EngineStats {
             self.retired_segments as f64 / self.retire_batches as f64
         }
     }
+
+    /// Mean jobs per `eval_many` batch (the frontier width the search
+    /// actually gathers).
+    pub fn mean_eval_batch(&self) -> f64 {
+        if self.eval_batches == 0 {
+            0.0
+        } else {
+            self.eval_jobs as f64 / self.eval_batches as f64
+        }
+    }
+
+    /// Share of `eval_many` batches that actually fanned out on scoped
+    /// threads.
+    pub fn eval_parallel_share(&self) -> f64 {
+        if self.eval_batches == 0 {
+            0.0
+        } else {
+            self.parallel_eval_batches as f64 / self.eval_batches as f64
+        }
+    }
 }
 
 /// One lock stripe: the shards whose key hashes onto this partition.
@@ -113,28 +146,53 @@ pub struct StoreEngine<S: SegmentStore> {
     parallel_batches: AtomicU64,
     retire_batches: AtomicU64,
     retired_segments: AtomicU64,
+    eval_batches: AtomicU64,
+    eval_jobs: AtomicU64,
+    parallel_eval_batches: AtomicU64,
 }
 
 impl<S: SegmentStore + Default> StoreEngine<S> {
-    /// Create an engine with `partitions` lock stripes (clamped to ≥ 1).
+    /// Create an engine with `partitions` lock stripes (clamped to ≥ 1),
+    /// using every core the host advertises for fan-outs.
     pub fn new(partitions: usize) -> Self {
+        Self::with_parallelism(
+            partitions,
+            std::thread::available_parallelism().map_or(1, |p| p.get()),
+        )
+    }
+
+    /// Create an engine with an explicit worker-thread budget instead of
+    /// the detected core count. `threads <= 1` (clamped to ≥ 1) forces
+    /// every fan-out onto the serial path; `threads > 1` enables the
+    /// scoped-thread path even on hosts that report a single core —
+    /// results are identical either way (the fan-out is order-preserving),
+    /// so tests use this to pin both paths deterministically.
+    pub fn with_parallelism(partitions: usize, threads: usize) -> Self {
         let n = partitions.max(1);
         StoreEngine {
             partitions: (0..n).map(|_| RwLock::new(Partition::default())).collect(),
             empty: S::default(),
-            threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            threads: threads.max(1),
             probe_batches: AtomicU64::new(0),
             probe_queries: AtomicU64::new(0),
             probe_groups: AtomicU64::new(0),
             parallel_batches: AtomicU64::new(0),
             retire_batches: AtomicU64::new(0),
             retired_segments: AtomicU64::new(0),
+            eval_batches: AtomicU64::new(0),
+            eval_jobs: AtomicU64::new(0),
+            parallel_eval_batches: AtomicU64::new(0),
         }
     }
 
     /// Number of lock-striped partitions.
     pub fn partitions(&self) -> usize {
         self.partitions.len()
+    }
+
+    /// Worker threads available for fan-outs (fixed at construction).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     #[inline]
@@ -296,6 +354,79 @@ impl<S: SegmentStore + Default> StoreEngine<S> {
         results
     }
 
+    /// Evaluate a batch of independent per-shard jobs, in input order: each
+    /// job `(key, q)` is answered by `f(store, q)` against `key`'s store
+    /// (the shared empty stand-in when the shard was never touched). Jobs
+    /// are grouped per partition; when more than one partition is touched,
+    /// the engine has a multi-thread budget and the batch clears
+    /// [`PARALLEL_EVAL_MIN`], the groups run concurrently on scoped threads
+    /// — each under its own read lock, never more than one lock per worker,
+    /// so `f` must not call back into the engine. Results are assembled by
+    /// original index, so the answer is independent of scheduling.
+    ///
+    /// This is the generic sibling of [`StoreEngine::collide_many`] for
+    /// callers whose per-shard work is a whole search (an intra-strip plan,
+    /// a crossing scan) rather than a single collision probe.
+    pub fn eval_many<Q, R>(&self, jobs: &[(ShardKey, Q)], f: impl Fn(&S, &Q) -> R + Sync) -> Vec<R>
+    where
+        Q: Sync,
+        R: Send,
+    {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        self.eval_batches.fetch_add(1, Ordering::Relaxed);
+        self.eval_jobs
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        let n = self.partitions.len();
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, (key, _)) in jobs.iter().enumerate() {
+            groups[self.partition_of(*key)].push(i);
+        }
+        let touched: Vec<usize> = (0..n).filter(|&p| !groups[p].is_empty()).collect();
+
+        let run_group = |part: &Partition<S>, idxs: &[usize]| -> Vec<(usize, R)> {
+            idxs.iter()
+                .map(|&i| {
+                    let (key, q) = &jobs[i];
+                    let store = part.shards.get(key).map_or(&self.empty, |b| &**b);
+                    (i, f(store, q))
+                })
+                .collect()
+        };
+
+        let mut slots: Vec<Option<R>> = (0..jobs.len()).map(|_| None).collect();
+        if touched.len() > 1 && self.threads > 1 && jobs.len() >= PARALLEL_EVAL_MIN {
+            self.parallel_eval_batches.fetch_add(1, Ordering::Relaxed);
+            let answers: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = touched
+                    .iter()
+                    .map(|&p| {
+                        let idxs = &groups[p];
+                        scope.spawn(move || run_group(&self.read(p), idxs))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("eval worker panicked"))
+                    .collect()
+            });
+            for (i, r) in answers.into_iter().flatten() {
+                slots[i] = Some(r);
+            }
+        } else {
+            for &p in &touched {
+                for (i, r) in run_group(&self.read(p), &groups[p]) {
+                    slots[i] = Some(r);
+                }
+            }
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("every job answered exactly once"))
+            .collect()
+    }
+
     /// Run a closure against `key`'s store under the partition's read lock
     /// (an empty stand-in when the shard was never touched). This is how
     /// the intra-strip planner borrows a store for the duration of one leg.
@@ -364,6 +495,9 @@ impl<S: SegmentStore + Default> StoreEngine<S> {
             parallel_batches: self.parallel_batches.load(Ordering::Relaxed),
             retire_batches: self.retire_batches.load(Ordering::Relaxed),
             retired_segments: self.retired_segments.load(Ordering::Relaxed),
+            eval_batches: self.eval_batches.load(Ordering::Relaxed),
+            eval_jobs: self.eval_jobs.load(Ordering::Relaxed),
+            parallel_eval_batches: self.parallel_eval_batches.load(Ordering::Relaxed),
         }
     }
 }
@@ -388,6 +522,11 @@ impl<S: SegmentStore + Clone> Clone for StoreEngine<S> {
             parallel_batches: AtomicU64::new(self.parallel_batches.load(Ordering::Relaxed)),
             retire_batches: AtomicU64::new(self.retire_batches.load(Ordering::Relaxed)),
             retired_segments: AtomicU64::new(self.retired_segments.load(Ordering::Relaxed)),
+            eval_batches: AtomicU64::new(self.eval_batches.load(Ordering::Relaxed)),
+            eval_jobs: AtomicU64::new(self.eval_jobs.load(Ordering::Relaxed)),
+            parallel_eval_batches: AtomicU64::new(
+                self.parallel_eval_batches.load(Ordering::Relaxed),
+            ),
         }
     }
 }
@@ -521,6 +660,55 @@ mod tests {
         assert_eq!(clone.total_segments(), 2);
         assert_eq!(clone.snapshot(1), engine.snapshot(1));
         assert_eq!(clone.stats(), engine.stats());
+    }
+
+    #[test]
+    fn eval_many_preserves_input_order_on_both_paths() {
+        // Same population, one engine forced serial (threads = 1) and one
+        // forced onto the scoped-thread path (threads = 4, which works even
+        // on a single-core host): answers must be identical and in input
+        // order either way.
+        let build = |threads: usize| {
+            let engine: StoreEngine<SlopeIndexStore> = StoreEngine::with_parallelism(8, threads);
+            for key in 0..24u32 {
+                engine.insert(key, seg(key, key as i32));
+            }
+            engine
+        };
+        let serial = build(1);
+        let parallel = build(4);
+        assert_eq!(serial.threads(), 1);
+        assert_eq!(parallel.threads(), 4);
+        let jobs: Vec<(ShardKey, u32)> = (0..24u32).rev().map(|k| (k, k)).collect();
+        let f = |store: &SlopeIndexStore, k: &u32| (*k, store.len());
+        let a = serial.eval_many(&jobs, f);
+        let b = parallel.eval_many(&jobs, f);
+        assert_eq!(a, b);
+        for (i, (k, len)) in a.iter().enumerate() {
+            assert_eq!(*k, jobs[i].1, "result {i} out of input order");
+            assert_eq!(*len, 1, "shard {k} holds one segment");
+        }
+        assert_eq!(serial.stats().parallel_eval_batches, 0);
+        assert_eq!(parallel.stats().parallel_eval_batches, 1);
+        assert_eq!(parallel.stats().eval_jobs, 24);
+        assert!((parallel.stats().mean_eval_batch() - 24.0).abs() < 1e-9);
+        assert!((parallel.stats().eval_parallel_share() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eval_many_hands_empty_store_for_untouched_shards() {
+        let engine: StoreEngine<NaiveStore> = StoreEngine::with_parallelism(4, 4);
+        engine.insert(0, seg(0, 0));
+        let jobs: Vec<(ShardKey, ())> = vec![(0, ()), (99, ()), (7, ())];
+        let lens = engine.eval_many(&jobs, |store, _| store.len());
+        assert_eq!(lens, vec![1, 0, 0]);
+        // Empty input returns immediately and is not counted as a batch.
+        assert!(engine
+            .eval_many::<(), usize>(&[], |s, _| s.len())
+            .is_empty());
+        let stats = engine.stats();
+        assert_eq!(stats.eval_batches, 1);
+        assert_eq!(stats.eval_jobs, 3);
     }
 
     #[test]

@@ -220,6 +220,39 @@ impl SegmentStore for SlopeIndexStore {
         best
     }
 
+    /// Single-pass override exploiting the slope partition: the waiters
+    /// that can block `(·, s)` all live in the slope-0 bucket keyed by `s`
+    /// itself (their [`Segment::index_key`] is the spatial coordinate), so
+    /// that class needs one bucket lookup instead of a window scan. The two
+    /// moving classes are window-scanned for their single-instant
+    /// crossings of coordinate `s`, then one sweep finds the first
+    /// uncovered instant.
+    fn earliest_free_point(&self, t0: Time, t1: Time, s: i32) -> Option<Time> {
+        let mut blocked: Vec<(Time, Time)> = Vec::new();
+        if let Some(bucket) = self.classes[Self::class_of(0)].by_key.get(&(s as i64)) {
+            for &(b0, b1) in bucket {
+                if b1 >= t0 && b0 <= t1 {
+                    blocked.push((b0.max(t0), b1.min(t1)));
+                }
+            }
+        }
+        for slope in [-1i8, 1] {
+            let class = &self.classes[Self::class_of(slope)];
+            let lo = t0.saturating_sub(class.max_duration);
+            for (_, other) in class.by_start.range((lo, 0)..=(t1, SegmentId::MAX)) {
+                if other.t1 < t0 {
+                    continue;
+                }
+                if let Some((b0, b1)) = other.occupancy_span_at(s) {
+                    if b1 >= t0 && b0 <= t1 {
+                        blocked.push((b0.max(t0), b1.min(t1)));
+                    }
+                }
+            }
+        }
+        crate::store::earliest_uncovered(&mut blocked, t0, t1)
+    }
+
     fn len(&self) -> usize {
         self.len
     }

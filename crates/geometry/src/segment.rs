@@ -135,6 +135,23 @@ impl Segment {
     pub fn occupancy(&self) -> impl Iterator<Item = (Time, i32)> + '_ {
         (self.t0..=self.t1).map(move |t| (t, self.pos_at(t).expect("t in range")))
     }
+
+    /// Closed time interval during which the segment occupies grid number
+    /// `s`, or `None` when it never does. A waiting segment occupies its
+    /// cell for its whole span; a moving segment passes through each cell
+    /// of its range at exactly one instant.
+    #[inline]
+    pub fn occupancy_span_at(&self, s: i32) -> Option<(Time, Time)> {
+        if s < self.s_min() || s > self.s_max() {
+            return None;
+        }
+        if self.s0 == self.s1 {
+            Some((self.t0, self.t1))
+        } else {
+            let t = self.t0 + s.abs_diff(self.s0);
+            Some((t, t))
+        }
+    }
 }
 
 impl core::fmt::Display for Segment {

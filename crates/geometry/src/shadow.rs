@@ -19,6 +19,7 @@ use crate::index::SlopeIndexStore;
 use crate::intersect::SegCollision;
 use crate::segment::Segment;
 use crate::store::{NaiveStore, SegmentId, SegmentStore};
+use carp_warehouse::types::Time;
 use std::collections::HashMap;
 
 /// A [`SegmentStore`] that mirrors every operation into both a
@@ -111,6 +112,17 @@ impl SegmentStore for ShadowStore {
                 "shadow-store divergence in collide_many on {q}: slope-index {ra:?}, naive {rb:?}"
             );
         }
+        a
+    }
+
+    fn earliest_free_point(&self, t0: Time, t1: Time, s: i32) -> Option<Time> {
+        let a = self.fast.earliest_free_point(t0, t1, s);
+        let b = self.naive.earliest_free_point(t0, t1, s);
+        assert_eq!(
+            a, b,
+            "shadow-store divergence in earliest_free_point([{t0},{t1}], {s}): \
+             slope-index {a:?}, naive {b:?}"
+        );
         a
     }
 

@@ -59,6 +59,33 @@ pub trait SegmentStore: Send + Sync {
         queries.iter().map(|q| self.earliest_collision(q)).collect()
     }
 
+    /// Earliest integer time `t ∈ [t0, t1]` at which grid number `s` is
+    /// unoccupied — i.e. the point probe `Segment::point(t, s)` reports no
+    /// collision — or `None` when every instant of the window is blocked.
+    ///
+    /// This is the primitive behind the planner's wait-probe loops (finding
+    /// the first free departure instant at a crossing, or the first free
+    /// start instant on a rack cell). A point only ever suffers *vertex*
+    /// collisions (a swap needs both segments moving), so "free" is exactly
+    /// "no stored segment occupies `(t, s)`".
+    ///
+    /// The default steps through the window with wait probes: query the
+    /// remaining window as one waiting segment; if the earliest collision
+    /// is strictly after the window start, the start is free, otherwise
+    /// skip past the blocked instant. Stores override this when their
+    /// layout admits a single-pass sweep.
+    fn earliest_free_point(&self, t0: Time, t1: Time, s: i32) -> Option<Time> {
+        let mut t = t0;
+        while t <= t1 {
+            match self.earliest_collision(&Segment::wait(t, t1, s)) {
+                None => return Some(t),
+                Some(c) if c.time > t => return Some(t),
+                Some(_) => t += 1,
+            }
+        }
+        None
+    }
+
     /// Number of stored segments.
     fn len(&self) -> usize;
 
@@ -72,6 +99,27 @@ pub trait SegmentStore: Send + Sync {
 
     /// Snapshot of all stored segments, for tests and debugging.
     fn snapshot(&self) -> Vec<Segment>;
+}
+
+/// Sweep a list of blocked closed intervals (already clipped to
+/// `[t0, t1]`) and return the earliest instant of the window not covered
+/// by any of them. Shared by the single-pass `earliest_free_point`
+/// overrides of [`NaiveStore`] and [`crate::index::SlopeIndexStore`].
+pub(crate) fn earliest_uncovered(blocked: &mut [(Time, Time)], t0: Time, t1: Time) -> Option<Time> {
+    blocked.sort_unstable();
+    let mut t = t0;
+    for &(b0, b1) in blocked.iter() {
+        if b0 > t {
+            return Some(t);
+        }
+        if b1 >= t {
+            t = b1 + 1;
+            if t > t1 {
+                return None;
+            }
+        }
+    }
+    (t <= t1).then_some(t)
 }
 
 /// The naive ordered-set store of §V-B-2.
@@ -144,6 +192,27 @@ impl SegmentStore for NaiveStore {
             best = SegCollision::min_opt(best, earliest_collision(seg, other));
         }
         best
+    }
+
+    /// Single-pass override: one window scan collects, per stored segment,
+    /// the closed interval during which it occupies `s` (whole span for a
+    /// waiter, a single instant for a mover), then a sweep finds the first
+    /// uncovered instant — versus the default's repeated wait probes, each
+    /// of which rescans the window.
+    fn earliest_free_point(&self, t0: Time, t1: Time, s: i32) -> Option<Time> {
+        let lo = t0.saturating_sub(self.max_duration);
+        let mut blocked: Vec<(Time, Time)> = Vec::new();
+        for (_, other) in self.by_start.range((lo, 0)..=(t1, SegmentId::MAX)) {
+            if other.t1 < t0 {
+                continue;
+            }
+            if let Some((b0, b1)) = other.occupancy_span_at(s) {
+                if b1 >= t0 && b0 <= t1 {
+                    blocked.push((b0.max(t0), b1.min(t1)));
+                }
+            }
+        }
+        earliest_uncovered(&mut blocked, t0, t1)
     }
 
     fn len(&self) -> usize {

@@ -114,6 +114,52 @@ proptest! {
         }
     }
 
+    /// `earliest_free_point` agrees with the brute-force definition —
+    /// the first instant of the window at which a point probe reports no
+    /// collision — for the trait default (exercised through a store-trait
+    /// object... here simply via repeated point probes), the NaiveStore
+    /// single-pass override and the SlopeIndexStore bucket override.
+    #[test]
+    fn earliest_free_point_matches_point_probes(
+        segs in prop::collection::vec(arb_segment(), 0..60),
+        t0 in 0u32..90,
+        span in 0u32..20,
+        s in 0i32..30,
+    ) {
+        let mut naive = NaiveStore::new();
+        let mut index = SlopeIndexStore::new();
+        for seg in &segs {
+            naive.insert(*seg);
+            index.insert(*seg);
+        }
+        let t1 = t0 + span;
+        // Ground truth: scan the window with single point probes.
+        let expected = (t0..=t1)
+            .find(|&t| naive.earliest_collision(&Segment::point(t, s)).is_none());
+        prop_assert_eq!(naive.earliest_free_point(t0, t1, s), expected);
+        prop_assert_eq!(index.earliest_free_point(t0, t1, s), expected);
+        // The trait default (wait-probe stepping) must agree too; call it
+        // through a minimal wrapper store that inherits the default.
+        struct DefaultOnly(NaiveStore);
+        impl SegmentStore for DefaultOnly {
+            fn insert(&mut self, seg: Segment) -> carp_geometry::SegmentId { self.0.insert(seg) }
+            fn remove(&mut self, id: carp_geometry::SegmentId, seg: &Segment) -> bool {
+                self.0.remove(id, seg)
+            }
+            fn earliest_collision(&self, seg: &Segment) -> Option<SegCollision> {
+                self.0.earliest_collision(seg)
+            }
+            fn len(&self) -> usize { self.0.len() }
+            fn memory_bytes(&self) -> usize { self.0.memory_bytes() }
+            fn snapshot(&self) -> Vec<Segment> { self.0.snapshot() }
+        }
+        let mut plain = DefaultOnly(NaiveStore::new());
+        for seg in &segs {
+            plain.insert(*seg);
+        }
+        prop_assert_eq!(plain.earliest_free_point(t0, t1, s), expected);
+    }
+
     /// Snapshots of both stores agree after identical workloads.
     #[test]
     fn snapshots_agree(segs in prop::collection::vec(arb_segment(), 0..50)) {

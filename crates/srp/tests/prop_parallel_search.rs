@@ -1,0 +1,223 @@
+//! Differential conformance suite for the batched frontier search.
+//!
+//! The Phase-1 inter-strip search (Algorithm 4) may pre-evaluate edge
+//! costs in batched, partition-parallel fan-outs (`frontier_batch > 1`),
+//! but the committed result must be **bit-identical** to the one-edge-at-
+//! a-time serial relaxation for every partition count and thread count:
+//! same routes, same costs, same provenance tags. These tests pin that
+//! contract by planning the same request stream under a grid of engine
+//! configurations and diffing every outcome against the serial reference
+//! (`store_partitions = 1`, `frontier_batch = 1`, one engine thread).
+//!
+//! Anything that differs — a route cell, a start time, a provenance
+//! string — is a determinism bug in the batching layer, never acceptable
+//! tuning noise.
+
+use carp_srp::{SrpConfig, SrpPlanner};
+use carp_warehouse::layout::LayoutConfig;
+use carp_warehouse::tasks::generate_requests;
+use carp_warehouse::{PlanOutcome, Planner, Request, WarehouseMatrix};
+use proptest::prelude::*;
+
+/// Plan the full request stream under one configuration, returning every
+/// outcome plus the provenance tag of every planned route. The planner is
+/// fresh per call so committed traffic evolves identically across runs.
+fn plan_all(
+    matrix: &WarehouseMatrix,
+    requests: &[Request],
+    config: SrpConfig,
+) -> (Vec<PlanOutcome>, Vec<Option<String>>) {
+    let mut srp = SrpPlanner::new(matrix.clone(), config);
+    let outcomes: Vec<PlanOutcome> = requests.iter().map(|r| srp.plan(r)).collect();
+    let tags = requests.iter().map(|r| srp.provenance(r.id)).collect();
+    (outcomes, tags)
+}
+
+/// The serial reference configuration: no batching, one partition, forced
+/// single-thread engine. Everything else must reproduce its output bit
+/// for bit.
+fn serial_reference() -> SrpConfig {
+    SrpConfig {
+        store_partitions: 1,
+        frontier_batch: 1,
+        engine_threads: Some(1),
+        ..SrpConfig::default()
+    }
+}
+
+/// The configuration grid the suite sweeps: partition counts {1, 2, 8},
+/// forced single-thread fallback and forced multi-thread scoped path, plus
+/// a deliberately awkward batch size that never divides a frontier evenly.
+fn variant_grid() -> Vec<SrpConfig> {
+    let mut grid = Vec::new();
+    for partitions in [1usize, 2, 8] {
+        for threads in [Some(1), Some(4)] {
+            grid.push(SrpConfig {
+                store_partitions: partitions,
+                frontier_batch: 64,
+                engine_threads: threads,
+                ..SrpConfig::default()
+            });
+        }
+    }
+    // Tiny odd batch: forces many partial batches and cache-hit pops.
+    grid.push(SrpConfig {
+        store_partitions: 2,
+        frontier_batch: 3,
+        engine_threads: Some(4),
+        ..SrpConfig::default()
+    });
+    grid
+}
+
+fn assert_identical(
+    label: &str,
+    reference: &(Vec<PlanOutcome>, Vec<Option<String>>),
+    candidate: &(Vec<PlanOutcome>, Vec<Option<String>>),
+) {
+    assert_eq!(
+        reference.0, candidate.0,
+        "{label}: routes/costs diverged from the serial reference"
+    );
+    assert_eq!(
+        reference.1, candidate.1,
+        "{label}: provenance tags diverged from the serial reference"
+    );
+}
+
+/// Random W-1/W-2-style layout: same rack-band structure as the paper's
+/// warehouses, with randomised dimensions, cluster length and aisle gaps.
+/// `target_racks` is derived from the generator's own capacity formulas so
+/// the configuration is always feasible.
+fn arb_layout() -> impl Strategy<Value = LayoutConfig> {
+    (20u16..32, 18u16..28, 3u16..5, 1u16..3, 1u16..3).prop_map(
+        |(rows, cols, cluster_len, col_gap, band_gap)| {
+            let (mt, mb, ml, mr) = (2u16, 3u16, 2u16, 2u16);
+            let slots = (cols - ml - mr + col_gap) / (2 + col_gap);
+            let bands = (rows - mt - mb + band_gap) / (cluster_len + band_gap);
+            let capacity = u32::from(bands) * u32::from(slots) * 2 * u32::from(cluster_len);
+            LayoutConfig {
+                rows,
+                cols,
+                cluster_len,
+                col_gap,
+                band_gap,
+                margin_top: mt,
+                margin_bottom: mb,
+                margin_left: ml,
+                margin_right: mr,
+                target_racks: (capacity / 2).max(2 * u32::from(cluster_len)),
+                pickers: 4,
+                robots: 6,
+            }
+        },
+    )
+}
+
+proptest! {
+    // Each case plans the same stream under 8 configurations; keep the
+    // population modest so the full sweep stays in CI budget.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Batched parallel search is bit-identical to serial search on random
+    /// warehouse layouts and request streams, for partition counts
+    /// {1, 2, 8}, forced single-thread fallback and forced multi-thread
+    /// scoped fan-out.
+    #[test]
+    fn parallel_search_matches_serial(
+        layout_cfg in arb_layout(),
+        n in 8usize..20,
+        seed in 0u64..1_000,
+    ) {
+        let layout = layout_cfg.generate();
+        let requests = generate_requests(&layout, n, 3.0, seed);
+        let reference = plan_all(&layout.matrix, &requests, serial_reference());
+        for config in variant_grid() {
+            let label = format!(
+                "partitions={} batch={} threads={:?}",
+                config.store_partitions, config.frontier_batch, config.engine_threads
+            );
+            let candidate = plan_all(&layout.matrix, &requests, config);
+            assert_identical(&label, &reference, &candidate);
+        }
+    }
+}
+
+/// Deterministic conformance on the structured small warehouse with a
+/// denser stream than the property cases, including a check that the
+/// batched path actually engaged (otherwise the suite would pass vacuously
+/// by never exercising the new code).
+#[test]
+fn dense_stream_conformance_and_batching_engages() {
+    let layout = LayoutConfig::small().generate();
+    let requests = generate_requests(&layout, 80, 4.0, 7);
+    let reference = plan_all(&layout.matrix, &requests, serial_reference());
+    let planned = reference.0.iter().filter(|o| o.route().is_some()).count();
+    assert!(
+        planned > 40,
+        "stream too sparse to be a meaningful diff base"
+    );
+
+    for config in variant_grid() {
+        // Batching self-disables when the fan-out could never engage
+        // (single thread or single partition) — it would be pure
+        // speculative overhead there.
+        let batched = config.frontier_batch > 1
+            && config.engine_threads.unwrap_or(1) > 1
+            && config.store_partitions > 1;
+        let label = format!(
+            "partitions={} batch={} threads={:?}",
+            config.store_partitions, config.frontier_batch, config.engine_threads
+        );
+        let mut srp = SrpPlanner::new(layout.matrix.clone(), config);
+        let outcomes: Vec<PlanOutcome> = requests.iter().map(|r| srp.plan(r)).collect();
+        let tags: Vec<Option<String>> = requests.iter().map(|r| srp.provenance(r.id)).collect();
+        assert_identical(&label, &reference, &(outcomes, tags));
+        if batched {
+            assert!(
+                srp.stats.frontier_batches > 0,
+                "{label}: batched search path never engaged"
+            );
+            let metrics = srp.engine_metrics().expect("SRP reports engine metrics");
+            assert!(
+                metrics.eval_batches > 0,
+                "{label}: engine saw no eval_many batches"
+            );
+            // Each frontier batch issues a Phase-A eval_many over every
+            // edge plus a Phase-B eval_many over the survivors, so the
+            // engine job count is bounded by [1x, 2x] the planner's
+            // per-edge evaluation count.
+            let evals = srp.stats.frontier_evals as u64;
+            assert!(
+                metrics.eval_jobs >= evals && metrics.eval_jobs <= 2 * evals,
+                "{label}: engine job count {} outside [{evals}, {}]",
+                metrics.eval_jobs,
+                2 * evals
+            );
+        }
+    }
+}
+
+/// The serial path itself is independent of partition count — the
+/// pre-existing invariant the batching layer builds on. Pinned here so a
+/// regression points at the store sharding rather than the frontier code.
+#[test]
+fn serial_search_is_partition_invariant() {
+    let layout = LayoutConfig::small().generate();
+    let requests = generate_requests(&layout, 40, 3.0, 11);
+    let reference = plan_all(&layout.matrix, &requests, serial_reference());
+    for partitions in [2usize, 8] {
+        let config = SrpConfig {
+            store_partitions: partitions,
+            frontier_batch: 1,
+            engine_threads: Some(1),
+            ..SrpConfig::default()
+        };
+        let candidate = plan_all(&layout.matrix, &requests, config);
+        assert_identical(
+            &format!("serial partitions={partitions}"),
+            &reference,
+            &candidate,
+        );
+    }
+}

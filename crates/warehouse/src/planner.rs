@@ -51,6 +51,16 @@ pub struct EngineMetrics {
     pub probe_parallel_share: f64,
     /// Mean segments retired per removal batch.
     pub retire_batch_size: f64,
+    /// Batched edge-cost evaluation calls issued by the inter-strip
+    /// search's frontier batching (`eval_many`); zero for planners without
+    /// a batched search.
+    pub eval_batches: u64,
+    /// Individual edge evaluations across all evaluation batches.
+    pub eval_jobs: u64,
+    /// Share of evaluation batches that actually ran on scoped threads —
+    /// the number that tells a perf job whether search parallelism engaged
+    /// at all.
+    pub eval_parallel_share: f64,
     /// Reservation-table bookings that overwrote a different owner's entry.
     /// Zero for planners that pre-check every commit; positive under TWP's
     /// optimistic beyond-window commits, where each overwrite is a repair

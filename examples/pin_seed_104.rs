@@ -1,0 +1,87 @@
+//! Regenerate (or verify) the pinned seed-104 `ReproBundle` fixture.
+//!
+//! The original proptest byte-seed of the seed-104 collision regression
+//! predates the vendored RNG and can no longer be decoded, so the replay
+//! grid in `tests/prop_end_to_end.rs` re-derives the instance space
+//! deterministically. This fixture goes one step further: it freezes the
+//! densest grid instance (the one whose rack count matches the historical
+//! shrink) as an explicit, self-contained JSON repro under
+//! `crates/srp/tests/fixtures/`, so the exact layout and request stream
+//! survive any future change to the layout generator or task RNG.
+//!
+//! ```sh
+//! cargo run --example pin_seed_104            # verify the fixture is current
+//! cargo run --example pin_seed_104 -- --write # rewrite the fixture
+//! ```
+
+use srp_warehouse::prelude::*;
+
+const FIXTURE_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/crates/srp/tests/fixtures/seed_104.json"
+);
+
+/// The pinned instance: the densest configuration of the
+/// `seed_104_regression_replay` grid (cluster 2×4, tightest aisles,
+/// 79 requested racks) with the historical request stream
+/// `generate_requests(layout, 40, 3.0, 104)`.
+pub fn seed_104_layout() -> LayoutConfig {
+    LayoutConfig {
+        rows: 24,
+        cols: 20,
+        cluster_len: 4,
+        col_gap: 1,
+        band_gap: 1,
+        margin_top: 2,
+        margin_bottom: 3,
+        margin_left: 2,
+        margin_right: 2,
+        target_racks: 79,
+        pickers: 4,
+        robots: 6,
+    }
+}
+
+fn build_bundle() -> ReproBundle {
+    let cfg = seed_104_layout();
+    let layout = cfg.generate();
+    let requests = generate_requests(&layout, 40, 3.0, 104);
+    ReproBundle {
+        layout: cfg,
+        requests,
+        conflict: "historical: seed-104 shrink of srp_streams_are_collision_free — \
+                   swap conflict between two committed SRP routes; fixed in PR 1, \
+                   pinned here as a permanent replay instance"
+            .into(),
+        provenance: vec![
+            "existing: direct strip search (historical)".into(),
+            "incoming: direct strip search (historical)".into(),
+        ],
+        timeline: "regenerate by replaying the bundle: plan every request in order \
+                   and audit each commit (see seed_104_regression_replay)"
+            .into(),
+    }
+}
+
+fn main() {
+    let json = build_bundle().to_json();
+    let write = std::env::args().any(|a| a == "--write");
+    if write {
+        std::fs::write(FIXTURE_PATH, format!("{json}\n")).expect("fixture written");
+        println!("wrote {FIXTURE_PATH} ({} bytes)", json.len() + 1);
+        return;
+    }
+    match std::fs::read_to_string(FIXTURE_PATH) {
+        Ok(on_disk) if on_disk.trim_end() == json => {
+            println!("fixture is current: {FIXTURE_PATH}");
+        }
+        Ok(_) => {
+            eprintln!("fixture is STALE — rerun with --write: {FIXTURE_PATH}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("fixture missing ({e}) — rerun with --write: {FIXTURE_PATH}");
+            std::process::exit(1);
+        }
+    }
+}

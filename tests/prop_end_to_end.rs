@@ -214,13 +214,71 @@ proptest! {
     }
 }
 
+/// The pinned seed-104 instance, frozen as a self-contained JSON
+/// `ReproBundle` (regenerate with `cargo run --example pin_seed_104 --
+/// --write`). `include_str!` makes a missing fixture a compile error.
+const SEED_104_FIXTURE: &str = include_str!("../crates/srp/tests/fixtures/seed_104.json");
+
 /// Pinned replay of the `srp_streams_are_collision_free` regression
 /// (`tests/prop_end_to_end.proptest-regressions`, "shrinks to seed = 104").
-/// The saved byte seed is RNG-specific, so the replay walks the whole
+/// The saved byte seed is RNG-specific, so the replay has two layers:
+/// the explicit `ReproBundle` fixture freezing the densest instance
+/// verbatim (immune to generator drift), then a walk of the whole
 /// deterministic configuration grid of `arb_layout` at request seed 104 —
 /// a superset of the instance that originally collided.
 #[test]
 fn seed_104_regression_replay() {
+    // Layer 1: the frozen fixture. Replay its exact request stream under
+    // both the serial and the batched/parallel search configurations; the
+    // audit must stay clean and the batched routes bit-identical.
+    let bundle = ReproBundle::from_json(SEED_104_FIXTURE).expect("fixture parses");
+    let layout = bundle.layout.generate();
+    assert_eq!(
+        bundle.requests,
+        generate_requests(&layout, 40, 3.0, 104),
+        "task generator drifted from the frozen seed-104 stream; if the \
+         change is intentional, regenerate the fixture with \
+         `cargo run --example pin_seed_104 -- --write`"
+    );
+    let configs = [
+        SrpConfig {
+            frontier_batch: 1,
+            engine_threads: Some(1),
+            ..SrpConfig::default()
+        },
+        SrpConfig {
+            store_partitions: 8,
+            frontier_batch: 64,
+            engine_threads: Some(4),
+            ..SrpConfig::default()
+        },
+    ];
+    let mut per_config_routes: Vec<Vec<(u64, Route)>> = Vec::new();
+    for config in configs {
+        let mut planner = SrpPlanner::new(layout.matrix.clone(), config);
+        let mut auditor = IncrementalAuditor::new();
+        let mut routes = Vec::new();
+        for req in &bundle.requests {
+            if let PlanOutcome::Planned(r) = planner.plan(req) {
+                assert!(r.validate(&layout.matrix).is_ok(), "fixture replay");
+                auditor
+                    .commit(req.id, &r)
+                    .unwrap_or_else(|c| panic!("fixture replay: audit refused route: {c}"));
+                routes.push((req.id, r));
+            }
+        }
+        assert_eq!(
+            validate_routes(&routes.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>()),
+            None
+        );
+        per_config_routes.push(routes);
+    }
+    assert_eq!(
+        per_config_routes[0], per_config_routes[1],
+        "batched/parallel search diverged from serial on the pinned instance"
+    );
+
+    // Layer 2: the deterministic configuration grid.
     for cluster_len in 2u16..5 {
         for col_gap in 1u16..3 {
             for band_gap in 1u16..3 {
