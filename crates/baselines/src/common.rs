@@ -16,6 +16,9 @@ pub struct Commitments {
     /// Space-time reservations of all active routes.
     pub reservations: ReservationTable,
     retire_queue: BTreeSet<(Time, RequestId)>,
+    /// Exclusive hard-layer horizon each windowed route was booked under
+    /// (`Time::MAX` for plain commits).
+    hard_until: HashMap<RequestId, Time>,
 }
 
 impl Commitments {
@@ -24,11 +27,48 @@ impl Commitments {
         Self::default()
     }
 
-    /// Commit a route: store it and reserve its occupancy.
+    /// Commit a fully-checked route: store it and reserve its occupancy
+    /// entirely in the hard layer.
     pub fn commit(&mut self, id: RequestId, route: Route) {
-        self.reservations.reserve(&route, id);
+        self.commit_windowed(id, route, 0, Time::MAX);
+    }
+
+    /// Commit a windowed route: keys at `t < hard_until` are hard
+    /// (exclusive — the search verified them free), the optimistic tail
+    /// beyond is booked in the soft multi-owner layer. Keys at
+    /// `t < active_from` are travelled history and are not booked (see
+    /// [`ReservationTable::reserve_windowed`]); the stored route still
+    /// carries its full prefix for repairs and revisions.
+    pub fn commit_windowed(
+        &mut self,
+        id: RequestId,
+        route: Route,
+        active_from: Time,
+        hard_until: Time,
+    ) {
+        self.reservations
+            .reserve_windowed(&route, id, active_from, hard_until);
+        self.book(id, route, hard_until);
+    }
+
+    /// Re-commit a withdrawn route exactly as it was held before (failed
+    /// window repair): same layers, no new optimism counted, history
+    /// before `active_from` dropped.
+    pub fn restore(&mut self, id: RequestId, route: Route, active_from: Time, hard_until: Time) {
+        self.reservations
+            .restore_windowed(&route, id, active_from, hard_until);
+        self.book(id, route, hard_until);
+    }
+
+    fn book(&mut self, id: RequestId, route: Route, hard_until: Time) {
         self.retire_queue.insert((route.end_time(), id));
         self.routes.insert(id, route);
+        self.hard_until.insert(id, hard_until);
+    }
+
+    /// The hard-layer horizon `id` was last booked under.
+    pub fn hard_until(&self, id: RequestId) -> Option<Time> {
+        self.hard_until.get(&id).copied()
     }
 
     /// Remove a route (e.g. before replanning it). Returns the route.
@@ -36,6 +76,7 @@ impl Commitments {
         let route = self.routes.remove(&id)?;
         self.reservations.release(&route, id);
         self.retire_queue.remove(&(route.end_time(), id));
+        self.hard_until.remove(&id);
         Some(route)
     }
 
@@ -51,6 +92,7 @@ impl Commitments {
             self.retire_queue.remove(&(end, id));
             if let Some(route) = self.routes.remove(&id) {
                 self.reservations.release(&route, id);
+                self.hard_until.remove(&id);
                 retired.push(id);
             }
         }
@@ -79,10 +121,17 @@ impl Commitments {
         ids
     }
 
-    /// Cumulative reservation-table double-booking overwrites (see
-    /// [`ReservationTable::reservation_repairs`]).
-    pub fn reservation_repairs(&self) -> u64 {
-        self.reservations.reservation_repairs()
+    /// Cumulative soft-layer (beyond-window) bookings (see
+    /// [`ReservationTable::soft_bookings`]).
+    pub fn soft_bookings(&self) -> u64 {
+        self.reservations.soft_bookings()
+    }
+
+    /// Soft bookings at `t < window_end` — optimism a repair round should
+    /// already have promoted into the hard layer (see
+    /// [`ReservationTable::window_debt`]).
+    pub fn window_debt(&self, window_end: Time) -> u64 {
+        self.reservations.window_debt(window_end)
     }
 
     /// Number of active routes.
@@ -103,6 +152,7 @@ impl Commitments {
             + memory::hashmap_bytes(&self.routes)
             + self.reservations.memory_bytes()
             + memory::btreeset_bytes(&self.retire_queue)
+            + memory::hashmap_bytes(&self.hard_until)
     }
 }
 

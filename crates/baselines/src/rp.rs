@@ -274,11 +274,14 @@ impl Planner for RpPlanner {
     }
 
     fn engine_metrics(&self) -> Option<EngineMetrics> {
-        // RP commits optimistic shortest paths before CBS resolves their
-        // conflicts, so its reservation table double-books between the
-        // commit and the group replan; the repair count sizes that debt.
+        // RP resolves every conflict before committing (CBS joint replans
+        // and the prioritized fallback both avoid the full table), so all
+        // its bookings live in the exclusive hard layer and the soft-layer
+        // counters must read zero; surfacing them keeps that invariant
+        // visible in the day report.
         Some(EngineMetrics {
-            reservation_repairs: self.commitments.reservation_repairs(),
+            soft_bookings: self.commitments.soft_bookings(),
+            window_debt: 0,
             ..EngineMetrics::default()
         })
     }

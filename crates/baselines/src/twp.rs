@@ -9,6 +9,15 @@
 //! under the new window. The repairs are reported as route revisions from
 //! [`Planner::advance`].
 //!
+//! Reservations mirror the window split: keys inside a route's planning
+//! window live in the reservation table's exclusive hard layer (a
+//! cross-owner overwrite there is a bug and asserts), while the optimistic
+//! beyond-window tail is booked in the soft multi-owner layer. Each slide
+//! *promotes* a route's soft tail into the new window's hard layer by
+//! replanning it; a failed repair keeps the route under its old hard
+//! horizon, leaving the unpromoted tail as measurable *window debt* rather
+//! than silently overwriting peers' bookings.
+//!
 //! This is the paper's state-of-the-art efficiency baseline for fewer than
 //! 1,000 robots.
 
@@ -61,8 +70,14 @@ pub struct TwpPlanner {
     astar: SpaceTimeAStar,
     commitments: Commitments,
     config: TwpConfig,
-    /// Absolute time of the next scheduled repair round.
+    /// Absolute time of the next scheduled repair round (always a multiple
+    /// of `period`, so gaps in `advance` calls cannot drift the slide off
+    /// the RHCR schedule).
     next_repair: Time,
+    /// Exclusive hard-layer horizon of the most recent repair round: every
+    /// reservation below it is supposed to be promoted (hard); soft
+    /// bookings still below it are window debt from failed repairs.
+    repair_horizon: Time,
     /// Provenance of each active route: the window (repair-round ordinal)
     /// it was planned under, updated whenever a slide repairs its tail.
     provenance: HashMap<RequestId, String>,
@@ -82,6 +97,7 @@ impl TwpPlanner {
             commitments: Commitments::new(),
             config,
             next_repair: 0,
+            repair_horizon: 0,
             provenance: HashMap::new(),
             stats: TwpStats::default(),
             search_peak_bytes: 0,
@@ -91,6 +107,19 @@ impl TwpPlanner {
     /// Number of active committed routes.
     pub fn active_routes(&self) -> usize {
         self.commitments.len()
+    }
+
+    /// Iterate the active committed `(id, route)` pairs — the set the
+    /// window-consistency invariant quantifies over.
+    pub fn active(&self) -> impl Iterator<Item = (&RequestId, &Route)> {
+        self.commitments.iter()
+    }
+
+    /// Exclusive hard-layer horizon a route planned/repaired at `now` is
+    /// booked under: the search verifies every key at `t <= now + window`
+    /// (the collision horizon), so exactly those go to the hard layer.
+    fn hard_until(&self, now: Time) -> Time {
+        now + self.config.window + 1
     }
 
     fn windowed_plan(&mut self, start: Cell, goal: Cell, depart: Time, now: Time) -> Option<Route> {
@@ -108,19 +137,24 @@ impl TwpPlanner {
     }
 
     /// Slide the window: repair every active route whose tail may now hold
-    /// unresolved conflicts. Returns the revisions.
+    /// unresolved conflicts, promoting its soft (beyond-window) bookings
+    /// into the hard layer of the new window. Returns the revisions.
     fn repair_round(&mut self, now: Time) -> Vec<(RequestId, Route)> {
         self.stats.repair_rounds += 1;
+        let hard_until = self.hard_until(now);
+        self.repair_horizon = hard_until;
         let mut ids: Vec<RequestId> = self.commitments.iter().map(|(&id, _)| id).collect();
         ids.sort_unstable();
         let mut revisions = Vec::new();
         for id in ids {
+            let old_hard = self.commitments.hard_until(id).unwrap_or(0);
             let Some(old) = self.commitments.withdraw(id) else {
                 continue;
             };
             if old.end_time() <= now {
-                // Already finished (or finishing now): keep as is.
-                self.commitments.commit(id, old);
+                // Already finished (or finishing now): keep as is, under
+                // the layering it already holds.
+                self.commitments.restore(id, old, now, old_hard);
                 continue;
             }
             self.stats.repairs += 1;
@@ -151,7 +185,12 @@ impl TwpPlanner {
                         None => tail,
                     };
                     let changed = full != old;
-                    self.commitments.commit(id, full.clone());
+                    // Promote-on-slide: the repaired route's keys up to the
+                    // new window end were verified free against both layers,
+                    // so they enter the hard layer; only the tail beyond the
+                    // new window stays soft.
+                    self.commitments
+                        .commit_windowed(id, full.clone(), now, hard_until);
                     self.provenance.insert(
                         id,
                         format!(
@@ -164,11 +203,14 @@ impl TwpPlanner {
                     }
                 }
                 None => {
-                    // Could not repair: keep the old (window-valid) route;
-                    // its conflicts, if any, sit beyond the window and will
-                    // be retried next round.
+                    // Could not repair: keep the old route under its *old*
+                    // hard horizon — its unpromoted tail stays in the soft
+                    // multi-owner layer (window debt) instead of stealing
+                    // peers' hard keys, and the restore counts no new
+                    // optimism, so a repeating failure cannot ping-pong the
+                    // metrics. The conflict is retried next round.
                     self.stats.failed_repairs += 1;
-                    self.commitments.commit(id, old);
+                    self.commitments.restore(id, old, now, old_hard);
                 }
             }
         }
@@ -184,7 +226,9 @@ impl Planner for TwpPlanner {
     fn plan(&mut self, req: &Request) -> PlanOutcome {
         match self.windowed_plan(req.origin, req.destination, req.t, req.t) {
             Some(route) => {
-                self.commitments.commit(req.id, route.clone());
+                let hard_until = self.hard_until(req.t);
+                self.commitments
+                    .commit_windowed(req.id, route.clone(), req.t, hard_until);
                 self.provenance.insert(
                     req.id,
                     format!(
@@ -203,11 +247,21 @@ impl Planner for TwpPlanner {
             self.provenance.remove(&id);
         }
         if now >= self.next_repair {
-            self.next_repair = now + self.config.period;
+            // Align the next slide to the RHCR schedule (multiples of the
+            // period): a gap in `advance` calls — e.g. service deadline
+            // sheds — must not drift every subsequent repair round.
+            self.next_repair = (now / self.config.period + 1) * self.config.period;
             self.repair_round(now)
         } else {
             Vec::new()
         }
+    }
+
+    fn next_wakeup(&self) -> Option<Time> {
+        // The repair cadence only matters while routes are committed; an
+        // idle planner asks for no wake-ups (this is also what lets an
+        // event-driven driver terminate).
+        (!self.commitments.is_empty()).then_some(self.next_repair)
     }
 
     fn provenance(&self, id: RequestId) -> Option<String> {
@@ -216,11 +270,14 @@ impl Planner for TwpPlanner {
 
     fn engine_metrics(&self) -> Option<EngineMetrics> {
         // TWP has no segment-store engine, but its optimistic beyond-window
-        // commits double-book the reservation table by design; surfacing the
-        // repair count keeps the window-consistency gap visible now that the
-        // table no longer asserts on dense streams (see ROADMAP).
+        // commits populate the reservation table's soft layer by design:
+        // `soft_bookings` sizes that optimism, and `window_debt` counts the
+        // soft bookings the last slide should have promoted into the hard
+        // layer but could not (failed repairs). Hard-layer exclusivity
+        // itself is asserted in the table, not counted here.
         Some(EngineMetrics {
-            reservation_repairs: self.commitments.reservation_repairs(),
+            soft_bookings: self.commitments.soft_bookings(),
+            window_debt: self.commitments.window_debt(self.repair_horizon),
             ..EngineMetrics::default()
         })
     }
@@ -348,6 +405,169 @@ mod tests {
         let routes = run_stream(&mut twp, &requests, horizon);
         assert!(routes.len() >= 58);
         assert_eq!(validate_routes(&routes), None);
+    }
+
+    /// The steal-then-release hole, end to end: A commits a corridor, B's
+    /// optimistic beyond-window commit shares A's keys (soft co-booking),
+    /// B is cancelled — and a third robot planned straight at the shared
+    /// cell must still be kept out of A's corridor. On the old
+    /// single-owner table B's commit overwrote A's keys and B's release
+    /// deleted them, so C was planned straight through A.
+    #[test]
+    fn cancelled_peer_leaves_victim_corridor_protected() {
+        let m = WarehouseMatrix::empty(3, 21);
+        let mut twp = TwpPlanner::new(
+            m,
+            TwpConfig {
+                window: 4,
+                period: 2,
+                ..Default::default()
+            },
+        );
+        // A sweeps row 0 left-to-right: position (0, t) at time t.
+        let ra = twp
+            .plan(&Request::new(
+                0,
+                0,
+                Cell::new(0, 0),
+                Cell::new(0, 20),
+                QueryKind::Pickup,
+            ))
+            .route()
+            .cloned()
+            .expect("ra");
+        // B head-on: meets A at (0,10) at t=10, far beyond both windows, so
+        // both book the shared key optimistically (legal soft co-booking).
+        let rb = twp
+            .plan(&Request::new(
+                1,
+                0,
+                Cell::new(0, 20),
+                Cell::new(0, 0),
+                QueryKind::Pickup,
+            ))
+            .route()
+            .cloned()
+            .expect("rb");
+        assert!(first_conflict(&ra, &rb).is_some(), "co-booking expected");
+        let metrics = twp.engine_metrics().expect("twp reports metrics");
+        assert!(metrics.soft_bookings > 0, "optimism must be visible");
+        // B aborts its task; its release must not unprotect A.
+        assert!(twp.cancel(1));
+        // C wants to sit exactly on A's (0,10) at t=10, inside C's window.
+        let rc = twp
+            .plan(&Request::new(
+                2,
+                9,
+                Cell::new(1, 10),
+                Cell::new(0, 10),
+                QueryKind::Pickup,
+            ))
+            .route()
+            .cloned()
+            .expect("rc");
+        assert_ne!(
+            rc.position_at(10),
+            Some(Cell::new(0, 10)),
+            "C was planned straight through A's committed corridor"
+        );
+        assert!(
+            first_conflict(&ra, &rc).is_none(),
+            "C must be planned around A's surviving reservation"
+        );
+    }
+
+    /// A repeatedly failing repair (two head-on robots cornered in a
+    /// 1-wide corridor) recommits the same route every round. The restore
+    /// must be metric-neutral: an all-failures round books no new
+    /// optimism, while the unpromoted tail shows up as window debt.
+    #[test]
+    fn failed_repair_rounds_do_not_inflate_soft_bookings() {
+        let m = WarehouseMatrix::empty(1, 30);
+        let mut twp = TwpPlanner::new(
+            m,
+            TwpConfig {
+                window: 8,
+                period: 4,
+                // Bound the exhaustive searches of the cornered robots.
+                astar: AStarConfig {
+                    horizon: 64,
+                    ..AStarConfig::default()
+                },
+            },
+        );
+        twp.plan(&Request::new(
+            0,
+            0,
+            Cell::new(0, 0),
+            Cell::new(0, 20),
+            QueryKind::Pickup,
+        ))
+        .route()
+        .expect("r0");
+        twp.plan(&Request::new(
+            1,
+            0,
+            Cell::new(0, 20),
+            Cell::new(0, 0),
+            QueryKind::Pickup,
+        ))
+        .route()
+        .expect("r1");
+        let mut max_debt = 0;
+        for now in 0..=40 {
+            let before = (twp.stats.repairs, twp.stats.failed_repairs);
+            let soft_before = twp.engine_metrics().unwrap().soft_bookings;
+            twp.advance(now);
+            let attempted = twp.stats.repairs - before.0;
+            let failed = twp.stats.failed_repairs - before.1;
+            let metrics = twp.engine_metrics().unwrap();
+            max_debt = max_debt.max(metrics.window_debt);
+            if attempted > 0 && attempted == failed {
+                assert_eq!(
+                    metrics.soft_bookings, soft_before,
+                    "an all-failures round at t={now} booked new optimism"
+                );
+            }
+        }
+        assert!(
+            twp.stats.failed_repairs > 0,
+            "the cornered corridor must force failed repairs"
+        );
+        assert!(
+            max_debt > 0,
+            "failed repairs must surface as past-due window debt"
+        );
+    }
+
+    /// A gap in `advance` calls (e.g. service deadline sheds) must not
+    /// drift the slide schedule: repair rounds stay aligned to multiples
+    /// of the period.
+    #[test]
+    fn advance_gap_keeps_repairs_on_the_period_grid() {
+        let m = WarehouseMatrix::empty(3, 10);
+        let mut twp = TwpPlanner::new(
+            m,
+            TwpConfig {
+                window: 10,
+                period: 5,
+                ..Default::default()
+            },
+        );
+        twp.advance(0);
+        assert_eq!(twp.stats.repair_rounds, 1);
+        // Nothing advances for 13 steps; the round fires late...
+        twp.advance(13);
+        assert_eq!(twp.stats.repair_rounds, 2);
+        // ...but the next one is due at t=15 (the grid), not t=13+5=18.
+        twp.advance(14);
+        assert_eq!(twp.stats.repair_rounds, 2);
+        twp.advance(15);
+        assert_eq!(twp.stats.repair_rounds, 3, "slide drifted off the grid");
+        twp.advance(19);
+        assert_eq!(twp.stats.repair_rounds, 3);
+        twp.advance(20);
+        assert_eq!(twp.stats.repair_rounds, 4);
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Window-consistency property suite for TWP (the RHCR invariant).
+//!
+//! The contract of windowed planning is not "no conflicts ever" — it is
+//! that optimism stays strictly beyond the collision window: after every
+//! `advance`, as long as no repair has failed, no two active routes may
+//! conflict at any `t < r + window`, where `r` is the time of the most
+//! recent repair round. Every active route was (re)planned against both
+//! reservation layers up to at least that horizon, so an earlier conflict
+//! means a booking was stolen, leaked, or never consulted — exactly the
+//! bug class the two-layer reservation table exists to kill.
+//!
+//! Random request streams on the small layout probe the invariant across
+//! arrival orders, windows and densities; a deterministic W-1 preset run
+//! checks it at the paper's warehouse scale.
+
+use carp_baselines::{TwpConfig, TwpPlanner};
+use carp_spacetime::AStarConfig;
+use carp_warehouse::collision::first_conflict;
+use carp_warehouse::layout::{LayoutConfig, WarehousePreset};
+use carp_warehouse::tasks::generate_requests;
+use carp_warehouse::types::Time;
+use carp_warehouse::{Planner, Request};
+use proptest::prelude::*;
+
+/// Assert the invariant at one instant: every pair of active routes is
+/// conflict-free before `horizon`.
+fn assert_window_consistent(twp: &TwpPlanner, horizon: Time, now: Time) {
+    let active: Vec<_> = twp.active().collect();
+    for (i, (id_a, a)) in active.iter().enumerate() {
+        for (id_b, b) in &active[i + 1..] {
+            if let Some(c) = first_conflict(a, b) {
+                assert!(
+                    c.time >= horizon,
+                    "routes {id_a} and {id_b} conflict at t={} < horizon {horizon} \
+                     (now={now}): {c:?}",
+                    c.time
+                );
+            }
+        }
+    }
+}
+
+/// Drive a request stream through the simulator protocol and check the
+/// invariant after every step. Checks stop at the first failed repair:
+/// from then on a route may legitimately keep its *old* (smaller) hard
+/// horizon, and the residue is accounted as window debt instead.
+fn drive_and_check(twp: &mut TwpPlanner, requests: &[Request], window: Time) {
+    let horizon = requests.last().map_or(0, |r| r.t) + 2 * window;
+    let mut next = 0usize;
+    let mut last_round = 0;
+    let mut rounds_seen = 0;
+    for now in 0..=horizon {
+        twp.advance(now);
+        if twp.stats.repair_rounds > rounds_seen {
+            rounds_seen = twp.stats.repair_rounds;
+            last_round = now;
+        }
+        while next < requests.len() && requests[next].t <= now {
+            twp.plan(&requests[next]);
+            next += 1;
+        }
+        if twp.stats.failed_repairs == 0 {
+            assert_window_consistent(twp, last_round + window, now);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_streams_stay_window_consistent(
+        seed in 0u64..1_000_000,
+        n in 8usize..20,
+        rate_x10 in 5u32..20,
+        half in 3u32..10,
+    ) {
+        let layout = LayoutConfig::small().generate();
+        let requests = generate_requests(&layout, n, f64::from(rate_x10) / 10.0, seed);
+        let window = 2 * half;
+        let mut twp = TwpPlanner::new(
+            layout.matrix,
+            TwpConfig {
+                window,
+                period: half,
+                astar: AStarConfig::default(),
+            },
+        );
+        drive_and_check(&mut twp, &requests, window);
+    }
+}
+
+/// The same invariant at the paper's smallest warehouse scale (W-1,
+/// 233 × 104): a deterministic stream dense enough to force soft
+/// co-bookings and several promote-on-slide rounds.
+#[test]
+fn w1_preset_stream_stays_window_consistent() {
+    let layout = WarehousePreset::W1.generate();
+    let requests = generate_requests(&layout, 24, 1.5, 104);
+    let window = 24;
+    let mut twp = TwpPlanner::new(
+        layout.matrix,
+        TwpConfig {
+            window,
+            period: 12,
+            astar: AStarConfig::default(),
+        },
+    );
+    drive_and_check(&mut twp, &requests, window);
+    assert!(
+        twp.stats.repair_rounds > 3,
+        "stream must cross several slides to exercise promotion"
+    );
+    let metrics = twp.engine_metrics().expect("twp reports metrics");
+    assert!(
+        metrics.soft_bookings > 0,
+        "W-1 stream too sparse to book any optimism — strengthen the stream"
+    );
+}

@@ -106,8 +106,12 @@ fn deadline_overrun_retires_segments_from_engine() {
     assert_eq!(metrics.planned, 0);
     let engine = metrics.engine.expect("SRP publishes engine metrics");
     assert_eq!(
-        engine.reservation_repairs, 0,
-        "the cancel path must release cleanly, never repair"
+        engine.soft_bookings, 0,
+        "the cancel path must release cleanly, never book optimistically"
+    );
+    assert_eq!(
+        engine.window_debt, 0,
+        "nothing to promote, nothing past due"
     );
 
     assert_eq!(

@@ -67,10 +67,15 @@ pub struct DayReport {
     /// Mean segments retired per batched engine removal (0.0 when the
     /// planner has no engine or never retired a batch).
     pub retire_batch_size: f64,
-    /// Reservation-table bookings that overwrote a different owner's entry
-    /// (0 for pre-checked planners; positive under TWP/RP optimistic
-    /// commits, where every overwrite is debt a later repair pays off).
-    pub reservation_repairs: u64,
+    /// Cumulative soft-layer (beyond-window) reservation bookings (0 for
+    /// pre-checked planners; positive under TWP's optimistic commits,
+    /// which book unverified tails in the multi-owner soft layer).
+    pub soft_bookings: u64,
+    /// Soft bookings left below the last window slide's horizon — optimism
+    /// failed repairs could not promote into the exclusive hard layer.
+    /// Hard-layer overwrites are asserted in the reservation table, so
+    /// this is the only window-consistency debt a planner can report.
+    pub window_debt: u64,
 }
 
 impl DayReport {
@@ -200,7 +205,8 @@ impl Recorder {
             throughput_per_hour,
             engine_probe_parallelism: 0.0,
             retire_batch_size: 0.0,
-            reservation_repairs: 0,
+            soft_bookings: 0,
+            window_debt: 0,
         }
     }
 }

@@ -113,6 +113,10 @@ enum Event {
         kind: QueryKind,
         attempt: u32,
     },
+    /// Planner-requested wake-up ([`Planner::next_wakeup`]): gives windowed
+    /// planners their repair cadence even when no task event falls due —
+    /// the `advance` at the top of the event loop is the whole point.
+    Wake,
 }
 
 /// In-flight bookkeeping per robot.
@@ -200,11 +204,18 @@ impl<'a, P: Planner> Simulation<'a, P> {
         let mut request_log: Vec<Request> = Vec::new();
         let mut online_conflicts = 0usize;
         let mut repro_emitted = false;
-        // Commits the auditor refused whose verdict is pending: planners like
-        // RP revise the conflicting peers internally and only deliver those
-        // revisions on the next advance(), so a refusal is judged final only
-        // after the following revision batch has been applied.
+        // Commits the auditor refused whose verdict is pending. A refusal is
+        // judged only once its conflict *comes due*: planners repair
+        // deferred conflicts before they happen — RP revises the conflicting
+        // peers on the very next advance(), while windowed planners (TWP)
+        // legally carry a beyond-window conflict across several repair
+        // rounds. Ground truth (Definition 3) is whether the routes still
+        // conflict when simulated time reaches the conflict, not whether
+        // the next revision batch already fixed it.
         let mut deferred: Vec<(RequestId, Route)> = Vec::new();
+        // Wake-ups already in the queue (dedup: the planner reports the
+        // same `next_wakeup` until it fires).
+        let mut scheduled_wakes: std::collections::HashSet<Time> = std::collections::HashSet::new();
 
         macro_rules! report_conflict {
             ($aud:expr, $c:expr, $incoming:expr) => {{
@@ -268,8 +279,12 @@ impl<'a, P: Planner> Simulation<'a, P> {
                         makespan = makespan.max(route.finish_exclusive());
                         let end = route.end_time();
                         if let Some(aud) = auditor.as_mut() {
-                            if aud.commit(id, &route).is_err() {
-                                deferred.push((id, route.clone()));
+                            match aud.commit(id, &route) {
+                                Ok(()) => {}
+                                Err(c) if $now >= c.time => {
+                                    report_conflict!(aud, c, &route);
+                                }
+                                Err(_) => deferred.push((id, route.clone())),
                             }
                         }
                         final_routes.insert(id, route);
@@ -338,8 +353,14 @@ impl<'a, P: Planner> Simulation<'a, P> {
                         makespan = makespan.max(route.finish_exclusive());
                         let end = route.end_time();
                         if let Some(aud) = auditor.as_mut() {
+                            // The revision supersedes any pending refusal.
+                            deferred.retain(|(d, _)| *d != rid);
                             if let Err(c) = aud.commit(rid, &route) {
-                                report_conflict!(aud, c, &route);
+                                if now >= c.time {
+                                    report_conflict!(aud, c, &route);
+                                } else {
+                                    deferred.push((rid, route.clone()));
+                                }
                             }
                         }
                         if active_end.get(&(task, kind)) != Some(&end) {
@@ -360,16 +381,22 @@ impl<'a, P: Planner> Simulation<'a, P> {
                         final_routes.insert(rid, route);
                     }
                 }
-                // With the revision batch applied, pending refusals get
-                // their verdict: a commit that still fails is a real
-                // conflict the planner never repaired.
+                // With the revision batch applied, retry pending refusals.
+                // A commit that now passes was repaired in time; one still
+                // refused is judged only when its conflict is due — a
+                // conflict that is still ahead of `now` may yet be repaired
+                // by a later round, so it stays pending.
                 if let Some(aud) = auditor.as_mut() {
                     for (rid, route) in core::mem::take(&mut deferred) {
                         if aud.route(rid).is_some() {
                             continue; // a revision superseded the refused plan
                         }
-                        if let Err(c) = aud.commit(rid, &route) {
-                            report_conflict!(aud, c, &route);
+                        match aud.commit(rid, &route) {
+                            Ok(()) => {}
+                            Err(c) if now >= c.time => {
+                                report_conflict!(aud, c, &route);
+                            }
+                            Err(_) => deferred.push((rid, route)),
                         }
                     }
                 }
@@ -390,9 +417,20 @@ impl<'a, P: Planner> Simulation<'a, P> {
                         );
                     }
                 }
+                // Honor the planner's time-driven duties (e.g. TWP's repair
+                // cadence): the queue is event-driven, so without an explicit
+                // wake-up a repair round would wait for the next task event.
+                if let Some(wake) = self.planner.next_wakeup() {
+                    if wake > now && scheduled_wakes.insert(wake) {
+                        push(&mut events, &mut payloads, &mut seq, wake, Event::Wake);
+                    }
+                }
             }
 
             match event {
+                Event::Wake => {
+                    scheduled_wakes.remove(&now);
+                }
                 Event::Arrive { task } => {
                     match self.nearest_free_robot(&robots, self.tasks[task].rack) {
                         Some(r) => {
@@ -500,7 +538,8 @@ impl<'a, P: Planner> Simulation<'a, P> {
         if let Some(m) = self.planner.engine_metrics() {
             report.engine_probe_parallelism = m.probe_parallelism;
             report.retire_batch_size = m.retire_batch_size;
-            report.reservation_repairs = m.reservation_repairs;
+            report.soft_bookings = m.soft_bookings;
+            report.window_debt = m.window_debt;
         }
         (report, self.planner)
     }

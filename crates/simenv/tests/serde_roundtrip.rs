@@ -31,7 +31,8 @@ fn sample_report() -> DayReport {
         throughput_per_hour: 105.0,
         engine_probe_parallelism: 3.2,
         retire_batch_size: 11.5,
-        reservation_repairs: 7,
+        soft_bookings: 42,
+        window_debt: 7,
     }
 }
 
@@ -45,7 +46,8 @@ fn day_report_round_trips_through_json() {
     assert_eq!(json, serde_json::to_string(&back).unwrap());
     assert_eq!(back.planner, "SRP");
     assert_eq!(back.snapshots.len(), 2);
-    assert_eq!(back.reservation_repairs, 7);
+    assert_eq!(back.soft_bookings, 42);
+    assert_eq!(back.window_debt, 7);
 }
 
 #[test]

@@ -1,0 +1,48 @@
+//! A TWP day at the paper's W-1 warehouse scale, audited.
+//!
+//! This is the end-to-end gate for the two-layer reservation table: a full
+//! simulated day must finish with a clean collision audit *and* zero
+//! hard-layer debt — every optimistic beyond-window booking was promoted
+//! into the hard layer by a repair round before it came due. Nonzero
+//! `window_debt` means a slide left unpromoted optimism inside the window
+//! (the steal-then-release failure mode's visible residue), and CI treats
+//! it as a hard failure. Run under `--features strict-audit` in release
+//! (the CI perf job does) for the full cross-checked audit.
+
+use carp_baselines::{TwpConfig, TwpPlanner};
+use carp_simenv::{SimConfig, Simulation};
+use carp_warehouse::layout::WarehousePreset;
+use carp_warehouse::tasks::{generate_tasks, DayProfile};
+
+#[test]
+fn twp_w1_day_has_clean_audit_and_zero_window_debt() {
+    let layout = WarehousePreset::W1.generate();
+    // A modest stream: enough traffic for soft co-bookings and dozens of
+    // promote-on-slide rounds, small enough for a debug-mode run.
+    let tasks = generate_tasks(&layout, &DayProfile::new(900, 48), 104);
+    let planner = TwpPlanner::new(layout.matrix.clone(), TwpConfig::default());
+    let (report, planner) = Simulation::new(&layout, &tasks, planner, SimConfig::default()).run();
+
+    assert_eq!(
+        report.audit_conflicts, 0,
+        "TWP leaked collisions into the audited execution"
+    );
+    assert_eq!(
+        report.window_debt, 0,
+        "repair rounds left unpromoted soft bookings inside the window"
+    );
+    assert!(
+        report.soft_bookings > 0,
+        "a W-1 day must exercise beyond-window optimism"
+    );
+    assert!(
+        planner.stats.repair_rounds > 10,
+        "day too short to exercise the slide schedule"
+    );
+    assert!(
+        report.completed as f64 >= report.tasks as f64 * 0.9,
+        "only {}/{} tasks completed",
+        report.completed,
+        report.tasks
+    );
+}

@@ -27,7 +27,10 @@ pub struct AStarConfig {
     /// (`None` = always enforced). This is the *time window* of windowed
     /// planners such as TWP \[5\]: collisions are only resolved within the
     /// window; the tail of the route is planned as if traffic-free and
-    /// repaired when the window advances.
+    /// repaired when the window advances. Up to the horizon the search
+    /// queries *both* reservation layers — exclusive hard bookings and
+    /// peers' optimistic soft tails — so a windowed commit of everything
+    /// the search verified stays exclusivity-safe by construction.
     pub collision_horizon: Option<Time>,
 }
 

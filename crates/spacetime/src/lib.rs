@@ -6,7 +6,9 @@
 //! substrate faithfully:
 //!
 //! * [`reservation::ReservationTable`] — per-(cell, time) and per-(edge,
-//!   time) occupancy of committed routes;
+//!   time) occupancy of committed routes, split into an exclusive hard
+//!   layer (within-window, asserted) and a multi-owner soft layer
+//!   (beyond-window optimism of windowed planners);
 //! * [`astar`] — space-time A\* with wait moves, reservation awareness and
 //!   CBS constraints (Hart et al. \[7\], the engine of all baselines);
 //! * [`cbs`] — Conflict-Based Search (Sharon et al. \[2\]), the "offline

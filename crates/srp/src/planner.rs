@@ -1377,7 +1377,8 @@ impl<S: SegmentStore + Default> Planner for SrpPlanner<S> {
             eval_batches: stats.eval_batches,
             eval_jobs: stats.eval_jobs,
             eval_parallel_share: stats.eval_parallel_share(),
-            reservation_repairs: 0,
+            soft_bookings: 0,
+            window_debt: 0,
         })
     }
 

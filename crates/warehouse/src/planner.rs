@@ -61,11 +61,18 @@ pub struct EngineMetrics {
     /// the number that tells a perf job whether search parallelism engaged
     /// at all.
     pub eval_parallel_share: f64,
-    /// Reservation-table bookings that overwrote a different owner's entry.
-    /// Zero for planners that pre-check every commit; positive under TWP's
-    /// optimistic beyond-window commits, where each overwrite is a repair
-    /// the next window slide must make good on.
-    pub reservation_repairs: u64,
+    /// Cumulative soft-layer (beyond-window) reservation bookings. Zero for
+    /// planners that pre-check every commit against the full table; positive
+    /// under TWP's optimistic beyond-window commits, which book their
+    /// unverified tails in the reservation table's multi-owner soft layer
+    /// until a window slide promotes them.
+    pub soft_bookings: u64,
+    /// Soft bookings that sit below the last repair round's window end —
+    /// optimism the slide should have promoted into the exclusive hard
+    /// layer but could not (failed repairs). Hard-layer exclusivity itself
+    /// is asserted in the table, so this is the *only* window-consistency
+    /// debt a windowed planner can carry.
+    pub window_debt: u64,
 }
 
 /// A collision-aware route planner operating in the online setting.
@@ -86,6 +93,19 @@ pub trait Planner {
     fn advance(&mut self, now: Time) -> Vec<(RequestId, Route)> {
         let _ = now;
         Vec::new()
+    }
+
+    /// Next absolute time the planner needs an [`Planner::advance`] call
+    /// even if nothing else happens — e.g. a windowed planner's scheduled
+    /// repair round. `None` when the planner has no time-driven duties
+    /// (the default, and the permanent answer of non-windowed planners).
+    ///
+    /// Event-driven drivers (the simulator) must schedule a wake-up at
+    /// this time: without it, the repair cadence silently stretches to the
+    /// next natural event, and deferred beyond-window conflicts can come
+    /// due with no repair opportunity.
+    fn next_wakeup(&self) -> Option<Time> {
+        None
     }
 
     /// Bytes of live planner state: collision structures, caches, committed
