@@ -9,7 +9,7 @@
 use crate::common::Commitments;
 use carp_spacetime::{AStarConfig, SpaceTimeAStar};
 use carp_warehouse::matrix::WarehouseMatrix;
-use carp_warehouse::planner::{PlanOutcome, Planner};
+use carp_warehouse::planner::{PlanOutcome, Planner, SpeculativePlanner};
 use carp_warehouse::request::{Request, RequestId};
 use carp_warehouse::route::Route;
 use carp_warehouse::types::Time;
@@ -38,6 +38,29 @@ impl SapPlanner {
     /// Number of active committed routes.
     pub fn active_routes(&self) -> usize {
         self.commitments.len()
+    }
+}
+
+impl SpeculativePlanner for SapPlanner {
+    fn fork(&self) -> Self {
+        self.clone()
+    }
+
+    fn plan_candidate(&mut self, req: &Request) -> Option<Route> {
+        let route = self.astar.plan(
+            &self.matrix,
+            &self.commitments.reservations,
+            None,
+            req.origin,
+            req.destination,
+            req.t,
+        );
+        self.search_peak_bytes = self.search_peak_bytes.max(self.astar.stats.peak_bytes);
+        route
+    }
+
+    fn adopt(&mut self, id: RequestId, route: &Route) {
+        self.commitments.commit(id, route.clone());
     }
 }
 

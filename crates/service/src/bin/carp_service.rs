@@ -12,7 +12,7 @@
 //! counters. The process exits non-zero if any run reports an audited
 //! collision, which is the CI perf job's gate.
 
-use carp_service::loadgen::{run_load, LoadScenario};
+use carp_service::loadgen::{run_load, run_load_speculative, LoadScenario};
 use carp_service::report::ServiceBenchReport;
 use carp_service::service::ServiceConfig;
 use carp_simenv::SimConfig;
@@ -29,11 +29,16 @@ const USAGE: &str = "usage: carp-service [options]
   --queue-capacity N  ingest queue bound (default 256)
   --deadline-ms MS    per-request planning deadline; 0 disables it and makes
                       the committed route set bit-deterministic (default 0)
+  --workers N         planner worker threads; > 1 runs the speculative
+                      plan/validate/commit pipeline (default 1)
+  --expect-speculation fail unless speculative wins are recorded (used by
+                      the CI smoke to prove the pipeline actually engaged)
   --sim-config PATH   JSON file overriding SimConfig fields (service_time,
                       retry_delay, max_retries, ...)
   --out PATH          write BENCH_service.json here (default: print to stdout)
 
-exit status: 0 on success, 1 if any run audited a collision, 2 on bad usage";
+exit status: 0 on success, 1 if any run audited a collision (or
+--expect-speculation saw none), 2 on bad usage";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("carp-service: {msg}");
@@ -49,6 +54,8 @@ struct Opts {
     seed: u64,
     queue_capacity: usize,
     deadline_ms: u64,
+    workers: usize,
+    expect_speculation: bool,
     sim: SimConfig,
     out: Option<String>,
 }
@@ -67,6 +74,8 @@ fn parse_opts() -> Opts {
         seed: 7,
         queue_capacity: 256,
         deadline_ms: 0,
+        workers: 1,
+        expect_speculation: false,
         sim: SimConfig::default(),
         out: None,
     };
@@ -108,6 +117,11 @@ fn parse_opts() -> Opts {
                 Ok(ms) => opts.deadline_ms = ms,
                 Err(_) => usage_error("--deadline-ms expects an integer"),
             },
+            "--workers" => match value("--workers").parse() {
+                Ok(n) if n > 0 => opts.workers = n,
+                _ => usage_error("--workers expects a positive integer"),
+            },
+            "--expect-speculation" => opts.expect_speculation = true,
             "--sim-config" => {
                 let path = value("--sim-config");
                 let json = match std::fs::read_to_string(path) {
@@ -146,6 +160,7 @@ fn main() {
         } else {
             Some(Duration::from_millis(opts.deadline_ms))
         },
+        workers: opts.workers,
         ..ServiceConfig::default()
     };
 
@@ -166,20 +181,29 @@ fn main() {
             scenario.tasks.len(),
             opts.seed
         );
-        let (report, _planner) = run_load(&scenario, planner, opts.sim, service_cfg);
+        let (report, _planner) = if opts.workers > 1 {
+            run_load_speculative(&scenario, planner, opts.sim, service_cfg)
+        } else {
+            run_load(&scenario, planner, opts.sim, service_cfg)
+        };
         eprintln!(
-            "carp-service: {} done: {} planned, p95 {} us, {} conflicts, {:.1} plans/s",
+            "carp-service: {} done: {} planned, p95 {} us, {} conflicts, {:.1} plans/s, \
+             speculation {}w/{}r/{}a",
             report.scenario,
             report.service.planned,
             report.service.planning_latency.p95_us,
             report.audit_conflicts,
-            report.throughput_rps
+            report.throughput_rps,
+            report.service.speculation_wins,
+            report.service.speculation_retries,
+            report.service.speculation_aborts
         );
         runs.push(report);
     }
 
     let bench = ServiceBenchReport::new(runs);
     let conflicts = bench.total_audit_conflicts();
+    let speculation_wins: u64 = bench.runs.iter().map(|r| r.service.speculation_wins).sum();
     let json = bench.to_json();
     match &opts.out {
         Some(path) => {
@@ -194,6 +218,13 @@ fn main() {
 
     if conflicts > 0 {
         eprintln!("carp-service: FAIL — {conflicts} audited collision(s)");
+        std::process::exit(1);
+    }
+    if opts.expect_speculation && speculation_wins == 0 {
+        eprintln!(
+            "carp-service: FAIL — --expect-speculation set but no speculative \
+             commit won (pipeline never engaged)"
+        );
         std::process::exit(1);
     }
 }

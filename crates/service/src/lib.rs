@@ -11,22 +11,27 @@
 //!
 //! Commitment of a route is a linearization point in the online CARP model
 //! (Definition 3): routes are committed one at a time against the state left
-//! by all earlier commits. The service therefore runs a single worker thread
-//! that owns the planner; concurrency comes from the submitters, the metrics
-//! readers, and the engine's internal probe fan-out.
+//! by all earlier commits. The default service mode runs a single worker
+//! thread that owns the planner; the speculative pipeline
+//! ([`PlanningService::spawn_speculative`]) instead lets N workers plan
+//! candidates against replicas while a single validate-and-commit stage
+//! preserves the serial contract — and the exact serial output — at any
+//! worker count (DESIGN.md §13).
 //!
 //! [`Planner`]: carp_warehouse::planner::Planner
+//! [`PlanningService::spawn_speculative`]: service::PlanningService::spawn_speculative
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod histogram;
 pub mod loadgen;
+mod pipeline;
 pub mod report;
 pub mod service;
 
 pub use histogram::{LatencyHistogram, LatencySummary};
-pub use loadgen::{run_load, LoadScenario};
+pub use loadgen::{run_load, run_load_speculative, LoadScenario};
 pub use report::{routes_digest, LoadReport, ServiceBenchReport, BENCH_VERSION};
 pub use service::{
     PlanResponse, PlanningService, ServiceClient, ServiceConfig, ServiceMetrics, SubmitError,

@@ -34,7 +34,7 @@ use crate::service::{PlanResponse, PlanningService, ServiceConfig, SubmitError};
 use carp_simenv::SimConfig;
 use carp_warehouse::collision::{validate_routes, IncrementalAuditor};
 use carp_warehouse::layout::Layout;
-use carp_warehouse::planner::Planner;
+use carp_warehouse::planner::{Planner, SpeculativePlanner};
 use carp_warehouse::request::{QueryKind, Request, RequestId};
 use carp_warehouse::route::Route;
 use carp_warehouse::tasks::{generate_tasks, DayProfile, Task};
@@ -107,16 +107,42 @@ struct RobotState {
     busy: bool,
 }
 
-/// Drive `planner` through a full load run of `scenario`. Returns the
-/// report and the planner (recovered from the service worker) for
-/// post-run inspection.
+/// Drive `planner` through a full load run of `scenario` on the serial
+/// service. Returns the report and the planner (recovered from the
+/// service worker) for post-run inspection.
 pub fn run_load<P: Planner + Send + 'static>(
     scenario: &LoadScenario,
     planner: P,
     sim: SimConfig,
     service_cfg: ServiceConfig,
 ) -> (LoadReport, P) {
-    let svc = PlanningService::spawn(planner, service_cfg);
+    drive(scenario, PlanningService::spawn(planner, service_cfg), sim)
+}
+
+/// Like [`run_load`], but on the speculative multi-worker commit pipeline
+/// (`service_cfg.workers` planner threads; delegates to the serial worker
+/// when `workers <= 1`). The request stream, burst cadence, and audit are
+/// identical to [`run_load`] — which is the point: with deadlines disabled
+/// the committed route set must be bit-identical across worker counts.
+pub fn run_load_speculative<P: SpeculativePlanner + Send + 'static>(
+    scenario: &LoadScenario,
+    planner: P,
+    sim: SimConfig,
+    service_cfg: ServiceConfig,
+) -> (LoadReport, P) {
+    drive(
+        scenario,
+        PlanningService::spawn_speculative(planner, service_cfg),
+        sim,
+    )
+}
+
+/// The shared day-replay harness behind both entry points.
+fn drive<P: Planner + Send + 'static>(
+    scenario: &LoadScenario,
+    svc: PlanningService<P>,
+    sim: SimConfig,
+) -> (LoadReport, P) {
     let client = svc.client();
 
     let mut robots: Vec<RobotState> = scenario
@@ -331,6 +357,9 @@ pub fn run_load<P: Planner + Send + 'static>(
                             );
                         }
                     }
+                }
+                PlanResponse::ServiceDied => {
+                    panic!("service died mid-run (planner worker panic)")
                 }
                 resp => {
                     // Refusals and infeasibilities share the retry path: the

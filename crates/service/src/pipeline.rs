@@ -1,0 +1,557 @@
+//! The speculative plan/validate/commit pipeline behind
+//! [`PlanningService::spawn_speculative`](crate::service::PlanningService::spawn_speculative).
+//!
+//! ```text
+//!              ┌─ spec worker 0 ─┐  plan_candidate() on a replica
+//!  bounded ───▶│  spec worker 1  │──▶ results (keyed by admission seq)
+//!  queue       └─ spec worker N ─┘          │
+//!                     ▲  replay op log      ▼ strictly in seq order
+//!                     └───────────── commit stage: validate against the
+//!                                    audited committed set, adopt winners,
+//!                                    requeue losers (bounded retries)
+//! ```
+//!
+//! The commit stage is the linearization point of Definition 3: it owns the
+//! authoritative planner and an [`IncrementalAuditor`] holding every active
+//! committed route, and processes admission sequence numbers **in order**.
+//! A candidate planned against a stale replica either (a) validates clean
+//! against the routes committed since its snapshot epoch and commits as-is
+//! — under the planners' monotone tie-breaking this is bit-identical to
+//! what a serial planner would have produced — or (b) is refused by the
+//! auditor and requeued for replan with a bounded retry budget, falling
+//! back to an inline replan on the authoritative planner when the budget is
+//! exhausted. Either way, a fixed request stream produces the same
+//! committed routes at any worker count (DESIGN.md §13).
+//!
+//! Replicas track the committed state by replaying the commit stage's
+//! **op log** — an append-only sequence of adopt/cancel/advance operations
+//! whose length is the *epoch*. The commit stage is the log's sole
+//! appender, so an epoch fully identifies a committed state, and a worker's
+//! snapshot epoch tells the validator exactly which commits the candidate
+//! has not seen (the same delta-sync idea as coordination-free replicated
+//! DAGs: replicas converge by exchanging operations, conflicts resolve by
+//! a deterministic order — here, admission sequence).
+
+use crate::service::{record_turnaround, Control, Envelope, PlanResponse, Shared};
+use carp_warehouse::collision::IncrementalAuditor;
+use carp_warehouse::planner::{PlanOutcome, SpeculativePlanner};
+use carp_warehouse::request::{Request, RequestId};
+use carp_warehouse::route::Route;
+use carp_warehouse::types::Time;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc;
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// One committed-state mutation, replayed by worker replicas.
+pub(crate) enum EpochOp {
+    /// A validated route was committed for `RequestId`.
+    Adopt(RequestId, Route),
+    /// A committed route was cancelled (task aborted).
+    Cancel(RequestId),
+    /// Simulated time advanced; finished routes retire.
+    Advance(Time),
+}
+
+/// Append-only op log; its length is the epoch. The commit stage is the
+/// sole appender, so `len()` observed under the read lock identifies an
+/// exact committed state.
+#[derive(Default)]
+pub(crate) struct OpLog {
+    ops: RwLock<Vec<EpochOp>>,
+}
+
+impl OpLog {
+    /// Current epoch (number of ops ever appended).
+    pub(crate) fn len(&self) -> usize {
+        self.ops.read().expect("op log lock").len()
+    }
+
+    /// Append one op (commit stage only).
+    pub(crate) fn append(&self, op: EpochOp) {
+        self.ops.write().expect("op log lock").push(op);
+    }
+
+    /// Replay all ops past `applied` into `replica`; returns the epoch the
+    /// replica is synced to (and updates `applied` to match).
+    ///
+    /// `horizon` is the start time of the request about to be planned.
+    /// Adopts whose route already finished strictly before it are skipped:
+    /// a search starting at `t` is never constrained by reservations that
+    /// end before `t`, and the authoritative planner retires exactly those
+    /// routes on `advance(t)` (`end < now`), so the skip replays the same
+    /// state a serial planner holds after retirement — it just avoids
+    /// paying an adopt per worker for every route in the day's history.
+    pub(crate) fn sync<P: SpeculativePlanner>(
+        &self,
+        replica: &mut P,
+        applied: &mut usize,
+        horizon: Time,
+    ) -> usize {
+        let ops = self.ops.read().expect("op log lock");
+        for op in &ops[*applied..] {
+            match op {
+                EpochOp::Adopt(id, route) => {
+                    if route.end_time() >= horizon {
+                        replica.adopt(*id, route);
+                    }
+                }
+                EpochOp::Cancel(id) => {
+                    replica.cancel(*id);
+                }
+                EpochOp::Advance(now) => {
+                    let revisions = replica.advance(*now);
+                    debug_assert!(revisions.is_empty(), "speculative planners must not revise");
+                }
+            }
+        }
+        *applied = ops.len();
+        *applied
+    }
+}
+
+/// What a speculative worker produced for one envelope.
+pub(crate) enum SpecOutcome {
+    /// A candidate route, planned against the replica at the snapshot
+    /// epoch but **not committed** anywhere.
+    Planned(Route),
+    /// No route found at the snapshot epoch.
+    Infeasible,
+    /// The request blew its deadline while queued; never planned.
+    Shed,
+    /// The worker panicked while planning this request.
+    Died,
+}
+
+/// A worker's answer for one admission sequence number, consumed by the
+/// commit stage strictly in `seq` order.
+pub(crate) struct SpecResult {
+    pub(crate) seq: u64,
+    pub(crate) attempt: u32,
+    /// Epoch the planning replica was synced to when the candidate was
+    /// planned; commits appended after it are what validation re-checks.
+    pub(crate) snapshot_epoch: usize,
+    pub(crate) request: Request,
+    pub(crate) enqueued_at: Instant,
+    pub(crate) reply: mpsc::Sender<PlanResponse>,
+    pub(crate) outcome: SpecOutcome,
+}
+
+fn post_result(shared: &Shared, result: SpecResult) {
+    {
+        // Recover a poisoned lock: this also runs from a panic-unwind drop,
+        // where a second panic would abort the process. The queue state is
+        // a plain collection — no invariant is torn by a poisoning panic.
+        let mut st = match shared.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        st.results.insert(result.seq, result);
+    }
+    shared.commit_cv.notify_all();
+}
+
+/// Posts a [`SpecOutcome::Died`] result if the worker unwinds before
+/// disarming — the commit stage then answers `ServiceDied` for that one
+/// request instead of stranding its ticket and every later seq forever.
+struct PanicGuard<'a> {
+    shared: &'a Shared,
+    slot: Option<SpecResult>,
+}
+
+impl PanicGuard<'_> {
+    fn disarm(mut self) -> SpecResult {
+        self.slot.take().expect("guard disarmed twice")
+    }
+}
+
+impl Drop for PanicGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(result) = self.slot.take() {
+            post_result(self.shared, result);
+        }
+    }
+}
+
+/// Speculative planner worker: pops envelopes, keeps its replica synced to
+/// the op log, plans candidates, posts results keyed by admission seq.
+pub(crate) fn worker_loop<P: SpeculativePlanner>(
+    mut replica: P,
+    shared: Arc<Shared>,
+    oplog: Arc<OpLog>,
+) {
+    let mut applied = 0usize;
+    loop {
+        let env: Option<Envelope> = {
+            let mut st = shared.state.lock().expect("service lock");
+            loop {
+                if let Some(env) = st.plan.pop_front() {
+                    break Some(env);
+                }
+                if st.shutdown {
+                    break None;
+                }
+                st = shared.wakeup.wait(st).expect("service lock");
+            }
+        };
+        let Some(env) = env else { return };
+        shared.counters.in_flight.fetch_add(1, Ordering::Relaxed);
+
+        // Shed before planning (same rule as the serial worker): a request
+        // that blew its budget queueing gets no planner time.
+        if let Some(d) = shared.config.deadline {
+            if env.enqueued_at.elapsed() > d {
+                post_result(
+                    &shared,
+                    SpecResult {
+                        seq: env.seq,
+                        attempt: env.attempt,
+                        snapshot_epoch: applied,
+                        request: env.request,
+                        enqueued_at: env.enqueued_at,
+                        reply: env.reply,
+                        outcome: SpecOutcome::Shed,
+                    },
+                );
+                continue;
+            }
+        }
+        shared
+            .queue_hist
+            .lock()
+            .expect("hist lock")
+            .record(env.enqueued_at.elapsed());
+
+        let snapshot_epoch = oplog.sync(&mut replica, &mut applied, env.request.t);
+        let guard = PanicGuard {
+            shared: &shared,
+            slot: Some(SpecResult {
+                seq: env.seq,
+                attempt: env.attempt,
+                snapshot_epoch,
+                request: env.request,
+                enqueued_at: env.enqueued_at,
+                reply: env.reply.clone(),
+                outcome: SpecOutcome::Died,
+            }),
+        };
+        let started = Instant::now();
+        let candidate = replica.plan_candidate(&env.request);
+        let mut result = guard.disarm();
+        shared
+            .planning_hist
+            .lock()
+            .expect("hist lock")
+            .record(started.elapsed());
+        result.outcome = match candidate {
+            Some(route) => SpecOutcome::Planned(route),
+            None => SpecOutcome::Infeasible,
+        };
+        post_result(&shared, result);
+    }
+}
+
+enum Work {
+    Result(SpecResult),
+    Ctl(Control),
+    Stop,
+}
+
+/// The validate-and-commit stage: owns the authoritative planner and the
+/// ground-truth auditor, consumes results strictly in admission-seq order.
+pub(crate) fn committer_loop<P: SpeculativePlanner>(
+    planner: P,
+    shared: Arc<Shared>,
+    oplog: Arc<OpLog>,
+) -> P {
+    CommitStage {
+        planner,
+        shared,
+        oplog,
+        auditor: IncrementalAuditor::default(),
+        epoch_of: HashMap::new(),
+        retire_q: BTreeSet::new(),
+        next: 0,
+    }
+    .run()
+}
+
+struct CommitStage<P: SpeculativePlanner> {
+    planner: P,
+    shared: Arc<Shared>,
+    oplog: Arc<OpLog>,
+    /// Ground-truth occupancy of every active committed route; the
+    /// validation oracle for stale candidates.
+    auditor: IncrementalAuditor,
+    /// Epoch at which each active route committed (op-log length after its
+    /// adopt op) — attributes a validation conflict to a commit the
+    /// candidate's snapshot could not have seen.
+    epoch_of: HashMap<RequestId, usize>,
+    /// Active routes keyed by end time, so `Advance(now)` retires audit
+    /// entries in step with the planners (`end < now`, the same boundary
+    /// as the planners' retirement).
+    retire_q: BTreeSet<(Time, RequestId)>,
+    /// Next admission sequence number to commit.
+    next: u64,
+}
+
+impl<P: SpeculativePlanner> CommitStage<P> {
+    fn run(mut self) -> P {
+        loop {
+            let work = {
+                let mut st = self.shared.state.lock().expect("service lock");
+                loop {
+                    // Controls are admitted in seq order, so the front is
+                    // the minimum control seq.
+                    if st.control.front().is_some_and(|c| c.0 == self.next) {
+                        let (_, c) = st.control.pop_front().expect("front checked");
+                        break Work::Ctl(c);
+                    }
+                    if let Some(r) = st.results.remove(&self.next) {
+                        break Work::Result(r);
+                    }
+                    if st.shutdown && self.next == st.admitted {
+                        debug_assert!(
+                            st.plan.is_empty() && st.control.is_empty() && st.results.is_empty(),
+                            "all admitted seqs processed but queues non-empty"
+                        );
+                        break Work::Stop;
+                    }
+                    st = self.shared.commit_cv.wait(st).expect("service lock");
+                }
+            };
+            match work {
+                Work::Stop => {
+                    debug_assert_eq!(
+                        self.shared.counters.in_flight.load(Ordering::Relaxed),
+                        0,
+                        "in_flight gauge must drain to zero at shutdown"
+                    );
+                    return self.planner;
+                }
+                Work::Ctl(control) => self.handle_control(control),
+                Work::Result(result) => self.handle_result(result),
+            }
+            if let Some(m) = self.planner.engine_metrics() {
+                *self.shared.engine.lock().expect("engine lock") = Some(m);
+            }
+        }
+    }
+
+    fn handle_control(&mut self, control: Control) {
+        self.shared
+            .counters
+            .in_flight
+            .fetch_add(1, Ordering::Relaxed);
+        match control {
+            Control::Advance { now, reply } => {
+                let revisions = self.planner.advance(now);
+                debug_assert!(revisions.is_empty(), "speculative planners must not revise");
+                while let Some(&(end, id)) = self.retire_q.first() {
+                    if end >= now {
+                        break;
+                    }
+                    self.retire_q.pop_first();
+                    // A cancelled id may leave a stale retire entry; the
+                    // auditor then refuses and nothing happens.
+                    if self.auditor.retire(id) {
+                        self.epoch_of.remove(&id);
+                    }
+                }
+                self.oplog.append(EpochOp::Advance(now));
+                let _ = reply.send(revisions);
+            }
+            Control::Cancel { id, reply } => {
+                let ok = self.planner.cancel(id);
+                if ok {
+                    self.auditor.cancel(id);
+                    self.epoch_of.remove(&id);
+                    self.oplog.append(EpochOp::Cancel(id));
+                }
+                let _ = reply.send(ok);
+            }
+        }
+        self.shared
+            .counters
+            .in_flight
+            .fetch_sub(1, Ordering::Relaxed);
+        self.next += 1;
+    }
+
+    fn handle_result(&mut self, result: SpecResult) {
+        debug_assert_eq!(result.seq, self.next, "commit stage consumes in seq order");
+        let SpecResult {
+            attempt,
+            snapshot_epoch,
+            request,
+            enqueued_at,
+            reply,
+            outcome,
+            ..
+        } = result;
+        let c = &self.shared.counters;
+        match outcome {
+            SpecOutcome::Shed => {
+                c.shed_deadline.fetch_add(1, Ordering::Relaxed);
+                self.reply_final(reply, PlanResponse::DeadlineShed, enqueued_at);
+            }
+            SpecOutcome::Died => {
+                self.reply_final(reply, PlanResponse::ServiceDied, enqueued_at);
+            }
+            SpecOutcome::Infeasible => {
+                if snapshot_epoch == self.oplog.len() {
+                    // The replica saw the full committed state: the verdict
+                    // is authoritative.
+                    c.infeasible.fetch_add(1, Ordering::Relaxed);
+                    self.reply_final(reply, PlanResponse::Infeasible, enqueued_at);
+                } else {
+                    // Stale: cancels/retirements since the snapshot may
+                    // have freed capacity.
+                    self.retry_or_abort(attempt, request, enqueued_at, reply);
+                }
+            }
+            SpecOutcome::Planned(route) => {
+                if self
+                    .shared
+                    .config
+                    .deadline
+                    .is_some_and(|d| enqueued_at.elapsed() > d)
+                {
+                    // The candidate was never committed anywhere, so unlike
+                    // the serial worker there is nothing to cancel.
+                    c.cancelled_deadline.fetch_add(1, Ordering::Relaxed);
+                    self.reply_final(reply, PlanResponse::DeadlineOverrun, enqueued_at);
+                    return;
+                }
+                let started = Instant::now();
+                match self.auditor.commit(request.id, &route) {
+                    Ok(()) => {
+                        self.planner.adopt(request.id, &route);
+                        self.oplog.append(EpochOp::Adopt(request.id, route.clone()));
+                        self.epoch_of.insert(request.id, self.oplog.len());
+                        self.retire_q.insert((route.end_time(), request.id));
+                        c.speculation_wins.fetch_add(1, Ordering::Relaxed);
+                        c.planned.fetch_add(1, Ordering::Relaxed);
+                        self.shared
+                            .commit_hist
+                            .lock()
+                            .expect("hist lock")
+                            .record(started.elapsed());
+                        self.reply_final(reply, PlanResponse::Planned(route), enqueued_at);
+                    }
+                    Err(conflict) => {
+                        // The loser lost to a commit its snapshot had not
+                        // seen — otherwise the planner emitted a route that
+                        // conflicts with state it *did* see, a planner bug.
+                        debug_assert!(
+                            self.epoch_of
+                                .get(&conflict.existing)
+                                .is_none_or(|&e| e > snapshot_epoch),
+                            "candidate for {} conflicts with pre-snapshot commit {}",
+                            request.id,
+                            conflict.existing
+                        );
+                        self.retry_or_abort(attempt, request, enqueued_at, reply);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A candidate was invalidated: requeue it at the queue front for a
+    /// fresh speculative attempt (workers are idle on this seq — the
+    /// commit stage blocks until its retry lands, so the retry plans
+    /// against the exact serial state), or — budget exhausted or workers
+    /// shutting down — replan inline on the authoritative planner.
+    fn retry_or_abort(
+        &mut self,
+        attempt: u32,
+        request: Request,
+        enqueued_at: Instant,
+        reply: mpsc::Sender<PlanResponse>,
+    ) {
+        let c = &self.shared.counters;
+        if attempt < self.shared.config.speculation_retries {
+            let requeued = {
+                let mut st = self.shared.state.lock().expect("service lock");
+                if st.shutdown {
+                    // Workers drain the plan queue and exit on shutdown; a
+                    // late requeue could strand the seq. Fall through to
+                    // the inline replan instead.
+                    false
+                } else {
+                    st.plan.push_front(Envelope {
+                        seq: self.next,
+                        attempt: attempt + 1,
+                        request,
+                        enqueued_at,
+                        reply: reply.clone(),
+                    });
+                    true
+                }
+            };
+            if requeued {
+                c.speculation_retries.fetch_add(1, Ordering::Relaxed);
+                // The worker re-adds when it re-dequeues the envelope.
+                c.in_flight.fetch_sub(1, Ordering::Relaxed);
+                self.shared.wakeup.notify_one();
+                return; // `next` unchanged: we wait for the retry's result
+            }
+        }
+        c.speculation_aborts.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let outcome = self.planner.plan(&request);
+        self.shared
+            .planning_hist
+            .lock()
+            .expect("hist lock")
+            .record(started.elapsed());
+        match outcome {
+            PlanOutcome::Planned(route) => {
+                if self
+                    .shared
+                    .config
+                    .deadline
+                    .is_some_and(|d| enqueued_at.elapsed() > d)
+                {
+                    // `plan` committed into the planner; release it.
+                    self.planner.cancel(request.id);
+                    c.cancelled_deadline.fetch_add(1, Ordering::Relaxed);
+                    self.reply_final(reply, PlanResponse::DeadlineOverrun, enqueued_at);
+                } else {
+                    // The authoritative planner avoided every committed
+                    // route, so the audit oracle must agree.
+                    self.auditor
+                        .commit(request.id, &route)
+                        .expect("authoritative replan conflicts with audited state");
+                    self.oplog.append(EpochOp::Adopt(request.id, route.clone()));
+                    self.epoch_of.insert(request.id, self.oplog.len());
+                    self.retire_q.insert((route.end_time(), request.id));
+                    c.planned.fetch_add(1, Ordering::Relaxed);
+                    self.reply_final(reply, PlanResponse::Planned(route), enqueued_at);
+                }
+            }
+            PlanOutcome::Infeasible => {
+                c.infeasible.fetch_add(1, Ordering::Relaxed);
+                self.reply_final(reply, PlanResponse::Infeasible, enqueued_at);
+            }
+        }
+    }
+
+    /// Answer the ticket, close out the seq, and advance the commit cursor.
+    fn reply_final(
+        &mut self,
+        reply: mpsc::Sender<PlanResponse>,
+        response: PlanResponse,
+        enqueued_at: Instant,
+    ) {
+        record_turnaround(&self.shared, enqueued_at);
+        let _ = reply.send(response);
+        self.shared
+            .counters
+            .in_flight
+            .fetch_sub(1, Ordering::Relaxed);
+        self.next += 1;
+    }
+}

@@ -14,7 +14,11 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Current `BENCH_service.json` schema version.
-pub const BENCH_VERSION: u32 = 1;
+///
+/// v2: `service` gained `workers`, `speculation_{wins,retries,aborts}`,
+/// and the per-stage `queue_latency` / `commit_latency` summaries from the
+/// speculative commit pipeline.
+pub const BENCH_VERSION: u32 = 2;
 
 /// Result of one load run.
 #[derive(Debug, Clone, Serialize, Deserialize)]

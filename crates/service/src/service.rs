@@ -1,5 +1,5 @@
 //! The online planning service: a bounded ingest queue in front of a
-//! dedicated planner thread.
+//! planner worker pool.
 //!
 //! ```text
 //!  submitters ──▶ bounded queue ──▶ worker thread ──▶ reply tickets
@@ -9,14 +9,22 @@
 //!                                    batched advance/retire
 //! ```
 //!
-//! Planning must stay **serial**: the online contract (Definition 3)
-//! requires every route to be collision-checked against *all previously
-//! committed* routes, so commits are a linearization point. The service
-//! therefore runs one worker thread that owns the planner, and gets its
+//! **Commits stay serial**: the online contract (Definition 3) requires
+//! every route to be collision-checked against *all previously committed*
+//! routes, so commits are a linearization point. The default mode
+//! ([`PlanningService::spawn`]) satisfies it the blunt way — one worker
+//! thread owns the planner and both plans and commits — and gets its
 //! parallelism from (a) many submitters enqueueing concurrently, (b) the
 //! planner's own engine fanning probe batches out across partitions
 //! ([`StoreEngine`](../../carp_geometry/engine/struct.StoreEngine.html)),
 //! and (c) metrics readers never touching the planner.
+//!
+//! [`PlanningService::spawn_speculative`] decouples planning latency from
+//! the commit point: `workers` threads plan candidates against replicas of
+//! the committed state while a single validate-and-commit stage re-checks
+//! each candidate and adopts winners in strict admission order, so the
+//! serial contract — and the exact serial output — is preserved at any
+//! worker count. See the `pipeline` module and DESIGN.md §13.
 //!
 //! Admission control and degradation:
 //!
@@ -31,12 +39,12 @@
 //!   an over-budget plan never stalls the robot fleet on a stale answer.
 
 use crate::histogram::{LatencyHistogram, LatencySummary};
-use carp_warehouse::planner::{EngineMetrics, PlanOutcome, Planner};
+use carp_warehouse::planner::{EngineMetrics, PlanOutcome, Planner, SpeculativePlanner};
 use carp_warehouse::request::{Request, RequestId};
 use carp_warehouse::route::Route;
 use carp_warehouse::types::Time;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -58,6 +66,15 @@ pub struct ServiceConfig {
     /// amortize lock traffic; the worker still answers strictly in FIFO
     /// order so admission order fully determines commit order.
     pub batch_limit: usize,
+    /// Planner worker threads. `1` (the default) runs the classic serial
+    /// worker that both plans and commits; `> 1` enables the speculative
+    /// plan/validate/commit pipeline under
+    /// [`PlanningService::spawn_speculative`].
+    pub workers: usize,
+    /// Replan attempts granted to a speculative candidate that a newer
+    /// commit invalidated, before the commit stage gives up on speculation
+    /// and replans the request inline on the authoritative planner.
+    pub speculation_retries: u32,
 }
 
 impl Default for ServiceConfig {
@@ -67,6 +84,8 @@ impl Default for ServiceConfig {
             deadline: Some(Duration::from_millis(250)),
             retry_after: Duration::from_millis(5),
             batch_limit: 32,
+            workers: 1,
+            speculation_retries: 2,
         }
     }
 }
@@ -84,6 +103,10 @@ pub enum PlanResponse {
     /// The planner produced a route but blew the budget; the route was
     /// cancelled (uncommitted) and the requester must re-submit.
     DeadlineOverrun,
+    /// The service died (worker panic) before answering; the request was
+    /// never committed. Surfaced as a value so one crashed plan does not
+    /// cascade panics through every outstanding ticket.
+    ServiceDied,
 }
 
 impl PlanResponse {
@@ -149,23 +172,31 @@ impl Ticket {
         self.id
     }
 
-    /// Block until the worker answers. Panics if the service died without
-    /// answering (worker panic) — a bug, not an operational state.
+    /// Block until the worker answers. A service that died without
+    /// answering (worker panic dropped the reply channel) resolves to
+    /// [`PlanResponse::ServiceDied`] instead of panicking the waiter.
     pub fn wait(self) -> PlanResponse {
-        self.rx.recv().expect("service dropped a ticket")
+        self.rx.recv().unwrap_or(PlanResponse::ServiceDied)
     }
 }
 
 /// One queued unit of work.
-struct Envelope {
-    request: Request,
-    enqueued_at: Instant,
-    reply: mpsc::Sender<PlanResponse>,
+pub(crate) struct Envelope {
+    /// Admission sequence number: the position in the total admission order
+    /// (plan submissions and control commands share one counter). The
+    /// speculative commit stage commits strictly in `seq` order, which is
+    /// what makes its output independent of worker count.
+    pub(crate) seq: u64,
+    /// Speculative replan attempts already spent on this request.
+    pub(crate) attempt: u32,
+    pub(crate) request: Request,
+    pub(crate) enqueued_at: Instant,
+    pub(crate) reply: mpsc::Sender<PlanResponse>,
 }
 
 /// Control-plane commands; these bypass admission control (they carry the
 /// simulation clock and lifecycle, not load).
-enum Control {
+pub(crate) enum Control {
     /// Drive `Planner::advance(now)`: batched retirement plus any route
     /// revisions, which are sent back to the caller.
     Advance {
@@ -181,39 +212,60 @@ enum Control {
 
 /// Monotone event counters, readable without locking the queue.
 #[derive(Debug, Default)]
-struct Counters {
-    submitted: AtomicU64,
-    rejected_backpressure: AtomicU64,
-    planned: AtomicU64,
-    infeasible: AtomicU64,
-    shed_deadline: AtomicU64,
-    cancelled_deadline: AtomicU64,
-    in_flight: AtomicU64,
+pub(crate) struct Counters {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) rejected_backpressure: AtomicU64,
+    pub(crate) planned: AtomicU64,
+    pub(crate) infeasible: AtomicU64,
+    pub(crate) shed_deadline: AtomicU64,
+    pub(crate) cancelled_deadline: AtomicU64,
+    pub(crate) in_flight: AtomicU64,
+    /// Speculative candidates that validated clean and committed as-is.
+    pub(crate) speculation_wins: AtomicU64,
+    /// Candidates invalidated by a newer commit and requeued for replan.
+    pub(crate) speculation_retries: AtomicU64,
+    /// Candidates that exhausted their retry budget and fell back to an
+    /// inline authoritative replan at the commit stage.
+    pub(crate) speculation_aborts: AtomicU64,
 }
 
 /// Queue state behind the mutex.
-struct QueueState {
-    plan: VecDeque<Envelope>,
-    control: VecDeque<Control>,
-    shutdown: bool,
+pub(crate) struct QueueState {
+    pub(crate) plan: VecDeque<Envelope>,
+    pub(crate) control: VecDeque<(u64, Control)>,
+    /// Speculative planning results, keyed by admission sequence. The
+    /// commit stage consumes entry `next`; workers insert out of order.
+    pub(crate) results: BTreeMap<u64, crate::pipeline::SpecResult>,
+    /// Next admission sequence number to hand out.
+    pub(crate) admitted: u64,
+    pub(crate) shutdown: bool,
 }
 
-struct Shared {
-    state: Mutex<QueueState>,
-    wakeup: Condvar,
-    counters: Counters,
-    config: ServiceConfig,
+pub(crate) struct Shared {
+    pub(crate) state: Mutex<QueueState>,
+    /// Wakes planner workers (serial or speculative) on new plan work.
+    pub(crate) wakeup: Condvar,
+    /// Wakes the speculative commit stage on new results / controls.
+    pub(crate) commit_cv: Condvar,
+    pub(crate) counters: Counters,
+    pub(crate) config: ServiceConfig,
+    /// Queue wait per request that reached a planner (dequeue − submit).
+    pub(crate) queue_hist: Mutex<LatencyHistogram>,
     /// Wall-clock time spent inside `Planner::plan` per request.
-    planning_hist: Mutex<LatencyHistogram>,
+    pub(crate) planning_hist: Mutex<LatencyHistogram>,
+    /// Validate+commit time per committed route (speculative mode only).
+    pub(crate) commit_hist: Mutex<LatencyHistogram>,
     /// End-to-end submit → reply latency per answered request.
-    turnaround_hist: Mutex<LatencyHistogram>,
+    pub(crate) turnaround_hist: Mutex<LatencyHistogram>,
     /// Last engine metrics published by the worker (updated per cycle).
-    engine: Mutex<Option<EngineMetrics>>,
+    pub(crate) engine: Mutex<Option<EngineMetrics>>,
 }
 
 /// Point-in-time, serializable view of the service's operational state.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServiceMetrics {
+    /// Planner worker threads serving the queue (1 = serial mode).
+    pub workers: usize,
     /// Requests currently waiting in the ingest queue.
     pub queue_depth: usize,
     /// Requests dequeued but not yet answered.
@@ -230,8 +282,20 @@ pub struct ServiceMetrics {
     pub shed_deadline: u64,
     /// Plans cancelled for finishing over budget.
     pub cancelled_deadline: u64,
+    /// Speculative candidates that validated clean and committed as-is
+    /// (zero in serial mode).
+    pub speculation_wins: u64,
+    /// Speculative candidates invalidated by a newer commit and requeued.
+    pub speculation_retries: u64,
+    /// Speculative candidates that exhausted their retry budget and fell
+    /// back to an inline authoritative replan.
+    pub speculation_aborts: u64,
+    /// Queue wait (submit → dequeue) for requests that reached a planner.
+    pub queue_latency: LatencySummary,
     /// Wall-clock planning latency (inside `Planner::plan`).
     pub planning_latency: LatencySummary,
+    /// Validate+commit latency per committed route (empty in serial mode).
+    pub commit_latency: LatencySummary,
     /// End-to-end submit → reply latency.
     pub turnaround_latency: LatencySummary,
     /// Engine counters from the planner's collision backend, when it has
@@ -281,16 +345,22 @@ impl ServiceClient {
                     queue_depth: st.plan.len(),
                 });
             }
+            let seq = st.admitted;
+            st.admitted += 1;
             st.plan.push_back(Envelope {
+                seq,
+                attempt: 0,
                 request,
                 enqueued_at: Instant::now(),
                 reply: tx,
             });
+            // Incremented under the lock: a concurrent `metrics()` snapshot
+            // must never observe `queue_depth > submitted`.
+            self.shared
+                .counters
+                .submitted
+                .fetch_add(1, Ordering::Relaxed);
         }
-        self.shared
-            .counters
-            .submitted
-            .fetch_add(1, Ordering::Relaxed);
         self.shared.wakeup.notify_one();
         Ok(Ticket { id, rx })
     }
@@ -305,9 +375,13 @@ impl ServiceClient {
             if st.shutdown {
                 return Vec::new();
             }
-            st.control.push_back(Control::Advance { now, reply: tx });
+            let seq = st.admitted;
+            st.admitted += 1;
+            st.control
+                .push_back((seq, Control::Advance { now, reply: tx }));
         }
         self.shared.wakeup.notify_one();
+        self.shared.commit_cv.notify_all();
         rx.recv().unwrap_or_default()
     }
 
@@ -319,17 +393,24 @@ impl ServiceClient {
             if st.shutdown {
                 return false;
             }
-            st.control.push_back(Control::Cancel { id, reply: tx });
+            let seq = st.admitted;
+            st.admitted += 1;
+            st.control
+                .push_back((seq, Control::Cancel { id, reply: tx }));
         }
         self.shared.wakeup.notify_one();
+        self.shared.commit_cv.notify_all();
         rx.recv().unwrap_or(false)
     }
 
     /// Snapshot the service metrics. Never touches the planner thread.
     pub fn metrics(&self) -> ServiceMetrics {
+        // queue_depth is read *before* the relaxed counters: `submitted` is
+        // incremented under the same lock, so depth ≤ submitted always.
         let queue_depth = self.shared.state.lock().expect("service lock").plan.len();
         let c = &self.shared.counters;
         ServiceMetrics {
+            workers: self.shared.config.workers,
             queue_depth,
             in_flight: c.in_flight.load(Ordering::Relaxed),
             submitted: c.submitted.load(Ordering::Relaxed),
@@ -338,6 +419,11 @@ impl ServiceClient {
             infeasible: c.infeasible.load(Ordering::Relaxed),
             shed_deadline: c.shed_deadline.load(Ordering::Relaxed),
             cancelled_deadline: c.cancelled_deadline.load(Ordering::Relaxed),
+            speculation_wins: c.speculation_wins.load(Ordering::Relaxed),
+            speculation_retries: c.speculation_retries.load(Ordering::Relaxed),
+            speculation_aborts: c.speculation_aborts.load(Ordering::Relaxed),
+            queue_latency: self.shared.queue_hist.lock().expect("hist lock").summary(),
+            commit_latency: self.shared.commit_hist.lock().expect("hist lock").summary(),
             planning_latency: self
                 .shared
                 .planning_hist
@@ -355,36 +441,59 @@ impl ServiceClient {
     }
 }
 
-/// The running service: owns the worker thread and the planner inside it.
+/// The running service: owns the worker threads and the planner inside.
 pub struct PlanningService<P: Planner + Send + 'static> {
     shared: Arc<Shared>,
+    /// Speculative planner workers (empty in serial mode). They own only
+    /// replicas, so they return nothing.
+    planners: Vec<std::thread::JoinHandle<()>>,
+    /// The thread that owns the authoritative planner: the serial worker,
+    /// or the speculative commit stage.
     worker: std::thread::JoinHandle<P>,
 }
 
+fn make_shared(config: ServiceConfig) -> Arc<Shared> {
+    assert!(config.queue_capacity > 0, "queue capacity must be positive");
+    assert!(config.batch_limit > 0, "batch limit must be positive");
+    Arc::new(Shared {
+        state: Mutex::new(QueueState {
+            plan: VecDeque::with_capacity(config.queue_capacity),
+            control: VecDeque::new(),
+            results: BTreeMap::new(),
+            admitted: 0,
+            shutdown: false,
+        }),
+        wakeup: Condvar::new(),
+        commit_cv: Condvar::new(),
+        counters: Counters::default(),
+        config,
+        queue_hist: Mutex::new(LatencyHistogram::new()),
+        planning_hist: Mutex::new(LatencyHistogram::new()),
+        commit_hist: Mutex::new(LatencyHistogram::new()),
+        turnaround_hist: Mutex::new(LatencyHistogram::new()),
+        engine: Mutex::new(None),
+    })
+}
+
 impl<P: Planner + Send + 'static> PlanningService<P> {
-    /// Spawn the worker thread around `planner`.
+    /// Spawn the serial worker thread around `planner` (one thread plans
+    /// *and* commits; `config.workers` is normalized to 1).
     pub fn spawn(planner: P, config: ServiceConfig) -> Self {
-        assert!(config.queue_capacity > 0, "queue capacity must be positive");
-        assert!(config.batch_limit > 0, "batch limit must be positive");
-        let shared = Arc::new(Shared {
-            state: Mutex::new(QueueState {
-                plan: VecDeque::with_capacity(config.queue_capacity),
-                control: VecDeque::new(),
-                shutdown: false,
-            }),
-            wakeup: Condvar::new(),
-            counters: Counters::default(),
-            config,
-            planning_hist: Mutex::new(LatencyHistogram::new()),
-            turnaround_hist: Mutex::new(LatencyHistogram::new()),
-            engine: Mutex::new(None),
-        });
+        let config = ServiceConfig {
+            workers: 1,
+            ..config
+        };
+        let shared = make_shared(config);
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
             .name("carp-service-worker".into())
             .spawn(move || worker_loop(planner, worker_shared))
             .expect("spawn service worker");
-        PlanningService { shared, worker }
+        PlanningService {
+            shared,
+            planners: Vec::new(),
+            worker,
+        }
     }
 
     /// A cloneable client handle for submitters and metrics readers.
@@ -394,7 +503,7 @@ impl<P: Planner + Send + 'static> PlanningService<P> {
         }
     }
 
-    /// Drain the queue, stop the worker, and return the planner for
+    /// Drain the queue, stop the workers, and return the planner for
     /// inspection (engine metrics, provenance, memory accounting).
     pub fn shutdown(self) -> P {
         {
@@ -402,7 +511,51 @@ impl<P: Planner + Send + 'static> PlanningService<P> {
             st.shutdown = true;
         }
         self.shared.wakeup.notify_all();
+        self.shared.commit_cv.notify_all();
+        for h in self.planners {
+            // A replica worker that panicked already surfaced its failure
+            // through `PlanResponse::ServiceDied`; don't re-panic the
+            // caller for it.
+            let _ = h.join();
+        }
         self.worker.join().expect("service worker panicked")
+    }
+}
+
+impl<P: SpeculativePlanner + Send + 'static> PlanningService<P> {
+    /// Spawn the speculative plan/validate/commit pipeline:
+    /// `config.workers` planner threads, each owning a forked replica of
+    /// `planner`, plus one commit-stage thread owning the authoritative
+    /// planner. With `workers <= 1` this delegates to the serial
+    /// [`PlanningService::spawn`] — the pipeline only pays for itself when
+    /// there is real planning concurrency.
+    pub fn spawn_speculative(planner: P, config: ServiceConfig) -> Self {
+        if config.workers <= 1 {
+            return Self::spawn(planner, config);
+        }
+        let shared = make_shared(config);
+        let oplog = Arc::new(crate::pipeline::OpLog::default());
+        let planners = (0..config.workers)
+            .map(|i| {
+                let replica = planner.fork();
+                let shared = Arc::clone(&shared);
+                let oplog = Arc::clone(&oplog);
+                std::thread::Builder::new()
+                    .name(format!("carp-spec-plan-{i}"))
+                    .spawn(move || crate::pipeline::worker_loop(replica, shared, oplog))
+                    .expect("spawn speculative planner worker")
+            })
+            .collect();
+        let commit_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("carp-spec-commit".into())
+            .spawn(move || crate::pipeline::committer_loop(planner, commit_shared, oplog))
+            .expect("spawn speculative commit stage");
+        PlanningService {
+            shared,
+            planners,
+            worker,
+        }
     }
 }
 
@@ -413,18 +566,21 @@ fn worker_loop<P: Planner>(mut planner: P, shared: Arc<Shared>) -> P {
             while st.control.is_empty() && st.plan.is_empty() && !st.shutdown {
                 st = shared.wakeup.wait(st).expect("service lock");
             }
-            let controls: Vec<Control> = st.control.drain(..).collect();
+            let controls: Vec<(u64, Control)> = st.control.drain(..).collect();
             let take = st.plan.len().min(shared.config.batch_limit);
             let batch: Vec<Envelope> = st.plan.drain(..take).collect();
             let stop = st.shutdown && st.plan.is_empty() && st.control.is_empty();
             (controls, batch, stop)
         };
+        // Paired add/sub (never `store`): the gauge tracks *outstanding*
+        // dequeued work — including control-plane commands — and survives
+        // interleaved readers without snapping to a stale cycle count.
         shared
             .counters
             .in_flight
-            .store(batch.len() as u64, Ordering::Relaxed);
+            .fetch_add((controls.len() + batch.len()) as u64, Ordering::Relaxed);
 
-        for control in controls {
+        for (_seq, control) in controls {
             match control {
                 Control::Advance { now, reply } => {
                     let _ = reply.send(planner.advance(now));
@@ -433,6 +589,7 @@ fn worker_loop<P: Planner>(mut planner: P, shared: Arc<Shared>) -> P {
                     let _ = reply.send(planner.cancel(id));
                 }
             }
+            shared.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
         }
 
         for env in batch {
@@ -445,6 +602,11 @@ fn worker_loop<P: Planner>(mut planner: P, shared: Arc<Shared>) -> P {
         }
 
         if stop {
+            debug_assert_eq!(
+                shared.counters.in_flight.load(Ordering::Relaxed),
+                0,
+                "in_flight gauge must drain to zero at shutdown"
+            );
             return planner;
         }
     }
@@ -465,6 +627,11 @@ fn process_one<P: Planner>(planner: &mut P, shared: &Shared, env: Envelope) {
             return;
         }
     }
+    shared
+        .queue_hist
+        .lock()
+        .expect("hist lock")
+        .record(env.enqueued_at.elapsed());
     let started = Instant::now();
     let outcome = planner.plan(&env.request);
     shared
@@ -498,7 +665,7 @@ fn process_one<P: Planner>(planner: &mut P, shared: &Shared, env: Envelope) {
     let _ = env.reply.send(response);
 }
 
-fn record_turnaround(shared: &Shared, enqueued_at: Instant) {
+pub(crate) fn record_turnaround(shared: &Shared, enqueued_at: Instant) {
     shared
         .turnaround_hist
         .lock()
@@ -550,6 +717,71 @@ mod tests {
         }
     }
 
+    /// Rendezvous point between a test and the worker thread: the worker
+    /// announces that it *entered* planning and then blocks until the test
+    /// grants a permit. Replaces wall-clock sleep calibration — assertions
+    /// sequence on events, not on how fast the CI runner happens to be.
+    struct Gate {
+        state: Mutex<(usize, usize)>, // (entered, permits)
+        cv: Condvar,
+    }
+
+    impl Gate {
+        fn new() -> Arc<Gate> {
+            Arc::new(Gate {
+                state: Mutex::new((0, 0)),
+                cv: Condvar::new(),
+            })
+        }
+        /// Worker side: announce entry, then consume one permit.
+        fn enter(&self) {
+            let mut st = self.state.lock().unwrap();
+            st.0 += 1;
+            self.cv.notify_all();
+            while st.1 == 0 {
+                st = self.cv.wait(st).unwrap();
+            }
+            st.1 -= 1;
+        }
+        /// Test side: grant `n` planning permits.
+        fn permit(&self, n: usize) {
+            self.state.lock().unwrap().1 += n;
+            self.cv.notify_all();
+        }
+        /// Test side: block until `n` workers have entered planning.
+        fn wait_entered(&self, n: usize) {
+            let mut st = self.state.lock().unwrap();
+            while st.0 < n {
+                st = self.cv.wait(st).unwrap();
+            }
+        }
+    }
+
+    /// Test double whose `plan` blocks on a [`Gate`] permit.
+    struct GateStub {
+        gate: Arc<Gate>,
+        cancelled: Vec<RequestId>,
+        planned: usize,
+    }
+
+    impl Planner for GateStub {
+        fn name(&self) -> &'static str {
+            "gate-stub"
+        }
+        fn plan(&mut self, req: &Request) -> PlanOutcome {
+            self.gate.enter();
+            self.planned += 1;
+            PlanOutcome::Planned(Route::stationary(req.t, req.origin))
+        }
+        fn cancel(&mut self, id: RequestId) -> bool {
+            self.cancelled.push(id);
+            true
+        }
+        fn memory_bytes(&self) -> usize {
+            0
+        }
+    }
+
     fn req(id: RequestId) -> Request {
         Request::new(id, 0, Cell::new(0, 0), Cell::new(0, 1), QueryKind::Pickup)
     }
@@ -573,11 +805,17 @@ mod tests {
 
     #[test]
     fn backpressure_rejects_instead_of_growing() {
-        // Worker is slow (10 ms per plan), queue holds 4: flooding 50
-        // submissions must reject most of them, and the queue never exceeds
-        // its bound.
+        // The worker verifiably holds the first request inside `plan`
+        // (gate entry), so flooding 50 more against a 4-slot queue must
+        // accept exactly 4 and reject 46 — deterministically, however slow
+        // or fast the runner is.
+        let gate = Gate::new();
         let svc = PlanningService::spawn(
-            StubPlanner::new(Duration::from_millis(10)),
+            GateStub {
+                gate: Arc::clone(&gate),
+                cancelled: Vec::new(),
+                planned: 0,
+            },
             ServiceConfig {
                 queue_capacity: 4,
                 deadline: None,
@@ -586,9 +824,26 @@ mod tests {
             },
         );
         let client = svc.client();
-        let mut accepted = Vec::new();
+        let mut accepted = vec![client.submit(req(0)).unwrap()];
+        gate.wait_entered(1); // worker is now blocked inside plan(req 0)
+
+        // Concurrent sampler: `submitted` is incremented under the queue
+        // lock, so no snapshot may ever observe more queued than admitted.
+        let sampler_client = client.clone();
+        let sampler = std::thread::spawn(move || {
+            for _ in 0..2000 {
+                let m = sampler_client.metrics();
+                assert!(
+                    m.submitted >= m.queue_depth as u64,
+                    "metrics raced: queue_depth {} > submitted {}",
+                    m.queue_depth,
+                    m.submitted
+                );
+            }
+        });
+
         let mut rejected = 0usize;
-        for i in 0..50 {
+        for i in 1..=50 {
             match client.submit(req(i)) {
                 Ok(t) => accepted.push(t),
                 Err(SubmitError::Backpressure {
@@ -596,22 +851,27 @@ mod tests {
                     queue_depth,
                 }) => {
                     rejected += 1;
-                    assert!(queue_depth <= 4);
+                    assert_eq!(queue_depth, 4);
                     assert!(!retry_after.is_zero());
                 }
                 Err(e) => panic!("unexpected {e}"),
             }
             assert!(client.metrics().queue_depth <= 4, "queue grew past bound");
         }
-        assert!(rejected > 0, "flood never hit backpressure");
+        assert_eq!(rejected, 46, "queue holds 4 while the worker is gated");
+        assert_eq!(accepted.len(), 5);
+        sampler.join().unwrap();
         let m = client.metrics();
         assert_eq!(m.rejected_backpressure as usize, rejected);
         assert_eq!(m.submitted as usize, accepted.len());
-        // Every accepted request still gets answered.
+        // Release the worker: every accepted request still gets answered.
+        gate.permit(accepted.len());
         for t in accepted {
             assert!(matches!(t.wait(), PlanResponse::Planned(_)));
         }
-        svc.shutdown();
+        let planner = svc.shutdown();
+        assert_eq!(planner.planned, 5);
+        assert_eq!(client.metrics().in_flight, 0, "gauge drains at shutdown");
     }
 
     #[test]
@@ -635,25 +895,72 @@ mod tests {
 
     #[test]
     fn queue_wait_past_deadline_sheds_without_planning() {
-        // First request holds the worker for 50 ms; the second's 5 ms
-        // deadline expires while queued, so it is shed unplanned.
+        // The gate holds request 0 inside the planner until request 1's
+        // deadline has *verifiably* passed, so the shed is guaranteed by
+        // observed elapsed time, not by a calibrated worker delay.
+        let deadline = Duration::from_millis(5);
+        let gate = Gate::new();
         let svc = PlanningService::spawn(
-            StubPlanner::new(Duration::from_millis(50)),
+            GateStub {
+                gate: Arc::clone(&gate),
+                cancelled: Vec::new(),
+                planned: 0,
+            },
             ServiceConfig {
-                deadline: Some(Duration::from_millis(5)),
+                deadline: Some(deadline),
                 batch_limit: 1,
                 ..Default::default()
             },
         );
         let client = svc.client();
         let t0 = client.submit(req(0)).unwrap();
+        gate.wait_entered(1); // request 0 passed its shed check, now gated
+        let queued = Instant::now();
         let t1 = client.submit(req(1)).unwrap();
-        // Request 0 itself overruns (50 ms > 5 ms) — that's fine, we only
-        // care that request 1 never reached the planner.
-        let _ = t0.wait();
+        while queued.elapsed() <= deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        gate.permit(2); // request 1 never consumes a permit: it is shed
+                        // Request 0 itself overruns (it was gated past its own deadline) —
+                        // that's fine, we only care that request 1 never reached the
+                        // planner.
+        assert_eq!(t0.wait(), PlanResponse::DeadlineOverrun);
         assert_eq!(t1.wait(), PlanResponse::DeadlineShed);
         let planner = svc.shutdown();
         assert_eq!(planner.planned, 1, "shed request must not be planned");
+        assert_eq!(planner.cancelled, vec![0], "overrun route is uncommitted");
+        let m = client.metrics();
+        assert_eq!(m.shed_deadline, 1);
+        assert_eq!(m.in_flight, 0);
+    }
+
+    #[test]
+    fn dead_worker_resolves_tickets_with_service_died() {
+        struct PanicStub;
+        impl Planner for PanicStub {
+            fn name(&self) -> &'static str {
+                "panic-stub"
+            }
+            fn plan(&mut self, _req: &Request) -> PlanOutcome {
+                panic!("injected planner crash");
+            }
+            fn memory_bytes(&self) -> usize {
+                0
+            }
+        }
+        let svc = PlanningService::spawn(
+            PanicStub,
+            ServiceConfig {
+                deadline: None,
+                ..Default::default()
+            },
+        );
+        let client = svc.client();
+        let t = client.submit(req(0)).unwrap();
+        // The worker panic drops the reply channel; the ticket resolves to
+        // an error value instead of cascading the panic into the waiter.
+        assert_eq!(t.wait(), PlanResponse::ServiceDied);
+        drop(svc); // the worker is dead; joining it would re-panic
         let _ = client.metrics();
     }
 
@@ -672,6 +979,7 @@ mod tests {
     #[test]
     fn refusal_rate_accounts_all_refusal_paths() {
         let m = ServiceMetrics {
+            workers: 1,
             queue_depth: 0,
             in_flight: 0,
             submitted: 90,
@@ -680,10 +988,156 @@ mod tests {
             infeasible: 2,
             shed_deadline: 5,
             cancelled_deadline: 3,
+            speculation_wins: 0,
+            speculation_retries: 0,
+            speculation_aborts: 0,
+            queue_latency: LatencyHistogram::new().summary(),
             planning_latency: LatencyHistogram::new().summary(),
+            commit_latency: LatencyHistogram::new().summary(),
             turnaround_latency: LatencyHistogram::new().summary(),
             engine: None,
         };
         assert!((m.refusal_rate() - 0.18).abs() < 1e-12);
+    }
+
+    /// Speculative test double: candidates occupy the cell indexed by how
+    /// many routes the replica has adopted, so two workers planning at the
+    /// same epoch produce *colliding* stationary routes, and a replan after
+    /// syncing the winner's adopt op resolves to a free cell. The first
+    /// `barrier` calls to `plan_candidate` rendezvous, guaranteeing both
+    /// workers plan before either result commits — the deterministic
+    /// trigger for the requeue path.
+    #[derive(Clone)]
+    struct ConflictStub {
+        rendezvous: Arc<(Mutex<usize>, Condvar)>,
+        barrier: usize,
+        adopted: u16,
+    }
+
+    impl ConflictStub {
+        fn new(barrier: usize) -> Self {
+            ConflictStub {
+                rendezvous: Arc::new((Mutex::new(0), Condvar::new())),
+                barrier,
+                adopted: 0,
+            }
+        }
+        fn route_for(&self, req: &Request) -> Route {
+            Route::stationary(req.t, Cell::new(self.adopted, 0))
+        }
+    }
+
+    impl Planner for ConflictStub {
+        fn name(&self) -> &'static str {
+            "conflict-stub"
+        }
+        fn plan(&mut self, req: &Request) -> PlanOutcome {
+            let route = self.route_for(req);
+            self.adopted += 1;
+            PlanOutcome::Planned(route)
+        }
+        fn cancel(&mut self, _id: RequestId) -> bool {
+            true
+        }
+        fn memory_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    impl SpeculativePlanner for ConflictStub {
+        fn fork(&self) -> Self {
+            self.clone()
+        }
+        fn plan_candidate(&mut self, req: &Request) -> Option<Route> {
+            {
+                let (count, cv) = &*self.rendezvous;
+                let mut n = count.lock().unwrap();
+                *n += 1;
+                cv.notify_all();
+                while *n < self.barrier {
+                    n = cv.wait(n).unwrap();
+                }
+            }
+            Some(self.route_for(req))
+        }
+        fn adopt(&mut self, _id: RequestId, _route: &Route) {
+            self.adopted += 1;
+        }
+    }
+
+    #[test]
+    fn speculation_losers_requeue_and_win_on_retry() {
+        let svc = PlanningService::spawn_speculative(
+            ConflictStub::new(2),
+            ServiceConfig {
+                deadline: None,
+                workers: 2,
+                speculation_retries: 2,
+                ..Default::default()
+            },
+        );
+        let client = svc.client();
+        let t0 = client.submit(req(0)).unwrap();
+        let t1 = client.submit(req(1)).unwrap();
+        let r0 = t0.wait().route().cloned().expect("seq 0 planned");
+        let r1 = t1.wait().route().cloned().expect("seq 1 planned");
+        // Both candidates were planned at epoch 0 on cell (0,0); the seq-0
+        // winner committed, the seq-1 loser was requeued and re-planned
+        // against the synced replica, landing on cell (1,0).
+        assert_eq!(r0.origin(), Cell::new(0, 0));
+        assert_eq!(r1.origin(), Cell::new(1, 0));
+        let m = client.metrics();
+        assert_eq!(m.planned, 2, "no double commit, no lost request");
+        assert_eq!(m.speculation_wins, 2, "the retry wins speculatively");
+        assert_eq!(m.speculation_retries, 1, "exactly one requeue");
+        assert_eq!(m.speculation_aborts, 0, "budget never exhausted");
+        assert_eq!(m.workers, 2);
+        svc.shutdown();
+        assert_eq!(client.metrics().in_flight, 0);
+    }
+
+    #[test]
+    fn speculative_worker_panic_answers_service_died_once() {
+        #[derive(Clone)]
+        struct PanicOnZero;
+        impl Planner for PanicOnZero {
+            fn name(&self) -> &'static str {
+                "panic-on-zero"
+            }
+            fn plan(&mut self, req: &Request) -> PlanOutcome {
+                PlanOutcome::Planned(Route::stationary(req.t, req.origin))
+            }
+            fn memory_bytes(&self) -> usize {
+                0
+            }
+        }
+        impl SpeculativePlanner for PanicOnZero {
+            fn fork(&self) -> Self {
+                self.clone()
+            }
+            fn plan_candidate(&mut self, req: &Request) -> Option<Route> {
+                if req.id == 0 {
+                    panic!("injected replica crash");
+                }
+                Some(Route::stationary(req.t, req.origin))
+            }
+            fn adopt(&mut self, _id: RequestId, _route: &Route) {}
+        }
+        let svc = PlanningService::spawn_speculative(
+            PanicOnZero,
+            ServiceConfig {
+                deadline: None,
+                workers: 2,
+                ..Default::default()
+            },
+        );
+        let client = svc.client();
+        let t0 = client.submit(req(0)).unwrap();
+        // The crashed request surfaces as a value; the pipeline keeps
+        // serving later requests on the surviving worker.
+        assert_eq!(t0.wait(), PlanResponse::ServiceDied);
+        let t1 = client.submit(req(1)).unwrap();
+        assert!(matches!(t1.wait(), PlanResponse::Planned(_)));
+        svc.shutdown();
     }
 }

@@ -1,0 +1,244 @@
+//! Conformance suite for the speculative multi-worker commit pipeline:
+//! worker count must be *unobservable* in the committed output.
+//!
+//! The pipeline's contract (DESIGN.md §13) is that N speculative planner
+//! workers plus the single validate-and-commit stage produce exactly the
+//! serial worker's committed route set — same routes, same digest, zero
+//! audited collisions — for any N. These tests pin that equivalence on the
+//! acceptance scenario (W-2 at 1× and 4×) and exercise the loser-retry
+//! path deterministically on a contention ladder.
+
+use carp_service::loadgen::{run_load, run_load_speculative, LoadScenario};
+use carp_service::report::routes_digest;
+use carp_service::service::{PlanResponse, PlanningService, ServiceConfig};
+use carp_simenv::SimConfig;
+use carp_srp::{SrpConfig, SrpPlanner};
+use carp_warehouse::layout::{Layout, WarehousePreset};
+use carp_warehouse::planner::{PlanOutcome, Planner, SpeculativePlanner};
+use carp_warehouse::request::{QueryKind, Request, RequestId};
+use carp_warehouse::route::Route;
+use carp_warehouse::types::Cell;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Condvar, Mutex};
+
+fn srp(layout: &Layout) -> SrpPlanner {
+    SrpPlanner::new(layout.matrix.clone(), SrpConfig::default())
+}
+
+fn cfg(workers: usize) -> ServiceConfig {
+    ServiceConfig {
+        deadline: None, // bit-determinism requires wall-clock-free refusals
+        workers,
+        ..ServiceConfig::default()
+    }
+}
+
+/// The conformance property on the acceptance scenario: workers ∈ {1,2,8}
+/// × W-2 at 1× and 4× all produce the identical `routes_digest`, audit
+/// clean, and complete every task.
+#[test]
+fn w2_digest_is_identical_across_worker_counts() {
+    let layout = WarehousePreset::W2.generate();
+    let sim = SimConfig::default();
+    for rate in [1.0, 4.0] {
+        let scenario =
+            |r: f64| LoadScenario::new(format!("W-2@{r}x"), layout.clone(), 60, 600, r, 104);
+        let (serial, _) = run_load(&scenario(rate), srp(&layout), sim, cfg(1));
+        assert_eq!(serial.audit_conflicts, 0, "serial W-2@{rate}x audited");
+        assert_eq!(serial.completed, 60);
+        for workers in [2, 8] {
+            let (spec, _) = run_load_speculative(&scenario(rate), srp(&layout), sim, cfg(workers));
+            assert_eq!(
+                spec.audit_conflicts, 0,
+                "W-2@{rate}x workers={workers} audited a collision"
+            );
+            assert_eq!(spec.completed, 60, "W-2@{rate}x workers={workers}");
+            assert_eq!(
+                spec.routes_digest, serial.routes_digest,
+                "worker count {workers} observable in W-2@{rate}x digest"
+            );
+            assert_eq!(spec.service.planned, serial.service.planned);
+            assert_eq!(spec.makespan, serial.makespan);
+            assert!(
+                spec.service.speculation_wins > 0,
+                "pipeline never engaged at workers={workers}"
+            );
+            assert_eq!(spec.service.workers, workers);
+        }
+    }
+}
+
+/// Speculative test double for the contention ladder: a route claims the
+/// first unoccupied column of its origin's row, so requests sharing an
+/// origin contend for the same cell. The optional gate makes the first
+/// `need` `plan_candidate` calls rendezvous, guaranteeing the opening rung
+/// is planned concurrently at the same epoch — a deterministic conflict.
+#[derive(Clone)]
+struct FirstFreeCol {
+    occupied: HashSet<Cell>,
+    gate: Option<Arc<(Mutex<usize>, Condvar)>>,
+    need: usize,
+}
+
+impl FirstFreeCol {
+    fn serial() -> Self {
+        FirstFreeCol {
+            occupied: HashSet::new(),
+            gate: None,
+            need: 0,
+        }
+    }
+    fn gated(need: usize) -> Self {
+        FirstFreeCol {
+            occupied: HashSet::new(),
+            gate: Some(Arc::new((Mutex::new(0), Condvar::new()))),
+            need,
+        }
+    }
+    fn choose(&self, req: &Request) -> Route {
+        let row = req.origin.row;
+        let col = (0..u16::MAX)
+            .find(|&c| !self.occupied.contains(&Cell::new(row, c)))
+            .expect("a free column exists");
+        Route::stationary(req.t, Cell::new(row, col))
+    }
+    fn claim(&mut self, route: &Route) {
+        let fresh = self.occupied.insert(route.origin());
+        assert!(fresh, "cell claimed twice — double commit");
+    }
+}
+
+impl Planner for FirstFreeCol {
+    fn name(&self) -> &'static str {
+        "first-free-col"
+    }
+    fn plan(&mut self, req: &Request) -> PlanOutcome {
+        let route = self.choose(req);
+        self.claim(&route);
+        PlanOutcome::Planned(route)
+    }
+    fn cancel(&mut self, _id: RequestId) -> bool {
+        false
+    }
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl SpeculativePlanner for FirstFreeCol {
+    fn fork(&self) -> Self {
+        self.clone()
+    }
+    fn plan_candidate(&mut self, req: &Request) -> Option<Route> {
+        if let Some(gate) = &self.gate {
+            let (count, cv) = &**gate;
+            let mut n = count.lock().unwrap();
+            *n += 1;
+            cv.notify_all();
+            while *n < self.need {
+                n = cv.wait(n).unwrap();
+            }
+        }
+        Some(self.choose(req))
+    }
+    fn adopt(&mut self, _id: RequestId, route: &Route) {
+        self.claim(route);
+    }
+}
+
+fn ladder_requests(rungs: u16, width: u16) -> Vec<Request> {
+    // Rung r: `width` requests sharing origin (r, 0) at time r — all of
+    // them contend for the same first-free cell.
+    let mut reqs = Vec::new();
+    let mut id: RequestId = 0;
+    for r in 0..rungs {
+        for _ in 0..width {
+            reqs.push(Request::new(
+                id,
+                r as carp_warehouse::types::Time,
+                Cell::new(r, 0),
+                Cell::new(r, 10),
+                QueryKind::Pickup,
+            ));
+            id += 1;
+        }
+    }
+    reqs
+}
+
+fn run_ladder(
+    planner: FirstFreeCol,
+    config: ServiceConfig,
+    requests: &[Request],
+    rung_width: usize,
+) -> (HashMap<RequestId, Route>, carp_service::ServiceMetrics) {
+    let svc = if config.workers > 1 {
+        PlanningService::spawn_speculative(planner, config)
+    } else {
+        PlanningService::spawn(planner, config)
+    };
+    let client = svc.client();
+    let mut routes = HashMap::new();
+    // Submit one rung at a time and resolve it before the next, so every
+    // rung's requests are in flight together.
+    for rung in requests.chunks(rung_width) {
+        let tickets: Vec<_> = rung
+            .iter()
+            .map(|r| client.submit(*r).expect("queue capacity"))
+            .collect();
+        for (req, t) in rung.iter().zip(tickets) {
+            match t.wait() {
+                PlanResponse::Planned(route) => {
+                    routes.insert(req.id, route);
+                }
+                other => panic!("request {} not planned: {other:?}", req.id),
+            }
+        }
+    }
+    let metrics = client.metrics();
+    svc.shutdown();
+    (routes, metrics)
+}
+
+/// Contention ladder: every rung's requests share an origin, the gate
+/// forces the opening rung to plan concurrently at the same epoch, and the
+/// suite asserts (a) the loser retried instead of double-committing and
+/// (b) the final assignment matches the serial run cell for cell.
+#[test]
+fn contention_ladder_losers_retry_without_double_commit() {
+    const RUNGS: u16 = 6;
+    const WIDTH: usize = 2;
+    let requests = ladder_requests(RUNGS, WIDTH as u16);
+
+    let (serial_routes, serial_m) = run_ladder(FirstFreeCol::serial(), cfg(1), &requests, WIDTH);
+    assert_eq!(serial_routes.len(), RUNGS as usize * WIDTH);
+    assert_eq!(serial_m.speculation_retries, 0, "serial mode never retries");
+
+    let (spec_routes, spec_m) =
+        run_ladder(FirstFreeCol::gated(WIDTH), cfg(WIDTH), &requests, WIDTH);
+    assert_eq!(
+        routes_digest(&spec_routes),
+        routes_digest(&serial_routes),
+        "speculative ladder diverged from serial assignment"
+    );
+    assert!(
+        spec_m.speculation_retries >= 1,
+        "gated rung must produce at least one requeued loser"
+    );
+    assert_eq!(
+        spec_m.planned as usize,
+        RUNGS as usize * WIDTH,
+        "every request commits exactly once"
+    );
+    assert_eq!(spec_m.speculation_aborts, 0, "retry budget suffices");
+    // No double commit: each rung resolved to `WIDTH` distinct cells (the
+    // adopt path asserts freshness inside the planner as well).
+    for rung in 0..RUNGS {
+        let cells: HashSet<Cell> = spec_routes
+            .iter()
+            .filter(|(id, _)| **id / WIDTH as u64 == rung as u64)
+            .map(|(_, r)| r.origin())
+            .collect();
+        assert_eq!(cells.len(), WIDTH, "rung {rung} reused a cell");
+    }
+}

@@ -76,6 +76,13 @@ pub struct DayReport {
     /// Hard-layer overwrites are asserted in the reservation table, so
     /// this is the only window-consistency debt a planner can report.
     pub window_debt: u64,
+    /// Batched edge-cost evaluation calls issued by the inter-strip
+    /// search's frontier batching (0 for planners without a batched
+    /// search).
+    pub eval_batches: u64,
+    /// Share of evaluation batches that actually ran on scoped threads —
+    /// whether search parallelism engaged at all on this host.
+    pub eval_parallel_share: f64,
 }
 
 impl DayReport {
@@ -207,6 +214,8 @@ impl Recorder {
             retire_batch_size: 0.0,
             soft_bookings: 0,
             window_debt: 0,
+            eval_batches: 0,
+            eval_parallel_share: 0.0,
         }
     }
 }

@@ -540,6 +540,8 @@ impl<'a, P: Planner> Simulation<'a, P> {
             report.retire_batch_size = m.retire_batch_size;
             report.soft_bookings = m.soft_bookings;
             report.window_debt = m.window_debt;
+            report.eval_batches = m.eval_batches;
+            report.eval_parallel_share = m.eval_parallel_share;
         }
         (report, self.planner)
     }

@@ -33,6 +33,8 @@ fn sample_report() -> DayReport {
         retire_batch_size: 11.5,
         soft_bookings: 42,
         window_debt: 7,
+        eval_batches: 61,
+        eval_parallel_share: 0.75,
     }
 }
 
@@ -48,6 +50,8 @@ fn day_report_round_trips_through_json() {
     assert_eq!(back.snapshots.len(), 2);
     assert_eq!(back.soft_bookings, 42);
     assert_eq!(back.window_debt, 7);
+    assert_eq!(back.eval_batches, 61);
+    assert!((back.eval_parallel_share - 0.75).abs() < 1e-12);
 }
 
 #[test]

@@ -24,7 +24,7 @@ use carp_geometry::{Segment, SlopeIndexStore};
 use carp_spacetime::{AStarConfig, ReservationTable, SpaceTimeAStar};
 use carp_warehouse::matrix::WarehouseMatrix;
 use carp_warehouse::memory;
-use carp_warehouse::planner::{EngineMetrics, PlanOutcome, Planner};
+use carp_warehouse::planner::{EngineMetrics, PlanOutcome, Planner, SpeculativePlanner};
 use carp_warehouse::request::{Request, RequestId};
 use carp_warehouse::route::Route;
 use carp_warehouse::types::{Cell, Time};
@@ -1240,6 +1240,28 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
         }
         let removed = self.engine.remove_batch(&removals);
         debug_assert_eq!(removed, removals.len(), "segment missing on retire");
+    }
+}
+
+impl<S: SegmentStore + Default + Clone> SpeculativePlanner for SrpPlanner<S> {
+    fn fork(&self) -> Self {
+        self.clone()
+    }
+
+    /// The exact [`Planner::plan`] search — direct strip search, the
+    /// postponed-departure retries, then the grid A\* fallback — without
+    /// the commit. A replica synced to the same committed state produces
+    /// the bit-identical route `plan` would commit.
+    fn plan_candidate(&mut self, req: &Request) -> Option<Route> {
+        let mut route = self.plan_uncommitted(req);
+        if route.is_none() && self.config.use_fallback {
+            route = self.plan_fallback(req);
+        }
+        route
+    }
+
+    fn adopt(&mut self, id: RequestId, route: &Route) {
+        self.commit_route(id, route);
     }
 }
 

@@ -159,6 +159,55 @@ pub trait Planner {
     }
 }
 
+/// The plan/validate/commit split behind the speculative multi-worker
+/// commit pipeline in `carp-service`.
+///
+/// The online contract (Definition 3) makes commits a linearization point:
+/// every route must be collision-checked against *all previously committed*
+/// routes. A single thread that both plans and commits satisfies it the
+/// blunt way — planning latency serializes the whole service. This trait
+/// decouples the two: worker threads each own a **replica** of the
+/// committed state ([`SpeculativePlanner::fork`]) kept in sync by replaying
+/// the commit stage's op log, plan candidates against it **without
+/// committing** ([`SpeculativePlanner::plan_candidate`]), and a single
+/// validate-and-commit stage re-checks each candidate against routes
+/// committed since the candidate's snapshot epoch before adopting it
+/// ([`SpeculativePlanner::adopt`]) — in strict admission order, so the
+/// serial contract is preserved.
+///
+/// Determinism requirement: `plan_candidate` must be the *same pure
+/// function of the committed state* as [`Planner::plan`]'s search (a
+/// replica synced to the full committed set must produce bit-identical
+/// routes), and `adopt` followed by `advance`/`cancel` replay must
+/// reconstruct the committed state exactly. Under the planner's monotone
+/// tie-breaking (the route chosen among feasible routes of a state is also
+/// chosen in any less-constrained state where it remains feasible), a
+/// stale candidate that validates clean against the newer commits is
+/// bit-identical to what the serial planner would have produced — the
+/// property the service's conformance suite pins across worker counts
+/// (DESIGN.md §13).
+///
+/// Windowed/revising planners (TWP, RP) do not implement this trait: their
+/// `advance` rewrites committed routes, so a candidate's validity cannot be
+/// judged by conflict-checking alone.
+pub trait SpeculativePlanner: Planner + Sized {
+    /// Fork a worker-local replica of the full committed state. Called once
+    /// per worker at spawn; afterwards the replica is kept in sync by
+    /// replaying `adopt` / `cancel` / `advance` ops, never re-forked.
+    fn fork(&self) -> Self;
+
+    /// Plan a candidate route against the replica's committed state
+    /// **without committing it** — the exact search [`Planner::plan`] would
+    /// run (including retries and fallbacks), minus the commit.
+    fn plan_candidate(&mut self, req: &Request) -> Option<Route>;
+
+    /// Adopt an externally validated route into the committed state without
+    /// re-running the search (decompose + reserve only). The commit stage
+    /// calls this on the authoritative planner for every validated winner;
+    /// workers call it while replaying the op log into their replicas.
+    fn adopt(&mut self, id: RequestId, route: &Route);
+}
+
 impl<P: Planner + ?Sized> Planner for Box<P> {
     fn name(&self) -> &'static str {
         (**self).name()
