@@ -425,7 +425,8 @@ fn fig22(opts: Opts) {
         };
 
         // (a) breakdown with the naive ordered-set store.
-        let naive = SrpPlanner::<carp_geometry::NaiveStore>::with_store(layout.matrix.clone(), cfg);
+        let naive =
+            SrpPlanner::<carp_geometry::NaiveStore>::with_store(layout.matrix.clone(), cfg.clone());
         let (naive_report, naive_planner) =
             Simulation::new(&layout, &tasks, naive, SimConfig::default()).run();
         let ns = naive_planner.stats;

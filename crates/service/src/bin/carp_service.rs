@@ -1,23 +1,40 @@
-//! `carp-service` — run the online planning service under generated load
-//! and emit a `BENCH_service.json` report.
+//! `carp-service` — the multi-tenant planning daemon and its load driver.
 //!
-//! ```sh
-//! cargo run --release -p carp-service -- \
-//!     --preset W-2 --tasks 400 --rates 1,4 --seed 7 --out BENCH_service.json
-//! ```
+//! Three modes:
 //!
-//! One run is executed per rate multiplier; each run replays the same
-//! seeded task stream with arrivals compressed by the multiplier, audits
-//! every committed route, and records latency percentiles and refusal
-//! counters. The process exits non-zero if any run reports an audited
-//! collision, which is the CI perf job's gate.
+//! * **Load run** (default): replay generated warehouse days through the
+//!   daemon's wire protocol over the in-process transport and emit a
+//!   `BENCH_service.json` report. One run per `--rates` multiplier.
+//!
+//!   ```sh
+//!   cargo run --release -p carp-service -- \
+//!       --preset W-2 --tasks 400 --rates 1,4 --seed 7 --out BENCH_service.json
+//!   ```
+//!
+//! * **Multi-tenant load run** (`--tenants W-1,W-2`): serve several
+//!   warehouses from one daemon concurrently, each tenant driving its own
+//!   day over its own connection; the report carries one per-tenant run.
+//!   `--conformance` additionally replays every tenant's day single-tenant
+//!   on a serial worker and fails unless each tenant's route digest is
+//!   bit-identical to its isolated run — the multi-tenant determinism gate.
+//!
+//! * **Daemon** (`--listen ADDR`): bind a TCP listener and serve the
+//!   configured tenants over the same framed protocol until killed.
+//!
+//! The process exits non-zero if any run reports an audited collision or a
+//! conformance digest diverges, which is the CI perf job's gate.
 
-use carp_service::loadgen::{run_load, run_load_speculative, LoadScenario};
-use carp_service::report::ServiceBenchReport;
+use carp_service::ingest::serve_tcp;
+use carp_service::loadgen::{
+    run_load, run_load_multi, run_load_speculative, LoadScenario, TenantLoad,
+};
+use carp_service::report::{LoadReport, ServiceBenchReport};
 use carp_service::service::ServiceConfig;
-use carp_simenv::SimConfig;
+use carp_service::tenant::TenantRegistry;
+use carp_simenv::{SimConfig, TenantDayProfile};
 use carp_srp::{SrpConfig, SrpPlanner};
 use carp_warehouse::layout::{Layout, LayoutConfig, WarehousePreset};
+use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "usage: carp-service [options]
@@ -29,16 +46,24 @@ const USAGE: &str = "usage: carp-service [options]
   --queue-capacity N  ingest queue bound (default 256)
   --deadline-ms MS    per-request planning deadline; 0 disables it and makes
                       the committed route set bit-deterministic (default 0)
-  --workers N         planner worker threads; > 1 runs the speculative
-                      plan/validate/commit pipeline (default 1)
+  --workers N         planner worker threads per tenant; > 1 runs the
+                      speculative plan/validate/commit pipeline (default 1)
   --expect-speculation fail unless speculative wins are recorded (used by
                       the CI smoke to prove the pipeline actually engaged)
+  --tenants A,B,...   serve several warehouse presets as tenants of one
+                      daemon, one concurrent day each (rate = first --rates
+                      entry); tenant day-profiles in --sim-config `tenants`
+                      override this list
+  --conformance       with --tenants: also replay each tenant single-tenant
+                      on a serial worker and require bit-identical digests
+  --listen ADDR       daemon mode: serve the configured tenants over TCP on
+                      ADDR (e.g. 127.0.0.1:7300) until killed
   --sim-config PATH   JSON file overriding SimConfig fields (service_time,
-                      retry_delay, max_retries, ...)
+                      retry_delay, max_retries, tenants, ...)
   --out PATH          write BENCH_service.json here (default: print to stdout)
 
 exit status: 0 on success, 1 if any run audited a collision (or
---expect-speculation saw none), 2 on bad usage";
+--expect-speculation saw none, or --conformance diverged), 2 on bad usage";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("carp-service: {msg}");
@@ -56,6 +81,9 @@ struct Opts {
     deadline_ms: u64,
     workers: usize,
     expect_speculation: bool,
+    tenants: Vec<String>,
+    conformance: bool,
+    listen: Option<String>,
     sim: SimConfig,
     out: Option<String>,
 }
@@ -76,6 +104,9 @@ fn parse_opts() -> Opts {
         deadline_ms: 0,
         workers: 1,
         expect_speculation: false,
+        tenants: Vec::new(),
+        conformance: false,
+        listen: None,
         sim: SimConfig::default(),
         out: None,
     };
@@ -122,6 +153,18 @@ fn parse_opts() -> Opts {
                 _ => usage_error("--workers expects a positive integer"),
             },
             "--expect-speculation" => opts.expect_speculation = true,
+            "--tenants" => {
+                opts.tenants = value("--tenants")
+                    .split(',')
+                    .map(str::to_string)
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if opts.tenants.is_empty() {
+                    usage_error("--tenants expects preset names like W-1,W-2");
+                }
+            }
+            "--conformance" => opts.conformance = true,
+            "--listen" => opts.listen = Some(value("--listen").to_string()),
             "--sim-config" => {
                 let path = value("--sim-config");
                 let json = match std::fs::read_to_string(path) {
@@ -150,9 +193,180 @@ fn layout_for(preset: &str) -> Layout {
     }
 }
 
+fn srp(layout: &Layout) -> SrpPlanner {
+    SrpPlanner::new(layout.matrix.clone(), SrpConfig::default())
+}
+
+/// The tenant day-profiles this invocation serves: the sim config's
+/// `tenants` array when present, otherwise one profile per `--tenants`
+/// preset (day shape from the common flags, rate from the first `--rates`).
+fn tenant_profiles(opts: &Opts) -> Vec<TenantDayProfile> {
+    if !opts.sim.tenants.is_empty() {
+        return opts.sim.tenants.clone();
+    }
+    opts.tenants
+        .iter()
+        .map(|preset| TenantDayProfile {
+            tenant: String::new(),
+            preset: preset.clone(),
+            tasks: opts.tasks,
+            horizon: opts.horizon,
+            rate: opts.rates[0],
+            seed: opts.seed,
+        })
+        .collect()
+}
+
+fn scenario_for(p: &TenantDayProfile, layout: &Layout) -> LoadScenario {
+    LoadScenario::new(p.id(), layout.clone(), p.tasks, p.horizon, p.rate, p.seed)
+}
+
+fn print_run(report: &LoadReport) {
+    eprintln!(
+        "carp-service: {} done: {} planned, p95 {} us, {} conflicts, {:.1} plans/s, \
+         speculation {}w/{}r/{}a, wire {} frames / {} B in, {} frames / {} B out",
+        report.scenario,
+        report.service.planned,
+        report.service.planning_latency.p95_us,
+        report.audit_conflicts,
+        report.throughput_rps,
+        report.service.speculation_wins,
+        report.service.speculation_retries,
+        report.service.speculation_aborts,
+        report.wire.frames_received,
+        report.wire.bytes_received,
+        report.wire.frames_sent,
+        report.wire.bytes_sent,
+    );
+}
+
+/// Daemon mode: register every configured tenant and serve TCP forever.
+fn run_daemon(addr: &str, profiles: &[TenantDayProfile], cfg: ServiceConfig) -> ! {
+    let registry = Arc::new(TenantRegistry::new());
+    for p in profiles {
+        let layout = layout_for(&p.preset);
+        if cfg.workers > 1 {
+            registry.register_speculative(p.id(), srp(&layout), cfg);
+        } else {
+            registry.register(p.id(), srp(&layout), cfg);
+        }
+        eprintln!(
+            "carp-service: tenant {} ({}, {} workers)",
+            p.id(),
+            p.preset,
+            cfg.workers
+        );
+    }
+    let listener = match std::net::TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("carp-service: cannot bind {addr}: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("carp-service: listening on {addr}");
+    match serve_tcp(listener, registry) {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("carp-service: listener failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Multi-tenant load run, with the optional single-tenant conformance
+/// replay. Returns the per-tenant reports (multi runs first, then any
+/// serial baselines, labelled by tenant).
+fn run_multi(opts: &Opts, profiles: &[TenantDayProfile], cfg: ServiceConfig) -> Vec<LoadReport> {
+    let loads: Vec<TenantLoad<SrpPlanner>> = profiles
+        .iter()
+        .map(|p| {
+            let layout = layout_for(&p.preset);
+            TenantLoad {
+                scenario: scenario_for(p, &layout),
+                planner: srp(&layout),
+                service_cfg: cfg,
+            }
+        })
+        .collect();
+    eprintln!(
+        "carp-service: serving {} tenants concurrently ({} workers each)...",
+        profiles.len(),
+        cfg.workers
+    );
+    let mut reports: Vec<LoadReport> = run_load_multi(loads, opts.sim.clone())
+        .into_iter()
+        .map(|(report, _planner)| report)
+        .collect();
+    for r in &reports {
+        print_run(r);
+    }
+
+    if opts.conformance {
+        // Replay each tenant alone on a serial worker: the multi-tenant
+        // digest must match bit-for-bit (tenants share nothing but CPU).
+        let serial_cfg = ServiceConfig { workers: 1, ..cfg };
+        let mut diverged = false;
+        for (p, multi) in profiles.iter().zip(&reports.clone()) {
+            let layout = layout_for(&p.preset);
+            let (solo, _) = run_load(
+                &scenario_for(p, &layout),
+                srp(&layout),
+                opts.sim.clone(),
+                serial_cfg,
+            );
+            let ok = solo.routes_digest == multi.routes_digest;
+            eprintln!(
+                "carp-service: conformance {}: multi {:#018x} vs solo {:#018x} — {}",
+                p.id(),
+                multi.routes_digest,
+                solo.routes_digest,
+                if ok { "ok" } else { "DIVERGED" }
+            );
+            diverged |= !ok;
+            reports.push(solo);
+        }
+        if diverged {
+            eprintln!("carp-service: FAIL — multi-tenant digest diverged from single-tenant");
+            std::process::exit(1);
+        }
+    }
+    reports
+}
+
+/// Classic single-tenant sweep: one run per rate multiplier.
+fn run_single(opts: &Opts, cfg: ServiceConfig) -> Vec<LoadReport> {
+    let layout = layout_for(&opts.preset);
+    let mut runs = Vec::with_capacity(opts.rates.len());
+    for &rate in &opts.rates {
+        let scenario = LoadScenario::new(
+            format!("{}@{}x", opts.preset, rate),
+            layout.clone(),
+            opts.tasks,
+            opts.horizon,
+            rate,
+            opts.seed,
+        );
+        let planner = srp(&layout);
+        eprintln!(
+            "carp-service: running {} ({} tasks, seed {})...",
+            scenario.name,
+            scenario.tasks.len(),
+            opts.seed
+        );
+        let (report, _planner) = if opts.workers > 1 {
+            run_load_speculative(&scenario, planner, opts.sim.clone(), cfg)
+        } else {
+            run_load(&scenario, planner, opts.sim.clone(), cfg)
+        };
+        print_run(&report);
+        runs.push(report);
+    }
+    runs
+}
+
 fn main() {
     let opts = parse_opts();
-    let layout = layout_for(&opts.preset);
     let service_cfg = ServiceConfig {
         queue_capacity: opts.queue_capacity,
         deadline: if opts.deadline_ms == 0 {
@@ -164,42 +378,27 @@ fn main() {
         ..ServiceConfig::default()
     };
 
-    let mut runs = Vec::with_capacity(opts.rates.len());
-    for &rate in &opts.rates {
-        let scenario = LoadScenario::new(
-            format!("{}@{}x", opts.preset, rate),
-            layout.clone(),
-            opts.tasks,
-            opts.horizon,
-            rate,
-            opts.seed,
-        );
-        let planner = SrpPlanner::new(layout.matrix.clone(), SrpConfig::default());
-        eprintln!(
-            "carp-service: running {} ({} tasks, seed {})...",
-            scenario.name,
-            scenario.tasks.len(),
-            opts.seed
-        );
-        let (report, _planner) = if opts.workers > 1 {
-            run_load_speculative(&scenario, planner, opts.sim, service_cfg)
+    let profiles = tenant_profiles(&opts);
+    if let Some(addr) = &opts.listen {
+        let profiles = if profiles.is_empty() {
+            vec![TenantDayProfile {
+                preset: opts.preset.clone(),
+                ..TenantDayProfile::default()
+            }]
         } else {
-            run_load(&scenario, planner, opts.sim, service_cfg)
+            profiles
         };
-        eprintln!(
-            "carp-service: {} done: {} planned, p95 {} us, {} conflicts, {:.1} plans/s, \
-             speculation {}w/{}r/{}a",
-            report.scenario,
-            report.service.planned,
-            report.service.planning_latency.p95_us,
-            report.audit_conflicts,
-            report.throughput_rps,
-            report.service.speculation_wins,
-            report.service.speculation_retries,
-            report.service.speculation_aborts
-        );
-        runs.push(report);
+        run_daemon(addr, &profiles, service_cfg);
     }
+    if opts.conformance && profiles.is_empty() {
+        usage_error("--conformance requires --tenants (or sim-config tenants)");
+    }
+
+    let runs = if profiles.is_empty() {
+        run_single(&opts, service_cfg)
+    } else {
+        run_multi(&opts, &profiles, service_cfg)
+    };
 
     let bench = ServiceBenchReport::new(runs);
     let conflicts = bench.total_audit_conflicts();

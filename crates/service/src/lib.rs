@@ -1,13 +1,19 @@
-//! `carp-service`: an online planning service around any [`Planner`].
+//! `carp-service`: a multi-tenant online planning daemon around any
+//! [`Planner`].
 //!
 //! The simulator in `carp-simenv` drives planners in a closed single-thread
-//! loop; this crate turns a planner into a *service*: a bounded ingest queue
-//! with backpressure, per-request planning deadlines, a commit pipeline that
-//! keeps the engine's batched `collide_many` / `remove_batch` paths hot, and
-//! a metrics snapshot with fixed-bucket latency percentiles. A deterministic
-//! load generator ([`loadgen`]) replays the paper's W-1/W-2/W-3 day profiles
-//! against the service at configurable arrival-rate multipliers and emits
-//! the `BENCH_service.json` report consumed by the CI perf job.
+//! loop; this crate turns planners into a *daemon*: a [`TenantRegistry`]
+//! of per-warehouse [`Tenant`]s (each one a [`service::PlanningService`] —
+//! bounded ingest queue with backpressure, per-request planning deadlines,
+//! a serial or speculative commit pipeline, fixed-bucket latency
+//! percentiles), fronted by a shared ingest layer ([`ingest`]) that routes
+//! framed requests to tenant queues over a length-prefixed binary wire
+//! protocol ([`wire`]) — the canonical surface, spoken identically over an
+//! in-process duplex transport and TCP (`carp-service --listen`). A
+//! deterministic load generator ([`loadgen`]) replays the paper's
+//! W-1/W-2/W-3 day profiles through the wire path — one tenant or several
+//! concurrently — and emits the per-tenant `BENCH_service.json` report
+//! consumed by the CI perf job.
 //!
 //! Commitment of a route is a linearization point in the online CARP model
 //! (Definition 3): routes are committed one at a time against the state left
@@ -25,15 +31,21 @@
 #![warn(missing_docs)]
 
 pub mod histogram;
+pub mod ingest;
 pub mod loadgen;
 mod pipeline;
 pub mod report;
 pub mod service;
+pub mod tenant;
+pub mod wire;
 
 pub use histogram::{LatencyHistogram, LatencySummary};
-pub use loadgen::{run_load, run_load_speculative, LoadScenario};
+pub use ingest::{duplex, serve_connection, serve_tcp};
+pub use loadgen::{run_load, run_load_multi, run_load_speculative, LoadScenario, TenantLoad};
 pub use report::{routes_digest, LoadReport, ServiceBenchReport, BENCH_VERSION};
 pub use service::{
     PlanResponse, PlanningService, ServiceClient, ServiceConfig, ServiceMetrics, SubmitError,
     Ticket,
 };
+pub use tenant::{Tenant, TenantRegistry, WarehouseId, WireCounters, WireTally};
+pub use wire::{WireClient, WireError, WireSubmitError};

@@ -1,51 +1,67 @@
-//! Deterministic load generation: replay a warehouse day through the
-//! service and audit every committed route.
+//! Deterministic load generation: replay warehouse days through the
+//! daemon's wire protocol and audit every committed route.
 //!
 //! The harness regenerates the simulator's three-leg task workflow
 //! (pickup → transmission → return, nearest-free-robot assignment, retry
-//! on infeasible) but drives the [`PlanningService`] API instead of
-//! calling the planner directly, so queueing, admission control and
-//! deadlines are on the measured path. Arrival times come from the same
-//! bimodal [`DayProfile`] the batch simulator uses, divided by a
-//! configurable **rate multiplier** — 4× compresses the day to a quarter
-//! of its span, quadrupling the arrival rate without changing the task
-//! set.
+//! on infeasible) but speaks the daemon's **wire protocol** instead of
+//! calling the planner — or even the in-process service API — directly:
+//! every run registers its tenant(s) in a [`TenantRegistry`], connects a
+//! [`WireClient`] over the in-process [`duplex`] transport, and drives the
+//! whole day through framed submit/ack/plan-reply/advance traffic. The
+//! measured path is the deployed path — queueing, admission control,
+//! deadlines, *and* wire encode/decode.
 //!
 //! Determinism: the request stream is a pure function of (layout, profile,
 //! seed, multiplier), and submissions happen in lockstep bursts — all
-//! requests sharing a sim-timestamp are submitted in sequence order, then
-//! their replies are collected before the clock moves. The worker answers
-//! strictly FIFO, so with deadlines disabled the committed route set is
-//! bit-identical across runs ([`LoadReport::routes_digest`] pins it).
-//! With a deadline set, refusals depend on wall-clock speed — that is the
-//! point of a deadline — so overload runs trade the bit-determinism
-//! guarantee for budget enforcement.
+//! requests sharing a sim-timestamp are submitted in sequence order (each
+//! acked synchronously by the ingest reader, which pins admission order),
+//! then their replies are collected before the clock moves. With deadlines
+//! disabled the committed route set is bit-identical across runs and
+//! transports ([`LoadReport::routes_digest`] pins it). With a deadline
+//! set, refusals depend on wall-clock speed — that is the point of a
+//! deadline — so overload runs trade the bit-determinism guarantee for
+//! budget enforcement.
+//!
+//! Multi-tenancy: [`run_load_multi`] registers several tenants in **one**
+//! registry and drives each day on its own connection thread,
+//! concurrently. Tenants share nothing but CPU (each has its own queue,
+//! worker pool and commit pipeline), so each tenant's digest must equal
+//! its single-tenant run's — the conformance property the two-tenant CI
+//! smoke gates on.
 //!
 //! Every committed route is mirrored into an [`IncrementalAuditor`] the
-//! moment its ticket resolves, and the final route set is re-validated
+//! moment its reply arrives, and the final route set is re-validated
 //! batch-style, exactly like the batch simulator's audit. Route revisions
 //! delivered by `advance` are re-audited (cancel, then recommit as one
 //! batch); leg chaining keeps the originally planned end times, so the
 //! harness is exact for non-revising planners (SRP, SAP, SIPP, ACP) and a
 //! close approximation for TWP/RP.
 
+use crate::ingest::{duplex, serve_connection};
 use crate::report::LoadReport;
-use crate::service::{PlanResponse, PlanningService, ServiceConfig, SubmitError};
+use crate::service::{PlanResponse, ServiceConfig, ServiceMetrics};
+use crate::tenant::{TenantRegistry, WireCounters};
+use crate::wire::{WireClient, WireSubmitError};
 use carp_simenv::SimConfig;
 use carp_warehouse::collision::{validate_routes, IncrementalAuditor};
 use carp_warehouse::layout::Layout;
-use carp_warehouse::planner::{Planner, SpeculativePlanner};
+use carp_warehouse::planner::{EngineMetrics, Planner, SpeculativePlanner};
 use carp_warehouse::request::{QueryKind, Request, RequestId};
 use carp_warehouse::route::Route;
 use carp_warehouse::tasks::{generate_tasks, DayProfile, Task};
 use carp_warehouse::types::{Cell, Time};
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A complete load scenario: the warehouse, the (already rate-compressed)
-/// task stream, and the identity of the run.
+/// task stream, and the identity of the run. The scenario `name` doubles
+/// as the tenant's [`WarehouseId`](crate::tenant::WarehouseId) on the
+/// daemon.
+#[derive(Clone)]
 pub struct LoadScenario {
-    /// Scenario label carried into the report ("W-2@4x" …).
+    /// Scenario label carried into the report ("W-2@4x" …) and used as the
+    /// tenant id.
     pub name: String,
     /// The warehouse.
     pub layout: Layout,
@@ -87,6 +103,17 @@ impl LoadScenario {
     }
 }
 
+/// One tenant's slice of a multi-tenant run: its day plus the planner and
+/// service configuration serving it.
+pub struct TenantLoad<P> {
+    /// The tenant's day; `scenario.name` is its warehouse id.
+    pub scenario: LoadScenario,
+    /// The planner serving this tenant.
+    pub planner: P,
+    /// Per-tenant service tuning (queue bound, workers, deadline).
+    pub service_cfg: ServiceConfig,
+}
+
 #[derive(Debug, Clone, Copy)]
 enum Event {
     /// A task emerges: grab the nearest free robot or queue.
@@ -107,16 +134,39 @@ struct RobotState {
     busy: bool,
 }
 
+/// Raw outcome of one driven day, before it meets the metrics snapshot.
+struct RawRun {
+    final_routes: HashMap<RequestId, Route>,
+    completed: usize,
+    failed_requests: usize,
+    refused_requests: usize,
+    backpressure_retries: u64,
+    audit_conflicts: usize,
+    makespan: Time,
+    wall_secs: f64,
+}
+
+/// Everything a driver thread brings home from one tenant's day.
+struct DriverOut {
+    scenario: LoadScenario,
+    raw: RawRun,
+    metrics: ServiceMetrics,
+    wire: WireCounters,
+}
+
 /// Drive `planner` through a full load run of `scenario` on the serial
-/// service. Returns the report and the planner (recovered from the
-/// service worker) for post-run inspection.
+/// service, over the wire. Returns the report and the planner (recovered
+/// from the registry after shutdown) for post-run inspection.
 pub fn run_load<P: Planner + Send + 'static>(
     scenario: &LoadScenario,
     planner: P,
     sim: SimConfig,
     service_cfg: ServiceConfig,
 ) -> (LoadReport, P) {
-    drive(scenario, PlanningService::spawn(planner, service_cfg), sim)
+    let registry = Arc::new(TenantRegistry::new());
+    registry.register(scenario.name.clone(), planner, service_cfg);
+    let out = drive_tenant(&registry, scenario.clone(), &sim);
+    recover::<P>(&registry, out)
 }
 
 /// Like [`run_load`], but on the speculative multi-worker commit pipeline
@@ -130,21 +180,119 @@ pub fn run_load_speculative<P: SpeculativePlanner + Send + 'static>(
     sim: SimConfig,
     service_cfg: ServiceConfig,
 ) -> (LoadReport, P) {
-    drive(
-        scenario,
-        PlanningService::spawn_speculative(planner, service_cfg),
-        sim,
-    )
+    let registry = Arc::new(TenantRegistry::new());
+    registry.register_speculative(scenario.name.clone(), planner, service_cfg);
+    let out = drive_tenant(&registry, scenario.clone(), &sim);
+    recover::<P>(&registry, out)
 }
 
-/// The shared day-replay harness behind both entry points.
-fn drive<P: Planner + Send + 'static>(
-    scenario: &LoadScenario,
-    svc: PlanningService<P>,
+/// Serve several tenants from **one** registry concurrently: each tenant's
+/// day runs on its own connection + driver thread against the shared
+/// daemon. Returns `(report, planner)` per tenant, in input order.
+///
+/// Tenants are registered on the speculative pipeline (serial when a
+/// tenant's `workers <= 1`), so worker pools are per-tenant too.
+pub fn run_load_multi<P: SpeculativePlanner + Send + 'static>(
+    tenants: Vec<TenantLoad<P>>,
     sim: SimConfig,
-) -> (LoadReport, P) {
-    let client = svc.client();
+) -> Vec<(LoadReport, P)> {
+    let registry = Arc::new(TenantRegistry::new());
+    let mut scenarios = Vec::with_capacity(tenants.len());
+    for t in tenants {
+        registry.register_speculative(t.scenario.name.clone(), t.planner, t.service_cfg);
+        scenarios.push(t.scenario);
+    }
+    let handles: Vec<_> = scenarios
+        .into_iter()
+        .map(|scenario| {
+            let registry = Arc::clone(&registry);
+            let sim = sim.clone();
+            std::thread::Builder::new()
+                .name(format!("carp-load-{}", scenario.name))
+                .spawn(move || drive_tenant(&registry, scenario, &sim))
+                .expect("spawn tenant driver")
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| {
+            let out = h.join().expect("tenant driver panicked");
+            recover::<P>(&registry, out)
+        })
+        .collect()
+}
 
+/// Open one wire connection to the daemon and drive one tenant's whole day
+/// over it; fetch the final metrics through the wire before hanging up.
+fn drive_tenant(
+    registry: &Arc<TenantRegistry>,
+    scenario: LoadScenario,
+    sim: &SimConfig,
+) -> DriverOut {
+    let ((client_read, client_write), (server_read, server_write)) = duplex();
+    let server_registry = Arc::clone(registry);
+    let server = std::thread::Builder::new()
+        .name(format!("carp-ingest-{}", scenario.name))
+        .spawn(move || serve_connection(&server_registry, server_read, server_write))
+        .expect("spawn ingest thread");
+    let mut client = WireClient::new(client_read, client_write);
+    let raw = drive_wire(&scenario, &mut client, sim);
+    let (metrics, wire) = client
+        .metrics(&scenario.name)
+        .expect("metrics query over the wire");
+    drop(client); // closes the pipes: the ingest reader sees clean EOF
+    server
+        .join()
+        .expect("ingest thread panicked")
+        .expect("connection ended with a protocol error");
+    DriverOut {
+        scenario,
+        raw,
+        metrics,
+        wire,
+    }
+}
+
+/// Shut the tenant down, recover the concrete planner from the registry,
+/// and assemble its report.
+fn recover<P: Planner + Send + 'static>(
+    registry: &TenantRegistry,
+    out: DriverOut,
+) -> (LoadReport, P) {
+    let planner = match registry
+        .remove(&out.scenario.name)
+        .expect("tenant registered by this run")
+        .downcast::<P>()
+    {
+        Ok(planner) => *planner,
+        Err(_) => panic!("tenant planner has the registered type"),
+    };
+    let engine: Option<EngineMetrics> = planner.engine_metrics();
+    let report = LoadReport::build(
+        &out.scenario,
+        out.scenario.name.clone(),
+        &out.raw.final_routes,
+        out.metrics,
+        out.wire,
+        engine,
+        out.raw.wall_secs,
+        out.raw.completed,
+        out.raw.failed_requests,
+        out.raw.refused_requests,
+        out.raw.backpressure_retries,
+        out.raw.audit_conflicts,
+        out.raw.makespan,
+    );
+    (report, planner)
+}
+
+/// The shared day-replay event loop, speaking frames through `client`.
+fn drive_wire<R: std::io::Read, W: std::io::Write>(
+    scenario: &LoadScenario,
+    client: &mut WireClient<R, W>,
+    sim: &SimConfig,
+) -> RawRun {
+    let tenant = scenario.name.as_str();
     let mut robots: Vec<RobotState> = scenario
         .layout
         .robot_spawns
@@ -191,7 +339,7 @@ fn drive<P: Planner + Send + 'static>(
     while let Some(&core::cmp::Reverse((now, _))) = heap.peek() {
         // Clock moved: let the planner retire state (the engine's batched
         // remove_batch path) and deliver revisions before this burst plans.
-        let revisions = client.advance(now);
+        let revisions = client.advance(tenant, now).expect("advance over the wire");
         if !revisions.is_empty() {
             // Revisions land as one atomic batch (see sim.rs): cancel every
             // revised route before recommitting any.
@@ -209,14 +357,7 @@ fn drive<P: Planner + Send + 'static>(
 
         // Drain every event scheduled for `now`, in sequence order, into
         // one submission burst.
-        let mut burst: Vec<(
-            RequestId,
-            usize,
-            usize,
-            QueryKind,
-            u32,
-            crate::service::Ticket,
-        )> = Vec::new();
+        let mut burst: Vec<(RequestId, usize, usize, QueryKind, u32)> = Vec::new();
         while let Some(&core::cmp::Reverse((t, _))) = heap.peek() {
             if t != now {
                 break;
@@ -285,29 +426,28 @@ fn drive<P: Planner + Send + 'static>(
                     let request = Request::new(rid, now, origin, destination, kind);
                     // Backpressure: back off for the hinted delay and
                     // resubmit. The retry loop keeps submission order —
-                    // there is exactly one submitter — so determinism
+                    // there is exactly one submitter per connection and the
+                    // ingest reader acks in frame order — so determinism
                     // survives rejection storms.
-                    let ticket = loop {
-                        match client.submit(request) {
-                            Ok(t) => break t,
-                            Err(SubmitError::Backpressure { retry_after, .. }) => {
+                    loop {
+                        match client.submit(tenant, &request) {
+                            Ok(()) => break,
+                            Err(WireSubmitError::Backpressure { retry_after, .. }) => {
                                 backpressure_retries += 1;
                                 std::thread::sleep(retry_after);
                             }
-                            Err(SubmitError::ShuttingDown) => {
-                                unreachable!("service shut down mid-run")
-                            }
+                            Err(e) => unreachable!("submission refused mid-run: {e}"),
                         }
-                    };
-                    burst.push((rid, task, robot, kind, attempt, ticket));
+                    }
+                    burst.push((rid, task, robot, kind, attempt));
                 }
             }
         }
 
         // Collect the burst's replies in submission order and schedule the
         // follow-up events.
-        for (rid, task, robot, kind, attempt, ticket) in burst {
-            match ticket.wait() {
+        for (rid, task, robot, kind, attempt) in burst {
+            match client.wait_plan(rid).expect("plan reply over the wire") {
                 PlanResponse::Planned(route) => {
                     makespan = makespan.max(route.finish_exclusive());
                     let end = route.end_time();
@@ -391,9 +531,6 @@ fn drive<P: Planner + Send + 'static>(
     }
     let wall_secs = wall_start.elapsed().as_secs_f64();
 
-    let metrics = client.metrics();
-    let planner = svc.shutdown();
-
     // Batch re-validation of the final (post-revision) set, like sim.rs:
     // report whichever of the online and batch counts is worse.
     let routes: Vec<Route> = final_routes.values().cloned().collect();
@@ -402,20 +539,16 @@ fn drive<P: Planner + Send + 'static>(
         Some(_) => online_conflicts.max(1),
     };
 
-    let report = LoadReport::build(
-        scenario,
-        &final_routes,
-        metrics,
-        planner.engine_metrics(),
-        wall_secs,
+    RawRun {
+        final_routes,
         completed,
         failed_requests,
         refused_requests,
         backpressure_retries,
         audit_conflicts,
         makespan,
-    );
-    (report, planner)
+        wall_secs,
+    }
 }
 
 fn nearest_free_robot(robots: &[RobotState], target: Cell) -> Option<usize> {

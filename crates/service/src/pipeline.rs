@@ -34,7 +34,7 @@
 
 use crate::service::{record_turnaround, Control, Envelope, PlanResponse, Shared};
 use carp_warehouse::collision::IncrementalAuditor;
-use carp_warehouse::planner::{PlanOutcome, SpeculativePlanner};
+use carp_warehouse::planner::{CancelToken, PlanOutcome, SpeculativePlanner};
 use carp_warehouse::request::{Request, RequestId};
 use carp_warehouse::route::Route;
 use carp_warehouse::types::Time;
@@ -118,6 +118,10 @@ pub(crate) enum SpecOutcome {
     Planned(Route),
     /// No route found at the snapshot epoch.
     Infeasible,
+    /// The worker's deadline token fired mid-search: the candidate search
+    /// was abandoned, so "no route" is a budget verdict, not a feasibility
+    /// one. Refused as a deadline overrun without retry.
+    Overrun,
     /// The request blew its deadline while queued; never planned.
     Shed,
     /// The worker panicked while planning this request.
@@ -236,8 +240,16 @@ pub(crate) fn worker_loop<P: SpeculativePlanner>(
                 outcome: SpecOutcome::Died,
             }),
         };
+        // Arm the replica with the request's remaining budget; a fired
+        // token turns "no candidate" into an overrun, not an infeasibility.
+        let token = shared
+            .config
+            .deadline
+            .map(|d| CancelToken::with_deadline(env.enqueued_at + d));
+        replica.arm_cancel(token.clone());
         let started = Instant::now();
         let candidate = replica.plan_candidate(&env.request);
+        replica.arm_cancel(None);
         let mut result = guard.disarm();
         shared
             .planning_hist
@@ -246,6 +258,7 @@ pub(crate) fn worker_loop<P: SpeculativePlanner>(
             .record(started.elapsed());
         result.outcome = match candidate {
             Some(route) => SpecOutcome::Planned(route),
+            None if token.is_some_and(|t| t.fired()) => SpecOutcome::Overrun,
             None => SpecOutcome::Infeasible,
         };
         post_result(&shared, result);
@@ -399,6 +412,10 @@ impl<P: SpeculativePlanner> CommitStage<P> {
             SpecOutcome::Died => {
                 self.reply_final(reply, PlanResponse::ServiceDied, enqueued_at);
             }
+            SpecOutcome::Overrun => {
+                c.cancelled_deadline.fetch_add(1, Ordering::Relaxed);
+                self.reply_final(reply, PlanResponse::DeadlineOverrun, enqueued_at);
+            }
             SpecOutcome::Infeasible => {
                 if snapshot_epoch == self.oplog.len() {
                     // The replica saw the full committed state: the verdict
@@ -500,8 +517,15 @@ impl<P: SpeculativePlanner> CommitStage<P> {
             }
         }
         c.speculation_aborts.fetch_add(1, Ordering::Relaxed);
+        let token = self
+            .shared
+            .config
+            .deadline
+            .map(|d| CancelToken::with_deadline(enqueued_at + d));
+        self.planner.arm_cancel(token.clone());
         let started = Instant::now();
         let outcome = self.planner.plan(&request);
+        self.planner.arm_cancel(None);
         self.shared
             .planning_hist
             .lock()
@@ -533,8 +557,15 @@ impl<P: SpeculativePlanner> CommitStage<P> {
                 }
             }
             PlanOutcome::Infeasible => {
-                c.infeasible.fetch_add(1, Ordering::Relaxed);
-                self.reply_final(reply, PlanResponse::Infeasible, enqueued_at);
+                if token.is_some_and(|t| t.fired()) {
+                    // The authoritative search was abandoned by the token,
+                    // so this is a budget refusal, not a feasibility proof.
+                    c.cancelled_deadline.fetch_add(1, Ordering::Relaxed);
+                    self.reply_final(reply, PlanResponse::DeadlineOverrun, enqueued_at);
+                } else {
+                    c.infeasible.fetch_add(1, Ordering::Relaxed);
+                    self.reply_final(reply, PlanResponse::Infeasible, enqueued_at);
+                }
             }
         }
     }

@@ -6,6 +6,7 @@
 
 use crate::loadgen::LoadScenario;
 use crate::service::ServiceMetrics;
+use crate::tenant::WireCounters;
 use carp_warehouse::planner::EngineMetrics;
 use carp_warehouse::request::RequestId;
 use carp_warehouse::route::Route;
@@ -18,13 +19,20 @@ use std::collections::HashMap;
 /// v2: `service` gained `workers`, `speculation_{wins,retries,aborts}`,
 /// and the per-stage `queue_latency` / `commit_latency` summaries from the
 /// speculative commit pipeline.
-pub const BENCH_VERSION: u32 = 2;
+///
+/// v3: runs are per-tenant — each gained `tenant` (the warehouse id the
+/// run was served under) and `wire` (the tenant's frame/byte encode-decode
+/// counters), now that all loadgen traffic flows through the wire
+/// protocol.
+pub const BENCH_VERSION: u32 = 3;
 
 /// Result of one load run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LoadReport {
     /// Scenario label ("W-2" …).
     pub scenario: String,
+    /// Warehouse id the run was served under on the daemon.
+    pub tenant: String,
     /// Arrival-rate multiplier the day was compressed by.
     pub rate_multiplier: f64,
     /// Task-stream RNG seed.
@@ -59,8 +67,11 @@ pub struct LoadReport {
     /// digest (the determinism pin the CI job checks).
     pub routes_digest: u64,
     /// Full service metrics snapshot (queue, latency percentiles,
-    /// counters).
+    /// counters), fetched through the wire (`MetricsQuery`).
     pub service: ServiceMetrics,
+    /// Per-tenant wire traffic: frames/bytes encoded and decoded for this
+    /// tenant, plus protocol errors attributed to it.
+    pub wire: WireCounters,
     /// Engine counters read from the planner after shutdown (the service
     /// snapshot holds the last mid-run view; this is the final one).
     pub engine: Option<EngineMetrics>,
@@ -71,8 +82,10 @@ impl LoadReport {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn build(
         scenario: &LoadScenario,
+        tenant: String,
         final_routes: &HashMap<RequestId, Route>,
         service: ServiceMetrics,
+        wire: WireCounters,
         engine: Option<EngineMetrics>,
         wall_secs: f64,
         completed: usize,
@@ -89,6 +102,7 @@ impl LoadReport {
         };
         LoadReport {
             scenario: scenario.name.clone(),
+            tenant,
             rate_multiplier: scenario.rate_multiplier,
             seed: scenario.seed,
             tasks: scenario.tasks.len(),
@@ -104,6 +118,7 @@ impl LoadReport {
             throughput_rps,
             routes_digest: routes_digest(final_routes),
             service,
+            wire,
             engine,
         }
     }

@@ -39,7 +39,9 @@
 //!   an over-budget plan never stalls the robot fleet on a stale answer.
 
 use crate::histogram::{LatencyHistogram, LatencySummary};
-use carp_warehouse::planner::{EngineMetrics, PlanOutcome, Planner, SpeculativePlanner};
+use carp_warehouse::planner::{
+    CancelToken, EngineMetrics, PlanOutcome, Planner, SpeculativePlanner,
+};
 use carp_warehouse::request::{Request, RequestId};
 use carp_warehouse::route::Route;
 use carp_warehouse::types::Time;
@@ -632,8 +634,14 @@ fn process_one<P: Planner>(planner: &mut P, shared: &Shared, env: Envelope) {
         .lock()
         .expect("hist lock")
         .record(env.enqueued_at.elapsed());
+    // Arm the planner with the request's remaining budget so a search that
+    // cannot finish in time abandons itself instead of running to
+    // completion and being cancelled post-commit.
+    let token = deadline.map(|d| CancelToken::with_deadline(env.enqueued_at + d));
+    planner.arm_cancel(token.clone());
     let started = Instant::now();
     let outcome = planner.plan(&env.request);
+    planner.arm_cancel(None);
     shared
         .planning_hist
         .lock()
@@ -657,8 +665,19 @@ fn process_one<P: Planner>(planner: &mut P, shared: &Shared, env: Envelope) {
             }
         }
         PlanOutcome::Infeasible => {
-            shared.counters.infeasible.fetch_add(1, Ordering::Relaxed);
-            PlanResponse::Infeasible
+            // Distinguish a genuine "no route exists" verdict from a search
+            // the token aborted mid-way: the latter is a deadline refusal,
+            // not evidence of infeasibility.
+            if token.is_some_and(|t| t.fired()) {
+                shared
+                    .counters
+                    .cancelled_deadline
+                    .fetch_add(1, Ordering::Relaxed);
+                PlanResponse::DeadlineOverrun
+            } else {
+                shared.counters.infeasible.fetch_add(1, Ordering::Relaxed);
+                PlanResponse::Infeasible
+            }
         }
     };
     record_turnaround(shared, env.enqueued_at);

@@ -1,0 +1,198 @@
+//! Bounds-checked little-endian primitives for wire payloads.
+//!
+//! A [`Reader`] walks a borrowed payload slice and fails with a typed
+//! [`WireError::Malformed`] on any overrun — decoding never indexes
+//! unchecked, so corrupt payloads surface as errors, not panics. A
+//! [`Writer`] appends to an owned buffer; encoding is infallible.
+//!
+//! Strings travel as `str16`: a `u16` byte length followed by that many
+//! bytes of UTF-8 (tenant ids are short; 64 KiB is beyond generous).
+
+use super::frame::WireError;
+
+/// Bounds-checked little-endian reader over a payload slice.
+///
+/// Lifetimes matter here: `bytes`/`str16` return slices *borrowed from the
+/// payload*, which is what makes [`RouteView`](super::schema::RouteView)
+/// zero-copy.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Start reading `buf` from the beginning.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Borrow the next `n` bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Malformed("payload shorter than declared"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(
+            self.bytes(2)?.try_into().expect("len 2"),
+        ))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.bytes(4)?.try_into().expect("len 4"),
+        ))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.bytes(8)?.try_into().expect("len 8"),
+        ))
+    }
+
+    /// Read a little-endian IEEE-754 `f64`.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a `u16`-length-prefixed UTF-8 string, borrowed from the
+    /// payload.
+    pub fn str16(&mut self) -> Result<&'a str, WireError> {
+        let len = self.u16()? as usize;
+        let raw = self.bytes(len)?;
+        core::str::from_utf8(raw).map_err(|_| WireError::Malformed("str16 is not UTF-8"))
+    }
+
+    /// Assert the payload was consumed exactly.
+    pub fn done(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("payload longer than declared"))
+        }
+    }
+}
+
+/// Append-only little-endian writer; encoding never fails.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// The encoded payload.
+    pub fn into_inner(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append raw bytes.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian IEEE-754 `f64`.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append a `u16`-length-prefixed UTF-8 string.
+    ///
+    /// # Panics
+    /// When `s` exceeds 65535 bytes (tenant ids never do; enforced at
+    /// registration).
+    pub fn put_str16(&mut self, s: &str) {
+        let len = u16::try_from(s.len()).expect("str16 length fits u16");
+        self.put_u16(len);
+        self.put_bytes(s.as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_primitives() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64(1.5);
+        w.put_str16("W-1");
+        let buf = w.into_inner();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64().unwrap(), 1.5);
+        assert_eq!(r.str16().unwrap(), "W-1");
+        assert!(r.done().is_ok());
+    }
+
+    #[test]
+    fn overruns_are_typed_errors() {
+        let mut r = Reader::new(&[1, 2]);
+        assert!(r.u32().is_err());
+        let mut r = Reader::new(&[2, 0, 0xFF]); // str16 declares 2, has 1
+        assert!(r.str16().is_err());
+        let r = Reader::new(&[0]);
+        assert!(r.done().is_err());
+    }
+
+    #[test]
+    fn str16_rejects_invalid_utf8() {
+        let mut w = Writer::new();
+        w.put_u16(2);
+        w.put_bytes(&[0xFF, 0xFE]);
+        let buf = w.into_inner();
+        assert_eq!(
+            Reader::new(&buf).str16(),
+            Err(WireError::Malformed("str16 is not UTF-8"))
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! Frame layer: the versioned 12-byte header and blocking frame I/O.
+//!
+//! ```text
+//!  offset  size  field
+//!       0     4  magic  b"CARP"
+//!       4     2  version (LE u16) — currently 1
+//!       6     2  kind    (LE u16) — see FrameKind
+//!       8     4  payload length (LE u32), ≤ MAX_PAYLOAD
+//!      12     …  payload (schema depends on kind)
+//! ```
+//!
+//! All header validation happens before the payload is read, so a corrupt
+//! header never triggers an oversized allocation; all decode failures are
+//! typed [`WireError`]s, never panics (pinned by the codec fuzz tests).
+
+use std::io::{Read, Write};
+
+/// The four magic bytes opening every frame.
+pub const MAGIC: [u8; 4] = *b"CARP";
+/// Protocol version spoken by this build.
+pub const VERSION: u16 = 1;
+/// Bytes in the fixed frame header.
+pub const HEADER_LEN: usize = 12;
+/// Upper bound on a payload (16 MiB) — a route over the largest layout is
+/// orders of magnitude smaller; anything bigger is a corrupt length field.
+pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
+
+/// Frame kinds (the header's `kind` field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum FrameKind {
+    /// Client → daemon: submit one planning request to a tenant.
+    Submit = 1,
+    /// Daemon → client: admission verdict for one submission.
+    SubmitAck = 2,
+    /// Daemon → client: terminal planning answer for one request.
+    PlanReply = 3,
+    /// Client → daemon: advance a tenant's simulation clock.
+    Advance = 4,
+    /// Daemon → client: route revisions delivered by the advance.
+    AdvanceReply = 5,
+    /// Client → daemon: cancel a committed route.
+    Cancel = 6,
+    /// Daemon → client: whether the cancel found its route.
+    CancelReply = 7,
+    /// Client → daemon: snapshot a tenant's metrics.
+    MetricsQuery = 8,
+    /// Daemon → client: the metrics snapshot.
+    MetricsReply = 9,
+    /// Daemon → client: a request-level protocol error (unknown tenant on
+    /// a control frame, unexpected kind); the connection stays up.
+    ErrorReply = 10,
+}
+
+impl FrameKind {
+    fn from_u16(v: u16) -> Option<FrameKind> {
+        Some(match v {
+            1 => FrameKind::Submit,
+            2 => FrameKind::SubmitAck,
+            3 => FrameKind::PlanReply,
+            4 => FrameKind::Advance,
+            5 => FrameKind::AdvanceReply,
+            6 => FrameKind::Cancel,
+            7 => FrameKind::CancelReply,
+            8 => FrameKind::MetricsQuery,
+            9 => FrameKind::MetricsReply,
+            10 => FrameKind::ErrorReply,
+            _ => return None,
+        })
+    }
+}
+
+/// Everything that can go wrong on the wire. Malformed *input* maps to a
+/// variant here — never a panic; I/O failures carry the error kind so the
+/// type stays `PartialEq` (handy in tests and retry logic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame does not start with `b"CARP"`.
+    BadMagic,
+    /// The peer speaks a protocol version this build does not.
+    UnsupportedVersion(u16),
+    /// The header names a frame kind this build does not know.
+    UnknownKind(u16),
+    /// The declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversize(u32),
+    /// The stream ended mid-frame (clean EOF *between* frames is not an
+    /// error — [`read_frame`] returns `Ok(None)` for that).
+    Truncated,
+    /// A payload failed schema validation; the message says where.
+    Malformed(&'static str),
+    /// An underlying transport error.
+    Io(std::io::ErrorKind),
+    /// The peer closed the connection while a reply was still owed.
+    Closed,
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::Oversize(n) => write!(f, "payload length {n} exceeds limit"),
+            WireError::Truncated => write!(f, "stream truncated mid-frame"),
+            WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
+            WireError::Io(kind) => write!(f, "transport error: {kind:?}"),
+            WireError::Closed => write!(f, "connection closed while awaiting a reply"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e.kind())
+        }
+    }
+}
+
+/// Write one frame (header + payload) and flush.
+pub fn write_frame<W: Write>(w: &mut W, kind: FrameKind, payload: &[u8]) -> Result<(), WireError> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&n| n <= MAX_PAYLOAD)
+        .ok_or(WireError::Oversize(
+            payload.len().min(u32::MAX as usize) as u32
+        ))?;
+    let mut header = [0u8; HEADER_LEN];
+    header[0..4].copy_from_slice(&MAGIC);
+    header[4..6].copy_from_slice(&VERSION.to_le_bytes());
+    header[6..8].copy_from_slice(&(kind as u16).to_le_bytes());
+    header[8..12].copy_from_slice(&len.to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Size on the wire of a frame carrying `payload_len` payload bytes.
+pub fn frame_len(payload_len: usize) -> u64 {
+    (HEADER_LEN + payload_len) as u64
+}
+
+/// Read one frame. `Ok(None)` is a clean end-of-stream (EOF exactly at a
+/// frame boundary); EOF anywhere inside a frame is [`WireError::Truncated`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<(FrameKind, Vec<u8>)>, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut got = 0usize;
+    while got < HEADER_LEN {
+        let n = r.read(&mut header[got..])?;
+        if n == 0 {
+            return if got == 0 {
+                Ok(None)
+            } else {
+                Err(WireError::Truncated)
+            };
+        }
+        got += n;
+    }
+    if header[0..4] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = u16::from_le_bytes(header[4..6].try_into().expect("len 2"));
+    if version != VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let kind_raw = u16::from_le_bytes(header[6..8].try_into().expect("len 2"));
+    let kind = FrameKind::from_u16(kind_raw).ok_or(WireError::UnknownKind(kind_raw))?;
+    let len = u32::from_le_bytes(header[8..12].try_into().expect("len 4"));
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversize(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some((kind, payload)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_one_frame() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Submit, b"hello").unwrap();
+        assert_eq!(buf.len() as u64, frame_len(5));
+        let mut cur = &buf[..];
+        let (kind, payload) = read_frame(&mut cur).unwrap().unwrap();
+        assert_eq!(kind, FrameKind::Submit);
+        assert_eq!(payload, b"hello");
+        assert!(read_frame(&mut cur).unwrap().is_none()); // clean EOF
+    }
+
+    #[test]
+    fn header_validation() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Advance, b"x").unwrap();
+
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert_eq!(read_frame(&mut &bad[..]), Err(WireError::BadMagic));
+
+        let mut bad = buf.clone();
+        bad[4] = 99;
+        assert_eq!(
+            read_frame(&mut &bad[..]),
+            Err(WireError::UnsupportedVersion(99))
+        );
+
+        let mut bad = buf.clone();
+        bad[6] = 0xAB;
+        assert_eq!(read_frame(&mut &bad[..]), Err(WireError::UnknownKind(0xAB)));
+
+        let mut bad = buf.clone();
+        bad[8..12].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert_eq!(
+            read_frame(&mut &bad[..]),
+            Err(WireError::Oversize(MAX_PAYLOAD + 1))
+        );
+    }
+
+    #[test]
+    fn truncation_mid_header_and_mid_payload() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Cancel, b"abcdef").unwrap();
+        for cut in 1..buf.len() {
+            assert_eq!(
+                read_frame(&mut &buf[..cut]),
+                Err(WireError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+}

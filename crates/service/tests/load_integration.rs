@@ -70,12 +70,12 @@ fn w2_load_at_1x_and_4x_is_collision_free_and_deterministic() {
     let sim = SimConfig::default();
 
     let s1 = LoadScenario::new("W-2@1x", layout.clone(), 60, 600, 1.0, 104);
-    let (r1, _) = run_load(&s1, srp(&layout), sim, deterministic_cfg());
+    let (r1, _) = run_load(&s1, srp(&layout), sim.clone(), deterministic_cfg());
     assert_eq!(r1.audit_conflicts, 0, "W-2@1x audited a collision");
     assert_eq!(r1.completed, 60);
 
     let s4 = LoadScenario::new("W-2@4x", layout.clone(), 60, 600, 4.0, 104);
-    let (r4, _) = run_load(&s4, srp(&layout), sim, deterministic_cfg());
+    let (r4, _) = run_load(&s4, srp(&layout), sim.clone(), deterministic_cfg());
     assert_eq!(r4.audit_conflicts, 0, "W-2@4x audited a collision");
     assert_eq!(r4.completed, 60);
 

@@ -43,11 +43,12 @@ fn w2_digest_is_identical_across_worker_counts() {
     for rate in [1.0, 4.0] {
         let scenario =
             |r: f64| LoadScenario::new(format!("W-2@{r}x"), layout.clone(), 60, 600, r, 104);
-        let (serial, _) = run_load(&scenario(rate), srp(&layout), sim, cfg(1));
+        let (serial, _) = run_load(&scenario(rate), srp(&layout), sim.clone(), cfg(1));
         assert_eq!(serial.audit_conflicts, 0, "serial W-2@{rate}x audited");
         assert_eq!(serial.completed, 60);
         for workers in [2, 8] {
-            let (spec, _) = run_load_speculative(&scenario(rate), srp(&layout), sim, cfg(workers));
+            let (spec, _) =
+                run_load_speculative(&scenario(rate), srp(&layout), sim.clone(), cfg(workers));
             assert_eq!(
                 spec.audit_conflicts, 0,
                 "W-2@{rate}x workers={workers} audited a collision"

@@ -16,4 +16,4 @@ pub mod sim;
 
 pub use audit::ReproBundle;
 pub use metrics::{DayReport, Recorder, Snapshot};
-pub use sim::{SimConfig, Simulation};
+pub use sim::{SimConfig, Simulation, TenantDayProfile};

@@ -33,7 +33,7 @@ use std::time::Instant;
 /// partial JSON object (`{"service_time": 2}`) is a valid config (the
 /// hand-written `Deserialize` below fills the rest — the vendored serde
 /// has no `#[serde(default)]`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SimConfig {
     /// Service time between legs (lifting a rack, picking items), in steps.
     pub service_time: Time,
@@ -46,6 +46,79 @@ pub struct SimConfig {
     pub snapshot_tick: f64,
     /// Audit all final routes against the ground-truth validator.
     pub audit: bool,
+    /// Tenant day-profiles for multi-tenant daemon runs: each entry is one
+    /// warehouse's day, served concurrently by `carp-service` under its
+    /// own tenant id. Empty (the default) means single-tenant runs driven
+    /// by CLI flags.
+    pub tenants: Vec<TenantDayProfile>,
+}
+
+/// One tenant's day in a multi-tenant `carp-service` run: which warehouse
+/// preset it plans over and how its task stream is generated.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TenantDayProfile {
+    /// Tenant id on the daemon (defaults to the preset name when empty).
+    pub tenant: String,
+    /// Warehouse preset ("W-1" | "W-2" | "W-3").
+    pub preset: String,
+    /// Tasks in the tenant's day.
+    pub tasks: u32,
+    /// Day horizon in sim-steps.
+    pub horizon: Time,
+    /// Arrival-rate multiplier the day is compressed by.
+    pub rate: f64,
+    /// Task-stream RNG seed.
+    pub seed: u64,
+}
+
+impl TenantDayProfile {
+    /// The id the tenant registers under: the explicit `tenant` name, or
+    /// the preset when no name was given.
+    pub fn id(&self) -> &str {
+        if self.tenant.is_empty() {
+            &self.preset
+        } else {
+            &self.tenant
+        }
+    }
+}
+
+impl Default for TenantDayProfile {
+    fn default() -> Self {
+        TenantDayProfile {
+            tenant: String::new(),
+            preset: "W-1".to_string(),
+            tasks: 200,
+            horizon: 2000,
+            rate: 1.0,
+            seed: 7,
+        }
+    }
+}
+
+impl Deserialize for TenantDayProfile {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::Error::expected("map", "TenantDayProfile"))?;
+        let mut p = TenantDayProfile::default();
+        for (key, val) in map {
+            match key.as_str() {
+                "tenant" => p.tenant = Deserialize::from_value(val)?,
+                "preset" => p.preset = Deserialize::from_value(val)?,
+                "tasks" => p.tasks = Deserialize::from_value(val)?,
+                "horizon" => p.horizon = Deserialize::from_value(val)?,
+                "rate" => p.rate = Deserialize::from_value(val)?,
+                "seed" => p.seed = Deserialize::from_value(val)?,
+                other => {
+                    return Err(serde::Error::custom(format!(
+                        "unknown TenantDayProfile field `{other}`"
+                    )))
+                }
+            }
+        }
+        Ok(p)
+    }
 }
 
 impl Deserialize for SimConfig {
@@ -61,6 +134,7 @@ impl Deserialize for SimConfig {
                 "max_retries" => cfg.max_retries = Deserialize::from_value(val)?,
                 "snapshot_tick" => cfg.snapshot_tick = Deserialize::from_value(val)?,
                 "audit" => cfg.audit = Deserialize::from_value(val)?,
+                "tenants" => cfg.tenants = Deserialize::from_value(val)?,
                 other => {
                     return Err(serde::Error::custom(format!(
                         "unknown SimConfig field `{other}`"
@@ -92,6 +166,7 @@ impl Default for SimConfig {
             max_retries: 16,
             snapshot_tick: 0.02,
             audit: true,
+            tenants: Vec::new(),
         }
     }
 }

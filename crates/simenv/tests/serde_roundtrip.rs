@@ -77,9 +77,23 @@ fn sim_config_round_trips_through_json() {
         max_retries: 2,
         snapshot_tick: 0.05,
         audit: false,
+        tenants: vec![carp_simenv::TenantDayProfile {
+            tenant: "east".to_string(),
+            preset: "W-2".to_string(),
+            tasks: 120,
+            horizon: 900,
+            rate: 4.0,
+            seed: 3,
+        }],
     };
     let back = SimConfig::from_json(&cfg.to_json()).unwrap();
     assert_eq!(cfg, back);
+    assert_eq!(back.tenants[0].id(), "east");
+
+    // A profile without an explicit tenant name answers to its preset.
+    let cfg = SimConfig::from_json(r#"{"tenants": [{"preset": "W-3"}]}"#).unwrap();
+    assert_eq!(cfg.tenants[0].id(), "W-3");
+    assert_eq!(cfg.tenants[0].tasks, 200, "unset fields take defaults");
 }
 
 #[test]

@@ -32,7 +32,7 @@ use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet};
 use std::time::Instant;
 
 /// Configuration of the SRP planner.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SrpConfig {
     /// Intra-strip backtracking limits.
     pub intra: IntraConfig,
@@ -82,6 +82,14 @@ pub struct SrpConfig {
     /// serial; `Some(t > 1)` enables the scoped-thread path even on
     /// single-core hosts (the conformance suite pins both paths with it).
     pub engine_threads: Option<usize>,
+    /// Cooperative cancellation token ([`Planner::arm_cancel`]): the
+    /// Phase-1 search polls it every few heap pops and at each frontier
+    /// batch, abandoning the request (→ `Infeasible`, nothing committed)
+    /// once it fires. `None` (the default) never cancels. The token only
+    /// *stops* work — with it unfired, routes are bit-identical to an
+    /// unarmed run, so the determinism contract is untouched whenever
+    /// deadlines are disabled.
+    pub cancel: Option<carp_warehouse::planner::CancelToken>,
 }
 
 impl Default for SrpConfig {
@@ -98,6 +106,7 @@ impl Default for SrpConfig {
             store_partitions: 1,
             frontier_batch: 64,
             engine_threads: None,
+            cancel: None,
         }
     }
 }
@@ -127,6 +136,11 @@ pub struct SrpStats {
     pub frontier_batches: usize,
     /// Edge evaluations across all frontier batches.
     pub frontier_evals: usize,
+    /// Edge evaluations *skipped* by the frontier gather because the
+    /// target strip was already priced at the batch's f-value — the
+    /// pending node entry settles it before the edge entry could win, so
+    /// pricing the edge is provably wasted work (DESIGN.md §11).
+    pub frontier_skips: usize,
     /// Nanoseconds in inter-strip search bookkeeping (when instrumented).
     pub inter_ns: u64,
     /// Nanoseconds in intra-strip planning + collision queries.
@@ -578,12 +592,12 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
     /// uncommitted routes against the space-time-optimal ones.
     pub fn plan_uncommitted(&mut self, req: &Request) -> Option<Route> {
         let mut route = self.plan_strips(req);
-        if route.is_none() {
+        if route.is_none() && !self.cancelled() {
             for bump in self.config.retry_bumps {
                 let mut delayed = *req;
                 delayed.t = req.t + bump;
                 route = self.plan_strips(&delayed);
-                if route.is_some() {
+                if route.is_some() || self.cancelled() {
                     break;
                 }
             }
@@ -619,6 +633,12 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
     #[inline]
     fn now(&self) -> Option<Instant> {
         self.config.instrument.then(Instant::now)
+    }
+
+    /// Whether the armed cancellation token (if any) has fired.
+    #[inline]
+    fn cancelled(&self) -> bool {
+        self.config.cancel.as_ref().is_some_and(|t| t.fired())
     }
 
     #[inline]
@@ -716,9 +736,24 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
             && self.engine.threads() > 1
             && self.config.store_partitions > 1;
 
+        // Honour a token that fired before the search even started (the
+        // periodic poll below only triggers every 64 pops, which a short
+        // search never reaches).
+        if self.cancelled() {
+            return None;
+        }
+        let mut pops: u64 = 0;
         while let Some(core::cmp::Reverse((f, core::cmp::Reverse(at), u, edge_k))) = heap.pop() {
             if u == GOAL {
                 break;
+            }
+            // Cooperative cancellation: poll the armed token every 64 pops
+            // (an atomic load + occasional `Instant::now`, far below the
+            // cost of one edge evaluation). Bailing out mid-search commits
+            // nothing — the caller sees a plain `None`.
+            pops += 1;
+            if pops & 63 == 0 && self.cancelled() {
+                return None;
             }
             let ui = u as usize;
 
@@ -1010,13 +1045,22 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
         ctx: &ResolveCtx,
         f0: Time,
     ) {
+        // Per-batch cancellation poll (the satellite hook): a fired token
+        // skips the speculative fan-out entirely; the pop loop notices the
+        // cancellation within its next poll window and unwinds.
+        if self.cancelled() {
+            return;
+        }
         let cap = self.config.frontier_batch;
         let mut stash: Vec<SearchKey> = Vec::new();
         let mut jobs: Vec<EdgeJob> = Vec::new();
+        let mut skips: usize = 0;
         {
             let graph = &self.graph;
             let scratch = &self.scratch;
-            let consider = |key: SearchKey, jobs: &mut Vec<EdgeJob>| {
+            let use_h = self.config.use_heuristic;
+            let skips = &mut skips;
+            let mut consider = |key: SearchKey, jobs: &mut Vec<EdgeJob>| {
                 let (_, core::cmp::Reverse(at), u, edge_k) = key;
                 if u == GOAL || edge_k == NO_EDGE {
                     return;
@@ -1045,6 +1089,25 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
                 };
                 if scratch.settled(vi) || scratch.dist(vi).is_some_and(|dv| dv <= at) {
                     return;
+                }
+                // Frontier gather skip: if the target is already priced at
+                // this batch's f-value, its pending *node* entry
+                // `(f0, Reverse(dv), v, NO_EDGE)` orders strictly before
+                // this edge entry (`dv > at` from the guard above, and the
+                // heap breaks f-ties by larger g first), so `v` settles
+                // before the edge entry resurfaces and the pop-time settled
+                // guard discards it unevaluated. Pricing the edge now is
+                // provably wasted work — count it instead of jobbing it.
+                if let Some(dv) = scratch.dist(vi) {
+                    let h_v = if use_h {
+                        scratch.entry[vi].manhattan(ctx.d)
+                    } else {
+                        0
+                    };
+                    if dv + h_v == f0 {
+                        *skips += 1;
+                        return;
+                    }
                 }
                 let strip_u = graph.strip(u);
                 let v_strip = if v_is_goal_rack { ctx.sd } else { v };
@@ -1076,6 +1139,7 @@ impl<S: SegmentStore + Default> SrpPlanner<S> {
         for key in stash {
             heap.push(core::cmp::Reverse(key));
         }
+        self.stats.frontier_skips += skips;
         if jobs.is_empty() {
             return;
         }
@@ -1311,9 +1375,11 @@ impl<S: SegmentStore + Default> Planner for SrpPlanner<S> {
         let sub_before = self.stats.intra_ns + self.stats.convert_ns;
         let mut path = PlannerPath::Direct;
         let mut strip_route = self.plan_strips(req);
-        if strip_route.is_none() {
+        if strip_route.is_none() && !self.cancelled() {
             // Strip-level retries with postponed departure (see
-            // `SrpConfig::retry_bumps`).
+            // `SrpConfig::retry_bumps`). A fired cancellation token skips
+            // the remaining bumps — the request is being abandoned, not
+            // rescued.
             for bump in self.config.retry_bumps {
                 let mut delayed = *req;
                 delayed.t = req.t + bump;
@@ -1321,6 +1387,9 @@ impl<S: SegmentStore + Default> Planner for SrpPlanner<S> {
                 if strip_route.is_some() {
                     self.stats.retries += 1;
                     path = PlannerPath::Retry { bump };
+                    break;
+                }
+                if self.cancelled() {
                     break;
                 }
             }
@@ -1331,7 +1400,7 @@ impl<S: SegmentStore + Default> Planner for SrpPlanner<S> {
         }
         let route = match strip_route {
             Some(r) => Some(r),
-            None if self.config.use_fallback => {
+            None if self.config.use_fallback && !self.cancelled() => {
                 let r = self.plan_fallback(req);
                 if r.is_some() {
                     self.stats.fallbacks += 1;
@@ -1376,6 +1445,10 @@ impl<S: SegmentStore + Default> Planner for SrpPlanner<S> {
 
     fn provenance(&self, id: RequestId) -> Option<String> {
         self.route_provenance(id).map(|p| p.to_string())
+    }
+
+    fn arm_cancel(&mut self, token: Option<carp_warehouse::planner::CancelToken>) {
+        self.config.cancel = token;
     }
 
     fn cancel(&mut self, id: RequestId) -> bool {

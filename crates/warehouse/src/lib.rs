@@ -41,7 +41,7 @@ pub use collision::{
 pub use dataset::{Dataset, DatasetError};
 pub use layout::{LayoutConfig, LayoutStats, WarehousePreset};
 pub use matrix::{AsciiMapError, WarehouseMatrix};
-pub use planner::{EngineMetrics, PlanOutcome, Planner};
+pub use planner::{CancelToken, EngineMetrics, PlanOutcome, Planner};
 pub use request::{QueryKind, Request, RequestId};
 pub use route::Route;
 pub use types::{Cell, Dir, Time, INFINITY_TIME};

@@ -11,6 +11,58 @@ use crate::request::{Request, RequestId};
 use crate::route::Route;
 use crate::types::Time;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Cooperative cancellation handle threaded from a service's deadline path
+/// into a planner's search loop.
+///
+/// A token *fires* either when [`CancelToken::cancel`] is called or when
+/// its optional wall-clock deadline passes. Planners that honour the token
+/// ([`Planner::arm_cancel`]) poll [`CancelToken::fired`] periodically
+/// inside their search and abandon the request early — turning an
+/// over-budget plan that would be cancelled *post-commit* into one that
+/// never finishes planning at all. Polling is cooperative: a planner that
+/// ignores the token is merely slower to refuse, never incorrect, because
+/// the service re-checks the deadline on the answer path.
+///
+/// Cloning shares the fired flag (it is the whole point: the arming side
+/// keeps one clone, the search polls the other).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that fires only on an explicit [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that additionally fires once `deadline` passes, without
+    /// anyone calling [`CancelToken::cancel`] — the shape the service's
+    /// per-request planning budget wants.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Fire the token explicitly.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has fired (explicitly or by deadline). Reads the
+    /// clock only when a deadline is armed, so deadline-free tokens cost
+    /// one relaxed atomic load per poll.
+    pub fn fired(&self) -> bool {
+        self.flag.load(Ordering::Relaxed) || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
 
 /// Result of a single planning call.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -124,6 +176,18 @@ pub trait Planner {
         None
     }
 
+    /// Arm (or clear, with `None`) a cooperative cancellation token for
+    /// subsequent [`Planner::plan`] calls: a search that observes the token
+    /// fire should abandon the request and report
+    /// [`PlanOutcome::Infeasible`] without committing anything. The arming
+    /// side distinguishes a genuine infeasibility from an aborted search by
+    /// checking [`CancelToken::fired`] after the call. The default ignores
+    /// the token (planners without in-search polling are refused by the
+    /// service's post-plan deadline check instead).
+    fn arm_cancel(&mut self, token: Option<CancelToken>) {
+        let _ = token;
+    }
+
     /// Cancel a committed route (the task was aborted): its reservations /
     /// segments are released so later requests may use the freed capacity.
     ///
@@ -224,6 +288,9 @@ impl<P: Planner + ?Sized> Planner for Box<P> {
     fn provenance(&self, id: RequestId) -> Option<String> {
         (**self).provenance(id)
     }
+    fn arm_cancel(&mut self, token: Option<CancelToken>) {
+        (**self).arm_cancel(token)
+    }
     fn cancel(&mut self, id: RequestId) -> bool {
         (**self).cancel(id)
     }
@@ -294,6 +361,40 @@ mod tests {
         // Outcome i corresponds to request i despite shortest-first order.
         assert_eq!(outcomes[0].route().unwrap().origin(), Cell::new(0, 0));
         assert_eq!(outcomes[1].route().unwrap().origin(), Cell::new(5, 5));
+    }
+
+    #[test]
+    fn cancel_token_fires_explicitly_and_by_deadline() {
+        let t = CancelToken::new();
+        assert!(!t.fired());
+        let shared = t.clone();
+        shared.cancel();
+        assert!(t.fired(), "clones share the fired flag");
+
+        let past = CancelToken::with_deadline(Instant::now() - std::time::Duration::from_secs(1));
+        assert!(past.fired(), "elapsed deadline fires without cancel()");
+        let future =
+            CancelToken::with_deadline(Instant::now() + std::time::Duration::from_secs(600));
+        assert!(!future.fired());
+        future.cancel();
+        assert!(future.fired(), "explicit cancel overrides a live deadline");
+    }
+
+    #[test]
+    fn default_arm_cancel_is_a_noop() {
+        let mut d = Dummy;
+        d.arm_cancel(Some(CancelToken::new()));
+        d.arm_cancel(None);
+        assert!(matches!(
+            d.plan(&Request::new(
+                0,
+                0,
+                Cell::new(0, 0),
+                Cell::new(1, 1),
+                crate::QueryKind::Pickup
+            )),
+            PlanOutcome::Planned(_)
+        ));
     }
 
     #[test]
