@@ -24,18 +24,52 @@
 //! The process exits non-zero if any run reports an audited collision or a
 //! conformance digest diverges, which is the CI perf job's gate.
 
-use carp_service::ingest::serve_tcp;
+use carp_service::ingest::{serve_tcp_graceful, RateLimit};
 use carp_service::loadgen::{
-    run_load, run_load_multi, run_load_speculative, LoadScenario, TenantLoad,
+    run_load, run_load_journaled, run_load_multi, run_load_recovery, run_load_speculative,
+    LoadScenario, TenantLoad,
 };
-use carp_service::report::{LoadReport, ServiceBenchReport};
+use carp_service::report::{LoadReport, RecoveryBenchReport, ServiceBenchReport, BENCH_VERSION};
 use carp_service::service::ServiceConfig;
 use carp_service::tenant::TenantRegistry;
+use carp_service::wal::{self, LogTail, WalJournal};
 use carp_simenv::{SimConfig, TenantDayProfile};
 use carp_srp::{SrpConfig, SrpPlanner};
 use carp_warehouse::layout::{Layout, LayoutConfig, WarehousePreset};
+use carp_warehouse::types::Time;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// SIGTERM/SIGINT → a process-wide flag the graceful accept loop polls.
+/// Lives only in the binary: the library stays `forbid(unsafe_code)`; the
+/// single `signal(2)` registration below is the binary's one unsafe block.
+#[cfg(unix)]
+mod shutdown_signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static FLAG: AtomicBool = AtomicBool::new(false);
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only an atomic store: async-signal-safe.
+        FLAG.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+    }
+}
 
 const USAGE: &str = "usage: carp-service [options]
   --preset P          warehouse preset: small | W-1 | W-2 | W-3 (default small)
@@ -57,13 +91,31 @@ const USAGE: &str = "usage: carp-service [options]
   --conformance       with --tenants: also replay each tenant single-tenant
                       on a serial worker and require bit-identical digests
   --listen ADDR       daemon mode: serve the configured tenants over TCP on
-                      ADDR (e.g. 127.0.0.1:7300) until killed
+                      ADDR (e.g. 127.0.0.1:7300) until SIGTERM/SIGINT, then
+                      drain every tenant, seal the changeset log, and exit 0
+  --wal PATH          journal every commit/cancel/advance into a changeset
+                      log at PATH (created fresh; daemon and load-run modes)
+  --standby PATH      with --listen: warm-standby takeover — replay the
+                      changeset log at PATH (truncating any torn tail),
+                      rebuild each tenant's planner, then serve and keep
+                      journaling to the same log
+  --rate-limit N      per-connection token bucket: burst N frames, refill
+                      N frames/s; excess gets a typed Throttled refusal
+  --recovery PATH     crash-recovery bench: drive the day three ways (WAL
+                      off, WAL on at PATH, kill-primary + standby takeover)
+                      and write BENCH_service_recovery.json; fails unless
+                      all three route digests are bit-identical
+  --kill-frac F       with --recovery: kill the primary at F of the way
+                      through the day's arrivals, 0 < F < 1 (default 0.5)
+  --torn-tail         with --recovery: append a half-written record to the
+                      log after the kill; the standby must truncate it
   --sim-config PATH   JSON file overriding SimConfig fields (service_time,
                       retry_delay, max_retries, tenants, ...)
   --out PATH          write BENCH_service.json here (default: print to stdout)
 
 exit status: 0 on success, 1 if any run audited a collision (or
---expect-speculation saw none, or --conformance diverged), 2 on bad usage";
+--expect-speculation saw none, or --conformance / --recovery digests
+diverged), 2 on bad usage";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("carp-service: {msg}");
@@ -84,6 +136,12 @@ struct Opts {
     tenants: Vec<String>,
     conformance: bool,
     listen: Option<String>,
+    wal: Option<String>,
+    standby: Option<String>,
+    rate_limit: Option<u32>,
+    recovery: Option<String>,
+    kill_frac: f64,
+    torn_tail: bool,
     sim: SimConfig,
     out: Option<String>,
 }
@@ -107,6 +165,12 @@ fn parse_opts() -> Opts {
         tenants: Vec::new(),
         conformance: false,
         listen: None,
+        wal: None,
+        standby: None,
+        rate_limit: None,
+        recovery: None,
+        kill_frac: 0.5,
+        torn_tail: false,
         sim: SimConfig::default(),
         out: None,
     };
@@ -165,6 +229,18 @@ fn parse_opts() -> Opts {
             }
             "--conformance" => opts.conformance = true,
             "--listen" => opts.listen = Some(value("--listen").to_string()),
+            "--wal" => opts.wal = Some(value("--wal").to_string()),
+            "--standby" => opts.standby = Some(value("--standby").to_string()),
+            "--rate-limit" => match value("--rate-limit").parse() {
+                Ok(n) if n > 0 => opts.rate_limit = Some(n),
+                _ => usage_error("--rate-limit expects a positive integer"),
+            },
+            "--recovery" => opts.recovery = Some(value("--recovery").to_string()),
+            "--kill-frac" => match value("--kill-frac").parse::<f64>() {
+                Ok(f) if f > 0.0 && f < 1.0 => opts.kill_frac = f,
+                _ => usage_error("--kill-frac expects a fraction in (0, 1)"),
+            },
+            "--torn-tail" => opts.torn_tail = true,
             "--sim-config" => {
                 let path = value("--sim-config");
                 let json = match std::fs::read_to_string(path) {
@@ -240,15 +316,75 @@ fn print_run(report: &LoadReport) {
     );
 }
 
-/// Daemon mode: register every configured tenant and serve TCP forever.
-fn run_daemon(addr: &str, profiles: &[TenantDayProfile], cfg: ServiceConfig) -> ! {
+/// Daemon mode: register every configured tenant (rebuilt from the
+/// changeset log in `--standby` mode) and serve TCP until SIGTERM/SIGINT,
+/// then drain every tenant, seal the log, and exit 0.
+fn run_daemon(addr: &str, profiles: &[TenantDayProfile], cfg: ServiceConfig, opts: &Opts) -> ! {
     let registry = Arc::new(TenantRegistry::new());
+    let layouts: HashMap<String, Layout> = profiles
+        .iter()
+        .map(|p| (p.id().to_string(), layout_for(&p.preset)))
+        .collect();
+
+    // Warm standby: replay the primary's changeset log into fresh
+    // planners before serving — the takeover path of DESIGN.md §15.
+    let mut recovered: HashMap<String, SrpPlanner> = HashMap::new();
+    if let Some(path) = &opts.standby {
+        let (journal, records, tail) = match WalJournal::open_append(path) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("carp-service: cannot open changeset log {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        if let LogTail::Torn {
+            valid_bytes,
+            dropped_bytes,
+        } = tail
+        {
+            eprintln!(
+                "carp-service: standby: torn tail — kept {valid_bytes} bytes, \
+                 truncated {dropped_bytes}"
+            );
+        }
+        if let Err((tenant, conflict)) = wal::audit_log(&records) {
+            eprintln!("carp-service: standby: log fails audit for {tenant}: {conflict:?}");
+            std::process::exit(1);
+        }
+        let (planners, state) = wal::recover_planners(&records, |id| {
+            let Some(layout) = layouts.get(id) else {
+                eprintln!("carp-service: standby: log names tenant {id} not in --tenants");
+                std::process::exit(2);
+            };
+            srp(layout)
+        });
+        eprintln!(
+            "carp-service: standby: replayed {} records (seq {}) for {} tenant(s) from {path}",
+            records.len(),
+            state.last_seq,
+            planners.len()
+        );
+        recovered = planners.into_iter().collect();
+        registry.attach_journal(journal);
+    } else if let Some(path) = &opts.wal {
+        match WalJournal::create(path) {
+            Ok(journal) => registry.attach_journal(journal),
+            Err(e) => {
+                eprintln!("carp-service: cannot create changeset log {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+        eprintln!("carp-service: journaling changesets to {path}");
+    }
+
     for p in profiles {
-        let layout = layout_for(&p.preset);
+        let planner = recovered
+            .remove(p.id())
+            .unwrap_or_else(|| srp(&layouts[p.id()]));
         if cfg.workers > 1 {
-            registry.register_speculative(p.id(), srp(&layout), cfg);
+            registry.register_speculative(p.id(), planner, cfg);
         } else {
-            registry.register(p.id(), srp(&layout), cfg);
+            registry.register(p.id(), planner, cfg);
         }
         eprintln!(
             "carp-service: tenant {} ({}, {} workers)",
@@ -264,14 +400,152 @@ fn run_daemon(addr: &str, profiles: &[TenantDayProfile], cfg: ServiceConfig) -> 
             std::process::exit(2);
         }
     };
+    let shutdown = Arc::new(AtomicBool::new(false));
+    #[cfg(unix)]
+    {
+        shutdown_signal::install();
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::Builder::new()
+            .name("carp-signal-bridge".into())
+            .spawn(move || loop {
+                if shutdown_signal::FLAG.load(Ordering::SeqCst) {
+                    shutdown.store(true, Ordering::SeqCst);
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            })
+            .expect("spawn signal bridge");
+    }
+    let limit = opts.rate_limit.map(|n| RateLimit {
+        burst: n,
+        per_sec: f64::from(n),
+    });
     eprintln!("carp-service: listening on {addr}");
-    match serve_tcp(listener, registry) {
-        Ok(()) => std::process::exit(0),
+    match serve_tcp_graceful(listener, Arc::clone(&registry), shutdown, limit) {
+        Ok(()) => {
+            // Graceful drain: stop accepting happened above; now shut each
+            // tenant down in order (every queued request resolves, every
+            // commit is journaled) and seal the log with a final fsync.
+            let drained = registry.drain_all();
+            eprintln!("carp-service: drained {drained} tenant(s), log sealed; bye");
+            std::process::exit(0);
+        }
         Err(e) => {
             eprintln!("carp-service: listener failed: {e}");
             std::process::exit(1);
         }
     }
+}
+
+/// Crash-recovery bench (`--recovery`): the same day driven WAL-off,
+/// WAL-on, and killed-then-recovered; emits `BENCH_service_recovery.json`
+/// and fails unless the three digests are bit-identical and collision-free.
+fn run_recovery(opts: &Opts, cfg: ServiceConfig, wal_path: &str) -> ! {
+    if opts.deadline_ms != 0 {
+        usage_error("--recovery requires --deadline-ms 0 (digests must be deterministic)");
+    }
+    let layout = layout_for(&opts.preset);
+    let rate = opts.rates[0];
+    let scenario = LoadScenario::new(
+        format!("{}@{}x", opts.preset, rate),
+        layout.clone(),
+        opts.tasks,
+        opts.horizon,
+        rate,
+        opts.seed,
+    );
+    let last_arrival = scenario.tasks.last().map_or(0, |t| t.arrival);
+    let kill_at = (f64::from(last_arrival) * opts.kill_frac) as Time;
+
+    eprintln!(
+        "carp-service: recovery bench {} — leg 1: WAL off",
+        scenario.name
+    );
+    let (wal_off, _) = run_load_speculative(&scenario, srp(&layout), opts.sim.clone(), cfg);
+    print_run(&wal_off);
+
+    eprintln!("carp-service: leg 2: WAL on ({wal_path}), uninterrupted");
+    let journal = match WalJournal::create(wal_path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("carp-service: cannot create changeset log {wal_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let (wal_on, _) = run_load_journaled(&scenario, srp(&layout), opts.sim.clone(), cfg, journal);
+    print_run(&wal_on);
+
+    eprintln!(
+        "carp-service: leg 3: kill primary at t={kill_at} ({}% of arrivals){}",
+        (opts.kill_frac * 100.0) as u32,
+        if opts.torn_tail { ", torn tail" } else { "" }
+    );
+    let (rec, _) = run_load_recovery(
+        &scenario,
+        || srp(&layout),
+        opts.sim.clone(),
+        cfg,
+        Path::new(wal_path),
+        kill_at,
+        opts.torn_tail,
+    );
+    print_run(&rec.report);
+    eprintln!(
+        "carp-service: standby replayed {} records at t={} (torn tail dropped {} B); \
+         commit latency p50/p95/p99 us — off {}/{}/{}, on {}/{}/{}",
+        rec.records_replayed,
+        rec.killed_at,
+        rec.torn_tail_dropped,
+        wal_off.service.commit_latency.p50_us,
+        wal_off.service.commit_latency.p95_us,
+        wal_off.service.commit_latency.p99_us,
+        wal_on.service.commit_latency.p50_us,
+        wal_on.service.commit_latency.p95_us,
+        wal_on.service.commit_latency.p99_us,
+    );
+
+    let digests_match = wal_off.routes_digest == wal_on.routes_digest
+        && wal_on.routes_digest == rec.report.routes_digest;
+    let report = RecoveryBenchReport {
+        version: BENCH_VERSION,
+        scenario: scenario.name.clone(),
+        killed_at: rec.killed_at,
+        records_replayed: rec.records_replayed,
+        torn_tail_dropped: rec.torn_tail_dropped,
+        wal_stats: rec.wal_stats,
+        digests_match,
+        wal_off,
+        wal_on,
+        recovered: rec.report,
+        primary: rec.primary_metrics,
+    };
+    let conflicts = report.total_audit_conflicts();
+    let json = report.to_json();
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("carp-service: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("carp-service: wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    if conflicts > 0 {
+        eprintln!("carp-service: FAIL — {conflicts} audited collision(s)");
+        std::process::exit(1);
+    }
+    if !digests_match {
+        eprintln!(
+            "carp-service: FAIL — digests diverged: off {:#018x}, on {:#018x}, recovered {:#018x}",
+            report.wal_off.routes_digest,
+            report.wal_on.routes_digest,
+            report.recovered.routes_digest,
+        );
+        std::process::exit(1);
+    }
+    eprintln!("carp-service: recovery bench ok — three identical digests, no collisions");
+    std::process::exit(0);
 }
 
 /// Multi-tenant load run, with the optional single-tenant conformance
@@ -334,7 +608,8 @@ fn run_multi(opts: &Opts, profiles: &[TenantDayProfile], cfg: ServiceConfig) -> 
     reports
 }
 
-/// Classic single-tenant sweep: one run per rate multiplier.
+/// Classic single-tenant sweep: one run per rate multiplier. With `--wal`
+/// each run journals into `PATH.<rate>x` (one sealed log per run).
 fn run_single(opts: &Opts, cfg: ServiceConfig) -> Vec<LoadReport> {
     let layout = layout_for(&opts.preset);
     let mut runs = Vec::with_capacity(opts.rates.len());
@@ -354,7 +629,17 @@ fn run_single(opts: &Opts, cfg: ServiceConfig) -> Vec<LoadReport> {
             scenario.tasks.len(),
             opts.seed
         );
-        let (report, _planner) = if opts.workers > 1 {
+        let (report, _planner) = if let Some(path) = &opts.wal {
+            let path = format!("{path}.{rate}x");
+            let journal = match WalJournal::create(&path) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("carp-service: cannot create changeset log {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            run_load_journaled(&scenario, planner, opts.sim.clone(), cfg, journal)
+        } else if opts.workers > 1 {
             run_load_speculative(&scenario, planner, opts.sim.clone(), cfg)
         } else {
             run_load(&scenario, planner, opts.sim.clone(), cfg)
@@ -388,7 +673,13 @@ fn main() {
         } else {
             profiles
         };
-        run_daemon(addr, &profiles, service_cfg);
+        run_daemon(addr, &profiles, service_cfg, &opts);
+    }
+    if opts.standby.is_some() {
+        usage_error("--standby requires --listen");
+    }
+    if let Some(wal_path) = &opts.recovery {
+        run_recovery(&opts, service_cfg, wal_path);
     }
     if opts.conformance && profiles.is_empty() {
         usage_error("--conformance requires --tenants (or sim-config tenants)");

@@ -33,17 +33,76 @@ use carp_warehouse::request::RequestId;
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Per-connection rate limit: a token bucket refilled continuously, spent
+/// one token per inbound frame. A throttled submit is refused with
+/// [`AckStatus::Throttled`] (carrying a retry hint), a throttled control
+/// frame with an [`ErrorCode::Throttled`] error reply — a typed verdict
+/// the client can back off on, instead of silent queue pressure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Bucket capacity: the largest instantaneous frame burst allowed.
+    pub burst: u32,
+    /// Sustained refill rate, frames per second.
+    pub per_sec: f64,
+}
+
+struct TokenBucket {
+    limit: RateLimit,
+    tokens: f64,
+    refilled: Instant,
+}
+
+impl TokenBucket {
+    fn new(limit: RateLimit) -> Self {
+        TokenBucket {
+            limit,
+            tokens: f64::from(limit.burst),
+            refilled: Instant::now(),
+        }
+    }
+
+    /// Take one token, or say how long until one will have refilled.
+    fn try_take(&mut self) -> Result<(), Duration> {
+        let now = Instant::now();
+        let refill = now.duration_since(self.refilled).as_secs_f64() * self.limit.per_sec;
+        self.tokens = (self.tokens + refill).min(f64::from(self.limit.burst));
+        self.refilled = now;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            Ok(())
+        } else {
+            let deficit = 1.0 - self.tokens;
+            Err(Duration::from_secs_f64(
+                deficit / self.limit.per_sec.max(1e-9),
+            ))
+        }
+    }
+}
 
 /// Serve one client connection until clean EOF (`Ok`) or a protocol /
 /// transport error (`Err`). See the module docs for the thread model.
 pub fn serve_connection<R: Read, W: Write + Send>(
     registry: &TenantRegistry,
+    reader: R,
+    writer: W,
+) -> Result<(), WireError> {
+    serve_connection_limited(registry, reader, writer, None)
+}
+
+/// [`serve_connection`] with an optional per-connection rate limit.
+pub fn serve_connection_limited<R: Read, W: Write + Send>(
+    registry: &TenantRegistry,
     mut reader: R,
     writer: W,
+    limit: Option<RateLimit>,
 ) -> Result<(), WireError> {
     let writer = Arc::new(Mutex::new(writer));
     let (pump_tx, pump_rx) = mpsc::channel::<(Arc<Tenant>, RequestId, Ticket)>();
+    let mut bucket = limit.map(TokenBucket::new);
     std::thread::scope(|scope| {
         let pump_writer = Arc::clone(&writer);
         let pump = scope.spawn(move || {
@@ -59,7 +118,7 @@ pub fn serve_connection<R: Read, W: Write + Send>(
                 }
             }
         });
-        let outcome = read_loop(registry, &mut reader, &writer, &pump_tx);
+        let outcome = read_loop(registry, &mut reader, &writer, &pump_tx, &mut bucket);
         drop(pump_tx);
         pump.join().expect("reply pump panicked");
         outcome
@@ -86,11 +145,30 @@ fn read_loop<R: Read, W: Write>(
     reader: &mut R,
     writer: &Mutex<W>,
     pump: &mpsc::Sender<(Arc<Tenant>, RequestId, Ticket)>,
+    bucket: &mut Option<TokenBucket>,
 ) -> Result<(), WireError> {
     loop {
         let Some((kind, payload)) = read_frame(reader)? else {
             return Ok(()); // clean EOF at a frame boundary
         };
+        // Rate limiting is per inbound frame, decided before any tenant
+        // queue is consulted: a throttled frame costs the daemon only the
+        // decode needed to address the refusal.
+        if let Some(retry_after) = bucket.as_mut().and_then(|b| b.try_take().err()) {
+            if kind == FrameKind::Submit {
+                let (_tenant, request) = schema::decode_submit(&payload)?;
+                let ack =
+                    schema::encode_submit_ack(request.id, AckStatus::Throttled { retry_after });
+                send(writer, None, FrameKind::SubmitAck, &ack)?;
+            } else {
+                let reply = schema::encode_error_reply(
+                    ErrorCode::Throttled,
+                    "connection rate limit exceeded",
+                );
+                send(writer, None, FrameKind::ErrorReply, &reply)?;
+            }
+            continue;
+        }
         let wire_bytes = frame_len(payload.len());
         match kind {
             FrameKind::Submit => {
@@ -196,8 +274,39 @@ fn lookup<W: Write>(
 /// only when the listener itself fails; per-connection errors are printed
 /// to stderr and drop that connection only.
 pub fn serve_tcp(listener: TcpListener, registry: Arc<TenantRegistry>) -> std::io::Result<()> {
+    serve_tcp_graceful(listener, registry, Arc::new(AtomicBool::new(false)), None)
+}
+
+/// [`serve_tcp`] with graceful shutdown and optional per-connection rate
+/// limiting. The accept loop polls `shutdown` between accepts (the
+/// listener runs non-blocking with a short sleep); once the flag is set it
+/// stops accepting and returns `Ok(())` so the caller can drain tenants
+/// ([`TenantRegistry::drain_all`](crate::tenant::TenantRegistry::drain_all)),
+/// seal the changeset log, and exit cleanly. Connections already accepted
+/// run to their own EOF on their own threads.
+pub fn serve_tcp_graceful(
+    listener: TcpListener,
+    registry: Arc<TenantRegistry>,
+    shutdown: Arc<AtomicBool>,
+    limit: Option<RateLimit>,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
     loop {
-        let (stream, peer) = listener.accept()?;
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let (stream, peer) = match listener.accept() {
+            Ok(accepted) => accepted,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        // Accepted sockets inherit non-blocking from the listener on some
+        // platforms; connection threads want blocking reads.
+        let _ = stream.set_nonblocking(false);
         let _ = stream.set_nodelay(true);
         let registry = Arc::clone(&registry);
         std::thread::Builder::new()
@@ -210,7 +319,7 @@ pub fn serve_tcp(listener: TcpListener, registry: Arc<TenantRegistry>) -> std::i
                         return;
                     }
                 };
-                if let Err(e) = serve_connection(&registry, reader, stream) {
+                if let Err(e) = serve_connection_limited(&registry, reader, stream, limit) {
                     eprintln!("carp-service: {peer}: {e}");
                 }
             })

@@ -37,15 +37,24 @@ mod pipeline;
 pub mod report;
 pub mod service;
 pub mod tenant;
+pub mod wal;
 pub mod wire;
 
 pub use histogram::{LatencyHistogram, LatencySummary};
-pub use ingest::{duplex, serve_connection, serve_tcp};
-pub use loadgen::{run_load, run_load_multi, run_load_speculative, LoadScenario, TenantLoad};
-pub use report::{routes_digest, LoadReport, ServiceBenchReport, BENCH_VERSION};
+pub use ingest::{
+    duplex, serve_connection, serve_connection_limited, serve_tcp, serve_tcp_graceful, RateLimit,
+};
+pub use loadgen::{
+    run_load, run_load_journaled, run_load_multi, run_load_recovery, run_load_speculative,
+    LoadScenario, RecoveryRun, TenantLoad,
+};
+pub use report::{
+    routes_digest, LoadReport, RecoveryBenchReport, ServiceBenchReport, BENCH_VERSION,
+};
 pub use service::{
     PlanResponse, PlanningService, ServiceClient, ServiceConfig, ServiceMetrics, SubmitError,
     Ticket,
 };
 pub use tenant::{Tenant, TenantRegistry, WarehouseId, WireCounters, WireTally};
+pub use wal::{TenantJournal, WalJournal};
 pub use wire::{WireClient, WireError, WireSubmitError};

@@ -41,6 +41,7 @@ use crate::ingest::{duplex, serve_connection};
 use crate::report::LoadReport;
 use crate::service::{PlanResponse, ServiceConfig, ServiceMetrics};
 use crate::tenant::{TenantRegistry, WireCounters};
+use crate::wal::{self, LogTail, WalJournal, WalStats};
 use crate::wire::{WireClient, WireSubmitError};
 use carp_simenv::SimConfig;
 use carp_warehouse::collision::{validate_routes, IncrementalAuditor};
@@ -51,6 +52,8 @@ use carp_warehouse::route::Route;
 use carp_warehouse::tasks::{generate_tasks, DayProfile, Task};
 use carp_warehouse::types::{Cell, Time};
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::io::Write as _;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -186,6 +189,199 @@ pub fn run_load_speculative<P: SpeculativePlanner + Send + 'static>(
     recover::<P>(&registry, out)
 }
 
+/// Like [`run_load_speculative`], with the registry journaling every
+/// commit / cancel / advance into `wal` — the WAL-on leg of the recovery
+/// bench. The tenant is drained through
+/// [`TenantRegistry::remove`](crate::tenant::TenantRegistry::remove) at
+/// the end, so the returned journal is sealed with a `TenantClose` record.
+pub fn run_load_journaled<P: SpeculativePlanner + Send + 'static>(
+    scenario: &LoadScenario,
+    planner: P,
+    sim: SimConfig,
+    service_cfg: ServiceConfig,
+    wal: Arc<WalJournal>,
+) -> (LoadReport, P) {
+    let registry = Arc::new(TenantRegistry::new());
+    registry.attach_journal(wal);
+    registry.register_speculative(scenario.name.clone(), planner, service_cfg);
+    let out = drive_tenant(&registry, scenario.clone(), &sim);
+    recover::<P>(&registry, out)
+}
+
+/// Outcome of a kill-primary / standby-takeover day.
+#[derive(Debug)]
+pub struct RecoveryRun {
+    /// Report over the **whole** day — the client-side route mirror spans
+    /// both halves, so `report.routes_digest` is directly comparable with
+    /// an uninterrupted run's. Service/wire metrics in the report cover
+    /// only the standby's half (the primary's died with it; see
+    /// [`RecoveryRun::primary_metrics`]).
+    pub report: LoadReport,
+    /// Sim time of the first burst the standby drove.
+    pub killed_at: Time,
+    /// Changeset records the standby replayed to rebuild the planner.
+    pub records_replayed: usize,
+    /// Bytes the standby truncated off the torn tail (0 = clean log).
+    pub torn_tail_dropped: u64,
+    /// The primary's service metrics, scraped just before the kill.
+    pub primary_metrics: ServiceMetrics,
+    /// Journal stats at end of day (standby's journal: replayed + appended).
+    pub wal_stats: WalStats,
+}
+
+/// Drive a day with the WAL on, **kill the primary daemon** at the first
+/// burst boundary at or after sim time `kill_at`, and finish the day on a
+/// **warm standby** rebuilt purely from the changeset log.
+///
+/// The kill is deliberately graceless: the client connection is dropped
+/// and the primary's registry is abandoned without drain or seal, so the
+/// log ends wherever the commit pipeline last appended — exactly the disk
+/// image a crash leaves (minus OS buffers, which `fsync_every` bounds).
+/// With `torn_tail` set, a half-written record is appended on top to
+/// simulate dying mid-`write`; the standby must truncate it and recover.
+///
+/// The standby replays the log through
+/// [`recover_planners`](crate::wal::recover_planners) into a fresh planner
+/// from `make_planner`, re-registers the tenant (appending a reopen
+/// `TenantOpen` to the same log), and drives the rest of the day. Because
+/// a paused [`DayDriver`] has no request in flight and every acked commit
+/// was journaled before its reply, the standby's planner state is exactly
+/// the primary's at the pause point — so with deadlines disabled the whole
+/// day's committed route set is bit-identical to an uninterrupted run's.
+pub fn run_load_recovery<P, F>(
+    scenario: &LoadScenario,
+    mut make_planner: F,
+    sim: SimConfig,
+    service_cfg: ServiceConfig,
+    wal_path: &Path,
+    kill_at: Time,
+    torn_tail: bool,
+) -> (RecoveryRun, P)
+where
+    P: SpeculativePlanner + Send + 'static,
+    F: FnMut() -> P,
+{
+    // ---- phase 1: the primary, driven to the kill point ----
+    let journal = WalJournal::create(wal_path).expect("create changeset log");
+    let primary = Arc::new(TenantRegistry::new());
+    primary.attach_journal(journal);
+    primary.register_speculative(scenario.name.clone(), make_planner(), service_cfg);
+    let mut driver = DayDriver::new(scenario);
+
+    let ((client_read, client_write), (server_read, server_write)) = duplex();
+    let server_registry = Arc::clone(&primary);
+    let server = std::thread::Builder::new()
+        .name(format!("carp-primary-{}", scenario.name))
+        .spawn(move || serve_connection(&server_registry, server_read, server_write))
+        .expect("spawn primary ingest thread");
+    let mut client = WireClient::new(client_read, client_write);
+    let outcome = driver.drive(scenario, &mut client, &sim, Some(kill_at));
+    let killed_at = match outcome {
+        DriveOutcome::Paused { at } => at,
+        // Day shorter than the kill point: nothing left for the standby,
+        // but the takeover path below still runs (and must be a no-op).
+        DriveOutcome::Completed => kill_at,
+    };
+    let (primary_metrics, _) = client
+        .metrics(&scenario.name)
+        .expect("primary metrics before kill");
+    // The kill: hang up and abandon the registry — no drain, no close
+    // records, no seal. Worker threads exit as their channels die; the
+    // journal Arc dies with them without flushing anything extra.
+    drop(client);
+    server
+        .join()
+        .expect("primary ingest thread panicked")
+        .expect("primary connection errored");
+    drop(primary);
+
+    if torn_tail {
+        // A record header promising 64 payload bytes followed by 3: the
+        // torn in-flight append of a crash mid-write. Its commit was never
+        // acked, so truncating it loses nothing the client observed.
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(wal_path)
+            .expect("open log for tail corruption");
+        f.write_all(&[64, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3])
+            .expect("append torn tail");
+    }
+
+    // ---- phase 2: the standby, rebuilt from the log alone ----
+    let (journal, records, tail) = WalJournal::open_append(wal_path).expect("standby opens log");
+    let torn_tail_dropped = match tail {
+        LogTail::Torn { dropped_bytes, .. } => dropped_bytes,
+        LogTail::Clean => 0,
+    };
+    let records_replayed = records.len();
+    if let Err((tenant, conflict)) = wal::audit_log(&records) {
+        panic!("changeset log fails audit for tenant {tenant}: {conflict:?}");
+    }
+    let (mut planners, _state) = wal::recover_planners(&records, |_| make_planner());
+    let planner = planners
+        .remove(scenario.name.as_str())
+        .unwrap_or_else(&mut make_planner);
+
+    let standby = Arc::new(TenantRegistry::new());
+    standby.attach_journal(Arc::clone(&journal));
+    standby.register_speculative(scenario.name.clone(), planner, service_cfg);
+    let ((client_read, client_write), (server_read, server_write)) = duplex();
+    let server_registry = Arc::clone(&standby);
+    let server = std::thread::Builder::new()
+        .name(format!("carp-standby-{}", scenario.name))
+        .spawn(move || serve_connection(&server_registry, server_read, server_write))
+        .expect("spawn standby ingest thread");
+    let mut client = WireClient::new(client_read, client_write);
+    let outcome = driver.drive(scenario, &mut client, &sim, None);
+    debug_assert_eq!(outcome, DriveOutcome::Completed);
+    let (metrics, wire) = client
+        .metrics(&scenario.name)
+        .expect("standby metrics over the wire");
+    drop(client);
+    server
+        .join()
+        .expect("standby ingest thread panicked")
+        .expect("standby connection errored");
+
+    let planner = match standby
+        .remove(&scenario.name)
+        .expect("standby tenant registered")
+        .downcast::<P>()
+    {
+        Ok(planner) => *planner,
+        Err(_) => panic!("standby planner has the registered type"),
+    };
+    let wal_stats = journal.stats();
+    let engine: Option<EngineMetrics> = planner.engine_metrics();
+    let raw = driver.finish();
+    let report = LoadReport::build(
+        scenario,
+        scenario.name.clone(),
+        &raw.final_routes,
+        metrics,
+        wire,
+        engine,
+        raw.wall_secs,
+        raw.completed,
+        raw.failed_requests,
+        raw.refused_requests,
+        raw.backpressure_retries,
+        raw.audit_conflicts,
+        raw.makespan,
+    );
+    (
+        RecoveryRun {
+            report,
+            killed_at,
+            records_replayed,
+            torn_tail_dropped,
+            primary_metrics,
+            wal_stats,
+        },
+        planner,
+    )
+}
+
 /// Serve several tenants from **one** registry concurrently: each tenant's
 /// day runs on its own connection + driver thread against the shared
 /// daemon. Returns `(report, planner)` per tenant, in input order.
@@ -286,269 +482,318 @@ fn recover<P: Planner + Send + 'static>(
     (report, planner)
 }
 
+/// Where a [`DayDriver::drive`] call stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DriveOutcome {
+    /// The event heap drained: the day is over.
+    Completed,
+    /// A `stop` bound was hit *at a burst boundary* (every submitted
+    /// request already has its reply); the day resumes from sim time `at`
+    /// on the next [`DayDriver::drive`] call — possibly against a
+    /// different daemon.
+    Paused {
+        /// Sim time of the first undriven burst.
+        at: Time,
+    },
+}
+
+/// The day-replay event loop as a **resumable** value: all client-side
+/// state of a driven day (robot fleet, event heap, client auditor mirror,
+/// counters) lives here rather than on one function's stack, so a day can
+/// be driven partway against one daemon, paused at a burst boundary, and
+/// finished against another — the primitive under the kill-primary /
+/// standby-takeover recovery runs.
+struct DayDriver {
+    robots: Vec<RobotState>,
+    /// (time, seq) heap with payload map, exactly the simulator's ordering.
+    heap: BinaryHeap<core::cmp::Reverse<(Time, u64)>>,
+    payloads: HashMap<u64, Event>,
+    seq: u64,
+    waiting: VecDeque<usize>,
+    next_request_id: RequestId,
+    final_routes: HashMap<RequestId, Route>,
+    auditor: IncrementalAuditor,
+    online_conflicts: usize,
+    completed: usize,
+    failed_requests: usize,
+    refused_requests: usize,
+    makespan: Time,
+    backpressure_retries: u64,
+    /// Wall time accumulated across `drive` calls.
+    wall_secs: f64,
+}
+
+impl DayDriver {
+    fn new(scenario: &LoadScenario) -> Self {
+        let robots: Vec<RobotState> = scenario
+            .layout
+            .robot_spawns
+            .iter()
+            .map(|&pos| RobotState { pos, busy: false })
+            .collect();
+        assert!(!robots.is_empty(), "layout has no robots");
+        let mut driver = DayDriver {
+            robots,
+            heap: BinaryHeap::new(),
+            payloads: HashMap::new(),
+            seq: 0,
+            waiting: VecDeque::new(),
+            next_request_id: 0,
+            final_routes: HashMap::new(),
+            auditor: IncrementalAuditor::new(),
+            online_conflicts: 0,
+            completed: 0,
+            failed_requests: 0,
+            refused_requests: 0,
+            makespan: 0,
+            backpressure_retries: 0,
+            wall_secs: 0.0,
+        };
+        for (i, task) in scenario.tasks.iter().enumerate() {
+            driver.push(task.arrival, Event::Arrive { task: i });
+        }
+        driver
+    }
+
+    fn push(&mut self, t: Time, e: Event) {
+        self.heap.push(core::cmp::Reverse((t, self.seq)));
+        self.payloads.insert(self.seq, e);
+        self.seq += 1;
+    }
+
+    /// Drive bursts through `client` until the heap drains or the next
+    /// burst's sim time reaches `stop`. Stopping happens *between* bursts,
+    /// so a paused driver has no request in flight: every submission has
+    /// been acked and its plan reply collected, which is exactly the
+    /// prefix a standby can reconstruct from the changeset log.
+    fn drive<R: std::io::Read, W: std::io::Write>(
+        &mut self,
+        scenario: &LoadScenario,
+        client: &mut WireClient<R, W>,
+        sim: &SimConfig,
+        stop: Option<Time>,
+    ) -> DriveOutcome {
+        let tenant = scenario.name.as_str();
+        let wall_start = Instant::now();
+        while let Some(&core::cmp::Reverse((now, _))) = self.heap.peek() {
+            if let Some(bound) = stop {
+                if now >= bound {
+                    self.wall_secs += wall_start.elapsed().as_secs_f64();
+                    return DriveOutcome::Paused { at: now };
+                }
+            }
+            // Clock moved: let the planner retire state (the engine's
+            // batched remove_batch path) and deliver revisions before this
+            // burst plans.
+            let revisions = client.advance(tenant, now).expect("advance over the wire");
+            if !revisions.is_empty() {
+                // Revisions land as one atomic batch (see sim.rs): cancel
+                // every revised route before recommitting any.
+                for (rid, _) in &revisions {
+                    self.auditor.cancel(*rid);
+                }
+                for (rid, route) in revisions {
+                    self.makespan = self.makespan.max(route.finish_exclusive());
+                    if self.auditor.commit(rid, &route).is_err() {
+                        self.online_conflicts += 1;
+                    }
+                    self.final_routes.insert(rid, route);
+                }
+            }
+
+            // Drain every event scheduled for `now`, in sequence order,
+            // into one submission burst.
+            let mut burst: Vec<(RequestId, usize, usize, QueryKind, u32)> = Vec::new();
+            while let Some(&core::cmp::Reverse((t, _))) = self.heap.peek() {
+                if t != now {
+                    break;
+                }
+                let core::cmp::Reverse((_, id)) = self.heap.pop().expect("peeked");
+                let event = self.payloads.remove(&id).expect("payload");
+                match event {
+                    Event::Arrive { task } => {
+                        match nearest_free_robot(&self.robots, scenario.tasks[task].rack) {
+                            Some(r) => {
+                                self.robots[r].busy = true;
+                                self.push(
+                                    now,
+                                    Event::Leg {
+                                        task,
+                                        robot: r,
+                                        kind: QueryKind::Pickup,
+                                        attempt: 0,
+                                    },
+                                );
+                            }
+                            None => self.waiting.push_back(task),
+                        }
+                    }
+                    Event::Complete { robot } => {
+                        self.robots[robot].busy = false;
+                        self.completed += 1;
+                        if let Some(next_task) = self.waiting.pop_front() {
+                            if let Some(r) =
+                                nearest_free_robot(&self.robots, scenario.tasks[next_task].rack)
+                            {
+                                self.robots[r].busy = true;
+                                self.push(
+                                    now,
+                                    Event::Leg {
+                                        task: next_task,
+                                        robot: r,
+                                        kind: QueryKind::Pickup,
+                                        attempt: 0,
+                                    },
+                                );
+                            } else {
+                                self.waiting.push_front(next_task);
+                            }
+                        }
+                    }
+                    Event::Leg {
+                        task,
+                        robot,
+                        kind,
+                        attempt,
+                    } => {
+                        let t = scenario.tasks[task];
+                        let (origin, destination) = match kind {
+                            QueryKind::Pickup => (self.robots[robot].pos, t.rack),
+                            QueryKind::Transmission => (t.rack, t.picker),
+                            QueryKind::Return => (t.picker, t.rack),
+                        };
+                        let rid = self.next_request_id;
+                        self.next_request_id += 1;
+                        let request = Request::new(rid, now, origin, destination, kind);
+                        // Backpressure and throttling: back off for the
+                        // hinted delay and resubmit. The retry loop keeps
+                        // submission order — there is exactly one submitter
+                        // per connection and the ingest reader acks in
+                        // frame order — so determinism survives rejection
+                        // storms.
+                        loop {
+                            match client.submit(tenant, &request) {
+                                Ok(()) => break,
+                                Err(WireSubmitError::Backpressure { retry_after, .. })
+                                | Err(WireSubmitError::Throttled { retry_after }) => {
+                                    self.backpressure_retries += 1;
+                                    std::thread::sleep(retry_after);
+                                }
+                                Err(e) => unreachable!("submission refused mid-run: {e}"),
+                            }
+                        }
+                        burst.push((rid, task, robot, kind, attempt));
+                    }
+                }
+            }
+
+            // Collect the burst's replies in submission order and schedule
+            // the follow-up events.
+            for (rid, task, robot, kind, attempt) in burst {
+                match client.wait_plan(rid).expect("plan reply over the wire") {
+                    PlanResponse::Planned(route) => {
+                        self.makespan = self.makespan.max(route.finish_exclusive());
+                        let end = route.end_time();
+                        if self.auditor.commit(rid, &route).is_err() {
+                            self.online_conflicts += 1;
+                        }
+                        self.final_routes.insert(rid, route);
+                        match kind {
+                            QueryKind::Pickup => {
+                                self.robots[robot].pos = scenario.tasks[task].rack;
+                                self.push(
+                                    end + sim.service_time,
+                                    Event::Leg {
+                                        task,
+                                        robot,
+                                        kind: QueryKind::Transmission,
+                                        attempt: 0,
+                                    },
+                                );
+                            }
+                            QueryKind::Transmission => {
+                                self.robots[robot].pos = scenario.tasks[task].picker;
+                                self.push(
+                                    end + sim.service_time,
+                                    Event::Leg {
+                                        task,
+                                        robot,
+                                        kind: QueryKind::Return,
+                                        attempt: 0,
+                                    },
+                                );
+                            }
+                            QueryKind::Return => {
+                                self.robots[robot].pos = scenario.tasks[task].rack;
+                                self.push(end, Event::Complete { robot });
+                            }
+                        }
+                    }
+                    PlanResponse::ServiceDied => {
+                        panic!("service died mid-run (planner worker panic)")
+                    }
+                    resp => {
+                        // Refusals and infeasibilities share the retry
+                        // path: the client backs off retry_delay
+                        // sim-seconds and tries again, up to the shared
+                        // SimConfig budget.
+                        if resp.is_refusal() {
+                            self.refused_requests += 1;
+                        }
+                        if attempt < sim.max_retries {
+                            self.push(
+                                now + sim.retry_delay,
+                                Event::Leg {
+                                    task,
+                                    robot,
+                                    kind,
+                                    attempt: attempt + 1,
+                                },
+                            );
+                        } else {
+                            self.failed_requests += 1;
+                            self.robots[robot].busy = false;
+                        }
+                    }
+                }
+            }
+        }
+        self.wall_secs += wall_start.elapsed().as_secs_f64();
+        DriveOutcome::Completed
+    }
+
+    /// Close the books on a (fully driven) day: batch re-validation of the
+    /// final (post-revision) set, like sim.rs — report whichever of the
+    /// online and batch counts is worse.
+    fn finish(self) -> RawRun {
+        let routes: Vec<Route> = self.final_routes.values().cloned().collect();
+        let audit_conflicts = match validate_routes(&routes) {
+            None => self.online_conflicts,
+            Some(_) => self.online_conflicts.max(1),
+        };
+        RawRun {
+            final_routes: self.final_routes,
+            completed: self.completed,
+            failed_requests: self.failed_requests,
+            refused_requests: self.refused_requests,
+            backpressure_retries: self.backpressure_retries,
+            audit_conflicts,
+            makespan: self.makespan,
+            wall_secs: self.wall_secs,
+        }
+    }
+}
+
 /// The shared day-replay event loop, speaking frames through `client`.
 fn drive_wire<R: std::io::Read, W: std::io::Write>(
     scenario: &LoadScenario,
     client: &mut WireClient<R, W>,
     sim: &SimConfig,
 ) -> RawRun {
-    let tenant = scenario.name.as_str();
-    let mut robots: Vec<RobotState> = scenario
-        .layout
-        .robot_spawns
-        .iter()
-        .map(|&pos| RobotState { pos, busy: false })
-        .collect();
-    assert!(!robots.is_empty(), "layout has no robots");
-
-    // (time, seq) heap with payload map, exactly the simulator's ordering.
-    let mut heap: BinaryHeap<core::cmp::Reverse<(Time, u64)>> = BinaryHeap::new();
-    let mut payloads: HashMap<u64, Event> = HashMap::new();
-    let mut seq = 0u64;
-    let push = |heap: &mut BinaryHeap<core::cmp::Reverse<(Time, u64)>>,
-                payloads: &mut HashMap<u64, Event>,
-                seq: &mut u64,
-                t: Time,
-                e: Event| {
-        heap.push(core::cmp::Reverse((t, *seq)));
-        payloads.insert(*seq, e);
-        *seq += 1;
-    };
-    for (i, task) in scenario.tasks.iter().enumerate() {
-        push(
-            &mut heap,
-            &mut payloads,
-            &mut seq,
-            task.arrival,
-            Event::Arrive { task: i },
-        );
-    }
-
-    let mut waiting: VecDeque<usize> = VecDeque::new();
-    let mut next_request_id: RequestId = 0;
-    let mut final_routes: HashMap<RequestId, Route> = HashMap::new();
-    let mut auditor = IncrementalAuditor::new();
-    let mut online_conflicts = 0usize;
-    let mut completed = 0usize;
-    let mut failed_requests = 0usize;
-    let mut refused_requests = 0usize;
-    let mut makespan: Time = 0;
-    let mut backpressure_retries = 0u64;
-
-    let wall_start = Instant::now();
-    while let Some(&core::cmp::Reverse((now, _))) = heap.peek() {
-        // Clock moved: let the planner retire state (the engine's batched
-        // remove_batch path) and deliver revisions before this burst plans.
-        let revisions = client.advance(tenant, now).expect("advance over the wire");
-        if !revisions.is_empty() {
-            // Revisions land as one atomic batch (see sim.rs): cancel every
-            // revised route before recommitting any.
-            for (rid, _) in &revisions {
-                auditor.cancel(*rid);
-            }
-            for (rid, route) in revisions {
-                makespan = makespan.max(route.finish_exclusive());
-                if auditor.commit(rid, &route).is_err() {
-                    online_conflicts += 1;
-                }
-                final_routes.insert(rid, route);
-            }
-        }
-
-        // Drain every event scheduled for `now`, in sequence order, into
-        // one submission burst.
-        let mut burst: Vec<(RequestId, usize, usize, QueryKind, u32)> = Vec::new();
-        while let Some(&core::cmp::Reverse((t, _))) = heap.peek() {
-            if t != now {
-                break;
-            }
-            let core::cmp::Reverse((_, id)) = heap.pop().expect("peeked");
-            let event = payloads.remove(&id).expect("payload");
-            match event {
-                Event::Arrive { task } => {
-                    match nearest_free_robot(&robots, scenario.tasks[task].rack) {
-                        Some(r) => {
-                            robots[r].busy = true;
-                            push(
-                                &mut heap,
-                                &mut payloads,
-                                &mut seq,
-                                now,
-                                Event::Leg {
-                                    task,
-                                    robot: r,
-                                    kind: QueryKind::Pickup,
-                                    attempt: 0,
-                                },
-                            );
-                        }
-                        None => waiting.push_back(task),
-                    }
-                }
-                Event::Complete { robot } => {
-                    robots[robot].busy = false;
-                    completed += 1;
-                    if let Some(next_task) = waiting.pop_front() {
-                        if let Some(r) = nearest_free_robot(&robots, scenario.tasks[next_task].rack)
-                        {
-                            robots[r].busy = true;
-                            push(
-                                &mut heap,
-                                &mut payloads,
-                                &mut seq,
-                                now,
-                                Event::Leg {
-                                    task: next_task,
-                                    robot: r,
-                                    kind: QueryKind::Pickup,
-                                    attempt: 0,
-                                },
-                            );
-                        } else {
-                            waiting.push_front(next_task);
-                        }
-                    }
-                }
-                Event::Leg {
-                    task,
-                    robot,
-                    kind,
-                    attempt,
-                } => {
-                    let t = scenario.tasks[task];
-                    let (origin, destination) = match kind {
-                        QueryKind::Pickup => (robots[robot].pos, t.rack),
-                        QueryKind::Transmission => (t.rack, t.picker),
-                        QueryKind::Return => (t.picker, t.rack),
-                    };
-                    let rid = next_request_id;
-                    next_request_id += 1;
-                    let request = Request::new(rid, now, origin, destination, kind);
-                    // Backpressure: back off for the hinted delay and
-                    // resubmit. The retry loop keeps submission order —
-                    // there is exactly one submitter per connection and the
-                    // ingest reader acks in frame order — so determinism
-                    // survives rejection storms.
-                    loop {
-                        match client.submit(tenant, &request) {
-                            Ok(()) => break,
-                            Err(WireSubmitError::Backpressure { retry_after, .. }) => {
-                                backpressure_retries += 1;
-                                std::thread::sleep(retry_after);
-                            }
-                            Err(e) => unreachable!("submission refused mid-run: {e}"),
-                        }
-                    }
-                    burst.push((rid, task, robot, kind, attempt));
-                }
-            }
-        }
-
-        // Collect the burst's replies in submission order and schedule the
-        // follow-up events.
-        for (rid, task, robot, kind, attempt) in burst {
-            match client.wait_plan(rid).expect("plan reply over the wire") {
-                PlanResponse::Planned(route) => {
-                    makespan = makespan.max(route.finish_exclusive());
-                    let end = route.end_time();
-                    if auditor.commit(rid, &route).is_err() {
-                        online_conflicts += 1;
-                    }
-                    final_routes.insert(rid, route);
-                    match kind {
-                        QueryKind::Pickup => {
-                            robots[robot].pos = scenario.tasks[task].rack;
-                            push(
-                                &mut heap,
-                                &mut payloads,
-                                &mut seq,
-                                end + sim.service_time,
-                                Event::Leg {
-                                    task,
-                                    robot,
-                                    kind: QueryKind::Transmission,
-                                    attempt: 0,
-                                },
-                            );
-                        }
-                        QueryKind::Transmission => {
-                            robots[robot].pos = scenario.tasks[task].picker;
-                            push(
-                                &mut heap,
-                                &mut payloads,
-                                &mut seq,
-                                end + sim.service_time,
-                                Event::Leg {
-                                    task,
-                                    robot,
-                                    kind: QueryKind::Return,
-                                    attempt: 0,
-                                },
-                            );
-                        }
-                        QueryKind::Return => {
-                            robots[robot].pos = scenario.tasks[task].rack;
-                            push(
-                                &mut heap,
-                                &mut payloads,
-                                &mut seq,
-                                end,
-                                Event::Complete { robot },
-                            );
-                        }
-                    }
-                }
-                PlanResponse::ServiceDied => {
-                    panic!("service died mid-run (planner worker panic)")
-                }
-                resp => {
-                    // Refusals and infeasibilities share the retry path: the
-                    // client backs off retry_delay sim-seconds and tries
-                    // again, up to the shared SimConfig budget.
-                    if resp.is_refusal() {
-                        refused_requests += 1;
-                    }
-                    if attempt < sim.max_retries {
-                        push(
-                            &mut heap,
-                            &mut payloads,
-                            &mut seq,
-                            now + sim.retry_delay,
-                            Event::Leg {
-                                task,
-                                robot,
-                                kind,
-                                attempt: attempt + 1,
-                            },
-                        );
-                    } else {
-                        failed_requests += 1;
-                        robots[robot].busy = false;
-                    }
-                }
-            }
-        }
-    }
-    let wall_secs = wall_start.elapsed().as_secs_f64();
-
-    // Batch re-validation of the final (post-revision) set, like sim.rs:
-    // report whichever of the online and batch counts is worse.
-    let routes: Vec<Route> = final_routes.values().cloned().collect();
-    let audit_conflicts = match validate_routes(&routes) {
-        None => online_conflicts,
-        Some(_) => online_conflicts.max(1),
-    };
-
-    RawRun {
-        final_routes,
-        completed,
-        failed_requests,
-        refused_requests,
-        backpressure_retries,
-        audit_conflicts,
-        makespan,
-        wall_secs,
-    }
+    let mut driver = DayDriver::new(scenario);
+    let outcome = driver.drive(scenario, client, sim, None);
+    debug_assert_eq!(outcome, DriveOutcome::Completed);
+    driver.finish()
 }
 
 fn nearest_free_robot(robots: &[RobotState], target: Cell) -> Option<usize> {

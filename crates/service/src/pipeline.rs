@@ -24,7 +24,8 @@
 //! committed routes at any worker count (DESIGN.md §13).
 //!
 //! Replicas track the committed state by replaying the commit stage's
-//! **op log** — an append-only sequence of adopt/cancel/advance operations
+//! **op log** — an append-only sequence of adopt/cancel/advance/revise
+//! operations
 //! whose length is the *epoch*. The commit stage is the log's sole
 //! appender, so an epoch fully identifies a committed state, and a worker's
 //! snapshot epoch tells the validator exactly which commits the candidate
@@ -52,6 +53,13 @@ pub(crate) enum EpochOp {
     Cancel(RequestId),
     /// Simulated time advanced; finished routes retire.
     Advance(Time),
+    /// A committed route was revised in place by the authoritative
+    /// planner's `advance` (windowed TWP/RP repair rounds). Replicas
+    /// replay it as cancel + adopt. Revisions in one advance batch must be
+    /// sequentially consistent: each new route may not conflict with the
+    /// routes still awaiting their own revision — the natural shape of a
+    /// repair round that rewrites routes one at a time.
+    Revise(RequestId, Route),
 }
 
 /// Append-only op log; its length is the epoch. The commit stage is the
@@ -101,8 +109,21 @@ impl OpLog {
                     replica.cancel(*id);
                 }
                 EpochOp::Advance(now) => {
-                    let revisions = replica.advance(*now);
-                    debug_assert!(revisions.is_empty(), "speculative planners must not revise");
+                    // A windowed-TWP/RP-style planner may propose revisions
+                    // here; the replica's own proposals are discarded — the
+                    // authoritative routes arrive as the `Revise` ops the
+                    // commit stage appended right after this `Advance`, and
+                    // those cancel + re-adopt over whatever the replica did.
+                    let _own = replica.advance(*now);
+                }
+                EpochOp::Revise(id, route) => {
+                    replica.cancel(*id);
+                    // Same horizon skip as `Adopt`: a revision that already
+                    // finished before the request being planned cannot
+                    // constrain its search.
+                    if route.end_time() >= horizon {
+                        replica.adopt(*id, route);
+                    }
                 }
             }
         }
@@ -360,7 +381,23 @@ impl<P: SpeculativePlanner> CommitStage<P> {
         match control {
             Control::Advance { now, reply } => {
                 let revisions = self.planner.advance(now);
-                debug_assert!(revisions.is_empty(), "speculative planners must not revise");
+                // Windowed planners rewrite committed routes during
+                // `advance`; mirror each rewrite into the audit oracle,
+                // the retire queue, and the op log (replicas replay it as
+                // cancel + adopt) so the serial contract keeps holding
+                // for every route the planner now considers committed.
+                for (id, route) in &revisions {
+                    if let Some(old) = self.auditor.route(*id) {
+                        self.retire_q.remove(&(old.end_time(), *id));
+                    }
+                    self.auditor.cancel(*id);
+                    self.auditor
+                        .commit(*id, route)
+                        .expect("revised route conflicts with audited state");
+                    self.retire_q.insert((route.end_time(), *id));
+                    self.oplog.append(EpochOp::Revise(*id, route.clone()));
+                    self.epoch_of.insert(*id, self.oplog.len());
+                }
                 while let Some(&(end, id)) = self.retire_q.first() {
                     if end >= now {
                         break;
@@ -373,6 +410,9 @@ impl<P: SpeculativePlanner> CommitStage<P> {
                     }
                 }
                 self.oplog.append(EpochOp::Advance(now));
+                if let Some(j) = &self.shared.journal {
+                    j.advance(now, &revisions);
+                }
                 let _ = reply.send(revisions);
             }
             Control::Cancel { id, reply } => {
@@ -381,6 +421,9 @@ impl<P: SpeculativePlanner> CommitStage<P> {
                     self.auditor.cancel(id);
                     self.epoch_of.remove(&id);
                     self.oplog.append(EpochOp::Cancel(id));
+                    if let Some(j) = &self.shared.journal {
+                        j.cancel(id);
+                    }
                 }
                 let _ = reply.send(ok);
             }
@@ -448,6 +491,9 @@ impl<P: SpeculativePlanner> CommitStage<P> {
                         self.oplog.append(EpochOp::Adopt(request.id, route.clone()));
                         self.epoch_of.insert(request.id, self.oplog.len());
                         self.retire_q.insert((route.end_time(), request.id));
+                        if let Some(j) = &self.shared.journal {
+                            j.commit(&request, &route);
+                        }
                         c.speculation_wins.fetch_add(1, Ordering::Relaxed);
                         c.planned.fetch_add(1, Ordering::Relaxed);
                         self.shared
@@ -552,6 +598,9 @@ impl<P: SpeculativePlanner> CommitStage<P> {
                     self.oplog.append(EpochOp::Adopt(request.id, route.clone()));
                     self.epoch_of.insert(request.id, self.oplog.len());
                     self.retire_q.insert((route.end_time(), request.id));
+                    if let Some(j) = &self.shared.journal {
+                        j.commit(&request, &route);
+                    }
                     c.planned.fetch_add(1, Ordering::Relaxed);
                     self.reply_final(reply, PlanResponse::Planned(route), enqueued_at);
                 }

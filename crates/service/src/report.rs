@@ -158,6 +158,55 @@ impl ServiceBenchReport {
     }
 }
 
+/// The `BENCH_service_recovery.json` document: one crash-recovery bench —
+/// the same day driven three ways (WAL off, WAL on, kill + standby
+/// takeover) so the WAL's commit-latency overhead and the recovery path's
+/// bit-identity are measured side by side.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecoveryBenchReport {
+    /// Schema version (shares [`BENCH_VERSION`]).
+    pub version: u32,
+    /// Scenario label the three legs share.
+    pub scenario: String,
+    /// Sim time of the first burst the standby drove.
+    pub killed_at: Time,
+    /// Changeset records the standby replayed on takeover.
+    pub records_replayed: usize,
+    /// Bytes truncated off the injected torn tail (0 = clean log).
+    pub torn_tail_dropped: u64,
+    /// Standby-side journal stats at end of day.
+    pub wal_stats: crate::wal::WalStats,
+    /// All three legs committed the identical route set (the CI gate).
+    pub digests_match: bool,
+    /// Baseline leg: no journal attached.
+    pub wal_off: LoadReport,
+    /// WAL-on leg: journaled but uninterrupted.
+    pub wal_on: LoadReport,
+    /// Recovery leg: killed at `killed_at`, finished by the standby.
+    /// Its service/wire metrics cover only the standby's half of the day.
+    pub recovered: LoadReport,
+    /// The primary's metrics scraped just before the kill (the other half
+    /// of the recovery leg's serving record).
+    pub primary: ServiceMetrics,
+}
+
+impl RecoveryBenchReport {
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Parse a report document.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Audited conflicts summed over all three legs (the CI gate).
+    pub fn total_audit_conflicts(&self) -> usize {
+        self.wal_off.audit_conflicts + self.wal_on.audit_conflicts + self.recovered.audit_conflicts
+    }
+}
+
 /// Order-independent digest of a committed route set: FNV-1a over
 /// `(id, start, cells…)` of every route, visited in ascending id order.
 pub fn routes_digest(routes: &HashMap<RequestId, Route>) -> u64 {

@@ -255,12 +255,18 @@ pub(crate) struct Shared {
     pub(crate) queue_hist: Mutex<LatencyHistogram>,
     /// Wall-clock time spent inside `Planner::plan` per request.
     pub(crate) planning_hist: Mutex<LatencyHistogram>,
-    /// Validate+commit time per committed route (speculative mode only).
+    /// Commit-point time per committed route: validate+commit in
+    /// speculative mode, journal+accept in serial mode (so WAL overhead
+    /// shows up here in both modes).
     pub(crate) commit_hist: Mutex<LatencyHistogram>,
     /// End-to-end submit → reply latency per answered request.
     pub(crate) turnaround_hist: Mutex<LatencyHistogram>,
     /// Last engine metrics published by the worker (updated per cycle).
     pub(crate) engine: Mutex<Option<EngineMetrics>>,
+    /// Durable changeset journal, written at the validate-and-commit
+    /// point (`None` = durability off). Lives here rather than in
+    /// [`ServiceConfig`] so the config stays `Copy`.
+    pub(crate) journal: Option<crate::wal::TenantJournal>,
 }
 
 /// Point-in-time, serializable view of the service's operational state.
@@ -296,7 +302,8 @@ pub struct ServiceMetrics {
     pub queue_latency: LatencySummary,
     /// Wall-clock planning latency (inside `Planner::plan`).
     pub planning_latency: LatencySummary,
-    /// Validate+commit latency per committed route (empty in serial mode).
+    /// Commit-point latency per committed route: validate+commit in
+    /// speculative mode, journal+accept in serial mode.
     pub commit_latency: LatencySummary,
     /// End-to-end submit → reply latency.
     pub turnaround_latency: LatencySummary,
@@ -454,7 +461,7 @@ pub struct PlanningService<P: Planner + Send + 'static> {
     worker: std::thread::JoinHandle<P>,
 }
 
-fn make_shared(config: ServiceConfig) -> Arc<Shared> {
+fn make_shared(config: ServiceConfig, journal: Option<crate::wal::TenantJournal>) -> Arc<Shared> {
     assert!(config.queue_capacity > 0, "queue capacity must be positive");
     assert!(config.batch_limit > 0, "batch limit must be positive");
     Arc::new(Shared {
@@ -474,6 +481,7 @@ fn make_shared(config: ServiceConfig) -> Arc<Shared> {
         commit_hist: Mutex::new(LatencyHistogram::new()),
         turnaround_hist: Mutex::new(LatencyHistogram::new()),
         engine: Mutex::new(None),
+        journal,
     })
 }
 
@@ -481,11 +489,22 @@ impl<P: Planner + Send + 'static> PlanningService<P> {
     /// Spawn the serial worker thread around `planner` (one thread plans
     /// *and* commits; `config.workers` is normalized to 1).
     pub fn spawn(planner: P, config: ServiceConfig) -> Self {
+        Self::spawn_journaled(planner, config, None)
+    }
+
+    /// [`PlanningService::spawn`] with an optional durable changeset
+    /// journal: every commit, cancel and clock advance the worker
+    /// performs is appended at its linearization point.
+    pub fn spawn_journaled(
+        planner: P,
+        config: ServiceConfig,
+        journal: Option<crate::wal::TenantJournal>,
+    ) -> Self {
         let config = ServiceConfig {
             workers: 1,
             ..config
         };
-        let shared = make_shared(config);
+        let shared = make_shared(config, journal);
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
             .name("carp-service-worker".into())
@@ -532,10 +551,21 @@ impl<P: SpeculativePlanner + Send + 'static> PlanningService<P> {
     /// [`PlanningService::spawn`] — the pipeline only pays for itself when
     /// there is real planning concurrency.
     pub fn spawn_speculative(planner: P, config: ServiceConfig) -> Self {
+        Self::spawn_speculative_journaled(planner, config, None)
+    }
+
+    /// [`PlanningService::spawn_speculative`] with an optional durable
+    /// changeset journal, written by the single validate-and-commit
+    /// stage (workers never touch it — replicas are not authoritative).
+    pub fn spawn_speculative_journaled(
+        planner: P,
+        config: ServiceConfig,
+        journal: Option<crate::wal::TenantJournal>,
+    ) -> Self {
         if config.workers <= 1 {
-            return Self::spawn(planner, config);
+            return Self::spawn_journaled(planner, config, journal);
         }
-        let shared = make_shared(config);
+        let shared = make_shared(config, journal);
         let oplog = Arc::new(crate::pipeline::OpLog::default());
         let planners = (0..config.workers)
             .map(|i| {
@@ -585,10 +615,20 @@ fn worker_loop<P: Planner>(mut planner: P, shared: Arc<Shared>) -> P {
         for (_seq, control) in controls {
             match control {
                 Control::Advance { now, reply } => {
-                    let _ = reply.send(planner.advance(now));
+                    let revisions = planner.advance(now);
+                    if let Some(j) = &shared.journal {
+                        j.advance(now, &revisions);
+                    }
+                    let _ = reply.send(revisions);
                 }
                 Control::Cancel { id, reply } => {
-                    let _ = reply.send(planner.cancel(id));
+                    let ok = planner.cancel(id);
+                    if ok {
+                        if let Some(j) = &shared.journal {
+                            j.cancel(id);
+                        }
+                    }
+                    let _ = reply.send(ok);
                 }
             }
             shared.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
@@ -660,6 +700,19 @@ fn process_one<P: Planner>(planner: &mut P, shared: &Shared, env: Envelope) {
                     .fetch_add(1, Ordering::Relaxed);
                 PlanResponse::DeadlineOverrun
             } else {
+                // In serial mode `plan` already committed, so the accept
+                // path *is* the commit point: the journal append is timed
+                // into `commit_hist`, making WAL-on vs WAL-off commit
+                // latency directly comparable with the speculative stage.
+                let committed = Instant::now();
+                if let Some(j) = &shared.journal {
+                    j.commit(&env.request, &route);
+                }
+                shared
+                    .commit_hist
+                    .lock()
+                    .expect("hist lock")
+                    .record(committed.elapsed());
                 shared.counters.planned.fetch_add(1, Ordering::Relaxed);
                 PlanResponse::Planned(route)
             }

@@ -19,6 +19,7 @@
 //! layer up, through the wire protocol).
 
 use crate::service::{PlanningService, ServiceClient, ServiceConfig};
+use crate::wal::{TenantJournal, WalJournal};
 use carp_warehouse::planner::{Planner, SpeculativePlanner};
 use serde::{Deserialize, Serialize};
 use std::any::Any;
@@ -93,18 +94,26 @@ pub struct Tenant {
     id: WarehouseId,
     client: ServiceClient,
     wire: Arc<WireTally>,
+    /// The tenant's handle on the daemon's changeset journal, when one is
+    /// attached — used to seal the tenant's history on deregistration.
+    journal: Option<TenantJournal>,
     /// Consumed by [`TenantRegistry::remove`]: shuts the service down and
     /// yields the planner, type-erased (the registry is heterogeneous).
     shutdown: Mutex<Option<PlannerRecovery>>,
 }
 
 impl Tenant {
-    fn new<P: Planner + Send + 'static>(id: WarehouseId, svc: PlanningService<P>) -> Self {
+    fn new<P: Planner + Send + 'static>(
+        id: WarehouseId,
+        svc: PlanningService<P>,
+        journal: Option<TenantJournal>,
+    ) -> Self {
         let client = svc.client();
         Tenant {
             id,
             client,
             wire: Arc::new(WireTally::default()),
+            journal,
             shutdown: Mutex::new(Some(Box::new(move || Box::new(svc.shutdown())))),
         }
     }
@@ -134,12 +143,33 @@ impl Tenant {
 #[derive(Default)]
 pub struct TenantRegistry {
     tenants: RwLock<BTreeMap<WarehouseId, Arc<Tenant>>>,
+    /// The daemon-wide changeset journal; when attached, every tenant
+    /// registered afterwards journals its commits through it.
+    journal: Mutex<Option<Arc<WalJournal>>>,
 }
 
 impl TenantRegistry {
     /// An empty registry.
     pub fn new() -> Self {
         TenantRegistry::default()
+    }
+
+    /// Attach the daemon's durable changeset journal. Tenants registered
+    /// after this call journal every commit/cancel/advance/revision; call
+    /// it before the first `register`.
+    pub fn attach_journal(&self, journal: Arc<WalJournal>) {
+        *self.journal.lock().expect("registry journal lock") = Some(journal);
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<Arc<WalJournal>> {
+        self.journal.lock().expect("registry journal lock").clone()
+    }
+
+    fn tenant_journal(&self, id: &str) -> Option<TenantJournal> {
+        self.journal()
+            .map(|j| TenantJournal::new(j, id))
+            .inspect(|j| j.open())
     }
 
     /// Register a tenant on the serial (single-worker) service.
@@ -152,7 +182,9 @@ impl TenantRegistry {
         planner: P,
         config: ServiceConfig,
     ) -> Arc<Tenant> {
-        self.insert(id.into(), || PlanningService::spawn(planner, config))
+        self.insert(id.into(), |j| {
+            PlanningService::spawn_journaled(planner, config, j)
+        })
     }
 
     /// Register a tenant on the speculative multi-worker pipeline
@@ -166,22 +198,23 @@ impl TenantRegistry {
         planner: P,
         config: ServiceConfig,
     ) -> Arc<Tenant> {
-        self.insert(id.into(), || {
-            PlanningService::spawn_speculative(planner, config)
+        self.insert(id.into(), |j| {
+            PlanningService::spawn_speculative_journaled(planner, config, j)
         })
     }
 
     fn insert<P, F>(&self, id: WarehouseId, spawn: F) -> Arc<Tenant>
     where
         P: Planner + Send + 'static,
-        F: FnOnce() -> PlanningService<P>,
+        F: FnOnce(Option<TenantJournal>) -> PlanningService<P>,
     {
         assert!(
             u16::try_from(id.len()).is_ok(),
             "tenant id must fit a wire str16"
         );
-        let svc = spawn();
-        let tenant = Arc::new(Tenant::new(id.clone(), svc));
+        let journal = self.tenant_journal(&id);
+        let svc = spawn(journal.clone());
+        let tenant = Arc::new(Tenant::new(id.clone(), svc, journal));
         let mut map = self.tenants.write().expect("tenant registry lock");
         let prior = map.insert(id.clone(), Arc::clone(&tenant));
         assert!(prior.is_none(), "tenant {id:?} registered twice");
@@ -223,7 +256,30 @@ impl TenantRegistry {
         let recover = tenant
             .take_shutdown()
             .expect("tenant shutdown ran twice — registry entry was duplicated");
-        Some(recover())
+        let planner = recover();
+        // Journal the close only after the service drained: every commit
+        // the tenant ever made is on disk before its close record.
+        if let Some(j) = &tenant.journal {
+            j.close();
+        }
+        Some(planner)
+    }
+
+    /// Drain every tenant — shut each service down in id order, dropping
+    /// the recovered planners — then seal the journal (final fsync). The
+    /// graceful-shutdown path of the daemon's SIGTERM handling; returns
+    /// how many tenants were drained.
+    pub fn drain_all(&self) -> usize {
+        let mut drained = 0;
+        for id in self.ids() {
+            if self.remove(&id).is_some() {
+                drained += 1;
+            }
+        }
+        if let Some(j) = self.journal() {
+            j.seal();
+        }
+        drained
     }
 }
 

@@ -1,0 +1,373 @@
+//! The file-backed journal: append, fsync discipline, torn-tail repair,
+//! and snapshot compaction.
+//!
+//! One [`WalJournal`] serves the whole daemon — all tenants share a single
+//! append-only file and one monotonic sequence, which is what gives the
+//! standby a total order to replay. Per-tenant commit pipelines hold a
+//! cheap [`TenantJournal`] handle (tenant id + `Arc` of the journal) and
+//! call its typed helpers at the single validate-and-commit point.
+//!
+//! Durability discipline: every append is written straight to the file
+//! (no userspace buffering), so a *process* crash loses nothing; `fsync`
+//! runs every [`WalConfig::fsync_every`] appends and at
+//! [`WalJournal::seal`], bounding what an *OS* crash can lose. A torn
+//! final record — the crash-mid-append case — is repaired on
+//! [`WalJournal::open_append`] by truncating to the last intact record.
+
+use super::record::{decode_records, encode_record, ChangeOp, ChangeRecord, LogTail};
+use super::replay::ReplayState;
+use carp_warehouse::request::{Request, RequestId};
+use carp_warehouse::route::Route;
+use carp_warehouse::types::Time;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Journal tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct WalConfig {
+    /// Call `fsync` every this many appends (and always on `seal`).
+    pub fsync_every: u64,
+    /// Rewrite the log as one snapshot record every this many appends;
+    /// `None` (the default) compacts only on explicit
+    /// [`WalJournal::compact`] calls.
+    pub snapshot_every: Option<u64>,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            fsync_every: 64,
+            snapshot_every: None,
+        }
+    }
+}
+
+/// Counters describing the journal's life so far (all monotonic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct WalStats {
+    /// Records appended.
+    pub appends: u64,
+    /// Payload + header bytes written by appends.
+    pub bytes: u64,
+    /// `fsync` calls issued.
+    pub fsyncs: u64,
+    /// Compaction rewrites performed.
+    pub compactions: u64,
+    /// Appends or syncs that failed at the I/O layer (the daemon keeps
+    /// planning; durability is degraded and the operator must act).
+    pub append_errors: u64,
+}
+
+struct Inner {
+    file: File,
+    next_seq: u64,
+    since_fsync: u64,
+    state: ReplayState,
+}
+
+/// The shared append-only changeset log.
+pub struct WalJournal {
+    path: PathBuf,
+    config: WalConfig,
+    inner: Mutex<Inner>,
+    appends: AtomicU64,
+    bytes: AtomicU64,
+    fsyncs: AtomicU64,
+    compactions: AtomicU64,
+    append_errors: AtomicU64,
+}
+
+impl std::fmt::Debug for WalJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WalJournal")
+            .field("path", &self.path)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl WalJournal {
+    /// Create a fresh (truncated) journal at `path`.
+    pub fn create(path: impl Into<PathBuf>) -> std::io::Result<Arc<WalJournal>> {
+        Self::create_with(path, WalConfig::default())
+    }
+
+    /// Create a fresh journal with explicit tuning.
+    pub fn create_with(
+        path: impl Into<PathBuf>,
+        config: WalConfig,
+    ) -> std::io::Result<Arc<WalJournal>> {
+        let path = path.into();
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(Arc::new(WalJournal {
+            path,
+            config,
+            inner: Mutex::new(Inner {
+                file,
+                next_seq: 1,
+                since_fsync: 0,
+                state: ReplayState::default(),
+            }),
+            appends: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            append_errors: AtomicU64::new(0),
+        }))
+    }
+
+    /// Open an existing journal for appending: decode its intact prefix,
+    /// truncate any torn tail, and resume the sequence after the last
+    /// record. Returns the decoded history (for standby replay) and how
+    /// the tail looked before repair.
+    pub fn open_append(
+        path: impl Into<PathBuf>,
+    ) -> std::io::Result<(Arc<WalJournal>, Vec<ChangeRecord>, LogTail)> {
+        Self::open_append_with(path, WalConfig::default())
+    }
+
+    /// [`WalJournal::open_append`] with explicit tuning.
+    pub fn open_append_with(
+        path: impl Into<PathBuf>,
+        config: WalConfig,
+    ) -> std::io::Result<(Arc<WalJournal>, Vec<ChangeRecord>, LogTail)> {
+        let path = path.into();
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+        let (records, tail) = decode_records(&buf);
+        if let LogTail::Torn { valid_bytes, .. } = tail {
+            file.set_len(valid_bytes)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        let state = ReplayState::from_records(&records);
+        let next_seq = records.last().map_or(1, |r| r.seq + 1);
+        let journal = Arc::new(WalJournal {
+            path,
+            config,
+            inner: Mutex::new(Inner {
+                file,
+                next_seq,
+                since_fsync: 0,
+                state,
+            }),
+            appends: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            append_errors: AtomicU64::new(0),
+        });
+        Ok((journal, records, tail))
+    }
+
+    /// Append one op for `tenant`, returning the assigned sequence number.
+    ///
+    /// I/O failures are absorbed (counted in [`WalStats::append_errors`]
+    /// and reported on stderr) rather than propagated: the planning
+    /// pipeline must not die because the disk did — degraded durability
+    /// beats a mid-day outage, and the stats surface the damage.
+    pub fn append(&self, tenant: &str, op: ChangeOp) -> u64 {
+        let mut inner = self.inner.lock().expect("wal lock poisoned");
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let rec = ChangeRecord {
+            seq,
+            tenant: tenant.to_string(),
+            op,
+        };
+        let bytes = encode_record(&rec);
+        inner.state.apply(&rec);
+        if let Err(e) = inner.file.write_all(&bytes) {
+            self.append_errors.fetch_add(1, Ordering::Relaxed);
+            eprintln!("carp-service: wal append failed: {e}");
+            return seq;
+        }
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        inner.since_fsync += 1;
+        if inner.since_fsync >= self.config.fsync_every {
+            self.fsync_locked(&mut inner);
+        }
+        if let Some(every) = self.config.snapshot_every {
+            if seq.is_multiple_of(every) {
+                if let Err(e) = self.compact_locked(&mut inner) {
+                    self.append_errors.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("carp-service: wal auto-compaction failed: {e}");
+                }
+            }
+        }
+        seq
+    }
+
+    fn fsync_locked(&self, inner: &mut Inner) {
+        if let Err(e) = inner.file.sync_data() {
+            self.append_errors.fetch_add(1, Ordering::Relaxed);
+            eprintln!("carp-service: wal fsync failed: {e}");
+        } else {
+            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.since_fsync = 0;
+    }
+
+    /// Force everything written so far to stable storage.
+    pub fn sync(&self) {
+        let mut inner = self.inner.lock().expect("wal lock poisoned");
+        self.fsync_locked(&mut inner);
+    }
+
+    /// Seal the journal: final fsync. Called by graceful shutdown after
+    /// every tenant has been drained and closed.
+    pub fn seal(&self) {
+        self.sync();
+    }
+
+    /// Rewrite the log as a single snapshot record capturing the current
+    /// replay state; all prior history is dropped. Appends continue after
+    /// the snapshot with the sequence uninterrupted, so
+    /// `replay(snapshot ⊕ tail)` reconstructs the same state as replaying
+    /// the uncompacted log.
+    pub fn compact(&self) -> std::io::Result<()> {
+        let mut inner = self.inner.lock().expect("wal lock poisoned");
+        self.compact_locked(&mut inner)
+    }
+
+    fn compact_locked(&self, inner: &mut Inner) -> std::io::Result<()> {
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let rec = ChangeRecord {
+            seq,
+            tenant: String::new(),
+            op: ChangeOp::Snapshot(inner.state.snapshot()),
+        };
+        inner.state.apply(&rec);
+        let bytes = encode_record(&rec);
+        let tmp = self.path.with_extension("wal-compact");
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, &self.path)?;
+        // The handle followed the inode through the rename: it now *is*
+        // the live log file, positioned at its end.
+        inner.file = file;
+        inner.since_fsync = 0;
+        self.bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Snapshot of the journal's counters.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            appends: self.appends.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            append_errors: self.append_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Clone of the replay state implied by everything appended so far.
+    pub fn state(&self) -> ReplayState {
+        self.inner.lock().expect("wal lock poisoned").state.clone()
+    }
+
+    /// The log file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Read and decode a changeset log without opening it for append. Never
+/// errors on a torn tail — the intact prefix and the tail verdict come
+/// back; only genuine I/O failures (missing file, bad permissions) error.
+pub fn read_log(path: &Path) -> std::io::Result<(Vec<ChangeRecord>, LogTail)> {
+    let buf = std::fs::read(path)?;
+    Ok(decode_records(&buf))
+}
+
+/// A tenant-scoped handle on the shared journal: what the commit pipeline
+/// actually holds. Cloneable and cheap; every helper is one append.
+#[derive(Clone)]
+pub struct TenantJournal {
+    tenant: Arc<str>,
+    journal: Arc<WalJournal>,
+}
+
+impl std::fmt::Debug for TenantJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantJournal")
+            .field("tenant", &self.tenant)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TenantJournal {
+    /// Scope `journal` to one tenant.
+    pub fn new(journal: Arc<WalJournal>, tenant: &str) -> Self {
+        TenantJournal {
+            tenant: Arc::from(tenant),
+            journal,
+        }
+    }
+
+    /// The underlying shared journal.
+    pub fn journal(&self) -> &Arc<WalJournal> {
+        &self.journal
+    }
+
+    /// Journal the tenant's registration.
+    pub fn open(&self) {
+        self.journal.append(&self.tenant, ChangeOp::TenantOpen);
+    }
+
+    /// Journal the tenant's deregistration and force it to disk.
+    pub fn close(&self) {
+        self.journal.append(&self.tenant, ChangeOp::TenantClose);
+        self.journal.sync();
+    }
+
+    /// Journal one validated commit.
+    pub fn commit(&self, request: &Request, route: &Route) {
+        self.journal.append(
+            &self.tenant,
+            ChangeOp::Commit {
+                request: *request,
+                route: route.clone(),
+            },
+        );
+    }
+
+    /// Journal a cancel of a committed route.
+    pub fn cancel(&self, id: RequestId) {
+        self.journal.append(&self.tenant, ChangeOp::Cancel { id });
+    }
+
+    /// Journal a clock advance: first any route revisions the planner
+    /// produced (windowed TWP/RP repairs), then the advance itself, which
+    /// implies batched retirement of routes ending before `now`.
+    pub fn advance(&self, now: Time, revisions: &[(RequestId, Route)]) {
+        for (id, route) in revisions {
+            self.journal.append(
+                &self.tenant,
+                ChangeOp::Revise {
+                    id: *id,
+                    route: route.clone(),
+                },
+            );
+        }
+        self.journal.append(&self.tenant, ChangeOp::Advance { now });
+    }
+}

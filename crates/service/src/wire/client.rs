@@ -32,6 +32,11 @@ pub enum WireSubmitError {
     ShuttingDown,
     /// No tenant by that id is registered on the daemon.
     UnknownTenant,
+    /// This connection exceeded its rate limit; retry after the hint.
+    Throttled {
+        /// Suggested client-side wait before re-submitting.
+        retry_after: Duration,
+    },
     /// The connection itself failed.
     Wire(WireError),
 }
@@ -48,6 +53,10 @@ impl core::fmt::Display for WireSubmitError {
             ),
             WireSubmitError::ShuttingDown => write!(f, "tenant is shutting down"),
             WireSubmitError::UnknownTenant => write!(f, "unknown tenant"),
+            WireSubmitError::Throttled { retry_after } => write!(
+                f,
+                "connection rate limit exceeded; retry after {retry_after:?}"
+            ),
             WireSubmitError::Wire(e) => write!(f, "wire error: {e}"),
         }
     }
@@ -101,6 +110,9 @@ impl<R: Read, W: Write> WireClient<R, W> {
                         }),
                         AckStatus::ShuttingDown => Err(WireSubmitError::ShuttingDown),
                         AckStatus::UnknownTenant => Err(WireSubmitError::UnknownTenant),
+                        AckStatus::Throttled { retry_after } => {
+                            Err(WireSubmitError::Throttled { retry_after })
+                        }
                     };
                 }
                 FrameKind::PlanReply => {
@@ -189,6 +201,7 @@ impl<R: Read, W: Write> WireClient<R, W> {
                         ErrorCode::UnexpectedFrame => {
                             WireError::Malformed("daemon rejected the frame kind")
                         }
+                        ErrorCode::Throttled => WireError::Throttled,
                     });
                 }
                 _ => {

@@ -88,6 +88,9 @@ pub enum WireError {
     Truncated,
     /// A payload failed schema validation; the message says where.
     Malformed(&'static str),
+    /// The daemon refused the frame because this connection exceeded its
+    /// rate limit; back off and retry.
+    Throttled,
     /// An underlying transport error.
     Io(std::io::ErrorKind),
     /// The peer closed the connection while a reply was still owed.
@@ -103,6 +106,7 @@ impl core::fmt::Display for WireError {
             WireError::Oversize(n) => write!(f, "payload length {n} exceeds limit"),
             WireError::Truncated => write!(f, "stream truncated mid-frame"),
             WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
+            WireError::Throttled => write!(f, "connection rate limit exceeded"),
             WireError::Io(kind) => write!(f, "transport error: {kind:?}"),
             WireError::Closed => write!(f, "connection closed while awaiting a reply"),
         }

@@ -95,6 +95,13 @@ pub enum AckStatus {
     ShuttingDown,
     /// No tenant by that id is registered.
     UnknownTenant,
+    /// The connection exceeded its per-connection rate limit; retry after
+    /// the hinted delay. Unlike [`AckStatus::Backpressure`] this is a
+    /// *connection* verdict — the tenant queue was never consulted.
+    Throttled {
+        /// Suggested client-side wait before re-submitting.
+        retry_after: Duration,
+    },
 }
 
 /// Encode a `SubmitAck` payload.
@@ -113,6 +120,10 @@ pub fn encode_submit_ack(id: RequestId, status: AckStatus) -> Vec<u8> {
         }
         AckStatus::ShuttingDown => w.put_u8(2),
         AckStatus::UnknownTenant => w.put_u8(3),
+        AckStatus::Throttled { retry_after } => {
+            w.put_u8(4);
+            w.put_u64(retry_after.as_micros().min(u128::from(u64::MAX)) as u64);
+        }
     }
     w.into_inner()
 }
@@ -129,6 +140,9 @@ pub fn decode_submit_ack(payload: &[u8]) -> Result<(RequestId, AckStatus), WireE
         },
         2 => AckStatus::ShuttingDown,
         3 => AckStatus::UnknownTenant,
+        4 => AckStatus::Throttled {
+            retry_after: Duration::from_micros(r.u64()?),
+        },
         _ => return Err(WireError::Malformed("unknown ack status")),
     };
     r.done()?;
@@ -511,6 +525,9 @@ pub enum ErrorCode {
     /// The daemon received a frame kind it does not serve (e.g. a reply
     /// kind sent client → daemon).
     UnexpectedFrame,
+    /// The connection exceeded its per-connection rate limit on a control
+    /// frame (submissions get [`AckStatus::Throttled`] instead).
+    Throttled,
 }
 
 /// Encode an `ErrorReply` payload.
@@ -519,6 +536,7 @@ pub fn encode_error_reply(code: ErrorCode, msg: &str) -> Vec<u8> {
     w.put_u8(match code {
         ErrorCode::UnknownTenant => 1,
         ErrorCode::UnexpectedFrame => 2,
+        ErrorCode::Throttled => 3,
     });
     w.put_str16(msg);
     w.into_inner()
@@ -530,6 +548,7 @@ pub fn decode_error_reply(payload: &[u8]) -> Result<(ErrorCode, &str), WireError
     let code = match r.u8()? {
         1 => ErrorCode::UnknownTenant,
         2 => ErrorCode::UnexpectedFrame,
+        3 => ErrorCode::Throttled,
         _ => return Err(WireError::Malformed("unknown error code")),
     };
     let msg = r.str16()?;
@@ -589,15 +608,24 @@ mod tests {
             },
             AckStatus::ShuttingDown,
             AckStatus::UnknownTenant,
+            AckStatus::Throttled {
+                retry_after: Duration::from_micros(777),
+            },
         ] {
             let payload = encode_submit_ack(5, status);
             assert_eq!(decode_submit_ack(&payload).unwrap(), (5, status));
         }
-        let payload = encode_error_reply(ErrorCode::UnknownTenant, "no such tenant: X");
-        assert_eq!(
-            decode_error_reply(&payload).unwrap(),
-            (ErrorCode::UnknownTenant, "no such tenant: X")
-        );
+        for code in [
+            ErrorCode::UnknownTenant,
+            ErrorCode::UnexpectedFrame,
+            ErrorCode::Throttled,
+        ] {
+            let payload = encode_error_reply(code, "no such tenant: X");
+            assert_eq!(
+                decode_error_reply(&payload).unwrap(),
+                (code, "no such tenant: X")
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,382 @@
+//! Crash-recovery conformance: kill-primary takeover, revision replay,
+//! graceful drain, rate limiting, and `ReproBundle` subsumption.
+//!
+//! The headline property mirrors the speculative pipeline's: a day whose
+//! primary daemon dies mid-load and is finished by a warm standby rebuilt
+//! purely from the changeset log must commit the **bit-identical** route
+//! set an uninterrupted run commits — with zero audited collisions — even
+//! when the log ends in a torn half-written record.
+
+use carp_service::ingest::{duplex, serve_connection_limited, RateLimit};
+use carp_service::loadgen::{run_load_recovery, run_load_speculative, LoadScenario};
+use carp_service::service::ServiceConfig;
+use carp_service::tenant::TenantRegistry;
+use carp_service::wal::{self, read_log, ChangeOp, LogTail, ReplayState, WalJournal};
+use carp_service::wire::{WireClient, WireError, WireSubmitError};
+use carp_simenv::audit::ReproBundle;
+use carp_simenv::SimConfig;
+use carp_warehouse::collision::IncrementalAuditor;
+use carp_warehouse::layout::LayoutConfig;
+use carp_warehouse::planner::{PlanOutcome, Planner, SpeculativePlanner};
+use carp_warehouse::request::{QueryKind, Request, RequestId};
+use carp_warehouse::route::Route;
+use carp_warehouse::types::{Cell, Time};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct ScratchLog(PathBuf);
+
+impl ScratchLog {
+    fn new() -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        ScratchLog(
+            std::env::temp_dir().join(format!("carp-recovery-test-{}-{n}.wal", std::process::id())),
+        )
+    }
+}
+
+impl Drop for ScratchLog {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Kill the primary halfway through a W-2 day (with a torn tail injected
+/// on top) and finish on the standby: digest and audit must match the
+/// uninterrupted WAL-off baseline bit-for-bit.
+#[test]
+fn standby_takeover_finishes_the_day_bit_identically() {
+    let layout = carp_warehouse::layout::WarehousePreset::W2.generate();
+    let scenario = LoadScenario::new("W-2@4x", layout.clone(), 60, 600, 4.0, 104);
+    let sim = SimConfig::default();
+    let cfg = ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    };
+    let srp = || carp_srp::SrpPlanner::new(layout.matrix.clone(), carp_srp::SrpConfig::default());
+
+    let (baseline, _) = run_load_speculative(&scenario, srp(), sim.clone(), cfg);
+    assert_eq!(baseline.audit_conflicts, 0);
+
+    let last_arrival = scenario.tasks.last().map_or(0, |t| t.arrival);
+    let scratch = ScratchLog::new();
+    let (rec, _) = run_load_recovery(
+        &scenario,
+        srp,
+        sim,
+        cfg,
+        &scratch.0,
+        last_arrival / 2,
+        true, // torn tail: the standby must truncate a half-written record
+    );
+
+    assert!(rec.records_replayed > 0, "standby replayed nothing");
+    assert!(
+        rec.torn_tail_dropped > 0,
+        "torn tail was not injected/dropped"
+    );
+    assert!(rec.killed_at >= last_arrival / 2);
+    assert_eq!(rec.report.audit_conflicts, 0);
+    assert_eq!(
+        rec.report.routes_digest, baseline.routes_digest,
+        "recovered day diverged from the uninterrupted baseline"
+    );
+    // Both halves served real traffic.
+    assert!(rec.primary_metrics.planned > 0);
+    assert!(rec.report.service.planned > 0);
+    assert!(rec.wal_stats.appends > 0);
+}
+
+/// A deterministic planner that *revises* every active route on `advance`
+/// — the windowed-TWP/RP behaviour PR 6's replica replay excluded. Each
+/// request parks on its own private cell, so commits and revisions are
+/// always collision-free and the pipeline's audit stays green.
+#[derive(Clone, Default)]
+struct RevisingPlanner {
+    active: BTreeMap<RequestId, Route>,
+}
+
+fn park_route(id: RequestId, start: Time) -> Route {
+    // Five ticks of waiting on a cell unique to this request id.
+    Route::new(start, vec![Cell::new(id as u16, 0); 5])
+}
+
+impl Planner for RevisingPlanner {
+    fn name(&self) -> &'static str {
+        "revising-stub"
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.active.len() * std::mem::size_of::<(RequestId, Route)>()
+    }
+
+    fn plan(&mut self, req: &Request) -> PlanOutcome {
+        let route = park_route(req.id, req.t);
+        self.active.insert(req.id, route.clone());
+        PlanOutcome::Planned(route)
+    }
+
+    fn advance(&mut self, now: Time) -> Vec<(RequestId, Route)> {
+        self.active.retain(|_, r| r.end_time() >= now);
+        self.active
+            .iter_mut()
+            .map(|(&id, r)| {
+                *r = park_route(id, now);
+                (id, r.clone())
+            })
+            .collect()
+    }
+
+    fn cancel(&mut self, id: RequestId) -> bool {
+        self.active.remove(&id).is_some()
+    }
+}
+
+impl SpeculativePlanner for RevisingPlanner {
+    fn fork(&self) -> Self {
+        self.clone()
+    }
+
+    fn plan_candidate(&mut self, req: &Request) -> Option<Route> {
+        Some(park_route(req.id, req.t))
+    }
+
+    fn adopt(&mut self, id: RequestId, route: &Route) {
+        self.active.insert(id, route.clone());
+    }
+}
+
+/// Route revisions flow through the speculative pipeline (EpochOp::Revise,
+/// closing the PR 6 exclusion), land in the changeset log as Revise
+/// records, and replay into a standby planner with the authoritative
+/// routes — covering the windowed-TWP/RP shape end to end.
+#[test]
+fn revisions_are_journaled_and_replayed() {
+    let scratch = ScratchLog::new();
+    let journal = WalJournal::create(&scratch.0).expect("create journal");
+    let registry = TenantRegistry::new();
+    registry.attach_journal(Arc::clone(&journal));
+    registry.register_speculative(
+        "rev".to_string(),
+        RevisingPlanner::default(),
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    let tenant = registry.get("rev").expect("tenant registered");
+
+    let submit = |id: u64, t: Time| {
+        let req = Request::new(id, t, Cell::new(0, 0), Cell::new(1, 1), QueryKind::Pickup);
+        tenant.client().submit(req).expect("submit accepted").wait()
+    };
+    for id in 0..4u64 {
+        assert!(matches!(
+            submit(id, 0),
+            carp_service::service::PlanResponse::Planned(_)
+        ));
+    }
+    // All four routes end at t=4, so at now=2 each is still active and
+    // the planner revises all of them.
+    let revisions = tenant.client().advance(2);
+    assert_eq!(revisions.len(), 4, "planner revises every active route");
+    // The pipeline must stay consistent after the revision batch: more
+    // commits land on the revised audited state.
+    for id in 10..12u64 {
+        assert!(matches!(
+            submit(id, 2),
+            carp_service::service::PlanResponse::Planned(_)
+        ));
+    }
+    assert_eq!(registry.drain_all(), 1);
+
+    let (records, tail) = read_log(&scratch.0).expect("read log");
+    assert_eq!(tail, LogTail::Clean);
+    let revise_records = records
+        .iter()
+        .filter(|r| matches!(r.op, ChangeOp::Revise { .. }))
+        .count();
+    assert_eq!(revise_records, 4);
+    wal::audit_log(&records).expect("journaled history is collision-free");
+
+    // Replay everything before the close: counters and planner state must
+    // reflect the revisions, with revised routes starting at now=2.
+    let open_slice: Vec<_> = records
+        .iter()
+        .filter(|r| !matches!(r.op, ChangeOp::TenantClose))
+        .cloned()
+        .collect();
+    let state = ReplayState::from_records(&open_slice);
+    let t = &state.tenants["rev"];
+    assert_eq!(t.committed, 6);
+    assert_eq!(t.revised, 4);
+    assert_eq!(t.now, 2);
+    for id in 0..4u64 {
+        assert_eq!(t.active[&id].1.start, 2, "request {id} not revised");
+    }
+
+    let (planners, _) = wal::recover_planners(&open_slice, |_| RevisingPlanner::default());
+    let recovered = &planners["rev"];
+    assert_eq!(recovered.active.len(), 6);
+    for id in 0..4u64 {
+        assert_eq!(recovered.active[&id].start, 2);
+    }
+}
+
+/// Graceful drain: every tenant shut down in order, open/close bracketed
+/// in the log, log sealed clean.
+#[test]
+fn drain_all_closes_tenants_and_seals_the_log() {
+    let scratch = ScratchLog::new();
+    let journal = WalJournal::create(&scratch.0).expect("create journal");
+    let registry = TenantRegistry::new();
+    registry.attach_journal(Arc::clone(&journal));
+    registry.register_speculative(
+        "a".to_string(),
+        RevisingPlanner::default(),
+        ServiceConfig::default(),
+    );
+    registry.register_speculative(
+        "b".to_string(),
+        RevisingPlanner::default(),
+        ServiceConfig::default(),
+    );
+    let req = Request::new(7, 0, Cell::new(0, 0), Cell::new(1, 1), QueryKind::Pickup);
+    registry
+        .get("a")
+        .expect("tenant a")
+        .client()
+        .submit(req)
+        .expect("submit")
+        .wait();
+
+    assert_eq!(registry.drain_all(), 2);
+    assert!(registry.get("a").is_none());
+    assert!(registry.get("b").is_none());
+
+    let (records, tail) = read_log(&scratch.0).expect("read sealed log");
+    assert_eq!(tail, LogTail::Clean);
+    let opens = records
+        .iter()
+        .filter(|r| matches!(r.op, ChangeOp::TenantOpen))
+        .count();
+    let closes = records
+        .iter()
+        .filter(|r| matches!(r.op, ChangeOp::TenantClose))
+        .count();
+    assert_eq!((opens, closes), (2, 2));
+    // Drained history replays to the empty state: nothing left open.
+    assert!(ReplayState::from_records(&records).tenants.is_empty());
+}
+
+/// Rate limiting: the bucket refuses the frame *with a typed verdict* —
+/// Throttled ack for submits, Throttled error reply for control frames —
+/// and recovers once tokens refill.
+#[test]
+fn rate_limited_connection_gets_typed_refusals_then_recovers() {
+    let registry = Arc::new(TenantRegistry::new());
+    registry.register_speculative(
+        "rl".to_string(),
+        RevisingPlanner::default(),
+        ServiceConfig::default(),
+    );
+    let ((client_read, client_write), (server_read, server_write)) = duplex();
+    let server_registry = Arc::clone(&registry);
+    let server = std::thread::spawn(move || {
+        serve_connection_limited(
+            &server_registry,
+            server_read,
+            server_write,
+            Some(RateLimit {
+                burst: 1,
+                per_sec: 40.0,
+            }),
+        )
+    });
+    let mut client = WireClient::new(client_read, client_write);
+
+    let req = |id: u64| Request::new(id, 0, Cell::new(0, 0), Cell::new(1, 1), QueryKind::Pickup);
+    // Token 1: accepted.
+    client
+        .submit("rl", &req(1))
+        .expect("first submit fits the burst");
+    // Bucket empty: a submit gets a Throttled *ack* with a retry hint.
+    let retry_after = match client.submit("rl", &req(2)) {
+        Err(WireSubmitError::Throttled { retry_after }) => retry_after,
+        other => panic!("expected Throttled, got {other:?}"),
+    };
+    assert!(retry_after.as_secs_f64() > 0.0);
+    // A control frame while throttled gets the typed error reply.
+    match client.advance("rl", 1) {
+        Err(WireError::Throttled) => {}
+        other => panic!("expected WireError::Throttled, got {other:?}"),
+    }
+    // Refill (25 ms/token at 40/s, plus slack) and the connection works
+    // again — throttling never kills the session.
+    std::thread::sleep(retry_after + std::time::Duration::from_millis(100));
+    client.submit("rl", &req(2)).expect("submit after refill");
+    client.wait_plan(1).expect("reply for request 1");
+    client.wait_plan(2).expect("reply for request 2");
+    drop(client);
+    server
+        .join()
+        .expect("server thread")
+        .expect("clean connection end");
+}
+
+/// The changeset log subsumes `ReproBundle`: the pinned seed-104 fixture
+/// still replays directly, and a bundle derived from a journaled log
+/// slice replays the same way (same request stream, same audit verdict).
+#[test]
+fn seed_104_bundle_replays_directly_and_from_a_log_slice() {
+    let bundle = ReproBundle::from_json(include_str!("../../srp/tests/fixtures/seed_104.json"))
+        .expect("fixture parses");
+
+    // Direct replay: plan every request in order, audit every commit —
+    // the historical conflict stays fixed.
+    let replay = |layout_cfg: LayoutConfig, requests: &[Request]| -> usize {
+        let layout = layout_cfg.generate();
+        let mut planner = carp_srp::SrpPlanner::new(layout.matrix, carp_srp::SrpConfig::default());
+        let mut auditor = IncrementalAuditor::new();
+        let mut planned = 0usize;
+        for req in requests {
+            if let PlanOutcome::Planned(route) = planner.plan(req) {
+                auditor
+                    .commit(req.id, &route)
+                    .expect("replayed commit is collision-free");
+                planned += 1;
+            }
+        }
+        planned
+    };
+    let direct = replay(bundle.layout.clone(), &bundle.requests);
+    assert!(direct > 0, "fixture replay planned nothing");
+
+    // Log-slice conversion: journal the same day, derive a bundle from
+    // the log, and replay that — identical request stream, same verdict.
+    let scratch = ScratchLog::new();
+    {
+        let journal = WalJournal::create(&scratch.0).expect("create journal");
+        let layout = bundle.layout.generate();
+        let mut planner = carp_srp::SrpPlanner::new(layout.matrix, carp_srp::SrpConfig::default());
+        let tj = carp_service::wal::TenantJournal::new(journal, "seed-104");
+        tj.open();
+        for req in &bundle.requests {
+            if let PlanOutcome::Planned(route) = planner.plan(req) {
+                tj.commit(req, &route);
+            }
+        }
+        tj.close();
+    }
+    let (records, tail) = read_log(&scratch.0).expect("read journaled day");
+    assert_eq!(tail, LogTail::Clean);
+    let derived = wal::bundle_from_log(bundle.layout, &records, "seed-104");
+    assert_eq!(derived.requests.len(), direct);
+    // The derived bundle survives its own serialization format…
+    let rejson = ReproBundle::from_json(&derived.to_json()).expect("derived bundle round-trips");
+    // …and replays exactly like the original fixture's surviving stream.
+    assert_eq!(replay(rejson.layout, &rejson.requests), direct);
+}
