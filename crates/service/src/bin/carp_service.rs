@@ -25,10 +25,14 @@
 //! conformance digest diverges, which is the CI perf job's gate.
 
 use carp_service::ingest::{serve_tcp_graceful, RateLimit};
+#[cfg(unix)]
+use carp_service::loadgen::run_connection_ladder;
 use carp_service::loadgen::{
     run_load, run_load_journaled, run_load_multi, run_load_recovery, run_load_speculative,
     LoadScenario, TenantLoad,
 };
+#[cfg(unix)]
+use carp_service::mux::{serve_tcp_mux, MuxConfig, MuxMetrics};
 use carp_service::report::{LoadReport, RecoveryBenchReport, ServiceBenchReport, BENCH_VERSION};
 use carp_service::service::ServiceConfig;
 use carp_service::tenant::TenantRegistry;
@@ -92,7 +96,18 @@ const USAGE: &str = "usage: carp-service [options]
                       on a serial worker and require bit-identical digests
   --listen ADDR       daemon mode: serve the configured tenants over TCP on
                       ADDR (e.g. 127.0.0.1:7300) until SIGTERM/SIGINT, then
-                      drain every tenant, seal the changeset log, and exit 0
+                      drain every tenant, seal the changeset log, and exit 0;
+                      port 0 binds an ephemeral port (the chosen address is
+                      printed on stderr as `listening on ...`)
+  --mux-threads N     reactor threads for the event-loop front-end serving
+                      --listen and --connections (default 2)
+  --legacy-threads    with --listen: serve each connection on its own thread
+                      (the pre-reactor path) instead of the event loop
+  --connections N,... open-socket ladder over the event-loop front-end: one
+                      rung per N, holding N connections open (1 driving the
+                      measured day, N-1 churning a second tenant); writes
+                      BENCH_service_mux.json and fails unless every rung's
+                      route digest is bit-identical to the blocking path's
   --wal PATH          journal every commit/cancel/advance into a changeset
                       log at PATH (created fresh; daemon and load-run modes)
   --standby PATH      with --listen: warm-standby takeover — replay the
@@ -136,6 +151,9 @@ struct Opts {
     tenants: Vec<String>,
     conformance: bool,
     listen: Option<String>,
+    mux_threads: usize,
+    legacy_threads: bool,
+    connections: Option<Vec<usize>>,
     wal: Option<String>,
     standby: Option<String>,
     rate_limit: Option<u32>,
@@ -165,6 +183,9 @@ fn parse_opts() -> Opts {
         tenants: Vec::new(),
         conformance: false,
         listen: None,
+        mux_threads: 2,
+        legacy_threads: false,
+        connections: None,
         wal: None,
         standby: None,
         rate_limit: None,
@@ -229,6 +250,21 @@ fn parse_opts() -> Opts {
             }
             "--conformance" => opts.conformance = true,
             "--listen" => opts.listen = Some(value("--listen").to_string()),
+            "--mux-threads" => match value("--mux-threads").parse() {
+                Ok(n) if n > 0 => opts.mux_threads = n,
+                _ => usage_error("--mux-threads expects a positive integer"),
+            },
+            "--legacy-threads" => opts.legacy_threads = true,
+            "--connections" => {
+                let raw = value("--connections");
+                let conns: Result<Vec<usize>, _> = raw.split(',').map(str::parse).collect();
+                match conns {
+                    Ok(c) if !c.is_empty() && c.iter().all(|&n| n >= 1) => {
+                        opts.connections = Some(c)
+                    }
+                    _ => usage_error("--connections expects positive integers like 64,256"),
+                }
+            }
             "--wal" => opts.wal = Some(value("--wal").to_string()),
             "--standby" => opts.standby = Some(value("--standby").to_string()),
             "--rate-limit" => match value("--rate-limit").parse() {
@@ -420,8 +456,32 @@ fn run_daemon(addr: &str, profiles: &[TenantDayProfile], cfg: ServiceConfig, opt
         burst: n,
         per_sec: f64::from(n),
     });
-    eprintln!("carp-service: listening on {addr}");
-    match serve_tcp_graceful(listener, Arc::clone(&registry), shutdown, limit) {
+    // Print the *bound* address, not the requested one: with `:0` the
+    // kernel picks the port, and whoever spawned us needs to know it.
+    let bound = listener
+        .local_addr()
+        .map_or_else(|_| addr.to_string(), |a| a.to_string());
+    eprintln!("carp-service: listening on {bound}");
+    #[cfg(unix)]
+    let served = if opts.legacy_threads {
+        eprintln!("carp-service: legacy thread-per-connection front-end");
+        serve_tcp_graceful(listener, Arc::clone(&registry), shutdown, limit)
+    } else {
+        eprintln!(
+            "carp-service: event-loop front-end, {} reactor thread(s)",
+            opts.mux_threads
+        );
+        let config = MuxConfig {
+            threads: opts.mux_threads,
+            rate_limit: limit,
+            ..MuxConfig::default()
+        };
+        let metrics = Arc::new(MuxMetrics::default());
+        serve_tcp_mux(listener, Arc::clone(&registry), shutdown, config, metrics)
+    };
+    #[cfg(not(unix))]
+    let served = serve_tcp_graceful(listener, Arc::clone(&registry), shutdown, limit);
+    match served {
         Ok(()) => {
             // Graceful drain: stop accepting happened above; now shut each
             // tenant down in order (every queued request resolves, every
@@ -546,6 +606,97 @@ fn run_recovery(opts: &Opts, cfg: ServiceConfig, wal_path: &str) -> ! {
     }
     eprintln!("carp-service: recovery bench ok — three identical digests, no collisions");
     std::process::exit(0);
+}
+
+/// Open-socket ladder (`--connections`): the same day driven through the
+/// event-loop front-end under rising connection churn; emits
+/// `BENCH_service_mux.json` and fails unless every rung's digest matches
+/// the blocking path's and no rung audits a collision.
+#[cfg(unix)]
+fn run_ladder(opts: &Opts, cfg: ServiceConfig, connections: &[usize]) -> ! {
+    if opts.deadline_ms != 0 {
+        usage_error("--connections requires --deadline-ms 0 (digests must be deterministic)");
+    }
+    let layout = layout_for(&opts.preset);
+    let rate = opts.rates[0];
+    let scenario = LoadScenario::new(
+        format!("{}@{}x", opts.preset, rate),
+        layout.clone(),
+        opts.tasks,
+        opts.horizon,
+        rate,
+        opts.seed,
+    );
+    eprintln!(
+        "carp-service: connection ladder {} — {} mux thread(s), rungs {:?}",
+        scenario.name, opts.mux_threads, connections
+    );
+    let report = run_connection_ladder(
+        &scenario,
+        || srp(&layout),
+        opts.sim.clone(),
+        cfg,
+        opts.mux_threads,
+        connections,
+    );
+    for r in &report.rungs {
+        eprintln!(
+            "carp-service: {:>4} conns ({} churn): driver ack p50/p99 {}/{} us, churn \
+             {} reqs (ack p99 {} us), digest {:#018x}, {} conflicts, mux peak {} fds, \
+             {} polls, {} wakeups, {} partial reads / {} writes",
+            r.connections,
+            r.churn_connections,
+            r.driver_ack.p50_us,
+            r.driver_ack.p99_us,
+            r.churn_requests,
+            r.churn_ack.p99_us,
+            r.routes_digest,
+            r.audit_conflicts,
+            r.mux.peak_registered,
+            r.mux.polls,
+            r.mux.wakeups,
+            r.mux.partial_reads,
+            r.mux.partial_writes,
+        );
+    }
+    if let Some(ratio) = report.worst_driver_p99_ratio() {
+        eprintln!("carp-service: worst driver ack p99 vs 1-connection baseline: {ratio:.2}x");
+    }
+    let conflicts = report.total_audit_conflicts();
+    let json = report.to_json();
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("carp-service: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("carp-service: wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    if conflicts > 0 {
+        eprintln!("carp-service: FAIL — {conflicts} audited collision(s)");
+        std::process::exit(1);
+    }
+    if !report.digests_match {
+        eprintln!(
+            "carp-service: FAIL — a rung's digest diverged from the blocking path's \
+             {:#018x}",
+            report.baseline_digest
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "carp-service: connection ladder ok — every digest bit-identical to the \
+         blocking path, no collisions"
+    );
+    std::process::exit(0);
+}
+
+#[cfg(not(unix))]
+fn run_ladder(_opts: &Opts, _cfg: ServiceConfig, _connections: &[usize]) -> ! {
+    eprintln!("carp-service: --connections needs the event-loop front-end (unix-only)");
+    std::process::exit(2);
 }
 
 /// Multi-tenant load run, with the optional single-tenant conformance
@@ -680,6 +831,9 @@ fn main() {
     }
     if let Some(wal_path) = &opts.recovery {
         run_recovery(&opts, service_cfg, wal_path);
+    }
+    if let Some(connections) = opts.connections.clone() {
+        run_ladder(&opts, service_cfg, &connections);
     }
     if opts.conformance && profiles.is_empty() {
         usage_error("--conformance requires --tenants (or sim-config tenants)");

@@ -135,6 +135,17 @@ impl LatencyHistogram {
         self.max_us
     }
 
+    /// Fold another histogram's samples into this one — bucket counts add
+    /// exactly, so merging per-thread histograms loses nothing.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (c, o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += o;
+        }
+        self.total += other.total;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
     /// Freeze the histogram into a serializable summary.
     pub fn summary(&self) -> LatencySummary {
         LatencySummary {
@@ -144,6 +155,38 @@ impl LatencyHistogram {
             p95_us: self.percentile_us(0.95),
             p99_us: self.percentile_us(0.99),
             max_us: self.max_us,
+        }
+    }
+}
+
+impl LatencySummary {
+    /// Exact summary of raw microsecond samples (sorts them in place).
+    /// Unlike the bucketed histogram, percentiles here are true order
+    /// statistics — use this where *ratios between summaries* must be
+    /// meaningful (the connection ladder's 2× ack-latency gate), not just
+    /// trend direction.
+    pub fn from_samples_us(samples: &mut [u64]) -> LatencySummary {
+        if samples.is_empty() {
+            return LatencySummary {
+                count: 0,
+                mean_us: 0.0,
+                p50_us: 0,
+                p95_us: 0,
+                p99_us: 0,
+                max_us: 0,
+            };
+        }
+        samples.sort_unstable();
+        let count = samples.len();
+        let rank = |p: f64| samples[((p * count as f64).ceil() as usize).clamp(1, count) - 1];
+        let sum: u64 = samples.iter().fold(0, |a, &x| a.saturating_add(x));
+        LatencySummary {
+            count: count as u64,
+            mean_us: sum as f64 / count as f64,
+            p50_us: rank(0.50),
+            p95_us: rank(0.95),
+            p99_us: rank(0.99),
+            max_us: samples[count - 1],
         }
     }
 }
@@ -232,6 +275,36 @@ mod tests {
         for w in BOUNDS_US.windows(2) {
             assert!(w[0] < w[1]);
         }
+    }
+
+    #[test]
+    fn exact_summary_order_statistics() {
+        let mut samples: Vec<u64> = (1..=100).rev().collect();
+        let s = LatencySummary::from_samples_us(&mut samples);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_us, 50);
+        assert_eq!(s.p95_us, 95);
+        assert_eq!(s.p99_us, 99);
+        assert_eq!(s.max_us, 100);
+        assert!((s.mean_us - 50.5).abs() < 1e-9);
+        assert_eq!(LatencySummary::from_samples_us(&mut []).count, 0);
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for us in [3, 17, 230] {
+            a.record_us(us);
+            whole.record_us(us);
+        }
+        for us in [8, 4_500, 90_000] {
+            b.record_us(us);
+            whole.record_us(us);
+        }
+        a.merge(&b);
+        assert_eq!(a.summary(), whole.summary());
     }
 
     #[test]

@@ -50,14 +50,14 @@ pub struct RateLimit {
     pub per_sec: f64,
 }
 
-struct TokenBucket {
+pub(crate) struct TokenBucket {
     limit: RateLimit,
     tokens: f64,
     refilled: Instant,
 }
 
 impl TokenBucket {
-    fn new(limit: RateLimit) -> Self {
+    pub(crate) fn new(limit: RateLimit) -> Self {
         TokenBucket {
             limit,
             tokens: f64::from(limit.burst),
@@ -66,7 +66,7 @@ impl TokenBucket {
     }
 
     /// Take one token, or say how long until one will have refilled.
-    fn try_take(&mut self) -> Result<(), Duration> {
+    pub(crate) fn try_take(&mut self) -> Result<(), Duration> {
         let now = Instant::now();
         let refill = now.duration_since(self.refilled).as_secs_f64() * self.limit.per_sec;
         self.tokens = (self.tokens + refill).min(f64::from(self.limit.burst));

@@ -27,12 +27,17 @@
 //! [`Planner`]: carp_warehouse::planner::Planner
 //! [`PlanningService::spawn_speculative`]: service::PlanningService::spawn_speculative
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the mux reactor's `poll(2)` FFI shim ([`mux::sys`])
+// is the single, explicitly allowed unsafe island in the crate — everything
+// else still refuses `unsafe` at compile time.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod histogram;
 pub mod ingest;
 pub mod loadgen;
+#[cfg(unix)]
+pub mod mux;
 mod pipeline;
 pub mod report;
 pub mod service;
@@ -44,16 +49,21 @@ pub use histogram::{LatencyHistogram, LatencySummary};
 pub use ingest::{
     duplex, serve_connection, serve_connection_limited, serve_tcp, serve_tcp_graceful, RateLimit,
 };
+#[cfg(unix)]
+pub use loadgen::run_connection_ladder;
 pub use loadgen::{
     run_load, run_load_journaled, run_load_multi, run_load_recovery, run_load_speculative,
     LoadScenario, RecoveryRun, TenantLoad,
 };
+#[cfg(unix)]
+pub use mux::{serve_tcp_mux, MuxConfig, MuxMetrics};
 pub use report::{
-    routes_digest, LoadReport, RecoveryBenchReport, ServiceBenchReport, BENCH_VERSION,
+    routes_digest, ConnLadderRung, LoadReport, MuxBenchReport, MuxCounters, RecoveryBenchReport,
+    ServiceBenchReport, BENCH_VERSION,
 };
 pub use service::{
-    PlanResponse, PlanningService, ServiceClient, ServiceConfig, ServiceMetrics, SubmitError,
-    Ticket,
+    ControlReply, PlanResponse, PlanningService, ServiceClient, ServiceConfig, ServiceMetrics,
+    SubmitError, Ticket, WakeFn,
 };
 pub use tenant::{Tenant, TenantRegistry, WarehouseId, WireCounters, WireTally};
 pub use wal::{TenantJournal, WalJournal};

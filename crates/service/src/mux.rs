@@ -1,0 +1,929 @@
+//! Readiness-driven event-loop front-end: the multiplexed replacement for
+//! the thread-per-connection ingest path (DESIGN.md §16).
+//!
+//! ```text
+//!                    ┌─ reactor 0 ─ poll(2) over { self-pipe, conns… } ─┐
+//!  acceptor thread ─▶│  reactor 1    nonblocking reads → FrameDecoder   │─▶ TenantRegistry
+//!  (round-robin)     └─ reactor N    write buffers ← resolved tickets ──┘   (unchanged)
+//! ```
+//!
+//! The legacy path ([`crate::ingest::serve_connection`]) spends two OS
+//! threads per connection; the wall for the daemon then is connection
+//! *count*, not planning throughput. This module keeps every protocol
+//! invariant of that path while serving all sockets from a small fixed pool
+//! of reactor threads:
+//!
+//! * **Admission order** — each connection is owned by exactly one reactor,
+//!   which decodes and dispatches its frames strictly in arrival order, so
+//!   per-connection admission order (and therefore each tenant's commit
+//!   order and committed route set) is byte-for-byte what the blocking
+//!   reader produced. Acks are generated synchronously at admission, in
+//!   frame order, into the connection's write buffer.
+//! * **Reply order** — plan and control replies resolve through a FIFO
+//!   per-connection pending queue (the reactor polls only the queue head),
+//!   mirroring the legacy reply pump's strict admission-order ticket wait.
+//! * **Nothing blocks the loop** — submits use the nonblocking
+//!   [`ServiceClient::submit_with_waker`], clock advances and cancels the
+//!   deferred [`ServiceClient::advance_deferred`] /
+//!   [`ServiceClient::cancel_deferred`] variants, and each resolved reply
+//!   nudges the reactor through a self-pipe waker so `poll(2)` wakes the
+//!   instant a ticket is answerable (a short timeout backstops the one case
+//!   where no waker fires: a worker that died mid-request).
+//! * **Rate limiting and drain** — the per-connection token bucket runs
+//!   per inbound frame before any tenant lookup, exactly as in
+//!   [`crate::ingest`]; on shutdown the acceptor stops, reactors stop
+//!   reading, flush what the tenants still owe (bounded by
+//!   [`MuxConfig::drain_grace`]), and [`serve_tcp_mux`] returns so the
+//!   caller can [`TenantRegistry::drain_all`] and seal the WAL — the same
+//!   drain contract as [`crate::ingest::serve_tcp_graceful`].
+//!
+//! The reactor is hand-rolled on `poll(2)` through a single-declaration FFI
+//! shim ([`sys`]) — no event-loop dependency, no `libc` crate. This module
+//! is the only code in the crate allowed to contain `unsafe` (the crate
+//! root is `#![deny(unsafe_code)]`; the shim opts in locally).
+//!
+//! [`TenantRegistry::drain_all`]: crate::tenant::TenantRegistry::drain_all
+
+use crate::ingest::{RateLimit, TokenBucket};
+use crate::report::MuxCounters;
+use crate::service::{ControlReply, SubmitError, Ticket, WakeFn};
+use crate::tenant::{Tenant, TenantRegistry};
+use crate::wire::frame::{frame_len, write_frame, FrameDecoder, FrameKind, WireError};
+use crate::wire::schema::{self, AckStatus, ErrorCode};
+use carp_warehouse::request::RequestId;
+use carp_warehouse::route::Route;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The `poll(2)` system-call shim: one extern declaration and one safe
+/// wrapper. Kept to the smallest possible unsafe surface — the pointer and
+/// length handed to the kernel come straight from a live `&mut [PollFd]`.
+#[allow(unsafe_code)]
+mod sys {
+    use std::io;
+
+    /// There is data to read.
+    pub const POLLIN: i16 = 0x001;
+    /// Writing now will not block.
+    pub const POLLOUT: i16 = 0x004;
+    /// Error condition (revents only).
+    pub const POLLERR: i16 = 0x008;
+    /// Peer hung up (revents only).
+    pub const POLLHUP: i16 = 0x010;
+    /// Invalid fd (revents only).
+    pub const POLLNVAL: i16 = 0x020;
+
+    /// `struct pollfd` from `<poll.h>`.
+    #[repr(C)]
+    #[derive(Clone, Copy, Debug)]
+    pub struct PollFd {
+        /// File descriptor to watch.
+        pub fd: i32,
+        /// Requested events.
+        pub events: i16,
+        /// Returned events.
+        pub revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: core::ffi::c_ulong, timeout: i32) -> i32;
+    }
+
+    /// Block up to `timeout_ms` for readiness on `fds`; returns how many
+    /// entries have non-zero `revents`. `EINTR` reads as zero ready — the
+    /// caller's loop re-polls, which is the behaviour a signal wants.
+    pub fn poll_fds(fds: &mut [super::sys::PollFd], timeout_ms: i32) -> io::Result<usize> {
+        // SAFETY: `fds` is a live, exclusively borrowed slice; the kernel
+        // writes only within `fds.len()` entries, and only to `revents`.
+        let rc = unsafe {
+            poll(
+                fds.as_mut_ptr(),
+                fds.len() as core::ffi::c_ulong,
+                timeout_ms,
+            )
+        };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            return if err.kind() == io::ErrorKind::Interrupted {
+                Ok(0)
+            } else {
+                Err(err)
+            };
+        }
+        Ok(rc as usize)
+    }
+}
+
+/// How long the reactor sleeps in `poll(2)` when nothing is ready. Purely a
+/// backstop: real work arrives via socket readiness or the self-pipe waker;
+/// the timeout only bounds how long a ticket whose worker died without
+/// waking us (panic) waits before the `ServiceDied` answer is noticed.
+const POLL_TIMEOUT: Duration = Duration::from_millis(25);
+
+/// Reactor pool configuration for [`serve_tcp_mux`].
+#[derive(Debug, Clone, Copy)]
+pub struct MuxConfig {
+    /// Reactor threads sharing the connections (the fixed worker pool);
+    /// normalized up to 1.
+    pub threads: usize,
+    /// Optional per-connection token-bucket rate limit — same semantics as
+    /// [`crate::ingest::serve_connection_limited`].
+    pub rate_limit: Option<RateLimit>,
+    /// On shutdown, how long reactors keep resolving and flushing replies
+    /// the tenants still owe before closing the remaining connections.
+    /// Bounds daemon exit time when clients hold connections open.
+    pub drain_grace: Duration,
+}
+
+impl Default for MuxConfig {
+    fn default() -> Self {
+        MuxConfig {
+            threads: 2,
+            rate_limit: None,
+            drain_grace: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Shared reactor counters, updated lock-free by the acceptor and every
+/// reactor thread; snapshot with [`MuxMetrics::snapshot`].
+#[derive(Debug, Default)]
+pub struct MuxMetrics {
+    registered: AtomicU64,
+    peak_registered: AtomicU64,
+    accepted: AtomicU64,
+    polls: AtomicU64,
+    wakeups: AtomicU64,
+    pipe_wakeups: AtomicU64,
+    partial_reads: AtomicU64,
+    partial_writes: AtomicU64,
+    max_ready_set: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+}
+
+impl MuxMetrics {
+    fn register(&self) {
+        let now = self.registered.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_registered.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn deregister(&self, n: u64) {
+        self.registered.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Point-in-time serializable snapshot.
+    pub fn snapshot(&self) -> MuxCounters {
+        MuxCounters {
+            registered: self.registered.load(Ordering::Relaxed),
+            peak_registered: self.peak_registered.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            polls: self.polls.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+            pipe_wakeups: self.pipe_wakeups.load(Ordering::Relaxed),
+            partial_reads: self.partial_reads.load(Ordering::Relaxed),
+            partial_writes: self.partial_writes.load(Ordering::Relaxed),
+            max_ready_set: self.max_ready_set.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Self-pipe write end; `wake` is safe from any thread and coalesces —
+/// a full pipe means a wakeup is already pending, which is all we need.
+struct WakePipe {
+    tx: UnixStream,
+}
+
+impl WakePipe {
+    fn wake(&self) {
+        let _ = (&self.tx).write(&[1u8]);
+    }
+}
+
+/// A reply the connection still owes its client, queued in frame order.
+/// The reactor resolves strictly from the front: plan replies therefore
+/// stream in admission order and control replies slot into the exact
+/// position their request frame had — the same observable order a blocking
+/// per-connection reader + reply pump produced.
+enum Pending {
+    /// An admitted submit awaiting its terminal plan answer.
+    Plan {
+        tenant: Arc<Tenant>,
+        rid: RequestId,
+        ticket: Ticket,
+    },
+    /// A deferred clock advance awaiting its revision batch.
+    Advance {
+        tenant: Arc<Tenant>,
+        reply: ControlReply<Vec<(RequestId, Route)>>,
+    },
+    /// A deferred cancel awaiting its verdict.
+    Cancel {
+        tenant: Arc<Tenant>,
+        reply: ControlReply<bool>,
+    },
+}
+
+/// One registered client connection and its reassembly state.
+struct Conn {
+    stream: TcpStream,
+    peer: String,
+    decoder: FrameDecoder,
+    /// Bytes queued toward the client, flushed as the socket accepts them.
+    out: Vec<u8>,
+    pending: VecDeque<Pending>,
+    bucket: Option<TokenBucket>,
+    /// No more frames will be read (EOF, decode error, or drain mode);
+    /// the connection stays registered until its owed replies flush.
+    read_closed: bool,
+    /// Transport is broken; reap immediately.
+    dead: bool,
+}
+
+impl Conn {
+    fn wants_events(&self) -> i16 {
+        let mut ev = 0i16;
+        if !self.read_closed {
+            ev |= sys::POLLIN;
+        }
+        if !self.out.is_empty() {
+            ev |= sys::POLLOUT;
+        }
+        ev
+    }
+
+    /// Stop reading this connection (protocol error or EOF mid-frame): the
+    /// legacy reader severed its loop at this point while the reply pump
+    /// kept draining owed tickets — mirrored here by keeping the connection
+    /// registered until `pending` and `out` empty.
+    fn fail_read(&mut self) {
+        self.read_closed = true;
+        self.decoder = FrameDecoder::new();
+    }
+}
+
+/// Immutable per-reactor context shared by the frame handlers.
+struct Ctx {
+    registry: Arc<TenantRegistry>,
+    metrics: Arc<MuxMetrics>,
+    /// Completion waker handed to every tenant submission from this
+    /// reactor; fires the reactor's own self-pipe.
+    wake: WakeFn,
+}
+
+struct Reactor {
+    ctx: Ctx,
+    conns: Vec<Conn>,
+    inbox: Arc<Mutex<Vec<(TcpStream, String)>>>,
+    wake_rx: UnixStream,
+    shutdown: Arc<AtomicBool>,
+    rate_limit: Option<RateLimit>,
+    drain_grace: Duration,
+    /// Event-sweep start offset, advanced every iteration (fairness).
+    rotor: usize,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut drain_deadline: Option<Instant> = None;
+        let mut scratch = [0u8; 16 * 1024];
+        loop {
+            self.take_incoming(drain_deadline.is_some());
+            if drain_deadline.is_none() && self.shutdown.load(Ordering::SeqCst) {
+                // Drain mode: admit nothing new, settle what is owed.
+                drain_deadline = Some(Instant::now() + self.drain_grace);
+                for conn in &mut self.conns {
+                    conn.fail_read();
+                }
+            }
+            for conn in &mut self.conns {
+                Self::resolve_pending(&self.ctx, conn);
+                Self::flush(&self.ctx.metrics, conn);
+            }
+            self.reap();
+            if let Some(deadline) = drain_deadline {
+                if self.conns.is_empty() || Instant::now() >= deadline {
+                    self.ctx.metrics.deregister(self.conns.len() as u64);
+                    return;
+                }
+            }
+
+            let mut fds = Vec::with_capacity(self.conns.len() + 1);
+            fds.push(sys::PollFd {
+                fd: self.wake_rx.as_raw_fd(),
+                events: sys::POLLIN,
+                revents: 0,
+            });
+            for conn in &self.conns {
+                fds.push(sys::PollFd {
+                    fd: conn.stream.as_raw_fd(),
+                    events: conn.wants_events(),
+                    revents: 0,
+                });
+            }
+            let timeout = POLL_TIMEOUT.as_millis() as i32;
+            let ready = match sys::poll_fds(&mut fds, timeout) {
+                Ok(n) => n,
+                Err(e) => {
+                    eprintln!("carp-service: mux poll failed: {e}");
+                    self.ctx.metrics.deregister(self.conns.len() as u64);
+                    return;
+                }
+            };
+            let m = &self.ctx.metrics;
+            m.polls.fetch_add(1, Ordering::Relaxed);
+            if ready > 0 {
+                m.wakeups.fetch_add(1, Ordering::Relaxed);
+                m.max_ready_set.fetch_max(ready as u64, Ordering::Relaxed);
+            }
+            if fds[0].revents & sys::POLLIN != 0 {
+                m.pipe_wakeups.fetch_add(1, Ordering::Relaxed);
+                self.drain_wake_pipe(&mut scratch);
+            }
+            // Rotate where the sweep starts: with a fixed order, the conn
+            // registered last waits behind every other ready socket on
+            // every single wakeup, and its ack tail latency grows linearly
+            // with fan-in. Rotation makes the wait positional-average.
+            let n = self.conns.len();
+            let start = if n == 0 { 0 } else { self.rotor % n };
+            self.rotor = self.rotor.wrapping_add(1);
+            for j in 0..n {
+                let i = (start + j) % n;
+                let conn = &mut self.conns[i];
+                let re = fds[i + 1].revents;
+                if re == 0 {
+                    continue;
+                }
+                if re & sys::POLLNVAL != 0 {
+                    conn.dead = true;
+                    continue;
+                }
+                // HUP/ERR still allow draining whatever the kernel buffered
+                // before the peer vanished; the read path surfaces the
+                // EOF/error itself.
+                if re & (sys::POLLIN | sys::POLLHUP | sys::POLLERR) != 0 && !conn.read_closed {
+                    Self::read_conn(&self.ctx, conn, &mut scratch);
+                    // Acks are generated synchronously at admission; push
+                    // them onto the wire before touching the next ready
+                    // socket, so one connection's burst doesn't tax every
+                    // other connection's ack latency.
+                    Self::flush(&self.ctx.metrics, conn);
+                }
+                if re & sys::POLLOUT != 0 {
+                    Self::flush(&self.ctx.metrics, conn);
+                }
+            }
+        }
+    }
+
+    fn take_incoming(&mut self, draining: bool) {
+        let fresh = {
+            let mut inbox = self.inbox.lock().expect("mux inbox lock");
+            std::mem::take(&mut *inbox)
+        };
+        for (stream, peer) in fresh {
+            if stream.set_nonblocking(true).is_err() {
+                continue; // socket already dead; never registered
+            }
+            let _ = stream.set_nodelay(true);
+            self.ctx.metrics.register();
+            let mut conn = Conn {
+                stream,
+                peer,
+                decoder: FrameDecoder::new(),
+                out: Vec::new(),
+                pending: VecDeque::new(),
+                bucket: self.rate_limit.map(TokenBucket::new),
+                read_closed: false,
+                dead: false,
+            };
+            if draining {
+                conn.fail_read();
+            }
+            self.conns.push(conn);
+        }
+    }
+
+    fn drain_wake_pipe(&mut self, scratch: &mut [u8]) {
+        loop {
+            match (&self.wake_rx).read(scratch) {
+                Ok(0) => return, // all write ends dropped; nothing to drain
+                Ok(_) => continue,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Drain the socket until `EWOULDBLOCK`/EOF, handing every complete
+    /// frame to the dispatcher in arrival order.
+    fn read_conn(ctx: &Ctx, conn: &mut Conn, scratch: &mut [u8]) {
+        loop {
+            match conn.stream.read(scratch) {
+                Ok(0) => {
+                    // EOF: judge the frame boundary like the blocking path.
+                    if conn.decoder.finish().is_err() {
+                        eprintln!("carp-service: {}: {}", conn.peer, WireError::Truncated);
+                    }
+                    conn.fail_read();
+                    break;
+                }
+                Ok(n) => {
+                    conn.decoder.push(&scratch[..n]);
+                    loop {
+                        match conn.decoder.next_frame() {
+                            Ok(Some((kind, payload))) => {
+                                if let Err(e) = Self::handle_frame(ctx, conn, kind, &payload) {
+                                    eprintln!("carp-service: {}: {e}", conn.peer);
+                                    conn.fail_read();
+                                    break;
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(e) => {
+                                eprintln!("carp-service: {}: {e}", conn.peer);
+                                conn.fail_read();
+                                break;
+                            }
+                        }
+                    }
+                    if conn.read_closed {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if conn.decoder.buffered() > 0 {
+                        ctx.metrics.partial_reads.fetch_add(1, Ordering::Relaxed);
+                    }
+                    break;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    eprintln!("carp-service: {}: {}", conn.peer, WireError::from(e));
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Dispatch one inbound frame — the nonblocking mirror of the legacy
+    /// `read_loop` arm for arm: same rate-limit-first order, same tenant
+    /// tallies, same ack statuses, same typed error replies.
+    fn handle_frame(
+        ctx: &Ctx,
+        conn: &mut Conn,
+        kind: FrameKind,
+        payload: &[u8],
+    ) -> Result<(), WireError> {
+        ctx.metrics.frames_in.fetch_add(1, Ordering::Relaxed);
+        if let Some(retry_after) = conn.bucket.as_mut().and_then(|b| b.try_take().err()) {
+            if kind == FrameKind::Submit {
+                let (_tenant, request) = schema::decode_submit(payload)?;
+                let ack =
+                    schema::encode_submit_ack(request.id, AckStatus::Throttled { retry_after });
+                Self::queue_frame(ctx, conn, None, FrameKind::SubmitAck, &ack);
+            } else {
+                let reply = schema::encode_error_reply(
+                    ErrorCode::Throttled,
+                    "connection rate limit exceeded",
+                );
+                Self::queue_frame(ctx, conn, None, FrameKind::ErrorReply, &reply);
+            }
+            return Ok(());
+        }
+        let wire_bytes = frame_len(payload.len());
+        match kind {
+            FrameKind::Submit => {
+                let (tenant_id, request) = schema::decode_submit(payload)?;
+                let Some(tenant) = ctx.registry.get(tenant_id) else {
+                    let ack = schema::encode_submit_ack(request.id, AckStatus::UnknownTenant);
+                    Self::queue_frame(ctx, conn, None, FrameKind::SubmitAck, &ack);
+                    return Ok(());
+                };
+                tenant.wire().frame_received(wire_bytes);
+                let rid = request.id;
+                let status = match tenant
+                    .client()
+                    .submit_with_waker(request, Some(Arc::clone(&ctx.wake)))
+                {
+                    Ok(ticket) => {
+                        conn.pending.push_back(Pending::Plan {
+                            tenant: Arc::clone(&tenant),
+                            rid,
+                            ticket,
+                        });
+                        AckStatus::Accepted
+                    }
+                    Err(SubmitError::Backpressure {
+                        retry_after,
+                        queue_depth,
+                    }) => AckStatus::Backpressure {
+                        retry_after,
+                        queue_depth,
+                    },
+                    Err(SubmitError::ShuttingDown) => AckStatus::ShuttingDown,
+                };
+                let ack = schema::encode_submit_ack(rid, status);
+                Self::queue_frame(ctx, conn, Some(&tenant), FrameKind::SubmitAck, &ack);
+            }
+            FrameKind::Advance => {
+                let (tenant_id, now) = schema::decode_advance(payload)?;
+                let Some(tenant) = Self::lookup(ctx, conn, tenant_id) else {
+                    return Ok(());
+                };
+                tenant.wire().frame_received(wire_bytes);
+                let reply = tenant
+                    .client()
+                    .advance_deferred(now, Some(Arc::clone(&ctx.wake)));
+                conn.pending.push_back(Pending::Advance { tenant, reply });
+            }
+            FrameKind::Cancel => {
+                let (tenant_id, id) = schema::decode_cancel(payload)?;
+                let Some(tenant) = Self::lookup(ctx, conn, tenant_id) else {
+                    return Ok(());
+                };
+                tenant.wire().frame_received(wire_bytes);
+                let reply = tenant
+                    .client()
+                    .cancel_deferred(id, Some(Arc::clone(&ctx.wake)));
+                conn.pending.push_back(Pending::Cancel { tenant, reply });
+            }
+            FrameKind::MetricsQuery => {
+                let tenant_id = schema::decode_metrics_query(payload)?;
+                let Some(tenant) = Self::lookup(ctx, conn, tenant_id) else {
+                    return Ok(());
+                };
+                tenant.wire().frame_received(wire_bytes);
+                let metrics = tenant.client().metrics();
+                let wire = tenant.wire().snapshot();
+                let reply = schema::encode_metrics_reply(&metrics, &wire);
+                Self::queue_frame(ctx, conn, Some(&tenant), FrameKind::MetricsReply, &reply);
+            }
+            FrameKind::SubmitAck
+            | FrameKind::PlanReply
+            | FrameKind::AdvanceReply
+            | FrameKind::CancelReply
+            | FrameKind::MetricsReply
+            | FrameKind::ErrorReply => {
+                let reply = schema::encode_error_reply(
+                    ErrorCode::UnexpectedFrame,
+                    "frame kind is daemon to client only",
+                );
+                Self::queue_frame(ctx, conn, None, FrameKind::ErrorReply, &reply);
+            }
+        }
+        Ok(())
+    }
+
+    fn lookup(ctx: &Ctx, conn: &mut Conn, tenant_id: &str) -> Option<Arc<Tenant>> {
+        match ctx.registry.get(tenant_id) {
+            Some(t) => Some(t),
+            None => {
+                let reply = schema::encode_error_reply(ErrorCode::UnknownTenant, tenant_id);
+                Self::queue_frame(ctx, conn, None, FrameKind::ErrorReply, &reply);
+                None
+            }
+        }
+    }
+
+    /// Encode one daemon → client frame into the connection's write buffer,
+    /// tallying it on `tenant` when known (mirrors the legacy `send`).
+    fn queue_frame(
+        ctx: &Ctx,
+        conn: &mut Conn,
+        tenant: Option<&Tenant>,
+        kind: FrameKind,
+        payload: &[u8],
+    ) {
+        write_frame(&mut conn.out, kind, payload).expect("Vec<u8> writes are infallible");
+        ctx.metrics.frames_out.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = tenant {
+            t.wire().frame_sent(frame_len(payload.len()));
+        }
+    }
+
+    /// Resolve owed replies strictly from the queue front, preserving the
+    /// legacy reply pump's admission-order reply stream.
+    fn resolve_pending(ctx: &Ctx, conn: &mut Conn) {
+        while let Some(front) = conn.pending.front() {
+            let resolved = match front {
+                Pending::Plan { ticket, .. } => match ticket.poll_response() {
+                    Some(response) => {
+                        let Some(Pending::Plan { tenant, rid, .. }) = conn.pending.pop_front()
+                        else {
+                            unreachable!("front variant checked");
+                        };
+                        let payload = schema::encode_plan_reply(rid, &response);
+                        Self::queue_frame(ctx, conn, Some(&tenant), FrameKind::PlanReply, &payload);
+                        true
+                    }
+                    None => false,
+                },
+                Pending::Advance { reply, .. } => match reply.poll_response() {
+                    Some(revisions) => {
+                        let Some(Pending::Advance { tenant, .. }) = conn.pending.pop_front() else {
+                            unreachable!("front variant checked");
+                        };
+                        let payload = schema::encode_advance_reply(&revisions);
+                        Self::queue_frame(
+                            ctx,
+                            conn,
+                            Some(&tenant),
+                            FrameKind::AdvanceReply,
+                            &payload,
+                        );
+                        true
+                    }
+                    None => false,
+                },
+                Pending::Cancel { reply, .. } => match reply.poll_response() {
+                    Some(ok) => {
+                        let Some(Pending::Cancel { tenant, .. }) = conn.pending.pop_front() else {
+                            unreachable!("front variant checked");
+                        };
+                        let payload = schema::encode_cancel_reply(ok);
+                        Self::queue_frame(
+                            ctx,
+                            conn,
+                            Some(&tenant),
+                            FrameKind::CancelReply,
+                            &payload,
+                        );
+                        true
+                    }
+                    None => false,
+                },
+            };
+            if !resolved {
+                break;
+            }
+        }
+    }
+
+    /// Push buffered bytes out until the socket pushes back.
+    fn flush(metrics: &MuxMetrics, conn: &mut Conn) {
+        while !conn.out.is_empty() {
+            match conn.stream.write(&conn.out) {
+                Ok(0) => {
+                    conn.dead = true;
+                    return;
+                }
+                Ok(n) => {
+                    let short = n < conn.out.len();
+                    conn.out.drain(..n);
+                    if short {
+                        metrics.partial_writes.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    metrics.partial_writes.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Client gone mid-reply. Owed tickets keep resolving in
+                    // their tenants (admitted work is never lost); only the
+                    // transport is finished.
+                    conn.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Drop connections that are finished: transport dead, or read side
+    /// done with nothing further owed.
+    fn reap(&mut self) {
+        let metrics = &self.ctx.metrics;
+        let before = self.conns.len();
+        self.conns
+            .retain(|c| !(c.dead || c.read_closed && c.pending.is_empty() && c.out.is_empty()));
+        let reaped = before - self.conns.len();
+        if reaped > 0 {
+            metrics.deregister(reaped as u64);
+        }
+    }
+}
+
+/// Accept TCP connections and serve them all from `config.threads` reactor
+/// threads until `shutdown` is set — the multiplexed replacement for
+/// [`crate::ingest::serve_tcp_graceful`], with the same drain contract:
+/// once the flag is set the listener stops accepting, reactors settle what
+/// connected clients are still owed (bounded by [`MuxConfig::drain_grace`])
+/// and `serve_tcp_mux` returns `Ok(())` so the caller can drain tenants and
+/// seal the changeset log. `metrics` is shared so callers can snapshot
+/// reactor counters while the daemon serves.
+pub fn serve_tcp_mux(
+    listener: TcpListener,
+    registry: Arc<TenantRegistry>,
+    shutdown: Arc<AtomicBool>,
+    config: MuxConfig,
+    metrics: Arc<MuxMetrics>,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let threads = config.threads.max(1);
+    let mut inboxes = Vec::with_capacity(threads);
+    let mut wakers = Vec::with_capacity(threads);
+    let mut handles = Vec::with_capacity(threads);
+    for i in 0..threads {
+        let (wake_rx, wake_tx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        wake_tx.set_nonblocking(true)?;
+        let pipe = Arc::new(WakePipe { tx: wake_tx });
+        let inbox: Arc<Mutex<Vec<(TcpStream, String)>>> = Arc::new(Mutex::new(Vec::new()));
+        let reactor = Reactor {
+            ctx: Ctx {
+                registry: Arc::clone(&registry),
+                metrics: Arc::clone(&metrics),
+                wake: {
+                    let pipe = Arc::clone(&pipe);
+                    Arc::new(move || pipe.wake())
+                },
+            },
+            conns: Vec::new(),
+            inbox: Arc::clone(&inbox),
+            wake_rx,
+            shutdown: Arc::clone(&shutdown),
+            rate_limit: config.rate_limit,
+            drain_grace: config.drain_grace,
+            rotor: 0,
+        };
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("carp-mux-{i}"))
+                .spawn(move || reactor.run())
+                .expect("spawn mux reactor thread"),
+        );
+        inboxes.push(inbox);
+        wakers.push(pipe);
+    }
+
+    let mut next = 0usize;
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                metrics.accepted.fetch_add(1, Ordering::Relaxed);
+                let slot = next % threads;
+                next += 1;
+                inboxes[slot]
+                    .lock()
+                    .expect("mux inbox lock")
+                    .push((stream, peer.to_string()));
+                wakers[slot].wake();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    for w in &wakers {
+        w.wake();
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use crate::wire::client::WireClient;
+    use carp_warehouse::planner::{PlanOutcome, Planner};
+    use carp_warehouse::request::{QueryKind, Request};
+    use carp_warehouse::route::Route;
+    use carp_warehouse::types::Cell;
+
+    struct StubPlanner;
+
+    impl Planner for StubPlanner {
+        fn name(&self) -> &'static str {
+            "mux-stub"
+        }
+        fn plan(&mut self, req: &Request) -> PlanOutcome {
+            PlanOutcome::Planned(Route::stationary(req.t, req.origin))
+        }
+        fn cancel(&mut self, _id: carp_warehouse::request::RequestId) -> bool {
+            true
+        }
+        fn memory_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    fn registry() -> Arc<TenantRegistry> {
+        let registry = Arc::new(TenantRegistry::new());
+        let cfg = ServiceConfig {
+            deadline: None,
+            ..ServiceConfig::default()
+        };
+        registry.register("W-test", StubPlanner, cfg);
+        registry
+    }
+
+    type Harness = (
+        std::net::SocketAddr,
+        Arc<AtomicBool>,
+        Arc<MuxMetrics>,
+        std::thread::JoinHandle<std::io::Result<()>>,
+        Arc<TenantRegistry>,
+    );
+
+    fn start(config: MuxConfig) -> Harness {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr");
+        let registry = registry();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(MuxMetrics::default());
+        let srv = {
+            let registry = Arc::clone(&registry);
+            let shutdown = Arc::clone(&shutdown);
+            let metrics = Arc::clone(&metrics);
+            std::thread::spawn(move || serve_tcp_mux(listener, registry, shutdown, config, metrics))
+        };
+        (addr, shutdown, metrics, srv, registry)
+    }
+
+    fn req(id: u64) -> Request {
+        Request::new(id, 0, Cell::new(0, 0), Cell::new(0, 1), QueryKind::Pickup)
+    }
+
+    #[test]
+    fn full_protocol_round_trip_over_the_reactor() {
+        let (addr, shutdown, metrics, srv, _registry) = start(MuxConfig::default());
+        let stream = TcpStream::connect(addr).expect("connect");
+        let reader = stream.try_clone().expect("clone");
+        let mut client = WireClient::new(reader, stream);
+        for id in 0..8u64 {
+            client.submit("W-test", &req(id)).expect("submit acked");
+        }
+        for id in 0..8u64 {
+            let response = client.wait_plan(id).expect("plan reply");
+            assert!(response.route().is_some(), "request {id} planned");
+        }
+        assert!(client.advance("W-test", 10).expect("advance").is_empty());
+        assert!(client.cancel("W-test", 3).expect("cancel"));
+        let (m, _wire) = client.metrics("W-test").expect("metrics");
+        assert_eq!(m.planned, 8);
+        drop(client);
+        shutdown.store(true, Ordering::SeqCst);
+        srv.join().expect("server thread").expect("serve ok");
+        let counters = metrics.snapshot();
+        assert_eq!(counters.accepted, 1);
+        assert_eq!(counters.registered, 0, "connection reaped");
+        assert!(counters.frames_in >= 11);
+    }
+
+    #[test]
+    fn torn_frame_then_disconnect_is_reaped_not_wedged() {
+        let (addr, shutdown, metrics, srv, _registry) = start(MuxConfig::default());
+        {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.write_all(b"CARP\x01\x00").expect("half a header");
+            // Force the reactor to register + read before we vanish.
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while metrics.snapshot().registered != 0 {
+            assert!(Instant::now() < deadline, "torn connection never reaped");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        shutdown.store(true, Ordering::SeqCst);
+        srv.join().expect("server thread").expect("serve ok");
+    }
+
+    #[test]
+    fn shutdown_mid_connection_drains_and_returns() {
+        let (addr, shutdown, _metrics, srv, _registry) = start(MuxConfig {
+            drain_grace: Duration::from_millis(200),
+            ..MuxConfig::default()
+        });
+        let stream = TcpStream::connect(addr).expect("connect");
+        let reader = stream.try_clone().expect("clone");
+        let mut client = WireClient::new(reader, stream);
+        client.submit("W-test", &req(0)).expect("submit acked");
+        assert!(client.wait_plan(0).expect("plan reply").route().is_some());
+        // Client keeps the socket open across shutdown: the reactor must
+        // not wait for its EOF.
+        shutdown.store(true, Ordering::SeqCst);
+        let started = Instant::now();
+        srv.join().expect("server thread").expect("serve ok");
+        assert!(
+            started.elapsed() < Duration::from_secs(3),
+            "drain must be bounded by the grace period"
+        );
+    }
+}

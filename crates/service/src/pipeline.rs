@@ -33,7 +33,7 @@
 //! DAGs: replicas converge by exchanging operations, conflicts resolve by
 //! a deterministic order — here, admission sequence).
 
-use crate::service::{record_turnaround, Control, Envelope, PlanResponse, Shared};
+use crate::service::{record_turnaround, Control, Envelope, PlanResponse, ReplySender, Shared};
 use carp_warehouse::collision::IncrementalAuditor;
 use carp_warehouse::planner::{CancelToken, PlanOutcome, SpeculativePlanner};
 use carp_warehouse::request::{Request, RequestId};
@@ -41,7 +41,6 @@ use carp_warehouse::route::Route;
 use carp_warehouse::types::Time;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::Ordering;
-use std::sync::mpsc;
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
@@ -159,7 +158,7 @@ pub(crate) struct SpecResult {
     pub(crate) snapshot_epoch: usize,
     pub(crate) request: Request,
     pub(crate) enqueued_at: Instant,
-    pub(crate) reply: mpsc::Sender<PlanResponse>,
+    pub(crate) reply: ReplySender<PlanResponse>,
     pub(crate) outcome: SpecOutcome,
 }
 
@@ -532,7 +531,7 @@ impl<P: SpeculativePlanner> CommitStage<P> {
         attempt: u32,
         request: Request,
         enqueued_at: Instant,
-        reply: mpsc::Sender<PlanResponse>,
+        reply: ReplySender<PlanResponse>,
     ) {
         let c = &self.shared.counters;
         if attempt < self.shared.config.speculation_retries {
@@ -622,7 +621,7 @@ impl<P: SpeculativePlanner> CommitStage<P> {
     /// Answer the ticket, close out the seq, and advance the commit cursor.
     fn reply_final(
         &mut self,
-        reply: mpsc::Sender<PlanResponse>,
+        reply: ReplySender<PlanResponse>,
         response: PlanResponse,
         enqueued_at: Instant,
     ) {

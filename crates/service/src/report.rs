@@ -207,6 +207,118 @@ impl RecoveryBenchReport {
     }
 }
 
+/// Serializable snapshot of the mux reactor counters
+/// ([`MuxMetrics`](crate::mux::MuxMetrics) on unix); lands in
+/// `BENCH_service_mux.json`. Defined here rather than in the (unix-only)
+/// `mux` module so reports stay parseable on every platform.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MuxCounters {
+    /// Client sockets currently registered with a reactor.
+    pub registered: u64,
+    /// High-water mark of concurrently registered sockets.
+    pub peak_registered: u64,
+    /// Connections ever accepted.
+    pub accepted: u64,
+    /// `poll(2)` calls issued.
+    pub polls: u64,
+    /// `poll(2)` returns with at least one ready descriptor.
+    pub wakeups: u64,
+    /// Wakeups delivered through the self-pipe (ticket completions and
+    /// acceptor nudges, as opposed to socket readiness).
+    pub pipe_wakeups: u64,
+    /// Socket drains that left a partial frame buffered in the decoder —
+    /// frames reassembled across reads.
+    pub partial_reads: u64,
+    /// Flushes that could not push the whole write buffer out (short write
+    /// or `EWOULDBLOCK`) — replies reassembled across writes by the peer.
+    pub partial_writes: u64,
+    /// Largest ready set a single `poll(2)` return delivered.
+    pub max_ready_set: u64,
+    /// Frames decoded from clients.
+    pub frames_in: u64,
+    /// Frames queued toward clients.
+    pub frames_out: u64,
+}
+
+/// One rung of the connection ladder: the measured tenant's day driven over
+/// one mux connection while `churn_connections` extra sockets hammer a
+/// churn tenant on the same reactor pool.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConnLadderRung {
+    /// Total concurrent connections held open during the driver's day
+    /// (1 driver + churn).
+    pub connections: usize,
+    /// Churn connections (0 on the baseline rung).
+    pub churn_connections: usize,
+    /// Submit → ack latency observed by the driver connection, client-side
+    /// (the acceptance metric: admission must not degrade with fan-in).
+    pub driver_ack: crate::histogram::LatencySummary,
+    /// Submit → ack latency observed across the churn connections.
+    pub churn_ack: crate::histogram::LatencySummary,
+    /// Requests the churn connections submitted (and cancelled).
+    pub churn_requests: u64,
+    /// Digest of the measured tenant's committed route set — must equal
+    /// the legacy single-connection baseline digest at every rung.
+    pub routes_digest: u64,
+    /// Audited conflicts in the measured tenant's committed set (must be 0).
+    pub audit_conflicts: usize,
+    /// Wall-clock seconds for the rung.
+    pub wall_secs: f64,
+    /// Reactor counters accumulated during the rung.
+    pub mux: MuxCounters,
+}
+
+/// The `BENCH_service_mux.json` document: a connection-count ladder over
+/// the event-loop front-end, digest-gated against the legacy
+/// thread-per-connection path.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MuxBenchReport {
+    /// Schema version (shares [`BENCH_VERSION`]).
+    pub version: u32,
+    /// Scenario label of the measured tenant's day.
+    pub scenario: String,
+    /// Reactor threads serving every rung.
+    pub mux_threads: usize,
+    /// Digest of the same day driven through the legacy blocking
+    /// thread-per-connection path — the conformance reference.
+    pub baseline_digest: u64,
+    /// Every rung's digest equals `baseline_digest` (the CI gate).
+    pub digests_match: bool,
+    /// One entry per tested connection count, ascending.
+    pub rungs: Vec<ConnLadderRung>,
+}
+
+impl MuxBenchReport {
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Parse a report document.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Audited conflicts summed over all rungs (the CI gate).
+    pub fn total_audit_conflicts(&self) -> usize {
+        self.rungs.iter().map(|r| r.audit_conflicts).sum()
+    }
+
+    /// Worst driver ack p99 across rungs as a multiple of the first
+    /// (1-connection) rung's p99 — the "within 2× of baseline" acceptance
+    /// check. `None` with fewer than two rungs or a zero baseline.
+    pub fn worst_driver_p99_ratio(&self) -> Option<f64> {
+        let base = self.rungs.first()?.driver_ack.p99_us;
+        if base == 0 || self.rungs.len() < 2 {
+            return None;
+        }
+        self.rungs[1..]
+            .iter()
+            .map(|r| r.driver_ack.p99_us as f64 / base as f64)
+            .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
+    }
+}
+
 /// Order-independent digest of a committed route set: FNV-1a over
 /// `(id, start, cells…)` of every route, visited in ascending id order.
 pub fn routes_digest(routes: &HashMap<RequestId, Route>) -> u64 {

@@ -180,6 +180,101 @@ impl Ticket {
     pub fn wait(self) -> PlanResponse {
         self.rx.recv().unwrap_or(PlanResponse::ServiceDied)
     }
+
+    /// Non-blocking probe: `Some(response)` once the worker has answered
+    /// (a dead worker resolves to [`PlanResponse::ServiceDied`], as in
+    /// [`Ticket::wait`]), `None` while the answer is still pending. The
+    /// event-loop front-end ([`crate::mux`]) polls tickets this way so a
+    /// slow plan never blocks the reactor thread.
+    pub fn poll_response(&self) -> Option<PlanResponse> {
+        match self.rx.try_recv() {
+            Ok(resp) => Some(resp),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(PlanResponse::ServiceDied),
+        }
+    }
+}
+
+/// Completion callback a nonblocking submitter can attach to a request:
+/// invoked by the worker *after* the reply has been sent, so a reactor can
+/// sleep in `poll(2)` and be nudged the instant a ticket is resolvable.
+pub type WakeFn = Arc<dyn Fn() + Send + Sync>;
+
+/// Reply channel plus the optional completion waker. `send` delivers the
+/// value first and fires the waker second — a woken poller is guaranteed to
+/// observe the value.
+pub(crate) struct ReplySender<T> {
+    pub(crate) tx: mpsc::Sender<T>,
+    pub(crate) waker: Option<WakeFn>,
+}
+
+impl<T> ReplySender<T> {
+    pub(crate) fn new(tx: mpsc::Sender<T>, waker: Option<WakeFn>) -> Self {
+        ReplySender { tx, waker }
+    }
+
+    pub(crate) fn send(&self, value: T) -> Result<(), mpsc::SendError<T>> {
+        let out = self.tx.send(value);
+        if let Some(wake) = &self.waker {
+            wake();
+        }
+        out
+    }
+}
+
+impl<T> Clone for ReplySender<T> {
+    fn clone(&self) -> Self {
+        ReplySender {
+            tx: self.tx.clone(),
+            waker: self.waker.clone(),
+        }
+    }
+}
+
+/// Deferred handle for a control command ([`ServiceClient::advance_deferred`]
+/// / [`ServiceClient::cancel_deferred`]): resolves to the command's reply
+/// without ever blocking the poller. `default` is the value surfaced when
+/// the service shut down before answering (mirroring the blocking paths'
+/// `unwrap_or` fallbacks).
+pub struct ControlReply<T> {
+    rx: Option<mpsc::Receiver<T>>,
+    default: fn() -> T,
+}
+
+impl<T> ControlReply<T> {
+    fn pending(rx: mpsc::Receiver<T>, default: fn() -> T) -> Self {
+        ControlReply {
+            rx: Some(rx),
+            default,
+        }
+    }
+
+    /// A reply that is already resolved to the fallback value (the service
+    /// was shutting down; the command was never enqueued).
+    fn resolved(default: fn() -> T) -> Self {
+        ControlReply { rx: None, default }
+    }
+
+    /// Non-blocking probe: `Some(value)` once answered (or immediately for
+    /// a shutdown-resolved reply), `None` while pending.
+    pub fn poll_response(&self) -> Option<T> {
+        match &self.rx {
+            None => Some((self.default)()),
+            Some(rx) => match rx.try_recv() {
+                Ok(v) => Some(v),
+                Err(mpsc::TryRecvError::Empty) => None,
+                Err(mpsc::TryRecvError::Disconnected) => Some((self.default)()),
+            },
+        }
+    }
+
+    /// Block until the command is answered.
+    pub fn wait(self) -> T {
+        match self.rx {
+            None => (self.default)(),
+            Some(rx) => rx.recv().unwrap_or_else(|_| (self.default)()),
+        }
+    }
 }
 
 /// One queued unit of work.
@@ -193,7 +288,7 @@ pub(crate) struct Envelope {
     pub(crate) attempt: u32,
     pub(crate) request: Request,
     pub(crate) enqueued_at: Instant,
-    pub(crate) reply: mpsc::Sender<PlanResponse>,
+    pub(crate) reply: ReplySender<PlanResponse>,
 }
 
 /// Control-plane commands; these bypass admission control (they carry the
@@ -203,12 +298,12 @@ pub(crate) enum Control {
     /// revisions, which are sent back to the caller.
     Advance {
         now: Time,
-        reply: mpsc::Sender<Vec<(RequestId, Route)>>,
+        reply: ReplySender<Vec<(RequestId, Route)>>,
     },
     /// Cancel a committed route.
     Cancel {
         id: RequestId,
-        reply: mpsc::Sender<bool>,
+        reply: ReplySender<bool>,
     },
 }
 
@@ -337,6 +432,18 @@ impl ServiceClient {
     /// the admission-control contract — callers back off, the queue never
     /// grows past its bound).
     pub fn submit(&self, request: Request) -> Result<Ticket, SubmitError> {
+        self.submit_with_waker(request, None)
+    }
+
+    /// [`ServiceClient::submit`] with an optional completion waker, fired
+    /// by the worker right after the reply is sent. A nonblocking poller
+    /// (the [`crate::mux`] reactor) passes its self-pipe nudge here so
+    /// resolved tickets are flushed without a busy poll-timeout wait.
+    pub fn submit_with_waker(
+        &self,
+        request: Request,
+        waker: Option<WakeFn>,
+    ) -> Result<Ticket, SubmitError> {
         let (tx, rx) = mpsc::channel();
         let id = request.id;
         {
@@ -361,7 +468,7 @@ impl ServiceClient {
                 attempt: 0,
                 request,
                 enqueued_at: Instant::now(),
-                reply: tx,
+                reply: ReplySender::new(tx, waker),
             });
             // Incremented under the lock: a concurrent `metrics()` snapshot
             // must never observe `queue_depth > submitted`.
@@ -378,38 +485,71 @@ impl ServiceClient {
     /// engine's `remove_batch` path) and return any route revisions.
     /// Blocks until the worker has processed the command.
     pub fn advance(&self, now: Time) -> Vec<(RequestId, Route)> {
+        self.advance_deferred(now, None).wait()
+    }
+
+    /// Enqueue a clock advance without waiting for it: the returned handle
+    /// resolves (via [`ControlReply::poll_response`]) once the worker has
+    /// processed the command. The mux reactor uses this so one tenant's
+    /// slow advance never stalls the other connections on its thread;
+    /// per-connection reply order is preserved by the reactor's FIFO
+    /// pending queue, exactly as a blocking reader preserved it.
+    pub fn advance_deferred(
+        &self,
+        now: Time,
+        waker: Option<WakeFn>,
+    ) -> ControlReply<Vec<(RequestId, Route)>> {
         let (tx, rx) = mpsc::channel();
         {
             let mut st = self.shared.state.lock().expect("service lock");
             if st.shutdown {
-                return Vec::new();
+                return ControlReply::resolved(Vec::new);
             }
             let seq = st.admitted;
             st.admitted += 1;
-            st.control
-                .push_back((seq, Control::Advance { now, reply: tx }));
+            st.control.push_back((
+                seq,
+                Control::Advance {
+                    now,
+                    reply: ReplySender::new(tx, waker),
+                },
+            ));
         }
         self.shared.wakeup.notify_one();
         self.shared.commit_cv.notify_all();
-        rx.recv().unwrap_or_default()
+        ControlReply::pending(rx, Vec::new)
     }
 
     /// Cancel a committed route (task aborted); `false` when unknown.
     pub fn cancel(&self, id: RequestId) -> bool {
+        self.cancel_deferred(id, None).wait()
+    }
+
+    /// Nonblocking counterpart of [`ServiceClient::cancel`]; see
+    /// [`ServiceClient::advance_deferred`] for the contract.
+    pub fn cancel_deferred(&self, id: RequestId, waker: Option<WakeFn>) -> ControlReply<bool> {
+        fn no() -> bool {
+            false
+        }
         let (tx, rx) = mpsc::channel();
         {
             let mut st = self.shared.state.lock().expect("service lock");
             if st.shutdown {
-                return false;
+                return ControlReply::resolved(no);
             }
             let seq = st.admitted;
             st.admitted += 1;
-            st.control
-                .push_back((seq, Control::Cancel { id, reply: tx }));
+            st.control.push_back((
+                seq,
+                Control::Cancel {
+                    id,
+                    reply: ReplySender::new(tx, waker),
+                },
+            ));
         }
         self.shared.wakeup.notify_one();
         self.shared.commit_cv.notify_all();
-        rx.recv().unwrap_or(false)
+        ControlReply::pending(rx, no)
     }
 
     /// Snapshot the service metrics. Never touches the planner thread.

@@ -138,8 +138,15 @@ pub fn write_frame<W: Write>(w: &mut W, kind: FrameKind, payload: &[u8]) -> Resu
     header[4..6].copy_from_slice(&VERSION.to_le_bytes());
     header[6..8].copy_from_slice(&(kind as u16).to_le_bytes());
     header[8..12].copy_from_slice(&len.to_le_bytes());
-    w.write_all(&header)?;
-    w.write_all(payload)?;
+    // One write for header + payload: two small writes over a real TCP
+    // socket tear the frame into two segments, and Nagle holds the second
+    // until the first is ACKed — a delayed-ACK peer turns every frame into
+    // a ~40 ms stall. A single segment also reaches the reactor's decoder
+    // whole, instead of as a guaranteed partial read.
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    buf.extend_from_slice(&header);
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
     w.flush()?;
     Ok(())
 }
@@ -181,6 +188,106 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<(FrameKind, Vec<u8>)>, Wi
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
     Ok(Some((kind, payload)))
+}
+
+/// Incremental frame reassembler for nonblocking transports.
+///
+/// The blocking [`read_frame`] owns its stream and can simply block until a
+/// whole frame is present; a readiness-driven reactor instead receives
+/// arbitrary byte chunks as the kernel delivers them. `FrameDecoder` buffers
+/// those chunks ([`push`](FrameDecoder::push)) and yields complete frames
+/// ([`next_frame`](FrameDecoder::next_frame)) with semantics bit-identical
+/// to the blocking path, pinned by the segmentation proptests in
+/// `tests/wire_codec.rs`:
+///
+/// - header fields are validated only once all [`HEADER_LEN`] bytes are
+///   buffered (exactly like the blocking read loop, which reads the full
+///   header before inspecting it), and *before* any payload arrives — so a
+///   corrupt length field is rejected without an oversized allocation;
+/// - errors are sticky: after the first [`WireError`] the stream is garbage
+///   and every later call returns the same error, mirroring a caller that
+///   abandons a blocking stream on its first decode failure;
+/// - end-of-stream is judged by [`finish`](FrameDecoder::finish): EOF
+///   exactly at a frame boundary is clean, EOF with buffered bytes is
+///   [`WireError::Truncated`].
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// First error seen, replayed forever after (a corrupt stream cannot
+    /// resynchronise — there is no framing to hunt for).
+    poisoned: Option<WireError>,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Buffer `bytes` as the next chunk of the stream.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.poisoned.is_none() {
+            self.buf.extend_from_slice(bytes);
+        }
+    }
+
+    /// Bytes buffered but not yet consumed by a decoded frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Try to decode the next complete frame from the buffered bytes.
+    ///
+    /// `Ok(None)` means "need more bytes" — push another chunk and retry.
+    /// Errors match what [`read_frame`] would have returned at the same
+    /// position in the stream, and are sticky.
+    pub fn next_frame(&mut self) -> Result<Option<(FrameKind, Vec<u8>)>, WireError> {
+        if let Some(err) = &self.poisoned {
+            return Err(err.clone());
+        }
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        if self.buf[0..4] != MAGIC {
+            return Err(self.poison(WireError::BadMagic));
+        }
+        let version = u16::from_le_bytes(self.buf[4..6].try_into().expect("len 2"));
+        if version != VERSION {
+            return Err(self.poison(WireError::UnsupportedVersion(version)));
+        }
+        let kind_raw = u16::from_le_bytes(self.buf[6..8].try_into().expect("len 2"));
+        let Some(kind) = FrameKind::from_u16(kind_raw) else {
+            return Err(self.poison(WireError::UnknownKind(kind_raw)));
+        };
+        let len = u32::from_le_bytes(self.buf[8..12].try_into().expect("len 4"));
+        if len > MAX_PAYLOAD {
+            return Err(self.poison(WireError::Oversize(len)));
+        }
+        let total = HEADER_LEN + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let payload = self.buf[HEADER_LEN..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some((kind, payload)))
+    }
+
+    /// Judge end-of-stream: `Ok(())` if the peer closed exactly at a frame
+    /// boundary, [`WireError::Truncated`] if bytes of an unfinished frame
+    /// remain buffered (the blocking path's EOF-mid-frame error).
+    pub fn finish(&self) -> Result<(), WireError> {
+        match &self.poisoned {
+            Some(err) => Err(err.clone()),
+            None if self.buf.is_empty() => Ok(()),
+            None => Err(WireError::Truncated),
+        }
+    }
+
+    fn poison(&mut self, err: WireError) -> WireError {
+        self.buf.clear();
+        self.poisoned = Some(err.clone());
+        err
+    }
 }
 
 #[cfg(test)]
@@ -238,5 +345,51 @@ mod tests {
                 "cut at {cut}"
             );
         }
+    }
+
+    #[test]
+    fn decoder_reassembles_byte_by_byte() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Submit, b"hello").unwrap();
+        write_frame(&mut buf, FrameKind::Advance, b"").unwrap();
+        let mut dec = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for b in &buf {
+            dec.push(std::slice::from_ref(b));
+            while let Some(frame) = dec.next_frame().unwrap() {
+                frames.push(frame);
+            }
+        }
+        assert_eq!(
+            frames,
+            vec![
+                (FrameKind::Submit, b"hello".to_vec()),
+                (FrameKind::Advance, Vec::new()),
+            ]
+        );
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn decoder_truncation_and_sticky_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Cancel, b"abcdef").unwrap();
+        // EOF anywhere mid-frame is Truncated via finish().
+        for cut in 1..buf.len() {
+            let mut dec = FrameDecoder::new();
+            dec.push(&buf[..cut]);
+            assert_eq!(dec.next_frame(), Ok(None), "cut at {cut}");
+            assert_eq!(dec.finish(), Err(WireError::Truncated), "cut at {cut}");
+        }
+        // A corrupt oversize header is rejected before its payload exists,
+        // and the error is sticky even if more bytes arrive.
+        let mut bad = buf.clone();
+        bad[8..12].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.push(&bad[..HEADER_LEN]);
+        assert_eq!(dec.next_frame(), Err(WireError::Oversize(MAX_PAYLOAD + 1)));
+        dec.push(&buf);
+        assert_eq!(dec.next_frame(), Err(WireError::Oversize(MAX_PAYLOAD + 1)));
+        assert_eq!(dec.finish(), Err(WireError::Oversize(MAX_PAYLOAD + 1)));
     }
 }

@@ -35,5 +35,7 @@ pub mod frame;
 pub mod schema;
 
 pub use client::{WireClient, WireSubmitError};
-pub use frame::{read_frame, write_frame, FrameKind, WireError, HEADER_LEN, MAX_PAYLOAD, VERSION};
+pub use frame::{
+    read_frame, write_frame, FrameDecoder, FrameKind, WireError, HEADER_LEN, MAX_PAYLOAD, VERSION,
+};
 pub use schema::{AckStatus, PlanVerdict, RouteView};

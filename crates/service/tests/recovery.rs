@@ -327,6 +327,233 @@ fn rate_limited_connection_gets_typed_refusals_then_recovers() {
         .expect("clean connection end");
 }
 
+/// The same typed throttling contract holds on the event-loop front-end:
+/// a saturated connection served by the reactor gets a Throttled *ack*
+/// with a retry hint (and a Throttled error reply for control frames),
+/// and the session survives to work again once the bucket refills.
+#[cfg(unix)]
+#[test]
+fn mux_rate_limited_connection_gets_typed_refusals_then_recovers() {
+    use carp_service::{serve_tcp_mux, MuxConfig, MuxMetrics};
+    use std::sync::atomic::AtomicBool;
+
+    let registry = Arc::new(TenantRegistry::new());
+    registry.register_speculative(
+        "rl".to_string(),
+        RevisingPlanner::default(),
+        ServiceConfig::default(),
+    );
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let server = {
+        let registry = Arc::clone(&registry);
+        let shutdown = Arc::clone(&shutdown);
+        let config = MuxConfig {
+            threads: 1,
+            rate_limit: Some(RateLimit {
+                burst: 1,
+                per_sec: 40.0,
+            }),
+            ..MuxConfig::default()
+        };
+        std::thread::spawn(move || {
+            serve_tcp_mux(
+                listener,
+                registry,
+                shutdown,
+                config,
+                Arc::new(MuxMetrics::default()),
+            )
+        })
+    };
+    let stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut client = WireClient::new(stream.try_clone().expect("clone read half"), stream);
+
+    let req = |id: u64| Request::new(id, 0, Cell::new(0, 0), Cell::new(1, 1), QueryKind::Pickup);
+    client
+        .submit("rl", &req(1))
+        .expect("first submit fits the burst");
+    let retry_after = match client.submit("rl", &req(2)) {
+        Err(WireSubmitError::Throttled { retry_after }) => retry_after,
+        other => panic!("expected Throttled over the mux, got {other:?}"),
+    };
+    assert!(retry_after.as_secs_f64() > 0.0);
+    match client.advance("rl", 1) {
+        Err(WireError::Throttled) => {}
+        other => panic!("expected WireError::Throttled over the mux, got {other:?}"),
+    }
+    std::thread::sleep(retry_after + std::time::Duration::from_millis(100));
+    client.submit("rl", &req(2)).expect("submit after refill");
+    client.wait_plan(1).expect("reply for request 1");
+    client.wait_plan(2).expect("reply for request 2");
+    drop(client);
+    shutdown.store(true, Ordering::SeqCst);
+    server
+        .join()
+        .expect("server thread")
+        .expect("mux exits clean");
+    registry.drain_all();
+}
+
+/// SIGTERM lands while clients are mid-churn against the event-loop
+/// daemon: the process must stop accepting, drain every tenant, seal the
+/// changeset log with a clean tail, and exit 0. Spawned directly (no
+/// shell) so the signal hits the daemon pid itself.
+#[cfg(unix)]
+#[test]
+fn sigterm_mid_churn_drains_every_tenant_and_seals_the_wal() {
+    use carp_service::service::PlanResponse;
+    use std::io::{BufRead, BufReader};
+    use std::process::{Command, Stdio};
+    use std::sync::atomic::AtomicUsize;
+
+    let scratch = ScratchLog::new();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_carp-service"))
+        .args(["--listen", "127.0.0.1:0", "--tenants", "W-1"])
+        .args(["--mux-threads", "2", "--wal"])
+        .arg(&scratch.0)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn carp-service daemon");
+    let stderr = child.stderr.take().expect("stderr piped");
+    let mut reader = BufReader::new(stderr);
+    let addr = loop {
+        let mut line = String::new();
+        assert_ne!(
+            reader.read_line(&mut line).expect("daemon stderr"),
+            0,
+            "daemon exited before announcing its address"
+        );
+        if let Some(rest) = line.trim().strip_prefix("carp-service: listening on ") {
+            break rest.parse::<std::net::SocketAddr>().expect("bound address");
+        }
+    };
+    // Keep draining stderr so the daemon never blocks on a full pipe; the
+    // collected tail carries the drain/seal message we assert on.
+    let stderr_tail = std::thread::spawn(move || {
+        let mut tail = String::new();
+        let mut line = String::new();
+        while reader.read_line(&mut line).unwrap_or(0) > 0 {
+            tail.push_str(&line);
+            line.clear();
+        }
+        tail
+    });
+
+    // Valid endpoints for the W-1 tenant: spawn cells to rack cells.
+    let layout = carp_warehouse::layout::WarehousePreset::W1.generate();
+    let scenario = LoadScenario::new("W-1@1x", layout, 8, 40, 1.0, 7);
+    let targets: Vec<(Cell, Cell)> = scenario
+        .tasks
+        .iter()
+        .take(16)
+        .enumerate()
+        .map(|(i, task)| {
+            let spawns = &scenario.layout.robot_spawns;
+            (spawns[i % spawns.len()], task.rack)
+        })
+        .collect();
+
+    let connect_client = || {
+        let stream = std::net::TcpStream::connect(addr).expect("connect to daemon");
+        stream.set_nodelay(true).expect("nodelay");
+        WireClient::new(stream.try_clone().expect("clone read half"), stream)
+    };
+    // Guarantee journaled commits before the signal fires.
+    let mut warm = connect_client();
+    for id in 0..3u64 {
+        let (origin, destination) = targets[id as usize % targets.len()];
+        let request = Request::new(id, 0, origin, destination, QueryKind::Pickup);
+        warm.submit("W-1", &request).expect("warm-up submit");
+        match warm.wait_plan(id).expect("warm-up plan") {
+            PlanResponse::Planned(_) => {}
+            other => panic!("warm-up request {id} refused: {other:?}"),
+        }
+    }
+
+    // Churn: two clients submitting as fast as they can until the drain
+    // closes their sockets out from under them.
+    let committed_mid_churn = Arc::new(AtomicUsize::new(0));
+    let churners: Vec<_> = (0..2u64)
+        .map(|c| {
+            let mut client = connect_client();
+            let targets = targets.clone();
+            let committed = Arc::clone(&committed_mid_churn);
+            std::thread::spawn(move || {
+                for k in 0.. {
+                    let id = 1_000 * (c + 1) + k;
+                    let (origin, destination) = targets[(id as usize) % targets.len()];
+                    let request = Request::new(id, 0, origin, destination, QueryKind::Pickup);
+                    match client.submit("W-1", &request) {
+                        Ok(()) => {}
+                        Err(WireSubmitError::Backpressure { retry_after, .. })
+                        | Err(WireSubmitError::Throttled { retry_after }) => {
+                            std::thread::sleep(retry_after);
+                            continue;
+                        }
+                        Err(_) => return, // daemon is draining; done
+                    }
+                    match client.wait_plan(id) {
+                        Ok(PlanResponse::Planned(_)) => {
+                            committed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(_) => {}
+                        Err(_) => return,
+                    }
+                }
+            })
+        })
+        .collect();
+    // Let the churn run long enough to have work genuinely in flight.
+    while committed_mid_churn.load(Ordering::Relaxed) < 4 {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success(), "kill -TERM failed");
+    let status = child.wait().expect("daemon exit status");
+    assert_eq!(status.code(), Some(0), "daemon must exit 0 after SIGTERM");
+    for churner in churners {
+        churner.join().expect("churn client thread");
+    }
+    let tail = stderr_tail.join().expect("stderr drain thread");
+    assert!(
+        tail.contains("drained 1 tenant(s), log sealed"),
+        "daemon stderr missing drain/seal message:\n{tail}"
+    );
+
+    // The changeset log must be sealed: clean tail, open/close bracketed,
+    // and the mid-churn commits journaled inside the bracket.
+    let (records, log_tail) = read_log(&scratch.0).expect("read sealed log");
+    assert_eq!(log_tail, LogTail::Clean, "WAL tail not sealed clean");
+    let opens = records
+        .iter()
+        .filter(|r| matches!(r.op, ChangeOp::TenantOpen))
+        .count();
+    let closes = records
+        .iter()
+        .filter(|r| matches!(r.op, ChangeOp::TenantClose))
+        .count();
+    assert_eq!((opens, closes), (1, 1), "tenant open/close not bracketed");
+    let commits = records
+        .iter()
+        .filter(|r| matches!(r.op, ChangeOp::Commit { .. }))
+        .count();
+    assert!(
+        commits >= 3 + committed_mid_churn.load(Ordering::Relaxed),
+        "journal is missing commits: {commits} recorded"
+    );
+    wal::audit_log(&records).expect("sealed history is collision-free");
+    assert!(ReplayState::from_records(&records).tenants.is_empty());
+}
+
 /// The changeset log subsumes `ReproBundle`: the pinned seed-104 fixture
 /// still replays directly, and a bundle derived from a journaled log
 /// slice replays the same way (same request stream, same audit verdict).

@@ -15,7 +15,7 @@
 
 use carp_service::service::PlanResponse;
 use carp_service::wire::schema;
-use carp_service::wire::{read_frame, write_frame, FrameKind, WireError, HEADER_LEN};
+use carp_service::wire::{read_frame, write_frame, FrameDecoder, FrameKind, WireError, HEADER_LEN};
 use carp_warehouse::request::{QueryKind, Request};
 use carp_warehouse::route::Route;
 use carp_warehouse::types::Cell;
@@ -211,6 +211,106 @@ fn exercise_schema_decoders(kind: FrameKind, body: &[u8]) {
         FrameKind::ErrorReply => {
             let _ = schema::decode_error_reply(body);
         }
+    }
+}
+
+/// What a full decode of `stream` produced: every frame that came out, and
+/// how the stream ended (clean EOF or a typed error).
+type Decoded = (Vec<(FrameKind, Vec<u8>)>, Result<(), WireError>);
+
+/// Decode `stream` the way the per-connection thread model does: blocking
+/// [`read_frame`] calls until clean EOF or a typed error.
+fn decode_blocking(stream: &[u8]) -> Decoded {
+    let mut cursor = stream;
+    let mut frames = Vec::new();
+    loop {
+        match read_frame(&mut cursor) {
+            Ok(Some(frame)) => frames.push(frame),
+            Ok(None) => return (frames, Ok(())),
+            Err(err) => return (frames, Err(err)),
+        }
+    }
+}
+
+/// Decode `stream` the way the reactor does: nonblocking reads deliver the
+/// bytes in arbitrary segments (`cuts` are split offsets, modulo-mapped
+/// into the stream), each pushed into a [`FrameDecoder`] and drained; EOF
+/// is judged by `finish`.
+fn decode_segmented(stream: &[u8], cuts: &[usize]) -> Decoded {
+    let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (stream.len() + 1)).collect();
+    bounds.push(stream.len());
+    bounds.sort_unstable();
+    let mut decoder = FrameDecoder::new();
+    let mut frames = Vec::new();
+    let mut start = 0;
+    for &end in &bounds {
+        decoder.push(&stream[start..end]);
+        start = end;
+        loop {
+            match decoder.next_frame() {
+                Ok(Some(frame)) => frames.push(frame),
+                Ok(None) => break,
+                Err(err) => return (frames, Err(err)),
+            }
+        }
+    }
+    (frames, decoder.finish())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Worst-case TCP segmentation — every byte its own read — must yield
+    /// exactly the frames that went in, judged clean at EOF, identical to
+    /// the blocking path.
+    #[test]
+    fn byte_by_byte_reassembly_matches_blocking(
+        frames in proptest::collection::vec(
+            (0usize..10, proptest::collection::vec(0u8..=255, 0..120)),
+            1..5,
+        ),
+    ) {
+        let mut stream = Vec::new();
+        for (k, payload) in &frames {
+            stream.extend_from_slice(&encode(ALL_KINDS[*k], payload));
+        }
+        let every_byte: Vec<usize> = (0..stream.len()).collect();
+        let (got, terminal) = decode_segmented(&stream, &every_byte);
+        prop_assert_eq!(terminal, Ok(()));
+        prop_assert_eq!(got.len(), frames.len());
+        for ((kind, body), (k, payload)) in got.iter().zip(frames.iter()) {
+            prop_assert_eq!(*kind, ALL_KINDS[*k]);
+            prop_assert_eq!(body, payload);
+        }
+        prop_assert_eq!(decode_segmented(&stream, &every_byte), decode_blocking(&stream));
+    }
+
+    /// Any byte stream — valid frames, truncated mid-frame, or with a byte
+    /// flipped anywhere — decodes to the *same* frame sequence and the
+    /// *same* terminal verdict through the reactor's incremental decoder
+    /// as through the blocking reader, at any segmentation.
+    #[test]
+    fn adversarial_segmentation_matches_blocking(
+        frames in proptest::collection::vec(
+            (0usize..10, proptest::collection::vec(0u8..=255, 0..120)),
+            0..4,
+        ),
+        cut_seed in 0u64..10_000,
+        flip_pos in 0u64..10_000,
+        flip_bits in 0u8..=255, // 0 = leave the stream intact
+        cuts in proptest::collection::vec(0usize..5_000, 0..8),
+    ) {
+        let mut stream = Vec::new();
+        for (k, payload) in &frames {
+            stream.extend_from_slice(&encode(ALL_KINDS[*k], payload));
+        }
+        // Mutilate: maybe cut the tail off, maybe flip one byte.
+        stream.truncate((cut_seed as usize) % (stream.len() + 1));
+        if !stream.is_empty() {
+            let pos = (flip_pos as usize) % stream.len();
+            stream[pos] ^= flip_bits;
+        }
+        prop_assert_eq!(decode_segmented(&stream, &cuts), decode_blocking(&stream));
     }
 }
 
