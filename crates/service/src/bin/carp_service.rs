@@ -26,7 +26,7 @@
 
 use carp_service::ingest::{serve_tcp_graceful, RateLimit};
 #[cfg(unix)]
-use carp_service::loadgen::run_connection_ladder;
+use carp_service::loadgen::{run_connection_ladder, run_load_replication};
 use carp_service::loadgen::{
     run_load, run_load_journaled, run_load_multi, run_load_recovery, run_load_speculative,
     LoadScenario, TenantLoad,
@@ -37,6 +37,7 @@ use carp_service::report::{LoadReport, RecoveryBenchReport, ServiceBenchReport, 
 use carp_service::service::ServiceConfig;
 use carp_service::tenant::TenantRegistry;
 use carp_service::wal::{self, LogTail, WalJournal};
+use carp_service::wire::WireClient;
 use carp_simenv::{SimConfig, TenantDayProfile};
 use carp_srp::{SrpConfig, SrpPlanner};
 use carp_warehouse::layout::{Layout, LayoutConfig, WarehousePreset};
@@ -114,14 +115,30 @@ const USAGE: &str = "usage: carp-service [options]
                       changeset log at PATH (truncating any torn tail),
                       rebuild each tenant's planner, then serve and keep
                       journaling to the same log
+  --follow ADDR       with --listen and --wal: network standby — connect to
+                      the primary daemon at ADDR, subscribe to its changeset
+                      log over the wire (TailLog), and mirror every shipped
+                      record into the --wal journal; when the primary's
+                      stream ends, strict-audit the shipped copy, bump the
+                      leadership epoch (fencing the old primary), rebuild
+                      each tenant's planner, and serve on --listen
   --rate-limit N      per-connection token bucket: burst N frames, refill
                       N frames/s; excess gets a typed Throttled refusal
   --recovery PATH     crash-recovery bench: drive the day three ways (WAL
                       off, WAL on at PATH, kill-primary + standby takeover)
                       and write BENCH_service_recovery.json; fails unless
                       all three route digests are bit-identical
-  --kill-frac F       with --recovery: kill the primary at F of the way
-                      through the day's arrivals, 0 < F < 1 (default 0.5)
+  --replication PATH  failover bench over TCP: primary journals to PATH and
+                      ships the log live to a network standby; the primary
+                      is killed at --kill-frac and the standby (rebuilt from
+                      its shipped copy alone, fenced to a new epoch) serves
+                      the rest of the day; writes
+                      BENCH_service_replication.json and fails unless the
+                      route digest is bit-identical to an unkilled run and
+                      a stale-epoch append was refused
+  --kill-frac F       with --recovery/--replication: kill the primary at F
+                      of the way through the day's arrivals, 0 < F < 1
+                      (default 0.5)
   --torn-tail         with --recovery: append a half-written record to the
                       log after the kill; the standby must truncate it
   --sim-config PATH   JSON file overriding SimConfig fields (service_time,
@@ -156,8 +173,10 @@ struct Opts {
     connections: Option<Vec<usize>>,
     wal: Option<String>,
     standby: Option<String>,
+    follow: Option<String>,
     rate_limit: Option<u32>,
     recovery: Option<String>,
+    replication: Option<String>,
     kill_frac: f64,
     torn_tail: bool,
     sim: SimConfig,
@@ -188,8 +207,10 @@ fn parse_opts() -> Opts {
         connections: None,
         wal: None,
         standby: None,
+        follow: None,
         rate_limit: None,
         recovery: None,
+        replication: None,
         kill_frac: 0.5,
         torn_tail: false,
         sim: SimConfig::default(),
@@ -267,11 +288,13 @@ fn parse_opts() -> Opts {
             }
             "--wal" => opts.wal = Some(value("--wal").to_string()),
             "--standby" => opts.standby = Some(value("--standby").to_string()),
+            "--follow" => opts.follow = Some(value("--follow").to_string()),
             "--rate-limit" => match value("--rate-limit").parse() {
                 Ok(n) if n > 0 => opts.rate_limit = Some(n),
                 _ => usage_error("--rate-limit expects a positive integer"),
             },
             "--recovery" => opts.recovery = Some(value("--recovery").to_string()),
+            "--replication" => opts.replication = Some(value("--replication").to_string()),
             "--kill-frac" => match value("--kill-frac").parse::<f64>() {
                 Ok(f) if f > 0.0 && f < 1.0 => opts.kill_frac = f,
                 _ => usage_error("--kill-frac expects a fraction in (0, 1)"),
@@ -365,7 +388,82 @@ fn run_daemon(addr: &str, profiles: &[TenantDayProfile], cfg: ServiceConfig, opt
     // Warm standby: replay the primary's changeset log into fresh
     // planners before serving — the takeover path of DESIGN.md §15.
     let mut recovered: HashMap<String, SrpPlanner> = HashMap::new();
-    if let Some(path) = &opts.standby {
+    if let Some(primary) = &opts.follow {
+        // Network standby (DESIGN.md §17): mirror the primary's changeset
+        // log over the wire into our own journal, then take over when the
+        // primary's stream ends.
+        let Some(wal_path) = &opts.wal else {
+            usage_error("--follow requires --wal (the standby's own journal path)");
+        };
+        let journal = match WalJournal::create(wal_path) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("carp-service: cannot create changeset log {wal_path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        eprintln!("carp-service: standby: following {primary}, mirroring to {wal_path}");
+        let mut records = Vec::new();
+        match std::net::TcpStream::connect(primary) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                let reader = stream.try_clone().unwrap_or_else(|e| {
+                    eprintln!("carp-service: cannot clone primary socket: {e}");
+                    std::process::exit(2);
+                });
+                let mut client = WireClient::new(reader, stream);
+                if let Err(e) = client.tail_log(1) {
+                    eprintln!("carp-service: cannot subscribe to {primary}: {e}");
+                    std::process::exit(2);
+                }
+                loop {
+                    match client.next_log_chunk() {
+                        Ok(Some((_epoch, recs))) => {
+                            for rec in recs {
+                                if journal.append_record(&rec) {
+                                    records.push(rec);
+                                }
+                            }
+                        }
+                        Ok(None) => {
+                            eprintln!("carp-service: standby: primary closed the stream");
+                            break;
+                        }
+                        Err(e) => {
+                            eprintln!("carp-service: standby: log tail failed: {e}");
+                            break;
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("carp-service: standby: cannot reach primary {primary}: {e}");
+            }
+        }
+        // Takeover: the shipped copy must audit clean before we serve on
+        // top of it, and the epoch bump fences the old primary's handles.
+        if let Err((tenant, conflict)) = wal::audit_log(&records) {
+            eprintln!("carp-service: standby: shipped log fails audit for {tenant}: {conflict:?}");
+            std::process::exit(1);
+        }
+        let epoch = journal.bump_epoch();
+        let (planners, state) = wal::recover_planners(&records, |id| {
+            let Some(layout) = layouts.get(id) else {
+                eprintln!("carp-service: standby: log names tenant {id} not in --tenants");
+                std::process::exit(2);
+            };
+            srp(layout)
+        });
+        eprintln!(
+            "carp-service: standby: taking over at epoch {epoch} — {} shipped records \
+             (seq {}) for {} tenant(s)",
+            records.len(),
+            state.last_seq,
+            planners.len()
+        );
+        recovered = planners.into_iter().collect();
+        registry.attach_journal(journal);
+    } else if let Some(path) = &opts.standby {
         let (journal, records, tail) = match WalJournal::open_append(path) {
             Ok(v) => v,
             Err(e) => {
@@ -608,6 +706,96 @@ fn run_recovery(opts: &Opts, cfg: ServiceConfig, wal_path: &str) -> ! {
     std::process::exit(0);
 }
 
+/// Live-replication failover bench (`--replication`): the day driven over
+/// real TCP with a network standby tailing the changeset log; the primary
+/// is killed mid-day and the standby serves the rest. Emits
+/// `BENCH_service_replication.json`; fails unless the failover digest is
+/// bit-identical to the uninterrupted baseline's, collision-free, and the
+/// post-takeover fence refused at least one stale-epoch append.
+#[cfg(unix)]
+fn run_replication(opts: &Opts, cfg: ServiceConfig, wal_path: &str) -> ! {
+    if opts.deadline_ms != 0 {
+        usage_error("--replication requires --deadline-ms 0 (digests must be deterministic)");
+    }
+    let layout = layout_for(&opts.preset);
+    let rate = opts.rates[0];
+    let scenario = LoadScenario::new(
+        format!("{}@{}x", opts.preset, rate),
+        layout.clone(),
+        opts.tasks,
+        opts.horizon,
+        rate,
+        opts.seed,
+    );
+    let last_arrival = scenario.tasks.last().map_or(0, |t| t.arrival);
+    let kill_at = (f64::from(last_arrival) * opts.kill_frac) as Time;
+    eprintln!(
+        "carp-service: replication bench {} — kill primary over TCP at t={kill_at} \
+         ({}% of arrivals), {} mux thread(s)",
+        scenario.name,
+        (opts.kill_frac * 100.0) as u32,
+        opts.mux_threads
+    );
+    let report = run_load_replication(
+        &scenario,
+        || srp(&layout),
+        opts.sim.clone(),
+        cfg,
+        opts.mux_threads,
+        Path::new(wal_path),
+        kill_at,
+    );
+    print_run(&report.baseline);
+    print_run(&report.replicated);
+    eprintln!(
+        "carp-service: standby: {} records shipped over the wire, {} record(s) stale at \
+         the kill signal, takeover in {:.1} ms to epoch {}, {} fenced append(s)",
+        report.records_shipped,
+        report.staleness_records,
+        report.takeover_ms,
+        report.takeover_epoch,
+        report.fenced_appends,
+    );
+    let conflicts = report.total_audit_conflicts();
+    let json = report.to_json();
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("carp-service: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("carp-service: wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    if conflicts > 0 {
+        eprintln!("carp-service: FAIL — {conflicts} audited collision(s)");
+        std::process::exit(1);
+    }
+    if !report.digests_match {
+        eprintln!(
+            "carp-service: FAIL — failover digest {:#018x} diverged from baseline {:#018x}",
+            report.replicated.routes_digest, report.baseline.routes_digest,
+        );
+        std::process::exit(1);
+    }
+    if report.fenced_appends == 0 {
+        eprintln!("carp-service: FAIL — stale-epoch append was not refused (fence inactive)");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "carp-service: replication bench ok — failover digest bit-identical, \
+         no collisions, fence active"
+    );
+    std::process::exit(0);
+}
+
+#[cfg(not(unix))]
+fn run_replication(_opts: &Opts, _cfg: ServiceConfig, _wal_path: &str) -> ! {
+    eprintln!("carp-service: --replication needs the event-loop front-end (unix-only)");
+    std::process::exit(2);
+}
+
 /// Open-socket ladder (`--connections`): the same day driven through the
 /// event-loop front-end under rising connection churn; emits
 /// `BENCH_service_mux.json` and fails unless every rung's digest matches
@@ -829,8 +1017,14 @@ fn main() {
     if opts.standby.is_some() {
         usage_error("--standby requires --listen");
     }
+    if opts.follow.is_some() {
+        usage_error("--follow requires --listen");
+    }
     if let Some(wal_path) = &opts.recovery {
         run_recovery(&opts, service_cfg, wal_path);
+    }
+    if let Some(wal_path) = &opts.replication {
+        run_replication(&opts, service_cfg, wal_path);
     }
     if let Some(connections) = opts.connections.clone() {
         run_ladder(&opts, service_cfg, &connections);

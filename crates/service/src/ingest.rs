@@ -50,6 +50,16 @@ pub struct RateLimit {
     pub per_sec: f64,
 }
 
+impl RateLimit {
+    /// Floor on the retry hint a throttled verdict carries. Right at a
+    /// refill boundary the raw token deficit can round to a zero or
+    /// near-zero duration, which a well-behaved client turns into
+    /// `sleep(0)` — a hot spin against a daemon that is actively
+    /// throttling it. One millisecond is far below any realistic refill
+    /// interval, so the clamp never meaningfully over-delays a retry.
+    pub const MIN_RETRY_AFTER: Duration = Duration::from_millis(1);
+}
+
 pub(crate) struct TokenBucket {
     limit: RateLimit,
     tokens: f64,
@@ -76,9 +86,12 @@ impl TokenBucket {
             Ok(())
         } else {
             let deficit = 1.0 - self.tokens;
-            Err(Duration::from_secs_f64(
-                deficit / self.limit.per_sec.max(1e-9),
-            ))
+            // Clamped: a zero/near-zero hint at a refill boundary would
+            // have the client spin-retry (see RateLimit::MIN_RETRY_AFTER).
+            Err(
+                Duration::from_secs_f64(deficit / self.limit.per_sec.max(1e-9))
+                    .max(RateLimit::MIN_RETRY_AFTER),
+            )
         }
     }
 }
@@ -236,6 +249,19 @@ fn read_loop<R: Read, W: Write>(
                 let reply = schema::encode_metrics_reply(&metrics, &wire);
                 send(writer, Some(&tenant), FrameKind::MetricsReply, &reply)?;
             }
+            // Log tailing is a long-lived push stream; only the mux
+            // front-end can interleave pushes with request/reply traffic
+            // without a dedicated thread per subscriber. The legacy
+            // blocking path refuses the subscription with a typed error
+            // and keeps the connection serving requests.
+            FrameKind::TailLog => {
+                let _from_seq = schema::decode_tail_log(&payload)?;
+                let reply = schema::encode_error_reply(
+                    ErrorCode::UnexpectedFrame,
+                    "log tailing requires the event-loop front-end",
+                );
+                send(writer, None, FrameKind::ErrorReply, &reply)?;
+            }
             // Reply kinds are daemon → client only; a client sending one
             // is confused but not fatal — answer with a typed error.
             FrameKind::SubmitAck
@@ -243,7 +269,8 @@ fn read_loop<R: Read, W: Write>(
             | FrameKind::AdvanceReply
             | FrameKind::CancelReply
             | FrameKind::MetricsReply
-            | FrameKind::ErrorReply => {
+            | FrameKind::ErrorReply
+            | FrameKind::LogChunk => {
                 let reply = schema::encode_error_reply(
                     ErrorCode::UnexpectedFrame,
                     "frame kind is daemon to client only",

@@ -50,7 +50,7 @@ pub use ingest::{
     duplex, serve_connection, serve_connection_limited, serve_tcp, serve_tcp_graceful, RateLimit,
 };
 #[cfg(unix)]
-pub use loadgen::run_connection_ladder;
+pub use loadgen::{run_connection_ladder, run_load_replication};
 pub use loadgen::{
     run_load, run_load_journaled, run_load_multi, run_load_recovery, run_load_speculative,
     LoadScenario, RecoveryRun, TenantLoad,
@@ -59,7 +59,7 @@ pub use loadgen::{
 pub use mux::{serve_tcp_mux, MuxConfig, MuxMetrics};
 pub use report::{
     routes_digest, ConnLadderRung, LoadReport, MuxBenchReport, MuxCounters, RecoveryBenchReport,
-    ServiceBenchReport, BENCH_VERSION,
+    ReplicationBenchReport, ServiceBenchReport, BENCH_VERSION,
 };
 pub use service::{
     ControlReply, PlanResponse, PlanningService, ServiceClient, ServiceConfig, ServiceMetrics,

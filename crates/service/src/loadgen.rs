@@ -43,7 +43,9 @@ use crate::ingest::{duplex, serve_connection};
 use crate::mux::{serve_tcp_mux, MuxConfig, MuxMetrics};
 use crate::report::LoadReport;
 #[cfg(unix)]
-use crate::report::{routes_digest, ConnLadderRung, MuxBenchReport, BENCH_VERSION};
+use crate::report::{
+    routes_digest, ConnLadderRung, MuxBenchReport, ReplicationBenchReport, BENCH_VERSION,
+};
 use crate::service::{PlanResponse, ServiceConfig, ServiceMetrics};
 use crate::tenant::{TenantRegistry, WireCounters};
 use crate::wal::{self, LogTail, WalJournal, WalStats};
@@ -388,6 +390,258 @@ where
         },
         planner,
     )
+}
+
+/// Drive a day over real TCP against the event-loop front-end with a
+/// **network standby** tailing the changeset log live, kill the primary at
+/// the first burst boundary at or after `kill_at`, and finish the day on
+/// the standby — the `BENCH_service_replication.json` producer behind
+/// `carp-service --replication`.
+///
+/// Two legs share the scenario:
+///
+/// * **baseline** — the same day uninterrupted, in-process; its digest is
+///   the conformance reference.
+/// * **replicated** — the primary serves over [`serve_tcp_mux`] journaling
+///   to `wal_path`; a standby connects over TCP, subscribes with
+///   `TailLog(1)`, and mirrors every shipped record into its own journal
+///   (`<wal_path>.standby`) as it arrives. At the kill the standby holds a
+///   shipped copy of the log, *received entirely over the wire* — the
+///   on-disk file is never shared. Takeover: strict audit of the shipped
+///   records, epoch bump (fencing any resurrected-primary handle), planner
+///   replay, re-listen, and the paused [`DayDriver`] resumes against it.
+///
+/// The kill is graceful-enough rather than graceless: the reactor's drain
+/// flushes the shipping connection, so the standby's copy is the complete
+/// appended prefix (the paused driver has nothing in flight; commits
+/// resolved during the drain itself would not ship — that residue is what
+/// `staleness_records` measures, at the kill signal). Because every acked
+/// commit was journaled — and therefore shipped — before its reply, the
+/// standby's planner state equals the primary's at the pause point, and
+/// with deadlines disabled the whole day's committed route set is
+/// bit-identical to the baseline's (`digests_match`, the CI gate).
+///
+/// The fence is provoked explicitly: a [`TenantJournal`]
+/// handle captured under the primary epoch attempts an append after the
+/// bump; the journal refuses and counts it (`fenced_appends`).
+#[cfg(unix)]
+pub fn run_load_replication<P, F>(
+    scenario: &LoadScenario,
+    mut make_planner: F,
+    sim: SimConfig,
+    service_cfg: ServiceConfig,
+    mux_threads: usize,
+    wal_path: &Path,
+    kill_at: Time,
+) -> ReplicationBenchReport
+where
+    P: SpeculativePlanner + Send + 'static,
+    F: FnMut() -> P,
+{
+    use crate::wal::record::ChangeRecord;
+    use crate::wal::TenantJournal;
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    // ---- leg 1: the uninterrupted baseline, in-process ----
+    let (baseline, _planner) =
+        run_load_speculative(scenario, make_planner(), sim.clone(), service_cfg);
+
+    // ---- leg 2, phase 1: the primary over TCP, with a live standby ----
+    let journal = WalJournal::create(wal_path).expect("create changeset log");
+    let registry = Arc::new(TenantRegistry::new());
+    registry.attach_journal(Arc::clone(&journal));
+    registry.register_speculative(scenario.name.clone(), make_planner(), service_cfg);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let mux_metrics = Arc::new(MuxMetrics::default());
+    let server = {
+        let registry = Arc::clone(&registry);
+        let shutdown = Arc::clone(&shutdown);
+        let metrics = Arc::clone(&mux_metrics);
+        let config = MuxConfig {
+            threads: mux_threads,
+            ..MuxConfig::default()
+        };
+        std::thread::Builder::new()
+            .name("carp-repl-primary".into())
+            .spawn(move || serve_tcp_mux(listener, registry, shutdown, config, metrics))
+            .expect("spawn primary mux server")
+    };
+
+    // The standby: its own TCP connection, its own journal file. It applies
+    // chunks as they arrive and publishes the highest sequence applied, so
+    // the kill point can measure shipping lag.
+    let standby_path = {
+        let mut os = wal_path.as_os_str().to_os_string();
+        os.push(".standby");
+        std::path::PathBuf::from(os)
+    };
+    let standby_journal = WalJournal::create(&standby_path).expect("create standby log");
+    let shipped_seq = Arc::new(AtomicU64::new(0));
+    let tailer = {
+        let journal = Arc::clone(&standby_journal);
+        let shipped_seq = Arc::clone(&shipped_seq);
+        std::thread::Builder::new()
+            .name("carp-repl-standby".into())
+            .spawn(move || -> Vec<ChangeRecord> {
+                let stream = TcpStream::connect(addr).expect("standby connects");
+                stream.set_nodelay(true).expect("standby nodelay");
+                let reader = stream.try_clone().expect("clone standby socket");
+                let mut client = WireClient::new(reader, stream);
+                client.tail_log(1).expect("subscribe to the changeset log");
+                let mut shipped = Vec::new();
+                loop {
+                    match client.next_log_chunk() {
+                        Ok(Some((_epoch, records))) => {
+                            for rec in records {
+                                if journal.append_record(&rec) {
+                                    shipped_seq.store(rec.seq, Ordering::SeqCst);
+                                    shipped.push(rec);
+                                }
+                            }
+                        }
+                        // Clean EOF: the primary is gone. Takeover time.
+                        Ok(None) => return shipped,
+                        Err(e) => panic!("standby log tail failed: {e}"),
+                    }
+                }
+            })
+            .expect("spawn standby tail thread")
+    };
+
+    // Drive the day over TCP until the kill point.
+    let stream = TcpStream::connect(addr).expect("driver connects");
+    stream.set_nodelay(true).expect("driver nodelay");
+    let reader = stream.try_clone().expect("clone driver socket");
+    let mut client = WireClient::new(reader, stream);
+    let mut driver = DayDriver::new(scenario);
+    let outcome = driver.drive(scenario, &mut client, &sim, Some(kill_at));
+    let killed_at = match outcome {
+        DriveOutcome::Paused { at } => at,
+        // Day shorter than the kill point: the takeover below still runs
+        // (and must be a no-op hand-off).
+        DriveOutcome::Completed => kill_at,
+    };
+    let (primary_metrics, _) = client
+        .metrics(&scenario.name)
+        .expect("primary metrics before kill");
+
+    // ---- the kill ----
+    // Shipping lag is judged at the kill signal, before the drain flushes
+    // anything further.
+    let staleness_records = journal
+        .last_seq()
+        .saturating_sub(shipped_seq.load(Ordering::SeqCst));
+    let kill_instant = Instant::now();
+    drop(client);
+    shutdown.store(true, Ordering::SeqCst);
+    server
+        .join()
+        .expect("primary mux server panicked")
+        .expect("primary mux server exits clean");
+    let shipped = tailer.join().expect("standby tail thread panicked");
+    // Abandon the primary registry without drain or seal — no close
+    // records; its worker threads exit as the channels die.
+    drop(registry);
+
+    // ---- leg 2, phase 2: takeover on the shipped copy alone ----
+    if let Err((tenant, conflict)) = wal::audit_log(&shipped) {
+        panic!("shipped changeset log fails audit for tenant {tenant}: {conflict:?}");
+    }
+    let records_shipped = shipped.len();
+    // A handle under the primary's epoch, as a resurrected primary would
+    // still hold...
+    let stale_handle = TenantJournal::new(Arc::clone(&standby_journal), &scenario.name);
+    let takeover_epoch = standby_journal.bump_epoch();
+    // ...is fenced the moment the standby bumps: refused and counted,
+    // never written.
+    stale_handle.advance(killed_at, &[]);
+    let (mut planners, _state) = wal::recover_planners(&shipped, |_| make_planner());
+    let planner = planners
+        .remove(scenario.name.as_str())
+        .unwrap_or_else(&mut make_planner);
+    let standby_registry = Arc::new(TenantRegistry::new());
+    standby_registry.attach_journal(Arc::clone(&standby_journal));
+    standby_registry.register_speculative(scenario.name.clone(), planner, service_cfg);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind standby loopback");
+    let standby_addr = listener.local_addr().expect("standby local addr");
+    let standby_shutdown = Arc::new(AtomicBool::new(false));
+    let standby_server = {
+        let registry = Arc::clone(&standby_registry);
+        let shutdown = Arc::clone(&standby_shutdown);
+        let metrics = Arc::clone(&mux_metrics);
+        let config = MuxConfig {
+            threads: mux_threads,
+            ..MuxConfig::default()
+        };
+        std::thread::Builder::new()
+            .name("carp-repl-takeover".into())
+            .spawn(move || serve_tcp_mux(listener, registry, shutdown, config, metrics))
+            .expect("spawn standby mux server")
+    };
+    let takeover_ms = kill_instant.elapsed().as_secs_f64() * 1e3;
+
+    // The paused driver resumes against the standby daemon.
+    let stream = TcpStream::connect(standby_addr).expect("driver reconnects");
+    stream.set_nodelay(true).expect("driver nodelay");
+    let reader = stream.try_clone().expect("clone driver socket");
+    let mut client = WireClient::new(reader, stream);
+    let outcome = driver.drive(scenario, &mut client, &sim, None);
+    debug_assert_eq!(outcome, DriveOutcome::Completed);
+    let (metrics, wire) = client
+        .metrics(&scenario.name)
+        .expect("standby metrics over the wire");
+    drop(client);
+    standby_shutdown.store(true, Ordering::SeqCst);
+    standby_server
+        .join()
+        .expect("standby mux server panicked")
+        .expect("standby mux server exits clean");
+
+    let planner = match standby_registry
+        .remove(&scenario.name)
+        .expect("standby tenant registered")
+        .downcast::<P>()
+    {
+        Ok(planner) => *planner,
+        Err(_) => panic!("standby planner has the registered type"),
+    };
+    let wal_stats = standby_journal.stats();
+    let engine: Option<EngineMetrics> = planner.engine_metrics();
+    let raw = driver.finish();
+    let replicated = LoadReport::build(
+        scenario,
+        scenario.name.clone(),
+        &raw.final_routes,
+        metrics,
+        wire,
+        engine,
+        raw.wall_secs,
+        raw.completed,
+        raw.failed_requests,
+        raw.refused_requests,
+        raw.backpressure_retries,
+        raw.audit_conflicts,
+        raw.makespan,
+    );
+    let digests_match = replicated.routes_digest == baseline.routes_digest;
+    ReplicationBenchReport {
+        version: BENCH_VERSION,
+        scenario: scenario.name.clone(),
+        killed_at,
+        records_shipped,
+        staleness_records,
+        takeover_ms,
+        takeover_epoch,
+        fenced_appends: wal_stats.fenced_appends,
+        digests_match,
+        baseline,
+        replicated,
+        primary: primary_metrics,
+        wal_stats,
+    }
 }
 
 /// Serve several tenants from **one** registry concurrently: each tenant's

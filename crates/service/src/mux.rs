@@ -48,6 +48,8 @@ use crate::ingest::{RateLimit, TokenBucket};
 use crate::report::MuxCounters;
 use crate::service::{ControlReply, SubmitError, Ticket, WakeFn};
 use crate::tenant::{Tenant, TenantRegistry};
+use crate::wal::record::{encode_record, ChangeRecord};
+use crate::wal::{LogSubscription, WalJournal};
 use crate::wire::frame::{frame_len, write_frame, FrameDecoder, FrameKind, WireError};
 use crate::wire::schema::{self, AckStatus, ErrorCode};
 use carp_warehouse::request::RequestId;
@@ -125,6 +127,13 @@ mod sys {
 /// the timeout only bounds how long a ticket whose worker died without
 /// waking us (panic) waits before the `ServiceDied` answer is noticed.
 const POLL_TIMEOUT: Duration = Duration::from_millis(25);
+
+/// Soft cap on the raw-record bytes packed into one shipped `LogChunk`.
+/// A standby catching up from `seq=1` would otherwise receive the whole
+/// log as a single frame; splitting near 1 MiB keeps every chunk far
+/// below [`crate::wire::MAX_PAYLOAD`] and lets the reactor interleave
+/// other connections' replies between chunks of a large catch-up.
+const TAIL_CHUNK_BYTES: usize = 1 << 20;
 
 /// Reactor pool configuration for [`serve_tcp_mux`].
 #[derive(Debug, Clone, Copy)]
@@ -232,6 +241,14 @@ enum Pending {
     },
 }
 
+/// A connection's live WAL-shipping subscription: the journal it tails
+/// (for the epoch stamped into each chunk) and the queue the journal's
+/// append path pushes committed records into.
+struct TailConn {
+    journal: Arc<WalJournal>,
+    sub: LogSubscription,
+}
+
 /// One registered client connection and its reassembly state.
 struct Conn {
     stream: TcpStream,
@@ -241,6 +258,8 @@ struct Conn {
     out: Vec<u8>,
     pending: VecDeque<Pending>,
     bucket: Option<TokenBucket>,
+    /// Live log-tail subscription, when the client sent `TailLog`.
+    tail: Option<TailConn>,
     /// No more frames will be read (EOF, decode error, or drain mode);
     /// the connection stays registered until its owed replies flush.
     read_closed: bool,
@@ -306,6 +325,7 @@ impl Reactor {
             }
             for conn in &mut self.conns {
                 Self::resolve_pending(&self.ctx, conn);
+                Self::pump_tail(&self.ctx, conn);
                 Self::flush(&self.ctx.metrics, conn);
             }
             self.reap();
@@ -376,6 +396,17 @@ impl Reactor {
                     // socket, so one connection's burst doesn't tax every
                     // other connection's ack latency.
                     Self::flush(&self.ctx.metrics, conn);
+                } else if re & (sys::POLLHUP | sys::POLLERR) != 0 && conn.read_closed {
+                    // The read side is already severed, so no arm above will
+                    // consume this condition — without this arm a peer that
+                    // vanished with replies still owed (POLLERR from an RST,
+                    // POLLHUP) is re-reported by every subsequent poll(2):
+                    // a busy loop, and a leaked fd if the owed ticket never
+                    // resolves. The transport is gone both ways; try one
+                    // last flush (it marks `dead` itself on failure) and
+                    // reap regardless.
+                    Self::flush(&self.ctx.metrics, conn);
+                    conn.dead = true;
                 }
                 if re & sys::POLLOUT != 0 {
                     Self::flush(&self.ctx.metrics, conn);
@@ -402,6 +433,7 @@ impl Reactor {
                 out: Vec::new(),
                 pending: VecDeque::new(),
                 bucket: self.rate_limit.map(TokenBucket::new),
+                tail: None,
                 read_closed: false,
                 dead: false,
             };
@@ -569,12 +601,34 @@ impl Reactor {
                 let reply = schema::encode_metrics_reply(&metrics, &wire);
                 Self::queue_frame(ctx, conn, Some(&tenant), FrameKind::MetricsReply, &reply);
             }
+            FrameKind::TailLog => {
+                let from_seq = schema::decode_tail_log(payload)?;
+                let Some(journal) = ctx.registry.journal() else {
+                    let reply = schema::encode_error_reply(
+                        ErrorCode::NoJournal,
+                        "daemon has no changeset log attached",
+                    );
+                    Self::queue_frame(ctx, conn, None, FrameKind::ErrorReply, &reply);
+                    return Ok(());
+                };
+                // Catch-up (records already on disk from `from_seq`) and
+                // the live registration happen under the journal's append
+                // lock, so the hand-off is gap-free and duplicate-free:
+                // every later append lands in the subscription queue. The
+                // waker nudges this reactor's self-pipe so the next
+                // `poll(2)` wakes the instant a record ships.
+                let wake = Arc::clone(&ctx.wake);
+                let (catch_up, sub) = journal.tail(from_seq, move || wake())?;
+                Self::queue_log_chunks(ctx, conn, journal.epoch(), &catch_up);
+                conn.tail = Some(TailConn { journal, sub });
+            }
             FrameKind::SubmitAck
             | FrameKind::PlanReply
             | FrameKind::AdvanceReply
             | FrameKind::CancelReply
             | FrameKind::MetricsReply
-            | FrameKind::ErrorReply => {
+            | FrameKind::ErrorReply
+            | FrameKind::LogChunk => {
                 let reply = schema::encode_error_reply(
                     ErrorCode::UnexpectedFrame,
                     "frame kind is daemon to client only",
@@ -583,6 +637,41 @@ impl Reactor {
             }
         }
         Ok(())
+    }
+
+    /// Move records the journal shipped since the last loop iteration from
+    /// the subscription queue into the connection's write buffer.
+    fn pump_tail(ctx: &Ctx, conn: &mut Conn) {
+        let (epoch, records) = match conn.tail.as_ref() {
+            Some(tail) => (tail.journal.epoch(), tail.sub.drain()),
+            None => return,
+        };
+        if !records.is_empty() {
+            Self::queue_log_chunks(ctx, conn, epoch, &records);
+        }
+    }
+
+    /// Encode `records` as one or more `LogChunk` frames into the write
+    /// buffer, packing up to [`TAIL_CHUNK_BYTES`] of raw record bytes per
+    /// chunk (always at least one record, so progress is guaranteed).
+    fn queue_log_chunks(ctx: &Ctx, conn: &mut Conn, epoch: u64, records: &[ChangeRecord]) {
+        let mut raw = Vec::new();
+        let mut count = 0u32;
+        for rec in records {
+            let bytes = encode_record(rec);
+            if count > 0 && raw.len() + bytes.len() > TAIL_CHUNK_BYTES {
+                let payload = schema::encode_log_chunk_raw(epoch, count, &raw);
+                Self::queue_frame(ctx, conn, None, FrameKind::LogChunk, &payload);
+                raw.clear();
+                count = 0;
+            }
+            raw.extend_from_slice(&bytes);
+            count += 1;
+        }
+        if count > 0 {
+            let payload = schema::encode_log_chunk_raw(epoch, count, &raw);
+            Self::queue_frame(ctx, conn, None, FrameKind::LogChunk, &payload);
+        }
     }
 
     fn lookup(ctx: &Ctx, conn: &mut Conn, tenant_id: &str) -> Option<Arc<Tenant>> {

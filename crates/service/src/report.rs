@@ -207,6 +207,67 @@ impl RecoveryBenchReport {
     }
 }
 
+/// The `BENCH_service_replication.json` document: a kill-primary failover
+/// **over the wire** — the same day driven twice, once uninterrupted
+/// in-process (the digest reference) and once over real TCP against the
+/// event-loop front-end with a network standby tailing the changeset log
+/// live (`TailLog`/`LogChunk`); the primary is killed mid-day and the
+/// standby, rebuilt purely from its shipped copy, serves the rest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplicationBenchReport {
+    /// Schema version (shares [`BENCH_VERSION`]).
+    pub version: u32,
+    /// Scenario label both legs share.
+    pub scenario: String,
+    /// Sim time of the first burst the standby drove.
+    pub killed_at: Time,
+    /// Changeset records the standby had received over the wire at
+    /// takeover (its entire replay input).
+    pub records_shipped: usize,
+    /// Shipping lag at the kill signal: primary log sequence minus the
+    /// highest sequence the standby had applied. With the driver paused at
+    /// a burst boundary this is in-flight TCP only — near zero.
+    pub staleness_records: u64,
+    /// Wall-clock milliseconds from the kill signal until the standby was
+    /// serving (audit + epoch bump + planner replay + re-listen).
+    pub takeover_ms: f64,
+    /// Leadership epoch the standby fenced the log to on takeover.
+    pub takeover_epoch: u64,
+    /// Stale-epoch appends the standby's journal refused after takeover
+    /// (the resurrected-primary fence; the bench provokes at least one).
+    pub fenced_appends: u64,
+    /// The failover leg's committed route set is bit-identical to the
+    /// uninterrupted baseline's (the CI gate).
+    pub digests_match: bool,
+    /// Uninterrupted in-process leg — the digest reference.
+    pub baseline: LoadReport,
+    /// Failover leg over TCP; its report spans the whole day, its
+    /// service/wire metrics only the standby's half.
+    pub replicated: LoadReport,
+    /// The primary's metrics scraped just before the kill (the other half
+    /// of the failover leg's serving record).
+    pub primary: ServiceMetrics,
+    /// Standby-side journal stats at end of day (shipped + appended).
+    pub wal_stats: crate::wal::WalStats,
+}
+
+impl ReplicationBenchReport {
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Parse a report document.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Audited conflicts summed over both legs (the CI gate).
+    pub fn total_audit_conflicts(&self) -> usize {
+        self.baseline.audit_conflicts + self.replicated.audit_conflicts
+    }
+}
+
 /// Serializable snapshot of the mux reactor counters
 /// ([`MuxMetrics`](crate::mux::MuxMetrics) on unix); lands in
 /// `BENCH_service_mux.json`. Defined here rather than in the (unix-only)

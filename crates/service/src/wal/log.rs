@@ -16,14 +16,32 @@
 
 use super::record::{decode_records, encode_record, ChangeOp, ChangeRecord, LogTail};
 use super::replay::ReplayState;
+use crate::wire::WireError;
 use carp_warehouse::request::{Request, RequestId};
 use carp_warehouse::route::Route;
 use carp_warehouse::types::Time;
+use std::collections::VecDeque;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Durability invariant: a log file's *existence* is only durable once its
+/// parent directory has been fsynced. `sync_all` on the file descriptor
+/// persists the file's contents and inode, but the directory entry naming
+/// it lives in the directory's own blocks — a crash right after creation,
+/// truncation-repair, or a compaction rename can otherwise resurrect the
+/// old name or lose the file entirely. Every point that creates, replaces,
+/// or shrinks the log file calls this on the parent before declaring the
+/// operation durable.
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    File::open(dir)?.sync_all()
+}
 
 /// Journal tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -59,6 +77,9 @@ pub struct WalStats {
     /// Appends or syncs that failed at the I/O layer (the daemon keeps
     /// planning; durability is degraded and the operator must act).
     pub append_errors: u64,
+    /// Appends refused because they were stamped with a stale leadership
+    /// epoch — a fenced-off ex-primary tried to write.
+    pub fenced_appends: u64,
 }
 
 struct Inner {
@@ -68,16 +89,57 @@ struct Inner {
     state: ReplayState,
 }
 
+/// Records queued for one live tail subscriber, shared between the
+/// journal's append path and whoever drains the subscription.
+struct TailState {
+    queue: VecDeque<ChangeRecord>,
+}
+
+struct TailEntry {
+    shared: Arc<Mutex<TailState>>,
+    waker: Box<dyn Fn() + Send>,
+}
+
+/// A live subscription to the journal's append stream, handed out by
+/// [`WalJournal::tail`]. Records pushed after the catch-up point accumulate
+/// in an internal queue; [`LogSubscription::drain`] empties it. Dropping
+/// the subscription unregisters it (the journal garbage-collects entries
+/// whose subscriber is gone on the next append).
+pub struct LogSubscription {
+    shared: Arc<Mutex<TailState>>,
+}
+
+impl LogSubscription {
+    /// Take every record queued since the last drain, in append order.
+    pub fn drain(&self) -> Vec<ChangeRecord> {
+        let mut st = self.shared.lock().expect("tail subscription lock");
+        st.queue.drain(..).collect()
+    }
+
+    /// Whether records are currently queued.
+    pub fn has_pending(&self) -> bool {
+        !self
+            .shared
+            .lock()
+            .expect("tail subscription lock")
+            .queue
+            .is_empty()
+    }
+}
+
 /// The shared append-only changeset log.
 pub struct WalJournal {
     path: PathBuf,
     config: WalConfig,
     inner: Mutex<Inner>,
+    /// Live tail subscribers. Lock order: `inner` before `subs`, always.
+    subs: Mutex<Vec<TailEntry>>,
     appends: AtomicU64,
     bytes: AtomicU64,
     fsyncs: AtomicU64,
     compactions: AtomicU64,
     append_errors: AtomicU64,
+    fenced_appends: AtomicU64,
 }
 
 impl std::fmt::Debug for WalJournal {
@@ -106,6 +168,10 @@ impl WalJournal {
             .write(true)
             .truncate(true)
             .open(&path)?;
+        // See sync_parent_dir: the file's contents are empty, but its
+        // directory entry (or the truncation of a prior incarnation) must
+        // survive a crash before any append is trusted to.
+        sync_parent_dir(&path)?;
         Ok(Arc::new(WalJournal {
             path,
             config,
@@ -115,11 +181,13 @@ impl WalJournal {
                 since_fsync: 0,
                 state: ReplayState::default(),
             }),
+            subs: Mutex::new(Vec::new()),
             appends: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
             fsyncs: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
             append_errors: AtomicU64::new(0),
+            fenced_appends: AtomicU64::new(0),
         }))
     }
 
@@ -146,6 +214,9 @@ impl WalJournal {
         if let LogTail::Torn { valid_bytes, .. } = tail {
             file.set_len(valid_bytes)?;
             file.sync_all()?;
+            // See sync_parent_dir: the repair shrank the file; make the
+            // repaired length durable before resuming appends over it.
+            sync_parent_dir(&path)?;
         }
         file.seek(SeekFrom::End(0))?;
         let state = ReplayState::from_records(&records);
@@ -159,11 +230,13 @@ impl WalJournal {
                 since_fsync: 0,
                 state,
             }),
+            subs: Mutex::new(Vec::new()),
             appends: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
             fsyncs: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
             append_errors: AtomicU64::new(0),
+            fenced_appends: AtomicU64::new(0),
         });
         Ok((journal, records, tail))
     }
@@ -176,6 +249,64 @@ impl WalJournal {
     /// beats a mid-day outage, and the stats surface the damage.
     pub fn append(&self, tenant: &str, op: ChangeOp) -> u64 {
         let mut inner = self.inner.lock().expect("wal lock poisoned");
+        self.append_locked(&mut inner, tenant, op)
+    }
+
+    /// [`WalJournal::append`] fenced on a leadership epoch: refused with
+    /// [`WireError::Fenced`] when `epoch` is older than the journal's
+    /// current one (a standby took over since the caller captured its
+    /// handle). This is the split-brain guard — a resurrected primary's
+    /// stale appends are counted ([`WalStats::fenced_appends`]) and
+    /// rejected instead of corrupting the journal.
+    pub fn append_at(&self, epoch: u64, tenant: &str, op: ChangeOp) -> Result<u64, WireError> {
+        let mut inner = self.inner.lock().expect("wal lock poisoned");
+        let current = inner.state.epoch;
+        if epoch < current {
+            self.fenced_appends.fetch_add(1, Ordering::Relaxed);
+            return Err(WireError::Fenced {
+                stale: epoch,
+                current,
+            });
+        }
+        Ok(self.append_locked(&mut inner, tenant, op))
+    }
+
+    /// The journal's current leadership epoch (1 until the first bump).
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().expect("wal lock poisoned").state.epoch
+    }
+
+    /// Bump the leadership epoch by one: journal an [`ChangeOp::Epoch`]
+    /// record and fsync it immediately — fencing is only a guarantee once
+    /// the bump is durable. Returns the new epoch. The standby's takeover
+    /// call; every [`TenantJournal`] handle captured before it is fenced
+    /// off from then on.
+    pub fn bump_epoch(&self) -> u64 {
+        let mut inner = self.inner.lock().expect("wal lock poisoned");
+        let next = inner.state.epoch + 1;
+        self.append_locked(&mut inner, "", ChangeOp::Epoch(next));
+        self.fsync_locked(&mut inner);
+        next
+    }
+
+    /// Append a record shipped from a primary verbatim, preserving its
+    /// log-wide sequence number (the standby's side of live shipping).
+    /// Returns `false` when `rec.seq` is not past the journal's last
+    /// sequence — duplicate delivery after a tail reconnect is skipped,
+    /// not an error.
+    pub fn append_record(&self, rec: &ChangeRecord) -> bool {
+        let mut inner = self.inner.lock().expect("wal lock poisoned");
+        if rec.seq < inner.next_seq {
+            return false;
+        }
+        inner.next_seq = rec.seq + 1;
+        inner.state.apply(rec);
+        self.write_locked(&mut inner, rec);
+        self.ship_to_subs(rec);
+        true
+    }
+
+    fn append_locked(&self, inner: &mut Inner, tenant: &str, op: ChangeOp) -> u64 {
         let seq = inner.next_seq;
         inner.next_seq += 1;
         let rec = ChangeRecord {
@@ -183,28 +314,87 @@ impl WalJournal {
             tenant: tenant.to_string(),
             op,
         };
-        let bytes = encode_record(&rec);
         inner.state.apply(&rec);
-        if let Err(e) = inner.file.write_all(&bytes) {
-            self.append_errors.fetch_add(1, Ordering::Relaxed);
-            eprintln!("carp-service: wal append failed: {e}");
-            return seq;
-        }
-        self.appends.fetch_add(1, Ordering::Relaxed);
-        self.bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
-        inner.since_fsync += 1;
-        if inner.since_fsync >= self.config.fsync_every {
-            self.fsync_locked(&mut inner);
-        }
+        self.write_locked(inner, &rec);
+        // Ship to live tail subscribers *under the append lock*: the
+        // subscriber's queue order is exactly the journal's append order,
+        // and a tail() registration can never miss a record between its
+        // catch-up read and its first push.
+        self.ship_to_subs(&rec);
         if let Some(every) = self.config.snapshot_every {
             if seq.is_multiple_of(every) {
-                if let Err(e) = self.compact_locked(&mut inner) {
+                if let Err(e) = self.compact_locked(inner) {
                     self.append_errors.fetch_add(1, Ordering::Relaxed);
                     eprintln!("carp-service: wal auto-compaction failed: {e}");
                 }
             }
         }
         seq
+    }
+
+    fn write_locked(&self, inner: &mut Inner, rec: &ChangeRecord) {
+        let bytes = encode_record(rec);
+        if let Err(e) = inner.file.write_all(&bytes) {
+            self.append_errors.fetch_add(1, Ordering::Relaxed);
+            eprintln!("carp-service: wal append failed: {e}");
+            return;
+        }
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        inner.since_fsync += 1;
+        if inner.since_fsync >= self.config.fsync_every {
+            self.fsync_locked(inner);
+        }
+    }
+
+    /// Push `rec` to every live subscriber and wake it; entries whose
+    /// subscriber dropped its [`LogSubscription`] are garbage-collected
+    /// here (the queue `Arc` has a single owner left).
+    fn ship_to_subs(&self, rec: &ChangeRecord) {
+        let mut subs = self.subs.lock().expect("wal subs lock");
+        subs.retain(|entry| {
+            if Arc::strong_count(&entry.shared) == 1 {
+                return false;
+            }
+            entry
+                .shared
+                .lock()
+                .expect("tail subscription lock")
+                .queue
+                .push_back(rec.clone());
+            (entry.waker)();
+            true
+        });
+    }
+
+    /// Subscribe to the journal's live append stream, starting at
+    /// `from_seq`: returns every already-journaled record with
+    /// `seq >= from_seq` (the catch-up — on a compacted log this starts at
+    /// the snapshot record, which replays to the same state) plus a
+    /// [`LogSubscription`] that every later append is pushed into.
+    /// `waker` is called (with no journal locks held by the *caller*)
+    /// after each push — a reactor points it at its self-pipe.
+    pub fn tail(
+        &self,
+        from_seq: u64,
+        waker: impl Fn() + Send + 'static,
+    ) -> std::io::Result<(Vec<ChangeRecord>, LogSubscription)> {
+        // Hold the append lock across the catch-up read *and* the
+        // registration: no record can slip between the two, so catch-up ⊕
+        // pushed stream is gap-free and duplicate-free.
+        let _inner = self.inner.lock().expect("wal lock poisoned");
+        let buf = std::fs::read(&self.path)?;
+        let (records, _tail) = decode_records(&buf);
+        let catch_up: Vec<ChangeRecord> =
+            records.into_iter().filter(|r| r.seq >= from_seq).collect();
+        let shared = Arc::new(Mutex::new(TailState {
+            queue: VecDeque::new(),
+        }));
+        self.subs.lock().expect("wal subs lock").push(TailEntry {
+            shared: Arc::clone(&shared),
+            waker: Box::new(waker),
+        });
+        Ok((catch_up, LogSubscription { shared }))
     }
 
     fn fsync_locked(&self, inner: &mut Inner) {
@@ -223,10 +413,16 @@ impl WalJournal {
         self.fsync_locked(&mut inner);
     }
 
-    /// Seal the journal: final fsync. Called by graceful shutdown after
+    /// Seal the journal: final fsync of the file *and* its directory
+    /// entry (see `sync_parent_dir` — a log created this run is not
+    /// durable until the directory is). Called by graceful shutdown after
     /// every tenant has been drained and closed.
     pub fn seal(&self) {
         self.sync();
+        if let Err(e) = sync_parent_dir(&self.path) {
+            self.append_errors.fetch_add(1, Ordering::Relaxed);
+            eprintln!("carp-service: wal directory fsync failed: {e}");
+        }
     }
 
     /// Rewrite the log as a single snapshot record capturing the current
@@ -258,6 +454,10 @@ impl WalJournal {
         file.write_all(&bytes)?;
         file.sync_all()?;
         std::fs::rename(&tmp, &self.path)?;
+        // See sync_parent_dir: the rename swapped the directory entry; a
+        // crash before the directory is synced could resurrect the
+        // pre-compaction file under the live name.
+        sync_parent_dir(&self.path)?;
         // The handle followed the inode through the rename: it now *is*
         // the live log file, positioned at its end.
         inner.file = file;
@@ -265,6 +465,10 @@ impl WalJournal {
         self.bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
         self.compactions.fetch_add(1, Ordering::Relaxed);
         self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        // Tail subscribers get the snapshot record too: their replayed
+        // state jumps to the compaction point exactly like a late reader
+        // of the file would.
+        self.ship_to_subs(&rec);
         Ok(())
     }
 
@@ -276,7 +480,13 @@ impl WalJournal {
             fsyncs: self.fsyncs.load(Ordering::Relaxed),
             compactions: self.compactions.load(Ordering::Relaxed),
             append_errors: self.append_errors.load(Ordering::Relaxed),
+            fenced_appends: self.fenced_appends.load(Ordering::Relaxed),
         }
+    }
+
+    /// Sequence number of the last record appended (0 = empty log).
+    pub fn last_seq(&self) -> u64 {
+        self.inner.lock().expect("wal lock poisoned").next_seq - 1
     }
 
     /// Clone of the replay state implied by everything appended so far.
@@ -300,10 +510,16 @@ pub fn read_log(path: &Path) -> std::io::Result<(Vec<ChangeRecord>, LogTail)> {
 
 /// A tenant-scoped handle on the shared journal: what the commit pipeline
 /// actually holds. Cloneable and cheap; every helper is one append.
+///
+/// The handle captures the journal's leadership epoch at construction and
+/// stamps every append with it ([`WalJournal::append_at`]): after a
+/// standby takeover bumps the epoch, a handle a resurrected primary still
+/// holds is fenced — its appends are refused and counted, never written.
 #[derive(Clone)]
 pub struct TenantJournal {
     tenant: Arc<str>,
     journal: Arc<WalJournal>,
+    epoch: u64,
 }
 
 impl std::fmt::Debug for TenantJournal {
@@ -315,11 +531,13 @@ impl std::fmt::Debug for TenantJournal {
 }
 
 impl TenantJournal {
-    /// Scope `journal` to one tenant.
+    /// Scope `journal` to one tenant, capturing its current epoch.
     pub fn new(journal: Arc<WalJournal>, tenant: &str) -> Self {
+        let epoch = journal.epoch();
         TenantJournal {
             tenant: Arc::from(tenant),
             journal,
+            epoch,
         }
     }
 
@@ -328,31 +546,40 @@ impl TenantJournal {
         &self.journal
     }
 
+    /// The leadership epoch this handle appends under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// One fenced-aware append: a refusal is already counted by the
+    /// journal, and the pipeline must keep planning either way — the
+    /// fence protects the *log*, not the ex-primary's in-memory day.
+    fn append(&self, op: ChangeOp) {
+        let _ = self.journal.append_at(self.epoch, &self.tenant, op);
+    }
+
     /// Journal the tenant's registration.
     pub fn open(&self) {
-        self.journal.append(&self.tenant, ChangeOp::TenantOpen);
+        self.append(ChangeOp::TenantOpen);
     }
 
     /// Journal the tenant's deregistration and force it to disk.
     pub fn close(&self) {
-        self.journal.append(&self.tenant, ChangeOp::TenantClose);
+        self.append(ChangeOp::TenantClose);
         self.journal.sync();
     }
 
     /// Journal one validated commit.
     pub fn commit(&self, request: &Request, route: &Route) {
-        self.journal.append(
-            &self.tenant,
-            ChangeOp::Commit {
-                request: *request,
-                route: route.clone(),
-            },
-        );
+        self.append(ChangeOp::Commit {
+            request: *request,
+            route: route.clone(),
+        });
     }
 
     /// Journal a cancel of a committed route.
     pub fn cancel(&self, id: RequestId) {
-        self.journal.append(&self.tenant, ChangeOp::Cancel { id });
+        self.append(ChangeOp::Cancel { id });
     }
 
     /// Journal a clock advance: first any route revisions the planner
@@ -360,14 +587,11 @@ impl TenantJournal {
     /// implies batched retirement of routes ending before `now`.
     pub fn advance(&self, now: Time, revisions: &[(RequestId, Route)]) {
         for (id, route) in revisions {
-            self.journal.append(
-                &self.tenant,
-                ChangeOp::Revise {
-                    id: *id,
-                    route: route.clone(),
-                },
-            );
+            self.append(ChangeOp::Revise {
+                id: *id,
+                route: route.clone(),
+            });
         }
-        self.journal.append(&self.tenant, ChangeOp::Advance { now });
+        self.append(ChangeOp::Advance { now });
     }
 }

@@ -24,7 +24,7 @@ pub mod log;
 pub mod record;
 pub mod replay;
 
-pub use self::log::{read_log, TenantJournal, WalConfig, WalJournal, WalStats};
+pub use self::log::{read_log, LogSubscription, TenantJournal, WalConfig, WalJournal, WalStats};
 pub use self::record::{ChangeOp, ChangeRecord, LogTail, TenantSnapshot, WalSnapshot};
 pub use self::replay::{
     audit_log, bundle_from_log, recover_planners, requests_in_log, ReplayState,

@@ -74,10 +74,22 @@ pub struct TenantSnapshot {
 
 /// A full-state snapshot: per-tenant [`TenantSnapshot`]s. Written as a
 /// [`ChangeOp::Snapshot`] record at the head of a compacted log.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WalSnapshot {
+    /// Leadership epoch in force at the snapshot point — compaction must
+    /// not lose a fencing bump that preceded it.
+    pub epoch: u64,
     /// State of every open tenant, keyed by tenant id.
     pub tenants: BTreeMap<String, TenantSnapshot>,
+}
+
+impl Default for WalSnapshot {
+    fn default() -> Self {
+        WalSnapshot {
+            epoch: 1,
+            tenants: BTreeMap::new(),
+        }
+    }
 }
 
 /// The state transition a record carries.
@@ -115,6 +127,10 @@ pub enum ChangeOp {
     },
     /// A compaction snapshot: replaces all preceding history.
     Snapshot(WalSnapshot),
+    /// A leadership epoch bump: every later append is made under this
+    /// epoch. A standby writes one at takeover; appends stamped with an
+    /// older epoch are fenced off (refused) from then on.
+    Epoch(u64),
 }
 
 impl ChangeOp {
@@ -127,6 +143,7 @@ impl ChangeOp {
             ChangeOp::Advance { .. } => 5,
             ChangeOp::Revise { .. } => 6,
             ChangeOp::Snapshot(_) => 7,
+            ChangeOp::Epoch(_) => 8,
         }
     }
 }
@@ -219,6 +236,7 @@ fn get_route(r: &mut Reader<'_>) -> Result<Route, WireError> {
 }
 
 fn put_snapshot(w: &mut Writer, snap: &WalSnapshot) {
+    w.put_u64(snap.epoch);
     w.put_u32(snap.tenants.len() as u32);
     for (tenant, st) in &snap.tenants {
         w.put_str16(tenant);
@@ -236,6 +254,10 @@ fn put_snapshot(w: &mut Writer, snap: &WalSnapshot) {
 }
 
 fn get_snapshot(r: &mut Reader<'_>) -> Result<WalSnapshot, WireError> {
+    let epoch = r.u64()?;
+    if epoch == 0 {
+        return Err(WireError::Malformed("snapshot epoch zero"));
+    }
     let ntenants = r.u32()? as usize;
     let mut tenants = BTreeMap::new();
     for _ in 0..ntenants {
@@ -258,7 +280,7 @@ fn get_snapshot(r: &mut Reader<'_>) -> Result<WalSnapshot, WireError> {
             return Err(WireError::Malformed("duplicate tenant in snapshot"));
         }
     }
-    Ok(WalSnapshot { tenants })
+    Ok(WalSnapshot { epoch, tenants })
 }
 
 /// Encode one record (header + payload) into a fresh buffer.
@@ -280,6 +302,7 @@ pub fn encode_record(rec: &ChangeRecord) -> Vec<u8> {
             put_route(&mut w, route);
         }
         ChangeOp::Snapshot(snap) => put_snapshot(&mut w, snap),
+        ChangeOp::Epoch(epoch) => w.put_u64(*epoch),
     }
     let payload = w.into_inner();
     debug_assert!(payload.len() as u32 <= MAX_RECORD);
@@ -311,6 +334,13 @@ fn decode_payload(payload: &[u8]) -> Result<ChangeRecord, WireError> {
             ChangeOp::Revise { id, route }
         }
         7 => ChangeOp::Snapshot(get_snapshot(&mut r)?),
+        8 => {
+            let epoch = r.u64()?;
+            if epoch == 0 {
+                return Err(WireError::Malformed("epoch zero"));
+            }
+            ChangeOp::Epoch(epoch)
+        }
         _ => return Err(WireError::Malformed("unknown record kind")),
     };
     r.done()?;
@@ -414,6 +444,11 @@ mod tests {
                 tenant: "acme".into(),
                 op: ChangeOp::TenantClose,
             },
+            ChangeRecord {
+                seq: 7,
+                tenant: String::new(),
+                op: ChangeOp::Epoch(2),
+            },
         ]
     }
 
@@ -432,7 +467,10 @@ mod tests {
     #[test]
     fn snapshot_round_trips() {
         let req = Request::new(9, 0, Cell::new(0, 0), Cell::new(1, 0), QueryKind::Return);
-        let mut snap = WalSnapshot::default();
+        let mut snap = WalSnapshot {
+            epoch: 3,
+            ..WalSnapshot::default()
+        };
         let mut st = TenantSnapshot {
             now: 12,
             committed: 3,

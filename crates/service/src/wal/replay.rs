@@ -32,12 +32,25 @@ use std::collections::BTreeMap;
 
 /// The replay-relevant residue of a record prefix: per-tenant state plus
 /// the last sequence number folded in.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReplayState {
     /// Per-tenant state, keyed by tenant id. Closed tenants are removed.
     pub tenants: BTreeMap<String, TenantSnapshot>,
     /// Sequence number of the last record applied (0 = none).
     pub last_seq: u64,
+    /// Leadership epoch in force after the last record (1 when the log
+    /// predates fencing — an epoch-free log is epoch 1 by definition).
+    pub epoch: u64,
+}
+
+impl Default for ReplayState {
+    fn default() -> Self {
+        ReplayState {
+            tenants: BTreeMap::new(),
+            last_seq: 0,
+            epoch: 1,
+        }
+    }
 }
 
 impl ReplayState {
@@ -90,6 +103,12 @@ impl ReplayState {
             }
             ChangeOp::Snapshot(snap) => {
                 self.tenants = snap.tenants.clone();
+                self.epoch = self.epoch.max(snap.epoch);
+            }
+            ChangeOp::Epoch(epoch) => {
+                // Epochs only move forward; a stale bump in the stream is
+                // ignored rather than rewinding the fence.
+                self.epoch = self.epoch.max(*epoch);
             }
         }
     }
@@ -97,6 +116,7 @@ impl ReplayState {
     /// Capture the state as a snapshot payload for compaction.
     pub fn snapshot(&self) -> WalSnapshot {
         WalSnapshot {
+            epoch: self.epoch,
             tenants: self.tenants.clone(),
         }
     }
@@ -177,6 +197,8 @@ where
                     planners.insert(tenant.clone(), p);
                 }
             }
+            // Epoch bumps carry no planning state.
+            ChangeOp::Epoch(_) => {}
         }
     }
     // A log torn between a tenant's Revise records and its Advance still
@@ -243,6 +265,8 @@ pub fn audit_log(records: &[ChangeRecord]) -> Result<(), (String, AuditConflict)
                     }
                 }
             }
+            // Epoch bumps carry no routes to audit.
+            ChangeOp::Epoch(_) => {}
         }
     }
     Ok(())

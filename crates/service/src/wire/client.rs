@@ -11,6 +11,7 @@ use super::frame::{read_frame, write_frame, FrameKind, WireError};
 use super::schema::{self, AckStatus, ErrorCode};
 use crate::service::{PlanResponse, ServiceMetrics};
 use crate::tenant::WireCounters;
+use crate::wal::record::ChangeRecord;
 use carp_warehouse::request::{Request, RequestId};
 use carp_warehouse::route::Route;
 use carp_warehouse::types::Time;
@@ -182,6 +183,50 @@ impl<R: Read, W: Write> WireClient<R, W> {
         schema::decode_metrics_reply(&payload)
     }
 
+    /// Subscribe this connection to the daemon's changeset log from
+    /// `from_seq` (live WAL shipping). After this returns, the daemon
+    /// pushes [`FrameKind::LogChunk`] frames for the rest of the
+    /// connection's life; read them with
+    /// [`WireClient::next_log_chunk`]. The subscription request itself is
+    /// fire-and-forget — a refusal (no journal attached, throttled)
+    /// arrives as the first reply and surfaces from `next_log_chunk`.
+    pub fn tail_log(&mut self, from_seq: u64) -> Result<(), WireError> {
+        let payload = schema::encode_tail_log(from_seq);
+        write_frame(&mut self.writer, FrameKind::TailLog, &payload)
+    }
+
+    /// Block for the next shipped log chunk: `Ok(Some((epoch, records)))`
+    /// per chunk, `Ok(None)` when the primary closed the stream cleanly
+    /// (its shutdown — the takeover trigger), a typed error on refusal or
+    /// corruption.
+    pub fn next_log_chunk(&mut self) -> Result<Option<(u64, Vec<ChangeRecord>)>, WireError> {
+        let Some((kind, payload)) = read_frame(&mut self.reader)? else {
+            return Ok(None);
+        };
+        match kind {
+            FrameKind::LogChunk => {
+                let view = schema::decode_log_chunk(&payload)?;
+                Ok(Some((view.epoch(), view.records()?)))
+            }
+            FrameKind::ErrorReply => {
+                let (code, _msg) = schema::decode_error_reply(&payload)?;
+                Err(Self::error_reply(code))
+            }
+            _ => Err(WireError::Malformed(
+                "unexpected frame on a log-tail subscription",
+            )),
+        }
+    }
+
+    fn error_reply(code: ErrorCode) -> WireError {
+        match code {
+            ErrorCode::UnknownTenant => WireError::Malformed("daemon knows no such tenant"),
+            ErrorCode::UnexpectedFrame => WireError::Malformed("daemon rejected the frame kind"),
+            ErrorCode::Throttled => WireError::Throttled,
+            ErrorCode::NoJournal => WireError::Malformed("daemon has no journal attached"),
+        }
+    }
+
     /// Read frames until one of kind `want` arrives, buffering plan
     /// replies; `ErrorReply` surfaces as a typed error.
     fn await_control(&mut self, want: FrameKind) -> Result<Vec<u8>, WireError> {
@@ -194,15 +239,7 @@ impl<R: Read, W: Write> WireClient<R, W> {
                 FrameKind::PlanReply => self.buffer_plan_reply(&payload)?,
                 FrameKind::ErrorReply => {
                     let (code, _msg) = schema::decode_error_reply(&payload)?;
-                    return Err(match code {
-                        ErrorCode::UnknownTenant => {
-                            WireError::Malformed("daemon knows no such tenant")
-                        }
-                        ErrorCode::UnexpectedFrame => {
-                            WireError::Malformed("daemon rejected the frame kind")
-                        }
-                        ErrorCode::Throttled => WireError::Throttled,
-                    });
+                    return Err(Self::error_reply(code));
                 }
                 _ => {
                     return Err(WireError::Malformed(

@@ -50,6 +50,13 @@ pub enum FrameKind {
     /// Daemon → client: a request-level protocol error (unknown tenant on
     /// a control frame, unexpected kind); the connection stays up.
     ErrorReply = 10,
+    /// Client → daemon: subscribe to the changeset log from a sequence
+    /// number; the daemon streams `LogChunk` frames for the rest of the
+    /// connection's life (live WAL shipping).
+    TailLog = 11,
+    /// Daemon → client: a batch of raw changeset records pushed to a
+    /// `TailLog` subscriber, stamped with the journal's current epoch.
+    LogChunk = 12,
 }
 
 impl FrameKind {
@@ -65,6 +72,8 @@ impl FrameKind {
             8 => FrameKind::MetricsQuery,
             9 => FrameKind::MetricsReply,
             10 => FrameKind::ErrorReply,
+            11 => FrameKind::TailLog,
+            12 => FrameKind::LogChunk,
             _ => return None,
         })
     }
@@ -91,6 +100,15 @@ pub enum WireError {
     /// The daemon refused the frame because this connection exceeded its
     /// rate limit; back off and retry.
     Throttled,
+    /// An append was stamped with a leadership epoch older than the
+    /// journal's current one — the writer was fenced off by a standby
+    /// takeover and must not touch the journal again.
+    Fenced {
+        /// The stale epoch the writer appended under.
+        stale: u64,
+        /// The journal's current epoch.
+        current: u64,
+    },
     /// An underlying transport error.
     Io(std::io::ErrorKind),
     /// The peer closed the connection while a reply was still owed.
@@ -107,6 +125,10 @@ impl core::fmt::Display for WireError {
             WireError::Truncated => write!(f, "stream truncated mid-frame"),
             WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
             WireError::Throttled => write!(f, "connection rate limit exceeded"),
+            WireError::Fenced { stale, current } => write!(
+                f,
+                "append fenced: epoch {stale} is stale (journal is at epoch {current})"
+            ),
             WireError::Io(kind) => write!(f, "transport error: {kind:?}"),
             WireError::Closed => write!(f, "connection closed while awaiting a reply"),
         }

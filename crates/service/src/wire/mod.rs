@@ -38,4 +38,4 @@ pub use client::{WireClient, WireSubmitError};
 pub use frame::{
     read_frame, write_frame, FrameDecoder, FrameKind, WireError, HEADER_LEN, MAX_PAYLOAD, VERSION,
 };
-pub use schema::{AckStatus, PlanVerdict, RouteView};
+pub use schema::{AckStatus, LogChunkView, PlanVerdict, RouteView};

@@ -23,6 +23,11 @@
 //! MetricsQuery  str16 tenant
 //! MetricsReply  service metrics · wire counters (see encode_metrics_reply)
 //! ErrorReply    u8 code (1 unknown-tenant, 2 unexpected-frame) · str16 msg
+//! TailLog       u64 from_seq
+//! LogChunk      u64 epoch · u32 count · count × raw changeset record
+//!               (each in its on-disk `len · crc32 · payload` framing, so
+//!               CRC protection survives the hop and a standby can verify
+//!               end-to-end)
 //! ```
 
 use super::codec::{Reader, Writer};
@@ -30,6 +35,7 @@ use super::frame::WireError;
 use crate::histogram::LatencySummary;
 use crate::service::{PlanResponse, ServiceMetrics};
 use crate::tenant::WireCounters;
+use crate::wal::record::{decode_records, encode_record, ChangeRecord, LogTail};
 use carp_warehouse::planner::EngineMetrics;
 use carp_warehouse::request::{QueryKind, Request, RequestId};
 use carp_warehouse::route::Route;
@@ -515,6 +521,100 @@ pub fn decode_metrics_reply(payload: &[u8]) -> Result<(ServiceMetrics, WireCount
     Ok((metrics, wire))
 }
 
+// -------------------------------------------------- TailLog · LogChunk
+
+/// Encode a `TailLog` payload: subscribe from this sequence number.
+pub fn encode_tail_log(from_seq: u64) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(from_seq);
+    w.into_inner()
+}
+
+/// Decode a `TailLog` payload.
+pub fn decode_tail_log(payload: &[u8]) -> Result<u64, WireError> {
+    let mut r = Reader::new(payload);
+    let from_seq = r.u64()?;
+    r.done()?;
+    Ok(from_seq)
+}
+
+/// Encode a `LogChunk` payload from already-encoded record frames
+/// (`raw` is a concatenation of `count` on-disk record encodings). The
+/// shipping path keeps records in their durable framing, CRC and all.
+pub fn encode_log_chunk_raw(epoch: u64, count: u32, raw: &[u8]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(epoch);
+    w.put_u32(count);
+    w.put_bytes(raw);
+    w.into_inner()
+}
+
+/// Encode a `LogChunk` payload from decoded records.
+pub fn encode_log_chunk(epoch: u64, records: &[ChangeRecord]) -> Vec<u8> {
+    let mut raw = Vec::new();
+    for rec in records {
+        raw.extend_from_slice(&encode_record(rec));
+    }
+    encode_log_chunk_raw(epoch, records.len().min(u32::MAX as usize) as u32, &raw)
+}
+
+/// Zero-copy view over a `LogChunk` payload: the epoch and record count
+/// are decoded eagerly, the record bytes stay borrowed wire bytes (still
+/// in their on-disk framing) until [`LogChunkView::records`] materializes
+/// them — a relay can forward or append the raw bytes without ever
+/// decoding a route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogChunkView<'a> {
+    epoch: u64,
+    count: u32,
+    raw: &'a [u8],
+}
+
+impl<'a> LogChunkView<'a> {
+    /// The journal epoch in force when the chunk was shipped.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of records the chunk declares.
+    pub fn count(&self) -> usize {
+        self.count as usize
+    }
+
+    /// The records' raw bytes — each in its on-disk
+    /// `len · crc32 · payload` framing, concatenated.
+    pub fn raw(&self) -> &'a [u8] {
+        self.raw
+    }
+
+    /// Decode and CRC-check every record. Unlike a log *file* read, a
+    /// torn or corrupt record inside a chunk is a protocol error, not a
+    /// tolerated tail — the transport delivered the payload whole, so any
+    /// defect is corruption, and so is a count mismatch.
+    pub fn records(&self) -> Result<Vec<ChangeRecord>, WireError> {
+        let (records, tail) = decode_records(self.raw);
+        if tail != LogTail::Clean {
+            return Err(WireError::Malformed("corrupt record in log chunk"));
+        }
+        if records.len() != self.count as usize {
+            return Err(WireError::Malformed("log chunk count mismatch"));
+        }
+        Ok(records)
+    }
+}
+
+/// Decode a `LogChunk` payload into its zero-copy view.
+pub fn decode_log_chunk(payload: &[u8]) -> Result<LogChunkView<'_>, WireError> {
+    let mut r = Reader::new(payload);
+    let epoch = r.u64()?;
+    if epoch == 0 {
+        return Err(WireError::Malformed("log chunk epoch zero"));
+    }
+    let count = r.u32()?;
+    let raw = r.bytes(r.remaining())?;
+    Ok(LogChunkView { epoch, count, raw })
+}
+
 // ------------------------------------------------------------ ErrorReply
 
 /// Request-level error codes carried by `ErrorReply` frames.
@@ -528,6 +628,9 @@ pub enum ErrorCode {
     /// The connection exceeded its per-connection rate limit on a control
     /// frame (submissions get [`AckStatus::Throttled`] instead).
     Throttled,
+    /// A `TailLog` subscription was refused because the daemon has no
+    /// changeset journal attached — nothing to ship.
+    NoJournal,
 }
 
 /// Encode an `ErrorReply` payload.
@@ -537,6 +640,7 @@ pub fn encode_error_reply(code: ErrorCode, msg: &str) -> Vec<u8> {
         ErrorCode::UnknownTenant => 1,
         ErrorCode::UnexpectedFrame => 2,
         ErrorCode::Throttled => 3,
+        ErrorCode::NoJournal => 4,
     });
     w.put_str16(msg);
     w.into_inner()
@@ -549,6 +653,7 @@ pub fn decode_error_reply(payload: &[u8]) -> Result<(ErrorCode, &str), WireError
         1 => ErrorCode::UnknownTenant,
         2 => ErrorCode::UnexpectedFrame,
         3 => ErrorCode::Throttled,
+        4 => ErrorCode::NoJournal,
         _ => return Err(WireError::Malformed("unknown error code")),
     };
     let msg = r.str16()?;
@@ -626,6 +731,45 @@ mod tests {
                 (code, "no such tenant: X")
             );
         }
+    }
+
+    #[test]
+    fn tail_log_and_chunk_round_trip() {
+        use crate::wal::record::ChangeOp;
+        assert_eq!(decode_tail_log(&encode_tail_log(42)).unwrap(), 42);
+
+        let recs = vec![
+            ChangeRecord {
+                seq: 5,
+                tenant: "W-1".into(),
+                op: ChangeOp::TenantOpen,
+            },
+            ChangeRecord {
+                seq: 6,
+                tenant: "W-1".into(),
+                op: ChangeOp::Advance { now: 9 },
+            },
+        ];
+        let payload = encode_log_chunk(3, &recs);
+        let view = decode_log_chunk(&payload).unwrap();
+        assert_eq!(view.epoch(), 3);
+        assert_eq!(view.count(), 2);
+        assert_eq!(view.records().unwrap(), recs);
+
+        // A flipped payload bit inside a record is a protocol error, not
+        // a tolerated torn tail.
+        let mut bad = payload.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        let view = decode_log_chunk(&bad).unwrap();
+        assert_eq!(
+            view.records(),
+            Err(WireError::Malformed("corrupt record in log chunk"))
+        );
+
+        // A count mismatch is a protocol error too.
+        let short = encode_log_chunk_raw(3, 3, view.raw());
+        assert!(decode_log_chunk(&short).unwrap().records().is_err());
     }
 
     #[test]

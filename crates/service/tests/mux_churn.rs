@@ -443,3 +443,176 @@ fn two_hundred_churning_connections_stay_ordered_leak_free_and_deterministic() {
         );
     }
 }
+
+/// Planner whose `plan` blocks until the test opens the gate, so a
+/// submission's plan reply stays *owed* for as long as the test needs —
+/// the reactor cannot reap the connection through the resolved-ticket
+/// path while the gate is shut.
+#[derive(Clone)]
+struct GatedPlanner {
+    gate: Arc<(Mutex<bool>, std::sync::Condvar)>,
+    entered: Arc<AtomicBool>,
+}
+
+impl GatedPlanner {
+    fn new() -> Self {
+        GatedPlanner {
+            gate: Arc::new((Mutex::new(false), std::sync::Condvar::new())),
+            entered: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    fn open(&self) {
+        let (lock, cv) = &*self.gate;
+        *lock.lock().expect("gate lock") = true;
+        cv.notify_all();
+    }
+}
+
+impl Planner for GatedPlanner {
+    fn name(&self) -> &'static str {
+        "gated-stub"
+    }
+    fn plan(&mut self, req: &Request) -> PlanOutcome {
+        self.entered.store(true, Ordering::SeqCst);
+        let (lock, cv) = &*self.gate;
+        let mut open = lock.lock().expect("gate lock");
+        while !*open {
+            open = cv.wait(open).expect("gate wait");
+        }
+        PlanOutcome::Planned(route_for(req.id))
+    }
+    fn cancel(&mut self, _id: RequestId) -> bool {
+        false
+    }
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// Regression: a peer that vanishes with an RST *after* its read side was
+/// already severed (garbage frame → `read_closed`) and with a reply still
+/// owed used to be unreapable — `POLLERR`/`POLLHUP` matched no event arm,
+/// so every `poll(2)` re-reported the dead socket (busy loop) and the
+/// connection pinned its fd until the owed ticket resolved, which a stuck
+/// planner could defer forever. The reactor must instead reap it the
+/// moment the transport is gone both ways.
+#[test]
+fn reset_after_read_close_with_owed_reply_is_reaped_not_wedged() {
+    use std::io::Write;
+
+    let registry = Arc::new(TenantRegistry::new());
+    let planner = GatedPlanner::new();
+    let cfg = ServiceConfig {
+        deadline: None,
+        ..ServiceConfig::default()
+    };
+    registry.register("gated", planner.clone(), cfg);
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let metrics = Arc::new(MuxMetrics::default());
+    let handle = {
+        let registry = Arc::clone(&registry);
+        let shutdown = Arc::clone(&shutdown);
+        let metrics = Arc::clone(&metrics);
+        let config = MuxConfig {
+            threads: 1,
+            ..MuxConfig::default()
+        };
+        std::thread::spawn(move || serve_tcp_mux(listener, registry, shutdown, config, metrics))
+    };
+
+    // Settle the fd baseline. The reactor threads open their wake pipes
+    // asynchronously after `serve_tcp_mux` is spawned, so a warm-up
+    // round-trip (MetricsQuery — it never touches the gated planner) plus
+    // a stability window keeps those out of the leak accounting.
+    {
+        let stream = connect(addr);
+        let mut client = WireClient::new(stream.try_clone().expect("clone"), stream);
+        client.metrics("gated").expect("warm-up metrics round-trip");
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut fd_baseline = open_fds();
+    loop {
+        std::thread::sleep(Duration::from_millis(50));
+        let now = open_fds();
+        if now == fd_baseline && metrics.snapshot().registered == 0 {
+            break;
+        }
+        fd_baseline = now;
+        assert!(Instant::now() < deadline, "fd count never settled");
+    }
+
+    let stream = connect(addr);
+    let mut writer = stream.try_clone().expect("clone write half");
+
+    // Submit while the planner is gated: the ack is queued immediately but
+    // the plan reply stays owed. The ack is deliberately left unread.
+    let payload = schema::encode_submit("gated", &req_for(7));
+    write_frame(&mut writer, FrameKind::Submit, &payload).expect("submit");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !planner.entered.load(Ordering::SeqCst) {
+        assert!(
+            Instant::now() < deadline,
+            "submission never reached the planner"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Garbage after the valid frame: the reactor severs the read side
+    // (`read_closed`) but keeps the connection registered for the owed
+    // reply — the exact state the bug needed.
+    writer
+        .write_all(b"garbage, not a CARP frame")
+        .expect("garbage");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while metrics.snapshot().frames_in < 1 {
+        assert!(Instant::now() < deadline, "submit frame never decoded");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // Give the reactor a moment to consume the garbage and sever reads.
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Abrupt close with the unread ack still in our receive buffer: the
+    // kernel turns that into an RST, and the server socket reports
+    // `POLLERR`/`POLLHUP` from then on.
+    drop(writer);
+    drop(stream);
+
+    // The reply is still owed (gate shut), yet the reactor must reap the
+    // connection and shed its fd — the transport is gone both ways.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let counters = metrics.snapshot();
+        if counters.registered == 0 && open_fds() <= fd_baseline {
+            break;
+        }
+        let listing: Vec<String> = std::fs::read_dir("/proc/self/fd")
+            .expect("/proc/self/fd readable")
+            .map(|e| {
+                let e = e.expect("fd entry");
+                let target = std::fs::read_link(e.path())
+                    .map(|p| p.display().to_string())
+                    .unwrap_or_default();
+                format!("{}→{}", e.file_name().to_string_lossy(), target)
+            })
+            .collect();
+        assert!(
+            Instant::now() < deadline,
+            "dead conn never reaped: {} registered, {} fds (baseline {}): {listing:?}",
+            counters.registered,
+            open_fds(),
+            fd_baseline
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Let the worker finish so shutdown can drain cleanly.
+    planner.open();
+    shutdown.store(true, Ordering::SeqCst);
+    handle
+        .join()
+        .expect("mux server thread")
+        .expect("mux server exits clean");
+}

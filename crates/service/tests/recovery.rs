@@ -308,7 +308,9 @@ fn rate_limited_connection_gets_typed_refusals_then_recovers() {
         Err(WireSubmitError::Throttled { retry_after }) => retry_after,
         other => panic!("expected Throttled, got {other:?}"),
     };
-    assert!(retry_after.as_secs_f64() > 0.0);
+    // Never zero or sub-clamp: a zero hint turns a well-behaved client
+    // into a hot spin against a daemon that is actively throttling it.
+    assert!(retry_after >= RateLimit::MIN_RETRY_AFTER);
     // A control frame while throttled gets the typed error reply.
     match client.advance("rl", 1) {
         Err(WireError::Throttled) => {}
@@ -379,7 +381,7 @@ fn mux_rate_limited_connection_gets_typed_refusals_then_recovers() {
         Err(WireSubmitError::Throttled { retry_after }) => retry_after,
         other => panic!("expected Throttled over the mux, got {other:?}"),
     };
-    assert!(retry_after.as_secs_f64() > 0.0);
+    assert!(retry_after >= RateLimit::MIN_RETRY_AFTER);
     match client.advance("rl", 1) {
         Err(WireError::Throttled) => {}
         other => panic!("expected WireError::Throttled over the mux, got {other:?}"),

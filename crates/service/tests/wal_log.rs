@@ -17,14 +17,17 @@
 
 use carp_service::wal::record::{decode_records, encode_record};
 use carp_service::wal::{
-    read_log, ChangeOp, ChangeRecord, LogTail, ReplayState, WalConfig, WalJournal,
+    read_log, ChangeOp, ChangeRecord, LogTail, ReplayState, TenantJournal, WalConfig, WalJournal,
 };
+use carp_service::wire::schema;
+use carp_service::wire::{write_frame, FrameDecoder, FrameKind, WireError};
 use carp_warehouse::request::{QueryKind, Request};
 use carp_warehouse::route::Route;
 use carp_warehouse::types::Cell;
 use proptest::prelude::*;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A scratch log path unique per test case; removed on drop.
 struct ScratchLog(PathBuf);
@@ -223,4 +226,233 @@ proptest! {
         prop_assert_eq!(tail, LogTail::Clean);
         prop_assert_eq!(journal.state(), ReplayState::from_records(&reopened));
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Live shipping equivalence: a standby that replays
+    /// `snapshot ⊕ shipped tail` — records carried over the wire in
+    /// `LogChunk` frames, reassembled through the reactor's incremental
+    /// decoder at arbitrary read segmentation, with a mid-stream
+    /// disconnect re-delivering an overlapping suffix — ends bit-identical
+    /// to the primary: same live replay state, same last sequence number,
+    /// and its on-disk log replays to the same state as the primary's.
+    ///
+    /// The subscription may start anywhere in the history (`from_ppm`);
+    /// the standby seeds the skipped prefix with a synthetic snapshot
+    /// record, exactly as a real standby bootstraps from a state transfer
+    /// before tailing the live stream.
+    #[test]
+    fn shipped_tail_replays_to_primary_state(
+        prefix in proptest::collection::vec((0u8..3, op_strategy()), 1..12),
+        suffix in proptest::collection::vec((0u8..3, op_strategy()), 0..12),
+        snapshot_every in (0u64..3, 2u64..6).prop_map(|(on, n)| (on == 0).then_some(n)),
+        from_ppm in 0u32..1_000_000,
+        chunk_len in 1usize..5,
+        split_ppm in 0u32..1_000_000,
+        overlap_ppm in 0u32..1_000_000,
+        cuts in proptest::collection::vec(0usize..10_000, 0..6),
+    ) {
+        let primary_path = ScratchLog::new();
+        let standby_path = ScratchLog::new();
+        let primary = WalJournal::create_with(
+            &primary_path.0,
+            WalConfig { fsync_every: 4, snapshot_every },
+        )
+        .expect("create primary");
+
+        // History before the standby shows up. Track the logical records
+        // on the test side (auto-compaction may rewrite the file under
+        // us, but replaying the originals gives the same state).
+        let mut logical = Vec::new();
+        for (tenant, op) in &prefix {
+            let tenant = format!("wh-{tenant}");
+            let seq = primary.append(&tenant, op.clone());
+            logical.push(ChangeRecord { seq, tenant, op: op.clone() });
+        }
+
+        // Subscribe from an arbitrary point in the history: catch-up and
+        // live registration are atomic, so catch_up ⊕ drain() is the
+        // gap-free stream from `from_seq` on.
+        let from_seq = 1 + primary.last_seq() * from_ppm as u64 / 1_000_000;
+        let (catch_up, sub) = primary.tail(from_seq, || {}).expect("subscribe");
+
+        let standby = WalJournal::create(&standby_path.0).expect("create standby");
+        if from_seq > 1 {
+            // Bootstrap the skipped prefix as a snapshot record.
+            let state =
+                ReplayState::from_records(logical.iter().filter(|r| r.seq < from_seq));
+            let seeded = standby.append_record(&ChangeRecord {
+                seq: from_seq - 1,
+                tenant: String::new(),
+                op: ChangeOp::Snapshot(state.snapshot()),
+            });
+            prop_assert!(seeded);
+        }
+
+        // Live phase: these appends are pushed into the subscription.
+        for (tenant, op) in &suffix {
+            primary.append(&format!("wh-{tenant}"), op.clone());
+        }
+        let mut shipped = catch_up;
+        shipped.extend(sub.drain());
+
+        // Disconnect mid-stream, reconnect, and re-deliver an overlapping
+        // suffix. Each delivery is its own connection — its own chunk
+        // framing and its own incremental decoder (a chunk's embedded
+        // records are seq-monotonic, so re-delivery can never share a
+        // stream with the original) — and the duplicate records in the
+        // overlap must be absorbed by the standby's seq dedup.
+        let split = shipped.len() * split_ppm as usize / 1_000_000;
+        let overlap = split * overlap_ppm as usize / 1_000_000;
+        let epoch = primary.epoch();
+        let first = ship_over_wire(&shipped[..split], chunk_len, epoch, &cuts, &standby);
+        let second =
+            ship_over_wire(&shipped[split - overlap..], chunk_len, epoch, &cuts, &standby);
+        prop_assert_eq!(first, split);
+        prop_assert_eq!(first + second, shipped.len() + overlap);
+
+        // Live state equivalence, then on-disk equivalence.
+        prop_assert_eq!(standby.last_seq(), primary.last_seq());
+        prop_assert_eq!(standby.state(), primary.state());
+        primary.seal();
+        standby.seal();
+        let (p_records, p_tail) = read_log(&primary_path.0).expect("read primary");
+        let (s_records, s_tail) = read_log(&standby_path.0).expect("read standby");
+        prop_assert_eq!(p_tail, LogTail::Clean);
+        prop_assert_eq!(s_tail, LogTail::Clean);
+        prop_assert_eq!(
+            ReplayState::from_records(&s_records),
+            ReplayState::from_records(&p_records)
+        );
+    }
+}
+
+/// One shipping "connection": encode `records` into `LogChunk` frames
+/// (`chunk_len` records per chunk), deliver the byte stream to a fresh
+/// incremental decoder in arbitrary read segments (`cuts`), and apply
+/// every decoded record to `standby`. Returns how many records arrived
+/// (applied or deduped).
+fn ship_over_wire(
+    records: &[ChangeRecord],
+    chunk_len: usize,
+    epoch: u64,
+    cuts: &[usize],
+    standby: &WalJournal,
+) -> usize {
+    let mut wire = Vec::new();
+    for chunk in records.chunks(chunk_len.max(1)) {
+        let payload = schema::encode_log_chunk(epoch, chunk);
+        write_frame(&mut wire, FrameKind::LogChunk, &payload).expect("in-memory write");
+    }
+    let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (wire.len() + 1)).collect();
+    bounds.push(wire.len());
+    bounds.sort_unstable();
+    let mut decoder = FrameDecoder::new();
+    let mut start = 0;
+    let mut received = 0usize;
+    for &end in &bounds {
+        decoder.push(&wire[start..end]);
+        start = end;
+        while let Some((kind, body)) = decoder.next_frame().expect("clean frames") {
+            assert_eq!(kind, FrameKind::LogChunk);
+            let view = schema::decode_log_chunk(&body).expect("chunk decodes");
+            assert_eq!(view.epoch(), epoch);
+            for rec in view.records().expect("records intact") {
+                standby.append_record(&rec);
+                received += 1;
+            }
+        }
+    }
+    assert_eq!(decoder.finish(), Ok(()));
+    received
+}
+
+/// Epoch fencing pin: an append stamped with a pre-takeover epoch is
+/// refused with the typed [`WireError::Fenced`] error, counted in the
+/// stats, and never written — and the bump itself is durable.
+#[test]
+fn stale_epoch_append_is_refused_with_typed_fenced_error() {
+    let scratch = ScratchLog::new();
+    let journal = WalJournal::create(&scratch.0).expect("create");
+    assert_eq!(journal.epoch(), 1);
+    journal.append("wh-0", ChangeOp::TenantOpen);
+
+    // A tenant handle captures the epoch it was built under — this is
+    // what a soon-to-be-fenced primary's commit pipeline holds.
+    let stale_handle = TenantJournal::new(Arc::clone(&journal), "wh-0");
+    assert_eq!(stale_handle.epoch(), 1);
+
+    // Standby takeover.
+    assert_eq!(journal.bump_epoch(), 2);
+    assert_eq!(journal.epoch(), 2);
+
+    // Direct stale append: typed refusal, nothing written.
+    let before = journal.last_seq();
+    let err = journal
+        .append_at(1, "wh-0", ChangeOp::Advance { now: 7 })
+        .unwrap_err();
+    assert_eq!(
+        err,
+        WireError::Fenced {
+            stale: 1,
+            current: 2
+        }
+    );
+    assert_eq!(journal.last_seq(), before);
+    assert_eq!(journal.stats().fenced_appends, 1);
+
+    // The pre-takeover handle is fenced the same way; it absorbs the
+    // error (the pipeline must not die) but the refusal is counted and
+    // the log stays untouched.
+    stale_handle.advance(9, &[]);
+    assert_eq!(journal.last_seq(), before);
+    assert_eq!(journal.stats().fenced_appends, 2);
+
+    // A current-epoch append still lands.
+    assert!(journal
+        .append_at(2, "wh-0", ChangeOp::Advance { now: 9 })
+        .is_ok());
+    assert_eq!(journal.last_seq(), before + 1);
+
+    // The bump is durable: a reopened journal resumes at epoch 2 and a
+    // fresh handle appends cleanly.
+    journal.seal();
+    drop(stale_handle);
+    drop(journal);
+    let (reopened, _records, tail) = WalJournal::open_append(&scratch.0).expect("reopen");
+    assert_eq!(tail, LogTail::Clean);
+    assert_eq!(reopened.epoch(), 2);
+    let fresh = TenantJournal::new(Arc::clone(&reopened), "wh-0");
+    assert_eq!(fresh.epoch(), 2);
+    let before = reopened.last_seq();
+    fresh.advance(11, &[]);
+    assert_eq!(reopened.last_seq(), before + 1);
+}
+
+/// Reconnect dedup pin: `append_record` skips records at or below the
+/// standby's last sequence (duplicate delivery after a tail reconnect)
+/// and accepts everything past it, preserving shipped sequence numbers.
+#[test]
+fn append_record_dedups_reconnect_overlap() {
+    let scratch = ScratchLog::new();
+    let journal = WalJournal::create(&scratch.0).expect("create");
+    let rec = |seq: u64| ChangeRecord {
+        seq,
+        tenant: "wh-0".into(),
+        op: ChangeOp::Advance { now: seq as u32 },
+    };
+    assert!(journal.append_record(&rec(1)));
+    assert!(journal.append_record(&rec(2)));
+    // Re-delivery of the already-applied overlap: skipped, not an error.
+    assert!(!journal.append_record(&rec(1)));
+    assert!(!journal.append_record(&rec(2)));
+    // The stream resumes past the overlap.
+    assert!(journal.append_record(&rec(3)));
+    assert_eq!(journal.last_seq(), 3);
+    journal.seal();
+    let (records, tail) = read_log(&scratch.0).expect("reread");
+    assert_eq!(tail, LogTail::Clean);
+    assert_eq!(records, vec![rec(1), rec(2), rec(3)]);
 }

@@ -21,7 +21,7 @@ use carp_warehouse::route::Route;
 use carp_warehouse::types::Cell;
 use proptest::prelude::*;
 
-const ALL_KINDS: [FrameKind; 10] = [
+const ALL_KINDS: [FrameKind; 12] = [
     FrameKind::Submit,
     FrameKind::SubmitAck,
     FrameKind::PlanReply,
@@ -32,6 +32,8 @@ const ALL_KINDS: [FrameKind; 10] = [
     FrameKind::MetricsQuery,
     FrameKind::MetricsReply,
     FrameKind::ErrorReply,
+    FrameKind::TailLog,
+    FrameKind::LogChunk,
 ];
 
 fn encode(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
@@ -48,7 +50,7 @@ proptest! {
     #[test]
     fn random_frames_round_trip_back_to_back(
         frames in proptest::collection::vec(
-            (0usize..10, proptest::collection::vec(0u8..=255, 0..200)),
+            (0usize..12, proptest::collection::vec(0u8..=255, 0..200)),
             1..6,
         ),
     ) {
@@ -71,7 +73,7 @@ proptest! {
     /// (or a clean EOF when nothing was sent at all).
     #[test]
     fn any_truncation_is_a_clean_typed_error(
-        k in 0usize..10,
+        k in 0usize..12,
         payload in proptest::collection::vec(0u8..=255, 0..200),
         cut_seed in 0u64..10_000,
     ) {
@@ -91,7 +93,7 @@ proptest! {
     /// to the schema layer, which must also fail typed-only.
     #[test]
     fn any_single_byte_flip_never_panics(
-        k in 0usize..10,
+        k in 0usize..12,
         payload in proptest::collection::vec(0u8..=255, 0..120),
         pos_seed in 0u64..10_000,
         flip in 1u8..=255,
@@ -122,7 +124,7 @@ proptest! {
     #[test]
     fn random_bytes_never_panic_the_schema_layer(
         bytes in proptest::collection::vec(0u8..=255, 0..96),
-        k in 0usize..10,
+        k in 0usize..12,
     ) {
         exercise_schema_decoders(ALL_KINDS[k], &bytes);
     }
@@ -211,6 +213,16 @@ fn exercise_schema_decoders(kind: FrameKind, body: &[u8]) {
         FrameKind::ErrorReply => {
             let _ = schema::decode_error_reply(body);
         }
+        FrameKind::TailLog => {
+            let _ = schema::decode_tail_log(body);
+        }
+        FrameKind::LogChunk => {
+            // The chunk view defers record parsing; force it so corrupt
+            // embedded records are digested too.
+            if let Ok(view) = schema::decode_log_chunk(body) {
+                let _ = view.records();
+            }
+        }
     }
 }
 
@@ -266,7 +278,7 @@ proptest! {
     #[test]
     fn byte_by_byte_reassembly_matches_blocking(
         frames in proptest::collection::vec(
-            (0usize..10, proptest::collection::vec(0u8..=255, 0..120)),
+            (0usize..12, proptest::collection::vec(0u8..=255, 0..120)),
             1..5,
         ),
     ) {
@@ -292,7 +304,7 @@ proptest! {
     #[test]
     fn adversarial_segmentation_matches_blocking(
         frames in proptest::collection::vec(
-            (0usize..10, proptest::collection::vec(0u8..=255, 0..120)),
+            (0usize..12, proptest::collection::vec(0u8..=255, 0..120)),
             0..4,
         ),
         cut_seed in 0u64..10_000,
